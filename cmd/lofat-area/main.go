@@ -1,0 +1,63 @@
+// Command lofat-area runs the §6.2 synthesis model: area and maximum
+// clock frequency of the LO-FAT units on the Zedboard's XC7Z020, for the
+// paper's configuration and for sweeps over ℓ (branches per loop path),
+// n (indirect target bits) and nesting depth.
+//
+// Usage:
+//
+//	lofat-area                # paper configuration
+//	lofat-area -sweep l       # sweep branches-per-path
+//	lofat-area -sweep n       # sweep indirect bits
+//	lofat-area -sweep depth   # sweep nesting depth
+//	lofat-area -l 12 -n 3 -d 2 -cam
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lofat/internal/area"
+)
+
+func main() {
+	l := flag.Int("l", 16, "branches per loop path (ℓ)")
+	n := flag.Int("n", 4, "indirect target bits (n)")
+	d := flag.Int("d", 3, "loop nesting depth")
+	cam := flag.Bool("cam", false, "use CAM instead of BRAM for loop memories")
+	sweep := flag.String("sweep", "", "sweep one parameter: l, n, or depth")
+	flag.Parse()
+
+	base := area.Config{BranchesPerPath: *l, IndirectBits: *n, NestingDepth: *d, UseCAMForLoopMem: *cam}
+
+	var cfgs []area.Config
+	switch *sweep {
+	case "":
+		cfgs = []area.Config{base}
+	case "l":
+		for _, v := range []int{8, 10, 12, 14, 16, 18} {
+			c := base
+			c.BranchesPerPath = v
+			cfgs = append(cfgs, c)
+		}
+	case "n":
+		for _, v := range []int{1, 2, 3, 4, 5, 6} {
+			c := base
+			c.IndirectBits = v
+			cfgs = append(cfgs, c)
+		}
+	case "depth":
+		for v := 1; v <= 4; v++ {
+			c := base
+			c.NestingDepth = v
+			cfgs = append(cfgs, c)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lofat-area: unknown sweep %q (want l, n, or depth)\n", *sweep)
+		os.Exit(2)
+	}
+
+	for _, r := range area.Sweep(cfgs) {
+		fmt.Println(r)
+	}
+}

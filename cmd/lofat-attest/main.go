@@ -1,0 +1,261 @@
+// Command lofat-attest demonstrates the Figure 2 challenge-response
+// protocol over TCP: in-process demo, or real two-process prover/verifier
+// with a shared provisioning seed standing in for device enrolment.
+//
+// Usage:
+//
+//	lofat-attest -demo                           # both ends in-process
+//	lofat-attest -demo -attack loop-counter     # inject an attack
+//
+//	# two processes (shared -seed models enrolment):
+//	lofat-attest -serve 127.0.0.1:9000 -seed 42
+//	lofat-attest -verify 127.0.0.1:9000 -seed 42 -w syringe-pump
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"lofat"
+	"lofat/internal/attest"
+	"lofat/internal/hashengine"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "run prover and verifier in-process over TCP")
+	serveAddr := flag.String("serve", "", "serve attestations for all workloads on this address")
+	verifyAddr := flag.String("verify", "", "request an attestation from a server at this address")
+	workload := flag.String("w", "syringe-pump", "workload to attest")
+	attack := flag.String("attack", "", "inject an attack: auth-bypass, loop-counter, code-pointer")
+	rounds := flag.Int("rounds", 1, "attestation rounds")
+	seed := flag.Int64("seed", 0, "provisioning seed shared between -serve and -verify")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *serveAddr != "":
+		err = runServer(*serveAddr, *seed, *attack)
+	case *verifyAddr != "":
+		err = runClient(*verifyAddr, *seed, *workload, *rounds)
+	default:
+		if !*demo {
+			// Default to the demo so `lofat-attest` alone does
+			// something useful.
+			*demo = true
+		}
+		err = runDemo(*workload, *attack, *rounds)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-attest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// drbg expands a seed into a deterministic byte stream (SHAKE-style
+// counter construction over our SHA-3), modelling factory provisioning
+// where prover and verifier share device credentials.
+type drbg struct {
+	seed [8]byte
+	ctr  uint64
+	buf  []byte
+}
+
+func newDRBG(seed int64) *drbg {
+	d := &drbg{}
+	for i := 0; i < 8; i++ {
+		d.seed[i] = byte(seed >> (8 * i))
+	}
+	return d
+}
+
+func (d *drbg) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(d.buf) == 0 {
+			block := make([]byte, 16)
+			copy(block, d.seed[:])
+			for i := 0; i < 8; i++ {
+				block[8+i] = byte(d.ctr >> (8 * i))
+			}
+			d.ctr++
+			sum := hashengine.Sum512(block)
+			d.buf = sum[:]
+		}
+		c := copy(p[n:], d.buf)
+		d.buf = d.buf[c:]
+		n += c
+	}
+	return n, nil
+}
+
+func provision(seed int64) (io.Reader, error) {
+	if seed == 0 {
+		return rand.Reader, nil
+	}
+	return newDRBG(seed), nil
+}
+
+func runServer(addr string, seed int64, attackName string) error {
+	entropy, err := provision(seed)
+	if err != nil {
+		return err
+	}
+	keys, err := sig.GenerateKeyStore(entropy)
+	if err != nil {
+		return err
+	}
+	reg := attest.NewRegistry()
+	for _, w := range workloads.All2() {
+		prog, err := w.Assemble()
+		if err != nil {
+			return err
+		}
+		p := attest.NewProver(prog, lofat.DeviceConfig{}, keys)
+		if attackName != "" {
+			if atk, ok := workloads.AttackByName(attackName); ok && atk.Workload.Name == w.Name {
+				p.Adversary = atk.Build(prog)
+				fmt.Printf("attack %q armed on %s\n", attackName, w.Name)
+			}
+		}
+		reg.Register(p)
+	}
+	srv := attest.NewServer(reg)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attestation server on %s, %d programs\n", bound, reg.Len())
+	select {} // serve forever
+}
+
+func runClient(addr string, seed int64, workload string, rounds int) error {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	prog, err := w.Assemble()
+	if err != nil {
+		return err
+	}
+	entropy, err := provision(seed)
+	if err != nil {
+		return err
+	}
+	keys, err := sig.GenerateKeyStore(entropy) // same seed => same public key
+	if err != nil {
+		return err
+	}
+	v, err := attest.NewVerifier(prog, lofat.DeviceConfig{}, keys.Public(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	for i := 0; i < rounds; i++ {
+		res, err := attest.RequestAttestation(conn, v, w.Input)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d: %v\n", i+1, res)
+		for _, f := range res.Findings {
+			fmt.Printf("  finding: %s\n", f)
+		}
+	}
+	return nil
+}
+
+func runDemo(workload, attackName string, rounds int) error {
+	w, ok := workloads.ByName(workload)
+	var prog *lofat.Program
+	var err error
+	var adv lofat.Adversary
+	var expect lofat.Classification = lofat.ClassAccepted
+
+	if attackName != "" {
+		atk, okA := workloads.AttackByName(attackName)
+		if !okA {
+			return fmt.Errorf("unknown attack %q", attackName)
+		}
+		w, ok = atk.Workload, true
+		prog, err = w.Assemble()
+		if err != nil {
+			return err
+		}
+		adv = atk.Build(prog)
+		expect = atk.Expect
+		fmt.Printf("injecting attack %q (class %d): %s\n", atk.Name, atk.Class, atk.Description)
+	} else {
+		if !ok {
+			return fmt.Errorf("unknown workload %q", workload)
+		}
+		prog, err = w.Assemble()
+		if err != nil {
+			return err
+		}
+	}
+
+	keys, err := sig.GenerateKeyStore(rand.Reader)
+	if err != nil {
+		return err
+	}
+	prover := attest.NewProver(prog, lofat.DeviceConfig{}, keys)
+	prover.Adversary = adv
+	verifier, err := attest.NewVerifier(prog, lofat.DeviceConfig{}, keys.Public(), rand.Reader)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("prover listening on %s, program %v\n", ln.Addr(), prover.ProgramID())
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				done <- err
+				return
+			}
+			err = attest.ServeProver(conn, prover)
+			conn.Close()
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	for i := 0; i < rounds; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return err
+		}
+		res, err := attest.RequestAttestation(conn, verifier, w.Input)
+		conn.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d: %v\n", i+1, res)
+		for _, f := range res.Findings {
+			fmt.Printf("  finding: %s\n", f)
+		}
+		if attackName != "" && res.Class != expect {
+			return fmt.Errorf("expected classification %v, got %v", expect, res.Class)
+		}
+	}
+	return <-done
+}

@@ -1,0 +1,55 @@
+// Command lofat-bench regenerates the paper's evaluation artifacts
+// (tables E1..E11 of DESIGN.md's experiment index) and prints them as
+// markdown. Use -id to select experiments and -o to write a file.
+//
+// Usage:
+//
+//	lofat-bench            # all experiments to stdout
+//	lofat-bench -id E3,E7  # just the overhead and attack tables
+//	lofat-bench -o out.md  # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lofat/internal/experiments"
+)
+
+func main() {
+	ids := flag.String("id", "", "comma-separated experiment IDs (default: all)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *ids != "" {
+		for _, id := range strings.Split(*ids, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	var b strings.Builder
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		t, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lofat-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		b.WriteString(t.Format())
+		b.WriteString("\n")
+	}
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Attested regions: function-granular attestation in hardware.
+//
+// C-FLAT attests selected functions by instrumenting them; LO-FAT can
+// restrict measurement to a code range purely in device configuration —
+// the binary stays untouched. This example measures the pump-FSM
+// firmware twice: whole-program, and with only the dispense routine
+// attested, comparing event counts, metadata, and hash stability.
+//
+// Run with: go run ./examples/regions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lofat"
+	"lofat/internal/core"
+)
+
+func main() {
+	w, ok := pumpFSM()
+	if !ok {
+		log.Fatal("pump-fsm workload missing")
+	}
+	prog, err := lofat.Assemble(w.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full, err := lofat.Measure(prog, lofat.DeviceConfig{}, w.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	region := core.Region{
+		Start: prog.Labels["do_dispense"],
+		End:   prog.Labels["shutdown"],
+	}
+	part, err := lofat.Measure(prog, lofat.DeviceConfig{Region: region}, w.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("whole program: %4d events, %2d loop records, |L| = %4d B\n",
+		full.Stats.ControlFlowEvents, len(full.Loops), lofat.MetadataSize(full.Loops))
+	fmt.Printf("dispense only: %4d events, %2d loop records, |L| = %4d B\n",
+		part.Stats.ControlFlowEvents, len(part.Loops), lofat.MetadataSize(part.Loops))
+
+	fmt.Println("\ndispense-region loop records:")
+	for _, r := range part.Loops {
+		fmt.Println("  ", r)
+	}
+
+	fmt.Println("\nregion-restricted measurement remains deterministic:",
+		check(prog, region, w.Input, part.Hash))
+}
+
+func pumpFSM() (lofat.Workload, bool) {
+	for _, w := range lofat.Workloads() {
+		if w.Name == "pump-fsm" {
+			return w, true
+		}
+	}
+	return lofat.Workload{}, false
+}
+
+func check(prog *lofat.Program, region core.Region, input []uint32, want [64]byte) bool {
+	m, err := lofat.Measure(prog, lofat.DeviceConfig{Region: region}, input)
+	if err != nil {
+		return false
+	}
+	return m.Hash == want
+}

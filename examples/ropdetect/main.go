@@ -1,0 +1,68 @@
+// ROP detection: attack class 3 of Figure 1 (code-pointer overwrite).
+//
+// The victim firmware dispatches through a function pointer held in
+// writable data — the classic embedded pattern that code-reuse attacks
+// hijack. The adversary redirects the pointer into the middle of an
+// auth-gated maintenance routine, skipping its check (a gadget entry).
+//
+// Because the hijacked call happens inside a loop, its target lands in
+// the loop's indirect-target CAM and therefore in the reported metadata
+// L. The verifier's CFG walk then shows the edge is not a legitimate
+// function entry: hard evidence of a control-flow attack, not just a
+// measurement mismatch.
+//
+// Run with: go run ./examples/ropdetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lofat"
+)
+
+func main() {
+	var atk lofat.Attack
+	for _, a := range lofat.Attacks() {
+		if a.Name == "code-pointer" {
+			atk = a
+		}
+	}
+
+	prog, err := lofat.Assemble(atk.Workload.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := lofat.Build(prog, lofat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Benign dispatch: three rounds through the safe handler.
+	res, err := sys.AttestOnce(atk.Workload.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("benign dispatch:", res)
+	for _, rec := range res.Expected.Loops {
+		fmt.Printf("  expected loop %v, indirect targets %#x\n", rec, rec.IndirectTargets)
+	}
+
+	// Hijack the handler pointer.
+	sys.SetAdversary(atk.Build(prog))
+	res, err = sys.AttestOnce(atk.Workload.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nhijacked dispatch:", res)
+	for _, f := range res.Findings {
+		fmt.Println("  finding:", f)
+	}
+	if res.Got != nil {
+		for _, rec := range res.Got.Loops {
+			fmt.Printf("  reported loop %v, indirect targets %#x\n", rec, rec.IndirectTargets)
+		}
+	}
+	fmt.Println("\nthe gadget address appears in the reported CAM targets; the")
+	fmt.Println("verifier's CFG walk rejects it as a non-entry — class 3 detected.")
+}

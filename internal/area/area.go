@@ -1,0 +1,189 @@
+// Package area is the synthesis-results model replacing the paper's
+// Xilinx Vivado runs (§6.2): an analytic FPGA area and clock-frequency
+// model for LO-FAT on the Zedboard's XC7Z020, parameterised by the same
+// knobs the hardware exposes — ℓ (branches per loop path), n (indirect
+// target bits), and loop nesting depth — and calibrated to the numbers
+// the paper reports: 49 36-Kbit BRAMs (48 for loop memories, 16 per
+// nesting level), ~4% of registers, ~6% of LUTs, ~20% additional logic
+// over the Pulpino SoC, and 80 MHz maximum frequency with CAM lookups in
+// the critical path.
+package area
+
+import "fmt"
+
+// XC7Z020 device resources (Zynq-7020, as on the Zedboard).
+const (
+	DeviceLUTs   = 53200
+	DeviceFFs    = 106400
+	DeviceBRAM36 = 140
+)
+
+// bramEntries8 is the depth of one 36-Kbit BRAM in its 4K x 9 port
+// configuration, the mapping for 8-bit loop-path counters.
+const bramEntries8 = 4096
+
+// Pulpino SoC baseline utilisation (single RI5CY core + peripherals on
+// the same device), used for the "additional logic overhead" metric.
+const (
+	pulpinoLUTs = 15800
+	pulpinoFFs  = 11400
+)
+
+// Calibrated logic cost of each LO-FAT unit (LUTs, FFs). The split is
+// the model's; the TOTALS are pinned to the paper's 6%/4% utilisation at
+// the default configuration by TestPaperCalibration.
+const (
+	hashEngineLUTs = 1530 // SHA-3 512 permutation + padding datapath
+	hashEngineFFs  = 2100 // 1600-bit state + input buffering
+
+	branchFilterLUTs = 310 // decode taps, loop entry/exit comparators
+	branchFilterFFs  = 420 // per-depth entry/exit/depth registers
+
+	monitorBaseLUTs = 360 // path encoder, counter update FSM
+	monitorBaseFFs  = 540
+
+	camLUTsPerEntry = 22 // interleaved CAM match logic, per target
+	camFFsPerBit    = 1  // stored target bits
+)
+
+// Config mirrors the hardware parameters of §5.2.
+type Config struct {
+	// BranchesPerPath is ℓ (default 16).
+	BranchesPerPath int
+	// IndirectBits is n (default 4).
+	IndirectBits int
+	// NestingDepth is the supported loop depth (default 3).
+	NestingDepth int
+	// UseCAMForLoopMem replaces the path-indexed BRAM with a CAM
+	// (the §6.2 optimisation under development): far less memory,
+	// more logic, and it no longer limits fmax the same way.
+	UseCAMForLoopMem bool
+}
+
+// DefaultConfig is the paper's prototype configuration.
+var DefaultConfig = Config{BranchesPerPath: 16, IndirectBits: 4, NestingDepth: 3}
+
+func (c *Config) fill() {
+	if c.BranchesPerPath == 0 {
+		c.BranchesPerPath = DefaultConfig.BranchesPerPath
+	}
+	if c.IndirectBits == 0 {
+		c.IndirectBits = DefaultConfig.IndirectBits
+	}
+	if c.NestingDepth == 0 {
+		c.NestingDepth = DefaultConfig.NestingDepth
+	}
+}
+
+// Report is the synthesis estimate.
+type Report struct {
+	Config Config
+
+	// LoopMemBitsPerLevel is 8 x 2^ℓ (§5.2's formula).
+	LoopMemBitsPerLevel uint64
+	// BRAMPerLevel and BRAMLoops break down the 36-Kbit block count.
+	BRAMPerLevel int
+	BRAMLoops    int
+	// BRAMOther covers the branches memory and hash engine buffers.
+	BRAMOther int
+	// BRAMTotal is the full block count (49 at defaults).
+	BRAMTotal int
+
+	LUTs int
+	FFs  int
+
+	// UtilLUT/UtilFF/UtilBRAM are device utilisation fractions.
+	UtilLUT  float64
+	UtilFF   float64
+	UtilBRAM float64
+	// LogicOverheadVsPulpino is LO-FAT logic relative to the SoC.
+	LogicOverheadVsPulpino float64
+
+	// FmaxMHz is the estimated maximum clock.
+	FmaxMHz float64
+}
+
+// Estimate produces the synthesis report for a configuration.
+func Estimate(cfg Config) Report {
+	cfg.fill()
+	r := Report{Config: cfg}
+
+	// Loop path-indexed counter memory: 2^ℓ entries of 8 bits per
+	// nesting level (§5.2: "Tracking ℓ branches per path in a loop
+	// requires 8 x 2^ℓ bits memory").
+	entries := uint64(1) << uint(cfg.BranchesPerPath)
+	r.LoopMemBitsPerLevel = 8 * entries
+
+	camEntries := 1<<uint(cfg.IndirectBits) - 1
+	if cfg.UseCAMForLoopMem {
+		// CAM-based loop memory: storage proportional to observed
+		// paths, not 2^ℓ; modelled as logic below, zero loop BRAM.
+		r.BRAMPerLevel = 0
+	} else {
+		r.BRAMPerLevel = int((entries + bramEntries8 - 1) / bramEntries8)
+	}
+	r.BRAMLoops = r.BRAMPerLevel * cfg.NestingDepth
+	r.BRAMOther = 1 // branches memory + hash input buffer
+	r.BRAMTotal = r.BRAMLoops + r.BRAMOther
+
+	// Logic.
+	luts := hashEngineLUTs + branchFilterLUTs + monitorBaseLUTs
+	ffs := hashEngineFFs + branchFilterFFs + monitorBaseFFs
+	// Indirect-target CAM (2 interleaved CAMs, §5.2) per nesting level.
+	luts += cfg.NestingDepth * camEntries * camLUTsPerEntry
+	ffs += cfg.NestingDepth * camEntries * 32 * camFFsPerBit
+	// Per-depth tracking registers.
+	ffs += cfg.NestingDepth * 96 // entry, exit, depth counter
+	if cfg.UseCAMForLoopMem {
+		// Parallel CAM search over path IDs is logic-consuming (§6.2).
+		luts += cfg.NestingDepth * 512 * camLUTsPerEntry / 8
+		ffs += cfg.NestingDepth * (cfg.BranchesPerPath*64 + 512)
+	}
+	r.LUTs = luts
+	r.FFs = ffs
+
+	r.UtilLUT = float64(luts) / DeviceLUTs
+	r.UtilFF = float64(ffs) / DeviceFFs
+	r.UtilBRAM = float64(r.BRAMTotal) / DeviceBRAM36
+	r.LogicOverheadVsPulpino = float64(luts) / pulpinoLUTs
+
+	r.FmaxMHz = fmax(cfg)
+	return r
+}
+
+// fmax models the critical path: the interleaved-CAM single-cycle
+// constant-time lookup limits the prototype to 80 MHz; "eliminating the
+// CAM access results in a much higher clock frequency" — then the SHA-3
+// engine's 150 MHz bound dominates. Wider CAMs (more indirect bits)
+// lengthen the match tree slightly.
+func fmax(cfg Config) float64 {
+	const hashEngineCap = 150.0
+	if cfg.IndirectBits <= 0 {
+		return hashEngineCap
+	}
+	f := 80.0 * 4.0 / float64(cfg.IndirectBits) // calibrated: n=4 -> 80 MHz
+	if f > hashEngineCap {
+		f = hashEngineCap
+	}
+	return f
+}
+
+// String formats the report like a synthesis summary.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"lofat area @ ℓ=%d n=%d depth=%d cam=%v: %d LUT (%.1f%%), %d FF (%.1f%%), %d BRAM36 (%d loop + %d other), +%.0f%% logic vs Pulpino, fmax %.0f MHz",
+		r.Config.BranchesPerPath, r.Config.IndirectBits, r.Config.NestingDepth,
+		r.Config.UseCAMForLoopMem,
+		r.LUTs, 100*r.UtilLUT, r.FFs, 100*r.UtilFF,
+		r.BRAMTotal, r.BRAMLoops, r.BRAMOther,
+		100*r.LogicOverheadVsPulpino, r.FmaxMHz)
+}
+
+// Sweep evaluates a list of configurations (for the E6/E8 benches).
+func Sweep(cfgs []Config) []Report {
+	out := make([]Report, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = Estimate(c)
+	}
+	return out
+}

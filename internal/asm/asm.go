@@ -1,0 +1,461 @@
+// Package asm is a two-pass RV32IM assembler. It replaces the RISC-V GCC
+// toolchain the paper used to build its workloads: programs are written
+// in conventional RISC-V assembly (ABI register names, labels,
+// pseudo-instructions) and assembled to the binary image executed by the
+// simulated core and attested by LO-FAT.
+//
+// Supported syntax:
+//
+//	label:                      # labels, one per line or before an instruction
+//	add  a0, a1, a2             # R-type
+//	addi sp, sp, -16            # I-type ALU
+//	lw   ra, 12(sp)             # loads / stores with displacement syntax
+//	beq  a0, zero, done         # branches to labels or numeric offsets
+//	jal  ra, func               # jumps; jal/j/call/ret pseudo forms
+//	li   a0, 0x12345678         # expands to lui+addi when needed
+//	la   a0, buffer             # load address of a label
+//	.text / .data               # section switch
+//	.word 1, 2, 3               # literal words (either section)
+//	.byte 1, 2                  # literal bytes (data section)
+//	.space 64                   # zero-filled bytes
+//	.align 4                    # align to 2^n? no: align to n bytes (power of two)
+//	.equ NAME, value            # assembler constants
+//
+// Comments start with '#' or "//" and run to end of line.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lofat/internal/isa"
+)
+
+// Program is the output of the assembler: a text image, a data image,
+// and the symbol table. TextBase/DataBase are fixed by the caller's
+// Layout (defaults match the simulator's default memory map).
+type Program struct {
+	TextBase uint32
+	Text     []byte // little-endian instruction words
+	DataBase uint32
+	Data     []byte
+	Labels   map[string]uint32
+	// LineFor maps a text-section instruction address to the 1-based
+	// source line it came from, for diagnostics and trace annotation.
+	LineFor map[uint32]int
+}
+
+// Entry returns the address of the given label, typically "main" or
+// "_start"; ok is false if undefined.
+func (p *Program) Entry(label string) (uint32, bool) {
+	a, ok := p.Labels[label]
+	return a, ok
+}
+
+// NumInstructions reports the number of instruction words in the text image.
+func (p *Program) NumInstructions() int { return len(p.Text) / 4 }
+
+// Layout fixes the section bases for assembly.
+type Layout struct {
+	TextBase uint32
+	DataBase uint32
+}
+
+// DefaultLayout matches the simulator's default memory map.
+var DefaultLayout = Layout{TextBase: 0x0000_1000, DataBase: 0x0010_0000}
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble assembles source with the default layout.
+func Assemble(source string) (*Program, error) {
+	return AssembleLayout(source, DefaultLayout)
+}
+
+// section identifiers
+const (
+	secText = iota
+	secData
+)
+
+// item is an intermediate representation entry produced by pass 1.
+type item struct {
+	line    int
+	section int
+	addr    uint32
+	// exactly one of the below is set
+	inst  *instStmt
+	bytes []byte // literal data (.word/.byte/.space payload)
+}
+
+type instStmt struct {
+	mnemonic string
+	operands []string
+}
+
+type assembler struct {
+	layout   Layout
+	labels   map[string]uint32
+	equs     map[string]int64
+	items    []item
+	textSize uint32
+	dataSize uint32
+}
+
+// AssembleLayout assembles source into a Program at the given bases.
+func AssembleLayout(source string, layout Layout) (*Program, error) {
+	a := &assembler{
+		layout: layout,
+		labels: make(map[string]uint32),
+		equs:   make(map[string]int64),
+	}
+	if err := a.pass1(source); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+// pass1 tokenizes, expands sizes, and assigns addresses to labels.
+func (a *assembler) pass1(source string) error {
+	section := secText
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		lineNum := lineNo + 1
+
+		// Peel off any leading labels.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				break // e.g. "12(sp):" cannot happen, but a ':' inside operands could
+			}
+			if _, dup := a.labels[name]; dup {
+				return errf(lineNum, "duplicate label %q", name)
+			}
+			a.labels[name] = a.cursor(section)
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+		rest := ""
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+
+		if strings.HasPrefix(mnemonic, ".") {
+			var err error
+			section, err = a.directive(lineNum, section, mnemonic, rest)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+
+		operands := splitOperands(rest)
+		size, err := instSize(lineNum, mnemonic, operands, a.equs)
+		if err != nil {
+			return err
+		}
+		if section != secText {
+			return errf(lineNum, "instruction %q in data section", mnemonic)
+		}
+		a.items = append(a.items, item{
+			line: lineNum, section: section, addr: a.cursor(section),
+			inst: &instStmt{mnemonic: mnemonic, operands: operands},
+		})
+		a.textSize += size
+	}
+	return nil
+}
+
+func (a *assembler) cursor(section int) uint32 {
+	if section == secText {
+		return a.layout.TextBase + a.textSize
+	}
+	return a.layout.DataBase + a.dataSize
+}
+
+func (a *assembler) advance(section int, n uint32) {
+	if section == secText {
+		a.textSize += n
+	} else {
+		a.dataSize += n
+	}
+}
+
+func (a *assembler) directive(line, section int, name, rest string) (int, error) {
+	switch name {
+	case ".text":
+		return secText, nil
+	case ".data":
+		return secData, nil
+	case ".globl", ".global", ".type", ".size", ".option", ".file":
+		return section, nil // accepted and ignored for GNU as compatibility
+	case ".equ", ".set":
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return section, errf(line, ".equ wants NAME, value")
+		}
+		v, err := a.evalInt(line, parts[1])
+		if err != nil {
+			return section, err
+		}
+		a.equs[parts[0]] = v
+		return section, nil
+	case ".word":
+		vals := splitOperands(rest)
+		buf := make([]byte, 0, 4*len(vals))
+		for _, s := range vals {
+			v, err := a.evalIntOrLabelPlaceholder(line, s)
+			if err != nil {
+				return section, err
+			}
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		// Label references inside .word are resolved in pass 2; we
+		// record the raw operand strings alongside.
+		a.items = append(a.items, item{line: line, section: section,
+			addr: a.cursor(section), bytes: buf,
+			inst: &instStmt{mnemonic: ".word", operands: vals}})
+		a.advance(section, uint32(len(buf)))
+		return section, nil
+	case ".byte":
+		vals := splitOperands(rest)
+		buf := make([]byte, 0, len(vals))
+		for _, s := range vals {
+			v, err := a.evalInt(line, s)
+			if err != nil {
+				return section, err
+			}
+			if v < -128 || v > 255 {
+				return section, errf(line, ".byte value %d out of range", v)
+			}
+			buf = append(buf, byte(v))
+		}
+		a.items = append(a.items, item{line: line, section: section,
+			addr: a.cursor(section), bytes: buf})
+		a.advance(section, uint32(len(buf)))
+		return section, nil
+	case ".space", ".zero":
+		n, err := a.evalInt(line, strings.TrimSpace(rest))
+		if err != nil {
+			return section, err
+		}
+		if n < 0 || n > 1<<20 {
+			return section, errf(line, ".space size %d out of range", n)
+		}
+		a.items = append(a.items, item{line: line, section: section,
+			addr: a.cursor(section), bytes: make([]byte, n)})
+		a.advance(section, uint32(n))
+		return section, nil
+	case ".align":
+		n, err := a.evalInt(line, strings.TrimSpace(rest))
+		if err != nil {
+			return section, err
+		}
+		if n < 0 || n > 12 {
+			return section, errf(line, ".align %d out of range (power of two exponent)", n)
+		}
+		align := uint32(1) << uint(n)
+		cur := a.cursor(section)
+		pad := (align - cur%align) % align
+		if pad > 0 {
+			a.items = append(a.items, item{line: line, section: section,
+				addr: cur, bytes: make([]byte, pad)})
+			a.advance(section, pad)
+		}
+		return section, nil
+	}
+	return section, errf(line, "unknown directive %q", name)
+}
+
+// evalIntOrLabelPlaceholder evaluates an integer if possible; labels are
+// deferred to pass 2 (returns 0 placeholder).
+func (a *assembler) evalIntOrLabelPlaceholder(line int, s string) (int64, error) {
+	if isIdent(s) {
+		if v, ok := a.equs[s]; ok {
+			return v, nil
+		}
+		return 0, nil // label: patched in pass 2
+	}
+	return a.evalInt(line, s)
+}
+
+// pass2 encodes all instructions now that every label address is known.
+func (a *assembler) pass2() (*Program, error) {
+	p := &Program{
+		TextBase: a.layout.TextBase,
+		DataBase: a.layout.DataBase,
+		Text:     make([]byte, 0, a.textSize),
+		Data:     make([]byte, 0, a.dataSize),
+		Labels:   a.labels,
+		LineFor:  make(map[uint32]int),
+	}
+	for _, it := range a.items {
+		switch {
+		case it.inst != nil && it.inst.mnemonic == ".word":
+			// Patch label references.
+			buf := make([]byte, 0, len(it.bytes))
+			for _, s := range it.inst.operands {
+				var v int64
+				if isIdent(s) && !a.isEqu(s) {
+					addr, ok := a.labels[s]
+					if !ok {
+						return nil, errf(it.line, "undefined label %q in .word", s)
+					}
+					v = int64(addr)
+				} else {
+					var err error
+					v, err = a.evalIntOrLabelPlaceholder(it.line, s)
+					if err != nil {
+						return nil, err
+					}
+				}
+				buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			a.emit(p, it.section, buf)
+
+		case it.inst != nil:
+			words, err := a.encodeInst(it)
+			if err != nil {
+				return nil, err
+			}
+			for i, w := range words {
+				p.LineFor[it.addr+uint32(4*i)] = it.line
+				a.emit(p, it.section, []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
+			}
+
+		default:
+			a.emit(p, it.section, it.bytes)
+		}
+	}
+	return p, nil
+}
+
+func (a *assembler) isEqu(s string) bool {
+	_, ok := a.equs[s]
+	return ok
+}
+
+func (a *assembler) emit(p *Program, section int, b []byte) {
+	if section == secText {
+		p.Text = append(p.Text, b...)
+	} else {
+		p.Data = append(p.Data, b...)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "a0, 12(sp)" into {"a0", "12(sp)"}.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+// evalInt parses a literal integer (decimal, 0x hex, 0b binary, char) or
+// .equ constant.
+func (a *assembler) evalInt(line int, s string) (int64, error) {
+	if v, ok := a.equs[s]; ok {
+		return v, nil
+	}
+	return parseInt(line, s)
+}
+
+func parseInt(line int, s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errf(line, "empty integer")
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body := s[1 : len(s)-1]
+		if body == "\\n" {
+			return 10, nil
+		}
+		if len(body) == 1 {
+			v := int64(body[0])
+			if neg {
+				v = -v
+			}
+			return v, nil
+		}
+		return 0, errf(line, "bad char literal %q", s)
+	}
+	v, err := strconv.ParseUint(s, 0, 33)
+	if err != nil {
+		return 0, errf(line, "bad integer %q", s)
+	}
+	r := int64(v)
+	if neg {
+		r = -r
+	}
+	if r > 1<<32-1 || r < -(1<<31) {
+		return 0, errf(line, "integer %q out of 32-bit range", s)
+	}
+	return r, nil
+}
+
+var _ = isa.NumRegs // keep the import pinned for the doc reference

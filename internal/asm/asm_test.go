@@ -1,0 +1,380 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"lofat/internal/isa"
+)
+
+func words(t *testing.T, p *Program) []uint32 {
+	t.Helper()
+	if len(p.Text)%4 != 0 {
+		t.Fatalf("text size %d not word-aligned", len(p.Text))
+	}
+	out := make([]uint32, len(p.Text)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p.Text[4*i:])
+	}
+	return out
+}
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAll(t *testing.T, p *Program) []isa.Inst {
+	t.Helper()
+	ws := words(t, p)
+	out := make([]isa.Inst, len(ws))
+	for i, w := range ws {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d (%#08x): %v", i, w, err)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+		# function prologue from the paper's Figure 3 sample
+		main:
+			addi    sp, sp, -16
+			sw      ra, 12(sp)
+			lw      ra, 12(sp)
+			addi    sp, sp, 16
+			jalr    zero, ra, 0
+	`)
+	ins := decodeAll(t, p)
+	want := []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.SP, Rs1: isa.SP, Imm: -16},
+		{Op: isa.OpSW, Rs1: isa.SP, Rs2: isa.RA, Imm: 12},
+		{Op: isa.OpLW, Rd: isa.RA, Rs1: isa.SP, Imm: 12},
+		{Op: isa.OpADDI, Rd: isa.SP, Rs1: isa.SP, Imm: 16},
+		{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("inst %d = %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+	if a, ok := p.Entry("main"); !ok || a != DefaultLayout.TextBase {
+		t.Errorf("Entry(main) = %#x, %v", a, ok)
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	p := mustAssemble(t, `
+	loop:
+		addi a0, a0, -1
+		bnez a0, loop
+		beq  a0, zero, done
+		nop
+	done:
+		ret
+	`)
+	ins := decodeAll(t, p)
+	// bnez at +4 jumps back 4 bytes.
+	if ins[1].Op != isa.OpBNE || ins[1].Imm != -4 {
+		t.Errorf("bnez = %+v, want bne offset -4", ins[1])
+	}
+	// beq at +8 jumps to done at +16: offset 8.
+	if ins[2].Op != isa.OpBEQ || ins[2].Imm != 8 {
+		t.Errorf("beq = %+v, want offset 8", ins[2])
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	p := mustAssemble(t, `
+		j fwd
+	back:
+		ret
+	fwd:
+		j back
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 8 {
+		t.Errorf("forward j offset = %d, want 8", ins[0].Imm)
+	}
+	if ins[2].Imm != -4 {
+		t.Errorf("backward j offset = %d, want -4", ins[2].Imm)
+	}
+}
+
+func TestLIExpansion(t *testing.T) {
+	cases := []struct {
+		src   string
+		words int
+		check func(t *testing.T, ins []isa.Inst)
+	}{
+		{"li a0, 42", 1, func(t *testing.T, ins []isa.Inst) {
+			if ins[0] != (isa.Inst{Op: isa.OpADDI, Rd: isa.A0, Imm: 42}) {
+				t.Errorf("li 42 = %+v", ins[0])
+			}
+		}},
+		{"li a0, -2048", 1, nil},
+		{"li a0, 0x12345000", 1, func(t *testing.T, ins []isa.Inst) {
+			if ins[0].Op != isa.OpLUI || uint32(ins[0].Imm) != 0x12345000 {
+				t.Errorf("li hi-only = %+v", ins[0])
+			}
+		}},
+		{"li a0, 0x12345678", 2, func(t *testing.T, ins []isa.Inst) {
+			if ins[0].Op != isa.OpLUI || ins[1].Op != isa.OpADDI {
+				t.Fatalf("li = %+v", ins)
+			}
+			got := uint32(ins[0].Imm) + uint32(ins[1].Imm)
+			if got != 0x12345678 {
+				t.Errorf("li reconstructs %#x, want 0x12345678", got)
+			}
+		}},
+		{"li a0, 0xFFFFF800", 1, func(t *testing.T, ins []isa.Inst) {
+			// == -2048 as int32: single addi.
+			if ins[0] != (isa.Inst{Op: isa.OpADDI, Rd: isa.A0, Imm: -2048}) {
+				t.Errorf("li 0xFFFFF800 = %+v", ins[0])
+			}
+		}},
+		{"li a0, 0xDEADBEEF", 2, func(t *testing.T, ins []isa.Inst) {
+			got := uint32(ins[0].Imm) + uint32(ins[1].Imm)
+			if got != 0xDEADBEEF {
+				t.Errorf("li reconstructs %#x, want 0xDEADBEEF", got)
+			}
+		}},
+	}
+	for _, c := range cases {
+		p := mustAssemble(t, c.src)
+		ins := decodeAll(t, p)
+		if len(ins) != c.words {
+			t.Errorf("%q: %d words, want %d", c.src, len(ins), c.words)
+			continue
+		}
+		if c.check != nil {
+			c.check(t, ins)
+		}
+	}
+}
+
+func TestLISizeConsistency(t *testing.T) {
+	// A label placed after an li must account for the expansion size;
+	// 0xFFFFF800 sign-extends to -2048 and must be ONE word.
+	p := mustAssemble(t, `
+		li a0, 0xFFFFF800
+	after:
+		ret
+	`)
+	if a := p.Labels["after"]; a != DefaultLayout.TextBase+4 {
+		t.Errorf("label after li = %#x, want %#x", a, DefaultLayout.TextBase+4)
+	}
+}
+
+func TestLAAndDataSection(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	buf:
+		.word 1, 2, 3
+	msg:
+		.byte 'h', 'i', 0
+		.align 2
+	tbl:
+		.word buf
+		.text
+	main:
+		la   a0, buf
+		lw   a1, 0(a0)
+		ret
+	`)
+	if got := p.Labels["buf"]; got != DefaultLayout.DataBase {
+		t.Errorf("buf = %#x, want %#x", got, DefaultLayout.DataBase)
+	}
+	if got := p.Labels["msg"]; got != DefaultLayout.DataBase+12 {
+		t.Errorf("msg = %#x", got)
+	}
+	if got := p.Labels["tbl"]; got != DefaultLayout.DataBase+16 {
+		t.Errorf("tbl = %#x (alignment)", got)
+	}
+	// .word buf stores the address of buf.
+	addr := binary.LittleEndian.Uint32(p.Data[16:20])
+	if addr != p.Labels["buf"] {
+		t.Errorf(".word buf = %#x, want %#x", addr, p.Labels["buf"])
+	}
+	// Data payload.
+	if binary.LittleEndian.Uint32(p.Data[0:4]) != 1 || p.Data[12] != 'h' || p.Data[13] != 'i' {
+		t.Errorf("data payload wrong: % x", p.Data[:16])
+	}
+	// la reconstructs buf's address.
+	ins := decodeAll(t, p)
+	got := uint32(ins[0].Imm) + uint32(ins[1].Imm)
+	if got != p.Labels["buf"] {
+		t.Errorf("la reconstructs %#x, want %#x", got, p.Labels["buf"])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		nop
+		mv   a0, a1
+		not  a2, a3
+		neg  a4, a5
+		seqz t0, t1
+		snez t2, t3
+		j    end
+		call end
+		jr   a0
+	end:
+		ret
+	`)
+	ins := decodeAll(t, p)
+	want := []isa.Inst{
+		{Op: isa.OpADDI},
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.A1},
+		{Op: isa.OpXORI, Rd: isa.A2, Rs1: isa.A3, Imm: -1},
+		{Op: isa.OpSUB, Rd: isa.A4, Rs2: isa.A5},
+		{Op: isa.OpSLTIU, Rd: isa.T0, Rs1: isa.T1, Imm: 1},
+		{Op: isa.OpSLTU, Rd: isa.T2, Rs2: isa.T3},
+		{Op: isa.OpJAL, Rd: isa.Zero, Imm: 12},
+		{Op: isa.OpJAL, Rd: isa.RA, Imm: 8},
+		{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.A0},
+		{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA},
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("inst %d = %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestBranchPseudos(t *testing.T) {
+	p := mustAssemble(t, `
+	l:
+		beqz a0, l
+		bnez a0, l
+		blez a0, l
+		bgez a0, l
+		bltz a0, l
+		bgtz a0, l
+		bgt  a0, a1, l
+		ble  a0, a1, l
+		bgtu a0, a1, l
+		bleu a0, a1, l
+	`)
+	ins := decodeAll(t, p)
+	wantOps := []isa.Opcode{
+		isa.OpBEQ, isa.OpBNE, isa.OpBGE, isa.OpBGE, isa.OpBLT,
+		isa.OpBLT, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU,
+	}
+	for i, op := range wantOps {
+		if ins[i].Op != op {
+			t.Errorf("inst %d op = %v, want %v", i, ins[i].Op, op)
+		}
+		if ins[i].Imm != int32(-4*i) {
+			t.Errorf("inst %d offset = %d, want %d", i, ins[i].Imm, -4*i)
+		}
+	}
+	// bgt a0,a1 swaps to blt a1,a0.
+	if ins[6].Rs1 != isa.A1 || ins[6].Rs2 != isa.A0 {
+		t.Errorf("bgt operands not swapped: %+v", ins[6])
+	}
+}
+
+func TestEqu(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ BUFSZ, 64
+		.equ NEG, -5
+		li a0, BUFSZ
+		addi a1, zero, NEG
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 64 {
+		t.Errorf("li BUFSZ = %+v", ins[0])
+	}
+	if ins[1].Imm != -5 {
+		t.Errorf("addi NEG = %+v", ins[1])
+	}
+}
+
+func TestJALRForms(t *testing.T) {
+	p := mustAssemble(t, `
+		jalr a0
+		jalr ra, a0
+		jalr ra, 4(a0)
+		jalr ra, a0, 8
+		jalr zero, ra, 0
+	`)
+	ins := decodeAll(t, p)
+	want := []isa.Inst{
+		{Op: isa.OpJALR, Rd: isa.RA, Rs1: isa.A0},
+		{Op: isa.OpJALR, Rd: isa.RA, Rs1: isa.A0},
+		{Op: isa.OpJALR, Rd: isa.RA, Rs1: isa.A0, Imm: 4},
+		{Op: isa.OpJALR, Rd: isa.RA, Rs1: isa.A0, Imm: 8},
+		{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA},
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("jalr form %d = %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"unknown mnemonic", "frobnicate a0", "unknown mnemonic"},
+		{"undefined label", "j nowhere", "undefined label"},
+		{"duplicate label", "x:\nx:\n ret", "duplicate label"},
+		{"bad register", "add a0, a1, q9", "unknown register"},
+		{"operand count", "add a0, a1", "want 3 operands"},
+		{"imm range", "addi a0, a0, 5000", "immediate"},
+		{"bad directive", ".bogus 1", "unknown directive"},
+		{"inst in data", ".data\nadd a0, a0, a0", "data section"},
+		{"bad int", "li a0, zzz", "bad integer"},
+		{"bad mem operand", "lw a0, 4[sp]", "bad memory operand"},
+		{"upper range", "lui a0, 0x100000", "20-bit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("assembled, want error containing %q", c.frag)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestLineFor(t *testing.T) {
+	p := mustAssemble(t, "\n\tnop\n\tnop\nmain:\n\tret\n")
+	if p.LineFor[DefaultLayout.TextBase] != 2 {
+		t.Errorf("LineFor[base] = %d, want 2", p.LineFor[DefaultLayout.TextBase])
+	}
+	if p.LineFor[DefaultLayout.TextBase+8] != 5 {
+		t.Errorf("LineFor[base+8] = %d, want 5", p.LineFor[DefaultLayout.TextBase+8])
+	}
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	p := mustAssemble(t, `
+	start: nop # trailing comment
+	       ret // another comment
+	`)
+	if p.NumInstructions() != 2 {
+		t.Fatalf("got %d instructions, want 2", p.NumInstructions())
+	}
+	if _, ok := p.Entry("start"); !ok {
+		t.Error("label on same line as instruction lost")
+	}
+}

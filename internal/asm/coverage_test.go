@@ -1,0 +1,147 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"lofat/internal/isa"
+)
+
+// Directive corner cases.
+func TestDirectiveCoverage(t *testing.T) {
+	p := mustAssemble(t, `
+		.globl main
+		.option norvc
+		.equ K, 10
+		.set  K2, 0x20
+		.data
+	b1:
+		.byte -1, 255, 'a', '\n'
+	sp1:
+		.zero 8
+	al:
+		.align 3
+	w1:
+		.word K, K2
+		.text
+	main:
+		li a0, K2
+		ret
+	`)
+	if p.Data[0] != 0xFF || p.Data[1] != 0xFF || p.Data[2] != 'a' || p.Data[3] != 10 {
+		t.Errorf(".byte payload = % x", p.Data[:4])
+	}
+	if p.Labels["al"]%8 == 0 && p.Labels["w1"]%8 != 0 {
+		t.Errorf(".align 3 did not align w1: %#x", p.Labels["w1"])
+	}
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 0x20 {
+		t.Errorf("li K2 = %+v", ins[0])
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{".equ ONLY", "wants NAME"},
+		{".byte 300", "out of range"},
+		{".byte 'xy'", "bad char literal"},
+		{".space -1", "out of range"},
+		{".space zz", "bad integer"},
+		{".align 99", "out of range"},
+		{".word nosuchlabel", "undefined label"},
+		{"li a0, 99999999999", "bad integer"},
+		{"li a0, 5000000000", "out of 32-bit range"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Assemble(%q) err = %v, want %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestPseudoOperandErrors(t *testing.T) {
+	bad := []string{
+		"mv a0",
+		"not a0",
+		"neg a0",
+		"seqz a0",
+		"beqz a0",
+		"bgt a0, a1",
+		"j",
+		"jr",
+		"ret now",
+		"li a0",
+		"la a0",
+		"la a0, nowhere",
+		"jalr",
+		"jalr a0, a1, a2, a3",
+		"jal a0, b0, c0",
+		"lui a0",
+		"sw a0",
+		"ecall now",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+// Branch pseudo to numeric offsets (no label).
+func TestNumericTargets(t *testing.T) {
+	p := mustAssemble(t, `
+		beqz a0, 8
+		j    -4
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 8 || ins[1].Imm != -4 {
+		t.Errorf("numeric targets = %d, %d", ins[0].Imm, ins[1].Imm)
+	}
+}
+
+// .equ used as a branch target offset.
+func TestEquAsTarget(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ STEP, 8
+		beqz a0, STEP
+		nop
+		ret
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 8 {
+		t.Errorf("equ target = %d", ins[0].Imm)
+	}
+}
+
+// Multiple labels on one address.
+func TestAliasedLabels(t *testing.T) {
+	p := mustAssemble(t, `
+	a: b: c:
+		ret
+	`)
+	if p.Labels["a"] != p.Labels["b"] || p.Labels["b"] != p.Labels["c"] {
+		t.Error("aliased labels differ")
+	}
+}
+
+// jalr with ABI x-names and `tail`.
+func TestTailAndXNames(t *testing.T) {
+	p := mustAssemble(t, `
+	main:
+		tail f
+	f:
+		add x5, x6, x7
+		ret
+	`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.OpJAL || ins[0].Rd != isa.Zero {
+		t.Errorf("tail = %+v", ins[0])
+	}
+	if ins[1] != (isa.Inst{Op: isa.OpADD, Rd: isa.T0, Rs1: isa.T1, Rs2: isa.T2}) {
+		t.Errorf("x-name add = %+v", ins[1])
+	}
+}

@@ -1,0 +1,548 @@
+package asm
+
+import (
+	"strings"
+
+	"lofat/internal/isa"
+)
+
+// realFormats lists mnemonics that map 1:1 to an isa.Opcode.
+func realOpcode(mnemonic string) (isa.Opcode, bool) {
+	return isa.OpcodeByName(mnemonic)
+}
+
+// pseudo-instruction registry: name -> fixed word count (li is variable
+// and handled separately).
+var pseudoSize = map[string]uint32{
+	"nop": 1, "mv": 1, "not": 1, "neg": 1,
+	"seqz": 1, "snez": 1, "sltz": 1, "sgtz": 1,
+	"beqz": 1, "bnez": 1, "blez": 1, "bgez": 1, "bltz": 1, "bgtz": 1,
+	"bgt": 1, "ble": 1, "bgtu": 1, "bleu": 1,
+	"j": 1, "jr": 1, "call": 1, "tail": 1, "ret": 1,
+	"la": 2,
+}
+
+// instSize returns the number of bytes an instruction statement will
+// occupy, needed by pass 1 to lay out labels.
+func instSize(line int, mnemonic string, operands []string, equs map[string]int64) (uint32, error) {
+	if _, ok := realOpcode(mnemonic); ok {
+		return 4, nil
+	}
+	if n, ok := pseudoSize[mnemonic]; ok {
+		return 4 * n, nil
+	}
+	if mnemonic == "li" {
+		if len(operands) != 2 {
+			return 0, errf(line, "li wants rd, imm")
+		}
+		v, err := evalWith(line, operands[1], equs)
+		if err != nil {
+			return 0, err
+		}
+		// Normalize to the 32-bit value the expansion will see so the
+		// size estimate always matches expandLI's word count.
+		v32 := int32(uint32(v))
+		if v32 >= -2048 && v32 <= 2047 {
+			return 4, nil
+		}
+		if uint32(v)&0xFFF == 0 {
+			return 4, nil // plain lui
+		}
+		return 8, nil
+	}
+	return 0, errf(line, "unknown mnemonic %q", mnemonic)
+}
+
+func evalWith(line int, s string, equs map[string]int64) (int64, error) {
+	if v, ok := equs[s]; ok {
+		return v, nil
+	}
+	return parseInt(line, s)
+}
+
+// encodeInst lowers one statement to one or more machine words.
+func (a *assembler) encodeInst(it item) ([]uint32, error) {
+	st := it.inst
+	line := it.line
+	ops := st.operands
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(ops) {
+			return 0, errf(line, "%s: missing operand %d", st.mnemonic, i+1)
+		}
+		r, err := isa.RegByName(ops[i])
+		if err != nil {
+			return 0, errf(line, "%s: %v", st.mnemonic, err)
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) {
+			return 0, errf(line, "%s: missing operand %d", st.mnemonic, i+1)
+		}
+		return a.evalInt(line, ops[i])
+	}
+	// target resolves a branch/jump target operand to a PC-relative
+	// byte offset.
+	target := func(i int) (int32, error) {
+		if i >= len(ops) {
+			return 0, errf(line, "%s: missing target operand", st.mnemonic)
+		}
+		s := ops[i]
+		if addr, ok := a.labels[s]; ok {
+			return int32(addr - it.addr), nil
+		}
+		if isIdent(s) && !a.isEqu(s) {
+			return 0, errf(line, "%s: undefined label %q", st.mnemonic, s)
+		}
+		v, err := a.evalInt(line, s)
+		if err != nil {
+			return 0, err
+		}
+		return int32(v), nil
+	}
+	one := func(in isa.Inst) ([]uint32, error) {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []uint32{w}, nil
+	}
+	expect := func(n int) error {
+		if len(ops) != n {
+			return errf(line, "%s: want %d operands, got %d", st.mnemonic, n, len(ops))
+		}
+		return nil
+	}
+
+	if op, ok := realOpcode(st.mnemonic); ok {
+		switch op.Format() {
+		case isa.FormatR:
+			if err := expect(3); err != nil {
+				return nil, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return nil, err
+			}
+			rs2, err := reg(2)
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+
+		case isa.FormatI:
+			switch op {
+			case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU:
+				if err := expect(2); err != nil {
+					return nil, err
+				}
+				rd, err := reg(0)
+				if err != nil {
+					return nil, err
+				}
+				off, base, err := a.memOperand(line, ops[1])
+				if err != nil {
+					return nil, err
+				}
+				return one(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+			case isa.OpJALR:
+				return a.encodeJALR(it)
+			default: // ALU immediates and shifts
+				if err := expect(3); err != nil {
+					return nil, err
+				}
+				rd, err := reg(0)
+				if err != nil {
+					return nil, err
+				}
+				rs1, err := reg(1)
+				if err != nil {
+					return nil, err
+				}
+				v, err := imm(2)
+				if err != nil {
+					return nil, err
+				}
+				return one(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(v)})
+			}
+
+		case isa.FormatS:
+			if err := expect(2); err != nil {
+				return nil, err
+			}
+			rs2, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			off, base, err := a.memOperand(line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Inst{Op: op, Rs1: base, Rs2: rs2, Imm: off})
+
+		case isa.FormatB:
+			if err := expect(3); err != nil {
+				return nil, err
+			}
+			rs1, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			rs2, err := reg(1)
+			if err != nil {
+				return nil, err
+			}
+			off, err := target(2)
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+
+		case isa.FormatU:
+			if err := expect(2); err != nil {
+				return nil, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			v, err := imm(1)
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || v > 0xFFFFF {
+				return nil, errf(line, "%s: upper immediate %d out of 20-bit range", st.mnemonic, v)
+			}
+			return one(isa.Inst{Op: op, Rd: rd, Imm: int32(v << 12)})
+
+		case isa.FormatJ:
+			switch len(ops) {
+			case 1: // jal target (rd=ra implied)
+				off, err := target(0)
+				if err != nil {
+					return nil, err
+				}
+				return one(isa.Inst{Op: op, Rd: isa.RA, Imm: off})
+			case 2:
+				rd, err := reg(0)
+				if err != nil {
+					return nil, err
+				}
+				off, err := target(1)
+				if err != nil {
+					return nil, err
+				}
+				return one(isa.Inst{Op: op, Rd: rd, Imm: off})
+			}
+			return nil, errf(line, "jal wants [rd,] target")
+
+		case isa.FormatSys:
+			if err := expect(0); err != nil {
+				return nil, err
+			}
+			return one(isa.Inst{Op: op})
+		}
+	}
+
+	// Pseudo-instructions.
+	switch st.mnemonic {
+	case "nop":
+		return one(isa.Inst{Op: isa.OpADDI})
+	case "mv":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs})
+	case "not":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})
+	case "neg":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpSUB, Rd: rd, Rs2: rs})
+	case "seqz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1})
+	case "snez":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpSLTU, Rd: rd, Rs2: rs})
+	case "sltz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpSLT, Rd: rd, Rs1: rs})
+	case "sgtz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpSLT, Rd: rd, Rs2: rs})
+
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := target(1)
+		if err != nil {
+			return nil, err
+		}
+		switch st.mnemonic {
+		case "beqz":
+			return one(isa.Inst{Op: isa.OpBEQ, Rs1: rs, Imm: off})
+		case "bnez":
+			return one(isa.Inst{Op: isa.OpBNE, Rs1: rs, Imm: off})
+		case "blez":
+			return one(isa.Inst{Op: isa.OpBGE, Rs2: rs, Imm: off})
+		case "bgez":
+			return one(isa.Inst{Op: isa.OpBGE, Rs1: rs, Imm: off})
+		case "bltz":
+			return one(isa.Inst{Op: isa.OpBLT, Rs1: rs, Imm: off})
+		default: // bgtz
+			return one(isa.Inst{Op: isa.OpBLT, Rs2: rs, Imm: off})
+		}
+
+	case "bgt", "ble", "bgtu", "bleu":
+		rs1, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := target(2)
+		if err != nil {
+			return nil, err
+		}
+		switch st.mnemonic {
+		case "bgt":
+			return one(isa.Inst{Op: isa.OpBLT, Rs1: rs2, Rs2: rs1, Imm: off})
+		case "ble":
+			return one(isa.Inst{Op: isa.OpBGE, Rs1: rs2, Rs2: rs1, Imm: off})
+		case "bgtu":
+			return one(isa.Inst{Op: isa.OpBLTU, Rs1: rs2, Rs2: rs1, Imm: off})
+		default: // bleu
+			return one(isa.Inst{Op: isa.OpBGEU, Rs1: rs2, Rs2: rs1, Imm: off})
+		}
+
+	case "j", "tail":
+		off, err := target(0)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJAL, Rd: isa.Zero, Imm: off})
+	case "call":
+		off, err := target(0)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJAL, Rd: isa.RA, Imm: off})
+	case "jr":
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJALR, Rd: isa.Zero, Rs1: rs})
+	case "ret":
+		if err := expect(0); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA})
+
+	case "li":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		return a.expandLI(line, rd, uint32(v))
+
+	case "la":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		if len(ops) != 2 {
+			return nil, errf(line, "la wants rd, label")
+		}
+		addr, ok := a.labels[ops[1]]
+		if !ok {
+			return nil, errf(line, "la: undefined label %q", ops[1])
+		}
+		return a.expandLA(line, rd, addr)
+	}
+	return nil, errf(line, "unknown mnemonic %q", st.mnemonic)
+}
+
+// expandLI emits the canonical lui+addi (or single-instruction) sequence
+// for a 32-bit constant. The word count must match instSize's estimate.
+func (a *assembler) expandLI(line int, rd isa.Reg, v uint32) ([]uint32, error) {
+	sv := int32(v)
+	if sv >= -2048 && sv <= 2047 {
+		w, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: rd, Imm: sv})
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []uint32{w}, nil
+	}
+	upper := (v + 0x800) & 0xFFFF_F000
+	low := int32(v - upper) // sign-extends correctly into [-2048, 2047]
+	lui, err := isa.Encode(isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: int32(upper)})
+	if err != nil {
+		return nil, errf(line, "%v", err)
+	}
+	if low == 0 {
+		return []uint32{lui}, nil
+	}
+	addi, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: low})
+	if err != nil {
+		return nil, errf(line, "%v", err)
+	}
+	return []uint32{lui, addi}, nil
+}
+
+// expandLA emits a fixed two-word lui+addi for a label address so pass-1
+// sizing never depends on label values (which are not final in pass 1).
+func (a *assembler) expandLA(line int, rd isa.Reg, addr uint32) ([]uint32, error) {
+	upper := (addr + 0x800) & 0xFFFF_F000
+	low := int32(addr - upper)
+	lui, err := isa.Encode(isa.Inst{Op: isa.OpLUI, Rd: rd, Imm: int32(upper)})
+	if err != nil {
+		return nil, errf(line, "%v", err)
+	}
+	addi, err := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: low})
+	if err != nil {
+		return nil, errf(line, "%v", err)
+	}
+	return []uint32{lui, addi}, nil
+}
+
+// encodeJALR handles the accepted jalr spellings:
+//
+//	jalr rs1              (rd=ra, imm=0)
+//	jalr rd, rs1          (imm=0)
+//	jalr rd, imm(rs1)
+//	jalr rd, rs1, imm
+func (a *assembler) encodeJALR(it item) ([]uint32, error) {
+	line, ops := it.line, it.inst.operands
+	var rd, rs1 isa.Reg
+	var off int32
+	var err error
+	switch len(ops) {
+	case 1:
+		rd = isa.RA
+		rs1, err = isa.RegByName(ops[0])
+		if err != nil {
+			return nil, errf(line, "jalr: %v", err)
+		}
+	case 2:
+		rd, err = isa.RegByName(ops[0])
+		if err != nil {
+			return nil, errf(line, "jalr: %v", err)
+		}
+		if strings.Contains(ops[1], "(") {
+			off, rs1, err = a.memOperand(line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			rs1, err = isa.RegByName(ops[1])
+			if err != nil {
+				return nil, errf(line, "jalr: %v", err)
+			}
+		}
+	case 3:
+		rd, err = isa.RegByName(ops[0])
+		if err != nil {
+			return nil, errf(line, "jalr: %v", err)
+		}
+		rs1, err = isa.RegByName(ops[1])
+		if err != nil {
+			return nil, errf(line, "jalr: %v", err)
+		}
+		v, err := a.evalInt(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		off = int32(v)
+	default:
+		return nil, errf(line, "jalr wants 1-3 operands")
+	}
+	w, err := isa.Encode(isa.Inst{Op: isa.OpJALR, Rd: rd, Rs1: rs1, Imm: off})
+	if err != nil {
+		return nil, errf(line, "%v", err)
+	}
+	return []uint32{w}, nil
+}
+
+// memOperand parses "imm(reg)" or "(reg)".
+func (a *assembler) memOperand(line int, s string) (int32, isa.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, errf(line, "bad memory operand %q (want imm(reg))", s)
+	}
+	var off int64
+	if d := strings.TrimSpace(s[:open]); d != "" {
+		var err error
+		off, err = a.evalInt(line, d)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err := isa.RegByName(strings.TrimSpace(s[open+1 : close]))
+	if err != nil {
+		return 0, 0, errf(line, "bad memory operand %q: %v", s, err)
+	}
+	return int32(off), r, nil
+}

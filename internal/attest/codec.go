@@ -1,0 +1,252 @@
+package attest
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lofat/internal/hashengine"
+	"lofat/internal/monitor"
+)
+
+// Wire format: all integers little-endian, length-prefixed slices. The
+// encoding is canonical (a given value has exactly one encoding), which
+// makes the signed payload deterministic.
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("attest: decode: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("bytes")
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.buf[r.off:])
+	r.off += n
+	return v
+}
+
+func writePathCode(w *writer, c monitor.PathCode) {
+	w.u64(c.Bits)
+	w.u8(c.Len)
+	if c.Overflow {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func readPathCode(r *reader) monitor.PathCode {
+	var c monitor.PathCode
+	c.Bits = r.u64()
+	c.Len = r.u8()
+	c.Overflow = r.u8() == 1
+	return c
+}
+
+func writeLoopRecord(w *writer, rec monitor.LoopRecord) {
+	w.u32(rec.Entry)
+	w.u32(rec.Exit)
+	w.u64(rec.Iterations)
+	w.u64(rec.IndirectOverflows)
+	writePathCode(w, rec.Partial)
+	w.u32(uint32(len(rec.Paths)))
+	for _, p := range rec.Paths {
+		writePathCode(w, p.Code)
+		w.u64(p.Count)
+	}
+	w.u32(uint32(len(rec.IndirectTargets)))
+	for _, t := range rec.IndirectTargets {
+		w.u32(t)
+	}
+}
+
+func readLoopRecord(r *reader) monitor.LoopRecord {
+	var rec monitor.LoopRecord
+	rec.Entry = r.u32()
+	rec.Exit = r.u32()
+	rec.Iterations = r.u64()
+	rec.IndirectOverflows = r.u64()
+	rec.Partial = readPathCode(r)
+	nPaths := int(r.u32())
+	if r.err == nil && nPaths > len(r.buf) { // defensive bound
+		r.fail("paths count")
+		return rec
+	}
+	for i := 0; i < nPaths && r.err == nil; i++ {
+		code := readPathCode(r)
+		count := r.u64()
+		rec.Paths = append(rec.Paths, monitor.PathStat{Code: code, Count: count})
+	}
+	nTgts := int(r.u32())
+	if r.err == nil && nTgts > len(r.buf) {
+		r.fail("targets count")
+		return rec
+	}
+	for i := 0; i < nTgts && r.err == nil; i++ {
+		rec.IndirectTargets = append(rec.IndirectTargets, r.u32())
+	}
+	return rec
+}
+
+// SignedPayload is the byte string the prover signs: idS || A || L || N
+// || exit code — the paper's P || N with the program identity bound in.
+func SignedPayload(r *Report) []byte {
+	var w writer
+	w.buf = make([]byte, 0, 256)
+	w.buf = append(w.buf, r.Program[:]...)
+	w.buf = append(w.buf, r.Hash[:]...)
+	w.u32(uint32(len(r.Loops)))
+	for _, rec := range r.Loops {
+		writeLoopRecord(&w, rec)
+	}
+	w.buf = append(w.buf, r.Nonce[:]...)
+	w.u32(r.ExitCode)
+	return w.buf
+}
+
+// EncodeReport serializes a report for transport.
+func EncodeReport(r *Report) []byte {
+	var w writer
+	w.buf = append(w.buf, r.Program[:]...)
+	w.buf = append(w.buf, r.Nonce[:]...)
+	w.buf = append(w.buf, r.Hash[:]...)
+	w.u32(r.ExitCode)
+	w.u32(uint32(len(r.Loops)))
+	for _, rec := range r.Loops {
+		writeLoopRecord(&w, rec)
+	}
+	w.bytes(r.Sig)
+	return w.buf
+}
+
+// DecodeReport parses a transported report.
+func DecodeReport(b []byte) (*Report, error) {
+	r := &reader{buf: b}
+	var rep Report
+	if len(b) < len(rep.Program)+len(rep.Nonce)+hashengine.DigestSize {
+		return nil, fmt.Errorf("attest: report too short (%d bytes)", len(b))
+	}
+	copy(rep.Program[:], b[r.off:])
+	r.off += len(rep.Program)
+	copy(rep.Nonce[:], b[r.off:])
+	r.off += len(rep.Nonce)
+	copy(rep.Hash[:], b[r.off:])
+	r.off += hashengine.DigestSize
+	rep.ExitCode = r.u32()
+	n := int(r.u32())
+	if r.err == nil && n > len(b) {
+		return nil, fmt.Errorf("attest: absurd loop count %d", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		rep.Loops = append(rep.Loops, readLoopRecord(r))
+	}
+	rep.Sig = r.bytes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("attest: %d trailing bytes in report", len(b)-r.off)
+	}
+	return &rep, nil
+}
+
+// EncodeChallenge serializes a challenge.
+func EncodeChallenge(c *Challenge) []byte {
+	var w writer
+	w.buf = append(w.buf, c.Program[:]...)
+	w.buf = append(w.buf, c.Nonce[:]...)
+	w.u32(uint32(len(c.Input)))
+	for _, v := range c.Input {
+		w.u32(v)
+	}
+	return w.buf
+}
+
+// DecodeChallenge parses a challenge.
+func DecodeChallenge(b []byte) (*Challenge, error) {
+	var c Challenge
+	r := &reader{buf: b}
+	if len(b) < len(c.Program)+len(c.Nonce)+4 {
+		return nil, fmt.Errorf("attest: challenge too short (%d bytes)", len(b))
+	}
+	copy(c.Program[:], b[r.off:])
+	r.off += len(c.Program)
+	copy(c.Nonce[:], b[r.off:])
+	r.off += len(c.Nonce)
+	n := int(r.u32())
+	if r.err == nil && n > len(b) {
+		return nil, fmt.Errorf("attest: absurd input count %d", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		c.Input = append(c.Input, r.u32())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("attest: %d trailing bytes in challenge", len(b)-r.off)
+	}
+	return &c, nil
+}
+
+// MetadataSize reports the encoded size of L in bytes — the quantity §6.1
+// says "depends on the number of loops executed, the number of different
+// paths per loop, and the number of indirect branch targets".
+func MetadataSize(loops []monitor.LoopRecord) int {
+	var w writer
+	for _, rec := range loops {
+		writeLoopRecord(&w, rec)
+	}
+	return len(w.buf)
+}

@@ -1,0 +1,121 @@
+package attest
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sort"
+
+	"lofat/internal/sig"
+)
+
+func verifySig(pub ed25519.PublicKey, rep *Report) error {
+	return sig.Verify(pub, SignedPayload(rep), rep.Sig)
+}
+
+// MeasurementDB is the verifier's precomputed database of valid
+// measurements, the deployment mode C-FLAT describes and §3 implies:
+// "V checks whether the reported path P resembles a valid path in
+// CFG(S) under input i". For devices whose input space is small and
+// enumerable (command sets, sensor ranges), the verifier computes every
+// expected (A, L) offline and later verifies reports without running
+// simulations online — the cheap path for constrained verifiers.
+type MeasurementDB struct {
+	byInput map[string]dbEntry
+}
+
+type dbEntry struct {
+	input []uint32
+	hash  [64]byte
+	lsize int
+	lsig  string // canonical serialization of L for exact comparison
+}
+
+// Precompute golden-runs every input and stores the expected
+// measurements. It reuses the verifier's simulator and device
+// configuration, so the database is consistent with online golden runs.
+func (v *Verifier) Precompute(inputs [][]uint32) (*MeasurementDB, error) {
+	db := &MeasurementDB{byInput: make(map[string]dbEntry, len(inputs))}
+	for _, in := range inputs {
+		meas, err := v.expected(in)
+		if err != nil {
+			return nil, fmt.Errorf("attest: precompute %v: %w", in, err)
+		}
+		rep := Report{Hash: meas.Hash, Loops: meas.Loops}
+		db.byInput[inputKey(in)] = dbEntry{
+			input: append([]uint32(nil), in...),
+			hash:  meas.Hash,
+			lsize: MetadataSize(meas.Loops),
+			lsig:  string(SignedPayload(&rep)),
+		}
+	}
+	return db, nil
+}
+
+// Size reports the number of precomputed inputs.
+func (db *MeasurementDB) Size() int { return len(db.byInput) }
+
+// Inputs lists the precomputed inputs (sorted for determinism).
+func (db *MeasurementDB) Inputs() [][]uint32 {
+	keys := make([]string, 0, len(db.byInput))
+	for k := range db.byInput {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]uint32, len(keys))
+	for i, k := range keys {
+		out[i] = db.byInput[k].input
+	}
+	return out
+}
+
+// Lookup reports whether a report's measurement matches the precomputed
+// expectation for the input. It performs NO simulation: only database
+// comparison. Signature and freshness must already be checked by the
+// caller (Verifier.VerifyWithDB does both).
+func (db *MeasurementDB) Lookup(input []uint32, rep *Report) (bool, error) {
+	e, ok := db.byInput[inputKey(input)]
+	if !ok {
+		return false, fmt.Errorf("attest: input %v not in measurement database", input)
+	}
+	if rep.Hash != e.hash {
+		return false, nil
+	}
+	cmp := Report{Hash: rep.Hash, Loops: rep.Loops}
+	return string(SignedPayload(&cmp)) == e.lsig, nil
+}
+
+// VerifyWithDB is the offline verification path: protocol checks and
+// signature as usual, then a pure database lookup instead of a golden
+// run. Mismatches are still classified with the online machinery (which
+// may simulate) so the diagnosis quality is unchanged.
+func (v *Verifier) VerifyWithDB(db *MeasurementDB, ch Challenge, rep *Report) Result {
+	res := Result{Got: rep}
+	if rep.Program != v.id {
+		return reject(res, ClassProtocol, "program ID mismatch")
+	}
+	if rep.Nonce != ch.Nonce {
+		return reject(res, ClassProtocol, "nonce mismatch (replay?)")
+	}
+	if !v.consumeNonce(ch.Nonce) {
+		return reject(res, ClassProtocol, "nonce was never issued")
+	}
+	if err := verifySig(v.pub, rep); err != nil {
+		return reject(res, ClassSignature, err.Error())
+	}
+	ok, err := db.Lookup(ch.Input, rep)
+	if err != nil {
+		return reject(res, ClassProtocol, err.Error())
+	}
+	if ok {
+		res.Accepted = true
+		res.Class = ClassAccepted
+		return res
+	}
+	// Fall back to the full classifier for the diagnosis.
+	exp, err := v.expected(ch.Input)
+	if err != nil {
+		return reject(res, ClassProtocol, err.Error())
+	}
+	res.Expected = exp
+	return v.classify(res, exp, rep)
+}

@@ -1,0 +1,117 @@
+package attest_test
+
+import (
+	"crypto/rand"
+	"testing"
+
+	. "lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+func pumpInputs() [][]uint32 {
+	return [][]uint32{
+		{0xC0FFEE, 1, 4},
+		{0xC0FFEE, 2, 5, 3},
+		{0xC0FFEE, 3, 1, 2, 3},
+		{0xBAD, 1, 4},
+	}
+}
+
+func TestPrecomputeAndVerify(t *testing.T) {
+	p, v := rig(t, workloads.SyringePump())
+	db, err := v.Precompute(pumpInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != len(pumpInputs()) {
+		t.Fatalf("db size = %d", db.Size())
+	}
+	if got := len(db.Inputs()); got != len(pumpInputs()) {
+		t.Fatalf("Inputs() = %d entries", got)
+	}
+
+	for _, in := range pumpInputs() {
+		ch, err := v.NewChallenge(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Attest(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := v.VerifyWithDB(db, ch, rep)
+		if !res.Accepted {
+			t.Errorf("input %v: DB verification rejected honest run: %v %v",
+				in, res, res.Findings)
+		}
+	}
+}
+
+func TestDBUnknownInput(t *testing.T) {
+	p, v := rig(t, workloads.SyringePump())
+	db, err := v.Precompute(pumpInputs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := v.NewChallenge([]uint32{0xC0FFEE, 2, 9, 9})
+	rep, err := p.Attest(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.VerifyWithDB(db, ch, rep)
+	if res.Accepted || res.Class != ClassProtocol {
+		t.Errorf("unknown input verdict = %v, want protocol rejection", res)
+	}
+}
+
+func TestDBDetectsAttacks(t *testing.T) {
+	atk, _ := workloads.AttackByName("loop-counter")
+	prog, err := atk.Workload.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := sig.GenerateKeyStore(rand.Reader)
+	p := NewProver(prog, core.Config{}, keys)
+	v, err := NewVerifier(prog, core.Config{}, keys.Public(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := v.Precompute([][]uint32{atk.Workload.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.Adversary = atk.Build(prog)
+	ch, _ := v.NewChallenge(atk.Workload.Input)
+	rep, err := p.Attest(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := v.VerifyWithDB(db, ch, rep)
+	if res.Accepted {
+		t.Fatal("DB verification accepted the attack")
+	}
+	if res.Class != ClassLoopCounter {
+		t.Errorf("classified %v, want loop-counter (fallback classifier)", res.Class)
+	}
+}
+
+func TestDBRejectsBadSignature(t *testing.T) {
+	p, v := rig(t, workloads.SyringePump())
+	db, err := v.Precompute(pumpInputs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := v.NewChallenge(pumpInputs()[0])
+	rep, err := p.Attest(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Sig[0] ^= 1
+	res := v.VerifyWithDB(db, ch, rep)
+	if res.Accepted || res.Class != ClassSignature {
+		t.Errorf("verdict = %v, want bad-signature", res)
+	}
+}

@@ -1,0 +1,79 @@
+package attest_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	. "lofat/internal/attest"
+	"lofat/internal/workloads"
+)
+
+// Decoders must never panic on arbitrary bytes (they face the network).
+func TestDecodeReportNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeReport panicked on %d bytes: %v", len(b), r)
+			}
+		}()
+		_, _ = DecodeReport(b)
+		_, _ = DecodeChallenge(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bit-flipping a valid encoded report must never produce an ACCEPTED
+// verification (decode error, signature failure, or mismatch — anything
+// but acceptance).
+func TestBitflippedReportsNeverAccepted(t *testing.T) {
+	p, v := rig(t, workloads.SyringePump())
+	in := workloads.SyringePump().Input
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 150; trial++ {
+		ch, err := v.NewChallenge(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Attest(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := EncodeReport(rep)
+		// Flip 1-3 random bits.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			i := rng.Intn(len(enc))
+			enc[i] ^= 1 << uint(rng.Intn(8))
+		}
+		dec, err := DecodeReport(enc)
+		if err != nil {
+			continue // malformed: rejected at the parser, fine
+		}
+		res := v.Verify(ch, dec)
+		if res.Accepted {
+			// Only acceptable if the flips cancelled out to the
+			// original bytes — with >=1 flip they cannot.
+			t.Fatalf("trial %d: bit-flipped report ACCEPTED", trial)
+		}
+	}
+}
+
+// Truncations of a valid report must be rejected cleanly.
+func TestTruncatedReportsRejected(t *testing.T) {
+	p, v := rig(t, workloads.SyringePump())
+	ch, _ := v.NewChallenge(workloads.SyringePump().Input)
+	rep, err := p.Attest(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeReport(rep)
+	for n := 0; n < len(enc); n += 7 {
+		if _, err := DecodeReport(enc[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+}

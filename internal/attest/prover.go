@@ -1,0 +1,99 @@
+package attest
+
+import (
+	"fmt"
+
+	"lofat/internal/asm"
+	"lofat/internal/core"
+	"lofat/internal/cpu"
+	"lofat/internal/sig"
+)
+
+// Adversary is an optional attack hook run before every instruction. It
+// models the paper's software adversary with "full control over the data
+// memory": implementations corrupt rw memory through Machine.Mem.Poke
+// (code and LO-FAT state are out of its reach by construction). A
+// non-nil error aborts the run.
+type Adversary func(m *cpu.Machine) error
+
+// Prover is the embedded device: program, LO-FAT hardware configuration,
+// and the hardware-held signing key.
+type Prover struct {
+	prog   *asm.Program
+	id     ProgramID
+	devCfg core.Config
+	keys   *sig.KeyStore
+
+	// MaxInstructions bounds a single attested execution.
+	MaxInstructions uint64
+	// Adversary, when set, simulates run-time attacks during execution.
+	Adversary Adversary
+}
+
+// NewProver builds a prover for an assembled program.
+func NewProver(prog *asm.Program, devCfg core.Config, keys *sig.KeyStore) *Prover {
+	return &Prover{
+		prog:            prog,
+		id:              ComputeProgramID(prog.Text),
+		devCfg:          devCfg,
+		keys:            keys,
+		MaxInstructions: 50_000_000,
+	}
+}
+
+// ProgramID returns the identity of the installed binary.
+func (p *Prover) ProgramID() ProgramID { return p.id }
+
+// Attest executes the challenge: runs S(i) under LO-FAT observation and
+// returns the signed report. The adversary hook, if any, runs alongside,
+// exactly like the untrusted inputs I of the system model.
+func (p *Prover) Attest(ch Challenge) (*Report, error) {
+	if ch.Program != p.id {
+		return nil, fmt.Errorf("attest: challenge for program %v, running %v", ch.Program, p.id)
+	}
+	meas, exitCode, err := runMeasured(p.prog, p.devCfg, ch.Input, p.Adversary, p.MaxInstructions)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Program:  p.id,
+		Nonce:    ch.Nonce,
+		Hash:     meas.Hash,
+		Loops:    meas.Loops,
+		ExitCode: exitCode,
+	}
+	rep.Sig = p.keys.Sign(SignedPayload(rep))
+	return rep, nil
+}
+
+// Measure runs the program without an adversary and returns the raw
+// measurement; used by provers for self-test and by the verifier for
+// golden-run expectations.
+func Measure(prog *asm.Program, devCfg core.Config, input []uint32, maxInstructions uint64) (core.Measurement, uint32, error) {
+	return runMeasured(prog, devCfg, input, nil, maxInstructions)
+}
+
+func runMeasured(prog *asm.Program, devCfg core.Config, input []uint32, adv Adversary, budget uint64) (core.Measurement, uint32, error) {
+	mach, err := cpu.Load(prog, cpu.LoadOptions{})
+	if err != nil {
+		return core.Measurement{}, 0, err
+	}
+	dev := core.NewDevice(devCfg)
+	mach.CPU.Trace = dev
+	mach.CPU.Input = input
+
+	for !mach.CPU.Halted {
+		if mach.CPU.Retired >= budget {
+			return core.Measurement{}, 0, fmt.Errorf("attest: instruction budget exhausted at pc=%#08x", mach.CPU.PC)
+		}
+		if adv != nil {
+			if err := adv(mach); err != nil {
+				return core.Measurement{}, 0, fmt.Errorf("attest: adversary: %w", err)
+			}
+		}
+		if err := mach.CPU.Step(); err != nil {
+			return core.Measurement{}, 0, err
+		}
+	}
+	return dev.Finalize(), mach.CPU.ExitCode, nil
+}

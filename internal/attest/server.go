@@ -1,0 +1,151 @@
+package attest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Registry hosts multiple attestable programs on one prover device —
+// an embedded system running several attested tasks, each bound to its
+// installed binary by program ID. Challenges are routed by the ID in
+// the challenge message.
+type Registry struct {
+	mu      sync.RWMutex
+	provers map[ProgramID]*Prover
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{provers: make(map[ProgramID]*Prover)}
+}
+
+// Register adds a prover; re-registering the same program replaces it.
+func (r *Registry) Register(p *Prover) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.provers[p.ProgramID()] = p
+}
+
+// Lookup returns the prover for a program ID.
+func (r *Registry) Lookup(id ProgramID) (*Prover, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.provers[id]
+	return p, ok
+}
+
+// Len reports the number of registered programs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.provers)
+}
+
+// ServeConn handles challenge frames on one connection until EOF,
+// routing each to the prover registered for its program ID. Unknown
+// programs get an error frame; the connection stays usable.
+func (r *Registry) ServeConn(conn io.ReadWriter) error {
+	for {
+		typ, payload, err := readFrame(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if typ != msgChallenge {
+			return fmt.Errorf("attest: registry expected challenge, got type %d", typ)
+		}
+		ch, err := DecodeChallenge(payload)
+		if err != nil {
+			return err
+		}
+		p, ok := r.Lookup(ch.Program)
+		if !ok {
+			if err := writeFrame(conn, msgError, []byte("unknown program")); err != nil {
+				return err
+			}
+			continue
+		}
+		rep, err := p.Attest(*ch)
+		if err != nil {
+			if err := writeFrame(conn, msgError, []byte("attestation failed")); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writeFrame(conn, msgReport, EncodeReport(rep)); err != nil {
+			return err
+		}
+	}
+}
+
+// Server is a persistent TCP attestation service over a Registry.
+type Server struct {
+	Registry *Registry
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a registry in a TCP server (not yet listening).
+func NewServer(reg *Registry) *Server {
+	return &Server{Registry: reg}
+}
+
+// Listen binds the address and starts accepting connections in the
+// background, one goroutine per connection. It returns the bound
+// address (useful with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("attest: server: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				_ = s.Registry.ServeConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops accepting and waits for in-flight exchanges.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.listener
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// RequestFrom drives one challenge-response exchange for input against
+// an already-open connection to a registry server (connections are
+// reusable across rounds).
+func RequestFrom(conn io.ReadWriter, v *Verifier, input []uint32) (Result, error) {
+	return RequestAttestation(conn, v, input)
+}

@@ -1,0 +1,148 @@
+package attest_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	. "lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+// multiRig registers several workloads on one device registry and
+// returns per-workload verifiers sharing the device key.
+func multiRig(t *testing.T, names ...string) (*Registry, map[string]*Verifier, map[string]workloads.Workload) {
+	t.Helper()
+	keys, err := sig.GenerateKeyStore(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	verifiers := make(map[string]*Verifier)
+	ws := make(map[string]workloads.Workload)
+	for _, name := range names {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %s", name)
+		}
+		prog, err := w.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Register(NewProver(prog, core.Config{}, keys))
+		v, err := NewVerifier(prog, core.Config{}, keys.Public(), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifiers[name] = v
+		ws[name] = w
+	}
+	return reg, verifiers, ws
+}
+
+func TestRegistryRouting(t *testing.T) {
+	reg, verifiers, ws := multiRig(t, "syringe-pump", "dispatch", "crc32")
+	if reg.Len() != 3 {
+		t.Fatalf("registry len = %d", reg.Len())
+	}
+
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// One persistent connection, multiple programs over it.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	for _, name := range []string{"dispatch", "syringe-pump", "crc32", "dispatch"} {
+		res, err := RequestFrom(conn, verifiers[name], ws[name].Input)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Accepted {
+			t.Errorf("%s rejected: %v %v", name, res, res.Findings)
+		}
+	}
+}
+
+func TestRegistryUnknownProgram(t *testing.T) {
+	reg, _, _ := multiRig(t, "syringe-pump")
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A verifier for a program the device does not run.
+	w := workloads.BubbleSort()
+	prog, _ := w.Assemble()
+	keys, _ := sig.GenerateKeyStore(rand.Reader)
+	v, err := NewVerifier(prog, core.Config{}, keys.Public(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := RequestFrom(conn, v, w.Input); err == nil {
+		t.Error("unknown program request succeeded")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	reg, verifiers, ws := multiRig(t, "syringe-pump", "dispatch")
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Verifiers are safe for concurrent use, so goroutines may share
+	// the per-program verifier.
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		name := "syringe-pump"
+		if i%2 == 1 {
+			name = "dispatch"
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			res, err := RequestFrom(conn, verifiers[name], ws[name].Input)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Accepted {
+				errs <- fmt.Errorf("%s rejected: %v", name, res)
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

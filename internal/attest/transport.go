@@ -1,0 +1,101 @@
+package attest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types on the wire.
+const (
+	msgChallenge byte = 1
+	msgReport    byte = 2
+	msgError     byte = 3
+)
+
+// maxMessageSize bounds a frame to keep a malicious peer from forcing
+// unbounded allocation.
+const maxMessageSize = 16 << 20
+
+// writeFrame sends a type-tagged, length-prefixed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, 5)
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("attest: write frame: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("attest: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame receives one frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, fmt.Errorf("attest: read frame: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxMessageSize {
+		return 0, nil, fmt.Errorf("attest: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("attest: read frame: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+// ServeProver handles one attestation exchange on conn: receive a
+// challenge, attest, reply with the report (or an error frame). It
+// returns after one exchange; callers loop for persistent service.
+func ServeProver(conn io.ReadWriter, p *Prover) error {
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != msgChallenge {
+		return fmt.Errorf("attest: prover expected challenge, got type %d", typ)
+	}
+	ch, err := DecodeChallenge(payload)
+	if err != nil {
+		return err
+	}
+	rep, err := p.Attest(*ch)
+	if err != nil {
+		// Report the failure without leaking internals.
+		_ = writeFrame(conn, msgError, []byte("attestation failed"))
+		return err
+	}
+	return writeFrame(conn, msgReport, EncodeReport(rep))
+}
+
+// RequestAttestation drives one exchange from the verifier side: send a
+// fresh challenge for input, receive the report, and verify it.
+func RequestAttestation(conn io.ReadWriter, v *Verifier, input []uint32) (Result, error) {
+	ch, err := v.NewChallenge(input)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := writeFrame(conn, msgChallenge, EncodeChallenge(&ch)); err != nil {
+		return Result{}, err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return Result{}, err
+	}
+	switch typ {
+	case msgReport:
+		rep, err := DecodeReport(payload)
+		if err != nil {
+			return Result{}, err
+		}
+		return v.Verify(ch, rep), nil
+	case msgError:
+		return Result{}, fmt.Errorf("attest: prover error: %s", payload)
+	default:
+		return Result{}, fmt.Errorf("attest: unexpected message type %d", typ)
+	}
+}

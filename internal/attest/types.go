@@ -1,0 +1,117 @@
+// Package attest implements the LO-FAT remote attestation protocol of
+// Figure 2: the verifier V sends (idS, i, N); the prover P executes S
+// with input i under LO-FAT observation, obtains the path measurement
+// P = (A, L), and returns R = sign(P || N; sk). V checks the signature,
+// freshness, and whether the reported path is valid for S under i.
+package attest
+
+import (
+	"fmt"
+
+	"lofat/internal/core"
+	"lofat/internal/hashengine"
+	"lofat/internal/monitor"
+)
+
+// ProgramID identifies the attested binary: a truncated SHA3-512 of the
+// text image. Binding the report to the ID models the paper's
+// prerequisite that "conventional static (binary) attestation assures P
+// is executing the correct and unmodified program S".
+type ProgramID [32]byte
+
+// ComputeProgramID hashes a text image into its identity.
+func ComputeProgramID(text []byte) ProgramID {
+	var id ProgramID
+	sum := hashengine.Sum512(text)
+	copy(id[:], sum[:32])
+	return id
+}
+
+// String renders the ID in short hex form.
+func (id ProgramID) String() string { return fmt.Sprintf("%x", id[:8]) }
+
+// NonceSize is the challenge nonce length in bytes.
+const NonceSize = 32
+
+// Nonce is the verifier's freshness challenge.
+type Nonce [NonceSize]byte
+
+// Challenge is V's attestation request: program identity, program input
+// i, and the nonce N.
+type Challenge struct {
+	Program ProgramID
+	Nonce   Nonce
+	Input   []uint32
+}
+
+// Report is P's attestation response: the measurement (A, L), the
+// execution outcome, and the signature R over everything plus N.
+type Report struct {
+	Program  ProgramID
+	Nonce    Nonce
+	Hash     [hashengine.DigestSize]byte // A
+	Loops    []monitor.LoopRecord        // L
+	ExitCode uint32
+	Sig      []byte // R
+}
+
+// Classification labels the verifier's diagnosis, mapped to the paper's
+// attack classes of Figure 1.
+type Classification uint8
+
+// Verification outcomes.
+const (
+	// ClassAccepted: measurement matches the expected execution.
+	ClassAccepted Classification = iota
+	// ClassProtocol: stale nonce, wrong program, malformed report.
+	ClassProtocol
+	// ClassSignature: signature verification failed (forgery/tamper).
+	ClassSignature
+	// ClassLoopCounter: hash and path structure match but iteration
+	// counts differ — attack class 2 (loop counter corruption).
+	ClassLoopCounter
+	// ClassControlFlow: the reported path violates the CFG — attack
+	// class 3 (code pointer overwrite, e.g. ROP).
+	ClassControlFlow
+	// ClassNonControlData: the path is CFG-consistent but not the
+	// expected path for input i — attack class 1 (non-control data).
+	ClassNonControlData
+)
+
+// String names the classification.
+func (c Classification) String() string {
+	switch c {
+	case ClassAccepted:
+		return "accepted"
+	case ClassProtocol:
+		return "protocol-violation"
+	case ClassSignature:
+		return "bad-signature"
+	case ClassLoopCounter:
+		return "loop-counter-attack"
+	case ClassControlFlow:
+		return "control-flow-attack"
+	case ClassNonControlData:
+		return "non-control-data-attack"
+	}
+	return "unknown"
+}
+
+// Result is the verifier's decision.
+type Result struct {
+	Accepted bool
+	Class    Classification
+	// Findings are human-readable diagnostics supporting the decision.
+	Findings []string
+	// Expected and Got expose the compared measurements for reporting.
+	Expected *core.Measurement
+	Got      *Report
+}
+
+func (r Result) String() string {
+	verdict := "REJECTED"
+	if r.Accepted {
+		verdict = "ACCEPTED"
+	}
+	return fmt.Sprintf("%s (%s)", verdict, r.Class)
+}

@@ -1,0 +1,273 @@
+package attest
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"lofat/internal/asm"
+	"lofat/internal/cfg"
+	"lofat/internal/core"
+	"lofat/internal/monitor"
+	"lofat/internal/sig"
+)
+
+// Verifier is V of Figure 2: it holds the program binary, its offline
+// CFG analysis, the prover's public key, and an entropy source for
+// nonces. Expected measurements are produced by golden-running S(i) on
+// the verifier's own simulator and are cached per input.
+type Verifier struct {
+	prog   *asm.Program
+	id     ProgramID
+	graph  *cfg.Graph
+	pub    ed25519.PublicKey
+	devCfg core.Config
+	rand   io.Reader
+
+	// MaxInstructions bounds golden runs.
+	MaxInstructions uint64
+
+	// mu guards expectations and issued: one verifier may serve many
+	// concurrent attestation sessions.
+	mu           sync.Mutex
+	expectations map[string]*core.Measurement
+	issued       map[Nonce]bool
+}
+
+// NewVerifier performs the one-time offline pre-processing step:
+// disassembly and CFG construction.
+func NewVerifier(prog *asm.Program, devCfg core.Config, pub ed25519.PublicKey, rand io.Reader) (*Verifier, error) {
+	words := make([]uint32, 0, len(prog.Data)/4)
+	for i := 0; i+4 <= len(prog.Data); i += 4 {
+		words = append(words, binary.LittleEndian.Uint32(prog.Data[i:]))
+	}
+	g, err := cfg.Build(prog.Text, prog.TextBase, words)
+	if err != nil {
+		return nil, fmt.Errorf("attest: verifier CFG: %w", err)
+	}
+	return &Verifier{
+		prog:            prog,
+		id:              ComputeProgramID(prog.Text),
+		graph:           g,
+		pub:             pub,
+		devCfg:          devCfg,
+		rand:            rand,
+		MaxInstructions: 50_000_000,
+		expectations:    make(map[string]*core.Measurement),
+		issued:          make(map[Nonce]bool),
+	}, nil
+}
+
+// Graph exposes the verifier's CFG (for tooling and reporting).
+func (v *Verifier) Graph() *cfg.Graph { return v.graph }
+
+// ProgramID returns the identity V expects the prover to run.
+func (v *Verifier) ProgramID() ProgramID { return v.id }
+
+// NewChallenge draws a fresh nonce and builds the attestation request
+// for input i.
+func (v *Verifier) NewChallenge(input []uint32) (Challenge, error) {
+	var n Nonce
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, err := io.ReadFull(v.rand, n[:]); err != nil {
+		return Challenge{}, fmt.Errorf("attest: nonce: %w", err)
+	}
+	v.issued[n] = true
+	return Challenge{Program: v.id, Nonce: n, Input: append([]uint32(nil), input...)}, nil
+}
+
+// expected returns (computing and caching on first use) the golden
+// measurement for an input.
+func (v *Verifier) expected(input []uint32) (*core.Measurement, error) {
+	key := inputKey(input)
+	v.mu.Lock()
+	if m, ok := v.expectations[key]; ok {
+		v.mu.Unlock()
+		return m, nil
+	}
+	v.mu.Unlock()
+	// Simulate outside the lock: golden runs are the expensive part.
+	meas, _, err := Measure(v.prog, v.devCfg, input, v.MaxInstructions)
+	if err != nil {
+		return nil, fmt.Errorf("attest: golden run: %w", err)
+	}
+	v.mu.Lock()
+	v.expectations[key] = &meas
+	v.mu.Unlock()
+	return &meas, nil
+}
+
+func inputKey(input []uint32) string {
+	b := make([]byte, 4*len(input))
+	for i, w := range input {
+		binary.LittleEndian.PutUint32(b[4*i:], w)
+	}
+	return string(b)
+}
+
+// Verify runs the full decision procedure on a report for a previously
+// issued challenge.
+func (v *Verifier) Verify(ch Challenge, rep *Report) Result {
+	res := Result{Got: rep}
+
+	// Protocol checks: right program, fresh nonce, nonce echo.
+	if rep.Program != v.id {
+		return reject(res, ClassProtocol, fmt.Sprintf("program ID %v, expected %v", rep.Program, v.id))
+	}
+	if rep.Nonce != ch.Nonce {
+		return reject(res, ClassProtocol, "nonce mismatch (replay?)")
+	}
+	if !v.consumeNonce(ch.Nonce) {
+		return reject(res, ClassProtocol, "nonce was never issued")
+	}
+
+	// Authenticity.
+	if err := sig.Verify(v.pub, SignedPayload(rep), rep.Sig); err != nil {
+		return reject(res, ClassSignature, err.Error())
+	}
+
+	// Golden-run comparison: V knows S and i, so the expected path is
+	// fully determined.
+	exp, err := v.expected(ch.Input)
+	if err != nil {
+		return reject(res, ClassProtocol, err.Error())
+	}
+	res.Expected = exp
+	if rep.Hash == exp.Hash && loopsEqual(rep.Loops, exp.Loops) {
+		res.Accepted = true
+		res.Class = ClassAccepted
+		return res
+	}
+
+	// Mismatch: diagnose which attack class fits.
+	return v.classify(res, exp, rep)
+}
+
+// consumeNonce atomically checks and retires a nonce (single use).
+func (v *Verifier) consumeNonce(n Nonce) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.issued[n] {
+		return false
+	}
+	delete(v.issued, n)
+	return true
+}
+
+func reject(res Result, class Classification, finding string) Result {
+	res.Accepted = false
+	res.Class = class
+	res.Findings = append(res.Findings, finding)
+	return res
+}
+
+// classify maps a measurement mismatch to the paper's attack classes.
+func (v *Verifier) classify(res Result, exp *core.Measurement, rep *Report) Result {
+	res.Accepted = false
+
+	// Class 2 (loop counter corruption): identical hash — the same set
+	// of unique paths executed — and identical path structure, but the
+	// counters differ. This is exactly the attack that A alone cannot
+	// see and L exists to catch.
+	if rep.Hash == exp.Hash && loopsStructurallyEqual(rep.Loops, exp.Loops) {
+		res.Class = ClassLoopCounter
+		for i := range rep.Loops {
+			for j := range rep.Loops[i].Paths {
+				got := rep.Loops[i].Paths[j].Count
+				want := exp.Loops[i].Paths[j].Count
+				if got != want {
+					res.Findings = append(res.Findings, fmt.Sprintf(
+						"loop %#x path %s: %d iterations, expected %d",
+						rep.Loops[i].Entry, rep.Loops[i].Paths[j].Code, got, want))
+				}
+			}
+		}
+		return res
+	}
+
+	// CFG validation of the metadata: any statically impossible path is
+	// hard evidence of a control-flow attack (class 3).
+	violations := 0
+	for _, rec := range rep.Loops {
+		for _, wr := range v.graph.ValidateRecord(rec, v.devCfg.Monitor.IndirectBits) {
+			if wr.Verdict == cfg.PathInvalid {
+				violations++
+				res.Findings = append(res.Findings, "CFG violation: "+wr.Reason)
+			}
+		}
+	}
+	if violations > 0 {
+		res.Class = ClassControlFlow
+		return res
+	}
+
+	// Everything reported is CFG-consistent but differs from the
+	// expected execution under input i: a permissible-but-unintended
+	// path (class 1, non-control data) — or a code-pointer attack whose
+	// effects hide outside loop metadata; the hash mismatch flags it
+	// either way.
+	res.Class = ClassNonControlData
+	if rep.Hash != exp.Hash {
+		res.Findings = append(res.Findings, "measurement hash A differs from expected execution")
+	}
+	if !loopsEqual(rep.Loops, exp.Loops) {
+		res.Findings = append(res.Findings, "loop metadata L differs from expected execution")
+	}
+	return res
+}
+
+// loopsEqual compares metadata exactly.
+func loopsEqual(a, b []monitor.LoopRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !loopEqual(a[i], b[i], true) {
+			return false
+		}
+	}
+	return true
+}
+
+// loopsStructurallyEqual ignores counts: same loops, same path IDs in
+// the same first-occurrence order, same indirect targets.
+func loopsStructurallyEqual(a, b []monitor.LoopRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !loopEqual(a[i], b[i], false) {
+			return false
+		}
+	}
+	return true
+}
+
+func loopEqual(x, y monitor.LoopRecord, counts bool) bool {
+	if x.Entry != y.Entry || x.Exit != y.Exit || x.Partial != y.Partial {
+		return false
+	}
+	if counts && (x.Iterations != y.Iterations || x.IndirectOverflows != y.IndirectOverflows) {
+		return false
+	}
+	if len(x.Paths) != len(y.Paths) || len(x.IndirectTargets) != len(y.IndirectTargets) {
+		return false
+	}
+	for i := range x.Paths {
+		if x.Paths[i].Code != y.Paths[i].Code {
+			return false
+		}
+		if counts && x.Paths[i].Count != y.Paths[i].Count {
+			return false
+		}
+	}
+	for i := range x.IndirectTargets {
+		if x.IndirectTargets[i] != y.IndirectTargets[i] {
+			return false
+		}
+	}
+	return true
+}

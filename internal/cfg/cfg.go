@@ -1,0 +1,282 @@
+// Package cfg is the verifier's offline static analysis (§3): it
+// disassembles the attested binary, builds its control-flow graph,
+// enumerates the loops the LO-FAT hardware heuristic will detect, and
+// validates reported loop path encodings against the CFG. "V performs a
+// one-time offline pre-processing step to generate the CFG of S
+// (including expected loop execution information)".
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"lofat/internal/isa"
+)
+
+// Instruction is a disassembled instruction with its address.
+type Instruction struct {
+	Addr uint32
+	Inst isa.Inst
+}
+
+// Disassemble decodes the full text image. Every word must decode: the
+// attested binary contains no data islands in our toolchain.
+func Disassemble(text []byte, base uint32) ([]Instruction, error) {
+	if len(text)%4 != 0 {
+		return nil, fmt.Errorf("cfg: text size %d not word aligned", len(text))
+	}
+	out := make([]Instruction, 0, len(text)/4)
+	for i := 0; i+4 <= len(text); i += 4 {
+		w := uint32(text[i]) | uint32(text[i+1])<<8 | uint32(text[i+2])<<16 | uint32(text[i+3])<<24
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("cfg: at %#x: %w", base+uint32(i), err)
+		}
+		out = append(out, Instruction{Addr: base + uint32(i), Inst: in})
+	}
+	return out, nil
+}
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+type Block struct {
+	// Start and End delimit [Start, End) in bytes.
+	Start, End uint32
+	// Instrs are the block's instructions.
+	Instrs []Instruction
+	// Succs are the statically-known successor block start addresses
+	// (taken target and/or fall-through). Indirect terminators have
+	// none here; they are validated via function entries/return sites.
+	Succs []uint32
+}
+
+// Term returns the block's final instruction.
+func (b *Block) Term() Instruction { return b.Instrs[len(b.Instrs)-1] }
+
+// Loop is a loop as the §5.1 hardware heuristic sees it: the target of a
+// taken non-linking direct backward branch (entry) and the address just
+// past that branch (exit).
+type Loop struct {
+	Entry  uint32
+	Exit   uint32 // first address past the back-edge branch
+	Branch uint32 // address of the back-edge branch instruction
+}
+
+// Contains reports whether addr is within the loop body [Entry, Exit).
+func (l Loop) Contains(addr uint32) bool { return addr >= l.Entry && addr < l.Exit }
+
+// Graph is the control-flow graph plus the indirect-transfer oracles the
+// verifier uses to validate edges.
+type Graph struct {
+	Base   uint32
+	Limit  uint32 // one past the last instruction
+	Instrs []Instruction
+
+	index    map[uint32]int // addr -> Instrs position
+	blocks   []*Block
+	blockAt  map[uint32]*Block // start addr -> block
+	leaderOf map[uint32]uint32 // instruction addr -> containing block start
+
+	// FuncEntries are plausible indirect-call targets: linking-jal
+	// targets plus text addresses that appear literally in the data
+	// image (address-taken functions, jump tables).
+	FuncEntries map[uint32]bool
+	// ReturnSites are plausible return targets: the instruction after
+	// every linking call.
+	ReturnSites map[uint32]bool
+
+	loops []Loop
+}
+
+// Build constructs the graph from a text image. dataWords are the
+// 32-bit-aligned words of the data image, scanned for address-taken
+// functions (jump tables, function-pointer initialisers).
+func Build(text []byte, base uint32, dataWords []uint32) (*Graph, error) {
+	instrs, err := Disassemble(text, base)
+	if err != nil {
+		return nil, err
+	}
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("cfg: empty text")
+	}
+	g := &Graph{
+		Base:        base,
+		Limit:       base + uint32(4*len(instrs)),
+		Instrs:      instrs,
+		index:       make(map[uint32]int, len(instrs)),
+		blockAt:     make(map[uint32]*Block),
+		leaderOf:    make(map[uint32]uint32, len(instrs)),
+		FuncEntries: make(map[uint32]bool),
+		ReturnSites: make(map[uint32]bool),
+	}
+	for i, in := range instrs {
+		g.index[in.Addr] = i
+	}
+
+	// Leaders: first instruction, branch/jump targets, fall-throughs
+	// after control transfers.
+	leaders := map[uint32]bool{base: true}
+	for _, in := range instrs {
+		op := in.Inst.Op
+		switch {
+		case op.IsCondBranch():
+			leaders[in.Addr+uint32(in.Inst.Imm)] = true
+			leaders[in.Addr+4] = true
+		case op == isa.OpJAL:
+			leaders[in.Addr+uint32(in.Inst.Imm)] = true
+			leaders[in.Addr+4] = true
+			if in.Inst.Rd != isa.Zero {
+				g.FuncEntries[in.Addr+uint32(in.Inst.Imm)] = true
+				g.ReturnSites[in.Addr+4] = true
+			}
+		case op == isa.OpJALR:
+			leaders[in.Addr+4] = true
+			if in.Inst.Rd != isa.Zero {
+				g.ReturnSites[in.Addr+4] = true
+			}
+		case op == isa.OpECALL || op == isa.OpEBREAK:
+			leaders[in.Addr+4] = true
+		}
+	}
+	for _, w := range dataWords {
+		if w >= g.Base && w < g.Limit && w%4 == 0 {
+			g.FuncEntries[w] = true
+		}
+	}
+	g.FuncEntries[base] = true
+
+	// Partition into blocks.
+	var starts []uint32
+	for a := range leaders {
+		if _, ok := g.index[a]; ok {
+			starts = append(starts, a)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for bi, s := range starts {
+		end := g.Limit
+		if bi+1 < len(starts) {
+			end = starts[bi+1]
+		}
+		blk := &Block{Start: s, End: end}
+		for a := s; a < end; a += 4 {
+			blk.Instrs = append(blk.Instrs, instrs[g.index[a]])
+			g.leaderOf[a] = s
+		}
+		g.blocks = append(g.blocks, blk)
+		g.blockAt[s] = blk
+	}
+
+	// Successor edges.
+	for _, blk := range g.blocks {
+		term := blk.Term()
+		op := term.Inst.Op
+		switch {
+		case op.IsCondBranch():
+			blk.Succs = append(blk.Succs, term.Addr+uint32(term.Inst.Imm), term.Addr+4)
+		case op == isa.OpJAL:
+			blk.Succs = append(blk.Succs, term.Addr+uint32(term.Inst.Imm))
+		case op == isa.OpJALR:
+			// indirect: validated via FuncEntries/ReturnSites instead
+		case op == isa.OpECALL, op == isa.OpEBREAK:
+			// An ecall resumes at the next instruction (the exit call
+			// simply never returns at run time; the extra static edge
+			// is harmless for dominance and reachability).
+			if term.Addr+4 < g.Limit {
+				blk.Succs = append(blk.Succs, term.Addr+4)
+			}
+		default:
+			if term.Addr+4 < g.Limit {
+				blk.Succs = append(blk.Succs, term.Addr+4)
+			}
+		}
+	}
+
+	// Static loop enumeration with the hardware's heuristic.
+	for _, in := range instrs {
+		op := in.Inst.Op
+		backTarget := in.Addr + uint32(in.Inst.Imm)
+		switch {
+		case op.IsCondBranch() && in.Inst.Imm < 0:
+			g.loops = append(g.loops, Loop{Entry: backTarget, Exit: in.Addr + 4, Branch: in.Addr})
+		case op == isa.OpJAL && in.Inst.Rd == isa.Zero && in.Inst.Imm < 0:
+			g.loops = append(g.loops, Loop{Entry: backTarget, Exit: in.Addr + 4, Branch: in.Addr})
+		}
+	}
+	sort.Slice(g.loops, func(i, j int) bool {
+		if g.loops[i].Entry != g.loops[j].Entry {
+			return g.loops[i].Entry < g.loops[j].Entry
+		}
+		return g.loops[i].Exit < g.loops[j].Exit
+	})
+	return g, nil
+}
+
+// Blocks returns the basic blocks in address order.
+func (g *Graph) Blocks() []*Block { return g.blocks }
+
+// BlockContaining returns the block holding addr.
+func (g *Graph) BlockContaining(addr uint32) (*Block, bool) {
+	s, ok := g.leaderOf[addr]
+	if !ok {
+		return nil, false
+	}
+	return g.blockAt[s], true
+}
+
+// InstAt returns the instruction at addr.
+func (g *Graph) InstAt(addr uint32) (Instruction, bool) {
+	i, ok := g.index[addr]
+	if !ok {
+		return Instruction{}, false
+	}
+	return g.Instrs[i], true
+}
+
+// Loops returns the statically-enumerated loops (hardware heuristic).
+func (g *Graph) Loops() []Loop { return g.loops }
+
+// LoopWithEntry finds a static loop matching a reported (entry, exit).
+func (g *Graph) LoopWithEntry(entry, exit uint32) (Loop, bool) {
+	for _, l := range g.loops {
+		if l.Entry == entry && l.Exit == exit {
+			return l, true
+		}
+	}
+	return Loop{}, false
+}
+
+// IsInnermost reports whether no other static loop nests strictly inside l.
+func (g *Graph) IsInnermost(l Loop) bool {
+	for _, o := range g.loops {
+		if o == l {
+			continue
+		}
+		if o.Entry >= l.Entry && o.Exit <= l.Exit && (o.Entry > l.Entry || o.Exit < l.Exit) {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidEdge reports whether a (src, dest) pair is a CFG-consistent
+// control transfer: the core check the verifier applies to decide
+// whether a reported path "resembles a valid path in CFG".
+func (g *Graph) ValidEdge(src, dest uint32) bool {
+	in, ok := g.InstAt(src)
+	if !ok {
+		return false
+	}
+	op := in.Inst.Op
+	switch {
+	case op.IsCondBranch():
+		return dest == src+4 || dest == src+uint32(in.Inst.Imm)
+	case op == isa.OpJAL:
+		return dest == src+uint32(in.Inst.Imm)
+	case op == isa.OpJALR:
+		if isa.Classify(in.Inst) == isa.KindReturn {
+			return g.ReturnSites[dest]
+		}
+		return g.FuncEntries[dest]
+	}
+	return false
+}

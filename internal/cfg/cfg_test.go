@@ -1,0 +1,372 @@
+package cfg
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"lofat/internal/asm"
+	"lofat/internal/isa"
+	"lofat/internal/monitor"
+)
+
+// buildFromSource assembles and builds the graph.
+func buildFromSource(t *testing.T, src string) (*Graph, *asm.Program) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	words := make([]uint32, 0, len(p.Data)/4)
+	for i := 0; i+4 <= len(p.Data); i += 4 {
+		words = append(words, binary.LittleEndian.Uint32(p.Data[i:]))
+	}
+	g, err := Build(p.Text, p.TextBase, words)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g, p
+}
+
+const fig4 = `
+main:
+	li   s0, 6
+N2:	beqz s0, N7
+N3:	andi t0, s0, 1
+	beqz t0, N5
+N4:	addi s1, s1, 10
+	j    N6
+N5:	addi s1, s1, 1
+N6:	addi s0, s0, -1
+	j    N2
+N7:	li   a7, 93
+	ecall
+`
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	if len(g.Instrs) != p.NumInstructions() {
+		t.Fatalf("disassembled %d, assembled %d", len(g.Instrs), p.NumInstructions())
+	}
+	if g.Instrs[0].Addr != p.TextBase {
+		t.Errorf("first addr = %#x", g.Instrs[0].Addr)
+	}
+}
+
+func TestBasicBlocks(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	// Expect blocks at: main, N2, N3, N4, j-N6-successor? Let's check
+	// the labelled block leaders exist.
+	for _, lbl := range []string{"N2", "N3", "N4", "N5", "N6", "N7"} {
+		addr := p.Labels[lbl]
+		if _, ok := g.blockAt[addr]; !ok {
+			t.Errorf("no block starting at %s (%#x)", lbl, addr)
+		}
+	}
+	// N2's block ends in beqz with two successors: N7 and N3.
+	b := g.blockAt[p.Labels["N2"]]
+	if len(b.Succs) != 2 {
+		t.Fatalf("N2 succs = %#v", b.Succs)
+	}
+	has := map[uint32]bool{b.Succs[0]: true, b.Succs[1]: true}
+	if !has[p.Labels["N7"]] || !has[p.Labels["N3"]] {
+		t.Errorf("N2 succs = %#v, want N7 and N3", b.Succs)
+	}
+	// Every instruction is covered by exactly one block.
+	covered := 0
+	for _, blk := range g.Blocks() {
+		covered += len(blk.Instrs)
+	}
+	if covered != len(g.Instrs) {
+		t.Errorf("blocks cover %d of %d instructions", covered, len(g.Instrs))
+	}
+}
+
+func TestStaticLoops(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %+v, want 1", loops)
+	}
+	l := loops[0]
+	if l.Entry != p.Labels["N2"] {
+		t.Errorf("entry = %#x, want N2 %#x", l.Entry, p.Labels["N2"])
+	}
+	if l.Exit != p.Labels["N7"] {
+		t.Errorf("exit = %#x, want N7 %#x", l.Exit, p.Labels["N7"])
+	}
+	if !g.IsInnermost(l) {
+		t.Error("single loop not innermost")
+	}
+}
+
+func TestNestedStaticLoops(t *testing.T) {
+	g, p := buildFromSource(t, `
+main:
+	li s0, 3
+outer:
+	li s1, 4
+inner:
+	addi s1, s1, -1
+	bnez s1, inner
+	addi s0, s0, -1
+	bnez s0, outer
+	li a7, 93
+	ecall
+`)
+	loops := g.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %+v", loops)
+	}
+	var innerL, outerL Loop
+	for _, l := range loops {
+		if l.Entry == p.Labels["inner"] {
+			innerL = l
+		}
+		if l.Entry == p.Labels["outer"] {
+			outerL = l
+		}
+	}
+	if !g.IsInnermost(innerL) {
+		t.Error("inner loop not innermost")
+	}
+	if g.IsInnermost(outerL) {
+		t.Error("outer loop reported innermost")
+	}
+}
+
+func TestValidEdge(t *testing.T) {
+	g, p := buildFromSource(t, `
+	.data
+tbl:
+	.word f1
+	.text
+main:
+	beqz a0, skip
+	call f1
+skip:
+	la   t0, tbl
+	lw   t1, 0(t0)
+	jalr ra, 0(t1)
+	li   a7, 93
+	ecall
+f1:
+	ret
+`)
+	main := p.Labels["main"]
+	skip := p.Labels["skip"]
+	f1 := p.Labels["f1"]
+	callAddr := main + 4 // the `call f1` jal
+
+	// Conditional branch: both outcomes valid, others not.
+	if !g.ValidEdge(main, skip) || !g.ValidEdge(main, main+4) {
+		t.Error("beqz edges rejected")
+	}
+	if g.ValidEdge(main, f1) {
+		t.Error("beqz to arbitrary target accepted")
+	}
+	// jal: only its target.
+	if !g.ValidEdge(callAddr, f1) {
+		t.Error("call edge rejected")
+	}
+	if g.ValidEdge(callAddr, skip) {
+		t.Error("jal to wrong target accepted")
+	}
+	// Return: only return sites. f1's ret may go to callAddr+4 or
+	// jalr+4, not to main.
+	ret := f1
+	if !g.ValidEdge(ret, callAddr+4) {
+		t.Error("return to call site+4 rejected")
+	}
+	if g.ValidEdge(ret, main) {
+		t.Error("return to non-return-site accepted (ROP edge)")
+	}
+	// Indirect call through the table: f1 is address-taken.
+	jalrAddr := skip + 12 // la(2) + lw(1) then jalr
+	if !g.ValidEdge(jalrAddr, f1) {
+		t.Error("indirect call to address-taken function rejected")
+	}
+	if g.ValidEdge(jalrAddr, skip) {
+		t.Error("indirect call to random block accepted")
+	}
+	// Non-control-flow source.
+	if g.ValidEdge(skip, f1) {
+		t.Error("edge from non-CF instruction accepted")
+	}
+}
+
+func TestValidatePathFig4(t *testing.T) {
+	g, _ := buildFromSource(t, fig4)
+	loop := g.Loops()[0]
+
+	// The paper's two encodings must walk; see Figure 4.
+	bold := monitor.PathCode{Bits: 0b0011, Len: 4}
+	dashed := monitor.PathCode{Bits: 0b011, Len: 3}
+	for _, c := range []monitor.PathCode{bold, dashed} {
+		res := g.ValidatePath(loop, c, nil, 4, false)
+		if res.Verdict != PathValid {
+			t.Errorf("path %v: %v (%s)", c, res.Verdict, res.Reason)
+		}
+	}
+	// "Other path encodings are considered invalid and detected by V."
+	invalid := []monitor.PathCode{
+		{Bits: 0b111, Len: 3},  // enter-exit mismatch
+		{Bits: 0b0010, Len: 4}, // back-edge jump encoded 0
+		{Bits: 0b01, Len: 2},   // truncated
+		{Bits: 0b00111, Len: 5},
+		{Bits: 0b1, Len: 1}, // exit branch as full path (leaves loop)
+	}
+	for _, c := range invalid {
+		res := g.ValidatePath(loop, c, nil, 4, false)
+		if res.Verdict != PathInvalid {
+			t.Errorf("path %v accepted: %v (%s)", c, res.Verdict, res.Reason)
+		}
+	}
+	// The exit traversal "1" is a legal PARTIAL path.
+	res := g.ValidatePath(loop, monitor.PathCode{Bits: 1, Len: 1}, nil, 4, true)
+	if res.Verdict != PathValid {
+		t.Errorf("partial exit path: %v (%s)", res.Verdict, res.Reason)
+	}
+	// Overflow codes are unresolvable, not invalid.
+	res = g.ValidatePath(loop, monitor.PathCode{Overflow: true}, nil, 4, false)
+	if res.Verdict != PathUnresolvable {
+		t.Errorf("overflow path: %v", res.Verdict)
+	}
+}
+
+func TestValidateRecordFig4(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	rec := monitor.LoopRecord{
+		Entry: p.Labels["N2"],
+		Exit:  p.Labels["N7"],
+		Paths: []monitor.PathStat{
+			{Code: monitor.PathCode{Bits: 0b0011, Len: 4}, Count: 3},
+			{Code: monitor.PathCode{Bits: 0b011, Len: 3}, Count: 2},
+		},
+		Partial:    monitor.PathCode{Bits: 1, Len: 1},
+		Iterations: 5,
+	}
+	for _, r := range g.ValidateRecord(rec, 4) {
+		if r.Verdict == PathInvalid {
+			t.Errorf("valid record flagged: %s", r.Reason)
+		}
+	}
+
+	// Tampered iteration counts (attack class 2) are inconsistent if
+	// the path-count sum no longer matches.
+	bad := rec
+	bad.Iterations = 50
+	found := false
+	for _, r := range g.ValidateRecord(bad, 4) {
+		if r.Verdict == PathInvalid {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inconsistent iteration count not flagged")
+	}
+
+	// Unknown loop bounds.
+	bad = rec
+	bad.Entry = 0x9999
+	res := g.ValidateRecord(bad, 4)
+	if len(res) == 0 || res[0].Verdict != PathInvalid {
+		t.Error("unknown loop accepted")
+	}
+}
+
+// A loop whose body calls a function: the walk follows the call, the
+// return resolves through the CAM.
+func TestValidatePathWithCall(t *testing.T) {
+	g, p := buildFromSource(t, `
+main:
+	li s0, 5
+loop:
+	call helper
+	addi s0, s0, -1
+	bnez s0, loop
+	li a7, 93
+	ecall
+helper:
+	ret
+`)
+	loop := g.Loops()[0]
+	retSite := p.Labels["loop"] + 4 // after the call
+
+	// Path: call('1'), ret(code 1), bnez taken('1'). With n=4:
+	// 1 + 0001 + 1 = 6 bits.
+	code := monitor.PathCode{Bits: 0b1_0001_1, Len: 6}
+	res := g.ValidatePath(loop, code, []uint32{retSite}, 4, false)
+	if res.Verdict != PathValid {
+		t.Errorf("call path: %v (%s)", res.Verdict, res.Reason)
+	}
+
+	// A corrupted return target (ROP): CAM points somewhere that is
+	// not a return site.
+	res = g.ValidatePath(loop, code, []uint32{p.Labels["main"]}, 4, false)
+	if res.Verdict != PathInvalid {
+		t.Errorf("ROP return accepted: %v (%s)", res.Verdict, res.Reason)
+	}
+}
+
+func TestWalkUnresolvableOnNestedBackEdge(t *testing.T) {
+	g, p := buildFromSource(t, `
+main:
+	li s0, 3
+outer:
+	li s1, 4
+inner:
+	addi s1, s1, -1
+	bnez s1, inner
+	addi s0, s0, -1
+	bnez s0, outer
+	li a7, 93
+	ecall
+`)
+	var outer Loop
+	for _, l := range g.Loops() {
+		if l.Entry == p.Labels["outer"] {
+			outer = l
+		}
+	}
+	// Outer path includes the inner's first back-edge bit, then the
+	// walker must give up (nested iterations unknown).
+	code := monitor.PathCode{Bits: 0b11, Len: 2}
+	res := g.ValidatePath(outer, code, nil, 4, false)
+	if res.Verdict != PathUnresolvable {
+		t.Errorf("nested walk = %v (%s), want unresolvable", res.Verdict, res.Reason)
+	}
+}
+
+func TestDisassembleErrors(t *testing.T) {
+	if _, err := Disassemble([]byte{1, 2, 3}, 0x1000); err == nil {
+		t.Error("unaligned text accepted")
+	}
+	if _, err := Disassemble([]byte{0, 0, 0, 0}, 0x1000); err == nil {
+		t.Error("invalid instruction word accepted")
+	}
+	if _, err := Build(nil, 0x1000, nil); err == nil {
+		t.Error("empty text accepted")
+	}
+}
+
+func TestBlockContaining(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	b, ok := g.BlockContaining(p.Labels["N3"] + 4)
+	if !ok || b.Start != p.Labels["N3"] {
+		t.Errorf("BlockContaining(N3+4) = %+v, %v", b, ok)
+	}
+	if _, ok := g.BlockContaining(0x9000); ok {
+		t.Error("BlockContaining outside text succeeded")
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	in, ok := g.InstAt(p.TextBase)
+	if !ok || in.Inst.Op != isa.OpADDI {
+		t.Errorf("InstAt(base) = %+v, %v", in, ok)
+	}
+	if _, ok := g.InstAt(p.TextBase + 2); ok {
+		t.Error("InstAt(misaligned) succeeded")
+	}
+}

@@ -1,0 +1,305 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lofat/internal/isa"
+)
+
+// flowSuccs returns the successors used for dominance analysis: the
+// machine-level edges plus a fall-through edge after every linking call
+// (direct or indirect) — the standard "calls return" abstraction.
+// Without it, code after an indirect call would be statically
+// unreachable and loops containing calls would be invisible to the
+// natural-loop analysis. The call-target edge of direct calls is kept,
+// so recursive cycles remain visible.
+func (g *Graph) flowSuccs(blk *Block) []uint32 {
+	term := blk.Term()
+	if isLinkingCall(term) {
+		return append(append([]uint32(nil), blk.Succs...), term.Addr+4)
+	}
+	return blk.Succs
+}
+
+func isLinkingCall(in Instruction) bool {
+	op := in.Inst.Op
+	return (op == isa.OpJAL || op == isa.OpJALR) && in.Inst.Rd != isa.Zero
+}
+
+// Dominators computes the immediate-dominator tree of the blocks
+// reachable from entry, using the iterative algorithm of Cooper, Harvey
+// and Kennedy over a reverse-postorder numbering. The result maps each
+// reachable block start to its immediate dominator's start (the entry
+// maps to itself).
+//
+// The verifier uses dominance to enumerate NATURAL loops — the
+// compiler-theoretic ground truth against which the §5.1 run-time
+// heuristic (non-linking backward branches) is cross-validated.
+func (g *Graph) Dominators(entry uint32) map[uint32]uint32 {
+	start, ok := g.leaderOf[entry]
+	if !ok {
+		return nil
+	}
+
+	// Reverse postorder over the block graph.
+	var order []uint32
+	visited := map[uint32]bool{}
+	var dfs func(u uint32)
+	dfs = func(u uint32) {
+		visited[u] = true
+		b := g.blockAt[u]
+		if b == nil {
+			return
+		}
+		for _, s := range g.flowSuccs(b) {
+			if t, ok := g.leaderOf[s]; ok && !visited[t] {
+				dfs(t)
+			}
+		}
+		order = append(order, u)
+	}
+	dfs(start)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpo := make(map[uint32]int, len(order))
+	for i, u := range order {
+		rpo[u] = i
+	}
+
+	// Predecessor lists restricted to reachable blocks.
+	preds := map[uint32][]uint32{}
+	for _, u := range order {
+		for _, s := range g.flowSuccs(g.blockAt[u]) {
+			if t, ok := g.leaderOf[s]; ok && visited[t] {
+				preds[t] = append(preds[t], u)
+			}
+		}
+	}
+
+	idom := map[uint32]uint32{start: start}
+	intersect := func(a, b uint32) uint32 {
+		for a != b {
+			for rpo[a] > rpo[b] {
+				a = idom[a]
+			}
+			for rpo[b] > rpo[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range order {
+			if u == start {
+				continue
+			}
+			var newIdom uint32
+			found := false
+			for _, p := range preds[u] {
+				if _, processed := idom[p]; !processed {
+					continue
+				}
+				if !found {
+					newIdom = p
+					found = true
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if !found {
+				continue
+			}
+			if old, ok := idom[u]; !ok || old != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b under idom.
+func Dominates(idom map[uint32]uint32, a, b uint32) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// NaturalLoop is a dominance-defined loop: a back edge u→h where h
+// dominates u; the body is every block that can reach u without passing
+// through h.
+type NaturalLoop struct {
+	Header    uint32
+	BackEdges []uint32 // source block starts
+	Body      map[uint32]bool
+}
+
+// NaturalLoops enumerates the natural loops reachable from entry,
+// merging loops that share a header.
+func (g *Graph) NaturalLoops(entry uint32) []NaturalLoop {
+	idom := g.Dominators(entry)
+	if idom == nil {
+		return nil
+	}
+	byHeader := map[uint32]*NaturalLoop{}
+	for u := range idom {
+		b := g.blockAt[u]
+		for _, s := range g.flowSuccs(b) {
+			h, ok := g.leaderOf[s]
+			if !ok || h != s {
+				continue // successor must be a block start
+			}
+			if _, reachable := idom[h]; !reachable {
+				continue
+			}
+			if !Dominates(idom, h, u) {
+				continue
+			}
+			nl := byHeader[h]
+			if nl == nil {
+				nl = &NaturalLoop{Header: h, Body: map[uint32]bool{h: true}}
+				byHeader[h] = nl
+			}
+			nl.BackEdges = append(nl.BackEdges, u)
+			// Collect the body: reverse reachability from u stopping
+			// at h.
+			preds := g.blockPreds(idom)
+			stack := []uint32{u}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if nl.Body[x] {
+					continue
+				}
+				nl.Body[x] = true
+				for _, p := range preds[x] {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	var out []NaturalLoop
+	for _, nl := range byHeader {
+		sort.Slice(nl.BackEdges, func(i, j int) bool { return nl.BackEdges[i] < nl.BackEdges[j] })
+		out = append(out, *nl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Header < out[j].Header })
+	return out
+}
+
+// blockPreds builds predecessor lists restricted to reachable blocks.
+func (g *Graph) blockPreds(idom map[uint32]uint32) map[uint32][]uint32 {
+	preds := map[uint32][]uint32{}
+	for u := range idom {
+		for _, s := range g.flowSuccs(g.blockAt[u]) {
+			if t, ok := g.leaderOf[s]; ok {
+				if _, reachable := idom[t]; reachable {
+					preds[t] = append(preds[t], u)
+				}
+			}
+		}
+	}
+	return preds
+}
+
+// HeuristicVsNatural cross-validates the §5.1 run-time heuristic against
+// dominance-based natural loops: it reports heuristic loops whose entry
+// is NOT a natural loop header (potential false loop detections) and
+// natural headers missed by the heuristic (e.g. loops formed only by
+// linking calls — recursion — which the hardware intentionally does not
+// track as loops).
+func (g *Graph) HeuristicVsNatural(entry uint32) (falsePositives, missed []uint32) {
+	// Code reachable only through indirect calls (jump-table handlers)
+	// is invisible from the program entry, so natural loops are
+	// enumerated from every known function entry as well.
+	headers := map[uint32]bool{}
+	roots := []uint32{entry}
+	for fe := range g.FuncEntries {
+		if fe != entry {
+			roots = append(roots, fe)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, root := range roots {
+		for _, nl := range g.NaturalLoops(root) {
+			headers[nl.Header] = true
+		}
+	}
+	heuristic := map[uint32]bool{}
+	for _, l := range g.Loops() {
+		if blk, ok := g.leaderOf[l.Entry]; ok {
+			heuristic[blk] = true
+		}
+	}
+	for h := range heuristic {
+		if !headers[h] {
+			falsePositives = append(falsePositives, h)
+		}
+	}
+	for h := range headers {
+		if !heuristic[h] {
+			missed = append(missed, h)
+		}
+	}
+	sort.Slice(falsePositives, func(i, j int) bool { return falsePositives[i] < falsePositives[j] })
+	sort.Slice(missed, func(i, j int) bool { return missed[i] < missed[j] })
+	return falsePositives, missed
+}
+
+// Dump renders the graph as a human-readable listing: blocks with their
+// instructions and successors, static loops, and the indirect-transfer
+// oracles. This is the verifier-side tooling view (cmd/lofat-dis).
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "text [%#x, %#x): %d instructions, %d blocks\n\n",
+		g.Base, g.Limit, len(g.Instrs), len(g.blocks))
+	for _, blk := range g.blocks {
+		fmt.Fprintf(&b, "block %#x..%#x", blk.Start, blk.End)
+		if len(blk.Succs) > 0 {
+			fmt.Fprintf(&b, "  -> %#x", blk.Succs)
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %#08x  %v\n", in.Addr, in.Inst)
+		}
+	}
+	b.WriteString("\nstatic loops (hardware heuristic):\n")
+	for _, l := range g.loops {
+		inner := ""
+		if g.IsInnermost(l) {
+			inner = " (innermost)"
+		}
+		fmt.Fprintf(&b, "  entry %#x exit %#x back-edge %#x%s\n", l.Entry, l.Exit, l.Branch, inner)
+	}
+	b.WriteString("\nfunction entries: ")
+	b.WriteString(addrList(g.FuncEntries))
+	b.WriteString("\nreturn sites:     ")
+	b.WriteString(addrList(g.ReturnSites))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func addrList(m map[uint32]bool) string {
+	addrs := make([]uint32, 0, len(m))
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = fmt.Sprintf("%#x", a)
+	}
+	return strings.Join(parts, " ")
+}

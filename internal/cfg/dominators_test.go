@@ -1,0 +1,191 @@
+package cfg
+
+import (
+	"testing"
+)
+
+func TestDominatorsDiamond(t *testing.T) {
+	// if/else diamond: entry dominates everything; join's idom is entry.
+	g, p := buildFromSource(t, `
+entry:
+	beqz a0, right
+left:
+	addi a1, a1, 1
+	j    join
+right:
+	addi a1, a1, 2
+join:
+	li   a7, 93
+	ecall
+`)
+	idom := g.Dominators(p.Labels["entry"])
+	entry := p.Labels["entry"]
+	for _, lbl := range []string{"left", "right", "join"} {
+		blk := p.Labels[lbl]
+		if idom[blk] != entry {
+			t.Errorf("idom(%s) = %#x, want entry %#x", lbl, idom[blk], entry)
+		}
+	}
+	if !Dominates(idom, entry, p.Labels["join"]) {
+		t.Error("entry must dominate join")
+	}
+	if Dominates(idom, p.Labels["left"], p.Labels["join"]) {
+		t.Error("left must not dominate join")
+	}
+}
+
+func TestNaturalLoopsSimple(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	loops := g.NaturalLoops(p.TextBase)
+	if len(loops) != 1 {
+		t.Fatalf("natural loops = %+v", loops)
+	}
+	nl := loops[0]
+	if nl.Header != p.Labels["N2"] {
+		t.Errorf("header = %#x, want N2", nl.Header)
+	}
+	// The body must include N2..N6 but not N1 or N7.
+	for _, in := range []string{"N2", "N3", "N4", "N5", "N6"} {
+		if !nl.Body[blockOf(t, g, p.Labels[in])] {
+			t.Errorf("body missing %s", in)
+		}
+	}
+	if nl.Body[blockOf(t, g, p.Labels["N7"])] {
+		t.Error("body contains exit block N7")
+	}
+}
+
+func blockOf(t *testing.T, g *Graph, addr uint32) uint32 {
+	t.Helper()
+	b, ok := g.BlockContaining(addr)
+	if !ok {
+		t.Fatalf("no block for %#x", addr)
+	}
+	return b.Start
+}
+
+func TestNaturalLoopsNested(t *testing.T) {
+	g, p := buildFromSource(t, `
+main:
+	li s0, 3
+outer:
+	li s1, 4
+inner:
+	addi s1, s1, -1
+	bnez s1, inner
+	addi s0, s0, -1
+	bnez s0, outer
+	li a7, 93
+	ecall
+`)
+	loops := g.NaturalLoops(p.TextBase)
+	if len(loops) != 2 {
+		t.Fatalf("natural loops = %d, want 2", len(loops))
+	}
+	// The outer loop's body must contain the inner header.
+	var outer NaturalLoop
+	for _, nl := range loops {
+		if nl.Header == blockOf(t, g, p.Labels["outer"]) {
+			outer = nl
+		}
+	}
+	if !outer.Body[blockOf(t, g, p.Labels["inner"])] {
+		t.Error("outer natural loop body missing inner header")
+	}
+}
+
+// On compiler-convention code the heuristic agrees with dominance
+// analysis: no false positives, no misses.
+func TestHeuristicMatchesNaturalOnStructuredCode(t *testing.T) {
+	for _, src := range []string{fig4, `
+main:
+	li s0, 3
+outer:
+	li s1, 4
+inner:
+	addi s1, s1, -1
+	bnez s1, inner
+	addi s0, s0, -1
+	bnez s0, outer
+	li a7, 93
+	ecall
+`} {
+		g, p := buildFromSource(t, src)
+		fp, missed := g.HeuristicVsNatural(p.TextBase)
+		if len(fp) != 0 {
+			t.Errorf("false positive loop entries: %#x", fp)
+		}
+		if len(missed) != 0 {
+			t.Errorf("missed natural headers: %#x", missed)
+		}
+	}
+}
+
+// Recursion: the heuristic intentionally does NOT treat a backward
+// linking call as a loop, while dominance analysis over the call graph
+// sees a cycle — the documented divergence.
+func TestHeuristicVsNaturalOnRecursion(t *testing.T) {
+	g, p := buildFromSource(t, `
+fib:
+	li   t0, 2
+	blt  a0, t0, base
+	addi sp, sp, -12
+	sw   ra, 8(sp)
+	sw   a0, 4(sp)
+	addi a0, a0, -1
+	call fib
+	sw   a0, 0(sp)
+	lw   a0, 4(sp)
+	addi a0, a0, -2
+	call fib
+	lw   t1, 0(sp)
+	add  a0, a0, t1
+	lw   ra, 8(sp)
+	addi sp, sp, 12
+	ret
+base:
+	ret
+`)
+	// The heuristic finds no loops (calls are linking).
+	if n := len(g.Loops()); n != 0 {
+		t.Errorf("heuristic loops on recursion = %d, want 0", n)
+	}
+	// Dominance over the static call edge does see the cycle.
+	_, missed := g.HeuristicVsNatural(p.Labels["fib"])
+	if len(missed) == 0 {
+		t.Error("expected natural header missed by heuristic (recursive cycle)")
+	}
+}
+
+func TestDominatorsUnreachableEntry(t *testing.T) {
+	g, _ := buildFromSource(t, fig4)
+	if d := g.Dominators(0x9999); d != nil {
+		t.Error("Dominators of bogus entry should be nil")
+	}
+	if l := g.NaturalLoops(0x9999); l != nil {
+		t.Error("NaturalLoops of bogus entry should be nil")
+	}
+}
+
+func TestDump(t *testing.T) {
+	g, _ := buildFromSource(t, fig4)
+	s := g.Dump()
+	for _, frag := range []string{"blocks", "static loops", "innermost", "function entries"} {
+		if !contains(s, frag) {
+			t.Errorf("dump missing %q", frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,197 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"lofat/internal/isa"
+	"lofat/internal/monitor"
+)
+
+// EnumerateOptions bounds the valid-path enumeration.
+type EnumerateOptions struct {
+	// MaxPaths aborts enumeration when more codes would be produced
+	// (combinatorial safety valve). Default 4096.
+	MaxPaths int
+	// MaxSymbols is the per-path symbol budget ℓ (default 16, matching
+	// the monitor).
+	MaxSymbols int
+	// IndirectBits is n for CAM codes (default 4).
+	IndirectBits int
+	// Targets is the loop's CAM table (code i+1 = Targets[i]); indirect
+	// transfers enumerate over every CFG-consistent target present in
+	// the table. Empty means loops without indirect transfers only.
+	Targets []uint32
+}
+
+func (o *EnumerateOptions) fill() {
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 4096
+	}
+	if o.MaxSymbols == 0 {
+		o.MaxSymbols = 16
+	}
+	if o.IndirectBits == 0 {
+		o.IndirectBits = 4
+	}
+}
+
+// ErrPathSpaceTooLarge is returned when enumeration exceeds MaxPaths.
+var ErrPathSpaceTooLarge = fmt.Errorf("cfg: loop path space exceeds enumeration bound")
+
+// EnumeratePaths computes the complete set of valid full-path encodings
+// of an innermost loop: every CFG walk from the entry back to the entry,
+// encoded exactly as the monitor encodes iterations (Figure 4). This is
+// the offline half of the paper's verification statement — "Other path
+// encodings are considered invalid and detected by V": a reported path
+// ID outside this set is an attack, with NO golden execution required.
+//
+// Enumeration refuses loops containing nested back-edges (use the
+// dominance analysis to pick innermost loops) and returns
+// ErrPathSpaceTooLarge when the bound is hit.
+func (g *Graph) EnumeratePaths(loop Loop, opts EnumerateOptions) ([]monitor.PathCode, error) {
+	opts.fill()
+	if !g.IsInnermost(loop) {
+		return nil, fmt.Errorf("cfg: loop at %#x is not innermost", loop.Entry)
+	}
+
+	var out []monitor.PathCode
+	seen := map[monitor.PathCode]bool{}
+
+	type frame struct {
+		pos  uint32
+		code monitor.PathCode
+		syms int
+	}
+	stack := []frame{{pos: loop.Entry}}
+	const stepBudget = 1 << 20
+	steps := 0
+
+	pushCode := func(c monitor.PathCode, width uint8, sym uint64) (monitor.PathCode, bool) {
+		if int(c.Len)+int(width) > 64 {
+			return c, false
+		}
+		c.Bits = c.Bits<<width | sym
+		c.Len += width
+		return c, true
+	}
+
+	for len(stack) > 0 {
+		if steps++; steps > stepBudget {
+			return nil, ErrPathSpaceTooLarge
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// Scan to the next control-flow instruction.
+		pos := f.pos
+		var in Instruction
+		for {
+			var ok bool
+			in, ok = g.InstAt(pos)
+			if !ok {
+				return nil, fmt.Errorf("cfg: enumeration left text at %#x", pos)
+			}
+			if isa.Classify(in.Inst) != isa.KindNone {
+				break
+			}
+			if in.Inst.Op == isa.OpECALL || in.Inst.Op == isa.OpEBREAK {
+				// Terminal: this walk never returns to the entry.
+				in = Instruction{}
+				break
+			}
+			pos += 4
+		}
+		if in.Inst.Op == isa.OpInvalid {
+			continue // terminal walk, not a cycle
+		}
+		if f.syms >= opts.MaxSymbols {
+			continue // would overflow: not a valid compact path
+		}
+
+		step := func(code monitor.PathCode, next uint32) error {
+			if next == loop.Entry {
+				if !seen[code] {
+					seen[code] = true
+					out = append(out, code)
+					if len(out) > opts.MaxPaths {
+						return ErrPathSpaceTooLarge
+					}
+				}
+				return nil
+			}
+			if !loop.Contains(next) && !g.ReturnSites[next] && !g.FuncEntries[next] {
+				// Left the loop: an exit traversal, not a full path.
+				return nil
+			}
+			stack = append(stack, frame{pos: next, code: code, syms: f.syms + 1})
+			return nil
+		}
+
+		switch isa.Classify(in.Inst) {
+		case isa.KindCondBr:
+			for _, taken := range []bool{false, true} {
+				var bit uint64
+				next := in.Addr + 4
+				if taken {
+					bit = 1
+					next = in.Addr + uint32(in.Inst.Imm)
+				}
+				if taken && next < in.Addr && next != loop.Entry {
+					continue // nested back-edge: not statically walkable
+				}
+				code, ok := pushCode(f.code, 1, bit)
+				if !ok {
+					continue
+				}
+				if err := step(code, next); err != nil {
+					return nil, err
+				}
+			}
+		case isa.KindJump:
+			next := in.Addr + uint32(in.Inst.Imm)
+			if next < in.Addr && next != loop.Entry && !isa.IsLinking(in.Inst) {
+				continue // nested back-edge
+			}
+			code, ok := pushCode(f.code, 1, 1)
+			if !ok {
+				continue
+			}
+			if err := step(code, next); err != nil {
+				return nil, err
+			}
+		case isa.KindIndirect, isa.KindReturn:
+			for i, tgt := range opts.Targets {
+				if !g.ValidEdge(in.Addr, tgt) {
+					continue
+				}
+				code, ok := pushCode(f.code, uint8(opts.IndirectBits), uint64(i+1))
+				if !ok {
+					continue
+				}
+				if err := step(code, tgt); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len != out[j].Len {
+			return out[i].Len < out[j].Len
+		}
+		return out[i].Bits < out[j].Bits
+	})
+	return out, nil
+}
+
+// PathSetContains reports whether a reported code is in the enumerated
+// valid set.
+func PathSetContains(set []monitor.PathCode, code monitor.PathCode) bool {
+	for _, c := range set {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package cfg
+
+import (
+	"testing"
+
+	"lofat/internal/monitor"
+)
+
+// Figure 4: the enumerated valid set is exactly {011, 0011}.
+func TestEnumerateFig4(t *testing.T) {
+	g, _ := buildFromSource(t, fig4)
+	loop := g.Loops()[0]
+	paths, err := g.EnumeratePaths(loop, EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want exactly the paper's two", paths)
+	}
+	want := map[string]bool{"011": true, "0011": true}
+	for _, p := range paths {
+		if !want[p.String()] {
+			t.Errorf("unexpected valid path %v", p)
+		}
+	}
+	// Membership check: invalid encodings are outside the set —
+	// "Other path encodings are considered invalid and detected by V."
+	if PathSetContains(paths, monitor.PathCode{Bits: 0b111, Len: 3}) {
+		t.Error("111 reported valid")
+	}
+	if !PathSetContains(paths, monitor.PathCode{Bits: 0b011, Len: 3}) {
+		t.Error("011 missing")
+	}
+}
+
+// Every path the device ACTUALLY records must be in the enumerated set
+// (soundness of the enumeration vs the monitor's encoder).
+func TestEnumerationCoversMeasuredPaths(t *testing.T) {
+	g, p := buildFromSource(t, fig4)
+	loop := g.Loops()[0]
+	set, err := g.EnumeratePaths(loop, EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	// The Figure 4 run records 0011 x3 and 011 x2 (see core tests).
+	for _, code := range []monitor.PathCode{
+		{Bits: 0b0011, Len: 4},
+		{Bits: 0b011, Len: 3},
+	} {
+		if !PathSetContains(set, code) {
+			t.Errorf("measured path %v not in enumerated set", code)
+		}
+	}
+}
+
+// A simple counted loop has exactly one valid path.
+func TestEnumerateSingleCycle(t *testing.T) {
+	g, _ := buildFromSource(t, `
+main:
+	li s0, 5
+loop:
+	addi s0, s0, -1
+	bnez s0, loop
+	li a7, 93
+	ecall
+`)
+	paths, err := g.EnumeratePaths(g.Loops()[0], EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0].String() != "1" {
+		t.Fatalf("paths = %v, want [1]", paths)
+	}
+}
+
+// Non-innermost loops are refused (their symbol streams are not
+// statically walkable).
+func TestEnumerateRejectsOuterLoop(t *testing.T) {
+	g, p := buildFromSource(t, `
+main:
+	li s0, 3
+outer:
+	li s1, 4
+inner:
+	addi s1, s1, -1
+	bnez s1, inner
+	addi s0, s0, -1
+	bnez s0, outer
+	li a7, 93
+	ecall
+`)
+	var outer Loop
+	for _, l := range g.Loops() {
+		if l.Entry == p.Labels["outer"] {
+			outer = l
+		}
+	}
+	if _, err := g.EnumeratePaths(outer, EnumerateOptions{}); err == nil {
+		t.Error("outer loop enumeration succeeded")
+	}
+	// The inner loop enumerates fine.
+	var inner Loop
+	for _, l := range g.Loops() {
+		if l.Entry == p.Labels["inner"] {
+			inner = l
+		}
+	}
+	paths, err := g.EnumeratePaths(inner, EnumerateOptions{})
+	if err != nil || len(paths) != 1 {
+		t.Errorf("inner paths = %v, %v", paths, err)
+	}
+}
+
+// Indirect dispatch loops enumerate over the reported CAM targets.
+func TestEnumerateWithIndirect(t *testing.T) {
+	g, p := buildFromSource(t, `
+	.data
+table:
+	.word h0, h1
+	.text
+main:
+	li   s0, 4
+loop:
+	andi t0, s0, 1
+	slli t0, t0, 2
+	la   t1, table
+	add  t1, t1, t0
+	lw   t2, 0(t1)
+	jalr ra, 0(t2)
+	addi s0, s0, -1
+	bnez s0, loop
+	li   a7, 93
+	ecall
+h0:
+	ret
+h1:
+	ret
+`)
+	loop := g.Loops()[0]
+	retSite := findRetSite(t, g)
+	targets := []uint32{p.Labels["h0"], p.Labels["h1"], retSite}
+	paths, err := g.EnumeratePaths(loop, EnumerateOptions{Targets: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two handlers x one return site x final bnez (taken to close the
+	// cycle): two valid paths.
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+}
+
+func findRetSite(t *testing.T, g *Graph) uint32 {
+	t.Helper()
+	for a := range g.ReturnSites {
+		return a
+	}
+	t.Fatal("no return sites")
+	return 0
+}
+
+// The safety valve trips on explosive path spaces.
+func TestEnumerateBound(t *testing.T) {
+	// 12 sequential diamonds inside one loop: 2^12 paths.
+	src := "main:\n\tli s0, 3\nloop:\n"
+	for i := 0; i < 12; i++ {
+		src += "\tandi t0, s0, 1\n"
+		src += "\tbeqz t0, sk" + string(rune('a'+i)) + "\n"
+		src += "\taddi s1, s1, 1\n"
+		src += "sk" + string(rune('a'+i)) + ":\n"
+	}
+	src += "\taddi s0, s0, -1\n\tbnez s0, loop\n\tli a7, 93\n\tecall\n"
+	g, _ := buildFromSource(t, src)
+	_, err := g.EnumeratePaths(g.Loops()[0], EnumerateOptions{MaxPaths: 100, MaxSymbols: 20})
+	if err == nil {
+		t.Error("explosive path space enumerated under bound 100")
+	}
+	// With a generous bound it enumerates all 4096 (2^12) paths.
+	paths, err := g.EnumeratePaths(g.Loops()[0], EnumerateOptions{MaxPaths: 5000, MaxSymbols: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4096 {
+		t.Errorf("paths = %d, want 4096", len(paths))
+	}
+}

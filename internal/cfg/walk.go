@@ -1,0 +1,192 @@
+package cfg
+
+import (
+	"errors"
+	"fmt"
+
+	"lofat/internal/isa"
+	"lofat/internal/monitor"
+)
+
+// Verdict is the outcome of validating a reported loop path against the
+// CFG.
+type Verdict uint8
+
+// Path validation verdicts.
+const (
+	// PathValid: the encoding decodes to a legal CFG walk.
+	PathValid Verdict = iota
+	// PathInvalid: no CFG walk realizes the encoding — evidence of a
+	// control-flow attack.
+	PathInvalid
+	// PathUnresolvable: the walk hits something static analysis cannot
+	// decide (nested runtime loop, CAM overflow code, symbol overflow);
+	// the verifier falls back to golden-run comparison for it.
+	PathUnresolvable
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case PathValid:
+		return "valid"
+	case PathInvalid:
+		return "invalid"
+	case PathUnresolvable:
+		return "unresolvable"
+	}
+	return "unknown"
+}
+
+// ErrNotInnermost marks loops whose paths cannot be walked because an
+// inner loop consumes part of their events at run time.
+var ErrNotInnermost = errors.New("cfg: loop contains nested loops; path not statically walkable")
+
+// pathReader consumes the bit string of a PathCode chronologically.
+type pathReader struct {
+	bits uint64
+	left uint8
+}
+
+func newPathReader(c monitor.PathCode) pathReader {
+	return pathReader{bits: c.Bits, left: c.Len}
+}
+
+func (r *pathReader) take(n uint8) (uint64, bool) {
+	if r.left < n {
+		return 0, false
+	}
+	r.left -= n
+	return r.bits >> r.left & (1<<n - 1), true
+}
+
+func (r *pathReader) empty() bool { return r.left == 0 }
+
+// WalkResult carries the verdict and a human-readable reason.
+type WalkResult struct {
+	Verdict Verdict
+	Reason  string
+}
+
+// ValidatePath replays a reported loop path encoding over the CFG,
+// reproducing the monitor's symbol consumption (Figure 4): conditional
+// branches consume their taken bit, direct jumps a mandatory '1',
+// indirect transfers an n-bit CAM code resolved through the report's
+// IndirectTargets table. For a full path the walk must return to the
+// loop entry with all symbols consumed; for the partial (exit) path the
+// prefix must be legal.
+//
+// The walk only decides innermost loops: when it meets a backward
+// transfer to an address other than the entry, a nested loop would have
+// consumed the following symbols at run time, so it reports
+// PathUnresolvable rather than guessing.
+func (g *Graph) ValidatePath(loop Loop, code monitor.PathCode, targets []uint32, indirectBits int, partial bool) WalkResult {
+	if code.Overflow {
+		return WalkResult{PathUnresolvable, "overflow path ID (ℓ exceeded)"}
+	}
+	if indirectBits <= 0 {
+		indirectBits = 4
+	}
+	r := newPathReader(code)
+	pos := loop.Entry
+	const budget = 100_000
+	for steps := 0; steps < budget; steps++ {
+		// Advance to the next control-flow instruction from pos.
+		in, ok := g.InstAt(pos)
+		if !ok {
+			return WalkResult{PathInvalid, fmt.Sprintf("walk left text at %#x", pos)}
+		}
+		kind := isa.Classify(in.Inst)
+		if kind == isa.KindNone {
+			if in.Inst.Op == isa.OpECALL || in.Inst.Op == isa.OpEBREAK {
+				// Attested programs end on ecall; inside a loop path
+				// this means the walk derailed.
+				if partial && r.empty() {
+					return WalkResult{PathValid, "partial path ends at ecall"}
+				}
+				return WalkResult{PathInvalid, fmt.Sprintf("walk hit %v at %#x", in.Inst.Op, pos)}
+			}
+			pos += 4
+			continue
+		}
+
+		// Control-flow instruction: consume the matching symbol.
+		if r.empty() {
+			if partial {
+				return WalkResult{PathValid, "legal prefix"}
+			}
+			return WalkResult{PathInvalid, fmt.Sprintf("symbols exhausted at %#x before re-reaching entry", pos)}
+		}
+		var next uint32
+		switch kind {
+		case isa.KindCondBr:
+			bit, _ := r.take(1)
+			if bit == 1 {
+				next = pos + uint32(in.Inst.Imm)
+			} else {
+				next = pos + 4
+			}
+		case isa.KindJump:
+			bit, _ := r.take(1)
+			if bit != 1 {
+				return WalkResult{PathInvalid, fmt.Sprintf("jump at %#x encoded as 0", pos)}
+			}
+			next = pos + uint32(in.Inst.Imm)
+		case isa.KindIndirect, isa.KindReturn:
+			c, ok := r.take(uint8(indirectBits))
+			if !ok {
+				return WalkResult{PathInvalid, fmt.Sprintf("truncated indirect code at %#x", pos)}
+			}
+			if c == 0 {
+				return WalkResult{PathUnresolvable, fmt.Sprintf("indirect CAM overflow code at %#x", pos)}
+			}
+			if int(c) > len(targets) {
+				return WalkResult{PathInvalid, fmt.Sprintf("indirect code %d beyond reported CAM (%d targets)", c, len(targets))}
+			}
+			next = targets[c-1]
+			if !g.ValidEdge(pos, next) {
+				return WalkResult{PathInvalid, fmt.Sprintf("indirect edge %#x->%#x not CFG-consistent", pos, next)}
+			}
+		}
+
+		if next == loop.Entry {
+			if r.empty() {
+				return WalkResult{PathValid, "cycle closed at entry"}
+			}
+			return WalkResult{PathInvalid, "re-reached entry with symbols left"}
+		}
+		// A backward transfer to a non-entry address is a nested-loop
+		// back-edge at run time: its iterations consumed symbols this
+		// walker cannot model.
+		if next < pos && kind != isa.KindReturn && !isa.IsLinking(in.Inst) && next != loop.Entry {
+			return WalkResult{PathUnresolvable, fmt.Sprintf("nested back-edge %#x->%#x", pos, next)}
+		}
+		pos = next
+	}
+	return WalkResult{PathInvalid, "walk budget exhausted"}
+}
+
+// ValidateRecord checks a full loop record: the loop must exist
+// statically, every path and the partial must walk, and iteration counts
+// must be internally consistent.
+func (g *Graph) ValidateRecord(rec monitor.LoopRecord, indirectBits int) []WalkResult {
+	var out []WalkResult
+	loop, ok := g.LoopWithEntry(rec.Entry, rec.Exit)
+	if !ok {
+		return []WalkResult{{PathInvalid,
+			fmt.Sprintf("no static loop with entry %#x exit %#x", rec.Entry, rec.Exit)}}
+	}
+	var sum uint64
+	for _, p := range rec.Paths {
+		out = append(out, g.ValidatePath(loop, p.Code, rec.IndirectTargets, indirectBits, false))
+		sum += p.Count
+	}
+	if sum != rec.Iterations {
+		out = append(out, WalkResult{PathInvalid,
+			fmt.Sprintf("path counts sum %d != iterations %d", sum, rec.Iterations)})
+	}
+	if rec.Partial.Len > 0 || rec.Partial.Overflow {
+		out = append(out, g.ValidatePath(loop, rec.Partial, rec.IndirectTargets, indirectBits, true))
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package cflat
+
+import (
+	"testing"
+
+	"lofat/internal/cpu"
+	"lofat/internal/workloads"
+)
+
+// C-FLAT instrumentation must not change program semantics.
+func TestSemanticsPreserved(t *testing.T) {
+	r := NewRunner()
+	for _, w := range workloads.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run(prog, w.Input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExitCode != w.WantExit {
+				t.Errorf("exit = %d, want %d", res.ExitCode, w.WantExit)
+			}
+		})
+	}
+}
+
+// The defining property (§6.1): C-FLAT's overhead is linear in the
+// number of control-flow events.
+func TestOverheadLinearInEvents(t *testing.T) {
+	r := NewRunner()
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type point struct{ events, added uint64 }
+	var pts []point
+	for _, steps := range []uint32{2, 8, 32} {
+		res, err := r.Run(prog, []uint32{0xC0FFEE, 1, steps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{res.Events, res.AddedCycles()})
+	}
+	// added/events must be constant (within the loop-handling wobble).
+	ratio0 := float64(pts[0].added) / float64(pts[0].events)
+	for _, p := range pts[1:] {
+		ratio := float64(p.added) / float64(p.events)
+		if ratio < 0.9*ratio0 || ratio > 1.1*ratio0 {
+			t.Errorf("cost per event drifted: %.1f vs %.1f", ratio, ratio0)
+		}
+	}
+	if pts[2].added <= pts[0].added {
+		t.Error("more events did not cost more")
+	}
+}
+
+// Overhead factors are substantial on branch-dense code — the problem
+// LO-FAT eliminates.
+func TestOverheadSubstantial(t *testing.T) {
+	r := NewRunner()
+	w := workloads.CRC32() // 1 branch per ~4 instructions
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(prog, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead() < 2 {
+		t.Errorf("overhead = %.2fx; expected branch-dense code to suffer >2x", res.Overhead())
+	}
+	if res.BaseCycles+res.Events*
+		(r.Costs.TrampolineCycles+r.Costs.HashUpdateCycles) > res.TotalCycles {
+		t.Error("total cycles below the per-event floor")
+	}
+}
+
+// Base cycles equal the uninstrumented run (the cost model is additive).
+func TestBaseCyclesMatchUninstrumented(t *testing.T) {
+	w := workloads.BubbleSort()
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRunner().Run(prog, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := cpu.Load(prog, cpu.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.CPU.Input = w.Input
+	if err := mach.CPU.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseCycles != mach.CPU.Cycle {
+		t.Errorf("base = %d, uninstrumented = %d", res.BaseCycles, mach.CPU.Cycle)
+	}
+}
+
+// Binary rewriting grows the image; LO-FAT's is zero by design.
+func TestSizeOverhead(t *testing.T) {
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, factor, err := SizeOverhead(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added <= 0 || factor <= 1 {
+		t.Errorf("size overhead = %d bytes, %.2fx", added, factor)
+	}
+}
+
+// Measurements are deterministic and input-sensitive.
+func TestMeasurementProperties(t *testing.T) {
+	r := NewRunner()
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Run(prog, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(prog, w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Error("measurement not deterministic")
+	}
+	c, err := r.Run(prog, []uint32{0xC0FFEE, 1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash == a.Hash {
+		t.Error("different input, same measurement")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"lofat/internal/cpu"
+	"lofat/internal/monitor"
+)
+
+// regionProgram has a measured hot function and unmeasured glue code.
+const regionProgram = `
+main:
+	li   s2, 2
+outer_glue:
+	call hot
+	addi s2, s2, -1
+	bnez s2, outer_glue
+	li   a7, 93
+	ecall
+hot:
+	li   s0, 4
+hot_loop:
+	addi s0, s0, -1
+	bnez s0, hot_loop
+	ret
+hot_end:
+	nop
+`
+
+func TestRegionGatesEvents(t *testing.T) {
+	mach := cpu.MustLoadSource(regionProgram)
+	hot := mach.Program.Labels["hot"]
+	hotEnd := mach.Program.Labels["hot_end"]
+
+	// Whole-program measurement for comparison.
+	full, _ := runWithDevice(t, regionProgram, Config{}, nil)
+
+	// Region-limited measurement.
+	cfgR := Config{Region: Region{Start: hot, End: hotEnd}}
+	regionMeas, _ := runWithDevice(t, regionProgram, cfgR, nil)
+
+	if regionMeas.Stats.ControlFlowEvents >= full.Stats.ControlFlowEvents {
+		t.Errorf("region events %d not fewer than full %d",
+			regionMeas.Stats.ControlFlowEvents, full.Stats.ControlFlowEvents)
+	}
+	// The glue loop (outer_glue) lies outside the region: only the hot
+	// loop may appear in metadata.
+	for _, r := range regionMeas.Loops {
+		if r.Entry < hot || r.Entry >= hotEnd {
+			t.Errorf("loop %v outside attested region [%#x,%#x)", r, hot, hotEnd)
+		}
+	}
+	// The hot loop runs twice (two calls): two loop records.
+	if len(regionMeas.Loops) != 2 {
+		t.Fatalf("region loops = %d, want 2:\n%v", len(regionMeas.Loops), regionMeas.Loops)
+	}
+	// Determinism under region config.
+	again, _ := runWithDevice(t, regionProgram, cfgR, nil)
+	if again.Hash != regionMeas.Hash {
+		t.Error("region measurement not deterministic")
+	}
+	// And it differs from the full measurement.
+	if regionMeas.Hash == full.Hash {
+		t.Error("region hash equals full-program hash")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	if !(Region{}).Contains(0x1234) {
+		t.Error("zero region must contain everything")
+	}
+	r := Region{Start: 0x100, End: 0x200}
+	for pc, want := range map[uint32]bool{0x100: true, 0x1FC: true, 0x200: false, 0xFC: false} {
+		if r.Contains(pc) != want {
+			t.Errorf("Contains(%#x) = %v", pc, !want)
+		}
+	}
+}
+
+// Ablation flag: dedup off hashes every iteration and must dominate the
+// deduplicated count, while the metadata stays identical.
+func TestDisableDedup(t *testing.T) {
+	on, _ := runWithDevice(t, figure4Program, Config{}, nil)
+	off, _ := runWithDevice(t, figure4Program,
+		Config{Monitor: monitor.Config{DisableDedup: true}}, nil)
+
+	if off.Stats.HashedPairs <= on.Stats.HashedPairs {
+		t.Errorf("dedup-off hashed %d <= dedup-on %d",
+			off.Stats.HashedPairs, on.Stats.HashedPairs)
+	}
+	if off.Stats.HashedPairs != on.Stats.HashedPairs+on.Stats.DedupedPairs {
+		t.Errorf("dedup-off hashed %d != on %d + deduped %d",
+			off.Stats.HashedPairs, on.Stats.HashedPairs, on.Stats.DedupedPairs)
+	}
+	// Path counters are configuration-independent.
+	if len(off.Loops) != len(on.Loops) {
+		t.Fatal("loop records differ")
+	}
+	for i := range on.Loops {
+		if on.Loops[i].Iterations != off.Loops[i].Iterations {
+			t.Error("iteration counts differ between dedup modes")
+		}
+		for j := range on.Loops[i].Paths {
+			if on.Loops[i].Paths[j].Count != off.Loops[i].Paths[j].Count {
+				t.Error("path counts differ between dedup modes")
+			}
+		}
+	}
+}

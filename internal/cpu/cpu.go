@@ -1,0 +1,377 @@
+// Package cpu is a behavioural model of the Pulpino-class 32-bit RISC-V
+// core the paper prototypes on: a single in-order RV32IM core for
+// low-end embedded systems. It executes one instruction per Step with a
+// simple cycle-cost model (§6.1 cares about *relative* overheads — the
+// C-FLAT baseline's instrumentation cycles vs. LO-FAT's zero stalls —
+// not absolute IPC), and publishes every retired instruction on a trace
+// port that LO-FAT taps in parallel, exactly as the hardware does.
+package cpu
+
+import (
+	"fmt"
+
+	"lofat/internal/isa"
+	"lofat/internal/mem"
+	"lofat/internal/trace"
+)
+
+// CostModel holds per-instruction-class cycle costs for the in-order
+// pipeline. Defaults approximate the 4-stage Pulpino RI5CY core.
+type CostModel struct {
+	Base       uint64 // every instruction
+	TakenExtra uint64 // extra cycles for a taken control transfer (flush)
+	LoadExtra  uint64 // extra cycles for loads (use-stall upper bound)
+	MulExtra   uint64 // extra cycles for multiply
+	DivExtra   uint64 // extra cycles for divide/remainder
+	EcallExtra uint64 // privileged-trap entry cost
+}
+
+// DefaultCostModel approximates the Pulpino RI5CY timing.
+var DefaultCostModel = CostModel{
+	Base:       1,
+	TakenExtra: 2,
+	LoadExtra:  1,
+	MulExtra:   0,
+	DivExtra:   34,
+	EcallExtra: 4,
+}
+
+// Ecall numbers understood by the simulator (a7 selects the call).
+const (
+	EcallExit    = 93 // a0 = exit code
+	EcallPutchar = 64 // a0 = byte to append to console output
+	EcallGetword = 63 // returns next verifier-input word in a0 (0 when exhausted)
+)
+
+// ExecError wraps a fault with the PC and cycle at which it occurred.
+type ExecError struct {
+	PC    uint32
+	Cycle uint64
+	Err   error
+}
+
+// Error implements error.
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("cpu: at pc=%#08x cycle=%d: %v", e.PC, e.Cycle, e.Err)
+}
+
+// Unwrap exposes the underlying fault.
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// CPU is the architectural state of the core.
+type CPU struct {
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	Mem  *mem.Memory
+
+	// Cycle is the current clock cycle (monotonic; includes cost-model
+	// stalls).
+	Cycle uint64
+	// Retired counts retired instructions.
+	Retired uint64
+
+	// Halted is set once the program executes the exit ecall.
+	Halted   bool
+	ExitCode uint32
+
+	// Costs is the pipeline cycle-cost model.
+	Costs CostModel
+
+	// Trace receives every retired instruction; nil disables tracing.
+	Trace trace.Sink
+
+	// Input is the verifier-supplied input word stream i (§3), consumed
+	// by EcallGetword.
+	Input []uint32
+	// Output accumulates EcallPutchar bytes.
+	Output []byte
+
+	inputPos int
+}
+
+// New returns a CPU over the given memory with the default cost model.
+// The stack pointer must be set by the caller (or via Reset).
+func New(m *mem.Memory) *CPU {
+	return &CPU{Mem: m, Costs: DefaultCostModel}
+}
+
+// Reset prepares the core to run from entry with the given stack top.
+func (c *CPU) Reset(entry, stackTop uint32) {
+	c.Regs = [isa.NumRegs]uint32{}
+	c.Regs[isa.SP] = stackTop
+	c.PC = entry
+	c.Cycle = 0
+	c.Retired = 0
+	c.Halted = false
+	c.ExitCode = 0
+	c.Output = c.Output[:0]
+	c.inputPos = 0
+}
+
+// Step fetches, decodes and executes one instruction, advancing the
+// cycle counter per the cost model and publishing the retirement event.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return fmt.Errorf("cpu: step after halt")
+	}
+	pc := c.PC
+	word, err := c.Mem.Fetch(pc)
+	if err != nil {
+		return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
+	}
+
+	cost := c.Costs.Base
+	nextPC := pc + 4
+	taken := false
+
+	reg := func(r isa.Reg) uint32 { return c.Regs[r] }
+	setReg := func(r isa.Reg, v uint32) {
+		if r != isa.Zero {
+			c.Regs[r] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpLUI:
+		setReg(in.Rd, uint32(in.Imm))
+	case isa.OpAUIPC:
+		setReg(in.Rd, pc+uint32(in.Imm))
+
+	case isa.OpJAL:
+		setReg(in.Rd, pc+4)
+		nextPC = pc + uint32(in.Imm)
+		taken = true
+		cost += c.Costs.TakenExtra
+	case isa.OpJALR:
+		t := (reg(in.Rs1) + uint32(in.Imm)) &^ 1
+		setReg(in.Rd, pc+4)
+		nextPC = t
+		taken = true
+		cost += c.Costs.TakenExtra
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		a, b := reg(in.Rs1), reg(in.Rs2)
+		switch in.Op {
+		case isa.OpBEQ:
+			taken = a == b
+		case isa.OpBNE:
+			taken = a != b
+		case isa.OpBLT:
+			taken = int32(a) < int32(b)
+		case isa.OpBGE:
+			taken = int32(a) >= int32(b)
+		case isa.OpBLTU:
+			taken = a < b
+		case isa.OpBGEU:
+			taken = a >= b
+		}
+		if taken {
+			nextPC = pc + uint32(in.Imm)
+			cost += c.Costs.TakenExtra
+		}
+
+	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU:
+		addr := reg(in.Rs1) + uint32(in.Imm)
+		var v uint32
+		switch in.Op {
+		case isa.OpLB:
+			b, e := c.Mem.LoadByte(addr)
+			v, err = uint32(int32(int8(b))), e
+		case isa.OpLBU:
+			b, e := c.Mem.LoadByte(addr)
+			v, err = uint32(b), e
+		case isa.OpLH:
+			h, e := c.Mem.LoadHalf(addr)
+			v, err = uint32(int32(int16(h))), e
+		case isa.OpLHU:
+			h, e := c.Mem.LoadHalf(addr)
+			v, err = uint32(h), e
+		case isa.OpLW:
+			v, err = c.Mem.LoadWord(addr)
+		}
+		if err != nil {
+			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
+		}
+		setReg(in.Rd, v)
+		cost += c.Costs.LoadExtra
+
+	case isa.OpSB, isa.OpSH, isa.OpSW:
+		addr := reg(in.Rs1) + uint32(in.Imm)
+		v := reg(in.Rs2)
+		switch in.Op {
+		case isa.OpSB:
+			err = c.Mem.StoreByte(addr, byte(v))
+		case isa.OpSH:
+			err = c.Mem.StoreHalf(addr, uint16(v))
+		case isa.OpSW:
+			err = c.Mem.StoreWord(addr, v)
+		}
+		if err != nil {
+			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
+		}
+
+	case isa.OpADDI:
+		setReg(in.Rd, reg(in.Rs1)+uint32(in.Imm))
+	case isa.OpSLTI:
+		setReg(in.Rd, boolToU32(int32(reg(in.Rs1)) < in.Imm))
+	case isa.OpSLTIU:
+		setReg(in.Rd, boolToU32(reg(in.Rs1) < uint32(in.Imm)))
+	case isa.OpXORI:
+		setReg(in.Rd, reg(in.Rs1)^uint32(in.Imm))
+	case isa.OpORI:
+		setReg(in.Rd, reg(in.Rs1)|uint32(in.Imm))
+	case isa.OpANDI:
+		setReg(in.Rd, reg(in.Rs1)&uint32(in.Imm))
+	case isa.OpSLLI:
+		setReg(in.Rd, reg(in.Rs1)<<uint(in.Imm))
+	case isa.OpSRLI:
+		setReg(in.Rd, reg(in.Rs1)>>uint(in.Imm))
+	case isa.OpSRAI:
+		setReg(in.Rd, uint32(int32(reg(in.Rs1))>>uint(in.Imm)))
+
+	case isa.OpADD:
+		setReg(in.Rd, reg(in.Rs1)+reg(in.Rs2))
+	case isa.OpSUB:
+		setReg(in.Rd, reg(in.Rs1)-reg(in.Rs2))
+	case isa.OpSLL:
+		setReg(in.Rd, reg(in.Rs1)<<(reg(in.Rs2)&31))
+	case isa.OpSLT:
+		setReg(in.Rd, boolToU32(int32(reg(in.Rs1)) < int32(reg(in.Rs2))))
+	case isa.OpSLTU:
+		setReg(in.Rd, boolToU32(reg(in.Rs1) < reg(in.Rs2)))
+	case isa.OpXOR:
+		setReg(in.Rd, reg(in.Rs1)^reg(in.Rs2))
+	case isa.OpSRL:
+		setReg(in.Rd, reg(in.Rs1)>>(reg(in.Rs2)&31))
+	case isa.OpSRA:
+		setReg(in.Rd, uint32(int32(reg(in.Rs1))>>(reg(in.Rs2)&31)))
+	case isa.OpOR:
+		setReg(in.Rd, reg(in.Rs1)|reg(in.Rs2))
+	case isa.OpAND:
+		setReg(in.Rd, reg(in.Rs1)&reg(in.Rs2))
+
+	case isa.OpMUL:
+		setReg(in.Rd, reg(in.Rs1)*reg(in.Rs2))
+		cost += c.Costs.MulExtra
+	case isa.OpMULH:
+		setReg(in.Rd, uint32(uint64(int64(int32(reg(in.Rs1)))*int64(int32(reg(in.Rs2))))>>32))
+		cost += c.Costs.MulExtra
+	case isa.OpMULHSU:
+		setReg(in.Rd, uint32(uint64(int64(int32(reg(in.Rs1)))*int64(uint64(reg(in.Rs2))))>>32))
+		cost += c.Costs.MulExtra
+	case isa.OpMULHU:
+		setReg(in.Rd, uint32(uint64(reg(in.Rs1))*uint64(reg(in.Rs2))>>32))
+		cost += c.Costs.MulExtra
+	case isa.OpDIV:
+		a, b := int32(reg(in.Rs1)), int32(reg(in.Rs2))
+		switch {
+		case b == 0:
+			setReg(in.Rd, 0xFFFFFFFF)
+		case a == -1<<31 && b == -1:
+			setReg(in.Rd, uint32(a))
+		default:
+			setReg(in.Rd, uint32(a/b))
+		}
+		cost += c.Costs.DivExtra
+	case isa.OpDIVU:
+		a, b := reg(in.Rs1), reg(in.Rs2)
+		if b == 0 {
+			setReg(in.Rd, 0xFFFFFFFF)
+		} else {
+			setReg(in.Rd, a/b)
+		}
+		cost += c.Costs.DivExtra
+	case isa.OpREM:
+		a, b := int32(reg(in.Rs1)), int32(reg(in.Rs2))
+		switch {
+		case b == 0:
+			setReg(in.Rd, uint32(a))
+		case a == -1<<31 && b == -1:
+			setReg(in.Rd, 0)
+		default:
+			setReg(in.Rd, uint32(a%b))
+		}
+		cost += c.Costs.DivExtra
+	case isa.OpREMU:
+		a, b := reg(in.Rs1), reg(in.Rs2)
+		if b == 0 {
+			setReg(in.Rd, a)
+		} else {
+			setReg(in.Rd, a%b)
+		}
+		cost += c.Costs.DivExtra
+
+	case isa.OpFENCE:
+		// no-op in a single-core model
+
+	case isa.OpECALL:
+		cost += c.Costs.EcallExtra
+		switch reg(isa.A7) {
+		case EcallExit:
+			c.Halted = true
+			c.ExitCode = reg(isa.A0)
+		case EcallPutchar:
+			c.Output = append(c.Output, byte(reg(isa.A0)))
+		case EcallGetword:
+			var v uint32
+			if c.inputPos < len(c.Input) {
+				v = c.Input[c.inputPos]
+				c.inputPos++
+			}
+			setReg(isa.A0, v)
+		default:
+			return &ExecError{PC: pc, Cycle: c.Cycle,
+				Err: fmt.Errorf("unknown ecall %d", reg(isa.A7))}
+		}
+
+	case isa.OpEBREAK:
+		return &ExecError{PC: pc, Cycle: c.Cycle, Err: fmt.Errorf("ebreak")}
+
+	default:
+		return &ExecError{PC: pc, Cycle: c.Cycle, Err: fmt.Errorf("unimplemented opcode %v", in.Op)}
+	}
+
+	c.Cycle += cost
+	c.Retired++
+	c.PC = nextPC
+
+	if c.Trace != nil {
+		kind := isa.Classify(in)
+		c.Trace.Retire(trace.Event{
+			Cycle:   c.Cycle,
+			PC:      pc,
+			Word:    word,
+			Inst:    in,
+			Kind:    kind,
+			Taken:   taken,
+			NextPC:  nextPC,
+			Linking: isa.IsLinking(in),
+		})
+	}
+	return nil
+}
+
+// Run executes until the program halts or maxInstructions retire.
+func (c *CPU) Run(maxInstructions uint64) error {
+	start := c.Retired
+	for !c.Halted {
+		if c.Retired-start >= maxInstructions {
+			return fmt.Errorf("cpu: instruction budget %d exhausted at pc=%#08x", maxInstructions, c.PC)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolToU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

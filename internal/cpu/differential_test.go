@@ -1,0 +1,224 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"lofat/internal/asm"
+	"lofat/internal/isa"
+)
+
+// refState is an independent, deliberately naive interpreter for
+// straight-line ALU instructions, written directly from the RISC-V spec
+// text rather than sharing any code with the CPU. Differential testing
+// against it catches sign-extension, shift-masking and overflow bugs.
+type refState struct {
+	regs [32]int64 // kept as int64; truncated to 32 bits on every write
+}
+
+func (s *refState) get(r isa.Reg) uint32 { return uint32(s.regs[r]) }
+
+func (s *refState) set(r isa.Reg, v uint32) {
+	if r != 0 {
+		s.regs[r] = int64(v)
+	}
+}
+
+func (s *refState) exec(in isa.Inst) {
+	a := s.get(in.Rs1)
+	b := s.get(in.Rs2)
+	imm := uint32(in.Imm)
+	sa := int32(a)
+	sb := int32(b)
+	simm := in.Imm
+	switch in.Op {
+	case isa.OpADDI:
+		s.set(in.Rd, a+imm)
+	case isa.OpSLTI:
+		s.set(in.Rd, b2u(sa < simm))
+	case isa.OpSLTIU:
+		s.set(in.Rd, b2u(a < imm))
+	case isa.OpXORI:
+		s.set(in.Rd, a^imm)
+	case isa.OpORI:
+		s.set(in.Rd, a|imm)
+	case isa.OpANDI:
+		s.set(in.Rd, a&imm)
+	case isa.OpSLLI:
+		s.set(in.Rd, a<<uint(in.Imm))
+	case isa.OpSRLI:
+		s.set(in.Rd, a>>uint(in.Imm))
+	case isa.OpSRAI:
+		s.set(in.Rd, uint32(sa>>uint(in.Imm)))
+	case isa.OpADD:
+		s.set(in.Rd, a+b)
+	case isa.OpSUB:
+		s.set(in.Rd, a-b)
+	case isa.OpSLL:
+		s.set(in.Rd, a<<(b&31))
+	case isa.OpSLT:
+		s.set(in.Rd, b2u(sa < sb))
+	case isa.OpSLTU:
+		s.set(in.Rd, b2u(a < b))
+	case isa.OpXOR:
+		s.set(in.Rd, a^b)
+	case isa.OpSRL:
+		s.set(in.Rd, a>>(b&31))
+	case isa.OpSRA:
+		s.set(in.Rd, uint32(sa>>(b&31)))
+	case isa.OpOR:
+		s.set(in.Rd, a|b)
+	case isa.OpAND:
+		s.set(in.Rd, a&b)
+	case isa.OpMUL:
+		s.set(in.Rd, uint32(int64(sa)*int64(sb)))
+	case isa.OpMULH:
+		s.set(in.Rd, uint32((int64(sa)*int64(sb))>>32))
+	case isa.OpMULHU:
+		s.set(in.Rd, uint32((uint64(a)*uint64(b))>>32))
+	case isa.OpMULHSU:
+		s.set(in.Rd, uint32((int64(sa)*int64(uint64(b)))>>32))
+	case isa.OpDIV:
+		switch {
+		case sb == 0:
+			s.set(in.Rd, 0xFFFFFFFF)
+		case sa == -1<<31 && sb == -1:
+			s.set(in.Rd, uint32(sa))
+		default:
+			s.set(in.Rd, uint32(sa/sb))
+		}
+	case isa.OpDIVU:
+		if b == 0 {
+			s.set(in.Rd, 0xFFFFFFFF)
+		} else {
+			s.set(in.Rd, a/b)
+		}
+	case isa.OpREM:
+		switch {
+		case sb == 0:
+			s.set(in.Rd, uint32(sa))
+		case sa == -1<<31 && sb == -1:
+			s.set(in.Rd, 0)
+		default:
+			s.set(in.Rd, uint32(sa%sb))
+		}
+	case isa.OpREMU:
+		if b == 0 {
+			s.set(in.Rd, a)
+		} else {
+			s.set(in.Rd, a%b)
+		}
+	case isa.OpLUI:
+		s.set(in.Rd, imm)
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// aluOps are the opcodes the reference covers.
+var aluOps = []isa.Opcode{
+	isa.OpADDI, isa.OpSLTI, isa.OpSLTIU, isa.OpXORI, isa.OpORI, isa.OpANDI,
+	isa.OpSLLI, isa.OpSRLI, isa.OpSRAI,
+	isa.OpADD, isa.OpSUB, isa.OpSLL, isa.OpSLT, isa.OpSLTU, isa.OpXOR,
+	isa.OpSRL, isa.OpSRA, isa.OpOR, isa.OpAND,
+	isa.OpMUL, isa.OpMULH, isa.OpMULHU, isa.OpMULHSU,
+	isa.OpDIV, isa.OpDIVU, isa.OpREM, isa.OpREMU,
+	isa.OpLUI,
+}
+
+func randomALUInst(r *rand.Rand) isa.Inst {
+	op := aluOps[r.Intn(len(aluOps))]
+	in := isa.Inst{Op: op}
+	in.Rd = isa.Reg(r.Intn(32))
+	in.Rs1 = isa.Reg(r.Intn(32))
+	in.Rs2 = isa.Reg(r.Intn(32))
+	switch op {
+	case isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+		in.Rs2 = 0
+		in.Imm = int32(r.Intn(32))
+	case isa.OpLUI:
+		in.Rs1, in.Rs2 = 0, 0
+		in.Imm = int32(r.Uint32() & 0xFFFFF000)
+	case isa.OpADDI, isa.OpSLTI, isa.OpSLTIU, isa.OpXORI, isa.OpORI, isa.OpANDI:
+		in.Rs2 = 0
+		in.Imm = int32(r.Intn(1<<12)) - 1<<11
+	default:
+		in.Imm = 0
+	}
+	return in
+}
+
+// TestDifferentialALU executes random straight-line ALU programs on the
+// CPU and the reference interpreter and compares the full register file.
+func TestDifferentialALU(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		const n = 40
+		insts := make([]isa.Inst, n)
+		for i := range insts {
+			insts[i] = randomALUInst(r)
+		}
+
+		// Assemble into a loadable image by direct encoding plus exit.
+		words := make([]uint32, 0, n+2)
+		for _, in := range insts {
+			words = append(words, isa.MustEncode(in))
+		}
+		words = append(words,
+			isa.MustEncode(isa.Inst{Op: isa.OpADDI, Rd: isa.A7, Imm: 93}),
+			isa.MustEncode(isa.Inst{Op: isa.OpECALL}))
+
+		mach := loadWords(t, words)
+		// Seed registers identically on both sides.
+		var ref refState
+		for i := 1; i < 32; i++ {
+			v := r.Uint32()
+			mach.CPU.Regs[i] = v
+			ref.regs[i] = int64(v)
+		}
+		for _, in := range insts {
+			ref.exec(in)
+		}
+		// a7 is clobbered by the exit sequence; exclude from compare.
+		if err := mach.CPU.Run(1000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 32; i++ {
+			if isa.Reg(i) == isa.A7 {
+				continue
+			}
+			if mach.CPU.Regs[i] != ref.get(isa.Reg(i)) {
+				t.Fatalf("trial %d: x%d = %#x, reference %#x\nprogram: %v",
+					trial, i, mach.CPU.Regs[i], ref.get(isa.Reg(i)), insts)
+			}
+		}
+	}
+}
+
+// loadWords builds a machine directly from instruction words.
+func loadWords(t *testing.T, words []uint32) *Machine {
+	t.Helper()
+	text := make([]byte, 4*len(words))
+	for i, w := range words {
+		text[4*i] = byte(w)
+		text[4*i+1] = byte(w >> 8)
+		text[4*i+2] = byte(w >> 16)
+		text[4*i+3] = byte(w >> 24)
+	}
+	prog := &asm.Program{
+		TextBase: asm.DefaultLayout.TextBase,
+		Text:     text,
+		DataBase: asm.DefaultLayout.DataBase,
+		Labels:   map[string]uint32{},
+	}
+	mach, err := Load(prog, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}

@@ -1,0 +1,102 @@
+package cpu
+
+import (
+	"fmt"
+
+	"lofat/internal/asm"
+	"lofat/internal/mem"
+)
+
+// Machine bundles a loaded program with its memory and core, ready to run.
+type Machine struct {
+	CPU      *CPU
+	Mem      *mem.Memory
+	Program  *asm.Program
+	Entry    uint32
+	StackTop uint32
+}
+
+// LoadOptions tune the memory map built around an assembled program.
+type LoadOptions struct {
+	// BSSSize is extra zeroed rw space mapped after the initialised
+	// data image (default 64 KiB).
+	BSSSize int
+	// StackSize is the size of the stack segment (default 64 KiB).
+	StackSize int
+	// StackBase is the base address of the stack segment.
+	StackBase uint32
+	// EntryLabel is the label execution starts at (default "main",
+	// falling back to the first text address).
+	EntryLabel string
+}
+
+func (o *LoadOptions) fill() {
+	if o.BSSSize == 0 {
+		o.BSSSize = 64 << 10
+	}
+	if o.StackSize == 0 {
+		o.StackSize = 64 << 10
+	}
+	if o.StackBase == 0 {
+		o.StackBase = 0x7FF0_0000
+	}
+	if o.EntryLabel == "" {
+		o.EntryLabel = "main"
+	}
+}
+
+// Load builds the embedded memory map for an assembled program —
+// rx text, rw data+bss, rw stack — loads the images, and returns a
+// reset Machine. It is the trusted-boot step of the paper's model: the
+// binary in rx memory is exactly the statically-attested image.
+func Load(p *asm.Program, opts LoadOptions) (*Machine, error) {
+	opts.fill()
+	m := mem.New()
+
+	textSize := len(p.Text)
+	if textSize == 0 {
+		return nil, fmt.Errorf("cpu: load: empty text segment")
+	}
+	if _, err := m.Map("text", p.TextBase, textSize, mem.PermR|mem.PermX); err != nil {
+		return nil, err
+	}
+	dataSize := len(p.Data) + opts.BSSSize
+	if _, err := m.Map("data", p.DataBase, dataSize, mem.PermR|mem.PermW); err != nil {
+		return nil, err
+	}
+	if _, err := m.Map("stack", opts.StackBase, opts.StackSize, mem.PermR|mem.PermW); err != nil {
+		return nil, err
+	}
+	if err := m.LoadImage(p.TextBase, p.Text); err != nil {
+		return nil, err
+	}
+	if len(p.Data) > 0 {
+		if err := m.LoadImage(p.DataBase, p.Data); err != nil {
+			return nil, err
+		}
+	}
+
+	entry, ok := p.Entry(opts.EntryLabel)
+	if !ok {
+		entry = p.TextBase
+	}
+	stackTop := opts.StackBase + uint32(opts.StackSize) - 16
+
+	c := New(m)
+	c.Reset(entry, stackTop)
+	return &Machine{CPU: c, Mem: m, Program: p, Entry: entry, StackTop: stackTop}, nil
+}
+
+// MustLoadSource assembles and loads source, panicking on error; for
+// tests and examples with known-good programs.
+func MustLoadSource(source string) *Machine {
+	p, err := asm.Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	mach, err := Load(p, LoadOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return mach
+}

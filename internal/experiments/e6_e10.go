@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"lofat/internal/area"
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/cflat"
+	"lofat/internal/core"
+	"lofat/internal/monitor"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+// cflatResult/cflatRun keep e1_e5.go decoupled from the cflat import.
+type cflatResult = cflat.Result
+
+func cflatRun(prog *asm.Program, input []uint32) (cflat.Result, error) {
+	return cflat.NewRunner().Run(prog, input)
+}
+
+// E6Area reproduces §6.2: the synthesis results and the configuration
+// trade-off ("Configuring these parameters to lower numbers reduces the
+// memory requirements significantly").
+func E6Area() (Table, error) {
+	t := Table{
+		ID:    "E6",
+		Title: "FPGA area and fmax on XC7Z020 (§6.2 model)",
+		Columns: []string{"config", "LUTs", "LUT %", "FFs", "FF %",
+			"BRAM36 (loops+other)", "logic vs Pulpino", "fmax MHz"},
+		Notes: []string{
+			"paper @ defaults (ℓ=16, n=4, depth 3): 6% LUTs, 4% registers, 49 BRAMs (48 loop), ~20% logic overhead, 80 MHz.",
+		},
+	}
+	cfgs := []struct {
+		label string
+		cfg   area.Config
+	}{
+		{"paper default ℓ=16 n=4 d=3", area.Config{}},
+		{"ℓ=12 n=4 d=3", area.Config{BranchesPerPath: 12}},
+		{"ℓ=8 n=4 d=3", area.Config{BranchesPerPath: 8}},
+		{"ℓ=16 n=2 d=3", area.Config{IndirectBits: 2}},
+		{"ℓ=16 n=4 d=1", area.Config{NestingDepth: 1}},
+		{"ℓ=16 n=4 d=3 CAM loop mem", area.Config{UseCAMForLoopMem: true}},
+	}
+	for _, c := range cfgs {
+		r := area.Estimate(c.cfg)
+		t.Rows = append(t.Rows, []string{
+			c.label, d(r.LUTs), f1(100 * r.UtilLUT), d(r.FFs), f1(100 * r.UtilFF),
+			fmt.Sprintf("%d (%d+%d)", r.BRAMTotal, r.BRAMLoops, r.BRAMOther),
+			f1(100*r.LogicOverheadVsPulpino) + "%", f1(r.FmaxMHz),
+		})
+	}
+	return t, nil
+}
+
+// E7Attacks reproduces the security argument of §2/§6.3 as a detection
+// matrix over the three run-time attack classes of Figure 1.
+func E7Attacks() (Table, error) {
+	t := Table{
+		ID:    "E7",
+		Title: "attack detection matrix (Figure 1 classes, §6.3)",
+		Columns: []string{"attack", "class", "benign exit", "attacked exit",
+			"verdict", "classified as", "A changed", "L changed"},
+		Notes: []string{
+			"class 2 (loop counter) leaves the hash A UNCHANGED — only the metadata L catches it, which is why LO-FAT reports L at all.",
+		},
+	}
+	for _, atk := range workloads.Attacks() {
+		prog, err := atk.Workload.Assemble()
+		if err != nil {
+			return t, err
+		}
+		keys, err := sig.GenerateKeyStore(rand.Reader)
+		if err != nil {
+			return t, err
+		}
+		prover := attest.NewProver(prog, core.Config{}, keys)
+		verifier, err := attest.NewVerifier(prog, core.Config{}, keys.Public(), rand.Reader)
+		if err != nil {
+			return t, err
+		}
+
+		// Benign exchange.
+		ch, err := verifier.NewChallenge(atk.Workload.Input)
+		if err != nil {
+			return t, err
+		}
+		benign, err := prover.Attest(ch)
+		if err != nil {
+			return t, err
+		}
+		if res := verifier.Verify(ch, benign); !res.Accepted {
+			return t, fmt.Errorf("%s: benign run rejected: %v", atk.Name, res.Findings)
+		}
+
+		// Attacked exchange.
+		prover.Adversary = atk.Build(prog)
+		ch2, err := verifier.NewChallenge(atk.Workload.Input)
+		if err != nil {
+			return t, err
+		}
+		attacked, err := prover.Attest(ch2)
+		if err != nil {
+			return t, err
+		}
+		res := verifier.Verify(ch2, attacked)
+		wantAccepted := atk.Expect == attest.ClassAccepted
+		if res.Accepted != wantAccepted {
+			return t, fmt.Errorf("%s: accepted=%v, want %v", atk.Name, res.Accepted, wantAccepted)
+		}
+
+		verdict := "DETECTED"
+		if wantAccepted {
+			verdict = "not detected (by design)"
+		}
+		hashChanged := "no"
+		if attacked.Hash != benign.Hash {
+			hashChanged = "yes"
+		}
+		lChanged := "no"
+		if attest.MetadataSize(attacked.Loops) != attest.MetadataSize(benign.Loops) ||
+			!sameLoopCounts(attacked.Loops, benign.Loops) {
+			lChanged = "yes"
+		}
+		classLabel := fmt.Sprintf("class %d", atk.Class)
+		if atk.Class == 0 {
+			classLabel = "pure data (DOP)"
+		}
+		t.Rows = append(t.Rows, []string{
+			atk.Name, classLabel,
+			u(uint64(benign.ExitCode)), u(uint64(attacked.ExitCode)),
+			verdict, res.Class.String(), hashChanged, lChanged,
+		})
+	}
+	return t, nil
+}
+
+func sameLoopCounts(a, b []monitor.LoopRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Iterations != b[i].Iterations {
+			return false
+		}
+	}
+	return true
+}
+
+// E8Indirect reproduces §5.2: n-bit re-encoding of indirect targets,
+// 2^n−1 capacity, all-zero overflow code, and the 8×2^ℓ memory formula.
+func E8Indirect() (Table, error) {
+	t := Table{
+		ID:    "E8",
+		Title: "indirect-branch target re-encoding in loops (§5.2)",
+		Columns: []string{"n (bits)", "CAM capacity", "targets seen",
+			"targets tracked", "overflow hits", "loop mem bits (8·2^ℓ, ℓ=16)"},
+		Notes: []string{
+			"paper: 'we re-encode the addresses using a smaller number of n bits, allowing a maximum number of 2^n−1 possible targets for each loop. ... When a target address is encountered that exceeds the configured limit, we report this in the encoding to the V by an all-zero code.'",
+		},
+	}
+	// A dispatch loop cycling through 6 distinct handler targets.
+	src := `
+	.data
+table:
+	.word h0, h1, h2, h3, h4, h5
+	.text
+main:
+	li   s0, 12
+loop:
+	addi s0, s0, -1
+	li   t0, 6
+	remu t1, s0, t0
+	slli t1, t1, 2
+	la   t2, table
+	add  t2, t2, t1
+	lw   t3, 0(t2)
+	jalr ra, 0(t3)
+	bnez s0, loop
+	li   a7, 93
+	ecall
+h0:	ret
+h1:	ret
+h2:	ret
+h3:	ret
+h4:	ret
+h5:	ret
+`
+	for _, n := range []int{2, 3, 4} {
+		cfg := core.Config{Monitor: monitor.Config{IndirectBits: n}}
+		m, err := measureWorkloadWithConfig(workloads.Workload{Name: "indirect-sweep", Source: src}, cfg)
+		if err != nil {
+			return t, err
+		}
+		if len(m.Loops) == 0 {
+			return t, fmt.Errorf("no loop detected in indirect sweep")
+		}
+		rec := m.Loops[0]
+		t.Rows = append(t.Rows, []string{
+			d(n), d(1<<uint(n) - 1), "7 (6 handlers + ret site)",
+			d(len(rec.IndirectTargets)), u(rec.IndirectOverflows),
+			u(8 * (1 << 16)),
+		})
+	}
+	return t, nil
+}
+
+func measureWorkloadWithConfig(w workloads.Workload, cfg core.Config) (core.Measurement, error) {
+	prog, err := w.Assemble()
+	if err != nil {
+		return core.Measurement{}, err
+	}
+	m, _, err := attest.Measure(prog, cfg, w.Input, 50_000_000)
+	return m, err
+}
+
+// E9Protocol reproduces §6.3's protocol properties: authenticity,
+// freshness, and tamper evidence.
+func E9Protocol() (Table, error) {
+	t := Table{
+		ID:      "E9",
+		Title:   "attestation protocol properties (Figure 2, §6.3)",
+		Columns: []string{"scenario", "verdict", "classified as"},
+		Notes: []string{
+			"paper: 'If P's signing key has not been compromised, this signature guarantees the authenticity of the attestation, and the inclusion of the challenge nonce ensures freshness. Any tampering with the attestation messages can be detected by V.'",
+		},
+	}
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		return t, err
+	}
+	keys, err := sig.GenerateKeyStore(rand.Reader)
+	if err != nil {
+		return t, err
+	}
+	p := attest.NewProver(prog, core.Config{}, keys)
+	v, err := attest.NewVerifier(prog, core.Config{}, keys.Public(), rand.Reader)
+	if err != nil {
+		return t, err
+	}
+
+	add := func(name string, res attest.Result) {
+		verdict := "rejected"
+		if res.Accepted {
+			verdict = "accepted"
+		}
+		t.Rows = append(t.Rows, []string{name, verdict, res.Class.String()})
+	}
+
+	// Honest.
+	ch, err := v.NewChallenge(w.Input)
+	if err != nil {
+		return t, err
+	}
+	rep, err := p.Attest(ch)
+	if err != nil {
+		return t, err
+	}
+	add("honest exchange", v.Verify(ch, rep))
+
+	// Replay against a fresh nonce.
+	ch2, _ := v.NewChallenge(w.Input)
+	add("replayed report (stale nonce)", v.Verify(ch2, rep))
+
+	// Tampered measurement.
+	ch3, _ := v.NewChallenge(w.Input)
+	rep3, err := p.Attest(ch3)
+	if err != nil {
+		return t, err
+	}
+	rep3.Loops[0].Iterations += 3
+	add("tampered loop counts", v.Verify(ch3, rep3))
+
+	// Forged signature (wrong key).
+	rogue, err := sig.GenerateKeyStore(rand.Reader)
+	if err != nil {
+		return t, err
+	}
+	ch4, _ := v.NewChallenge(w.Input)
+	rep4, err := p.Attest(ch4)
+	if err != nil {
+		return t, err
+	}
+	rep4.Sig = rogue.Sign(attest.SignedPayload(rep4))
+	add("report signed by rogue key", v.Verify(ch4, rep4))
+	return t, nil
+}
+
+// E10Metadata reproduces §6.1's observation that |L| "depends on the
+// number of loops executed, the number of different paths per loop, and
+// the number of indirect branch targets encountered".
+func E10Metadata() (Table, error) {
+	t := Table{
+		ID:      "E10",
+		Title:   "auxiliary metadata size scaling (§6.1)",
+		Columns: []string{"scenario", "loop records", "distinct paths", "indirect targets", "|L| bytes"},
+	}
+	scenarios := []struct {
+		name  string
+		w     workloads.Workload
+		input []uint32
+	}{
+		{"pump: 1 bolus", workloads.SyringePump(), []uint32{0xC0FFEE, 1, 4}},
+		{"pump: 3 boluses", workloads.SyringePump(), []uint32{0xC0FFEE, 3, 4, 5, 6}},
+		{"pump: 6 boluses", workloads.SyringePump(), []uint32{0xC0FFEE, 6, 2, 3, 4, 5, 6, 7}},
+		{"dispatch: 5 cmds", workloads.Dispatch(), []uint32{2, 1, 0, 2, 1, 99}},
+		{"dispatch: 10 cmds", workloads.Dispatch(), []uint32{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 99}},
+		{"matmul (3-deep nest)", workloads.MatMul(), nil},
+	}
+	for _, s := range scenarios {
+		w := s.w
+		w.Input = s.input
+		m, err := measureWorkload(w)
+		if err != nil {
+			return t, err
+		}
+		var paths, targets int
+		for _, r := range m.Loops {
+			paths += len(r.Paths)
+			targets += len(r.IndirectTargets)
+		}
+		t.Rows = append(t.Rows, []string{
+			s.name, d(len(m.Loops)), d(paths), d(targets),
+			d(attest.MetadataSize(m.Loops)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run and produce a well-formed table.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.ID != e.ID {
+				t.Errorf("table ID %q != experiment ID %q", tb.ID, e.ID)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, r := range tb.Rows {
+				if len(r) != len(tb.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(r), len(tb.Columns))
+				}
+			}
+			if !strings.Contains(tb.Format(), "| "+tb.Columns[0]) {
+				t.Error("Format missing header")
+			}
+		})
+	}
+}
+
+// E2 must contain the paper's exact Figure 4 encodings.
+func TestE2MatchesPaper(t *testing.T) {
+	tb, err := E2PathEncoding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Format()
+	for _, enc := range []string{"011", "0011"} {
+		if !strings.Contains(s, "| "+enc+" |") {
+			t.Errorf("E2 missing encoding %q:\n%s", enc, s)
+		}
+	}
+}
+
+// E3: LO-FAT column must be all-zero added cycles; C-FLAT all nonzero.
+func TestE3ZeroVsLinear(t *testing.T) {
+	tb, err := E3Overhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		if r[3] != "0" {
+			t.Errorf("%s: LO-FAT added cycles = %s, want 0", r[0], r[3])
+		}
+		if r[5] == "0" {
+			t.Errorf("%s: C-FLAT added cycles = 0", r[0])
+		}
+	}
+}
+
+// E6 first row must be the paper's prototype numbers.
+func TestE6PaperRow(t *testing.T) {
+	tb, err := E6Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tb.Rows[0]
+	if r[5] != "49 (48+1)" {
+		t.Errorf("BRAM cell = %q, want 49 (48+1)", r[5])
+	}
+	if r[7] != "80.0" {
+		t.Errorf("fmax cell = %q, want 80.0", r[7])
+	}
+}
+
+// E7 must show all three classes detected with the right labels.
+func TestE7AllClassesDetected(t *testing.T) {
+	tb, err := E7Attacks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (three classes + DOP limitation)", len(tb.Rows))
+	}
+	wantClass := map[string]string{
+		"auth-bypass":   "non-control-data-attack",
+		"loop-counter":  "loop-counter-attack",
+		"code-pointer":  "control-flow-attack",
+		"dop-data-only": "accepted",
+	}
+	for _, r := range tb.Rows {
+		if r[0] == "dop-data-only" {
+			// The documented limitation: NOT detected, measurement
+			// bit-identical.
+			if r[4] == "DETECTED" {
+				t.Error("pure-data attack reported as detected")
+			}
+			if r[6] != "no" || r[7] != "no" {
+				t.Errorf("DOP attack changed the measurement: A=%s L=%s", r[6], r[7])
+			}
+		} else if r[4] != "DETECTED" {
+			t.Errorf("%s not detected", r[0])
+		}
+		if r[5] != wantClass[r[0]] {
+			t.Errorf("%s classified %q, want %q", r[0], r[5], wantClass[r[0]])
+		}
+		// The class-2 signature property: hash unchanged.
+		if r[0] == "loop-counter" && r[6] != "no" {
+			t.Errorf("loop-counter attack changed A; it must not")
+		}
+	}
+}
+
+// E9: honest accepted, all manipulations rejected.
+func TestE9Outcomes(t *testing.T) {
+	tb, err := E9Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range tb.Rows {
+		want := "rejected"
+		if i == 0 {
+			want = "accepted"
+		}
+		if r[1] != want {
+			t.Errorf("%s: verdict %q, want %q", r[0], r[1], want)
+		}
+	}
+}
+
+// E10: metadata size must grow monotonically over the pump scenarios.
+func TestE10Monotone(t *testing.T) {
+	tb, err := E10Metadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, r := range tb.Rows[:3] { // the three pump rows
+		var size int
+		if _, err := fmtSscan(r[4], &size); err != nil {
+			t.Fatalf("bad size cell %q", r[4])
+		}
+		if size <= prev {
+			t.Errorf("metadata size %d not growing (prev %d)", size, prev)
+		}
+		prev = size
+	}
+}
+
+func fmtSscan(s string, v *int) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	*v = n
+	return n, nil
+}

@@ -1,0 +1,224 @@
+// Package filter implements the LO-FAT branch filter of §4/§5.1: the
+// unit "tightly coupled to the processor" that inspects every retired
+// instruction, filters in branch/jump/return instructions, emits their
+// (Src,Dest) pairs, and performs run-time loop detection WITHOUT any
+// software instrumentation.
+//
+// Loop heuristic (§5.1): RISC-V subroutine calls with multiple call
+// sites are linking (they update the link register), so the target of a
+// taken, non-linking, direct backward branch is treated as a loop entry
+// node, and the basic block following the branch instruction as the loop
+// exit node. Entry/exit addresses are held in registers to track
+// iterations and nesting depth; loop termination is detected when
+// execution proceeds to or past the active exit node (sequentially or
+// via a non-linking branch). Linking calls from inside a loop suspend
+// exit detection until the matching return (call-depth counting), so
+// subroutines invoked from loop bodies do not falsely terminate the loop.
+//
+// The filter is deliberately deterministic: the verifier re-runs the
+// same algorithm over a golden execution, so every convention here
+// (pre-push attribution of the first back-edge, cascade pop order,
+// boundary-before-push) is part of the measurement definition.
+package filter
+
+import (
+	"lofat/internal/hashengine"
+	"lofat/internal/isa"
+	"lofat/internal/trace"
+)
+
+// SymbolKind is the path-encoding alphabet of Figure 4.
+type SymbolKind uint8
+
+// Path symbols: conditional branches contribute a taken/not-taken bit,
+// direct jumps a '1', and indirect transfers (indirect calls and
+// returns) an n-bit re-encoded target (§5.2).
+const (
+	SymCond SymbolKind = iota
+	SymJump
+	SymIndirect
+)
+
+// OpKind discriminates the control operations the filter emits — the
+// hardware ctrl signals of Figure 3.
+type OpKind uint8
+
+// Filter output operations.
+const (
+	// OpHashDirect: non-loop control-flow event; hash (Src,Dest)
+	// immediately (non_loops ctrl).
+	OpHashDirect OpKind = iota
+	// OpLoopEvent: control-flow event attributed to the innermost
+	// active loop (branch_status ctrl).
+	OpLoopEvent
+	// OpIterEnd: execution re-entered the active loop's entry node —
+	// one iteration completed (loops_status ctrl).
+	OpIterEnd
+	// OpLoopPush: a new loop was detected (first back-edge execution);
+	// the triggering event itself was already attributed to the
+	// enclosing context.
+	OpLoopPush
+	// OpLoopExit: the innermost active loop terminated (loop_end ctrl).
+	OpLoopExit
+)
+
+// Op is one control operation, in event order.
+type Op struct {
+	Kind   OpKind
+	Pair   hashengine.Pair // OpHashDirect, OpLoopEvent
+	Sym    SymbolKind      // OpLoopEvent
+	Taken  bool            // OpLoopEvent with SymCond
+	Target uint32          // OpLoopEvent with SymIndirect
+	Entry  uint32          // OpLoopPush
+	Exit   uint32          // OpLoopPush
+}
+
+// Config parameterizes the filter hardware.
+type Config struct {
+	// MaxDepth is the supported loop nesting depth (paper: 3). Loops
+	// nested deeper are not tracked: their events remain attributed to
+	// the deepest tracked loop, trading compression for area exactly
+	// as §5.2 describes.
+	MaxDepth int
+}
+
+// DefaultConfig matches the paper's prototype.
+var DefaultConfig = Config{MaxDepth: 3}
+
+type loopCtx struct {
+	entry uint32
+	exit  uint32
+	depth int // pending linking calls (exit detection suppressed while >0)
+}
+
+// Filter is the branch filter state machine.
+type Filter struct {
+	cfg   Config
+	stack []loopCtx
+
+	// Stats for §6 evaluation.
+	Events     uint64 // control-flow events seen
+	LoopEvents uint64 // events attributed to loops
+	Pushes     uint64
+	Exits      uint64
+}
+
+// New returns a filter with the given configuration.
+func New(cfg Config) *Filter {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = DefaultConfig.MaxDepth
+	}
+	return &Filter{cfg: cfg}
+}
+
+// Depth reports the current active loop nesting depth.
+func (f *Filter) Depth() int { return len(f.stack) }
+
+// Reset clears all loop state for a new attestation run.
+func (f *Filter) Reset() {
+	f.stack = f.stack[:0]
+	f.Events = 0
+	f.LoopEvents = 0
+	f.Pushes = 0
+	f.Exits = 0
+}
+
+// top returns the innermost active loop, or nil.
+func (f *Filter) top() *loopCtx {
+	if len(f.stack) == 0 {
+		return nil
+	}
+	return &f.stack[len(f.stack)-1]
+}
+
+// inRange reports whether pc is within the loop body [entry, exit).
+func (l *loopCtx) inRange(pc uint32) bool {
+	return pc >= l.entry && pc < l.exit
+}
+
+// Step processes one retired-instruction event, appending the resulting
+// control operations to out (which is returned, possibly grown).
+// Non-control-flow events produce no operations.
+func (f *Filter) Step(e trace.Event, out []Op) []Op {
+	if e.Kind == isa.KindNone {
+		return out
+	}
+	f.Events++
+	src, dest := e.SrcDest()
+	pair := hashengine.Pair{Src: src, Dest: dest}
+
+	// 1. Attribute the event to the innermost active loop, or hash it
+	// directly. Attribution happens against the PRE-update stack: the
+	// back-edge that first reveals a loop is measured in the enclosing
+	// context (the loop body proper is measured from iteration 2 on;
+	// the verifier applies the identical convention).
+	if top := f.top(); top != nil {
+		f.LoopEvents++
+		op := Op{Kind: OpLoopEvent, Pair: pair}
+		switch e.Kind {
+		case isa.KindCondBr:
+			op.Sym = SymCond
+			op.Taken = e.Taken
+		case isa.KindJump:
+			op.Sym = SymJump
+		case isa.KindIndirect, isa.KindReturn:
+			op.Sym = SymIndirect
+			op.Target = dest
+		}
+		out = append(out, op)
+	} else {
+		out = append(out, Op{Kind: OpHashDirect, Pair: pair})
+	}
+
+	// 2. Call-depth bookkeeping: linking calls suspend exit detection;
+	// returns resume it when they balance.
+	if top := f.top(); top != nil {
+		if e.Linking {
+			top.depth++
+		} else if e.Kind == isa.KindReturn && top.depth > 0 {
+			top.depth--
+		}
+	}
+
+	// 3. Cascade loop exits: pop every loop whose body no longer
+	// contains the next PC (and whose call depth is balanced).
+	for {
+		top := f.top()
+		if top == nil || top.depth > 0 || top.inRange(e.NextPC) {
+			break
+		}
+		out = append(out, Op{Kind: OpLoopExit})
+		f.stack = f.stack[:len(f.stack)-1]
+		f.Exits++
+	}
+
+	// 4. Iteration boundary: arriving at the entry node of the (new)
+	// top loop completes one iteration.
+	if top := f.top(); top != nil && top.depth == 0 && e.NextPC == top.entry {
+		out = append(out, Op{Kind: OpIterEnd})
+		return out // a boundary cannot also push (dest == entry)
+	}
+
+	// 5. Loop detection: a taken, non-linking, DIRECT backward branch
+	// reveals a new loop with entry = target, exit = branch PC + 4.
+	backward := e.Taken && e.NextPC < e.PC
+	direct := e.Kind == isa.KindCondBr || e.Kind == isa.KindJump
+	if backward && direct && !e.Linking && len(f.stack) < f.cfg.MaxDepth {
+		f.stack = append(f.stack, loopCtx{entry: e.NextPC, exit: e.PC + 4})
+		f.Pushes++
+		out = append(out, Op{Kind: OpLoopPush, Entry: e.NextPC, Exit: e.PC + 4})
+	}
+	return out
+}
+
+// Flush terminates all still-active loops (end of attested execution,
+// e.g. an attested region that halts inside a loop), emitting the
+// corresponding exit operations.
+func (f *Filter) Flush(out []Op) []Op {
+	for range f.stack {
+		out = append(out, Op{Kind: OpLoopExit})
+		f.Exits++
+	}
+	f.stack = f.stack[:0]
+	return out
+}

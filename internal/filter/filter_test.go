@@ -1,0 +1,313 @@
+package filter
+
+import (
+	"testing"
+
+	"lofat/internal/isa"
+	"lofat/internal/trace"
+)
+
+// ev builds a synthetic retired-instruction event.
+func ev(pc, next uint32, kind isa.ControlFlowKind, taken, linking bool) trace.Event {
+	return trace.Event{PC: pc, NextPC: next, Kind: kind, Taken: taken, Linking: linking}
+}
+
+func kinds(ops []Op) []OpKind {
+	out := make([]OpKind, len(ops))
+	for i, op := range ops {
+		out[i] = op.Kind
+	}
+	return out
+}
+
+func eq(a []OpKind, b ...OpKind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNonControlFlowIgnored(t *testing.T) {
+	f := New(Config{})
+	ops := f.Step(ev(0x100, 0x104, isa.KindNone, false, false), nil)
+	if len(ops) != 0 {
+		t.Fatalf("ops = %v, want none", ops)
+	}
+	if f.Events != 0 {
+		t.Errorf("Events = %d", f.Events)
+	}
+}
+
+func TestForwardBranchHashedDirectly(t *testing.T) {
+	f := New(Config{})
+	ops := f.Step(ev(0x100, 0x120, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("ops = %v", kinds(ops))
+	}
+	if ops[0].Pair.Src != 0x100 || ops[0].Pair.Dest != 0x120 {
+		t.Errorf("pair = %+v", ops[0].Pair)
+	}
+	// Not-taken branch also produces a measured event (fall-through edge).
+	ops = f.Step(ev(0x120, 0x124, isa.KindCondBr, false, false), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("not-taken ops = %v", kinds(ops))
+	}
+}
+
+func TestBackwardBranchPushesLoop(t *testing.T) {
+	f := New(Config{})
+	ops := f.Step(ev(0x120, 0x100, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect, OpLoopPush) {
+		t.Fatalf("ops = %v", kinds(ops))
+	}
+	push := ops[1]
+	if push.Entry != 0x100 || push.Exit != 0x124 {
+		t.Errorf("push = %+v, want entry 0x100 exit 0x124", push)
+	}
+	if f.Depth() != 1 {
+		t.Errorf("depth = %d", f.Depth())
+	}
+}
+
+func TestLinkingBackwardCallDoesNotPush(t *testing.T) {
+	f := New(Config{})
+	// jal ra, earlier-function: linking, backward — a subroutine call,
+	// not a loop (the §5.1 heuristic's core discrimination).
+	ops := f.Step(ev(0x200, 0x100, isa.KindJump, true, true), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("ops = %v", kinds(ops))
+	}
+	// Backward return: also not a loop.
+	ops = f.Step(ev(0x180, 0x104, isa.KindReturn, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("return ops = %v", kinds(ops))
+	}
+	if f.Depth() != 0 {
+		t.Errorf("depth = %d", f.Depth())
+	}
+}
+
+// One full loop life cycle: push, two encoded iterations, exit.
+func TestLoopLifecycle(t *testing.T) {
+	f := New(Config{})
+	var ops []Op
+	step := func(e trace.Event) []Op {
+		ops = f.Step(e, ops[:0])
+		return ops
+	}
+
+	// First back-edge: hashed in enclosing context + push.
+	if !eq(kinds(step(ev(0x120, 0x100, isa.KindCondBr, true, false))), OpHashDirect, OpLoopPush) {
+		t.Fatalf("push: %v", kinds(ops))
+	}
+	// In-loop forward branch (stays inside).
+	if !eq(kinds(step(ev(0x104, 0x110, isa.KindCondBr, true, false))), OpLoopEvent) {
+		t.Fatalf("in-loop: %v", kinds(ops))
+	}
+	// Back-edge again: loop event + iteration end.
+	if !eq(kinds(step(ev(0x120, 0x100, isa.KindCondBr, true, false))), OpLoopEvent, OpIterEnd) {
+		t.Fatalf("iter end: %v", kinds(ops))
+	}
+	// Exit: branch to the exit node (0x124).
+	if !eq(kinds(step(ev(0x104, 0x124, isa.KindCondBr, true, false))), OpLoopEvent, OpLoopExit) {
+		t.Fatalf("exit: %v", kinds(ops))
+	}
+	if f.Depth() != 0 {
+		t.Errorf("depth after exit = %d", f.Depth())
+	}
+	if f.Pushes != 1 || f.Exits != 1 {
+		t.Errorf("pushes/exits = %d/%d", f.Pushes, f.Exits)
+	}
+}
+
+// Sequential fall-through past the exit node terminates the loop even
+// without a branch (a not-taken bottom-test conditional).
+func TestSequentialExit(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x120, 0x100, isa.KindCondBr, true, false), nil) // push, exit=0x124
+	// Bottom-test branch not taken: falls through to 0x124 == exit.
+	ops := f.Step(ev(0x120, 0x124, isa.KindCondBr, false, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpLoopExit) {
+		t.Fatalf("ops = %v", kinds(ops))
+	}
+}
+
+// A break jumping PAST the exit node also terminates.
+func TestBreakPastExit(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x120, 0x100, isa.KindCondBr, true, false), nil)
+	ops := f.Step(ev(0x110, 0x200, isa.KindJump, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpLoopExit) {
+		t.Fatalf("ops = %v", kinds(ops))
+	}
+}
+
+// Nested loops: inner loop pushes on its own back-edge; jumping to the
+// outer entry pops the inner loop and marks an outer iteration.
+func TestNestedLoops(t *testing.T) {
+	f := New(Config{})
+	var ops []Op
+	// Outer: entry 0x100, exit 0x144 (back-edge at 0x140).
+	f.Step(ev(0x140, 0x100, isa.KindCondBr, true, false), nil)
+	// Inner: entry 0x110, exit 0x130 (back-edge at 0x12C).
+	ops = f.Step(ev(0x12C, 0x110, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpLoopPush) {
+		t.Fatalf("inner push: %v", kinds(ops))
+	}
+	if f.Depth() != 2 {
+		t.Fatalf("depth = %d", f.Depth())
+	}
+	// Inner iterates once more.
+	ops = f.Step(ev(0x12C, 0x110, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpIterEnd) {
+		t.Fatalf("inner iter: %v", kinds(ops))
+	}
+	// Inner exits by falling to 0x130, still inside outer.
+	ops = f.Step(ev(0x12C, 0x130, isa.KindCondBr, false, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpLoopExit) {
+		t.Fatalf("inner exit: %v", kinds(ops))
+	}
+	if f.Depth() != 1 {
+		t.Fatalf("depth after inner exit = %d", f.Depth())
+	}
+	// Outer back-edge: iteration boundary on the outer loop.
+	ops = f.Step(ev(0x140, 0x100, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpIterEnd) {
+		t.Fatalf("outer iter: %v", kinds(ops))
+	}
+}
+
+// Jumping straight from inside the inner loop to the outer entry pops
+// the inner loop and completes an outer iteration in one event.
+func TestCascadePopWithOuterBoundary(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x140, 0x100, isa.KindCondBr, true, false), nil) // outer
+	f.Step(ev(0x12C, 0x110, isa.KindCondBr, true, false), nil) // inner
+	ops := f.Step(ev(0x118, 0x100, isa.KindJump, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpLoopExit, OpIterEnd) {
+		t.Fatalf("ops = %v", kinds(ops))
+	}
+	if f.Depth() != 1 {
+		t.Errorf("depth = %d", f.Depth())
+	}
+}
+
+// Linking calls from a loop body suspend exit detection until the
+// matching return, even though the callee lies outside the loop body.
+func TestCallFromLoopSuppressed(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x120, 0x100, isa.KindCondBr, true, false), nil) // loop [0x100, 0x124)
+	// Call out to 0x400.
+	ops := f.Step(ev(0x108, 0x400, isa.KindJump, true, true), nil)
+	if !eq(kinds(ops), OpLoopEvent) {
+		t.Fatalf("call popped the loop: %v", kinds(ops))
+	}
+	// Callee-internal branch, far outside the loop: still attributed,
+	// no exit.
+	ops = f.Step(ev(0x404, 0x410, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent) {
+		t.Fatalf("callee branch popped the loop: %v", kinds(ops))
+	}
+	// Nested call and return.
+	f.Step(ev(0x410, 0x500, isa.KindIndirect, true, true), nil)
+	ops = f.Step(ev(0x504, 0x414, isa.KindReturn, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent) {
+		t.Fatalf("inner return popped the loop: %v", kinds(ops))
+	}
+	// Return to the loop body: depth balances, loop still active.
+	ops = f.Step(ev(0x41C, 0x10C, isa.KindReturn, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent) {
+		t.Fatalf("return popped the loop: %v", kinds(ops))
+	}
+	if f.Depth() != 1 {
+		t.Errorf("depth = %d", f.Depth())
+	}
+	// Back-edge: normal iteration.
+	ops = f.Step(ev(0x120, 0x100, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpIterEnd) {
+		t.Fatalf("iteration after call: %v", kinds(ops))
+	}
+}
+
+// A return with balanced call depth exits the loop (returning out of the
+// function that contains it).
+func TestReturnExitsLoop(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x120, 0x100, isa.KindCondBr, true, false), nil)
+	ops := f.Step(ev(0x110, 0x80, isa.KindReturn, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpLoopExit) {
+		t.Fatalf("ops = %v", kinds(ops))
+	}
+}
+
+// Depth beyond MaxDepth is not tracked: no push, events attributed to
+// the deepest tracked loop.
+func TestMaxDepth(t *testing.T) {
+	f := New(Config{MaxDepth: 2})
+	f.Step(ev(0x1F0, 0x100, isa.KindCondBr, true, false), nil) // depth 1
+	f.Step(ev(0x1E0, 0x110, isa.KindCondBr, true, false), nil) // depth 2
+	ops := f.Step(ev(0x1D0, 0x120, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent) {
+		t.Fatalf("ops = %v, want attribution only (no push)", kinds(ops))
+	}
+	if f.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", f.Depth())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x1F0, 0x100, isa.KindCondBr, true, false), nil)
+	f.Step(ev(0x1E0, 0x110, isa.KindCondBr, true, false), nil)
+	ops := f.Flush(nil)
+	if !eq(kinds(ops), OpLoopExit, OpLoopExit) {
+		t.Fatalf("flush ops = %v", kinds(ops))
+	}
+	if f.Depth() != 0 {
+		t.Errorf("depth = %d", f.Depth())
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x120, 0x100, isa.KindCondBr, true, false), nil)
+	f.Reset()
+	if f.Depth() != 0 || f.Events != 0 || f.Pushes != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// Symbol classification carried on loop events.
+func TestLoopEventSymbols(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x200, 0x100, isa.KindCondBr, true, false), nil) // loop [0x100,0x204)
+	cases := []struct {
+		e   trace.Event
+		sym SymbolKind
+		tkn bool
+		tgt uint32
+	}{
+		{ev(0x104, 0x110, isa.KindCondBr, true, false), SymCond, true, 0},
+		{ev(0x110, 0x114, isa.KindCondBr, false, false), SymCond, false, 0},
+		{ev(0x114, 0x130, isa.KindJump, true, false), SymJump, false, 0},
+		{ev(0x130, 0x150, isa.KindIndirect, true, true), SymIndirect, false, 0x150},
+	}
+	for i, c := range cases {
+		ops := f.Step(c.e, nil)
+		if len(ops) == 0 || ops[0].Kind != OpLoopEvent {
+			t.Fatalf("case %d: ops = %v", i, ops)
+		}
+		op := ops[0]
+		if op.Sym != c.sym || op.Taken != c.tkn {
+			t.Errorf("case %d: sym/taken = %v/%v, want %v/%v", i, op.Sym, op.Taken, c.sym, c.tkn)
+		}
+		if c.sym == SymIndirect && op.Target != c.tgt {
+			t.Errorf("case %d: target = %#x, want %#x", i, op.Target, c.tgt)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package hashengine
+
+// Pair is one control-flow edge measurement: the 64-bit (Src,Dest)
+// input the engine absorbs per clock cycle (§5.3).
+type Pair struct {
+	Src  uint32
+	Dest uint32
+}
+
+// bytes returns the 8-byte little-endian absorb word for the pair.
+func (p Pair) bytes() [8]byte {
+	var b [8]byte
+	b[0] = byte(p.Src)
+	b[1] = byte(p.Src >> 8)
+	b[2] = byte(p.Src >> 16)
+	b[3] = byte(p.Src >> 24)
+	b[4] = byte(p.Dest)
+	b[5] = byte(p.Dest >> 8)
+	b[6] = byte(p.Dest >> 16)
+	b[7] = byte(p.Dest >> 24)
+	return b
+}
+
+// Config sets the engine's hardware parameters.
+type Config struct {
+	// FIFODepth is the input cache buffer depth in pairs. The paper
+	// uses a "small cache buffer" sized to cover the 3-cycle busy
+	// window; depth 4 is sufficient at one pair per cycle.
+	FIFODepth int
+	// PairsPerBlock is how many 64-bit inputs fill the 576-bit padding
+	// buffer: 9.
+	PairsPerBlock int
+	// BusyCycles is how long the padding buffer refuses input after
+	// filling while the permutation starts: 3.
+	BusyCycles int
+}
+
+// DefaultConfig matches §5.3.
+var DefaultConfig = Config{FIFODepth: 4, PairsPerBlock: 9, BusyCycles: 3}
+
+func (c *Config) fill() {
+	if c.FIFODepth == 0 {
+		c.FIFODepth = DefaultConfig.FIFODepth
+	}
+	if c.PairsPerBlock == 0 {
+		c.PairsPerBlock = DefaultConfig.PairsPerBlock
+	}
+	if c.BusyCycles == 0 {
+		c.BusyCycles = DefaultConfig.BusyCycles
+	}
+}
+
+// Stats are the engine's observability counters.
+type Stats struct {
+	// Cycles is the number of Tick calls.
+	Cycles uint64
+	// Absorbed counts pairs absorbed into the sponge.
+	Absorbed uint64
+	// Dropped counts pairs lost to FIFO overflow (0 with the paper's
+	// configuration; nonzero only in ablation runs with a starved FIFO).
+	Dropped uint64
+	// BusyCycles counts cycles the padding buffer was refusing input.
+	BusyCycles uint64
+	// MaxFIFO is the high-water mark of the input FIFO.
+	MaxFIFO int
+}
+
+// Engine is the cycle-accurate SHA-3 measurement engine. Digest content
+// depends only on the absorbed pair sequence; the FIFO and busy windows
+// model *when* absorption happens.
+type Engine struct {
+	cfg    Config
+	sponge Sponge
+	fifo   []Pair
+	inBlk  int
+	busy   int
+	stats  Stats
+}
+
+// New returns an engine with the given configuration (zero fields take
+// paper defaults).
+func New(cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{cfg: cfg, fifo: make([]Pair, 0, cfg.FIFODepth)}
+}
+
+// Full reports whether the input FIFO cannot accept a pair this cycle.
+// Producers with backpressure (the loop monitor draining the branches
+// memory) poll Full and wait instead of losing the pair; only
+// unbuffered wire-speed producers drop.
+func (e *Engine) Full() bool { return len(e.fifo) >= e.cfg.FIFODepth }
+
+// Enqueue presents a pair at the engine input this cycle. It reports
+// false (and counts a drop) if the FIFO is full — the hardware condition
+// the paper's buffer sizing rules out.
+func (e *Engine) Enqueue(p Pair) bool {
+	if len(e.fifo) >= e.cfg.FIFODepth {
+		e.stats.Dropped++
+		return false
+	}
+	e.fifo = append(e.fifo, p)
+	if len(e.fifo) > e.stats.MaxFIFO {
+		e.stats.MaxFIFO = len(e.fifo)
+	}
+	return true
+}
+
+// Tick advances the engine one clock cycle: either the padding buffer is
+// busy, or one pair is popped from the FIFO and absorbed.
+func (e *Engine) Tick() {
+	e.stats.Cycles++
+	if e.busy > 0 {
+		e.busy--
+		e.stats.BusyCycles++
+		return
+	}
+	if len(e.fifo) == 0 {
+		return
+	}
+	p := e.fifo[0]
+	copy(e.fifo, e.fifo[1:])
+	e.fifo = e.fifo[:len(e.fifo)-1]
+
+	b := p.bytes()
+	e.sponge.Write(b[:])
+	e.stats.Absorbed++
+	e.inBlk++
+	if e.inBlk == e.cfg.PairsPerBlock {
+		e.inBlk = 0
+		e.busy = e.cfg.BusyCycles
+	}
+}
+
+// Pending reports how many pairs are waiting in the FIFO.
+func (e *Engine) Pending() int { return len(e.fifo) }
+
+// Busy reports whether the padding buffer is refusing input this cycle.
+func (e *Engine) Busy() bool { return e.busy > 0 }
+
+// Drain ticks until the FIFO is empty and the engine idle, returning the
+// number of cycles spent. Called at attestation end before Finalize.
+func (e *Engine) Drain() uint64 {
+	var n uint64
+	for len(e.fifo) > 0 || e.busy > 0 {
+		e.Tick()
+		n++
+	}
+	return n
+}
+
+// Finalize drains any pending input and returns the SHA3-512 digest over
+// every absorbed pair, in order. The engine must be discarded (or Reset)
+// afterwards.
+func (e *Engine) Finalize() [DigestSize]byte {
+	e.Drain()
+	return e.sponge.Sum()
+}
+
+// Reset clears the sponge, FIFO and statistics for a new attestation.
+func (e *Engine) Reset() {
+	e.sponge.Reset()
+	e.fifo = e.fifo[:0]
+	e.inBlk = 0
+	e.busy = 0
+	e.stats = Stats{}
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// HashPairs computes, functionally, the digest the engine would produce
+// for the given pair stream. The verifier uses this to recompute A
+// without a cycle model.
+func HashPairs(pairs []Pair) [DigestSize]byte {
+	var s Sponge
+	for _, p := range pairs {
+		b := p.bytes()
+		s.Write(b[:])
+	}
+	return s.Sum()
+}

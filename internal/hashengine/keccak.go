@@ -1,0 +1,161 @@
+// Package hashengine implements the LO-FAT measurement engine of §5.3: a
+// SHA-3 512 sponge (Keccak-f[1600], 576-bit rate) together with the
+// paper's hardware timing model — the engine absorbs one 64-bit
+// (Src,Dest) pair per clock cycle into its padding buffer for 9 cycles,
+// then the permutation runs and the padding buffer refuses input for 3
+// cycles, during which a small input FIFO buffers arriving pairs so
+// nothing is dropped. Digests are bit-identical to standard SHA3-512;
+// the cycle model only accounts time.
+package hashengine
+
+import "math/bits"
+
+// Keccak-f[1600] round constants.
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// Rotation offsets and lane permutation for the rho/pi steps, in the
+// order the combined loop visits lanes.
+var (
+	rotc = [24]int{1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14,
+		27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44}
+	piln = [24]int{10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4,
+		15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1}
+)
+
+// keccakF1600 applies the full 24-round permutation in place.
+func keccakF1600(a *[25]uint64) {
+	var bc [5]uint64
+	for round := 0; round < 24; round++ {
+		// theta
+		for i := 0; i < 5; i++ {
+			bc[i] = a[i] ^ a[i+5] ^ a[i+10] ^ a[i+15] ^ a[i+20]
+		}
+		for i := 0; i < 5; i++ {
+			t := bc[(i+4)%5] ^ bits.RotateLeft64(bc[(i+1)%5], 1)
+			for j := 0; j < 25; j += 5 {
+				a[j+i] ^= t
+			}
+		}
+		// rho + pi
+		t := a[1]
+		for i := 0; i < 24; i++ {
+			j := piln[i]
+			bc[0] = a[j]
+			a[j] = bits.RotateLeft64(t, rotc[i])
+			t = bc[0]
+		}
+		// chi
+		for j := 0; j < 25; j += 5 {
+			for i := 0; i < 5; i++ {
+				bc[i] = a[j+i]
+			}
+			for i := 0; i < 5; i++ {
+				a[j+i] = bc[i] ^ (^bc[(i+1)%5] & bc[(i+2)%5])
+			}
+		}
+		// iota
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// Sponge parameters for SHA3-512.
+const (
+	// Rate is the sponge rate in bytes: 576 bits, the "message block
+	// size of 576-bit" the paper's engine operates on.
+	Rate = 72
+	// DigestSize is the SHA3-512 output length in bytes.
+	DigestSize = 64
+	// domainSHA3 is the SHA-3 domain-separation padding byte.
+	domainSHA3 = 0x06
+)
+
+// Sponge is an incremental SHA3-512 absorber. The zero value is ready to
+// use.
+type Sponge struct {
+	state  [25]uint64
+	buf    [Rate]byte
+	bufLen int
+	closed bool
+}
+
+// Write absorbs p into the sponge. It never fails.
+func (s *Sponge) Write(p []byte) (int, error) {
+	if s.closed {
+		panic("hashengine: Write after Sum")
+	}
+	n := len(p)
+	for len(p) > 0 {
+		c := copy(s.buf[s.bufLen:], p)
+		s.bufLen += c
+		p = p[c:]
+		if s.bufLen == Rate {
+			s.absorbBlock()
+		}
+	}
+	return n, nil
+}
+
+func (s *Sponge) absorbBlock() {
+	for i := 0; i < Rate/8; i++ {
+		s.state[i] ^= leUint64(s.buf[8*i:])
+	}
+	keccakF1600(&s.state)
+	s.bufLen = 0
+}
+
+// Sum finalizes the sponge and returns the SHA3-512 digest. The sponge
+// must not be written to afterwards.
+func (s *Sponge) Sum() [DigestSize]byte {
+	// Pad: 0x06 ... 0x80 within the rate block.
+	for i := s.bufLen; i < Rate; i++ {
+		s.buf[i] = 0
+	}
+	s.buf[s.bufLen] = domainSHA3
+	s.buf[Rate-1] |= 0x80
+	for i := 0; i < Rate/8; i++ {
+		s.state[i] ^= leUint64(s.buf[8*i:])
+	}
+	keccakF1600(&s.state)
+	s.closed = true
+
+	var out [DigestSize]byte
+	for i := 0; i < DigestSize/8; i++ {
+		putLeUint64(out[8*i:], s.state[i])
+	}
+	return out
+}
+
+// Reset returns the sponge to its initial state.
+func (s *Sponge) Reset() {
+	*s = Sponge{}
+}
+
+// Sum512 is the one-shot SHA3-512 of msg.
+func Sum512(msg []byte) [DigestSize]byte {
+	var s Sponge
+	s.Write(msg)
+	return s.Sum()
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeUint64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,89 @@
+package hashengine
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// Known-answer tests from the NIST SHA-3 examples.
+func TestSHA3KnownVectors(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want string
+	}{
+		{"", "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a615b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"},
+		{"abc", "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0"},
+		{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+			"04a371e84ecfb5b8b77cb48610fca8182dd457ce6f326a0fd3d7ec2f1e91636dee691fbe0c985302ba1b0d8dc78c086346b533b49c030d99a27daf1139d6e75e"},
+		{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+			"afebb2ef542e6579c50cad06d2e578f9f8dd6881d7dc824d26360feebf18a4fa73e3261122948efcfd492e74e82e2189ed0fb440d187f382270cb455f21dd185"},
+	}
+	for _, c := range cases {
+		got := Sum512([]byte(c.msg))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("SHA3-512(%q) = %x, want %s", c.msg, got, c.want)
+		}
+	}
+}
+
+// A message exactly one rate block long exercises the full-block path.
+func TestSHA3RateBoundary(t *testing.T) {
+	for _, n := range []int{Rate - 1, Rate, Rate + 1, 2 * Rate, 2*Rate + 5} {
+		msg := bytes.Repeat([]byte{0xA5}, n)
+		oneShot := Sum512(msg)
+		// Incremental in awkward chunk sizes must agree.
+		var s Sponge
+		for i := 0; i < len(msg); i += 7 {
+			end := i + 7
+			if end > len(msg) {
+				end = len(msg)
+			}
+			s.Write(msg[i:end])
+		}
+		inc := s.Sum()
+		if oneShot != inc {
+			t.Errorf("n=%d: incremental digest differs from one-shot", n)
+		}
+	}
+}
+
+// Property: splitting the message arbitrarily never changes the digest.
+func TestSpongeSplitInvariance(t *testing.T) {
+	f := func(msg []byte, split uint8) bool {
+		i := 0
+		if len(msg) > 0 {
+			i = int(split) % (len(msg) + 1)
+		}
+		var s Sponge
+		s.Write(msg[:i])
+		s.Write(msg[i:])
+		return s.Sum() == Sum512(msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpongeReset(t *testing.T) {
+	var s Sponge
+	s.Write([]byte("garbage"))
+	s.Sum()
+	s.Reset()
+	s.Write([]byte("abc"))
+	if s.Sum() != Sum512([]byte("abc")) {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestWriteAfterSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Write after Sum did not panic")
+		}
+	}()
+	var s Sponge
+	s.Sum()
+	s.Write([]byte("x"))
+}

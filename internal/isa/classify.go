@@ -1,0 +1,83 @@
+package isa
+
+// ControlFlowKind is the branch-filter taxonomy of §4: every retired
+// instruction is either not a control-flow instruction or one of these.
+type ControlFlowKind uint8
+
+// Control-flow kinds distinguished by the LO-FAT branch filter. The
+// filter treats conditional branches specially (they contribute
+// taken/not-taken path bits inside loops) and distinguishes linking from
+// non-linking transfers for the loop-detection heuristic of §5.1.
+const (
+	KindNone     ControlFlowKind = iota // not a control-flow instruction
+	KindCondBr                          // conditional branch (taken or not)
+	KindJump                            // direct jump (jal)
+	KindIndirect                        // indirect jump/call (jalr, not return)
+	KindReturn                          // function return (jalr via ra, rd=x0)
+)
+
+// String names the kind for diagnostics.
+func (k ControlFlowKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindCondBr:
+		return "cond-branch"
+	case KindJump:
+		return "jump"
+	case KindIndirect:
+		return "indirect"
+	case KindReturn:
+		return "return"
+	}
+	return "unknown"
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (op Opcode) IsCondBranch() bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return true
+	}
+	return false
+}
+
+// IsControlFlow reports whether the opcode can redirect the PC.
+func (op Opcode) IsControlFlow() bool {
+	return op.IsCondBranch() || op == OpJAL || op == OpJALR
+}
+
+// Classify maps a decoded instruction to its control-flow kind.
+//
+// Returns are identified by the standard RISC-V idiom `jalr x0, 0(ra)`
+// (any jalr through ra that does not link is treated as a return). All
+// other jalr instructions are indirect calls/jumps whose targets cannot
+// be enumerated statically (§5.2).
+func Classify(in Inst) ControlFlowKind {
+	switch {
+	case in.Op.IsCondBranch():
+		return KindCondBr
+	case in.Op == OpJAL:
+		return KindJump
+	case in.Op == OpJALR:
+		if in.Rd == Zero && in.Rs1 == RA {
+			return KindReturn
+		}
+		return KindIndirect
+	}
+	return KindNone
+}
+
+// IsLinking reports whether the instruction updates the link register
+// (or any rd != x0 for jal/jalr), i.e. whether it is a subroutine call
+// in the sense of the loop-detection heuristic: "any subroutine call
+// with multiple call sites must be linking and updates the link
+// register" (§5.1). Backward control transfers that are NOT linking are
+// treated as loop back-edges.
+func IsLinking(in Inst) bool {
+	switch in.Op {
+	case OpJAL, OpJALR:
+		return in.Rd != Zero
+	}
+	return false
+}

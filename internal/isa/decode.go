@@ -1,0 +1,163 @@
+package isa
+
+import "fmt"
+
+// Decode disassembles a 32-bit word into an Inst. Unknown encodings
+// return an error so corrupted code memory is surfaced instead of
+// misexecuted.
+func Decode(word uint32) (Inst, error) {
+	opcode := word & 0x7F
+	rd := Reg(word >> 7 & 0x1F)
+	funct3 := word >> 12 & 0x7
+	rs1 := Reg(word >> 15 & 0x1F)
+	rs2 := Reg(word >> 20 & 0x1F)
+	funct7 := word >> 25 & 0x7F
+
+	switch opcode {
+	case 0x37: // LUI
+		return Inst{Op: OpLUI, Rd: rd, Imm: int32(word & 0xFFFFF000)}, nil
+	case 0x17: // AUIPC
+		return Inst{Op: OpAUIPC, Rd: rd, Imm: int32(word & 0xFFFFF000)}, nil
+
+	case 0x6F: // JAL
+		return Inst{Op: OpJAL, Rd: rd, Imm: immJ(word)}, nil
+
+	case 0x67: // JALR
+		if funct3 != 0 {
+			return Inst{}, fmt.Errorf("isa: decode %#08x: bad jalr funct3 %d", word, funct3)
+		}
+		return Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+
+	case 0x63: // BRANCH
+		var op Opcode
+		switch funct3 {
+		case 0:
+			op = OpBEQ
+		case 1:
+			op = OpBNE
+		case 4:
+			op = OpBLT
+		case 5:
+			op = OpBGE
+		case 6:
+			op = OpBLTU
+		case 7:
+			op = OpBGEU
+		default:
+			return Inst{}, fmt.Errorf("isa: decode %#08x: bad branch funct3 %d", word, funct3)
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB(word)}, nil
+
+	case 0x03: // LOAD
+		var op Opcode
+		switch funct3 {
+		case 0:
+			op = OpLB
+		case 1:
+			op = OpLH
+		case 2:
+			op = OpLW
+		case 4:
+			op = OpLBU
+		case 5:
+			op = OpLHU
+		default:
+			return Inst{}, fmt.Errorf("isa: decode %#08x: bad load funct3 %d", word, funct3)
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+
+	case 0x23: // STORE
+		var op Opcode
+		switch funct3 {
+		case 0:
+			op = OpSB
+		case 1:
+			op = OpSH
+		case 2:
+			op = OpSW
+		default:
+			return Inst{}, fmt.Errorf("isa: decode %#08x: bad store funct3 %d", word, funct3)
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS(word)}, nil
+
+	case 0x13: // OP-IMM
+		switch funct3 {
+		case 0:
+			return Inst{Op: OpADDI, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+		case 2:
+			return Inst{Op: OpSLTI, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+		case 3:
+			return Inst{Op: OpSLTIU, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+		case 4:
+			return Inst{Op: OpXORI, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+		case 6:
+			return Inst{Op: OpORI, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+		case 7:
+			return Inst{Op: OpANDI, Rd: rd, Rs1: rs1, Imm: immI(word)}, nil
+		case 1:
+			if funct7 != 0 {
+				return Inst{}, fmt.Errorf("isa: decode %#08x: bad slli funct7 %#x", word, funct7)
+			}
+			return Inst{Op: OpSLLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+		case 5:
+			switch funct7 {
+			case 0x00:
+				return Inst{Op: OpSRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+			case 0x20:
+				return Inst{Op: OpSRAI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+			}
+			return Inst{}, fmt.Errorf("isa: decode %#08x: bad shift funct7 %#x", word, funct7)
+		}
+
+	case 0x33: // OP
+		type key struct{ f3, f7 uint32 }
+		ops := map[key]Opcode{
+			{0, 0x00}: OpADD, {0, 0x20}: OpSUB,
+			{1, 0x00}: OpSLL, {2, 0x00}: OpSLT, {3, 0x00}: OpSLTU,
+			{4, 0x00}: OpXOR, {5, 0x00}: OpSRL, {5, 0x20}: OpSRA,
+			{6, 0x00}: OpOR, {7, 0x00}: OpAND,
+			{0, 0x01}: OpMUL, {1, 0x01}: OpMULH, {2, 0x01}: OpMULHSU,
+			{3, 0x01}: OpMULHU, {4, 0x01}: OpDIV, {5, 0x01}: OpDIVU,
+			{6, 0x01}: OpREM, {7, 0x01}: OpREMU,
+		}
+		if op, ok := ops[key{funct3, funct7}]; ok {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: decode %#08x: bad OP funct3/funct7 %d/%#x", word, funct3, funct7)
+
+	case 0x0F: // MISC-MEM
+		return Inst{Op: OpFENCE}, nil
+
+	case 0x73: // SYSTEM
+		switch word {
+		case 0x00000073:
+			return Inst{Op: OpECALL}, nil
+		case 0x00100073:
+			return Inst{Op: OpEBREAK}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: decode %#08x: unsupported SYSTEM encoding", word)
+	}
+	return Inst{}, fmt.Errorf("isa: decode %#08x: unknown opcode %#02x", word, opcode)
+}
+
+func immI(word uint32) int32 { return int32(word) >> 20 }
+
+func immS(word uint32) int32 {
+	return int32(word)>>25<<5 | int32(word>>7&0x1F)
+}
+
+func immB(word uint32) int32 {
+	imm := int32(word)>>31<<12 | // imm[12]
+		int32(word>>7&1)<<11 | // imm[11]
+		int32(word>>25&0x3F)<<5 | // imm[10:5]
+		int32(word>>8&0xF)<<1 // imm[4:1]
+	return imm
+}
+
+func immJ(word uint32) int32 {
+	imm := int32(word)>>31<<20 | // imm[20]
+		int32(word>>12&0xFF)<<12 | // imm[19:12]
+		int32(word>>20&1)<<11 | // imm[11]
+		int32(word>>21&0x3FF)<<1 // imm[10:1]
+	return imm
+}

@@ -1,0 +1,114 @@
+package isa
+
+import "fmt"
+
+// Immediate range limits per format.
+const (
+	maxImmI = 1<<11 - 1
+	minImmI = -(1 << 11)
+	maxImmB = 1<<12 - 2 // B immediates are 13-bit signed, even
+	minImmB = -(1 << 12)
+	maxImmJ = 1<<20 - 2 // J immediates are 21-bit signed, even
+	minImmJ = -(1 << 20)
+)
+
+// Encode assembles the instruction into its 32-bit RISC-V encoding.
+// It validates register numbers and immediate ranges.
+func Encode(in Inst) (uint32, error) {
+	if in.Op == OpInvalid || in.Op >= numOpcodes {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", in.Op)
+	}
+	info := opTable[in.Op]
+	switch info.format {
+	case FormatR:
+		return info.opcode | uint32(in.Rd)<<7 | info.funct3<<12 |
+			uint32(in.Rs1)<<15 | uint32(in.Rs2)<<20 | info.funct7<<25, nil
+
+	case FormatI:
+		imm := in.Imm
+		if in.Op == OpSLLI || in.Op == OpSRLI || in.Op == OpSRAI {
+			if imm < 0 || imm > 31 {
+				return 0, fmt.Errorf("isa: encode %s: shift amount %d out of range", in.Op, imm)
+			}
+			return info.opcode | uint32(in.Rd)<<7 | info.funct3<<12 |
+				uint32(in.Rs1)<<15 | uint32(imm)<<20 | info.funct7<<25, nil
+		}
+		if imm < minImmI || imm > maxImmI {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 12-bit range", in.Op, imm)
+		}
+		return info.opcode | uint32(in.Rd)<<7 | info.funct3<<12 |
+			uint32(in.Rs1)<<15 | (uint32(imm)&0xFFF)<<20, nil
+
+	case FormatS:
+		imm := in.Imm
+		if imm < minImmI || imm > maxImmI {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 12-bit range", in.Op, imm)
+		}
+		u := uint32(imm) & 0xFFF
+		return info.opcode | (u&0x1F)<<7 | info.funct3<<12 |
+			uint32(in.Rs1)<<15 | uint32(in.Rs2)<<20 | (u>>5)<<25, nil
+
+	case FormatB:
+		imm := in.Imm
+		if imm < minImmB || imm > maxImmB {
+			return 0, fmt.Errorf("isa: encode %s: branch offset %d out of range", in.Op, imm)
+		}
+		if imm&1 != 0 {
+			return 0, fmt.Errorf("isa: encode %s: branch offset %d is odd", in.Op, imm)
+		}
+		u := uint32(imm)
+		word := info.opcode | info.funct3<<12 | uint32(in.Rs1)<<15 | uint32(in.Rs2)<<20
+		word |= (u >> 11 & 1) << 7    // imm[11]
+		word |= (u >> 1 & 0xF) << 8   // imm[4:1]
+		word |= (u >> 5 & 0x3F) << 25 // imm[10:5]
+		word |= (u >> 12 & 1) << 31   // imm[12]
+		return word, nil
+
+	case FormatU:
+		// Imm carries the full 32-bit value whose low 12 bits must be zero.
+		if in.Imm&0xFFF != 0 {
+			return 0, fmt.Errorf("isa: encode %s: U immediate %#x has nonzero low bits", in.Op, in.Imm)
+		}
+		return info.opcode | uint32(in.Rd)<<7 | uint32(in.Imm), nil
+
+	case FormatJ:
+		imm := in.Imm
+		if imm < minImmJ || imm > maxImmJ {
+			return 0, fmt.Errorf("isa: encode %s: jump offset %d out of range", in.Op, imm)
+		}
+		if imm&1 != 0 {
+			return 0, fmt.Errorf("isa: encode %s: jump offset %d is odd", in.Op, imm)
+		}
+		u := uint32(imm)
+		word := info.opcode | uint32(in.Rd)<<7
+		word |= (u >> 12 & 0xFF) << 12 // imm[19:12]
+		word |= (u >> 11 & 1) << 20    // imm[11]
+		word |= (u >> 1 & 0x3FF) << 21 // imm[10:1]
+		word |= (u >> 20 & 1) << 31    // imm[20]
+		return word, nil
+
+	case FormatSys:
+		switch in.Op {
+		case OpECALL:
+			return 0x00000073, nil
+		case OpEBREAK:
+			return 0x00100073, nil
+		case OpFENCE:
+			return 0x0000000F, nil
+		}
+	}
+	return 0, fmt.Errorf("isa: encode: unsupported opcode %s", in.Op)
+}
+
+// MustEncode is Encode for known-good instructions; it panics on error and
+// is intended for package-internal tables and tests.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,278 @@
+// Package isa defines the RV32IM instruction set used by the simulated
+// Pulpino-class core: instruction mnemonics, operand formats, binary
+// encode/decode, and the control-flow classification the LO-FAT branch
+// filter depends on (branch vs. jump vs. linking call vs. return).
+//
+// The encodings follow the RISC-V unprivileged specification. Only the
+// subset implemented by the simulator is supported; Decode returns an
+// error for anything else so that corrupted code memory is detected
+// rather than silently misexecuted.
+package isa
+
+import "fmt"
+
+// Reg is a RISC-V integer register number x0..x31.
+type Reg uint8
+
+// ABI register aliases. The link register (x1/ra) is central to LO-FAT's
+// loop-detection heuristic: backward branches that do not update ra are
+// treated as loop back-edges.
+const (
+	Zero Reg = 0  // x0: hardwired zero
+	RA   Reg = 1  // x1: return address (link register)
+	SP   Reg = 2  // x2: stack pointer
+	GP   Reg = 3  // x3: global pointer
+	TP   Reg = 4  // x4: thread pointer
+	T0   Reg = 5  // x5
+	T1   Reg = 6  // x6
+	T2   Reg = 7  // x7
+	S0   Reg = 8  // x8 / fp
+	S1   Reg = 9  // x9
+	A0   Reg = 10 // x10: argument/return 0
+	A1   Reg = 11 // x11: argument/return 1
+	A2   Reg = 12
+	A3   Reg = 13
+	A4   Reg = 14
+	A5   Reg = 15
+	A6   Reg = 16
+	A7   Reg = 17 // x17: syscall number by convention
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	S8   Reg = 24
+	S9   Reg = 25
+	S10  Reg = 26
+	S11  Reg = 27
+	T3   Reg = 28
+	T4   Reg = 29
+	T5   Reg = 30
+	T6   Reg = 31
+)
+
+// NumRegs is the size of the integer register file.
+const NumRegs = 32
+
+// Opcode enumerates the RV32IM mnemonics known to the simulator.
+type Opcode uint8
+
+// RV32I base integer instructions plus the M extension.
+const (
+	OpInvalid Opcode = iota
+
+	// Upper-immediate.
+	OpLUI
+	OpAUIPC
+
+	// Unconditional jumps.
+	OpJAL
+	OpJALR
+
+	// Conditional branches.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Loads.
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+
+	// Stores.
+	OpSB
+	OpSH
+	OpSW
+
+	// Immediate ALU.
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+
+	// Register ALU.
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+
+	// M extension.
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+
+	// System.
+	OpFENCE
+	OpECALL
+	OpEBREAK
+
+	numOpcodes
+)
+
+// Format describes how an instruction's operands are laid out in the
+// 32-bit word.
+type Format uint8
+
+// RISC-V instruction formats.
+const (
+	FormatR Format = iota
+	FormatI
+	FormatS
+	FormatB
+	FormatU
+	FormatJ
+	FormatSys // ECALL/EBREAK/FENCE: fixed encodings, no variable operands
+)
+
+// Inst is a decoded instruction. Imm is the sign-extended immediate; for
+// B and J formats it is the byte offset from the instruction's own PC.
+type Inst struct {
+	Op  Opcode
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+type opInfo struct {
+	name   string
+	format Format
+	opcode uint32 // 7-bit major opcode
+	funct3 uint32
+	funct7 uint32
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpLUI:   {"lui", FormatU, 0x37, 0, 0},
+	OpAUIPC: {"auipc", FormatU, 0x17, 0, 0},
+
+	OpJAL:  {"jal", FormatJ, 0x6F, 0, 0},
+	OpJALR: {"jalr", FormatI, 0x67, 0, 0},
+
+	OpBEQ:  {"beq", FormatB, 0x63, 0, 0},
+	OpBNE:  {"bne", FormatB, 0x63, 1, 0},
+	OpBLT:  {"blt", FormatB, 0x63, 4, 0},
+	OpBGE:  {"bge", FormatB, 0x63, 5, 0},
+	OpBLTU: {"bltu", FormatB, 0x63, 6, 0},
+	OpBGEU: {"bgeu", FormatB, 0x63, 7, 0},
+
+	OpLB:  {"lb", FormatI, 0x03, 0, 0},
+	OpLH:  {"lh", FormatI, 0x03, 1, 0},
+	OpLW:  {"lw", FormatI, 0x03, 2, 0},
+	OpLBU: {"lbu", FormatI, 0x03, 4, 0},
+	OpLHU: {"lhu", FormatI, 0x03, 5, 0},
+
+	OpSB: {"sb", FormatS, 0x23, 0, 0},
+	OpSH: {"sh", FormatS, 0x23, 1, 0},
+	OpSW: {"sw", FormatS, 0x23, 2, 0},
+
+	OpADDI:  {"addi", FormatI, 0x13, 0, 0},
+	OpSLTI:  {"slti", FormatI, 0x13, 2, 0},
+	OpSLTIU: {"sltiu", FormatI, 0x13, 3, 0},
+	OpXORI:  {"xori", FormatI, 0x13, 4, 0},
+	OpORI:   {"ori", FormatI, 0x13, 6, 0},
+	OpANDI:  {"andi", FormatI, 0x13, 7, 0},
+	OpSLLI:  {"slli", FormatI, 0x13, 1, 0x00},
+	OpSRLI:  {"srli", FormatI, 0x13, 5, 0x00},
+	OpSRAI:  {"srai", FormatI, 0x13, 5, 0x20},
+
+	OpADD:  {"add", FormatR, 0x33, 0, 0x00},
+	OpSUB:  {"sub", FormatR, 0x33, 0, 0x20},
+	OpSLL:  {"sll", FormatR, 0x33, 1, 0x00},
+	OpSLT:  {"slt", FormatR, 0x33, 2, 0x00},
+	OpSLTU: {"sltu", FormatR, 0x33, 3, 0x00},
+	OpXOR:  {"xor", FormatR, 0x33, 4, 0x00},
+	OpSRL:  {"srl", FormatR, 0x33, 5, 0x00},
+	OpSRA:  {"sra", FormatR, 0x33, 5, 0x20},
+	OpOR:   {"or", FormatR, 0x33, 6, 0x00},
+	OpAND:  {"and", FormatR, 0x33, 7, 0x00},
+
+	OpMUL:    {"mul", FormatR, 0x33, 0, 0x01},
+	OpMULH:   {"mulh", FormatR, 0x33, 1, 0x01},
+	OpMULHSU: {"mulhsu", FormatR, 0x33, 2, 0x01},
+	OpMULHU:  {"mulhu", FormatR, 0x33, 3, 0x01},
+	OpDIV:    {"div", FormatR, 0x33, 4, 0x01},
+	OpDIVU:   {"divu", FormatR, 0x33, 5, 0x01},
+	OpREM:    {"rem", FormatR, 0x33, 6, 0x01},
+	OpREMU:   {"remu", FormatR, 0x33, 7, 0x01},
+
+	OpFENCE:  {"fence", FormatSys, 0x0F, 0, 0},
+	OpECALL:  {"ecall", FormatSys, 0x73, 0, 0},
+	OpEBREAK: {"ebreak", FormatSys, 0x73, 0, 0},
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Opcode) String() string {
+	if op == OpInvalid || op >= numOpcodes {
+		return "invalid"
+	}
+	return opTable[op].name
+}
+
+// Format reports the operand layout of the opcode.
+func (op Opcode) Format() Format {
+	if op == OpInvalid || op >= numOpcodes {
+		return FormatSys
+	}
+	return opTable[op].format
+}
+
+// OpcodeByName looks a mnemonic up; ok is false for unknown mnemonics.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// String renders the instruction in assembler-like syntax.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%s x%d, x%d, x%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FormatI:
+		switch in.Op {
+		case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpJALR:
+			return fmt.Sprintf("%s x%d, %d(x%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+		}
+		return fmt.Sprintf("%s x%d, x%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FormatS:
+		return fmt.Sprintf("%s x%d, %d(x%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case FormatB:
+		return fmt.Sprintf("%s x%d, x%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case FormatU:
+		return fmt.Sprintf("%s x%d, 0x%x", in.Op, in.Rd, uint32(in.Imm)>>12)
+	case FormatJ:
+		return fmt.Sprintf("%s x%d, %d", in.Op, in.Rd, in.Imm)
+	default:
+		return in.Op.String()
+	}
+}

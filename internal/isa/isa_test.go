@@ -1,0 +1,265 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Known encodings cross-checked against the RISC-V spec / GNU as output.
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want uint32
+	}{
+		{Inst{Op: OpADDI, Rd: RA, Rs1: Zero, Imm: 5}, 0x00500093},  // addi ra,zero,5
+		{Inst{Op: OpADDI, Rd: A0, Rs1: A0, Imm: -1}, 0xFFF50513},   // addi a0,a0,-1
+		{Inst{Op: OpADD, Rd: A0, Rs1: A1, Rs2: A2}, 0x00C58533},    // add a0,a1,a2
+		{Inst{Op: OpSUB, Rd: T0, Rs1: T1, Rs2: T2}, 0x407302B3},    // sub t0,t1,t2
+		{Inst{Op: OpLUI, Rd: A0, Imm: 0x12345000}, 0x12345537},     // lui a0,0x12345
+		{Inst{Op: OpAUIPC, Rd: T0, Imm: 0x1000}, 0x00001297},       // auipc t0,1
+		{Inst{Op: OpJAL, Rd: RA, Imm: 8}, 0x008000EF},              // jal ra,+8
+		{Inst{Op: OpJAL, Rd: Zero, Imm: -4}, 0xFFDFF06F},           // j -4
+		{Inst{Op: OpJALR, Rd: Zero, Rs1: RA, Imm: 0}, 0x00008067},  // ret
+		{Inst{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: 16}, 0x00B50863},   // beq a0,a1,+16
+		{Inst{Op: OpBNE, Rs1: A0, Rs2: Zero, Imm: -8}, 0xFE051CE3}, // bne a0,zero,-8
+		{Inst{Op: OpLW, Rd: A0, Rs1: SP, Imm: 12}, 0x00C12503},     // lw a0,12(sp)
+		{Inst{Op: OpSW, Rs1: SP, Rs2: RA, Imm: 12}, 0x00112623},    // sw ra,12(sp)
+		{Inst{Op: OpSLLI, Rd: A0, Rs1: A0, Imm: 4}, 0x00451513},    // slli a0,a0,4
+		{Inst{Op: OpSRAI, Rd: A0, Rs1: A0, Imm: 4}, 0x40455513},    // srai a0,a0,4
+		{Inst{Op: OpMUL, Rd: A0, Rs1: A1, Rs2: A2}, 0x02C58533},    // mul a0,a1,a2
+		{Inst{Op: OpDIVU, Rd: A3, Rs1: A4, Rs2: A5}, 0x02F756B3},   // divu a3,a4,a5
+		{Inst{Op: OpECALL}, 0x00000073},
+		{Inst{Op: OpEBREAK}, 0x00100073},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v) = %#08x, want %#08x", c.in, got, c.want)
+		}
+		dec, err := Decode(c.want)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", c.want, err)
+			continue
+		}
+		if dec != c.in {
+			t.Errorf("Decode(%#08x) = %+v, want %+v", c.want, dec, c.in)
+		}
+	}
+}
+
+// randomInst generates a valid random instruction for round-trip tests.
+func randomInst(r *rand.Rand) Inst {
+	for {
+		op := Opcode(1 + r.Intn(int(numOpcodes)-1))
+		in := Inst{Op: op}
+		switch op.Format() {
+		case FormatR:
+			in.Rd = Reg(r.Intn(NumRegs))
+			in.Rs1 = Reg(r.Intn(NumRegs))
+			in.Rs2 = Reg(r.Intn(NumRegs))
+		case FormatI:
+			in.Rd = Reg(r.Intn(NumRegs))
+			in.Rs1 = Reg(r.Intn(NumRegs))
+			if op == OpSLLI || op == OpSRLI || op == OpSRAI {
+				in.Imm = int32(r.Intn(32))
+			} else {
+				in.Imm = int32(r.Intn(1<<12)) - 1<<11
+			}
+		case FormatS:
+			in.Rs1 = Reg(r.Intn(NumRegs))
+			in.Rs2 = Reg(r.Intn(NumRegs))
+			in.Imm = int32(r.Intn(1<<12)) - 1<<11
+		case FormatB:
+			in.Rs1 = Reg(r.Intn(NumRegs))
+			in.Rs2 = Reg(r.Intn(NumRegs))
+			in.Imm = (int32(r.Intn(1<<12)) - 1<<11) &^ 1
+		case FormatU:
+			in.Rd = Reg(r.Intn(NumRegs))
+			in.Imm = int32(uint32(r.Uint32()) & 0xFFFFF000)
+		case FormatJ:
+			in.Rd = Reg(r.Intn(NumRegs))
+			in.Imm = (int32(r.Intn(1<<20)) - 1<<19) &^ 1
+		case FormatSys:
+			// no operands
+		}
+		return in
+	}
+}
+
+// Property: Encode then Decode is the identity on valid instructions.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := randomInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) (from %+v): %v", w, in, err)
+		}
+		if got != in {
+			t.Fatalf("round trip %+v -> %#08x -> %+v", in, w, got)
+		}
+	}
+}
+
+// Property: Decode never mis-reports a valid instruction word: if Decode
+// succeeds, re-encoding the result yields the canonical bits for that
+// instruction, and decoding those bits is a fixed point.
+func TestDecodeEncodeFixedPoint(t *testing.T) {
+	f := func(word uint32) bool {
+		in, err := Decode(word)
+		if err != nil {
+			return true // not a valid instruction; nothing to check
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want ControlFlowKind
+	}{
+		{Inst{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: -8}, KindCondBr},
+		{Inst{Op: OpBGEU, Rs1: A0, Rs2: A1, Imm: 8}, KindCondBr},
+		{Inst{Op: OpJAL, Rd: RA, Imm: 64}, KindJump},
+		{Inst{Op: OpJAL, Rd: Zero, Imm: -64}, KindJump},
+		{Inst{Op: OpJALR, Rd: Zero, Rs1: RA}, KindReturn},
+		{Inst{Op: OpJALR, Rd: RA, Rs1: A0}, KindIndirect},
+		{Inst{Op: OpJALR, Rd: Zero, Rs1: A0}, KindIndirect},
+		{Inst{Op: OpADD, Rd: A0, Rs1: A1, Rs2: A2}, KindNone},
+		{Inst{Op: OpLW, Rd: A0, Rs1: SP, Imm: 4}, KindNone},
+		{Inst{Op: OpECALL}, KindNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsLinking(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want bool
+	}{
+		{Inst{Op: OpJAL, Rd: RA, Imm: 64}, true},
+		{Inst{Op: OpJAL, Rd: T0, Imm: 64}, true}, // any rd != x0 links
+		{Inst{Op: OpJAL, Rd: Zero, Imm: -64}, false},
+		{Inst{Op: OpJALR, Rd: RA, Rs1: A0}, true},
+		{Inst{Op: OpJALR, Rd: Zero, Rs1: RA}, false}, // return
+		{Inst{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: -8}, false},
+	}
+	for _, c := range cases {
+		if got := IsLinking(c.in); got != c.want {
+			t.Errorf("IsLinking(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		got, err := RegByName(r.Name())
+		if err != nil || got != r {
+			t.Errorf("RegByName(%q) = %v, %v; want %v", r.Name(), got, err, r)
+		}
+	}
+	if r, err := RegByName("x17"); err != nil || r != A7 {
+		t.Errorf("RegByName(x17) = %v, %v; want a7", r, err)
+	}
+	if r, err := RegByName("fp"); err != nil || r != S0 {
+		t.Errorf("RegByName(fp) = %v, %v; want s0", r, err)
+	}
+	if _, err := RegByName("x32"); err == nil {
+		t.Error("RegByName(x32) succeeded, want error")
+	}
+	if _, err := RegByName("bogus"); err == nil {
+		t.Error("RegByName(bogus) succeeded, want error")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpInvalid},
+		{Op: OpADDI, Rd: A0, Rs1: A0, Imm: 4096},
+		{Op: OpADDI, Rd: A0, Rs1: A0, Imm: -4097},
+		{Op: OpSLLI, Rd: A0, Rs1: A0, Imm: 32},
+		{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: 3},       // odd offset
+		{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: 1 << 13}, // out of range
+		{Op: OpJAL, Rd: RA, Imm: 1 << 21},
+		{Op: OpLUI, Rd: A0, Imm: 0x123},     // low bits set
+		{Op: OpADD, Rd: 32, Rs1: 0, Rs2: 0}, // bad register
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []uint32{
+		0x00000000, // all zeros: not a valid instruction
+		0xFFFFFFFF, // all ones
+		0x0000707F, // unknown opcode bits
+		0x00002067, // jalr with funct3=2
+		0x00003003, // load funct3=3
+		0x00003023, // store funct3=3
+		0x00002073, // SYSTEM not ecall/ebreak
+		0x40001013, // slli with funct7=0x20
+		0x06000033, // OP with funct7=0x03
+	}
+	for _, w := range bad {
+		if in, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) = %+v, want error", w, in)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADD, Rd: A0, Rs1: A1, Rs2: A2}, "add x10, x11, x12"},
+		{Inst{Op: OpLW, Rd: A0, Rs1: SP, Imm: 8}, "lw x10, 8(x2)"},
+		{Inst{Op: OpSW, Rs1: SP, Rs2: RA, Imm: 12}, "sw x1, 12(x2)"},
+		{Inst{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: -8}, "beq x10, x11, -8"},
+		{Inst{Op: OpJAL, Rd: RA, Imm: 16}, "jal x1, 16"},
+		{Inst{Op: OpLUI, Rd: A0, Imm: 0x1000}, "lui x10, 0x1"},
+		{Inst{Op: OpECALL}, "ecall"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("nop"); ok {
+		t.Error("OpcodeByName(nop) succeeded; nop is a pseudo-op, not a base opcode")
+	}
+}

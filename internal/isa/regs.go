@@ -1,0 +1,46 @@
+package isa
+
+import "fmt"
+
+// abiNames maps ABI register names to register numbers, including both
+// the numeric x-form and the conventional names used by the RISC-V
+// calling convention (and by the Pulpino toolchain output the paper's
+// heuristic was derived from).
+var abiNames = map[string]Reg{
+	"zero": Zero, "ra": RA, "sp": SP, "gp": GP, "tp": TP,
+	"t0": T0, "t1": T1, "t2": T2,
+	"s0": S0, "fp": S0, "s1": S1,
+	"a0": A0, "a1": A1, "a2": A2, "a3": A3,
+	"a4": A4, "a5": A5, "a6": A6, "a7": A7,
+	"s2": S2, "s3": S3, "s4": S4, "s5": S5, "s6": S6,
+	"s7": S7, "s8": S8, "s9": S9, "s10": S10, "s11": S11,
+	"t3": T3, "t4": T4, "t5": T5, "t6": T6,
+}
+
+// RegByName resolves a register name in either ABI ("a0", "ra") or
+// numeric ("x10") form.
+func RegByName(name string) (Reg, error) {
+	if r, ok := abiNames[name]; ok {
+		return r, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "x%d", &n); err == nil && n >= 0 && n < NumRegs {
+		return Reg(n), nil
+	}
+	return 0, fmt.Errorf("isa: unknown register %q", name)
+}
+
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// Name returns the ABI name of the register ("a0", "ra", ...).
+func (r Reg) Name() string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d?", uint8(r))
+}

@@ -1,0 +1,257 @@
+// Package mem models the prover's program memory: a read-execute code
+// segment and a read-write data segment (§2, Figure 1). The permission
+// split is what makes the paper's adversary model meaningful — the
+// attacker "has full control over the data memory ... but cannot modify
+// program code at run-time (marked rx)". Store faults into the code
+// segment are therefore hard errors, while the data segment is freely
+// writable, including by the simulated adversary.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Perm is a segment permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermR Perm = 1 << iota
+	PermW
+	PermX
+)
+
+// String renders the permissions in ls -l style.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermR != 0 {
+		b[0] = 'r'
+	}
+	if p&PermW != 0 {
+		b[1] = 'w'
+	}
+	if p&PermX != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// AccessKind describes the access that faulted.
+type AccessKind uint8
+
+// Kinds of memory access.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessFetch
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "access"
+}
+
+// Fault is returned for permission violations and unmapped accesses.
+type Fault struct {
+	Kind AccessKind
+	Addr uint32
+	Size int
+	Why  string
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %s fault at %#08x (size %d): %s", f.Kind, f.Addr, f.Size, f.Why)
+}
+
+// Segment is a contiguous region of the address space.
+type Segment struct {
+	Name string
+	Base uint32
+	Perm Perm
+	Data []byte
+}
+
+// Contains reports whether [addr, addr+size) lies inside the segment.
+func (s *Segment) Contains(addr uint32, size int) bool {
+	end := uint64(addr) + uint64(size)
+	return addr >= s.Base && end <= uint64(s.Base)+uint64(len(s.Data))
+}
+
+// Memory is a small segmented physical memory. Lookups scan the segment
+// list; embedded layouts have only two or three segments so this is both
+// simple and fast.
+type Memory struct {
+	segs []*Segment
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{} }
+
+// Map adds a segment. Overlapping segments are rejected.
+func (m *Memory) Map(name string, base uint32, size int, perm Perm) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mem: map %s: non-positive size %d", name, size)
+	}
+	end := uint64(base) + uint64(size)
+	if end > 1<<32 {
+		return nil, fmt.Errorf("mem: map %s: segment wraps address space", name)
+	}
+	for _, s := range m.segs {
+		sEnd := uint64(s.Base) + uint64(len(s.Data))
+		if uint64(base) < sEnd && end > uint64(s.Base) {
+			return nil, fmt.Errorf("mem: map %s: overlaps segment %s", name, s.Name)
+		}
+	}
+	seg := &Segment{Name: name, Base: base, Perm: perm, Data: make([]byte, size)}
+	m.segs = append(m.segs, seg)
+	return seg, nil
+}
+
+// Segments returns the mapped segments (shared, do not mutate the slice).
+func (m *Memory) Segments() []*Segment { return m.segs }
+
+// find returns the segment containing the access, or nil.
+func (m *Memory) find(addr uint32, size int) *Segment {
+	for _, s := range m.segs {
+		if s.Contains(addr, size) {
+			return s
+		}
+	}
+	return nil
+}
+
+func (m *Memory) check(kind AccessKind, addr uint32, size int, need Perm) (*Segment, error) {
+	s := m.find(addr, size)
+	if s == nil {
+		return nil, &Fault{Kind: kind, Addr: addr, Size: size, Why: "unmapped"}
+	}
+	if s.Perm&need != need {
+		return nil, &Fault{Kind: kind, Addr: addr, Size: size,
+			Why: fmt.Sprintf("segment %s is %s", s.Name, s.Perm)}
+	}
+	return s, nil
+}
+
+// LoadByte loads one byte with read permission checking.
+func (m *Memory) LoadByte(addr uint32) (byte, error) {
+	s, err := m.check(AccessRead, addr, 1, PermR)
+	if err != nil {
+		return 0, err
+	}
+	return s.Data[addr-s.Base], nil
+}
+
+// LoadHalf loads a little-endian 16-bit value.
+func (m *Memory) LoadHalf(addr uint32) (uint16, error) {
+	s, err := m.check(AccessRead, addr, 2, PermR)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - s.Base
+	return binary.LittleEndian.Uint16(s.Data[off : off+2]), nil
+}
+
+// LoadWord loads a little-endian 32-bit value.
+func (m *Memory) LoadWord(addr uint32) (uint32, error) {
+	s, err := m.check(AccessRead, addr, 4, PermR)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - s.Base
+	return binary.LittleEndian.Uint32(s.Data[off : off+4]), nil
+}
+
+// StoreByte stores one byte with write permission checking.
+func (m *Memory) StoreByte(addr uint32, v byte) error {
+	s, err := m.check(AccessWrite, addr, 1, PermW)
+	if err != nil {
+		return err
+	}
+	s.Data[addr-s.Base] = v
+	return nil
+}
+
+// StoreHalf stores a little-endian 16-bit value.
+func (m *Memory) StoreHalf(addr uint32, v uint16) error {
+	s, err := m.check(AccessWrite, addr, 2, PermW)
+	if err != nil {
+		return err
+	}
+	off := addr - s.Base
+	binary.LittleEndian.PutUint16(s.Data[off:off+2], v)
+	return nil
+}
+
+// StoreWord stores a little-endian 32-bit value.
+func (m *Memory) StoreWord(addr uint32, v uint32) error {
+	s, err := m.check(AccessWrite, addr, 4, PermW)
+	if err != nil {
+		return err
+	}
+	off := addr - s.Base
+	binary.LittleEndian.PutUint32(s.Data[off:off+4], v)
+	return nil
+}
+
+// Fetch loads an instruction word; the segment must be executable.
+func (m *Memory) Fetch(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, &Fault{Kind: AccessFetch, Addr: addr, Size: 4, Why: "misaligned PC"}
+	}
+	s, err := m.check(AccessFetch, addr, 4, PermX)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - s.Base
+	return binary.LittleEndian.Uint32(s.Data[off : off+4]), nil
+}
+
+// LoadImage copies bytes into a segment regardless of its run-time
+// permissions. It models the trusted boot loader that installs the
+// statically-attested binary before execution starts.
+func (m *Memory) LoadImage(addr uint32, data []byte) error {
+	s := m.find(addr, len(data))
+	if s == nil {
+		return &Fault{Kind: AccessWrite, Addr: addr, Size: len(data), Why: "unmapped (image load)"}
+	}
+	copy(s.Data[addr-s.Base:], data)
+	return nil
+}
+
+// Poke writes a word bypassing permissions. It models the paper's
+// adversary: "full control over the data memory". Poke still refuses to
+// touch executable segments — the adversary "cannot modify program code
+// at run-time" — so attack scenarios built on Poke stay within the threat
+// model by construction.
+func (m *Memory) Poke(addr uint32, v uint32) error {
+	s := m.find(addr, 4)
+	if s == nil {
+		return &Fault{Kind: AccessWrite, Addr: addr, Size: 4, Why: "unmapped (poke)"}
+	}
+	if s.Perm&PermX != 0 {
+		return &Fault{Kind: AccessWrite, Addr: addr, Size: 4,
+			Why: "adversary cannot modify rx code segment"}
+	}
+	off := addr - s.Base
+	binary.LittleEndian.PutUint32(s.Data[off:off+4], v)
+	return nil
+}
+
+// Peek reads a word bypassing permissions (adversary/debugger view).
+func (m *Memory) Peek(addr uint32) (uint32, error) {
+	s := m.find(addr, 4)
+	if s == nil {
+		return 0, &Fault{Kind: AccessRead, Addr: addr, Size: 4, Why: "unmapped (peek)"}
+	}
+	off := addr - s.Base
+	return binary.LittleEndian.Uint32(s.Data[off : off+4]), nil
+}

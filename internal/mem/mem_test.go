@@ -1,0 +1,193 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestMem(t *testing.T) *Memory {
+	t.Helper()
+	m := New()
+	if _, err := m.Map("code", 0x1000, 0x1000, PermR|PermX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x8000, 0x1000, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := newTestMem(t)
+	if err := m.StoreWord(0x8000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.LoadWord(0x8000)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("LoadWord = %#x, %v", v, err)
+	}
+	// Little-endian byte order.
+	b, err := m.LoadByte(0x8000)
+	if err != nil || b != 0xEF {
+		t.Fatalf("LoadByte = %#x, %v; want 0xEF", b, err)
+	}
+	h, err := m.LoadHalf(0x8002)
+	if err != nil || h != 0xDEAD {
+		t.Fatalf("LoadHalf = %#x, %v; want 0xDEAD", h, err)
+	}
+	if err := m.StoreHalf(0x8004, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(0x8006, 0x56); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = m.LoadHalf(0x8004)
+	if h != 0x1234 {
+		t.Fatalf("LoadHalf = %#x, want 0x1234", h)
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	m := newTestMem(t)
+
+	// Writing code must fault (W^X: code is rx).
+	err := m.StoreWord(0x1000, 1)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != AccessWrite {
+		t.Fatalf("write to code: got %v, want write Fault", err)
+	}
+
+	// Fetching data must fault (data is rw, not x).
+	if _, err := m.Fetch(0x8000); err == nil {
+		t.Fatal("fetch from data segment succeeded, want fault")
+	}
+
+	// Reading code is allowed (r).
+	if _, err := m.LoadWord(0x1000); err != nil {
+		t.Fatalf("read from code: %v", err)
+	}
+
+	// Unmapped access faults.
+	if _, err := m.LoadWord(0x100000); err == nil {
+		t.Fatal("unmapped read succeeded")
+	}
+	if err := m.StoreWord(0x100000, 1); err == nil {
+		t.Fatal("unmapped write succeeded")
+	}
+
+	// Misaligned fetch faults.
+	if _, err := m.Fetch(0x1002); err == nil {
+		t.Fatal("misaligned fetch succeeded")
+	}
+}
+
+func TestSegmentBoundary(t *testing.T) {
+	m := newTestMem(t)
+	// Word read straddling the end of a segment must fault, not read
+	// into the void.
+	if _, err := m.LoadWord(0x8FFE); err == nil {
+		t.Fatal("straddling read succeeded")
+	}
+	// Last valid word is fine.
+	if _, err := m.LoadWord(0x8FFC); err != nil {
+		t.Fatalf("last word read: %v", err)
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	m := newTestMem(t)
+	if _, err := m.Map("evil", 0x1800, 0x100, PermR|PermW); err == nil {
+		t.Fatal("overlapping Map succeeded")
+	}
+	if _, err := m.Map("zero", 0x20000, 0, PermR); err == nil {
+		t.Fatal("zero-size Map succeeded")
+	}
+	if _, err := m.Map("wrap", 0xFFFFFFF0, 0x100, PermR); err == nil {
+		t.Fatal("wrapping Map succeeded")
+	}
+	// Adjacent (non-overlapping) is fine.
+	if _, err := m.Map("ok", 0x2000, 0x100, PermR); err != nil {
+		t.Fatalf("adjacent Map: %v", err)
+	}
+}
+
+func TestLoadImageBypassesPerms(t *testing.T) {
+	m := newTestMem(t)
+	img := []byte{0x13, 0x00, 0x00, 0x00} // nop
+	if err := m.LoadImage(0x1000, img); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Fetch(0x1000)
+	if err != nil || w != 0x00000013 {
+		t.Fatalf("Fetch = %#x, %v", w, err)
+	}
+	if err := m.LoadImage(0x100000, img); err == nil {
+		t.Fatal("LoadImage into unmapped memory succeeded")
+	}
+}
+
+func TestAdversaryPoke(t *testing.T) {
+	m := newTestMem(t)
+	// Adversary can corrupt data...
+	if err := m.Poke(0x8100, 0x41414141); err != nil {
+		t.Fatalf("Poke data: %v", err)
+	}
+	v, _ := m.Peek(0x8100)
+	if v != 0x41414141 {
+		t.Fatalf("Peek = %#x", v)
+	}
+	// ...but not code (rx), per the threat model.
+	if err := m.Poke(0x1000, 0x41414141); err == nil {
+		t.Fatal("Poke into rx code segment succeeded; violates threat model")
+	}
+	if _, err := m.Peek(0x100000); err == nil {
+		t.Fatal("Peek unmapped succeeded")
+	}
+	if err := m.Poke(0x100000, 1); err == nil {
+		t.Fatal("Poke unmapped succeeded")
+	}
+}
+
+// Property: for any in-range offset and value, a word write followed by a
+// word read returns the value and leaves neighbours untouched.
+func TestWriteReadProperty(t *testing.T) {
+	m := newTestMem(t)
+	f := func(off uint16, v uint32) bool {
+		addr := 0x8000 + uint32(off)%(0x1000-8)
+		addr &^= 3
+		if err := m.StoreWord(addr, v); err != nil {
+			return false
+		}
+		got, err := m.LoadWord(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if s := (PermR | PermX).String(); s != "r-x" {
+		t.Errorf("PermR|PermX = %q, want r-x", s)
+	}
+	if s := (PermR | PermW).String(); s != "rw-" {
+		t.Errorf("PermR|PermW = %q, want rw-", s)
+	}
+	if s := Perm(0).String(); s != "---" {
+		t.Errorf("Perm(0) = %q, want ---", s)
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Kind: AccessWrite, Addr: 0x1000, Size: 4, Why: "test"}
+	want := "mem: write fault at 0x00001000 (size 4): test"
+	if f.Error() != want {
+		t.Errorf("Fault.Error() = %q, want %q", f.Error(), want)
+	}
+	for _, k := range []AccessKind{AccessRead, AccessWrite, AccessFetch} {
+		if k.String() == "access" {
+			t.Errorf("AccessKind %d has no name", k)
+		}
+	}
+}

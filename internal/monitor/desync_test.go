@@ -1,0 +1,73 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"lofat/internal/filter"
+	"lofat/internal/hashengine"
+)
+
+// The monitor is the fail-safe stage: even on a desynchronized op
+// stream (events without a push, spurious iteration ends or exits) it
+// must not panic and must never silently drop a measured pair.
+func TestDesyncOpsNeverLosePairs(t *testing.T) {
+	var got []hashengine.Pair
+	m := New(Config{}, func(p hashengine.Pair) { got = append(got, p) })
+
+	// Loop event with no active loop: measured directly.
+	m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymCond,
+		Pair: hashengine.Pair{Src: 1, Dest: 2}})
+	if len(got) != 1 {
+		t.Fatalf("orphan loop event lost: %d pairs", len(got))
+	}
+	// Spurious iteration end / exit: no-ops.
+	m.Apply(filter.Op{Kind: filter.OpIterEnd})
+	m.Apply(filter.Op{Kind: filter.OpLoopExit})
+	if m.Depth() != 0 || len(m.Records()) != 0 {
+		t.Error("spurious ops changed state")
+	}
+}
+
+// Random op storms: pairs in == pairs hashed + pairs deduplicated, and
+// the monitor never panics.
+func TestRandomOpStormConservation(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var hashed int
+		m := New(Config{}, func(hashengine.Pair) { hashed++ })
+		pairsIn := 0
+		for i := 0; i < 3000; i++ {
+			switch r.Intn(6) {
+			case 0:
+				m.Apply(filter.Op{Kind: filter.OpHashDirect,
+					Pair: hashengine.Pair{Src: uint32(i), Dest: uint32(i * 3)}})
+				pairsIn++
+			case 1, 2:
+				sym := filter.SymbolKind(r.Intn(3))
+				m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: sym,
+					Taken:  r.Intn(2) == 0,
+					Target: uint32(r.Intn(64) * 4),
+					Pair:   hashengine.Pair{Src: uint32(i), Dest: uint32(i * 7)}})
+				pairsIn++
+			case 3:
+				m.Apply(filter.Op{Kind: filter.OpIterEnd})
+			case 4:
+				if m.Depth() < 3 {
+					m.Apply(filter.Op{Kind: filter.OpLoopPush,
+						Entry: uint32(0x1000 + r.Intn(64)*4), Exit: uint32(0x2000)})
+				}
+			case 5:
+				m.Apply(filter.Op{Kind: filter.OpLoopExit})
+			}
+		}
+		// Flush everything still active.
+		for m.Depth() > 0 {
+			m.Apply(filter.Op{Kind: filter.OpLoopExit})
+		}
+		if uint64(hashed)+m.DedupedPairs != uint64(pairsIn) {
+			t.Fatalf("seed %d: hashed %d + deduped %d != in %d",
+				seed, hashed, m.DedupedPairs, pairsIn)
+		}
+	}
+}

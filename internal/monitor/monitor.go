@@ -1,0 +1,340 @@
+// Package monitor implements the LO-FAT loop monitor of §4/§5: the path
+// encoder that assigns each distinct path through a loop a unique path
+// ID (Figure 4), the path-ID-indexed loop counter memory, the
+// interleaved-CAM re-encoding of indirect branch targets (§5.2), and the
+// metadata generator that assembles the auxiliary loop metadata L.
+//
+// The central optimisation of the paper lives here: each distinct loop
+// path is hashed ONCE, on first occurrence; repeated executions only
+// increment an on-chip counter, avoiding both the combinatorial
+// explosion of valid hash values and per-iteration hash work.
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"lofat/internal/filter"
+	"lofat/internal/hashengine"
+)
+
+// Config parameterizes the loop monitor hardware (§5.2).
+type Config struct {
+	// MaxBranchesPerPath is ℓ: the maximum number of control-flow
+	// events encoded per loop path (paper: 16). Longer iterations
+	// overflow: they are counted under a dedicated overflow path ID
+	// and their pairs are hashed on every occurrence (no dedup).
+	MaxBranchesPerPath int
+	// IndirectBits is n: indirect targets are re-encoded in n bits,
+	// allowing 2^n-1 distinct targets per loop; further targets get
+	// the all-zero overflow code, which is reported to the verifier.
+	IndirectBits int
+	// DisableDedup turns the paper's core optimisation OFF: every loop
+	// iteration is hashed even when its path ID was seen before. Only
+	// for ablation studies — it recreates the "combinatorial explosion
+	// of valid hash values" problem §4 describes.
+	DisableDedup bool
+}
+
+// DefaultConfig matches the paper's prototype (ℓ=16, n=4).
+var DefaultConfig = Config{MaxBranchesPerPath: 16, IndirectBits: 4}
+
+func (c *Config) fill() {
+	if c.MaxBranchesPerPath == 0 {
+		c.MaxBranchesPerPath = DefaultConfig.MaxBranchesPerPath
+	}
+	if c.IndirectBits == 0 {
+		c.IndirectBits = DefaultConfig.IndirectBits
+	}
+}
+
+// PathCode is a unique loop path encoding: the chronological
+// taken/not-taken and indirect-target symbols of one iteration, as in
+// Figure 4 ("011" for the dashed path, "0011" for the bold path).
+type PathCode struct {
+	Bits     uint64
+	Len      uint8 // number of significant bits
+	Overflow bool  // iteration exceeded ℓ symbols or 64 bits
+}
+
+// String renders the code as the paper does: chronological bit string.
+func (p PathCode) String() string {
+	if p.Overflow {
+		return "OVERFLOW"
+	}
+	if p.Len == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for i := int(p.Len) - 1; i >= 0; i-- {
+		if p.Bits>>uint(i)&1 == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// PathStat is one row of the loop counter memory.
+type PathStat struct {
+	Code  PathCode
+	Count uint64 // iterations that followed this path
+}
+
+// LoopRecord is the per-loop entry of the auxiliary metadata L: "the
+// unique loop path encodings in order of first occurrence, the number of
+// iterations of each path, and the indirect branch targets encountered
+// in this loop" (§5.1), plus the partial path taken when exiting.
+type LoopRecord struct {
+	Entry uint32
+	Exit  uint32
+	// Paths lists distinct path IDs in order of first occurrence with
+	// their iteration counts.
+	Paths []PathStat
+	// IndirectTargets are the CAM contents in code order (code i+1 =
+	// IndirectTargets[i]); code 0 is the overflow marker.
+	IndirectTargets []uint32
+	// IndirectOverflows counts targets beyond the 2^n-1 CAM capacity.
+	IndirectOverflows uint64
+	// Partial is the (possibly empty) path prefix of the iteration
+	// during which the loop exited.
+	Partial PathCode
+	// Iterations is the total number of completed iterations observed
+	// (sum of path counts).
+	Iterations uint64
+}
+
+// String summarizes the record for diagnostics.
+func (r LoopRecord) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop[%#x,%#x) iters=%d paths=", r.Entry, r.Exit, r.Iterations)
+	for i, p := range r.Paths {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s×%d", p.Code, p.Count)
+	}
+	return b.String()
+}
+
+// loopState is the per-active-loop hardware context.
+type loopState struct {
+	entry, exit uint32
+	code        PathCode
+	syms        int
+	buf         []hashengine.Pair
+	stats       map[PathCode]int // code -> index into order
+	order       []PathStat
+	cam         map[uint32]uint8
+	camOrder    []uint32
+	camOverflow uint64
+	iterations  uint64
+}
+
+// Monitor is the loop monitor. Emitted (Src,Dest) pairs flow to the hash
+// engine via the emit callback (the new_path/non_loops ctrl paths of
+// Figure 3).
+type Monitor struct {
+	cfg     Config
+	stack   []*loopState
+	records []LoopRecord
+	emit    func(hashengine.Pair)
+
+	// Stats for the evaluation.
+	HashedPairs   uint64 // pairs sent to the hash engine
+	DedupedPairs  uint64 // pairs suppressed by the loop-path dedup
+	NewPaths      uint64
+	RepeatedPaths uint64
+}
+
+// New returns a monitor forwarding measured pairs to emit.
+func New(cfg Config, emit func(hashengine.Pair)) *Monitor {
+	cfg.fill()
+	return &Monitor{cfg: cfg, emit: emit}
+}
+
+// Reset clears all state for a new attestation.
+func (m *Monitor) Reset() {
+	m.stack = m.stack[:0]
+	m.records = m.records[:0]
+	m.HashedPairs = 0
+	m.DedupedPairs = 0
+	m.NewPaths = 0
+	m.RepeatedPaths = 0
+}
+
+// Records returns the loop metadata generated so far (L).
+func (m *Monitor) Records() []LoopRecord { return m.records }
+
+// Depth reports the number of active loop contexts (mirrors the filter).
+func (m *Monitor) Depth() int { return len(m.stack) }
+
+func (m *Monitor) send(p hashengine.Pair) {
+	m.HashedPairs++
+	m.emit(p)
+}
+
+// Apply consumes one filter operation.
+func (m *Monitor) Apply(op filter.Op) {
+	switch op.Kind {
+	case filter.OpHashDirect:
+		m.send(op.Pair)
+
+	case filter.OpLoopPush:
+		m.stack = append(m.stack, &loopState{
+			entry: op.Entry,
+			exit:  op.Exit,
+			stats: make(map[PathCode]int),
+			cam:   make(map[uint32]uint8),
+		})
+
+	case filter.OpLoopEvent:
+		l := m.top()
+		if l == nil {
+			// Filter/monitor desync would be a wiring bug; measure
+			// the pair directly so A never silently loses an edge.
+			m.send(op.Pair)
+			return
+		}
+		l.buf = append(l.buf, op.Pair)
+		m.appendSymbol(l, op)
+
+	case filter.OpIterEnd:
+		l := m.top()
+		if l == nil {
+			return
+		}
+		m.finishIteration(l)
+
+	case filter.OpLoopExit:
+		l := m.top()
+		if l == nil {
+			return
+		}
+		m.stack = m.stack[:len(m.stack)-1]
+		// The partial iteration in flight when the loop exits is part
+		// of the actual execution path: hash it directly.
+		for _, p := range l.buf {
+			m.send(p)
+		}
+		m.records = append(m.records, LoopRecord{
+			Entry:             l.entry,
+			Exit:              l.exit,
+			Paths:             l.order,
+			IndirectTargets:   l.camOrder,
+			IndirectOverflows: l.camOverflow,
+			Partial:           l.code,
+			Iterations:        l.iterations,
+		})
+	}
+}
+
+func (m *Monitor) top() *loopState {
+	if len(m.stack) == 0 {
+		return nil
+	}
+	return m.stack[len(m.stack)-1]
+}
+
+// appendSymbol extends the current iteration's path code per Figure 4:
+// conditional branches append their taken bit, direct jumps append '1',
+// indirect transfers append the n-bit CAM code of their target.
+func (m *Monitor) appendSymbol(l *loopState, op filter.Op) {
+	l.syms++
+	if l.syms > m.cfg.MaxBranchesPerPath {
+		l.code.Overflow = true
+		return
+	}
+	var sym uint64
+	var width uint8
+	switch op.Sym {
+	case filter.SymCond:
+		width = 1
+		if op.Taken {
+			sym = 1
+		}
+	case filter.SymJump:
+		width, sym = 1, 1
+	case filter.SymIndirect:
+		width = uint8(m.cfg.IndirectBits)
+		sym = uint64(m.camCode(l, op.Target))
+	}
+	if int(l.code.Len)+int(width) > 64 {
+		l.code.Overflow = true
+		return
+	}
+	l.code.Bits = l.code.Bits<<width | sym
+	l.code.Len += width
+}
+
+// camCode returns the n-bit re-encoding of an indirect target, assigning
+// codes 1..2^n-1 in first-seen order; 0 is the overflow code reported to
+// the verifier (§5.2).
+func (m *Monitor) camCode(l *loopState, target uint32) uint8 {
+	if c, ok := l.cam[target]; ok {
+		return c
+	}
+	maxTargets := 1<<uint(m.cfg.IndirectBits) - 1
+	if len(l.camOrder) >= maxTargets {
+		l.camOverflow++
+		return 0
+	}
+	code := uint8(len(l.camOrder) + 1)
+	l.cam[target] = code
+	l.camOrder = append(l.camOrder, target)
+	return code
+}
+
+// finishIteration closes one loop iteration: looks the path ID up in the
+// counter memory, hashes the buffered pairs only on first occurrence
+// (the paper's core optimisation), and increments the counter.
+func (m *Monitor) finishIteration(l *loopState) {
+	l.iterations++
+	code := l.code
+	idx, seen := l.stats[code]
+	switch {
+	case m.cfg.DisableDedup:
+		// Ablation: naive per-iteration hashing.
+		for _, p := range l.buf {
+			m.send(p)
+		}
+		if !seen {
+			l.stats[code] = len(l.order)
+			l.order = append(l.order, PathStat{Code: code})
+			idx = len(l.order) - 1
+			m.NewPaths++
+		}
+		l.order[idx].Count++
+	case code.Overflow:
+		// Overflow paths cannot be deduplicated soundly: hash every
+		// occurrence so A stays complete.
+		for _, p := range l.buf {
+			m.send(p)
+		}
+		if !seen {
+			l.stats[code] = len(l.order)
+			l.order = append(l.order, PathStat{Code: code})
+			idx = len(l.order) - 1
+			m.NewPaths++
+		}
+		l.order[idx].Count++
+	case !seen:
+		// New path: hash its (Src,Dest) pairs from the branches
+		// memory (new_path ctrl) and allocate a counter.
+		for _, p := range l.buf {
+			m.send(p)
+		}
+		l.stats[code] = len(l.order)
+		l.order = append(l.order, PathStat{Code: code, Count: 1})
+		m.NewPaths++
+	default:
+		// Known path: counter increment only; no hash work.
+		l.order[idx].Count++
+		m.DedupedPairs += uint64(len(l.buf))
+		m.RepeatedPaths++
+	}
+	l.buf = l.buf[:0]
+	l.code = PathCode{}
+	l.syms = 0
+}

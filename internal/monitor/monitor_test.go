@@ -1,0 +1,316 @@
+package monitor
+
+import (
+	"testing"
+
+	"lofat/internal/filter"
+	"lofat/internal/hashengine"
+)
+
+// collector wires a monitor to a pair-recording sink.
+func collector(cfg Config) (*Monitor, *[]hashengine.Pair) {
+	var pairs []hashengine.Pair
+	m := New(cfg, func(p hashengine.Pair) { pairs = append(pairs, p) })
+	return m, &pairs
+}
+
+func push(m *Monitor, entry, exit uint32) {
+	m.Apply(filter.Op{Kind: filter.OpLoopPush, Entry: entry, Exit: exit})
+}
+
+func cond(m *Monitor, src, dest uint32, taken bool) {
+	m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymCond, Taken: taken,
+		Pair: hashengine.Pair{Src: src, Dest: dest}})
+}
+
+func jump(m *Monitor, src, dest uint32) {
+	m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymJump,
+		Pair: hashengine.Pair{Src: src, Dest: dest}})
+}
+
+func indirect(m *Monitor, src, dest uint32) {
+	m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymIndirect, Target: dest,
+		Pair: hashengine.Pair{Src: src, Dest: dest}})
+}
+
+func iterEnd(m *Monitor) { m.Apply(filter.Op{Kind: filter.OpIterEnd}) }
+func exit(m *Monitor)    { m.Apply(filter.Op{Kind: filter.OpLoopExit}) }
+
+// Figure 4: the dashed path N2→N3→N5→N6→N2 encodes as "011" and the
+// bold path N2→N3→N4→N6→N2 as "0011".
+func TestFigure4Encodings(t *testing.T) {
+	m, _ := collector(Config{})
+	push(m, 0x100, 0x140)
+
+	// Dashed: N2 while-cond not taken (0), N3 if-cond taken to else (1),
+	// N6 back-edge jump (1).
+	cond(m, 0x100, 0x104, false)
+	cond(m, 0x104, 0x120, true)
+	jump(m, 0x130, 0x100)
+	iterEnd(m)
+
+	// Bold: N2 (0), N3 not taken (0), N4 jump over else (1), N6 (1).
+	cond(m, 0x100, 0x104, false)
+	cond(m, 0x104, 0x108, false)
+	jump(m, 0x118, 0x124)
+	jump(m, 0x130, 0x100)
+	iterEnd(m)
+
+	exit(m)
+	recs := m.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if len(r.Paths) != 2 {
+		t.Fatalf("paths = %+v", r.Paths)
+	}
+	if got := r.Paths[0].Code.String(); got != "011" {
+		t.Errorf("dashed path = %q, want 011", got)
+	}
+	if got := r.Paths[1].Code.String(); got != "0011" {
+		t.Errorf("bold path = %q, want 0011", got)
+	}
+	if r.Iterations != 2 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+}
+
+// The core optimisation: a repeated path is hashed once and counted.
+func TestLoopPathDeduplication(t *testing.T) {
+	m, pairs := collector(Config{})
+	push(m, 0x100, 0x140)
+
+	iteration := func() {
+		cond(m, 0x100, 0x104, false)
+		jump(m, 0x130, 0x100)
+		iterEnd(m)
+	}
+	for i := 0; i < 10; i++ {
+		iteration()
+	}
+	exit(m)
+
+	// Only the first iteration's 2 pairs were hashed.
+	if len(*pairs) != 2 {
+		t.Fatalf("hashed pairs = %d, want 2", len(*pairs))
+	}
+	r := m.Records()[0]
+	if len(r.Paths) != 1 || r.Paths[0].Count != 10 {
+		t.Fatalf("paths = %+v", r.Paths)
+	}
+	if m.NewPaths != 1 || m.RepeatedPaths != 9 {
+		t.Errorf("new/repeated = %d/%d", m.NewPaths, m.RepeatedPaths)
+	}
+	if m.DedupedPairs != 18 {
+		t.Errorf("deduped pairs = %d, want 18", m.DedupedPairs)
+	}
+}
+
+// Distinct paths through the same loop get distinct IDs, all hashed once.
+func TestDistinctPathsAllHashed(t *testing.T) {
+	m, pairs := collector(Config{})
+	push(m, 0x100, 0x140)
+	// Path A twice, path B once, path A again.
+	runPath := func(taken bool) {
+		cond(m, 0x100, 0x104, taken)
+		jump(m, 0x130, 0x100)
+		iterEnd(m)
+	}
+	runPath(false)
+	runPath(false)
+	runPath(true)
+	runPath(false)
+	exit(m)
+
+	if len(*pairs) != 4 { // 2 per distinct path
+		t.Fatalf("hashed pairs = %d, want 4", len(*pairs))
+	}
+	r := m.Records()[0]
+	if len(r.Paths) != 2 {
+		t.Fatalf("paths = %+v", r.Paths)
+	}
+	if r.Paths[0].Count != 3 || r.Paths[1].Count != 1 {
+		t.Errorf("counts = %d, %d", r.Paths[0].Count, r.Paths[1].Count)
+	}
+}
+
+// Partial iteration pairs are hashed when the loop exits.
+func TestPartialIterationFlushedOnExit(t *testing.T) {
+	m, pairs := collector(Config{})
+	push(m, 0x100, 0x140)
+	cond(m, 0x100, 0x140, true) // exit branch: partial path "1"
+	exit(m)
+
+	if len(*pairs) != 1 {
+		t.Fatalf("hashed pairs = %d, want 1", len(*pairs))
+	}
+	r := m.Records()[0]
+	if r.Partial.String() != "1" {
+		t.Errorf("partial = %q, want 1", r.Partial)
+	}
+	if r.Iterations != 0 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+}
+
+// Indirect targets are CAM-encoded: first-seen order, n-bit codes,
+// distinct targets produce distinct path IDs.
+func TestIndirectTargetEncoding(t *testing.T) {
+	m, _ := collector(Config{IndirectBits: 4})
+	push(m, 0x100, 0x140)
+
+	runIter := func(target uint32) {
+		indirect(m, 0x108, target)
+		jump(m, 0x130, 0x100)
+		iterEnd(m)
+	}
+	runIter(0x200) // code 1
+	runIter(0x300) // code 2
+	runIter(0x200) // code 1 again: repeats path 1
+	exit(m)
+
+	r := m.Records()[0]
+	if len(r.IndirectTargets) != 2 || r.IndirectTargets[0] != 0x200 || r.IndirectTargets[1] != 0x300 {
+		t.Fatalf("cam order = %#v", r.IndirectTargets)
+	}
+	if len(r.Paths) != 2 {
+		t.Fatalf("paths = %+v (distinct targets must give distinct IDs)", r.Paths)
+	}
+	if r.Paths[0].Count != 2 || r.Paths[1].Count != 1 {
+		t.Errorf("counts = %+v", r.Paths)
+	}
+	// Code width: 4-bit target code + 1-bit jump = 5 bits.
+	if r.Paths[0].Code.Len != 5 {
+		t.Errorf("code len = %d, want 5", r.Paths[0].Code.Len)
+	}
+}
+
+// Beyond 2^n-1 targets, the all-zero overflow code is used and reported.
+func TestIndirectCAMOverflow(t *testing.T) {
+	m, _ := collector(Config{IndirectBits: 2}) // 3 targets max
+	push(m, 0x100, 0x140)
+	for i := 0; i < 5; i++ {
+		indirect(m, 0x108, uint32(0x200+0x10*i))
+		jump(m, 0x130, 0x100)
+		iterEnd(m)
+	}
+	exit(m)
+	r := m.Records()[0]
+	if len(r.IndirectTargets) != 3 {
+		t.Errorf("cam targets = %d, want 3", len(r.IndirectTargets))
+	}
+	if r.IndirectOverflows != 2 {
+		t.Errorf("overflows = %d, want 2", r.IndirectOverflows)
+	}
+	// Targets 4 and 5 share the overflow code, hence the same path ID.
+	if len(r.Paths) != 4 {
+		t.Errorf("paths = %d, want 4 (3 coded + 1 overflow-coded)", len(r.Paths))
+	}
+}
+
+// Iterations longer than ℓ symbols overflow: counted under the overflow
+// ID and hashed on EVERY occurrence (dedup would be unsound).
+func TestPathLengthOverflow(t *testing.T) {
+	m, pairs := collector(Config{MaxBranchesPerPath: 4})
+	push(m, 0x100, 0x140)
+	longIter := func() {
+		for i := 0; i < 6; i++ {
+			cond(m, uint32(0x100+8*i), uint32(0x104+8*i), i%2 == 0)
+		}
+		jump(m, 0x130, 0x100)
+		iterEnd(m)
+	}
+	longIter()
+	longIter()
+	exit(m)
+
+	if len(*pairs) != 14 { // 7 pairs per iteration, both hashed
+		t.Fatalf("hashed pairs = %d, want 14", len(*pairs))
+	}
+	r := m.Records()[0]
+	if len(r.Paths) != 1 || !r.Paths[0].Code.Overflow || r.Paths[0].Count != 2 {
+		t.Fatalf("paths = %+v", r.Paths)
+	}
+	if r.Paths[0].Code.String() != "OVERFLOW" {
+		t.Errorf("code string = %q", r.Paths[0].Code)
+	}
+}
+
+// Nested loop contexts are independent: inner records appear before the
+// outer's (exit order), each with its own paths and CAM.
+func TestNestedContexts(t *testing.T) {
+	m, _ := collector(Config{})
+	push(m, 0x100, 0x180) // outer
+	cond(m, 0x100, 0x104, false)
+	push(m, 0x110, 0x130) // inner
+	cond(m, 0x110, 0x114, true)
+	iterEnd(m) // inner iteration
+	cond(m, 0x110, 0x130, false)
+	exit(m) // inner exits
+	jump(m, 0x17C, 0x100)
+	iterEnd(m) // outer iteration
+	exit(m)    // outer exits
+
+	recs := m.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Entry != 0x110 || recs[1].Entry != 0x100 {
+		t.Errorf("record order = %#x, %#x; want inner first", recs[0].Entry, recs[1].Entry)
+	}
+	if recs[0].Iterations != 1 || recs[1].Iterations != 1 {
+		t.Errorf("iterations = %d, %d", recs[0].Iterations, recs[1].Iterations)
+	}
+	// Outer path excludes inner loop events: cond(0) + jump(1) = "01".
+	if got := recs[1].Paths[0].Code.String(); got != "01" {
+		t.Errorf("outer path = %q, want 01", got)
+	}
+}
+
+// An empty-code iteration (entry reached with no intervening branch
+// events, e.g. straight-line body with a fallthrough... possible via
+// continue patterns) still counts distinctly from other paths.
+func TestEmptyPathCode(t *testing.T) {
+	m, _ := collector(Config{})
+	push(m, 0x100, 0x140)
+	iterEnd(m)
+	iterEnd(m)
+	exit(m)
+	r := m.Records()[0]
+	if len(r.Paths) != 1 || r.Paths[0].Count != 2 {
+		t.Fatalf("paths = %+v", r.Paths)
+	}
+	if r.Paths[0].Code.String() != "ε" {
+		t.Errorf("empty code = %q", r.Paths[0].Code)
+	}
+}
+
+func TestPathCodeString(t *testing.T) {
+	cases := []struct {
+		code PathCode
+		want string
+	}{
+		{PathCode{Bits: 0b011, Len: 3}, "011"},
+		{PathCode{Bits: 0b0011, Len: 4}, "0011"},
+		{PathCode{Bits: 0, Len: 1}, "0"},
+		{PathCode{Bits: 1, Len: 1}, "1"},
+		{PathCode{Overflow: true}, "OVERFLOW"},
+		{PathCode{}, "ε"},
+	}
+	for _, c := range cases {
+		if got := c.code.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.code, got, c.want)
+		}
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m, _ := collector(Config{})
+	push(m, 0x100, 0x140)
+	cond(m, 0x100, 0x104, true)
+	m.Reset()
+	if m.Depth() != 0 || len(m.Records()) != 0 || m.HashedPairs != 0 {
+		t.Error("Reset left state behind")
+	}
+}

@@ -1,0 +1,58 @@
+// Package sig provides the attestation signature primitive and a model
+// of the hardware-protected key store: "the signing key ... is stored by
+// P in hardware-protected secure memory, e.g., a register that is
+// accessible only to LO-FAT" (§3). The simulated application software
+// has no interface to the private key: the store only exposes Sign.
+package sig
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeyStore holds the prover's signing key in "hardware". The private
+// key is deliberately unexported and unreachable from outside this
+// package; only LO-FAT's report generation calls Sign.
+type KeyStore struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// GenerateKeyStore provisions a key store from the given entropy source
+// (device personalisation at manufacture time).
+func GenerateKeyStore(rand io.Reader) (*KeyStore, error) {
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generate: %w", err)
+	}
+	return &KeyStore{priv: priv, pub: pub}, nil
+}
+
+// Public returns the verification key pk, shared with the verifier
+// during enrolment.
+func (k *KeyStore) Public() ed25519.PublicKey {
+	out := make(ed25519.PublicKey, len(k.pub))
+	copy(out, k.pub)
+	return out
+}
+
+// Sign produces the attestation signature over msg.
+func (k *KeyStore) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.priv, msg)
+}
+
+// ErrBadSignature is returned when verification fails.
+var ErrBadSignature = errors.New("sig: signature verification failed")
+
+// Verify checks sig over msg under pub.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) error {
+	if len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("sig: bad public key size %d", len(pub))
+	}
+	if !ed25519.Verify(pub, msg, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}

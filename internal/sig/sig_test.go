@@ -1,0 +1,83 @@
+package sig
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	ks, err := GenerateKeyStore(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("attestation report payload")
+	s := ks.Sign(msg)
+	if err := Verify(ks.Public(), msg, s); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	ks, _ := GenerateKeyStore(rand.Reader)
+	msg := []byte("payload")
+	s := ks.Sign(msg)
+
+	bad := append([]byte(nil), msg...)
+	bad[0] ^= 1
+	if err := Verify(ks.Public(), bad, s); err == nil {
+		t.Error("tampered message verified")
+	}
+
+	badSig := append([]byte(nil), s...)
+	badSig[0] ^= 1
+	if err := Verify(ks.Public(), msg, badSig); err == nil {
+		t.Error("tampered signature verified")
+	}
+
+	other, _ := GenerateKeyStore(rand.Reader)
+	if err := Verify(other.Public(), msg, s); err == nil {
+		t.Error("wrong key verified")
+	}
+}
+
+func TestVerifyBadKeySize(t *testing.T) {
+	if err := Verify([]byte{1, 2, 3}, []byte("m"), []byte("s")); err == nil {
+		t.Error("short public key accepted")
+	}
+}
+
+// Public returns a copy: mutating it must not affect the store.
+func TestPublicIsCopy(t *testing.T) {
+	ks, _ := GenerateKeyStore(rand.Reader)
+	msg := []byte("m")
+	s := ks.Sign(msg)
+	pub := ks.Public()
+	pub[0] ^= 0xFF
+	if err := Verify(ks.Public(), msg, s); err != nil {
+		t.Error("mutating the returned key corrupted the store")
+	}
+}
+
+// Deterministic entropy gives deterministic keys (seeded provisioning).
+func TestDeterministicProvisioning(t *testing.T) {
+	a, err := GenerateKeyStore(zeroReader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKeyStore(zeroReader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Public()) != string(b.Public()) {
+		t.Error("same entropy, different keys")
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0x42
+	}
+	return len(p), nil
+}

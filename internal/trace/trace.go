@@ -1,0 +1,63 @@
+// Package trace defines the retired-instruction event stream the
+// simulated core exposes to observers. This is the hardware interface of
+// Figure 3: "the branch filter ... extracts the current program counter
+// and instruction executed per clock cycle". LO-FAT's branch filter, the
+// C-FLAT baseline's instrumentation shim, and test harnesses all consume
+// the same stream, which is what makes the comparison between them fair.
+package trace
+
+import "lofat/internal/isa"
+
+// Event describes one retired instruction.
+type Event struct {
+	// Cycle is the clock cycle at which the instruction retired.
+	Cycle uint64
+	// PC is the address of the retired instruction (Src of a branch).
+	PC uint32
+	// Word is the raw instruction encoding.
+	Word uint32
+	// Inst is the decoded instruction.
+	Inst isa.Inst
+	// Kind classifies the instruction for the branch filter.
+	Kind isa.ControlFlowKind
+	// Taken reports whether a conditional branch was taken; true for
+	// unconditional transfers, false for non-control-flow.
+	Taken bool
+	// NextPC is the address of the next instruction to execute (Dest
+	// of a taken branch, fall-through otherwise).
+	NextPC uint32
+	// Linking reports whether the instruction updated the link
+	// register (subroutine call), per the §5.1 loop heuristic.
+	Linking bool
+}
+
+// IsBackward reports whether the event is a taken control transfer to an
+// earlier address — the trigger for the loop-entry heuristic.
+func (e Event) IsBackward() bool {
+	return e.Kind != isa.KindNone && e.Taken && e.NextPC < e.PC
+}
+
+// SrcDest returns the (Src, Dest) address pair the LO-FAT hash engine
+// absorbs for this control-flow event.
+func (e Event) SrcDest() (uint32, uint32) { return e.PC, e.NextPC }
+
+// Sink consumes retired-instruction events. Implementations must not
+// retain the event past the call.
+type Sink interface {
+	Retire(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Retire implements Sink.
+func (f SinkFunc) Retire(e Event) { f(e) }
+
+// Multi fans one event stream out to several sinks in order.
+func Multi(sinks ...Sink) Sink {
+	return SinkFunc(func(e Event) {
+		for _, s := range sinks {
+			s.Retire(e)
+		}
+	})
+}

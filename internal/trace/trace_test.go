@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"testing"
+
+	"lofat/internal/isa"
+)
+
+func TestIsBackward(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want bool
+	}{
+		{Event{PC: 0x120, NextPC: 0x100, Kind: isa.KindCondBr, Taken: true}, true},
+		{Event{PC: 0x100, NextPC: 0x120, Kind: isa.KindCondBr, Taken: true}, false},
+		{Event{PC: 0x120, NextPC: 0x100, Kind: isa.KindCondBr, Taken: false}, false},
+		{Event{PC: 0x120, NextPC: 0x100, Kind: isa.KindNone, Taken: true}, false},
+		{Event{PC: 0x120, NextPC: 0x100, Kind: isa.KindJump, Taken: true}, true},
+		{Event{PC: 0x120, NextPC: 0x120, Kind: isa.KindJump, Taken: true}, false}, // self is not backward
+	}
+	for i, c := range cases {
+		if got := c.e.IsBackward(); got != c.want {
+			t.Errorf("case %d: IsBackward = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSrcDest(t *testing.T) {
+	e := Event{PC: 0xAAAA, NextPC: 0xBBBB}
+	s, d := e.SrcDest()
+	if s != 0xAAAA || d != 0xBBBB {
+		t.Errorf("SrcDest = %#x, %#x", s, d)
+	}
+}
+
+func TestMultiFanOut(t *testing.T) {
+	var a, b []uint32
+	sink := Multi(
+		SinkFunc(func(e Event) { a = append(a, e.PC) }),
+		SinkFunc(func(e Event) { b = append(b, e.PC) }),
+	)
+	sink.Retire(Event{PC: 1})
+	sink.Retire(Event{PC: 2})
+	if len(a) != 2 || len(b) != 2 || a[1] != 2 || b[0] != 1 {
+		t.Errorf("fan-out broken: %v %v", a, b)
+	}
+}

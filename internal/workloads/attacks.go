@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/cpu"
+)
+
+// Attack is a run-time attack scenario from Figure 1. Build constructs
+// the adversary for a concrete program image (it needs the assembled
+// addresses of the data it corrupts). Adversaries act exclusively
+// through Machine.Mem.Poke — writable data memory only, exactly the
+// paper's threat model.
+type Attack struct {
+	Name        string
+	Description string
+	// Class is the Figure 1 attack class (1, 2 or 3).
+	Class int
+	// Workload is the victim program (with the attack-scenario input).
+	Workload Workload
+	// Expect is the verdict the verifier should reach.
+	Expect attest.Classification
+	// Build returns the adversary hook for an assembled image.
+	Build func(prog *asm.Program) attest.Adversary
+}
+
+// Attacks returns the three attack scenarios of Figure 1 (one per
+// class) plus the documented non-detection case: a pure data-oriented
+// attack, which control-flow attestation accepts by design.
+func Attacks() []Attack {
+	return []Attack{AuthBypass(), LoopCounterCorruption(), CodePointerHijack(), DataOnlyCorruption()}
+}
+
+// AttackByName looks an attack scenario up.
+func AttackByName(name string) (Attack, bool) {
+	for _, a := range Attacks() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attack{}, false
+}
+
+// AuthBypass is attack class 1 (non-control data): the adversary
+// overwrites the stored authentication secret so an invalid token is
+// accepted and the privileged dispense path executes. Control-flow
+// integrity is never violated — only control-flow ATTESTATION sees the
+// unexpected-but-valid path.
+func AuthBypass() Attack {
+	w := SyringePump()
+	w.Input = []uint32{0xBAD, 1, 4} // invalid token: expected path = reject
+	w.WantExit = 0
+	return Attack{
+		Name:        "auth-bypass",
+		Description: "corrupt auth_secret so a bad token takes the privileged path",
+		Class:       1,
+		Workload:    w,
+		Expect:      attest.ClassNonControlData,
+		Build: func(prog *asm.Program) attest.Adversary {
+			secret, ok := prog.Labels["auth_secret"]
+			if !ok {
+				return failingAdversary("auth_secret label missing")
+			}
+			fired := false
+			return func(m *cpu.Machine) error {
+				if fired {
+					return nil
+				}
+				fired = true
+				// Make the stored secret match the attacker's token.
+				return m.Mem.Poke(secret, 0xBAD)
+			}
+		},
+	}
+}
+
+// LoopCounterCorruption is attack class 2: the adversary bumps the
+// remaining-steps counter mid-bolus so the pump dispenses more liquid
+// than requested — the paper's motivating syringe-pump example. The
+// executed paths are all legitimate; only iteration COUNTS change, so
+// the cumulative hash A is unchanged and detection rests entirely on
+// the loop metadata L.
+func LoopCounterCorruption() Attack {
+	w := SyringePump() // benign input: 2 boluses of 5 and 3 steps
+	return Attack{
+		Name:        "loop-counter",
+		Description: "bump steps_req mid-run: extra motor steps, same paths",
+		Class:       2,
+		Workload:    w,
+		Expect:      attest.ClassLoopCounter,
+		Build: func(prog *asm.Program) attest.Adversary {
+			steps, ok := prog.Labels["steps_req"]
+			if !ok {
+				return failingAdversary("steps_req label missing")
+			}
+			fired := false
+			return func(m *cpu.Machine) error {
+				if fired {
+					return nil
+				}
+				v, err := m.Mem.Peek(steps)
+				if err != nil {
+					return err
+				}
+				if v == 2 { // mid-way through the first bolus
+					fired = true
+					return m.Mem.Poke(steps, 7) // +5 extra steps
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// codePointerVictim is the victim for attack class 3: a handler loop
+// dispatching through a function pointer held in writable data, plus an
+// auth-gated maintenance routine whose privileged tail is a classic
+// gadget when entered directly.
+func codePointerVictim() Workload {
+	return Workload{
+		Name:        "pointer-victim",
+		Description: "handler loop via function pointer; auth-gated privileged tail as gadget",
+		WantExit:    3,
+		Source: `
+	.data
+handler_ptr:
+	.word safe_handler
+	.text
+main:
+	li   s0, 3
+	li   s1, 0
+loop:
+	la   t0, handler_ptr
+	lw   t1, 0(t0)
+	jalr ra, 0(t1)          # indirect dispatch, attacker-reachable ptr
+	addi s0, s0, -1
+	bnez s0, loop
+	mv   a0, s1
+	li   a7, 93
+	ecall
+safe_handler:
+	addi s1, s1, 1
+	ret
+maintenance:                # legitimate entry: auth check first
+	beqz a0, maint_deny
+unlock:                     # privileged tail — the gadget
+	addi s1, s1, 100
+	ret
+maint_deny:
+	ret
+`,
+	}
+}
+
+// CodePointerHijack is attack class 3 (code pointer overwrite): the
+// adversary redirects the handler pointer into the middle of the
+// maintenance routine, skipping its authentication check — a
+// code-reuse-style control-flow violation. The hijacked target is not a
+// legitimate function entry, so the reported loop path fails CFG
+// validation.
+func CodePointerHijack() Attack {
+	return Attack{
+		Name:        "code-pointer",
+		Description: "redirect handler_ptr to the unlock gadget (mid-function entry)",
+		Class:       3,
+		Workload:    codePointerVictim(),
+		Expect:      attest.ClassControlFlow,
+		Build: func(prog *asm.Program) attest.Adversary {
+			ptr, okP := prog.Labels["handler_ptr"]
+			gadget, okG := prog.Labels["unlock"]
+			if !okP || !okG {
+				return failingAdversary("handler_ptr/unlock labels missing")
+			}
+			fired := false
+			return func(m *cpu.Machine) error {
+				if fired {
+					return nil
+				}
+				fired = true
+				return m.Mem.Poke(ptr, gadget)
+			}
+		},
+	}
+}
+
+// DataOnlyCorruption is the paper's stated limitation (§3): "our scheme
+// can detect attacks that affect the program's control-flow, but not
+// pure data-driven attacks ... such as data-oriented programming
+// attacks, which remain an open research problem". The adversary bumps
+// the pump's `dispensed` output accumulator directly — a value no
+// branch ever tests — so the control flow, and therefore the
+// attestation, is bit-identical to the benign run while the device's
+// output is wrong. The verifier ACCEPTS; the scenario documents the
+// boundary of the security argument.
+func DataOnlyCorruption() Attack {
+	w := SyringePump()
+	return Attack{
+		Name:        "dop-data-only",
+		Description: "bump the dispensed-output accumulator: no branch depends on it",
+		Class:       0, // outside the Figure 1 classes: pure data
+		Workload:    w,
+		Expect:      attest.ClassAccepted, // NOT detected, by design
+		Build: func(prog *asm.Program) attest.Adversary {
+			dispensed, ok := prog.Labels["dispensed"]
+			if !ok {
+				return failingAdversary("dispensed label missing")
+			}
+			fired := false
+			return func(m *cpu.Machine) error {
+				if fired {
+					return nil
+				}
+				v, err := m.Mem.Peek(dispensed)
+				if err != nil {
+					return err
+				}
+				if v == 3 { // mid-run, after some honest dispensing
+					fired = true
+					return m.Mem.Poke(dispensed, v+100)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+func failingAdversary(msg string) attest.Adversary {
+	return func(*cpu.Machine) error { return fmt.Errorf("workloads: %s", msg) }
+}

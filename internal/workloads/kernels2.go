@@ -1,0 +1,202 @@
+package workloads
+
+// Additional embedded kernels extending the evaluation set: recursion
+// combined with loops (quicksort), a classic sieve, and logarithmic
+// search. Registered in All2; kept separate from All so the paper-scoped
+// experiment tables stay stable while the extended suite exercises more
+// control-flow shapes.
+
+// QuickSort sorts 12 words with recursive quicksort: partition loops
+// nested under data-dependent recursion depth — loops *inside* call
+// trees, the case the filter's call-depth suppression must handle.
+func QuickSort() Workload {
+	return Workload{
+		Name:        "quicksort",
+		Description: "recursive quicksort of 12 words; loops under recursion",
+		WantExit:    650, // sum of k^2 for k=1..12 (sorted values at 1-based positions)
+		Source: `
+	.data
+arr:
+	.word 9, 3, 7, 1, 8, 2, 12, 5, 11, 4, 10, 6
+	.equ N, 12
+	.text
+main:
+	la   a0, arr            # lo pointer
+	la   a1, arr
+	addi a1, a1, 44         # hi pointer (last element)
+	call qsort
+	# checksum: sum(arr[i] * (i+1))
+	la   s2, arr
+	li   s3, 0
+	li   s5, 0
+chk_loop:
+	slli t0, s3, 2
+	add  t0, s2, t0
+	lw   t1, 0(t0)
+	addi t2, s3, 1
+	mul  t1, t1, t2
+	add  s5, s5, t1
+	addi s3, s3, 1
+	li   t3, N
+	blt  s3, t3, chk_loop
+	mv   a0, s5
+	li   a7, 93
+	ecall
+
+qsort:                      # a0 = lo ptr, a1 = hi ptr
+	bgeu a0, a1, qs_done    # <= 1 element
+	addi sp, sp, -16
+	sw   ra, 12(sp)
+	sw   a0, 8(sp)
+	sw   a1, 4(sp)
+	# Lomuto partition, pivot = *hi.
+	lw   t0, 0(a1)          # pivot
+	mv   t1, a0             # i = lo (store slot)
+	mv   t2, a0             # j = lo (scan)
+part_loop:
+	bgeu t2, a1, part_done
+	lw   t3, 0(t2)
+	bge  t3, t0, no_store
+	lw   t4, 0(t1)          # swap *i, *j
+	sw   t3, 0(t1)
+	sw   t4, 0(t2)
+	addi t1, t1, 4
+no_store:
+	addi t2, t2, 4
+	j    part_loop
+part_done:
+	lw   t3, 0(t1)          # swap *i, *hi (pivot into place)
+	sw   t0, 0(t1)
+	sw   t3, 0(a1)
+	sw   t1, 0(sp)          # pivot slot
+	# left recursion: [lo, pivot-4]
+	lw   a0, 8(sp)
+	addi a1, t1, -4
+	call qsort
+	# right recursion: [pivot+4, hi]
+	lw   t1, 0(sp)
+	addi a0, t1, 4
+	lw   a1, 4(sp)
+	call qsort
+	lw   ra, 12(sp)
+	addi sp, sp, 16
+qs_done:
+	ret
+`,
+	}
+}
+
+// Sieve computes the number of primes below 64 with the Sieve of
+// Eratosthenes: nested loops with strides, byte stores.
+func Sieve() Workload {
+	return Workload{
+		Name:        "sieve",
+		Description: "Sieve of Eratosthenes below 64; strided inner loops",
+		WantExit:    18, // primes below 64
+		Source: `
+	.data
+flags:
+	.space 64
+	.equ N, 64
+	.text
+main:
+	# mark composites
+	li   s0, 2              # p
+outer:
+	li   t0, N
+	mul  t1, s0, s0         # p*p
+	bge  t1, t0, count      # p*p >= N: done marking
+	la   t2, flags
+	add  t3, t2, t1         # &flags[p*p]
+	add  t4, t2, t0         # &flags[N]
+mark:
+	bgeu t3, t4, next_p
+	li   t5, 1
+	sb   t5, 0(t3)
+	add  t3, t3, s0
+	j    mark
+next_p:
+	addi s0, s0, 1
+	j    outer
+count:
+	li   s1, 0              # count
+	li   s2, 2              # i
+	la   t2, flags
+cnt_loop:
+	li   t0, N
+	bge  s2, t0, done
+	add  t3, t2, s2
+	lbu  t4, 0(t3)
+	bnez t4, cnt_next
+	addi s1, s1, 1
+cnt_next:
+	addi s2, s2, 1
+	j    cnt_loop
+done:
+	mv   a0, s1
+	li   a7, 93
+	ecall
+`,
+	}
+}
+
+// BinarySearch looks up verifier-supplied keys in a sorted table: a
+// logarithmic loop whose path depends entirely on the input — maximal
+// path diversity per iteration count.
+func BinarySearch() Workload {
+	return Workload{
+		Name:        "binary-search",
+		Description: "binary search over 16 sorted words, input-driven probes",
+		Input:       []uint32{23, 2, 90, 77, 0xFFFFFFFF},
+		WantExit:    158, // ((((0+5)*2+0)*2+14)*2+11)*2 over keys 23,2,90,77
+		Source: `
+	.data
+tbl:
+	.word 2, 5, 8, 13, 21, 23, 34, 42, 55, 60, 68, 77, 81, 88, 90, 97
+	.equ N, 16
+	.text
+main:
+	li   s5, 0              # result accumulator
+probe_loop:
+	li   a7, 63
+	ecall                   # next key (0xFFFFFFFF = stop)
+	li   t0, -1
+	beq  a0, t0, done
+	mv   s0, a0             # key
+	li   s1, 0              # lo
+	li   s2, N              # hi (exclusive)
+bs_loop:
+	bgeu s1, s2, not_found
+	add  t0, s1, s2
+	srli t0, t0, 1          # mid
+	slli t1, t0, 2
+	la   t2, tbl
+	add  t2, t2, t1
+	lw   t3, 0(t2)
+	beq  t3, s0, found
+	bltu t3, s0, go_right
+	mv   s2, t0             # hi = mid
+	j    bs_loop
+go_right:
+	addi s1, t0, 1          # lo = mid+1
+	j    bs_loop
+found:
+	add  s5, s5, t0         # accumulate index
+	slli s5, s5, 1
+	j    probe_loop
+not_found:
+	addi s5, s5, 1          # penalty for miss
+	j    probe_loop
+done:
+	mv   a0, s5
+	li   a7, 93
+	ecall
+`,
+	}
+}
+
+// All2 is the extended workload suite: the paper-scoped set plus the
+// additional kernels.
+func All2() []Workload {
+	return append(All(), QuickSort(), Sieve(), BinarySearch(), PumpFSM())
+}

@@ -1,0 +1,70 @@
+package workloads
+
+// SyringePump is the paper's §6.1 demonstration application: a control
+// loop modeled on the Open Syringe Pump firmware
+// (https://hackaday.io/project/1838-open-syringe-pump). The device
+// authenticates a command source, then dispenses the requested boluses
+// as motor-step loops. Two properties make it the canonical CFA example:
+// the privileged dispense path is guarded by a data variable (attack
+// class 1), and the dispensed volume is controlled by loop trip counts
+// held in writable memory (attack class 2 — "a syringe pump dispenses
+// more liquid than requested").
+//
+// Input words: [auth_token, bolus_count, steps_1, ..., steps_n].
+// Exit code: total motor steps dispensed (0 when rejected).
+func SyringePump() Workload {
+	return Workload{
+		Name:        "syringe-pump",
+		Description: "Open Syringe Pump control loop: auth gate + bolus/step dispense loops",
+		Input:       []uint32{0xC0FFEE, 2, 5, 3}, // valid token, 2 boluses: 5+3 steps
+		WantExit:    8,
+		Source: `
+	.data
+auth_secret:
+	.word 0xC0FFEE
+dispensed:
+	.word 0                 # total steps driven to the motor
+steps_req:
+	.word 0                 # remaining steps of the current bolus
+	.text
+main:
+	li   a7, 63
+	ecall                   # read auth token
+	la   t0, auth_secret
+	lw   t1, 0(t0)
+	bne  a0, t1, reject
+	li   a7, 63
+	ecall                   # read bolus count
+	mv   s0, a0
+	beqz s0, done
+bolus_loop:
+	li   a7, 63
+	ecall                   # steps for this bolus
+	la   t0, steps_req
+	sw   a0, 0(t0)
+step_loop:
+	la   t0, steps_req
+	lw   t1, 0(t0)          # loop bound lives in rw data: attackable
+	beqz t1, bolus_done
+	addi t1, t1, -1
+	sw   t1, 0(t0)
+	la   t2, dispensed      # pulse the motor
+	lw   t3, 0(t2)
+	addi t3, t3, 1
+	sw   t3, 0(t2)
+	j    step_loop
+bolus_done:
+	addi s0, s0, -1
+	bnez s0, bolus_loop
+done:
+	la   t0, dispensed
+	lw   a0, 0(t0)
+	li   a7, 93
+	ecall
+reject:
+	li   a0, 0
+	li   a7, 93
+	ecall
+`,
+	}
+}

@@ -1,0 +1,111 @@
+package workloads
+
+// PumpFSM is the full-firmware variant of the syringe pump: the real
+// Open Syringe Pump is driven by a button menu, modeled here as an
+// event-driven finite state machine with an indirect state-handler
+// dispatch (jump table), parameter entry states, and the motor-step
+// dispense loop with its bound in writable memory. It exercises, in one
+// program, every control-flow shape LO-FAT handles: an outer event loop,
+// indirect calls in a loop (CAM), data-dependent handler paths, and a
+// nested counted loop with an attackable trip count.
+//
+// Event words: 0xFF powers off; in IDLE, 1 = enter set-rate, 2 = enter
+// set-volume, 3 = dispense (rate x volume steps); in SET_RATE/SET_VOLUME
+// the next event word is the parameter value.
+// Exit code: total motor steps dispensed.
+func PumpFSM() Workload {
+	return Workload{
+		Name:        "pump-fsm",
+		Description: "syringe pump menu FSM: indirect state dispatch + dispense loops",
+		// set rate 5, set volume 4, dispense (20), set rate 2,
+		// dispense (8), power off: 28 steps.
+		Input:    []uint32{1, 5, 2, 4, 3, 1, 2, 3, 0xFF},
+		WantExit: 28,
+		Source: `
+	.data
+state_table:
+	.word st_idle, st_set_rate, st_set_volume
+rate:
+	.word 1
+volume:
+	.word 0
+steps_req:
+	.word 0                 # remaining steps: attackable loop bound
+dispensed:
+	.word 0
+	.text
+main:
+	li   s0, 0              # state: 0 idle, 1 set-rate, 2 set-volume
+fsm_loop:
+	li   a7, 63
+	ecall                   # next event word
+	li   t0, 0xFF
+	beq  a0, t0, shutdown
+	# dispatch to the current state's handler through the jump table
+	slli t1, s0, 2
+	la   t2, state_table
+	add  t2, t2, t1
+	lw   t3, 0(t2)
+	jalr ra, 0(t3)          # a0 = event, returns a0 = next state
+	mv   s0, a0
+	j    fsm_loop
+
+st_idle:                    # IDLE: route menu selections
+	li   t0, 1
+	beq  a0, t0, to_set_rate
+	li   t0, 2
+	beq  a0, t0, to_set_volume
+	li   t0, 3
+	beq  a0, t0, do_dispense
+	li   a0, 0              # unknown event: stay idle
+	ret
+to_set_rate:
+	li   a0, 1
+	ret
+to_set_volume:
+	li   a0, 2
+	ret
+
+st_set_rate:                # SET_RATE: event word is the new rate
+	la   t0, rate
+	sw   a0, 0(t0)
+	li   a0, 0
+	ret
+
+st_set_volume:              # SET_VOLUME: event word is the new volume
+	la   t0, volume
+	sw   a0, 0(t0)
+	li   a0, 0
+	ret
+
+do_dispense:                # IDLE event 3: drive rate*volume motor steps
+	la   t0, rate
+	lw   t1, 0(t0)
+	la   t0, volume
+	lw   t2, 0(t0)
+	mul  t1, t1, t2
+	la   t0, steps_req
+	sw   t1, 0(t0)
+step_loop:
+	la   t0, steps_req
+	lw   t1, 0(t0)          # bound re-read from rw memory each pulse
+	beqz t1, dispense_done
+	addi t1, t1, -1
+	sw   t1, 0(t0)
+	la   t2, dispensed      # pulse the motor
+	lw   t3, 0(t2)
+	addi t3, t3, 1
+	sw   t3, 0(t2)
+	j    step_loop
+dispense_done:
+	li   a0, 0              # back to idle
+	ret
+
+shutdown:
+	la   t0, dispensed
+	lw   a0, 0(t0)
+	li   a7, 93
+	ecall
+`,
+	}
+}

@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"hash/crc32"
+	"testing"
+
+	"lofat/internal/cpu"
+)
+
+// Every workload must assemble, run to completion, and produce its
+// expected functional result.
+func TestWorkloadsFunctional(t *testing.T) {
+	for _, w := range All2() {
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach, err := cpu.Load(prog, cpu.LoadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach.CPU.Input = w.Input
+			if err := mach.CPU.Run(10_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if mach.CPU.ExitCode != w.WantExit {
+				t.Errorf("exit = %d, want %d", mach.CPU.ExitCode, w.WantExit)
+			}
+		})
+	}
+}
+
+// The assembly CRC must agree with Go's reference implementation.
+func TestCRC32AgainstReference(t *testing.T) {
+	w := CRC32()
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := cpu.Load(prog, cpu.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.CPU.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := crc32.ChecksumIEEE([]byte("1234567890abcdef"))
+	if mach.CPU.ExitCode != want {
+		t.Errorf("crc = %#x, want %#x", mach.CPU.ExitCode, want)
+	}
+}
+
+// The assembly matmul must agree with a Go reference.
+func TestMatMulAgainstReference(t *testing.T) {
+	var a, b [4][4]int
+	v := 1
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a[i][j] = v
+			b[i][j] = 17 - v
+			v++
+		}
+	}
+	dot := func(i, j int) int {
+		s := 0
+		for k := 0; k < 4; k++ {
+			s += a[i][k] * b[k][j]
+		}
+		return s
+	}
+	want := uint32(dot(0, 0) + dot(3, 3))
+
+	w := MatMul()
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := cpu.Load(prog, cpu.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.CPU.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if mach.CPU.ExitCode != want {
+		t.Errorf("matmul = %d, want %d", mach.CPU.ExitCode, want)
+	}
+}
+
+// Attack adversaries must change the functional outcome (otherwise the
+// scenarios prove nothing).
+func TestAttacksChangeBehaviour(t *testing.T) {
+	for _, atk := range Attacks() {
+		t.Run(atk.Name, func(t *testing.T) {
+			prog, err := atk.Workload.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Benign run.
+			mach, err := cpu.Load(prog, cpu.LoadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach.CPU.Input = atk.Workload.Input
+			if err := mach.CPU.Run(10_000_000); err != nil {
+				t.Fatal(err)
+			}
+			benign := mach.CPU.ExitCode
+			if benign != atk.Workload.WantExit {
+				t.Fatalf("benign exit = %d, want %d", benign, atk.Workload.WantExit)
+			}
+
+			// Attacked run.
+			mach2, err := cpu.Load(prog, cpu.LoadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach2.CPU.Input = atk.Workload.Input
+			adv := atk.Build(prog)
+			for !mach2.CPU.Halted {
+				if err := adv(mach2); err != nil {
+					t.Fatal(err)
+				}
+				if err := mach2.CPU.Step(); err != nil {
+					t.Fatal(err)
+				}
+				if mach2.CPU.Retired > 10_000_000 {
+					t.Fatal("attacked run diverged")
+				}
+			}
+			if mach2.CPU.ExitCode == benign {
+				t.Errorf("attack %s did not change the outcome (exit %d)", atk.Name, benign)
+			}
+			t.Logf("%s: benign exit %d, attacked exit %d", atk.Name, benign, mach2.CPU.ExitCode)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("syringe-pump"); !ok {
+		t.Error("syringe-pump not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("bogus workload found")
+	}
+	if _, ok := AttackByName("loop-counter"); !ok {
+		t.Error("loop-counter attack not found")
+	}
+	if _, ok := AttackByName("nope"); ok {
+		t.Error("bogus attack found")
+	}
+}

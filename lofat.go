@@ -1,0 +1,218 @@
+// Package lofat is a behavioural reproduction of LO-FAT (Dessouky et
+// al., "LO-FAT: Low-Overhead Control Flow ATtestation in Hardware", DAC
+// 2017): a hardware control-flow attestation engine for RISC-V embedded
+// systems that records a program's run-time control flow — without
+// software instrumentation and without stalling the processor — and
+// reports it to a remote verifier as a signed (hash, loop-metadata)
+// measurement.
+//
+// The package is a façade over the full stack:
+//
+//   - an RV32IM assembler and behavioural Pulpino-class core
+//     (internal/asm, internal/cpu) standing in for the paper's GCC
+//     toolchain and RTL core;
+//   - the LO-FAT hardware units: branch filter, loop monitor with
+//     path-ID encoding and counter memory, SHA-3 hash engine
+//     (internal/filter, internal/monitor, internal/hashengine,
+//     integrated in internal/core);
+//   - the Figure 2 challenge-response protocol with Ed25519 reports
+//     (internal/attest, internal/sig) and the verifier's offline CFG
+//     analysis (internal/cfg);
+//   - the C-FLAT software baseline and the FPGA area/fmax model used by
+//     the evaluation (internal/cflat, internal/area);
+//   - the workload suite including the Open Syringe Pump analogue and
+//     the three attack classes of Figure 1 (internal/workloads).
+//
+// Quick start:
+//
+//	sys, err := lofat.BuildSource(src, lofat.Options{})
+//	res, err := sys.AttestOnce([]uint32{input...})
+//	fmt.Println(res) // ACCEPTED (accepted) or REJECTED (+ attack class)
+package lofat
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"lofat/internal/area"
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/cfg"
+	"lofat/internal/cflat"
+	"lofat/internal/core"
+	"lofat/internal/cpu"
+	"lofat/internal/monitor"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+// Re-exported core types: one import surface for downstream users.
+type (
+	// Program is an assembled RV32IM binary image.
+	Program = asm.Program
+	// Measurement is the LO-FAT device output (A, L, statistics).
+	Measurement = core.Measurement
+	// LoopRecord is one entry of the loop metadata L.
+	LoopRecord = monitor.LoopRecord
+	// PathCode is a unique loop path encoding (Figure 4).
+	PathCode = monitor.PathCode
+	// DeviceConfig parameterises the LO-FAT hardware.
+	DeviceConfig = core.Config
+	// Challenge is the verifier's attestation request.
+	Challenge = attest.Challenge
+	// Report is the prover's signed attestation response.
+	Report = attest.Report
+	// Result is the verifier's decision, with attack classification.
+	Result = attest.Result
+	// Classification labels a verification outcome.
+	Classification = attest.Classification
+	// Adversary is a run-time attack hook (data memory only).
+	Adversary = attest.Adversary
+	// Machine is a loaded program on the simulated core.
+	Machine = cpu.Machine
+	// Workload is a ready-made evaluation program.
+	Workload = workloads.Workload
+	// Attack is a ready-made Figure 1 attack scenario.
+	Attack = workloads.Attack
+	// AreaConfig / AreaReport drive the §6.2 synthesis model.
+	AreaConfig = area.Config
+	// AreaReport is a synthesis estimate.
+	AreaReport = area.Report
+	// CFLATResult is a C-FLAT baseline run.
+	CFLATResult = cflat.Result
+	// Graph is the verifier's control-flow graph.
+	Graph = cfg.Graph
+)
+
+// Verification outcome classes (Figure 1 attack taxonomy).
+const (
+	ClassAccepted       = attest.ClassAccepted
+	ClassProtocol       = attest.ClassProtocol
+	ClassSignature      = attest.ClassSignature
+	ClassLoopCounter    = attest.ClassLoopCounter
+	ClassControlFlow    = attest.ClassControlFlow
+	ClassNonControlData = attest.ClassNonControlData
+)
+
+// Assemble builds a program image from RV32IM assembly source.
+func Assemble(source string) (*Program, error) { return asm.Assemble(source) }
+
+// Options configures a System.
+type Options struct {
+	// Device is the LO-FAT hardware configuration (zero = paper
+	// defaults: ℓ=16, n=4, depth 3, SHA-3 with 4-deep FIFO).
+	Device DeviceConfig
+	// Rand supplies entropy for device keys and nonces (default
+	// crypto/rand).
+	Rand io.Reader
+	// MaxInstructions bounds attested executions (default 50M).
+	MaxInstructions uint64
+}
+
+// System bundles a provisioned prover device and its verifier — the two
+// parties of the Figure 2 protocol sharing a program S.
+type System struct {
+	Program  *Program
+	Prover   *attest.Prover
+	Verifier *attest.Verifier
+}
+
+// Build provisions a prover/verifier pair for an assembled program:
+// device key generation, verifier enrolment (public key + binary), and
+// the verifier's offline CFG analysis.
+func Build(prog *Program, opts Options) (*System, error) {
+	if opts.Rand == nil {
+		opts.Rand = rand.Reader
+	}
+	keys, err := sig.GenerateKeyStore(opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	p := attest.NewProver(prog, opts.Device, keys)
+	v, err := attest.NewVerifier(prog, opts.Device, keys.Public(), opts.Rand)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxInstructions > 0 {
+		p.MaxInstructions = opts.MaxInstructions
+		v.MaxInstructions = opts.MaxInstructions
+	}
+	return &System{Program: prog, Prover: p, Verifier: v}, nil
+}
+
+// BuildSource is Build for assembly source.
+func BuildSource(source string, opts Options) (*System, error) {
+	prog, err := Assemble(source)
+	if err != nil {
+		return nil, err
+	}
+	return Build(prog, opts)
+}
+
+// BuildWorkload is Build for a named workload from the evaluation suite.
+func BuildWorkload(name string, opts Options) (*System, Workload, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, Workload{}, fmt.Errorf("lofat: unknown workload %q", name)
+	}
+	prog, err := w.Assemble()
+	if err != nil {
+		return nil, Workload{}, err
+	}
+	sys, err := Build(prog, opts)
+	return sys, w, err
+}
+
+// SetAdversary installs a run-time attack on the prover device (for
+// experiments; nil removes it).
+func (s *System) SetAdversary(a Adversary) { s.Prover.Adversary = a }
+
+// AttestOnce runs one full challenge-response round in memory: fresh
+// challenge for input, prover execution under LO-FAT, verification.
+func (s *System) AttestOnce(input []uint32) (Result, error) {
+	ch, err := s.Verifier.NewChallenge(input)
+	if err != nil {
+		return Result{}, err
+	}
+	rep, err := s.Prover.Attest(ch)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Verifier.Verify(ch, rep), nil
+}
+
+// Measure runs a program under the LO-FAT device with no protocol
+// around it and returns the raw measurement — the device-level API.
+func Measure(prog *Program, device DeviceConfig, input []uint32) (Measurement, error) {
+	m, _, err := attest.Measure(prog, device, input, 50_000_000)
+	return m, err
+}
+
+// MeasureSource is Measure for assembly source.
+func MeasureSource(source string, device DeviceConfig, input []uint32) (Measurement, error) {
+	prog, err := Assemble(source)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measure(prog, device, input)
+}
+
+// Workloads returns the full evaluation workload suite (syringe pump
+// first, then the kernels and extended programs).
+func Workloads() []Workload { return workloads.All2() }
+
+// Attacks returns the Figure 1 attack scenarios.
+func Attacks() []Attack { return workloads.Attacks() }
+
+// EstimateArea runs the §6.2 synthesis model.
+func EstimateArea(cfg AreaConfig) AreaReport { return area.Estimate(cfg) }
+
+// RunCFLAT executes a program under the C-FLAT software baseline's cost
+// model, for overhead comparisons against LO-FAT's zero stalls.
+func RunCFLAT(prog *Program, input []uint32) (CFLATResult, error) {
+	return cflat.NewRunner().Run(prog, input)
+}
+
+// MetadataSize reports the encoded size in bytes of loop metadata L.
+func MetadataSize(loops []LoopRecord) int { return attest.MetadataSize(loops) }
