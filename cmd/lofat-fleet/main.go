@@ -1,0 +1,148 @@
+// Command lofat-fleet demonstrates the fleet attestation service: it
+// spins up K simulated LO-FAT devices — each an attest.Server on a
+// loopback TCP port with its own hardware key, all running the same
+// firmware — enrols them in a fleet.Service, and drives attestation
+// sweeps through the worker-pool verification pipeline. A fraction of
+// the fleet can be armed with a Figure 1 attack to exercise detection
+// and quarantine.
+//
+// Usage:
+//
+//	lofat-fleet                                  # 100 devices, 2 sweeps
+//	lofat-fleet -devices 250 -attacked 10
+//	lofat-fleet -attack auth-bypass -attacked 3
+//	lofat-fleet -nocache                         # per-device golden runs
+//	lofat-fleet -interval 500ms -duration 3s     # scheduler-driven sweeps
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/fleet"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+func main() {
+	devices := flag.Int("devices", 100, "number of simulated devices")
+	attacked := flag.Int("attacked", 4, "devices armed with the attack")
+	attackName := flag.String("attack", "loop-counter", "attack scenario for armed devices (loop-counter, auth-bypass, code-pointer, dop-data-only)")
+	workload := flag.String("w", "syringe-pump", "shared firmware workload")
+	sweeps := flag.Int("sweeps", 2, "attestation sweeps to run")
+	workers := flag.Int("workers", 0, "verification workers (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 16, "device registry shards")
+	nocache := flag.Bool("nocache", false, "disable the shared measurement cache")
+	interval := flag.Duration("interval", 0, "run the periodic scheduler at this interval instead of manual sweeps")
+	duration := flag.Duration("duration", 2*time.Second, "how long to run the scheduler (with -interval)")
+	flag.Parse()
+
+	if err := run(*devices, *attacked, *attackName, *workload, *sweeps, *workers, *shards, *nocache, *interval, *duration); err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(devices, attacked int, attackName, workload string, sweeps, workers, shards int, nocache bool, interval, duration time.Duration) error {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	atk, ok := workloads.AttackByName(attackName)
+	if !ok {
+		return fmt.Errorf("unknown attack %q", attackName)
+	}
+	if attacked > devices {
+		attacked = devices
+	}
+	prog, err := w.Assemble()
+	if err != nil {
+		return err
+	}
+
+	svc := fleet.NewService(fleet.Config{
+		Workers:      workers,
+		Shards:       shards,
+		DisableCache: nocache,
+	})
+	defer svc.Close()
+	progID, err := svc.RegisterProgram(prog, core.Config{}, [][]uint32{w.Input})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered firmware %q as program %v\n", w.Name, progID)
+
+	// Spin up the simulated fleet: one attest.Server per device on a
+	// loopback port, each provisioned with its own key at "manufacture".
+	var servers []*attest.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < devices; i++ {
+		keys, err := sig.GenerateKeyStore(rand.Reader)
+		if err != nil {
+			return err
+		}
+		p := attest.NewProver(prog, core.Config{}, keys)
+		armed := i < attacked
+		if armed {
+			p.Adversary = atk.Build(prog)
+		}
+		reg := attest.NewRegistry()
+		reg.Register(p)
+		srv := attest.NewServer(reg)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		servers = append(servers, srv)
+		id := fleet.DeviceID(fmt.Sprintf("dev-%04d", i))
+		if err := svc.Enroll(id, progID, keys.Public(), addr.String()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("enrolled %d devices (%d armed with %q) in %v\n",
+		devices, attacked, atk.Name, time.Since(start).Round(time.Millisecond))
+
+	if interval > 0 {
+		fmt.Printf("scheduler sweeping every %v for %v\n", interval, duration)
+		stop := svc.StartScheduler(interval)
+		time.Sleep(duration)
+		stop()
+		for i, rep := range svc.Reports() {
+			fmt.Printf("sweep %d: %v\n", i+1, rep)
+		}
+	} else {
+		for i := 0; i < sweeps; i++ {
+			reports, err := svc.Sweep()
+			if err != nil {
+				return err
+			}
+			for _, rep := range reports {
+				fmt.Printf("sweep %d: %v\n", i+1, rep)
+			}
+		}
+	}
+
+	fmt.Println(svc.Metrics())
+	if q := svc.Quarantined(); len(q) > 0 {
+		fmt.Printf("quarantined devices:\n")
+		for _, id := range q {
+			st, _ := svc.Device(id)
+			fmt.Printf("  %s: %v", id, st.LastClass)
+			if len(st.LastFindings) > 0 {
+				fmt.Printf(" (%s)", st.LastFindings[0])
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module lofat
+
+go 1.24

@@ -90,13 +90,16 @@ func (db *MeasurementDB) Lookup(input []uint32, rep *Report) (bool, error) {
 // may simulate) so the diagnosis quality is unchanged.
 func (v *Verifier) VerifyWithDB(db *MeasurementDB, ch Challenge, rep *Report) Result {
 	res := Result{Got: rep}
+	// Retire the challenge nonce up front, whatever the verdict (see
+	// Verify).
+	issued := v.consumeNonce(ch.Nonce)
 	if rep.Program != v.id {
 		return reject(res, ClassProtocol, "program ID mismatch")
 	}
 	if rep.Nonce != ch.Nonce {
 		return reject(res, ClassProtocol, "nonce mismatch (replay?)")
 	}
-	if !v.consumeNonce(ch.Nonce) {
+	if !issued {
 		return reject(res, ClassProtocol, "nonce was never issued")
 	}
 	if err := verifySig(v.pub, rep); err != nil {

@@ -98,19 +98,48 @@ func NewServer(reg *Registry) *Server {
 	return &Server{Registry: reg}
 }
 
+// ErrServerClosed is returned by Listen on a server that has been
+// Closed: a closed server stays closed rather than silently rebinding.
+var ErrServerClosed = errors.New("attest: server is closed")
+
 // Listen binds the address and starts accepting connections in the
 // background, one goroutine per connection. It returns the bound
-// address (useful with ":0").
+// address (useful with ":0"). After Close it returns ErrServerClosed;
+// a server listens on at most one address, so a second Listen on a
+// live server is an error rather than a silent listener leak.
 func (s *Server) Listen(addr string) (net.Addr, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	if s.listener != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("attest: server already listening on %s", s.listener.Addr())
+	}
+	s.mu.Unlock()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("attest: server: %w", err)
 	}
 	s.mu.Lock()
+	switch {
+	case s.closed: // Close raced with the bind: undo it
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrServerClosed
+	case s.listener != nil: // concurrent Listen won the race
+		other := s.listener.Addr()
+		s.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("attest: server already listening on %s", other)
+	}
 	s.listener = ln
+	// The accept loop registers on wg before the lock drops: a
+	// concurrent Close must observe it and wait for it to exit.
+	s.wg.Add(1)
 	s.mu.Unlock()
 
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		for {

@@ -103,6 +103,125 @@ func TestRegistryUnknownProgram(t *testing.T) {
 	}
 }
 
+func TestListenTwice(t *testing.T) {
+	reg, _, _ := multiRig(t, "syringe-pump")
+	srv := NewServer(reg)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("second Listen on a live server succeeded")
+	}
+}
+
+func TestFailedExchangeRetiresNonce(t *testing.T) {
+	_, verifiers, ws := multiRig(t, "syringe-pump")
+	v := verifiers["syringe-pump"]
+
+	// The peer hangs up before answering: every exchange fails after
+	// the challenge nonce was drawn, and each failure must retire it.
+	for i := 0; i < 3; i++ {
+		client, server := net.Pipe()
+		server.Close()
+		if _, err := RequestFrom(client, v, ws["syringe-pump"].Input); err == nil {
+			t.Fatal("exchange with hung-up prover succeeded")
+		}
+		client.Close()
+	}
+	if n := v.PendingChallenges(); n != 0 {
+		t.Fatalf("failed exchanges leaked %d nonces", n)
+	}
+}
+
+func TestVerifyRetiresNonceOnProtocolReject(t *testing.T) {
+	reg, verifiers, ws := multiRig(t, "syringe-pump")
+	v := verifiers["syringe-pump"]
+	p, ok := reg.Lookup(v.ProgramID())
+	if !ok {
+		t.Fatal("prover missing")
+	}
+	ch, err := v.NewChallenge(ws["syringe-pump"].Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Attest(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tampered nonce echo is rejected before the signature check —
+	// but the issued nonce must still be retired.
+	rep.Nonce[0] ^= 1
+	res := v.Verify(ch, rep)
+	if res.Accepted || res.Class != ClassProtocol {
+		t.Fatalf("tampered report: %v", res)
+	}
+	if n := v.PendingChallenges(); n != 0 {
+		t.Fatalf("protocol reject leaked %d nonces", n)
+	}
+}
+
+func TestListenAfterClose(t *testing.T) {
+	reg, _, _ := multiRig(t, "syringe-pump")
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err != ErrServerClosed {
+		t.Fatalf("Listen after Close = %v, want ErrServerClosed", err)
+	}
+	// The old address must not have been rebound.
+	if conn, err := net.Dial("tcp", addr.String()); err == nil {
+		conn.Close()
+		t.Fatal("closed server still accepting connections")
+	}
+}
+
+// TestRegistryServeConnConcurrent exchanges challenges over many
+// simultaneous connections against one registry (run under -race: the
+// registry, provers and shared verifiers must all be concurrency-safe).
+func TestRegistryServeConnConcurrent(t *testing.T) {
+	reg, verifiers, ws := multiRig(t, "syringe-pump", "dispatch", "crc32")
+	names := []string{"syringe-pump", "dispatch", "crc32"}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 24; i++ {
+		name := names[i%len(names)]
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			client, server := net.Pipe()
+			defer client.Close()
+			go func() {
+				defer server.Close()
+				_ = reg.ServeConn(server)
+			}()
+			// Several rounds per connection: connections are reusable.
+			for r := 0; r < 3; r++ {
+				res, err := RequestFrom(client, verifiers[name], ws[name].Input)
+				if err != nil {
+					errs <- fmt.Errorf("%s round %d: %w", name, r, err)
+					return
+				}
+				if !res.Accepted {
+					errs <- fmt.Errorf("%s round %d rejected: %v", name, r, res)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 func TestServerConcurrentClients(t *testing.T) {
 	reg, verifiers, ws := multiRig(t, "syringe-pump", "dispatch")
 	srv := NewServer(reg)

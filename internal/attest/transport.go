@@ -73,29 +73,37 @@ func ServeProver(conn io.ReadWriter, p *Prover) error {
 }
 
 // RequestAttestation drives one exchange from the verifier side: send a
-// fresh challenge for input, receive the report, and verify it.
+// fresh challenge for input, receive the report, and verify it. On any
+// failure before verification the challenge nonce is retired, so failed
+// exchanges (unreachable or misbehaving provers) do not grow the
+// verifier's issued-nonce set — long-lived verifiers polling flaky
+// devices stay bounded.
 func RequestAttestation(conn io.ReadWriter, v *Verifier, input []uint32) (Result, error) {
 	ch, err := v.NewChallenge(input)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := writeFrame(conn, msgChallenge, EncodeChallenge(&ch)); err != nil {
+	fail := func(err error) (Result, error) {
+		v.consumeNonce(ch.Nonce)
 		return Result{}, err
+	}
+	if err := writeFrame(conn, msgChallenge, EncodeChallenge(&ch)); err != nil {
+		return fail(err)
 	}
 	typ, payload, err := readFrame(conn)
 	if err != nil {
-		return Result{}, err
+		return fail(err)
 	}
 	switch typ {
 	case msgReport:
 		rep, err := DecodeReport(payload)
 		if err != nil {
-			return Result{}, err
+			return fail(err)
 		}
 		return v.Verify(ch, rep), nil
 	case msgError:
-		return Result{}, fmt.Errorf("attest: prover error: %s", payload)
+		return fail(fmt.Errorf("attest: prover error: %s", payload))
 	default:
-		return Result{}, fmt.Errorf("attest: unexpected message type %d", typ)
+		return fail(fmt.Errorf("attest: unexpected message type %d", typ))
 	}
 }

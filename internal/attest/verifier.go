@@ -14,6 +14,22 @@ import (
 	"lofat/internal/sig"
 )
 
+// ExpectationCache is a shared store of golden measurements consulted
+// before (and populated after) a golden run. It lets many verifiers for
+// the same firmware image amortize simulation: a fleet verifier computes
+// the expected measurement for (S, i) once and every other device's
+// verifier reuses it (internal/fleet layers its measurement cache
+// through this hook). Keys are opaque strings built by the verifier,
+// covering program identity, device configuration AND input — golden
+// measurements depend on all three, so caches never need to reason
+// about collision domains. Implementations must be safe for concurrent
+// use; stored measurements are shared read-only and must not be
+// mutated.
+type ExpectationCache interface {
+	GetExpectation(key string) (*core.Measurement, bool)
+	PutExpectation(key string, m *core.Measurement)
+}
+
 // Verifier is V of Figure 2: it holds the program binary, its offline
 // CFG analysis, the prover's public key, and an entropy source for
 // nonces. Expected measurements are produced by golden-running S(i) on
@@ -29,11 +45,17 @@ type Verifier struct {
 	// MaxInstructions bounds golden runs.
 	MaxInstructions uint64
 
-	// mu guards expectations and issued: one verifier may serve many
-	// concurrent attestation sessions.
+	// cacheKeyBase prefixes shared-cache keys with everything besides
+	// the input that determines a golden measurement: program identity
+	// and the full device configuration.
+	cacheKeyBase string
+
+	// mu guards expectations, issued and shared: one verifier may serve
+	// many concurrent attestation sessions.
 	mu           sync.Mutex
 	expectations map[string]*core.Measurement
 	issued       map[Nonce]bool
+	shared       ExpectationCache
 }
 
 // NewVerifier performs the one-time offline pre-processing step:
@@ -47,17 +69,58 @@ func NewVerifier(prog *asm.Program, devCfg core.Config, pub ed25519.PublicKey, r
 	if err != nil {
 		return nil, fmt.Errorf("attest: verifier CFG: %w", err)
 	}
+	id := ComputeProgramID(prog.Text)
 	return &Verifier{
-		prog:            prog,
-		id:              ComputeProgramID(prog.Text),
-		graph:           g,
-		pub:             pub,
-		devCfg:          devCfg,
-		rand:            rand,
+		prog:   prog,
+		id:     id,
+		graph:  g,
+		pub:    pub,
+		devCfg: devCfg,
+		rand:   rand,
+		// %#v covers every config field (all plain values), so two
+		// verifiers share cache entries only when program, device
+		// configuration and input all agree.
+		cacheKeyBase:    fmt.Sprintf("%x|%#v|", id, devCfg),
 		MaxInstructions: 50_000_000,
 		expectations:    make(map[string]*core.Measurement),
 		issued:          make(map[Nonce]bool),
 	}, nil
+}
+
+// SetExpectationCache installs a shared golden-measurement cache
+// consulted before simulating (nil removes it). The verifier still keeps
+// its private per-input memo; the shared cache sits behind it so
+// cross-verifier reuse survives verifier churn.
+func (v *Verifier) SetExpectationCache(c ExpectationCache) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.shared = c
+}
+
+// ForKey derives a verifier that shares this verifier's offline analysis
+// (program image, CFG, device configuration, shared expectation cache)
+// but trusts a different device public key — the fleet deployment: one
+// firmware image enrolled on many devices, each holding its own
+// hardware-protected key. The derived verifier has independent nonce
+// state, so concurrent sessions against different devices never contend.
+// The entropy source is shared and must be safe for concurrent use
+// (crypto/rand.Reader is).
+func (v *Verifier) ForKey(pub ed25519.PublicKey) *Verifier {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return &Verifier{
+		prog:            v.prog,
+		id:              v.id,
+		graph:           v.graph,
+		pub:             pub,
+		devCfg:          v.devCfg,
+		rand:            v.rand,
+		cacheKeyBase:    v.cacheKeyBase,
+		MaxInstructions: v.MaxInstructions,
+		expectations:    make(map[string]*core.Measurement),
+		issued:          make(map[Nonce]bool),
+		shared:          v.shared,
+	}
 }
 
 // Graph exposes the verifier's CFG (for tooling and reporting).
@@ -80,7 +143,9 @@ func (v *Verifier) NewChallenge(input []uint32) (Challenge, error) {
 }
 
 // expected returns (computing and caching on first use) the golden
-// measurement for an input.
+// measurement for an input. Lookup order: private memo, shared
+// expectation cache, simulation — with the simulated result published to
+// both layers.
 func (v *Verifier) expected(input []uint32) (*core.Measurement, error) {
 	key := inputKey(input)
 	v.mu.Lock()
@@ -88,7 +153,16 @@ func (v *Verifier) expected(input []uint32) (*core.Measurement, error) {
 		v.mu.Unlock()
 		return m, nil
 	}
+	shared := v.shared
 	v.mu.Unlock()
+	if shared != nil {
+		if m, ok := shared.GetExpectation(v.cacheKeyBase + key); ok {
+			v.mu.Lock()
+			v.expectations[key] = m
+			v.mu.Unlock()
+			return m, nil
+		}
+	}
 	// Simulate outside the lock: golden runs are the expensive part.
 	meas, _, err := Measure(v.prog, v.devCfg, input, v.MaxInstructions)
 	if err != nil {
@@ -97,6 +171,9 @@ func (v *Verifier) expected(input []uint32) (*core.Measurement, error) {
 	v.mu.Lock()
 	v.expectations[key] = &meas
 	v.mu.Unlock()
+	if shared != nil {
+		shared.PutExpectation(v.cacheKeyBase+key, &meas)
+	}
 	return &meas, nil
 }
 
@@ -113,14 +190,19 @@ func inputKey(input []uint32) string {
 func (v *Verifier) Verify(ch Challenge, rep *Report) Result {
 	res := Result{Got: rep}
 
-	// Protocol checks: right program, fresh nonce, nonce echo.
+	// The challenge nonce is retired up front, whatever the verdict:
+	// a misbehaving prover must not leave entries behind in the
+	// issued-nonce set.
+	issued := v.consumeNonce(ch.Nonce)
+
+	// Protocol checks: right program, nonce echo, freshness.
 	if rep.Program != v.id {
 		return reject(res, ClassProtocol, fmt.Sprintf("program ID %v, expected %v", rep.Program, v.id))
 	}
 	if rep.Nonce != ch.Nonce {
 		return reject(res, ClassProtocol, "nonce mismatch (replay?)")
 	}
-	if !v.consumeNonce(ch.Nonce) {
+	if !issued {
 		return reject(res, ClassProtocol, "nonce was never issued")
 	}
 
@@ -144,6 +226,14 @@ func (v *Verifier) Verify(ch Challenge, rep *Report) Result {
 
 	// Mismatch: diagnose which attack class fits.
 	return v.classify(res, exp, rep)
+}
+
+// PendingChallenges reports the number of issued-but-unverified nonces
+// (for leak detection and operational metrics).
+func (v *Verifier) PendingChallenges() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.issued)
 }
 
 // consumeNonce atomically checks and retires a nonce (single use).

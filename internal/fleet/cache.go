@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+)
+
+// MeasurementCache is the fleet-wide golden-measurement store. It
+// implements attest.ExpectationCache, so device verifiers derived from
+// one template all read through it: the first verification of a
+// (program, input) pair simulates the golden run and publishes it; every
+// subsequent verification — on any device in the fleet — is a pure
+// protocol + signature + hash/metadata comparison with no simulation.
+//
+// Entries are immutable once published (verifiers only read the shared
+// *core.Measurement), so a plain RWMutex map suffices. Keys are the
+// verifier-built opaque strings of attest.ExpectationCache, which cover
+// program identity, device configuration and input. Hit/miss counters
+// feed the fleet metrics.
+type MeasurementCache struct {
+	mu      sync.RWMutex
+	entries map[string]*core.Measurement
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewMeasurementCache returns an empty cache.
+func NewMeasurementCache() *MeasurementCache {
+	return &MeasurementCache{entries: make(map[string]*core.Measurement)}
+}
+
+// GetExpectation implements attest.ExpectationCache.
+func (c *MeasurementCache) GetExpectation(key string) (*core.Measurement, bool) {
+	c.mu.RLock()
+	m, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return m, ok
+}
+
+// PutExpectation implements attest.ExpectationCache.
+func (c *MeasurementCache) PutExpectation(key string, m *core.Measurement) {
+	c.mu.Lock()
+	c.entries[key] = m
+	c.mu.Unlock()
+}
+
+// Warm precomputes the golden measurements for a set of inputs through
+// a verifier already wired to this cache (RegisterProgram does the
+// wiring) — attest.Precompute layered fleet-wide. Sweeps call this with
+// the round's input before fanning out to the worker pool, so
+// concurrent workers never race to simulate the same golden run.
+func (c *MeasurementCache) Warm(v *attest.Verifier, inputs [][]uint32) error {
+	_, err := v.Precompute(inputs)
+	return err
+}
+
+// Hits reports shared-cache lookups that avoided a golden run.
+func (c *MeasurementCache) Hits() uint64 { return c.hits.Load() }
+
+// Misses reports shared-cache lookups that fell through to simulation.
+func (c *MeasurementCache) Misses() uint64 { return c.misses.Load() }
+
+// HitRate reports hits/(hits+misses), or 0 before any lookup.
+func (c *MeasurementCache) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len reports the number of cached (program, input) measurements.
+func (c *MeasurementCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

@@ -1,0 +1,233 @@
+// Package fleet is the verifier-side service that scales the Figure 2
+// challenge-response protocol from one prover to a large fleet of LO-FAT
+// devices running shared firmware images. It combines:
+//
+//   - a sharded device registry (enrolment: device ID, public key,
+//     program ID, last-attested state, quarantine status);
+//   - an asynchronous verification pipeline — a bounded job queue
+//     feeding a worker pool that drives attestation rounds concurrently,
+//     with batch submission;
+//   - a fleet-wide measurement cache layered under every device
+//     verifier via attest.ExpectationCache, so the golden run for a
+//     given (program, input) is simulated once and reused fleet-wide —
+//     a cache hit reduces verification to protocol, signature and hash
+//     comparison, with no simulation;
+//   - a scheduler that sweeps the fleet issuing periodic challenges over
+//     the existing frame transport, records per-device results, and
+//     quarantines devices whose attestations are rejected;
+//   - fleet metrics: throughput, cache hit rate, accept/reject counts
+//     per attack classification.
+//
+// The design follows the C-FLAT lineage's precomputed-measurement
+// deployment mode (attest.MeasurementDB): for fleets of identical
+// embedded devices the verifier's expensive step — golden-running S(i)
+// — amortizes across every enrolled device.
+package fleet
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/core"
+)
+
+// DialFunc opens a transport to a device given its enrolled address.
+// The connection speaks the attest frame protocol (a prover-side
+// Registry.ServeConn or attest.Server on the far end).
+type DialFunc func(addr string) (io.ReadWriteCloser, error)
+
+// Config parameterises a fleet Service. Zero values select defaults.
+type Config struct {
+	// Shards is the device registry shard count (default 16).
+	Shards int
+	// Workers is the verification worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the verification job queue; submission blocks
+	// when the queue is full (default 4×Workers).
+	QueueDepth int
+	// QuarantineAfter is the number of consecutive rejected attestations
+	// that quarantines a device (default 1). Transport errors neither
+	// count toward nor reset the streak: an unreachable device is not
+	// evidence of compromise.
+	QuarantineAfter int
+	// DisableCache turns the shared measurement cache off; every device
+	// verifier then golden-runs independently (the pre-fleet behaviour,
+	// kept for measurement and fallback).
+	DisableCache bool
+	// Dial opens device transports (default TCP with a 5s timeout).
+	Dial DialFunc
+	// MaxInstructions bounds golden runs (default: verifier default).
+	MaxInstructions uint64
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 1
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+}
+
+// program is a registered firmware image: the shared offline analysis
+// (template verifier) plus the input schedule its fleet is swept with.
+type program struct {
+	prog     *asm.Program
+	template *attest.Verifier
+	inputs   [][]uint32
+	next     int // round-robin index into inputs for the next sweep
+}
+
+// Service is the fleet attestation service. Construct with NewService,
+// register firmware with RegisterProgram, enrol devices with Enroll,
+// then drive rounds with Sweep / SubmitBatch or StartScheduler.
+type Service struct {
+	cfg     Config
+	reg     *Registry
+	cache   *MeasurementCache // nil when disabled
+	metrics *Metrics
+	jobs    chan *job
+	workers sync.WaitGroup
+
+	// mu guards programs, reports and closed. Submission paths hold it
+	// read-locked around queue sends so Close cannot race a send on a
+	// closed channel.
+	mu       sync.RWMutex
+	programs map[attest.ProgramID]*program
+	reports  []SweepReport
+	closed   bool
+}
+
+// NewService builds the service and starts its worker pool.
+func NewService(cfg Config) *Service {
+	cfg.fill()
+	s := &Service{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.Shards),
+		metrics:  NewMetrics(),
+		jobs:     make(chan *job, cfg.QueueDepth),
+		programs: make(map[attest.ProgramID]*program),
+	}
+	if !cfg.DisableCache {
+		s.cache = NewMeasurementCache()
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool after in-flight jobs drain. Stop any
+// scheduler first; submissions after Close return ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.workers.Wait()
+}
+
+// ErrClosed is returned for submissions to a closed service.
+var ErrClosed = fmt.Errorf("fleet: service is closed")
+
+// RegisterProgram performs the per-firmware offline step once for the
+// whole fleet: disassembly, CFG construction, and cache attachment. The
+// inputs are the challenge inputs the scheduler rotates through on
+// sweeps (at least one is required). Devices enrolled for the returned
+// program ID share this analysis via derived verifiers.
+func (s *Service) RegisterProgram(prog *asm.Program, devCfg core.Config, inputs [][]uint32) (attest.ProgramID, error) {
+	if len(inputs) == 0 {
+		return attest.ProgramID{}, fmt.Errorf("fleet: program needs at least one sweep input")
+	}
+	template, err := attest.NewVerifier(prog, devCfg, nil, rand.Reader)
+	if err != nil {
+		return attest.ProgramID{}, err
+	}
+	if s.cfg.MaxInstructions > 0 {
+		template.MaxInstructions = s.cfg.MaxInstructions
+	}
+	if s.cache != nil {
+		template.SetExpectationCache(s.cache)
+	}
+	copied := make([][]uint32, len(inputs))
+	for i, in := range inputs {
+		copied[i] = append([]uint32(nil), in...)
+	}
+	id := template.ProgramID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return attest.ProgramID{}, ErrClosed
+	}
+	if _, dup := s.programs[id]; dup {
+		return attest.ProgramID{}, fmt.Errorf("fleet: program %v already registered", id)
+	}
+	s.programs[id] = &program{prog: prog, template: template, inputs: copied}
+	return id, nil
+}
+
+// Enroll adds a device to the fleet: its identity, the firmware it
+// runs, the public half of its hardware key, and the address its
+// attestation endpoint listens on. The device gets its own verifier
+// derived from the program template, sharing the offline analysis and
+// the measurement cache but holding independent nonce state.
+func (s *Service) Enroll(id DeviceID, prog attest.ProgramID, pub ed25519.PublicKey, addr string) error {
+	s.mu.RLock()
+	p, ok := s.programs[prog]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("fleet: program %v not registered", prog)
+	}
+	return s.reg.add(&device{
+		id:       id,
+		addr:     addr,
+		program:  prog,
+		pub:      append(ed25519.PublicKey(nil), pub...),
+		verifier: p.template.ForKey(pub),
+	})
+}
+
+// Registry surface, re-exposed on the service.
+
+// Device returns the registry snapshot for one device.
+func (s *Service) Device(id DeviceID) (DeviceState, bool) { return s.reg.State(id) }
+
+// Devices returns snapshots of every enrolled device, sorted by ID.
+func (s *Service) Devices() []DeviceState { return s.reg.States() }
+
+// FleetSize reports the number of enrolled devices.
+func (s *Service) FleetSize() int { return s.reg.Len() }
+
+// Quarantined lists quarantined device IDs, sorted.
+func (s *Service) Quarantined() []DeviceID { return s.reg.Quarantined() }
+
+// Release lifts a device's quarantine (operator override after
+// re-provisioning); it reports whether the device exists.
+func (s *Service) Release(id DeviceID) bool { return s.reg.SetQuarantined(id, false) }
+
+// Cache exposes the shared measurement cache (nil when disabled).
+func (s *Service) Cache() *MeasurementCache { return s.cache }

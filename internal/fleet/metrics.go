@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"lofat/internal/attest"
+)
+
+// numClasses covers attest.ClassAccepted..ClassNonControlData.
+const numClasses = int(attest.ClassNonControlData) + 1
+
+// Metrics aggregates fleet-wide counters. All fields are atomics so the
+// worker pool updates them without a shared lock.
+type Metrics struct {
+	verified atomic.Uint64
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	errors   atomic.Uint64
+	skipped  atomic.Uint64
+	sweeps   atomic.Uint64
+	byClass  [numClasses]atomic.Uint64
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) record(res attest.Result) {
+	m.verified.Add(1)
+	if res.Accepted {
+		m.accepted.Add(1)
+	} else {
+		m.rejected.Add(1)
+	}
+	if c := int(res.Class); c < numClasses {
+		m.byClass[c].Add(1)
+	}
+}
+
+// MetricsSnapshot is a point-in-time view of the fleet counters plus
+// cache and registry gauges.
+type MetricsSnapshot struct {
+	// Verified counts completed verifications (accepted + rejected).
+	Verified uint64
+	Accepted uint64
+	Rejected uint64
+	// Errors counts rounds lost to transport or attestation failures.
+	Errors uint64
+	// Skipped counts rounds dropped because the device was quarantined.
+	Skipped uint64
+	// Sweeps counts completed fleet sweeps.
+	Sweeps uint64
+	// ByClass breaks verified rounds down per attack classification.
+	ByClass map[attest.Classification]uint64
+
+	// CacheHits / CacheMisses / CacheHitRate mirror the shared
+	// measurement cache (zero when the cache is disabled).
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheHitRate float64
+
+	// Devices / Quarantined are registry gauges.
+	Devices     int
+	Quarantined int
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() MetricsSnapshot {
+	m := s.metrics
+	snap := MetricsSnapshot{
+		Verified:    m.verified.Load(),
+		Accepted:    m.accepted.Load(),
+		Rejected:    m.rejected.Load(),
+		Errors:      m.errors.Load(),
+		Skipped:     m.skipped.Load(),
+		Sweeps:      m.sweeps.Load(),
+		ByClass:     make(map[attest.Classification]uint64, numClasses),
+		Devices:     s.reg.Len(),
+		Quarantined: len(s.reg.Quarantined()),
+	}
+	for c := 0; c < numClasses; c++ {
+		if n := m.byClass[c].Load(); n > 0 {
+			snap.ByClass[attest.Classification(c)] = n
+		}
+	}
+	if s.cache != nil {
+		snap.CacheHits = s.cache.Hits()
+		snap.CacheMisses = s.cache.Misses()
+		snap.CacheHitRate = s.cache.HitRate()
+	}
+	return snap
+}
+
+// String renders the snapshot as a short operator-readable summary.
+func (snap MetricsSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d devices (%d quarantined), %d sweeps, %d verified (%d accepted / %d rejected), %d errors, %d skipped",
+		snap.Devices, snap.Quarantined, snap.Sweeps, snap.Verified, snap.Accepted, snap.Rejected, snap.Errors, snap.Skipped)
+	if snap.CacheHits+snap.CacheMisses > 0 {
+		fmt.Fprintf(&b, ", cache %.0f%% hit (%d/%d)",
+			100*snap.CacheHitRate, snap.CacheHits, snap.CacheHits+snap.CacheMisses)
+	}
+	if len(snap.ByClass) > 0 {
+		classes := make([]attest.Classification, 0, len(snap.ByClass))
+		for c := range snap.ByClass {
+			classes = append(classes, c)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		parts := make([]string, len(classes))
+		for i, c := range classes {
+			parts[i] = fmt.Sprintf("%v=%d", c, snap.ByClass[c])
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
+	}
+	return b.String()
+}

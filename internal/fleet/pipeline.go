@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lofat/internal/attest"
+)
+
+// Round is one unit of pipeline work: challenge device with input.
+type Round struct {
+	Device DeviceID
+	Input  []uint32
+}
+
+// Outcome is the pipeline's record of one completed round.
+type Outcome struct {
+	Device DeviceID
+	// Skipped is set when no exchange happened (device quarantined).
+	Skipped bool
+	// Result is the verifier's decision (valid when Err is nil and the
+	// round was not skipped).
+	Result attest.Result
+	// Err reports transport or attestation failures.
+	Err error
+	// Quarantined is set when this round newly quarantined the device.
+	Quarantined bool
+	// Duration covers the full exchange: dial, challenge, prover
+	// execution, verification.
+	Duration time.Duration
+}
+
+// job carries a round through the queue to a worker, with its result
+// slot and completion latch.
+type job struct {
+	round Round
+	out   *Outcome
+	wg    *sync.WaitGroup
+}
+
+// worker drains the job queue until the service closes.
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for j := range s.jobs {
+		*j.out = s.process(j.round)
+		j.wg.Done()
+	}
+}
+
+// process runs one attestation round end to end: registry lookup,
+// transport dial, the Figure 2 exchange (prover execution + report
+// verification), then metrics and registry bookkeeping.
+func (s *Service) process(r Round) Outcome {
+	out := Outcome{Device: r.Device}
+	start := time.Now()
+	defer func() { out.Duration = time.Since(start) }()
+
+	d, ok := s.reg.get(r.Device)
+	if !ok {
+		out.Err = fmt.Errorf("fleet: device %q not enrolled", r.Device)
+		s.metrics.errors.Add(1)
+		return out
+	}
+	if _, quarantined := s.quarantineCheck(d); quarantined {
+		out.Skipped = true
+		s.metrics.skipped.Add(1)
+		return out
+	}
+	conn, err := s.cfg.Dial(d.addr)
+	if err != nil {
+		out.Err = fmt.Errorf("fleet: dial %q: %w", d.addr, err)
+		s.metrics.errors.Add(1)
+		s.reg.recordError(d.id, out.Err)
+		return out
+	}
+	defer conn.Close()
+	res, err := attest.RequestFrom(conn, d.verifier, r.Input)
+	if err != nil {
+		out.Err = err
+		s.metrics.errors.Add(1)
+		s.reg.recordError(d.id, err)
+		return out
+	}
+	out.Result = res
+	s.metrics.record(res)
+	out.Quarantined = s.reg.recordResult(d.id, res, s.cfg.QuarantineAfter)
+	return out
+}
+
+// quarantineCheck reads the device's quarantine flag under its shard
+// lock (the flag may flip between enqueue and processing).
+func (s *Service) quarantineCheck(d *device) (DeviceID, bool) {
+	sh := s.reg.shardFor(d.id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return d.id, d.quarantined
+}
+
+// Submit runs one round through the pipeline and waits for its outcome.
+func (s *Service) Submit(r Round) (Outcome, error) {
+	outs, err := s.SubmitBatch([]Round{r})
+	if err != nil {
+		return Outcome{}, err
+	}
+	return outs[0], nil
+}
+
+// SubmitBatch enqueues a batch of rounds on the bounded job queue and
+// waits until the worker pool has completed them all. Enqueueing blocks
+// when the queue is full (backpressure instead of unbounded buffering);
+// multiple batches may be submitted concurrently. Outcomes are returned
+// in submission order. If the service is closed mid-batch, the rounds
+// already enqueued still run to completion and their outcomes are
+// returned alongside ErrClosed — workers drain the queue on Close, so
+// their effects (metrics, quarantines) happen either way.
+func (s *Service) SubmitBatch(rounds []Round) ([]Outcome, error) {
+	outs := make([]Outcome, len(rounds))
+	var wg sync.WaitGroup
+	wg.Add(len(rounds))
+	for i := range rounds {
+		j := &job{round: rounds[i], out: &outs[i], wg: &wg}
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			// Release the latch for the rounds that will never run,
+			// then wait for the ones already in flight.
+			for k := i; k < len(rounds); k++ {
+				wg.Done()
+			}
+			wg.Wait()
+			return outs[:i], ErrClosed
+		}
+		s.jobs <- j
+		s.mu.RUnlock()
+	}
+	wg.Wait()
+	return outs, nil
+}

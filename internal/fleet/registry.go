@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"lofat/internal/attest"
+)
+
+// DeviceID names one enrolled device (serial number, asset tag, ...).
+type DeviceID string
+
+// device is the registry's record of one enrolled prover. Mutable
+// fields are guarded by the owning shard's lock.
+type device struct {
+	id       DeviceID
+	addr     string
+	program  attest.ProgramID
+	pub      ed25519.PublicKey
+	verifier *attest.Verifier
+
+	quarantined        bool
+	consecutiveRejects int
+	rounds             uint64
+	accepted           uint64
+	rejected           uint64
+	transportErrors    uint64
+	lastClass          attest.Classification
+	lastFindings       []string
+	lastError          string
+	lastAttested       time.Time
+}
+
+// DeviceState is an exported point-in-time snapshot of a device record.
+type DeviceState struct {
+	ID      DeviceID
+	Addr    string
+	Program attest.ProgramID
+	Pub     ed25519.PublicKey
+
+	Quarantined        bool
+	ConsecutiveRejects int
+	Rounds             uint64
+	Accepted           uint64
+	Rejected           uint64
+	TransportErrors    uint64
+	// LastClass is the classification of the most recent verified round
+	// (meaningful once Rounds > 0).
+	LastClass    attest.Classification
+	LastFindings []string
+	LastError    string
+	LastAttested time.Time
+}
+
+func (d *device) snapshot() DeviceState {
+	return DeviceState{
+		ID:                 d.id,
+		Addr:               d.addr,
+		Program:            d.program,
+		Pub:                append(ed25519.PublicKey(nil), d.pub...),
+		Quarantined:        d.quarantined,
+		ConsecutiveRejects: d.consecutiveRejects,
+		Rounds:             d.rounds,
+		Accepted:           d.accepted,
+		Rejected:           d.rejected,
+		TransportErrors:    d.transportErrors,
+		LastClass:          d.lastClass,
+		LastFindings:       append([]string(nil), d.lastFindings...),
+		LastError:          d.lastError,
+		LastAttested:       d.lastAttested,
+	}
+}
+
+// Registry is the sharded device store: N independently locked shards
+// so enrolment lookups and result recording from the worker pool spread
+// contention instead of serialising on one fleet-wide mutex.
+type Registry struct {
+	shards []*shard
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	devices map[DeviceID]*device
+}
+
+// NewRegistry builds a registry with n shards (n < 1 selects 1).
+func NewRegistry(n int) *Registry {
+	if n < 1 {
+		n = 1
+	}
+	r := &Registry{shards: make([]*shard, n)}
+	for i := range r.shards {
+		r.shards[i] = &shard{devices: make(map[DeviceID]*device)}
+	}
+	return r
+}
+
+func (r *Registry) shardFor(id DeviceID) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
+func (r *Registry) add(d *device) error {
+	sh := r.shardFor(d.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.devices[d.id]; dup {
+		return fmt.Errorf("fleet: device %q already enrolled", d.id)
+	}
+	sh.devices[d.id] = d
+	return nil
+}
+
+func (r *Registry) get(id DeviceID) (*device, bool) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.devices[id]
+	return d, ok
+}
+
+// Len reports the number of enrolled devices.
+func (r *Registry) Len() int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.devices)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// State snapshots one device.
+func (r *Registry) State(id DeviceID) (DeviceState, bool) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.devices[id]
+	if !ok {
+		return DeviceState{}, false
+	}
+	return d.snapshot(), true
+}
+
+// States snapshots the whole fleet, sorted by device ID.
+func (r *Registry) States() []DeviceState {
+	var out []DeviceState
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, d := range sh.devices {
+			out = append(out, d.snapshot())
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Quarantined lists quarantined device IDs, sorted.
+func (r *Registry) Quarantined() []DeviceID {
+	var out []DeviceID
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, d := range sh.devices {
+			if d.quarantined {
+				out = append(out, d.id)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetQuarantined forces a device's quarantine flag (operator action);
+// releasing also clears the rejection streak. It reports whether the
+// device exists.
+func (r *Registry) SetQuarantined(id DeviceID, q bool) bool {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[id]
+	if !ok {
+		return false
+	}
+	d.quarantined = q
+	if !q {
+		d.consecutiveRejects = 0
+	}
+	return true
+}
+
+// membersOf returns the devices enrolled for a program, sorted by ID
+// for deterministic sweep order.
+func (r *Registry) membersOf(prog attest.ProgramID) []*device {
+	var out []*device
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, d := range sh.devices {
+			if d.program == prog {
+				out = append(out, d)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// recordResult folds a verified round into the device record and
+// applies the quarantine policy. It reports whether this round newly
+// quarantined the device.
+func (r *Registry) recordResult(id DeviceID, res attest.Result, quarantineAfter int) bool {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[id]
+	if !ok {
+		return false
+	}
+	d.rounds++
+	d.lastClass = res.Class
+	d.lastFindings = append([]string(nil), res.Findings...)
+	d.lastError = ""
+	d.lastAttested = time.Now()
+	if res.Accepted {
+		d.accepted++
+		d.consecutiveRejects = 0
+		return false
+	}
+	d.rejected++
+	d.consecutiveRejects++
+	if !d.quarantined && d.consecutiveRejects >= quarantineAfter {
+		d.quarantined = true
+		return true
+	}
+	return false
+}
+
+// recordError folds a transport/attestation failure into the device
+// record. Errors do not advance the quarantine streak: an unreachable
+// device is an availability problem, not evidence of compromise.
+func (r *Registry) recordError(id DeviceID, err error) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[id]
+	if !ok {
+		return
+	}
+	d.transportErrors++
+	d.lastError = err.Error()
+}

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lofat/internal/attest"
+)
+
+// SweepReport summarises one attestation sweep of a program's fleet.
+type SweepReport struct {
+	Program attest.ProgramID
+	// Input is the challenge input this sweep used.
+	Input []uint32
+	// Devices is the number enrolled for the program; Skipped of those
+	// were quarantined and not challenged.
+	Devices int
+	Skipped int
+
+	Accepted int
+	Rejected int
+	Errors   int
+	// NewlyQuarantined lists devices this sweep quarantined.
+	NewlyQuarantined []DeviceID
+	// ByClass breaks verified rounds down per classification.
+	ByClass map[attest.Classification]int
+
+	Duration time.Duration
+	// Throughput is verified rounds per second for this sweep.
+	Throughput float64
+}
+
+// String renders a one-line sweep summary.
+func (r SweepReport) String() string {
+	return fmt.Sprintf("sweep %v: %d devices, %d accepted, %d rejected, %d errors, %d skipped, %d newly quarantined, %.0f rounds/s",
+		r.Program, r.Devices, r.Accepted, r.Rejected, r.Errors, r.Skipped, len(r.NewlyQuarantined), r.Throughput)
+}
+
+// Sweep challenges every non-quarantined device of every registered
+// program once, rotating through each program's input schedule, and
+// returns one report per program (sorted by registration order of the
+// underlying map is not guaranteed; reports carry the program ID).
+func (s *Service) Sweep() ([]SweepReport, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	type pick struct {
+		id    attest.ProgramID
+		input []uint32
+	}
+	picks := make([]pick, 0, len(s.programs))
+	for id, p := range s.programs {
+		in := p.inputs[p.next%len(p.inputs)]
+		p.next++
+		picks = append(picks, pick{id: id, input: in})
+	}
+	s.mu.Unlock()
+
+	reports := make([]SweepReport, 0, len(picks))
+	for _, pk := range picks {
+		rep, err := s.SweepProgram(pk.id, pk.input)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// SweepProgram challenges every non-quarantined device enrolled for one
+// program with the given input. When the measurement cache is enabled
+// the golden run is precomputed once up front (through the program's
+// template verifier), so the fan-out below never simulates: every
+// worker-pool verification is a cache hit.
+func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepReport, error) {
+	s.mu.RLock()
+	p, ok := s.programs[prog]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return SweepReport{}, ErrClosed
+	}
+	if !ok {
+		return SweepReport{}, fmt.Errorf("fleet: program %v not registered", prog)
+	}
+
+	rep := SweepReport{
+		Program: prog,
+		Input:   append([]uint32(nil), input...),
+		ByClass: make(map[attest.Classification]int),
+	}
+	start := time.Now()
+	if s.cache != nil {
+		if err := s.cache.Warm(p.template, [][]uint32{input}); err != nil {
+			return rep, fmt.Errorf("fleet: warm cache: %w", err)
+		}
+	}
+
+	members := s.reg.membersOf(prog)
+	rep.Devices = len(members)
+	rounds := make([]Round, 0, len(members))
+	for _, d := range members {
+		rounds = append(rounds, Round{Device: d.id, Input: input})
+	}
+	outs, err := s.SubmitBatch(rounds)
+	if err != nil {
+		return rep, err
+	}
+	for _, o := range outs {
+		switch {
+		case o.Skipped:
+			rep.Skipped++
+		case o.Err != nil:
+			rep.Errors++
+		case o.Result.Accepted:
+			rep.Accepted++
+			rep.ByClass[o.Result.Class]++
+		default:
+			rep.Rejected++
+			rep.ByClass[o.Result.Class]++
+		}
+		if o.Quarantined {
+			rep.NewlyQuarantined = append(rep.NewlyQuarantined, o.Device)
+		}
+	}
+	rep.Duration = time.Since(start)
+	if verified := rep.Accepted + rep.Rejected; verified > 0 && rep.Duration > 0 {
+		rep.Throughput = float64(verified) / rep.Duration.Seconds()
+	}
+	s.metrics.sweeps.Add(1)
+	s.mu.Lock()
+	s.reports = append(s.reports, rep)
+	if len(s.reports) > maxRetainedReports {
+		s.reports = s.reports[len(s.reports)-maxRetainedReports:]
+	}
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// maxRetainedReports bounds the sweep history kept for Reports.
+const maxRetainedReports = 256
+
+// Reports returns the retained sweep history, oldest first.
+func (s *Service) Reports() []SweepReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]SweepReport(nil), s.reports...)
+}
+
+// StartScheduler begins periodic fleet sweeps every interval and
+// returns a stop function that halts the loop and waits for an
+// in-flight sweep to finish. A non-positive interval is clamped to one
+// second rather than panicking the ticker. Sweep errors on a closed
+// service end the loop; other errors are recorded in the metrics by
+// the pipeline.
+func (s *Service) StartScheduler(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, err := s.Sweep(); err == ErrClosed {
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}

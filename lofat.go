@@ -21,13 +21,26 @@
 //   - the C-FLAT software baseline and the FPGA area/fmax model used by
 //     the evaluation (internal/cflat, internal/area);
 //   - the workload suite including the Open Syringe Pump analogue and
-//     the three attack classes of Figure 1 (internal/workloads).
+//     the three attack classes of Figure 1 (internal/workloads);
+//   - the fleet layer (internal/fleet): a verifier-side service scaling
+//     the protocol to large fleets of devices on shared firmware — a
+//     sharded device registry, a worker-pool verification pipeline with
+//     batch submission, a fleet-wide measurement cache that amortizes
+//     golden-run simulation across every enrolled device, a periodic
+//     sweep scheduler with quarantine, and fleet metrics.
 //
 // Quick start:
 //
 //	sys, err := lofat.BuildSource(src, lofat.Options{})
 //	res, err := sys.AttestOnce([]uint32{input...})
 //	fmt.Println(res) // ACCEPTED (accepted) or REJECTED (+ attack class)
+//
+// Fleet quick start (see cmd/lofat-fleet for a full example):
+//
+//	svc := lofat.NewFleet(lofat.FleetConfig{})
+//	progID, err := svc.RegisterProgram(prog, lofat.DeviceConfig{}, inputs)
+//	err = svc.Enroll("dev-0001", progID, devicePub, "10.0.0.17:9000")
+//	reports, err := svc.Sweep() // or svc.StartScheduler(interval)
 package lofat
 
 import (
@@ -42,6 +55,7 @@ import (
 	"lofat/internal/cflat"
 	"lofat/internal/core"
 	"lofat/internal/cpu"
+	"lofat/internal/fleet"
 	"lofat/internal/monitor"
 	"lofat/internal/sig"
 	"lofat/internal/workloads"
@@ -83,6 +97,25 @@ type (
 	CFLATResult = cflat.Result
 	// Graph is the verifier's control-flow graph.
 	Graph = cfg.Graph
+
+	// Fleet is the verifier-side fleet attestation service.
+	Fleet = fleet.Service
+	// FleetConfig parameterises a Fleet (shards, workers, cache, ...).
+	FleetConfig = fleet.Config
+	// FleetMetrics is a snapshot of fleet counters and gauges.
+	FleetMetrics = fleet.MetricsSnapshot
+	// DeviceID names one enrolled fleet device.
+	DeviceID = fleet.DeviceID
+	// DeviceState is a registry snapshot of one fleet device.
+	DeviceState = fleet.DeviceState
+	// SweepReport summarises one fleet attestation sweep.
+	SweepReport = fleet.SweepReport
+	// FleetRound is one unit of fleet pipeline work.
+	FleetRound = fleet.Round
+	// FleetOutcome is the pipeline's record of one completed round.
+	FleetOutcome = fleet.Outcome
+	// MeasurementCache is the fleet-wide golden-measurement store.
+	MeasurementCache = fleet.MeasurementCache
 )
 
 // Verification outcome classes (Figure 1 attack taxonomy).
@@ -216,3 +249,8 @@ func RunCFLAT(prog *Program, input []uint32) (CFLATResult, error) {
 
 // MetadataSize reports the encoded size in bytes of loop metadata L.
 func MetadataSize(loops []LoopRecord) int { return attest.MetadataSize(loops) }
+
+// NewFleet builds a fleet attestation service and starts its worker
+// pool. Register firmware with RegisterProgram, enrol devices with
+// Enroll, then drive rounds with Sweep or StartScheduler.
+func NewFleet(cfg FleetConfig) *Fleet { return fleet.NewService(cfg) }
