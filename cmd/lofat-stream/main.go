@@ -1,0 +1,102 @@
+// Command lofat-stream demonstrates streaming (segmented) attestation:
+// the prover emits chained sub-measurements every N control-flow
+// events, the verifier checks each segment against golden-run
+// checkpoints as it arrives, and an injected attack is rejected at the
+// FIRST divergent segment — mid-run — with the offending control-flow
+// edge localized and classified, instead of a bare hash mismatch after
+// the run completes.
+//
+// Usage:
+//
+//	lofat-stream                            # honest syringe-pump run
+//	lofat-stream -attack loop-counter       # rejected mid-run, class 2
+//	lofat-stream -attack code-pointer       # rejected mid-run, class 3
+//	lofat-stream -attack auth-bypass -segment 4
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/sig"
+	"lofat/internal/stream"
+	"lofat/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("w", "syringe-pump", "workload to attest")
+	attackName := flag.String("attack", "", "attack to arm (loop-counter, auth-bypass, code-pointer, dop-data-only; empty = honest)")
+	segment := flag.Int("segment", 8, "checkpoint window N (control-flow events per segment)")
+	flag.Parse()
+
+	if err := run(*workload, *attackName, *segment); err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-stream: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, attackName string, segment int) error {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	input := w.Input
+	var atk workloads.Attack
+	if attackName != "" {
+		atk, ok = workloads.AttackByName(attackName)
+		if !ok {
+			return fmt.Errorf("unknown attack %q", attackName)
+		}
+		w = atk.Workload
+		input = w.Input
+	}
+	prog, err := w.Assemble()
+	if err != nil {
+		return err
+	}
+	keys, err := sig.GenerateKeyStore(rand.Reader)
+	if err != nil {
+		return err
+	}
+	ap := attest.NewProver(prog, core.Config{}, keys)
+	av, err := attest.NewVerifier(prog, core.Config{}, keys.Public(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	if attackName != "" {
+		ap.Adversary = atk.Build(prog)
+		fmt.Printf("armed attack %q (class %d): %s\n", atk.Name, atk.Class, atk.Description)
+	}
+
+	sp := stream.NewProver(ap)
+	sv := stream.NewVerifier(av, stream.Config{SegmentEvents: segment})
+	fmt.Printf("streaming %q with window N=%d control-flow events\n\n", w.Name, segment)
+
+	res, err := stream.AttestOnce(sp, sv, input, func(sr *stream.SegmentReport) {
+		fmt.Printf("  segment %3d: %3d events, chain %x...\n", sr.Index, sr.Events, sr.Chain[:8])
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	if res.Accepted {
+		fmt.Printf("ACCEPTED after %d segments (full stream verified, close report checked)\n", res.Segments)
+		return nil
+	}
+	fmt.Printf("REJECTED (%v) after %d segments\n", res.Class, res.Segments)
+	if res.EarlyAbort {
+		fmt.Println("early abort: the device was cut off MID-RUN at the first divergent segment")
+	}
+	if d := res.Divergence; d != nil {
+		fmt.Printf("forensics: %s\n", d)
+	}
+	for _, f := range res.Findings {
+		fmt.Printf("  - %s\n", f)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package attest_test
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"lofat/internal/asm"
+	. "lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/sig"
+)
+
+// inputLoopSrc runs a counted loop only when the input word is
+// non-zero: input {n>0} produces loop metadata, input {0} produces
+// none — the two sides of the metadata-presence check.
+const inputLoopSrc = `
+main:
+	li   a7, 63
+	ecall            # read n
+	beqz a0, done
+loop:
+	addi a0, a0, -1
+	bnez a0, loop
+done:
+	li   a0, 0
+	li   a7, 93
+	ecall
+`
+
+// A report whose loop-record slice is empty while the expected
+// execution has loops (or vice versa) must be rejected with the
+// distinct presence finding, not the generic metadata mismatch.
+func TestLoopMetadataPresenceMismatch(t *testing.T) {
+	prog, err := asm.Assemble(inputLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := sig.GenerateKeyStore(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProver(prog, core.Config{}, keys)
+	v, err := NewVerifier(prog, core.Config{}, keys.Public(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withLoops := []uint32{3}
+	noLoops := []uint32{0}
+
+	// Sanity: the two inputs differ exactly in loop presence.
+	mLoops, _, err := Measure(prog, core.Config{}, withLoops, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mNone, _, err := Measure(prog, core.Config{}, noLoops, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mLoops.Loops) == 0 || len(mNone.Loops) != 0 {
+		t.Fatalf("workload loops: with=%d without=%d", len(mLoops.Loops), len(mNone.Loops))
+	}
+
+	findingsOf := func(res Result) string { return strings.Join(res.Findings, "\n") }
+
+	t.Run("absent", func(t *testing.T) {
+		// Expectations have loops; the report's slice is non-nil but
+		// empty. The signature is recomputed so the check under test —
+		// not signature verification — decides.
+		ch, err := v.NewChallenge(withLoops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Attest(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Loops = rep.Loops[:0]
+		rep.Sig = keys.Sign(SignedPayload(rep))
+		res := v.Verify(ch, rep)
+		if res.Accepted {
+			t.Fatal("report with stripped loop metadata accepted")
+		}
+		if !strings.Contains(findingsOf(res), "loop metadata L absent") {
+			t.Errorf("missing distinct absence finding, got: %v", res.Findings)
+		}
+		if strings.Contains(findingsOf(res), "loop metadata L differs") {
+			t.Errorf("generic mismatch finding present alongside: %v", res.Findings)
+		}
+	})
+
+	t.Run("unexpected", func(t *testing.T) {
+		// Expectations have no loops; the report fabricates
+		// CFG-consistent records (taken from a genuine loop-executing
+		// run, so CFG validation cannot reject them first).
+		ch, err := v.NewChallenge(noLoops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Attest(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Loops = append(rep.Loops, mLoops.Loops...)
+		rep.Sig = keys.Sign(SignedPayload(rep))
+		res := v.Verify(ch, rep)
+		if res.Accepted {
+			t.Fatal("report with fabricated loop metadata accepted")
+		}
+		if !strings.Contains(findingsOf(res), "loop metadata L unexpected") {
+			t.Errorf("missing distinct unexpected-metadata finding, got: %v", res.Findings)
+		}
+	})
+}

@@ -44,6 +44,18 @@ func NewProver(prog *asm.Program, devCfg core.Config, keys *sig.KeyStore) *Prove
 // ProgramID returns the identity of the installed binary.
 func (p *Prover) ProgramID() ProgramID { return p.id }
 
+// Program exposes the installed program image (for protocol extensions
+// that run it under extra instrumentation, e.g. internal/stream).
+func (p *Prover) Program() *asm.Program { return p.prog }
+
+// DeviceConfig exposes the LO-FAT hardware configuration.
+func (p *Prover) DeviceConfig() core.Config { return p.devCfg }
+
+// Sign signs a payload with the device's hardware-held key. Protocol
+// extensions use it to authenticate their own messages (per-segment
+// signatures in internal/stream) with the same key that signs reports.
+func (p *Prover) Sign(msg []byte) []byte { return p.keys.Sign(msg) }
+
 // Attest executes the challenge: runs S(i) under LO-FAT observation and
 // returns the signed report. The adversary hook, if any, runs alongside,
 // exactly like the untrusted inputs I of the system model.

@@ -49,44 +49,54 @@ func (r *Registry) Len() int {
 // programs get an error frame; the connection stays usable.
 func (r *Registry) ServeConn(conn io.ReadWriter) error {
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := ReadFrame(conn)
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		if typ != msgChallenge {
+		if typ != MsgChallenge {
 			return fmt.Errorf("attest: registry expected challenge, got type %d", typ)
 		}
-		ch, err := DecodeChallenge(payload)
-		if err != nil {
-			return err
-		}
-		p, ok := r.Lookup(ch.Program)
-		if !ok {
-			if err := writeFrame(conn, msgError, []byte("unknown program")); err != nil {
-				return err
-			}
-			continue
-		}
-		rep, err := p.Attest(*ch)
-		if err != nil {
-			if err := writeFrame(conn, msgError, []byte("attestation failed")); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := writeFrame(conn, msgReport, EncodeReport(rep)); err != nil {
+		if err := HandleChallenge(conn, payload, r.Lookup); err != nil {
 			return err
 		}
 	}
 }
 
-// Server is a persistent TCP attestation service over a Registry.
+// HandleChallenge processes one received challenge payload against a
+// prover lookup, writing the report (or error frame) back. It is the
+// shared per-frame body of every challenge-serving connection loop —
+// the attest Registry above and protocol extensions multiplexing
+// additional frame types on the same connection (internal/stream).
+// Prover-side failures are answered with an error frame and a nil
+// return (the connection stays usable); only transport and decode
+// errors are returned.
+func HandleChallenge(conn io.ReadWriter, payload []byte, lookup func(ProgramID) (*Prover, bool)) error {
+	ch, err := DecodeChallenge(payload)
+	if err != nil {
+		return err
+	}
+	p, ok := lookup(ch.Program)
+	if !ok {
+		return WriteFrame(conn, MsgError, []byte("unknown program"))
+	}
+	rep, err := p.Attest(*ch)
+	if err != nil {
+		return WriteFrame(conn, MsgError, []byte("attestation failed"))
+	}
+	return WriteFrame(conn, MsgReport, EncodeReport(rep))
+}
+
+// Server is a persistent TCP attestation service over a per-connection
+// handler — by default a Registry's challenge loop, but protocol
+// extensions (internal/stream) reuse the same listener plumbing with
+// their own handlers.
 type Server struct {
 	Registry *Registry
 
+	handler  func(io.ReadWriter) error
 	mu       sync.Mutex
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -95,7 +105,13 @@ type Server struct {
 
 // NewServer wraps a registry in a TCP server (not yet listening).
 func NewServer(reg *Registry) *Server {
-	return &Server{Registry: reg}
+	return &Server{Registry: reg, handler: reg.ServeConn}
+}
+
+// NewServerFunc builds a TCP server around an arbitrary per-connection
+// handler speaking the frame transport.
+func NewServerFunc(handle func(io.ReadWriter) error) *Server {
+	return &Server{handler: handle}
 }
 
 // ErrServerClosed is returned by Listen on a server that has been
@@ -151,7 +167,7 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()
-				_ = s.Registry.ServeConn(conn)
+				_ = s.handler(conn)
 			}()
 		}
 	}()

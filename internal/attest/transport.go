@@ -6,19 +6,24 @@ import (
 	"io"
 )
 
-// Message types on the wire.
+// Message types on the wire. The attest package owns type bytes 1-15;
+// protocol extensions riding the same frame transport allocate from 16
+// up (internal/stream uses 16-19 for its segmented-attestation
+// messages).
 const (
-	msgChallenge byte = 1
-	msgReport    byte = 2
-	msgError     byte = 3
+	MsgChallenge byte = 1
+	MsgReport    byte = 2
+	MsgError     byte = 3
 )
 
 // maxMessageSize bounds a frame to keep a malicious peer from forcing
 // unbounded allocation.
 const maxMessageSize = 16 << 20
 
-// writeFrame sends a type-tagged, length-prefixed frame.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
+// WriteFrame sends a type-tagged, length-prefixed frame — the transport
+// unit under every protocol message, shared with extensions
+// (internal/stream) so one connection can carry both.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	hdr := make([]byte, 5)
 	hdr[0] = typ
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -31,8 +36,8 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
-// readFrame receives one frame.
-func readFrame(r io.Reader) (byte, []byte, error) {
+// ReadFrame receives one frame.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
 	hdr := make([]byte, 5)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, fmt.Errorf("attest: read frame: %w", err)
@@ -52,11 +57,11 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 // challenge, attest, reply with the report (or an error frame). It
 // returns after one exchange; callers loop for persistent service.
 func ServeProver(conn io.ReadWriter, p *Prover) error {
-	typ, payload, err := readFrame(conn)
+	typ, payload, err := ReadFrame(conn)
 	if err != nil {
 		return err
 	}
-	if typ != msgChallenge {
+	if typ != MsgChallenge {
 		return fmt.Errorf("attest: prover expected challenge, got type %d", typ)
 	}
 	ch, err := DecodeChallenge(payload)
@@ -66,10 +71,10 @@ func ServeProver(conn io.ReadWriter, p *Prover) error {
 	rep, err := p.Attest(*ch)
 	if err != nil {
 		// Report the failure without leaking internals.
-		_ = writeFrame(conn, msgError, []byte("attestation failed"))
+		_ = WriteFrame(conn, MsgError, []byte("attestation failed"))
 		return err
 	}
-	return writeFrame(conn, msgReport, EncodeReport(rep))
+	return WriteFrame(conn, MsgReport, EncodeReport(rep))
 }
 
 // RequestAttestation drives one exchange from the verifier side: send a
@@ -87,21 +92,21 @@ func RequestAttestation(conn io.ReadWriter, v *Verifier, input []uint32) (Result
 		v.consumeNonce(ch.Nonce)
 		return Result{}, err
 	}
-	if err := writeFrame(conn, msgChallenge, EncodeChallenge(&ch)); err != nil {
+	if err := WriteFrame(conn, MsgChallenge, EncodeChallenge(&ch)); err != nil {
 		return fail(err)
 	}
-	typ, payload, err := readFrame(conn)
+	typ, payload, err := ReadFrame(conn)
 	if err != nil {
 		return fail(err)
 	}
 	switch typ {
-	case msgReport:
+	case MsgReport:
 		rep, err := DecodeReport(payload)
 		if err != nil {
 			return fail(err)
 		}
 		return v.Verify(ch, rep), nil
-	case msgError:
+	case MsgError:
 		return fail(fmt.Errorf("attest: prover error: %s", payload))
 	default:
 		return fail(fmt.Errorf("attest: unexpected message type %d", typ))

@@ -129,6 +129,17 @@ func (v *Verifier) Graph() *cfg.Graph { return v.graph }
 // ProgramID returns the identity V expects the prover to run.
 func (v *Verifier) ProgramID() ProgramID { return v.id }
 
+// Program exposes the program image the verifier analyses. Protocol
+// extensions layered on the verifier (internal/stream) golden-run it
+// with their own instrumentation.
+func (v *Verifier) Program() *asm.Program { return v.prog }
+
+// DeviceConfig exposes the hardware configuration golden runs use.
+func (v *Verifier) DeviceConfig() core.Config { return v.devCfg }
+
+// PublicKey exposes the enrolled device public key.
+func (v *Verifier) PublicKey() ed25519.PublicKey { return v.pub }
+
 // NewChallenge draws a fresh nonce and builds the attestation request
 // for input i.
 func (v *Verifier) NewChallenge(input []uint32) (Challenge, error) {
@@ -147,7 +158,30 @@ func (v *Verifier) NewChallenge(input []uint32) (Challenge, error) {
 // expectation cache, simulation — with the simulated result published to
 // both layers.
 func (v *Verifier) expected(input []uint32) (*core.Measurement, error) {
+	return v.ExpectedCustom("", input, func() (*core.Measurement, error) {
+		meas, _, err := Measure(v.prog, v.devCfg, input, v.MaxInstructions)
+		if err != nil {
+			return nil, fmt.Errorf("attest: golden run: %w", err)
+		}
+		return &meas, nil
+	})
+}
+
+// ExpectedCustom returns (computing and caching on first use) a golden
+// measurement produced by a caller-supplied measurement procedure,
+// under the verifier's two-layer cache (private memo + shared
+// ExpectationCache). kind namespaces the cache entry: the empty kind is
+// the plain end-of-run expectation; protocol extensions use distinct
+// kinds for expectations with extra state — internal/stream records
+// per-segment checkpoint states under "streamN" kinds this way, so
+// fleet-wide caches amortize streamed golden runs exactly like plain
+// ones. compute runs outside the verifier lock (golden runs are the
+// expensive part) and its result is published to both cache layers.
+func (v *Verifier) ExpectedCustom(kind string, input []uint32, compute func() (*core.Measurement, error)) (*core.Measurement, error) {
 	key := inputKey(input)
+	if kind != "" {
+		key = kind + "\x00" + key
+	}
 	v.mu.Lock()
 	if m, ok := v.expectations[key]; ok {
 		v.mu.Unlock()
@@ -163,18 +197,40 @@ func (v *Verifier) expected(input []uint32) (*core.Measurement, error) {
 			return m, nil
 		}
 	}
-	// Simulate outside the lock: golden runs are the expensive part.
-	meas, _, err := Measure(v.prog, v.devCfg, input, v.MaxInstructions)
+	m, err := compute()
 	if err != nil {
-		return nil, fmt.Errorf("attest: golden run: %w", err)
+		return nil, err
 	}
 	v.mu.Lock()
-	v.expectations[key] = &meas
+	v.expectations[key] = m
 	v.mu.Unlock()
 	if shared != nil {
-		shared.PutExpectation(v.cacheKeyBase+key, &meas)
+		shared.PutExpectation(v.cacheKeyBase+key, m)
 	}
-	return &meas, nil
+	return m, nil
+}
+
+// SeedExpectation publishes a golden measurement for an input into both
+// cache layers under the plain end-of-run kind. The caller must have
+// produced m by a faithful golden run of the verifier's program and
+// device configuration on that input: streamed golden runs (whose hash
+// and loop metadata equal the plain run's) seed the end-of-run
+// expectation this way, so a streamed session's final Verify never
+// re-simulates.
+func (v *Verifier) SeedExpectation(input []uint32, m *core.Measurement) {
+	key := inputKey(input)
+	v.mu.Lock()
+	_, have := v.expectations[key]
+	if !have {
+		v.expectations[key] = m
+	}
+	shared := v.shared
+	v.mu.Unlock()
+	if !have && shared != nil {
+		if _, ok := shared.GetExpectation(v.cacheKeyBase + key); !ok {
+			shared.PutExpectation(v.cacheKeyBase+key, m)
+		}
+	}
 }
 
 func inputKey(input []uint32) string {
@@ -235,6 +291,13 @@ func (v *Verifier) PendingChallenges() int {
 	defer v.mu.Unlock()
 	return len(v.issued)
 }
+
+// ConsumeNonce atomically checks and retires an issued nonce (single
+// use). Verify does this itself; protocol extensions layered on the
+// verifier (internal/stream) call it when a session terminates before
+// reaching Verify — mid-stream rejection or transport failure — so the
+// issued-nonce set stays bounded.
+func (v *Verifier) ConsumeNonce(n Nonce) bool { return v.consumeNonce(n) }
 
 // consumeNonce atomically checks and retires a nonce (single use).
 func (v *Verifier) consumeNonce(n Nonce) bool {
@@ -303,7 +366,18 @@ func (v *Verifier) classify(res Result, exp *core.Measurement, rep *Report) Resu
 	if rep.Hash != exp.Hash {
 		res.Findings = append(res.Findings, "measurement hash A differs from expected execution")
 	}
-	if !loopsEqual(rep.Loops, exp.Loops) {
+	// A presence mismatch — no loop records where the expected execution
+	// has them, or records where none are expected — is diagnosed
+	// distinctly: suppressed or fabricated metadata is stronger evidence
+	// than a generic content difference.
+	switch {
+	case len(rep.Loops) == 0 && len(exp.Loops) > 0:
+		res.Findings = append(res.Findings, fmt.Sprintf(
+			"loop metadata L absent: expected execution records %d loops, report has none", len(exp.Loops)))
+	case len(rep.Loops) > 0 && len(exp.Loops) == 0:
+		res.Findings = append(res.Findings, fmt.Sprintf(
+			"loop metadata L unexpected: report records %d loops, expected execution has none", len(rep.Loops)))
+	case !loopsEqual(rep.Loops, exp.Loops):
 		res.Findings = append(res.Findings, "loop metadata L differs from expected execution")
 	}
 	return res

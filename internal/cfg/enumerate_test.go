@@ -1,6 +1,7 @@
 package cfg
 
 import (
+	"errors"
 	"testing"
 
 	"lofat/internal/monitor"
@@ -158,6 +159,59 @@ func findRetSite(t *testing.T, g *Graph) uint32 {
 	}
 	t.Fatal("no return sites")
 	return 0
+}
+
+// MaxPaths truncation: a bound below the true path count returns
+// ErrPathSpaceTooLarge (never a silently truncated set), a bound at
+// exactly the path count succeeds.
+func TestEnumerateMaxPathsTruncation(t *testing.T) {
+	g, _ := buildFromSource(t, fig4) // exactly 2 valid paths
+	loop := g.Loops()[0]
+
+	_, err := g.EnumeratePaths(loop, EnumerateOptions{MaxPaths: 1})
+	if !errors.Is(err, ErrPathSpaceTooLarge) {
+		t.Fatalf("MaxPaths=1 error = %v, want ErrPathSpaceTooLarge", err)
+	}
+
+	// The bound is inclusive: MaxPaths equal to the true count is not a
+	// truncation.
+	paths, err := g.EnumeratePaths(loop, EnumerateOptions{MaxPaths: 2})
+	if err != nil {
+		t.Fatalf("MaxPaths=2: %v", err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("MaxPaths=2 returned %d paths, want 2", len(paths))
+	}
+}
+
+// PathSetContains on degenerate sets: empty and duplicated.
+func TestPathSetContainsEmptyAndDuplicates(t *testing.T) {
+	code := monitor.PathCode{Bits: 0b011, Len: 3}
+
+	if PathSetContains(nil, code) {
+		t.Error("nil set contains a code")
+	}
+	if PathSetContains([]monitor.PathCode{}, code) {
+		t.Error("empty set contains a code")
+	}
+	if PathSetContains([]monitor.PathCode{}, monitor.PathCode{}) {
+		t.Error("empty set contains the zero code")
+	}
+
+	// Duplicates change nothing: membership is by value.
+	dup := []monitor.PathCode{code, code, {Bits: 0b1, Len: 1}, code}
+	if !PathSetContains(dup, code) {
+		t.Error("duplicated code not found")
+	}
+	if !PathSetContains(dup, monitor.PathCode{Bits: 0b1, Len: 1}) {
+		t.Error("singleton among duplicates not found")
+	}
+	if PathSetContains(dup, monitor.PathCode{Bits: 0b011, Len: 4}) {
+		t.Error("same bits different length reported contained")
+	}
+	if PathSetContains(dup, monitor.PathCode{Bits: 0b011, Len: 3, Overflow: true}) {
+		t.Error("overflow variant reported contained")
+	}
 }
 
 // The safety valve trips on explosive path spaces.

@@ -105,6 +105,12 @@ type Measurement struct {
 	Hash  [hashengine.DigestSize]byte // A
 	Loops []monitor.LoopRecord        // L
 	Stats Stats
+
+	// Segments holds the streamed checkpoint chain when the run was
+	// measured through the segment emitter (internal/stream); nil for
+	// plain end-of-run measurements. Golden streaming runs retain them
+	// so incremental verification can compare per-segment states.
+	Segments []Segment
 }
 
 // Device is the LO-FAT hardware instance. It implements trace.Sink so it

@@ -1,0 +1,29 @@
+package core
+
+import "lofat/internal/hashengine"
+
+// Segment is one checkpoint of a streamed (segmented) attestation: the
+// chained sub-measurement over a window of retired control-flow events.
+// The chain makes segment k commit to segments 0..k-1 — Chain is
+// SHA3-512 over the previous segment's Chain followed by this window's
+// (Src, Dest) edge stream (hashengine.ChainPairs) — so a prover cannot
+// retroactively rewrite an already-reported prefix of the execution.
+//
+// Segments are produced by the stream emitter (internal/stream), which
+// taps the same trace port as the LO-FAT device it wraps; golden runs
+// retain them on Measurement.Segments so the verifier can check a
+// stream incrementally and, on divergence, localize the first bad edge.
+type Segment struct {
+	// Index is the zero-based position of the segment in the stream.
+	Index uint32
+	// Events is the number of control-flow edges in this window (the
+	// configured window size N for every segment but possibly the last,
+	// which holds the tail of the run).
+	Events uint32
+	// Chain is the running chained digest after absorbing this window.
+	Chain [hashengine.DigestSize]byte
+	// Edges is the raw (Src, Dest) window, retained for forensic
+	// divergence localization. It is authenticated through Chain: the
+	// verifier recomputes the chain link from Edges before trusting it.
+	Edges []hashengine.Pair
+}

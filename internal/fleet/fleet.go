@@ -37,6 +37,7 @@ import (
 	"lofat/internal/asm"
 	"lofat/internal/attest"
 	"lofat/internal/core"
+	"lofat/internal/stream"
 )
 
 // DialFunc opens a transport to a device given its enrolled address.
@@ -62,6 +63,16 @@ type Config struct {
 	// verifier then golden-runs independently (the pre-fleet behaviour,
 	// kept for measurement and fallback).
 	DisableCache bool
+	// StreamedSweeps makes Sweep (and the scheduler) drive rounds over
+	// the segmented streaming protocol (internal/stream): devices are
+	// verified incrementally while they execute, and an attacked device
+	// is rejected — and quarantined — at its first divergent segment
+	// instead of after the run completes. Devices must serve the stream
+	// protocol (stream.NewServer / stream.Registry.ServeConn).
+	StreamedSweeps bool
+	// StreamSegmentEvents is the checkpoint window N for streamed
+	// rounds (default stream.DefaultSegmentEvents).
+	StreamSegmentEvents int
 	// Dial opens device transports (default TCP with a 5s timeout).
 	Dial DialFunc
 	// MaxInstructions bounds golden runs (default: verifier default).
@@ -71,6 +82,9 @@ type Config struct {
 func (c *Config) fill() {
 	if c.Shards <= 0 {
 		c.Shards = 16
+	}
+	if c.StreamSegmentEvents <= 0 {
+		c.StreamSegmentEvents = stream.DefaultSegmentEvents
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)

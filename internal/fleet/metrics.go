@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"lofat/internal/attest"
+	"lofat/internal/stream"
 )
 
 // numClasses covers attest.ClassAccepted..ClassNonControlData.
@@ -22,6 +23,11 @@ type Metrics struct {
 	skipped  atomic.Uint64
 	sweeps   atomic.Uint64
 	byClass  [numClasses]atomic.Uint64
+
+	// Streaming counters (segmented attestation rounds).
+	streamRounds     atomic.Uint64
+	segmentsVerified atomic.Uint64
+	earlyAborts      atomic.Uint64
 }
 
 // NewMetrics returns zeroed metrics.
@@ -36,6 +42,15 @@ func (m *Metrics) record(res attest.Result) {
 	}
 	if c := int(res.Class); c < numClasses {
 		m.byClass[c].Add(1)
+	}
+}
+
+func (m *Metrics) recordStream(res stream.Result) {
+	m.record(res.Result)
+	m.streamRounds.Add(1)
+	m.segmentsVerified.Add(uint64(res.Segments))
+	if res.EarlyAbort {
+		m.earlyAborts.Add(1)
 	}
 }
 
@@ -55,6 +70,14 @@ type MetricsSnapshot struct {
 	// ByClass breaks verified rounds down per attack classification.
 	ByClass map[attest.Classification]uint64
 
+	// StreamRounds counts rounds verified over the streaming protocol;
+	// SegmentsVerified sums the segment reports those rounds consumed;
+	// EarlyAborts counts streamed rounds rejected at a divergent
+	// segment while the device was still running.
+	StreamRounds     uint64
+	SegmentsVerified uint64
+	EarlyAborts      uint64
+
 	// CacheHits / CacheMisses / CacheHitRate mirror the shared
 	// measurement cache (zero when the cache is disabled).
 	CacheHits    uint64
@@ -70,13 +93,18 @@ type MetricsSnapshot struct {
 func (s *Service) Metrics() MetricsSnapshot {
 	m := s.metrics
 	snap := MetricsSnapshot{
-		Verified:    m.verified.Load(),
-		Accepted:    m.accepted.Load(),
-		Rejected:    m.rejected.Load(),
-		Errors:      m.errors.Load(),
-		Skipped:     m.skipped.Load(),
-		Sweeps:      m.sweeps.Load(),
-		ByClass:     make(map[attest.Classification]uint64, numClasses),
+		Verified: m.verified.Load(),
+		Accepted: m.accepted.Load(),
+		Rejected: m.rejected.Load(),
+		Errors:   m.errors.Load(),
+		Skipped:  m.skipped.Load(),
+		Sweeps:   m.sweeps.Load(),
+		ByClass:  make(map[attest.Classification]uint64, numClasses),
+
+		StreamRounds:     m.streamRounds.Load(),
+		SegmentsVerified: m.segmentsVerified.Load(),
+		EarlyAborts:      m.earlyAborts.Load(),
+
 		Devices:     s.reg.Len(),
 		Quarantined: len(s.reg.Quarantined()),
 	}
@@ -98,6 +126,10 @@ func (snap MetricsSnapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: %d devices (%d quarantined), %d sweeps, %d verified (%d accepted / %d rejected), %d errors, %d skipped",
 		snap.Devices, snap.Quarantined, snap.Sweeps, snap.Verified, snap.Accepted, snap.Rejected, snap.Errors, snap.Skipped)
+	if snap.StreamRounds > 0 {
+		fmt.Fprintf(&b, ", %d streamed (%d segments, %d early aborts)",
+			snap.StreamRounds, snap.SegmentsVerified, snap.EarlyAborts)
+	}
 	if snap.CacheHits+snap.CacheMisses > 0 {
 		fmt.Fprintf(&b, ", cache %.0f%% hit (%d/%d)",
 			100*snap.CacheHitRate, snap.CacheHits, snap.CacheHits+snap.CacheMisses)

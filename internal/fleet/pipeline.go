@@ -6,12 +6,17 @@ import (
 	"time"
 
 	"lofat/internal/attest"
+	"lofat/internal/stream"
 )
 
 // Round is one unit of pipeline work: challenge device with input.
 type Round struct {
 	Device DeviceID
 	Input  []uint32
+	// Streamed selects the segmented streaming protocol for this round:
+	// the device is verified incrementally and cut off at the first
+	// divergent segment instead of after the run completes.
+	Streamed bool
 }
 
 // Outcome is the pipeline's record of one completed round.
@@ -22,6 +27,9 @@ type Outcome struct {
 	// Result is the verifier's decision (valid when Err is nil and the
 	// round was not skipped).
 	Result attest.Result
+	// Stream carries the streaming-specific outcome of a streamed round
+	// (segments consumed, early abort, divergence localization).
+	Stream *stream.Result
 	// Err reports transport or attestation failures.
 	Err error
 	// Quarantined is set when this round newly quarantined the device.
@@ -75,6 +83,25 @@ func (s *Service) process(r Round) Outcome {
 		return out
 	}
 	defer conn.Close()
+	if r.Streamed {
+		sv := stream.NewVerifier(d.verifier, stream.Config{SegmentEvents: s.cfg.StreamSegmentEvents})
+		sres, err := stream.RequestStream(conn, sv, r.Input)
+		if err != nil {
+			out.Err = err
+			s.metrics.errors.Add(1)
+			s.reg.recordError(d.id, err)
+			return out
+		}
+		// The deferred Close drops the transport right here — for an
+		// early-aborted round that is what cuts the device off
+		// mid-run: its next segment write fails and the attacked
+		// workload stops executing.
+		out.Result = sres.Result
+		out.Stream = &sres
+		s.metrics.recordStream(sres)
+		out.Quarantined = s.reg.recordResult(d.id, sres.Result, s.cfg.QuarantineAfter)
+		return out
+	}
 	res, err := attest.RequestFrom(conn, d.verifier, r.Input)
 	if err != nil {
 		out.Err = err

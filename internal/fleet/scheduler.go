@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lofat/internal/attest"
+	"lofat/internal/stream"
 )
 
 // SweepReport summarises one attestation sweep of a program's fleet.
@@ -13,6 +14,9 @@ type SweepReport struct {
 	Program attest.ProgramID
 	// Input is the challenge input this sweep used.
 	Input []uint32
+	// Streamed reports whether the sweep used the segmented streaming
+	// protocol.
+	Streamed bool
 	// Devices is the number enrolled for the program; Skipped of those
 	// were quarantined and not challenged.
 	Devices int
@@ -26,6 +30,11 @@ type SweepReport struct {
 	// ByClass breaks verified rounds down per classification.
 	ByClass map[attest.Classification]int
 
+	// SegmentsVerified / EarlyAborts aggregate the streaming outcomes
+	// of a streamed sweep (zero otherwise).
+	SegmentsVerified int
+	EarlyAborts      int
+
 	Duration time.Duration
 	// Throughput is verified rounds per second for this sweep.
 	Throughput float64
@@ -33,8 +42,12 @@ type SweepReport struct {
 
 // String renders a one-line sweep summary.
 func (r SweepReport) String() string {
-	return fmt.Sprintf("sweep %v: %d devices, %d accepted, %d rejected, %d errors, %d skipped, %d newly quarantined, %.0f rounds/s",
+	s := fmt.Sprintf("sweep %v: %d devices, %d accepted, %d rejected, %d errors, %d skipped, %d newly quarantined, %.0f rounds/s",
 		r.Program, r.Devices, r.Accepted, r.Rejected, r.Errors, r.Skipped, len(r.NewlyQuarantined), r.Throughput)
+	if r.Streamed {
+		s += fmt.Sprintf(" [streamed: %d segments, %d early aborts]", r.SegmentsVerified, r.EarlyAborts)
+	}
+	return s
 }
 
 // Sweep challenges every non-quarantined device of every registered
@@ -61,7 +74,7 @@ func (s *Service) Sweep() ([]SweepReport, error) {
 
 	reports := make([]SweepReport, 0, len(picks))
 	for _, pk := range picks {
-		rep, err := s.SweepProgram(pk.id, pk.input)
+		rep, err := s.sweepProgram(pk.id, pk.input, s.cfg.StreamedSweeps)
 		if err != nil {
 			return reports, err
 		}
@@ -76,6 +89,19 @@ func (s *Service) Sweep() ([]SweepReport, error) {
 // template verifier), so the fan-out below never simulates: every
 // worker-pool verification is a cache hit.
 func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepReport, error) {
+	return s.sweepProgram(prog, input, false)
+}
+
+// SweepProgramStreamed is SweepProgram over the segmented streaming
+// protocol: every device is verified incrementally as it executes, and
+// an attacked or long-running device is rejected — and quarantined —
+// at its first divergent segment instead of after end-of-run. The
+// devices must serve the stream protocol on their enrolled address.
+func (s *Service) SweepProgramStreamed(prog attest.ProgramID, input []uint32) (SweepReport, error) {
+	return s.sweepProgram(prog, input, true)
+}
+
+func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed bool) (SweepReport, error) {
 	s.mu.RLock()
 	p, ok := s.programs[prog]
 	closed := s.closed
@@ -88,13 +114,21 @@ func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepRepo
 	}
 
 	rep := SweepReport{
-		Program: prog,
-		Input:   append([]uint32(nil), input...),
-		ByClass: make(map[attest.Classification]int),
+		Program:  prog,
+		Input:    append([]uint32(nil), input...),
+		Streamed: streamed,
+		ByClass:  make(map[attest.Classification]int),
 	}
 	start := time.Now()
 	if s.cache != nil {
-		if err := s.cache.Warm(p.template, [][]uint32{input}); err != nil {
+		if streamed {
+			// Streamed golden runs carry the per-segment states; they
+			// also seed the plain end-of-run expectation.
+			sv := stream.NewVerifier(p.template, stream.Config{SegmentEvents: s.cfg.StreamSegmentEvents})
+			if err := sv.Precompute([][]uint32{input}); err != nil {
+				return rep, fmt.Errorf("fleet: warm stream cache: %w", err)
+			}
+		} else if err := s.cache.Warm(p.template, [][]uint32{input}); err != nil {
 			return rep, fmt.Errorf("fleet: warm cache: %w", err)
 		}
 	}
@@ -103,7 +137,7 @@ func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepRepo
 	rep.Devices = len(members)
 	rounds := make([]Round, 0, len(members))
 	for _, d := range members {
-		rounds = append(rounds, Round{Device: d.id, Input: input})
+		rounds = append(rounds, Round{Device: d.id, Input: input, Streamed: streamed})
 	}
 	outs, err := s.SubmitBatch(rounds)
 	if err != nil {
@@ -121,6 +155,12 @@ func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepRepo
 		default:
 			rep.Rejected++
 			rep.ByClass[o.Result.Class]++
+		}
+		if o.Stream != nil {
+			rep.SegmentsVerified += int(o.Stream.Segments)
+			if o.Stream.EarlyAbort {
+				rep.EarlyAborts++
+			}
 		}
 		if o.Quarantined {
 			rep.NewlyQuarantined = append(rep.NewlyQuarantined, o.Device)

@@ -179,3 +179,18 @@ func HashPairs(pairs []Pair) [DigestSize]byte {
 	}
 	return s.Sum()
 }
+
+// ChainPairs extends a hash chain by one link: SHA3-512 over the
+// previous link followed by the pair stream, in order. Segmented
+// attestation (internal/stream) uses it to make checkpoint k commit to
+// checkpoints 0..k-1: a segment's chain value authenticates the entire
+// edge-stream prefix, not just its own window.
+func ChainPairs(prev [DigestSize]byte, pairs []Pair) [DigestSize]byte {
+	var s Sponge
+	s.Write(prev[:])
+	for _, p := range pairs {
+		b := p.bytes()
+		s.Write(b[:])
+	}
+	return s.Sum()
+}

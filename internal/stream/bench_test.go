@@ -1,0 +1,99 @@
+package stream_test
+
+import (
+	"testing"
+
+	"lofat/internal/stream"
+	"lofat/internal/workloads"
+)
+
+// BenchmarkStreamVerify compares the verifier-side work of a streamed
+// session that aborts at the first divergent segment of an attacked
+// run against full verification of the complete honest stream of the
+// same workload. Early abort consumes a strict prefix of the segments
+// (reported as segs/op), which is the point of streaming: divergence
+// is decided — and the device cut off — long before end-of-run.
+func BenchmarkStreamVerify(b *testing.B) {
+	const n = 8
+	atk, ok := workloads.AttackByName("loop-counter")
+	if !ok {
+		b.Fatal("loop-counter attack missing")
+	}
+	prog, err := atk.Workload.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	p, v := rig(b, atk.Workload, n)
+
+	// Segment reports are bound to their session nonce, so each
+	// iteration re-runs the prover for a fresh session (and re-arms
+	// the one-shot adversary); the timed region covers only the
+	// verifier-side consumption.
+	b.Run("EarlyAbort", func(b *testing.B) {
+		var segsConsumed, totalSegs float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p.Inner().Adversary = atk.Build(prog)
+			s, open, err := v.Open(atk.Workload.Input)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var attacked []*stream.SegmentReport
+			if _, err := p.Stream(*open, func(sr *stream.SegmentReport) error {
+				attacked = append(attacked, sr)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+
+			var res *stream.Result
+			for _, sr := range attacked {
+				if res = s.Consume(sr); res != nil {
+					break
+				}
+			}
+			if res == nil || res.Accepted || !res.EarlyAbort {
+				b.Fatalf("attacked stream not early-aborted: %+v", res)
+			}
+			segsConsumed += float64(res.Segments)
+			totalSegs += float64(len(attacked))
+		}
+		b.ReportMetric(segsConsumed/float64(b.N), "segs/op")
+		b.ReportMetric(totalSegs/float64(b.N), "totalsegs/op")
+	})
+
+	b.Run("FullStream", func(b *testing.B) {
+		p.Inner().Adversary = nil
+		var segsConsumed float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s, open2, err := v.Open(atk.Workload.Input)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Re-sign the honest stream against this session's nonce.
+			var segs []*stream.SegmentReport
+			cr2, err := p.Stream(*open2, func(sr *stream.SegmentReport) error {
+				segs = append(segs, sr)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+
+			for _, sr := range segs {
+				if res := s.Consume(sr); res != nil {
+					b.Fatalf("honest segment rejected: %+v", res)
+				}
+			}
+			if res := s.Close(cr2); !res.Accepted {
+				b.Fatalf("honest stream rejected: %+v", res)
+			}
+			segsConsumed += float64(len(segs))
+		}
+		b.ReportMetric(segsConsumed/float64(b.N), "segs/op")
+	})
+}

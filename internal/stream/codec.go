@@ -1,0 +1,248 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lofat/internal/attest"
+	"lofat/internal/hashengine"
+)
+
+// Wire format: the attest conventions — little-endian integers,
+// length-prefixed slices, canonical encodings (one encoding per value)
+// so signed payloads are deterministic. Messages ride the attest frame
+// transport on the type bytes below (attest owns 1-15).
+const (
+	// MsgStreamOpen carries an OpenRequest (verifier → prover).
+	MsgStreamOpen byte = 16
+	// MsgSegment carries a SegmentReport (prover → verifier).
+	MsgSegment byte = 17
+	// MsgStreamClose carries a CloseReport (prover → verifier).
+	MsgStreamClose byte = 18
+)
+
+// OpenRequest opens a streamed attestation session: the classic
+// challenge (program identity, input i, nonce N) plus the checkpoint
+// window the prover must seal segments at.
+type OpenRequest struct {
+	Program attest.ProgramID
+	Nonce   attest.Nonce
+	Input   []uint32
+	// SegmentEvents is the checkpoint window N requested by the
+	// verifier.
+	SegmentEvents uint32
+}
+
+// SegmentReport is one chained sub-measurement: checkpoint k of the
+// streamed run. Chain commits to the full edge-stream prefix; Edges is
+// the raw window, authenticated through Chain (the verifier recomputes
+// the link before trusting it). Sig covers SegmentPayload with the
+// device key.
+type SegmentReport struct {
+	Program attest.ProgramID
+	Nonce   attest.Nonce
+	Index   uint32
+	Events  uint32
+	Chain   [hashengine.DigestSize]byte
+	Edges   []hashengine.Pair
+	Sig     []byte
+}
+
+// CloseReport ends a streamed session: the classic signed end-of-run
+// report (A, L, exit code — verified exactly like a Figure 2 report)
+// plus the stream framing the verifier cross-checks against its own
+// accumulated state. Segments and Chain need no extra signature: every
+// segment was individually signed, so the verifier's accumulated chain
+// is authenticated already and the close merely has to match it.
+type CloseReport struct {
+	Report   attest.Report
+	Segments uint32
+	Chain    [hashengine.DigestSize]byte
+}
+
+type writer struct{ buf []byte }
+
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("stream: decode: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) raw(n int, what string) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n > len(r.buf)-r.off {
+		r.fail("bytes")
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.buf[r.off:])
+	r.off += n
+	return v
+}
+
+func (r *reader) finish(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("stream: %d trailing bytes in %s", len(r.buf)-r.off, what)
+	}
+	return nil
+}
+
+// EncodeOpen serializes an open request.
+func EncodeOpen(o *OpenRequest) []byte {
+	var w writer
+	w.buf = append(w.buf, o.Program[:]...)
+	w.buf = append(w.buf, o.Nonce[:]...)
+	w.u32(o.SegmentEvents)
+	w.u32(uint32(len(o.Input)))
+	for _, v := range o.Input {
+		w.u32(v)
+	}
+	return w.buf
+}
+
+// DecodeOpen parses an open request.
+func DecodeOpen(b []byte) (*OpenRequest, error) {
+	var o OpenRequest
+	r := &reader{buf: b}
+	copy(o.Program[:], r.raw(len(o.Program), "program"))
+	copy(o.Nonce[:], r.raw(len(o.Nonce), "nonce"))
+	o.SegmentEvents = r.u32()
+	n := int(r.u32())
+	if r.err == nil && n > (len(b)-r.off)/4 {
+		return nil, fmt.Errorf("stream: absurd input count %d", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		o.Input = append(o.Input, r.u32())
+	}
+	if err := r.finish("open request"); err != nil {
+		return nil, err
+	}
+	return &o, nil
+}
+
+// segmentDomain prefixes every signed segment payload: the device key
+// also signs end-of-run reports (attest.SignedPayload), and a fixed
+// domain tag keeps the two signed message classes disjoint by
+// construction rather than by accidental byte-layout differences.
+const segmentDomain = "lofat-stream-segment-v1\x00"
+
+// SegmentPayload is the byte string the prover signs per segment:
+// domain || idS || N || index || events || chain. Edges are not
+// covered directly — the chain commits to them, and the verifier
+// recomputes the chain link from the received edges before trusting
+// either.
+func SegmentPayload(s *SegmentReport) []byte {
+	var w writer
+	w.buf = make([]byte, 0, len(segmentDomain)+2*32+8+hashengine.DigestSize)
+	w.buf = append(w.buf, segmentDomain...)
+	w.buf = append(w.buf, s.Program[:]...)
+	w.buf = append(w.buf, s.Nonce[:]...)
+	w.u32(s.Index)
+	w.u32(s.Events)
+	w.buf = append(w.buf, s.Chain[:]...)
+	return w.buf
+}
+
+// EncodeSegment serializes a segment report.
+func EncodeSegment(s *SegmentReport) []byte {
+	var w writer
+	w.buf = make([]byte, 0, 2*32+8+hashengine.DigestSize+8*len(s.Edges)+len(s.Sig)+8)
+	w.buf = append(w.buf, s.Program[:]...)
+	w.buf = append(w.buf, s.Nonce[:]...)
+	w.u32(s.Index)
+	w.u32(s.Events)
+	w.buf = append(w.buf, s.Chain[:]...)
+	w.u32(uint32(len(s.Edges)))
+	for _, p := range s.Edges {
+		w.u32(p.Src)
+		w.u32(p.Dest)
+	}
+	w.bytes(s.Sig)
+	return w.buf
+}
+
+// DecodeSegment parses a segment report.
+func DecodeSegment(b []byte) (*SegmentReport, error) {
+	var s SegmentReport
+	r := &reader{buf: b}
+	copy(s.Program[:], r.raw(len(s.Program), "program"))
+	copy(s.Nonce[:], r.raw(len(s.Nonce), "nonce"))
+	s.Index = r.u32()
+	s.Events = r.u32()
+	copy(s.Chain[:], r.raw(len(s.Chain), "chain"))
+	n := int(r.u32())
+	if r.err == nil && n > (len(b)-r.off)/8 {
+		return nil, fmt.Errorf("stream: absurd edge count %d", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		s.Edges = append(s.Edges, hashengine.Pair{Src: r.u32(), Dest: r.u32()})
+	}
+	s.Sig = r.bytes()
+	if err := r.finish("segment report"); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// EncodeClose serializes a close report; the embedded end-of-run
+// report reuses the attest codec.
+func EncodeClose(c *CloseReport) []byte {
+	var w writer
+	w.u32(c.Segments)
+	w.buf = append(w.buf, c.Chain[:]...)
+	w.bytes(attest.EncodeReport(&c.Report))
+	return w.buf
+}
+
+// DecodeClose parses a close report.
+func DecodeClose(b []byte) (*CloseReport, error) {
+	var c CloseReport
+	r := &reader{buf: b}
+	c.Segments = r.u32()
+	copy(c.Chain[:], r.raw(len(c.Chain), "chain"))
+	enc := r.bytes()
+	if err := r.finish("close report"); err != nil {
+		return nil, err
+	}
+	rep, err := attest.DecodeReport(enc)
+	if err != nil {
+		return nil, err
+	}
+	c.Report = *rep
+	return &c, nil
+}

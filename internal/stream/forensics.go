@@ -1,0 +1,162 @@
+package stream
+
+import (
+	"fmt"
+
+	"lofat/internal/attest"
+	"lofat/internal/hashengine"
+)
+
+// This file is the forensic pass: once a segment's chain value refuses
+// to match the golden checkpoint, the verifier stops treating the
+// stream as a black box and diffs the authenticated edge window
+// against the golden window to localize the FIRST divergent edge, then
+// classifies the divergence against the statically-known CFG — the
+// streamed analogue of attest.Verifier.classify, but with a concrete
+// (segment, offset, src→dest) location instead of a whole-run verdict.
+
+// buildSeen reconstructs the matched-prefix edge history from the
+// golden segments [0, segments) — done only when forensics need it, so
+// the honest fast path stays O(1) per segment.
+func (s *Session) buildSeen(segments int) {
+	if s.seen == nil {
+		s.seen = make(map[hashengine.Pair]bool)
+	}
+	for _, g := range s.exp.Segments[:segments] {
+		for _, p := range g.Edges {
+			s.seen[p] = true
+		}
+	}
+}
+
+// diverge runs the forensic pass on the first non-matching segment.
+// The reported edges have already been authenticated through the
+// chain; index ordering guarantees every earlier segment matched the
+// golden run exactly.
+func (s *Session) diverge(sr *SegmentReport) *Result {
+	s.buildSeen(int(sr.Index))
+	var want []hashengine.Pair
+	if int(sr.Index) < len(s.exp.Segments) {
+		want = s.exp.Segments[sr.Index].Edges
+	}
+	got := sr.Edges
+
+	// Walk the common prefix: edges matching the golden run are
+	// legitimate history (they feed the seen-set the classifier uses
+	// to recognize repeated loop edges).
+	j := 0
+	for j < len(got) && j < len(want) && got[j] == want[j] {
+		s.seen[got[j]] = true
+		j++
+	}
+
+	d := &Divergence{
+		Segment: sr.Index,
+		Offset:  uint32(j),
+		Event:   s.matched + uint64(j),
+	}
+	switch {
+	case j < len(got) && j < len(want):
+		d.Got, d.Want = &got[j], &want[j]
+	case j < len(got):
+		// Reported stream runs past the golden end (or past a partial
+		// golden tail segment): extra execution.
+		d.Got = &got[j]
+	case j < len(want):
+		// Reported segment is shorter than the golden one: the run
+		// ended early.
+		d.Want = &want[j]
+	default:
+		// Identical edges over identical prefix cannot yield a
+		// different chain; keep a defensive verdict anyway.
+		return s.terminal(true, attest.ClassProtocol, fmt.Sprintf("segment %d chain mismatch with identical edges", sr.Index))
+	}
+
+	class, why := s.classifyDivergence(d)
+	res := s.terminal(true, class,
+		fmt.Sprintf("first divergence at %s", d),
+		why)
+	res.Divergence = d
+	return res
+}
+
+// earlyEnd handles a stream that closed before the golden run's
+// segments were exhausted: the execution stopped early, which is a
+// divergence located at the first unconsumed golden edge. The run has
+// already ended by the time the close arrives, so this is not an early
+// abort.
+func (s *Session) earlyEnd() *Result {
+	s.buildSeen(int(s.next))
+	d := &Divergence{
+		Segment: s.next,
+		Offset:  0,
+		Event:   s.matched,
+	}
+	if int(s.next) < len(s.exp.Segments) && len(s.exp.Segments[s.next].Edges) > 0 {
+		d.Want = &s.exp.Segments[s.next].Edges[0]
+	}
+	class, why := s.classifyDivergence(d)
+	res := s.terminal(false, class,
+		fmt.Sprintf("stream closed after %d of %d expected segments", s.next, len(s.exp.Segments)),
+		fmt.Sprintf("first divergence at %s", d),
+		why)
+	res.Divergence = d
+	return res
+}
+
+// classifyDivergence maps a localized divergence onto the paper's
+// Figure 1 attack classes using the CFG and the session's edge
+// history:
+//
+//   - the offending edge is not CFG-consistent → class 3 (code pointer
+//     overwrite / control-flow attack): no legal execution of S takes
+//     that edge;
+//   - the divergence flips a decision at a branch site whose loop
+//     back-edge the session has already observed → class 2 (loop
+//     counter corruption): legitimate paths, wrong iteration count;
+//   - otherwise → class 1 (non-control data): a
+//     permissible-but-unintended path for input i.
+func (s *Session) classifyDivergence(d *Divergence) (attest.Classification, string) {
+	backward := func(p *hashengine.Pair) bool { return p != nil && p.Dest <= p.Src }
+	seen := func(p *hashengine.Pair) bool { return p != nil && s.seen[*p] }
+
+	switch {
+	case d.Got == nil:
+		if backward(d.Want) && seen(d.Want) {
+			// The golden run would have taken a known back-edge again;
+			// the device's loop ended sooner than it should have.
+			return attest.ClassLoopCounter, "expected another iteration of a known loop back-edge: iteration count reduced"
+		}
+		return attest.ClassNonControlData, "execution ended before the expected path completed"
+	case !s.v.av.Graph().ValidEdge(d.Got.Src, d.Got.Dest):
+		return attest.ClassControlFlow, fmt.Sprintf("edge %#x->%#x is not CFG-consistent: control-flow attack", d.Got.Src, d.Got.Dest)
+	case s.isLoopDivergence(d):
+		return attest.ClassLoopCounter, "divergent decision at a known loop back-edge: loop counter corruption"
+	default:
+		return attest.ClassNonControlData, fmt.Sprintf("edge %#x->%#x is CFG-consistent but not the expected path for this input", d.Got.Src, d.Got.Dest)
+	}
+}
+
+// isLoopDivergence recognizes class-2 shapes: the reported and golden
+// runs disagree at the same decision site, and the flipped decision
+// changes whether execution stays inside a statically-known loop —
+// i.e. the loop iterated more (or fewer) times than the golden run,
+// exactly what counter corruption produces. A history-based fallback
+// catches re-taken back-edges (the run continuing a loop past the
+// expected end) when the static loop table has no entry for the site.
+func (s *Session) isLoopDivergence(d *Divergence) bool {
+	backward := func(p *hashengine.Pair) bool { return p != nil && p.Dest <= p.Src }
+	seen := func(p *hashengine.Pair) bool { return p != nil && s.seen[*p] }
+
+	if d.Want != nil && d.Want.Src == d.Got.Src {
+		for _, l := range s.v.av.Graph().Loops() {
+			if l.Contains(d.Got.Src) && l.Contains(d.Got.Dest) != l.Contains(d.Want.Dest) {
+				return true
+			}
+		}
+		return (seen(d.Got) || seen(d.Want)) && (backward(d.Got) || backward(d.Want))
+	}
+	// No golden counterpart: the run continued past the expected end
+	// by re-taking a loop edge it had taken before.
+	return d.Want == nil && seen(d.Got) && backward(d.Got)
+}

@@ -1,0 +1,125 @@
+package stream_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lofat/internal/hashengine"
+	"lofat/internal/stream"
+	"lofat/internal/workloads"
+)
+
+// Decoders must never panic on arbitrary bytes (they face the network)
+// — the streamed analogue of internal/attest's codec fuzzing.
+func TestDecodeStreamMessagesNeverPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("stream decoder panicked on %d bytes: %v", len(b), r)
+			}
+		}()
+		_, _ = stream.DecodeOpen(b)
+		_, _ = stream.DecodeSegment(b)
+		_, _ = stream.DecodeClose(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Randomly generated segment reports must round-trip exactly through
+// the canonical encoding.
+func TestSegmentCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		sr := &stream.SegmentReport{
+			Index:  rng.Uint32(),
+			Events: rng.Uint32(),
+		}
+		rng.Read(sr.Program[:])
+		rng.Read(sr.Nonce[:])
+		rng.Read(sr.Chain[:])
+		for i := rng.Intn(20); i > 0; i-- {
+			sr.Edges = append(sr.Edges, hashengine.Pair{Src: rng.Uint32(), Dest: rng.Uint32()})
+		}
+		sr.Sig = make([]byte, rng.Intn(80))
+		rng.Read(sr.Sig)
+
+		enc := stream.EncodeSegment(sr)
+		dec, err := stream.DecodeSegment(enc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(sr, dec) {
+			t.Fatalf("trial %d: round trip mismatch:\n%+v\n%+v", trial, sr, dec)
+		}
+		if !bytes.Equal(stream.EncodeSegment(dec), enc) {
+			t.Fatalf("trial %d: re-encoding not canonical", trial)
+		}
+	}
+}
+
+// Open requests round-trip, and every truncation of every message type
+// is rejected cleanly (no panic, no silent success).
+func TestStreamCodecTruncationRobustness(t *testing.T) {
+	w := workloads.SyringePump()
+	p, v := rig(t, w, 16)
+	s, open, err := v.Open(w.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Abort()
+
+	encOpen := stream.EncodeOpen(open)
+	gotOpen, err := stream.DecodeOpen(encOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(open, gotOpen) {
+		t.Fatalf("open round trip mismatch:\n%+v\n%+v", open, gotOpen)
+	}
+
+	var encSeg []byte
+	cr, err := p.Stream(*open, func(sr *stream.SegmentReport) error {
+		if encSeg == nil {
+			encSeg = stream.EncodeSegment(sr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	encClose := stream.EncodeClose(cr)
+	gotClose, err := stream.DecodeClose(encClose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cr, gotClose) {
+		t.Fatal("close round trip mismatch")
+	}
+
+	for name, tc := range map[string]struct {
+		enc    []byte
+		decode func([]byte) error
+	}{
+		"open":    {encOpen, func(b []byte) error { _, err := stream.DecodeOpen(b); return err }},
+		"segment": {encSeg, func(b []byte) error { _, err := stream.DecodeSegment(b); return err }},
+		"close":   {encClose, func(b []byte) error { _, err := stream.DecodeClose(b); return err }},
+	} {
+		if len(tc.enc) == 0 {
+			t.Fatalf("%s: empty encoding", name)
+		}
+		for n := 0; n < len(tc.enc); n++ {
+			if err := tc.decode(tc.enc[:n]); err == nil {
+				t.Errorf("%s truncated to %d bytes decoded successfully", name, n)
+			}
+		}
+		if err := tc.decode(append(append([]byte(nil), tc.enc...), 0)); err == nil {
+			t.Errorf("%s with a trailing byte decoded successfully", name)
+		}
+	}
+}

@@ -27,13 +27,23 @@
 //     sharded device registry, a worker-pool verification pipeline with
 //     batch submission, a fleet-wide measurement cache that amortizes
 //     golden-run simulation across every enrolled device, a periodic
-//     sweep scheduler with quarantine, and fleet metrics.
+//     sweep scheduler with quarantine, and fleet metrics;
+//   - streaming attestation (internal/stream): segmented measurements
+//     every N control-flow events, chained so each checkpoint commits
+//     to the whole prefix, verified incrementally — divergence rejects
+//     at the first bad segment, mid-run, with the offending edge
+//     localized and classified against the CFG.
 //
 // Quick start:
 //
 //	sys, err := lofat.BuildSource(src, lofat.Options{})
 //	res, err := sys.AttestOnce([]uint32{input...})
 //	fmt.Println(res) // ACCEPTED (accepted) or REJECTED (+ attack class)
+//
+// Streamed quick start (see cmd/lofat-stream for a full example):
+//
+//	res, err := sys.AttestStreamed(input, 64)
+//	if res.EarlyAbort { fmt.Println(res.Divergence) } // first bad edge
 //
 // Fleet quick start (see cmd/lofat-fleet for a full example):
 //
@@ -58,6 +68,7 @@ import (
 	"lofat/internal/fleet"
 	"lofat/internal/monitor"
 	"lofat/internal/sig"
+	"lofat/internal/stream"
 	"lofat/internal/workloads"
 )
 
@@ -116,6 +127,23 @@ type (
 	FleetOutcome = fleet.Outcome
 	// MeasurementCache is the fleet-wide golden-measurement store.
 	MeasurementCache = fleet.MeasurementCache
+
+	// Segment is one chained checkpoint of a streamed attestation.
+	Segment = core.Segment
+	// StreamConfig parameterises streamed verification (window size N).
+	StreamConfig = stream.Config
+	// StreamResult is the outcome of a streamed attestation session.
+	StreamResult = stream.Result
+	// StreamDivergence localizes the first divergent control-flow edge.
+	StreamDivergence = stream.Divergence
+	// StreamProver is the device-side half of segmented attestation.
+	StreamProver = stream.Prover
+	// StreamVerifier opens incrementally-verified sessions.
+	StreamVerifier = stream.Verifier
+	// StreamSession is one streamed attestation in progress.
+	StreamSession = stream.Session
+	// SegmentReport is one signed chained sub-measurement on the wire.
+	SegmentReport = stream.SegmentReport
 )
 
 // Verification outcome classes (Figure 1 attack taxonomy).
@@ -200,6 +228,27 @@ func BuildWorkload(name string, opts Options) (*System, Workload, error) {
 // SetAdversary installs a run-time attack on the prover device (for
 // experiments; nil removes it).
 func (s *System) SetAdversary(a Adversary) { s.Prover.Adversary = a }
+
+// NewStreamProver wraps a prover for segmented streaming attestation.
+func NewStreamProver(p *attest.Prover) *StreamProver { return stream.NewProver(p) }
+
+// NewStreamVerifier wraps a verifier for incremental streamed
+// verification with the given checkpoint window.
+func NewStreamVerifier(v *attest.Verifier, cfg StreamConfig) *StreamVerifier {
+	return stream.NewVerifier(v, cfg)
+}
+
+// AttestStreamed runs one full streamed attestation round in memory:
+// the device's chained segments are verified as they seal, every
+// segmentEvents control-flow events (0 selects the default window). A
+// divergence rejects at the first bad segment — aborting the device
+// run mid-execution — with the offending edge localized in
+// Result.Divergence.
+func (s *System) AttestStreamed(input []uint32, segmentEvents int) (StreamResult, error) {
+	sp := stream.NewProver(s.Prover)
+	sv := stream.NewVerifier(s.Verifier, StreamConfig{SegmentEvents: segmentEvents})
+	return stream.AttestOnce(sp, sv, input, nil)
+}
 
 // AttestOnce runs one full challenge-response round in memory: fresh
 // challenge for input, prover execution under LO-FAT, verification.
