@@ -2,30 +2,132 @@
 // (tables E1..E11 of DESIGN.md's experiment index) and prints them as
 // markdown. Use -id to select experiments and -o to write a file.
 //
-// Usage:
+// With -bench it instead times the hot capture pipeline (the E1/E2/E3/E5
+// shapes plus a streamed golden run) via testing.Benchmark and emits the
+// results as JSON, so perf regressions are comparable across commits:
 //
-//	lofat-bench            # all experiments to stdout
-//	lofat-bench -id E3,E7  # just the overhead and attack tables
-//	lofat-bench -o out.md  # write to a file
+//	lofat-bench                                  # all experiment tables
+//	lofat-bench -id E3,E7                        # selected tables
+//	lofat-bench -bench -json run.json            # timed run to JSON
+//	lofat-bench -bench -baseline old.json \
+//	            -json BENCH_PR3.json             # + per-bench speedups
+//	lofat-bench -bench -cpuprofile cpu.pprof     # profile the hot path
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
+	"testing"
 
+	"lofat/internal/attest"
+	"lofat/internal/cflat"
+	"lofat/internal/core"
 	"lofat/internal/experiments"
+	"lofat/internal/filter"
+	"lofat/internal/hashengine"
+	"lofat/internal/monitor"
+	"lofat/internal/stream"
+	"lofat/internal/workloads"
 )
 
+func pushOp(entry, exit uint32) filter.Op {
+	return filter.Op{Kind: filter.OpLoopPush, Entry: entry, Exit: exit}
+}
+
+func condOp(src, dest uint32, taken bool) filter.Op {
+	return filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymCond, Taken: taken,
+		Pair: hashengine.Pair{Src: src, Dest: dest}}
+}
+
+func jumpOp(src, dest uint32) filter.Op {
+	return filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymJump,
+		Pair: hashengine.Pair{Src: src, Dest: dest}}
+}
+
+func iterEnd() filter.Op { return filter.Op{Kind: filter.OpIterEnd} }
+
+// BenchResult is one timed benchmark in the JSON report.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the -bench JSON document. When a -baseline file is given its
+// benchmarks are embedded alongside the current run with the computed
+// speedup factors, so the file is a self-contained before/after record.
+type Report struct {
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+	Baseline   map[string]BenchResult `json:"baseline,omitempty"`
+	Speedup    map[string]float64     `json:"speedup,omitempty"`
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole tool lifecycle so profile teardown (deferred
+// below) flushes even on error paths — os.Exit happens only in main.
+func run() error {
 	ids := flag.String("id", "", "comma-separated experiment IDs (default: all)")
 	out := flag.String("o", "", "output file (default: stdout)")
+	bench := flag.Bool("bench", false, "time the capture hot path instead of printing experiment tables")
+	baseline := flag.String("baseline", "", "prior -bench JSON to compute per-benchmark speedups against")
+	jsonOut := flag.String("json", "", "write the -bench JSON report to this file (default: stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var err error
+	if *bench {
+		err = runBench(*baseline, *jsonOut)
+	} else {
+		err = runExperiments(*ids, *out)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			return fmt.Errorf("memprofile: %w", ferr)
+		}
+		defer f.Close()
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			return fmt.Errorf("memprofile: %w", werr)
+		}
+	}
+	return nil
+}
+
+func runExperiments(ids, out string) error {
 	want := map[string]bool{}
-	if *ids != "" {
-		for _, id := range strings.Split(*ids, ",") {
+	if ids != "" {
+		for _, id := range strings.Split(ids, ",") {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
@@ -37,19 +139,159 @@ func main() {
 		}
 		t, err := e.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lofat-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		b.WriteString(t.Format())
 		b.WriteString("\n")
 	}
 
-	if *out == "" {
+	if out == "" {
 		fmt.Print(b.String())
-		return
+		return nil
 	}
-	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "lofat-bench: %v\n", err)
-		os.Exit(1)
+	return os.WriteFile(out, []byte(b.String()), 0o644)
+}
+
+// hotPathBenchmarks are the timed shapes: full attested captures (the
+// fleet/stream golden-run bottleneck), the monitor and hash-engine
+// microbenchmarks, and the C-FLAT software baseline.
+func hotPathBenchmarks() []struct {
+	Name string
+	Fn   func(b *testing.B)
+} {
+	return []struct {
+		Name string
+		Fn   func(b *testing.B)
+	}{
+		{"E1_Capture", benchCapture},
+		{"E2_PathEncoding", benchPathEncoding},
+		{"E3_CFLAT", benchCFLAT},
+		{"E5_HashEngine", benchHashEngine},
+		{"StreamGolden", benchStreamGolden},
+	}
+}
+
+func runBench(baselinePath, jsonOut string) error {
+	rep := Report{Benchmarks: map[string]BenchResult{}}
+	for _, bm := range hotPathBenchmarks() {
+		r := testing.Benchmark(bm.Fn)
+		rep.Benchmarks[bm.Name] = BenchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %8d allocs/op\n",
+			bm.Name, rep.Benchmarks[bm.Name].NsPerOp, r.AllocsPerOp())
+	}
+
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		rep.Baseline = base.Benchmarks
+		rep.Speedup = map[string]float64{}
+		names := make([]string, 0, len(rep.Benchmarks))
+		for name := range rep.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b, ok := base.Benchmarks[name]
+			if !ok || rep.Benchmarks[name].NsPerOp == 0 {
+				continue
+			}
+			s := b.NsPerOp / rep.Benchmarks[name].NsPerOp
+			rep.Speedup[name] = s
+			fmt.Fprintf(os.Stderr, "%-18s %6.2fx speedup (%.0f -> %.0f ns/op)\n",
+				name, s, b.NsPerOp, rep.Benchmarks[name].NsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if jsonOut == "" {
+		_, werr := os.Stdout.Write(data)
+		return werr
+	}
+	return os.WriteFile(jsonOut, data, 0o644)
+}
+
+func benchCapture(b *testing.B) {
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := attest.Measure(prog, core.Config{}, w.Input, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPathEncoding(b *testing.B) {
+	m := monitor.New(monitor.Config{}, func(hashengine.Pair) {})
+	m.Apply(pushOp(0x100, 0x140))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(condOp(0x100, 0x104, false))
+		m.Apply(condOp(0x104, 0x108, false))
+		m.Apply(jumpOp(0x118, 0x124))
+		m.Apply(jumpOp(0x130, 0x100))
+		m.Apply(iterEnd())
+	}
+}
+
+func benchCFLAT(b *testing.B) {
+	w := workloads.CRC32()
+	prog, err := w.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := cflat.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(prog, w.Input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHashEngine(b *testing.B) {
+	buf := make([]byte, hashengine.Rate)
+	var s hashengine.Sponge
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write(buf)
+	}
+}
+
+func benchStreamGolden(b *testing.B) {
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stream.MeasureStream(prog, core.Config{}, w.Input, stream.DefaultSegmentEvents, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -86,25 +86,35 @@ func Measure(prog *asm.Program, devCfg core.Config, input []uint32, maxInstructi
 }
 
 func runMeasured(prog *asm.Program, devCfg core.Config, input []uint32, adv Adversary, budget uint64) (core.Measurement, uint32, error) {
-	mach, err := cpu.Load(prog, cpu.LoadOptions{})
+	mach, err := cpu.AcquireMachine(prog, cpu.LoadOptions{})
 	if err != nil {
 		return core.Measurement{}, 0, err
 	}
-	dev := core.NewDevice(devCfg)
-	mach.CPU.Trace = dev
+	defer cpu.ReleaseMachine(mach)
+	dev := core.AcquireDevice(devCfg)
+	defer core.ReleaseDevice(dev)
+	// Fast trace port: batched delivery, masked to control-flow events
+	// whenever the device accepts that (no Region configured). Either
+	// way the measurement is bit-identical to per-event delivery.
+	mach.CPU.TraceBatch = dev
+	mach.CPU.TraceCFOnly = dev.CFOnlyCompatible()
 	mach.CPU.Input = input
 
-	for !mach.CPU.Halted {
-		if mach.CPU.Retired >= budget {
-			return core.Measurement{}, 0, fmt.Errorf("attest: instruction budget exhausted at pc=%#08x", mach.CPU.PC)
+	if adv == nil {
+		if err := mach.CPU.Run(budget); err != nil {
+			return core.Measurement{}, 0, fmt.Errorf("attest: %w", err)
 		}
-		if adv != nil {
+	} else {
+		for !mach.CPU.Halted {
+			if mach.CPU.Retired >= budget {
+				return core.Measurement{}, 0, fmt.Errorf("attest: instruction budget exhausted at pc=%#08x", mach.CPU.PC)
+			}
 			if err := adv(mach); err != nil {
 				return core.Measurement{}, 0, fmt.Errorf("attest: adversary: %w", err)
 			}
-		}
-		if err := mach.CPU.Step(); err != nil {
-			return core.Measurement{}, 0, err
+			if err := mach.CPU.Step(); err != nil {
+				return core.Measurement{}, 0, err
+			}
 		}
 	}
 	return dev.Finalize(), mach.CPU.ExitCode, nil

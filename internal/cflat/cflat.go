@@ -99,43 +99,63 @@ func NewRunner() *Runner {
 	return &Runner{Costs: DefaultCostModel, MaxInstructions: 50_000_000}
 }
 
+// measureSink accumulates the instrumented-execution costs over the
+// core's batched control-flow-only trace port. C-FLAT's shim only ever
+// fires on control-flow instructions, so the mask is exact by
+// construction.
+type measureSink struct {
+	costs      CostModel
+	events     uint64
+	loopEvents uint64
+	attCycles  uint64
+	sponge     hashengine.Sponge
+}
+
+// RetireBatch implements trace.BatchSink.
+func (s *measureSink) RetireBatch(events []trace.Event) {
+	for i := range events {
+		e := &events[i]
+		if e.Kind == isa.KindNone {
+			continue
+		}
+		s.events++
+		// Trampoline + software hash absorb on the main core: the
+		// application is stalled for the duration.
+		s.attCycles += s.costs.TrampolineCycles + s.costs.HashUpdateCycles
+		if e.IsBackward() && !e.Linking {
+			s.loopEvents++
+			s.attCycles += s.costs.LoopHandlingCycles
+		}
+		src, dest := e.SrcDest()
+		s.sponge.WritePair(src, dest)
+	}
+}
+
+// Sync implements trace.BatchSink; the software shim has no clock model.
+func (s *measureSink) Sync(uint64) {}
+
 // Run executes the program with input under instrumentation.
 func (r *Runner) Run(prog *asm.Program, input []uint32) (Result, error) {
 	mach, err := cpu.Load(prog, cpu.LoadOptions{})
 	if err != nil {
 		return Result{}, err
 	}
-	var res Result
-	var sponge hashengine.Sponge
-	var attCycles uint64
-
+	sink := &measureSink{costs: r.Costs}
 	mach.CPU.Input = input
-	mach.CPU.Trace = trace.SinkFunc(func(e trace.Event) {
-		if e.Kind == isa.KindNone {
-			return
-		}
-		res.Events++
-		// Trampoline + software hash absorb on the main core: the
-		// application is stalled for the duration.
-		attCycles += r.Costs.TrampolineCycles + r.Costs.HashUpdateCycles
-		if e.IsBackward() && !e.Linking {
-			res.LoopEvents++
-			attCycles += r.Costs.LoopHandlingCycles
-		}
-		var b [8]byte
-		src, dest := e.SrcDest()
-		b[0], b[1], b[2], b[3] = byte(src), byte(src>>8), byte(src>>16), byte(src>>24)
-		b[4], b[5], b[6], b[7] = byte(dest), byte(dest>>8), byte(dest>>16), byte(dest>>24)
-		sponge.Write(b[:])
-	})
+	mach.CPU.TraceBatch = sink
+	mach.CPU.TraceCFOnly = true
 
 	if err := mach.CPU.Run(r.MaxInstructions); err != nil {
 		return Result{}, err
 	}
-	res.BaseCycles = mach.CPU.Cycle
-	res.TotalCycles = mach.CPU.Cycle + attCycles
-	res.Hash = sponge.Sum()
-	res.ExitCode = mach.CPU.ExitCode
+	res := Result{
+		Events:      sink.events,
+		LoopEvents:  sink.loopEvents,
+		BaseCycles:  mach.CPU.Cycle,
+		TotalCycles: mach.CPU.Cycle + sink.attCycles,
+		Hash:        sink.sponge.Sum(),
+		ExitCode:    mach.CPU.ExitCode,
+	}
 	return res, nil
 }
 

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"sync"
+
 	"lofat/internal/filter"
 	"lofat/internal/hashengine"
 	"lofat/internal/monitor"
@@ -140,6 +142,39 @@ func NewDevice(cfg Config) *Device {
 	return d
 }
 
+// devicePools maps a (filled) Config to a *sync.Pool of *Device.
+var devicePools sync.Map
+
+// AcquireDevice returns a reset device for the configuration, reusing a
+// pooled instance (filter stack, monitor frame pool, engine buffers)
+// when available. Release with ReleaseDevice once the measurement has
+// been finalized and copied out.
+func AcquireDevice(cfg Config) *Device {
+	cfg.fill()
+	v, ok := devicePools.Load(cfg)
+	if !ok {
+		v, _ = devicePools.LoadOrStore(cfg, &sync.Pool{})
+	}
+	pool := v.(*sync.Pool)
+	if d, _ := pool.Get().(*Device); d != nil {
+		d.Reset()
+		return d
+	}
+	return NewDevice(cfg)
+}
+
+// ReleaseDevice returns a device obtained from AcquireDevice to its
+// pool. The device (and any Measurement fields that alias it) must not
+// be used afterwards; Finalize's result is safe — it owns copies.
+func ReleaseDevice(d *Device) {
+	if d == nil {
+		return
+	}
+	if v, ok := devicePools.Load(d.cfg); ok {
+		v.(*sync.Pool).Put(d)
+	}
+}
+
 // absorb forwards a measured pair into the hash engine. The loop
 // monitor reads pairs out of the branches memory, so when the engine's
 // input FIFO is full it simply waits engine cycles (backpressure inside
@@ -152,15 +187,46 @@ func (d *Device) absorb(p hashengine.Pair) {
 	d.engine.Enqueue(p)
 }
 
+// RetireBatch implements trace.BatchSink: a batch of retired
+// instructions in program order from the core's fast trace port. Each
+// event carries its own cycle, so batch delivery is state-identical to
+// per-event delivery.
+func (d *Device) RetireBatch(events []trace.Event) {
+	for i := range events {
+		d.Retire(events[i])
+	}
+}
+
+// Sync implements trace.BatchSink: the core clock reached cycle without
+// further events for this device (trailing non-control-flow retirements
+// withheld by the control-flow-only mask). The engine clock catches up
+// exactly as it would have per event.
+func (d *Device) Sync(cycle uint64) {
+	if d.finalized {
+		return
+	}
+	if cycle > d.lastCycle {
+		d.engine.Advance(cycle - d.lastCycle)
+		d.lastCycle = cycle
+	}
+}
+
+// CFOnlyCompatible reports whether feeding the device only control-flow
+// events (plus clock Syncs) produces measurements bit-identical to full
+// delivery. True unless a Region is configured: region gating watches
+// every retired PC to flush active loops the moment execution leaves the
+// attested range, so it needs the unmasked stream.
+func (d *Device) CFOnlyCompatible() bool { return d.cfg.Region == (Region{}) }
+
 // Retire implements trace.Sink: one retired instruction from the core.
 func (d *Device) Retire(e trace.Event) {
 	if d.finalized {
 		return
 	}
 	// Advance the engine clock in step with the processor.
-	for d.lastCycle < e.Cycle {
-		d.engine.Tick()
-		d.lastCycle++
+	if e.Cycle > d.lastCycle {
+		d.engine.Advance(e.Cycle - d.lastCycle)
+		d.lastCycle = e.Cycle
 	}
 
 	// Region gating: leaving the attested range flushes any active

@@ -5,6 +5,15 @@
 // C-FLAT baseline's instrumentation cycles vs. LO-FAT's zero stalls —
 // not absolute IPC), and publishes every retired instruction on a trace
 // port that LO-FAT taps in parallel, exactly as the hardware does.
+//
+// Two trace ports are offered. The legacy per-event port (Trace) crosses
+// the trace.Sink interface once per retirement. The fast port
+// (TraceBatch) buffers events and delivers them in batches, optionally
+// masked to control-flow events only (TraceCFOnly) — the millions of ALU
+// retirements a branch filter would discard anyway never leave the core.
+// Both ports carry identical events in identical order; the batched port
+// additionally Syncs the observer clock at flush points so cycle-model
+// observers stay bit-identical with per-event delivery.
 package cpu
 
 import (
@@ -43,6 +52,10 @@ const (
 	EcallGetword = 63 // returns next verifier-input word in a0 (0 when exhausted)
 )
 
+// TraceBatchSize is how many buffered events the batched trace port
+// delivers per RetireBatch call.
+const TraceBatchSize = 256
+
 // ExecError wraps a fault with the PC and cycle at which it occurred.
 type ExecError struct {
 	PC    uint32
@@ -57,6 +70,17 @@ func (e *ExecError) Error() string {
 
 // Unwrap exposes the underlying fault.
 func (e *ExecError) Unwrap() error { return e.Err }
+
+// predecoded is one instruction-cache line: the decoded instruction plus
+// the control-flow metadata the trace port publishes, computed once at
+// load time instead of per retirement.
+type predecoded struct {
+	inst    isa.Inst
+	word    uint32
+	kind    isa.ControlFlowKind
+	linking bool
+	valid   bool // false: the word does not decode (error surfaced on execution)
+}
 
 // CPU is the architectural state of the core.
 type CPU struct {
@@ -78,7 +102,17 @@ type CPU struct {
 	Costs CostModel
 
 	// Trace receives every retired instruction; nil disables tracing.
+	// Ignored when TraceBatch is set.
 	Trace trace.Sink
+
+	// TraceBatch is the fast trace port: events are buffered and
+	// delivered in batches of up to TraceBatchSize, with a clock Sync at
+	// halt. Takes precedence over Trace.
+	TraceBatch trace.BatchSink
+	// TraceCFOnly suppresses non-control-flow events on the batched
+	// port. Only exact for observers that do not key internal state to
+	// non-control-flow retirements (see core.Device.CFOnlyCompatible).
+	TraceCFOnly bool
 
 	// Input is the verifier-supplied input word stream i (§3), consumed
 	// by EcallGetword.
@@ -87,6 +121,15 @@ type CPU struct {
 	Output []byte
 
 	inputPos int
+
+	// Predecoded instruction cache over the rx text segment (immutable
+	// after load: the adversary cannot write executable memory, so the
+	// cache can never go stale). PCs outside it fall back to
+	// Mem.Fetch + isa.Decode.
+	icache     []predecoded
+	icacheBase uint32
+
+	batch []trace.Event
 }
 
 // New returns a CPU over the given memory with the default cost model.
@@ -96,6 +139,7 @@ func New(m *mem.Memory) *CPU {
 }
 
 // Reset prepares the core to run from entry with the given stack top.
+// The instruction cache, if any, is retained: the rx image is unchanged.
 func (c *CPU) Reset(entry, stackTop uint32) {
 	c.Regs = [isa.NumRegs]uint32{}
 	c.Regs[isa.SP] = stackTop
@@ -106,6 +150,39 @@ func (c *CPU) Reset(entry, stackTop uint32) {
 	c.ExitCode = 0
 	c.Output = c.Output[:0]
 	c.inputPos = 0
+	c.batch = c.batch[:0]
+}
+
+// Predecode decodes a text image once into the instruction cache. base
+// must be 4-byte aligned. Words that do not decode are cached as invalid
+// and surface the identical decode error if the PC ever reaches them.
+func (c *CPU) Predecode(base uint32, text []byte) {
+	n := len(text) / 4
+	c.icacheBase = base
+	if cap(c.icache) >= n {
+		c.icache = c.icache[:n]
+	} else {
+		c.icache = make([]predecoded, n)
+	}
+	for i := 0; i < n; i++ {
+		word := uint32(text[4*i]) | uint32(text[4*i+1])<<8 |
+			uint32(text[4*i+2])<<16 | uint32(text[4*i+3])<<24
+		p := predecoded{word: word}
+		if in, err := isa.Decode(word); err == nil {
+			p.inst = in
+			p.kind = isa.Classify(in)
+			p.linking = isa.IsLinking(in)
+			p.valid = true
+		}
+		c.icache[i] = p
+	}
+}
+
+// ClearPredecode drops the instruction cache, forcing a fetch+decode per
+// step. Kept so differential tests can pin the seed slow path.
+func (c *CPU) ClearPredecode() {
+	c.icache = nil
+	c.icacheBase = 0
 }
 
 // Step fetches, decodes and executes one instruction, advancing the
@@ -114,7 +191,20 @@ func (c *CPU) Step() error {
 	if c.Halted {
 		return fmt.Errorf("cpu: step after halt")
 	}
+	return c.step()
+}
+
+// step is Step without the halt guard (hoisted by Run's loop condition).
+func (c *CPU) step() error {
 	pc := c.PC
+	if off := pc - c.icacheBase; off&3 == 0 && uint64(off)>>2 < uint64(len(c.icache)) {
+		p := &c.icache[off>>2]
+		if !p.valid {
+			_, err := isa.Decode(p.word)
+			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
+		}
+		return c.exec(pc, p)
+	}
 	word, err := c.Mem.Fetch(pc)
 	if err != nil {
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
@@ -123,38 +213,52 @@ func (c *CPU) Step() error {
 	if err != nil {
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 	}
+	p := predecoded{
+		inst:    in,
+		word:    word,
+		kind:    isa.Classify(in),
+		linking: isa.IsLinking(in),
+		valid:   true,
+	}
+	return c.exec(pc, &p)
+}
 
+// set writes a register, honouring the hardwired x0.
+func (c *CPU) set(r isa.Reg, v uint32) {
+	if r != isa.Zero {
+		c.Regs[r] = v
+	}
+}
+
+// exec executes one predecoded instruction at pc: the flattened hot
+// loop body, reading and writing the register file directly.
+func (c *CPU) exec(pc uint32, p *predecoded) error {
+	in := p.inst
 	cost := c.Costs.Base
 	nextPC := pc + 4
 	taken := false
-
-	reg := func(r isa.Reg) uint32 { return c.Regs[r] }
-	setReg := func(r isa.Reg, v uint32) {
-		if r != isa.Zero {
-			c.Regs[r] = v
-		}
-	}
+	var err error
 
 	switch in.Op {
 	case isa.OpLUI:
-		setReg(in.Rd, uint32(in.Imm))
+		c.set(in.Rd, uint32(in.Imm))
 	case isa.OpAUIPC:
-		setReg(in.Rd, pc+uint32(in.Imm))
+		c.set(in.Rd, pc+uint32(in.Imm))
 
 	case isa.OpJAL:
-		setReg(in.Rd, pc+4)
+		c.set(in.Rd, pc+4)
 		nextPC = pc + uint32(in.Imm)
 		taken = true
 		cost += c.Costs.TakenExtra
 	case isa.OpJALR:
-		t := (reg(in.Rs1) + uint32(in.Imm)) &^ 1
-		setReg(in.Rd, pc+4)
+		t := (c.Regs[in.Rs1] + uint32(in.Imm)) &^ 1
+		c.set(in.Rd, pc+4)
 		nextPC = t
 		taken = true
 		cost += c.Costs.TakenExtra
 
 	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
-		a, b := reg(in.Rs1), reg(in.Rs2)
+		a, b := c.Regs[in.Rs1], c.Regs[in.Rs2]
 		switch in.Op {
 		case isa.OpBEQ:
 			taken = a == b
@@ -175,7 +279,7 @@ func (c *CPU) Step() error {
 		}
 
 	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU:
-		addr := reg(in.Rs1) + uint32(in.Imm)
+		addr := c.Regs[in.Rs1] + uint32(in.Imm)
 		var v uint32
 		switch in.Op {
 		case isa.OpLB:
@@ -196,12 +300,12 @@ func (c *CPU) Step() error {
 		if err != nil {
 			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 		}
-		setReg(in.Rd, v)
+		c.set(in.Rd, v)
 		cost += c.Costs.LoadExtra
 
 	case isa.OpSB, isa.OpSH, isa.OpSW:
-		addr := reg(in.Rs1) + uint32(in.Imm)
-		v := reg(in.Rs2)
+		addr := c.Regs[in.Rs1] + uint32(in.Imm)
+		v := c.Regs[in.Rs2]
 		switch in.Op {
 		case isa.OpSB:
 			err = c.Mem.StoreByte(addr, byte(v))
@@ -215,93 +319,93 @@ func (c *CPU) Step() error {
 		}
 
 	case isa.OpADDI:
-		setReg(in.Rd, reg(in.Rs1)+uint32(in.Imm))
+		c.set(in.Rd, c.Regs[in.Rs1]+uint32(in.Imm))
 	case isa.OpSLTI:
-		setReg(in.Rd, boolToU32(int32(reg(in.Rs1)) < in.Imm))
+		c.set(in.Rd, boolToU32(int32(c.Regs[in.Rs1]) < in.Imm))
 	case isa.OpSLTIU:
-		setReg(in.Rd, boolToU32(reg(in.Rs1) < uint32(in.Imm)))
+		c.set(in.Rd, boolToU32(c.Regs[in.Rs1] < uint32(in.Imm)))
 	case isa.OpXORI:
-		setReg(in.Rd, reg(in.Rs1)^uint32(in.Imm))
+		c.set(in.Rd, c.Regs[in.Rs1]^uint32(in.Imm))
 	case isa.OpORI:
-		setReg(in.Rd, reg(in.Rs1)|uint32(in.Imm))
+		c.set(in.Rd, c.Regs[in.Rs1]|uint32(in.Imm))
 	case isa.OpANDI:
-		setReg(in.Rd, reg(in.Rs1)&uint32(in.Imm))
+		c.set(in.Rd, c.Regs[in.Rs1]&uint32(in.Imm))
 	case isa.OpSLLI:
-		setReg(in.Rd, reg(in.Rs1)<<uint(in.Imm))
+		c.set(in.Rd, c.Regs[in.Rs1]<<uint(in.Imm))
 	case isa.OpSRLI:
-		setReg(in.Rd, reg(in.Rs1)>>uint(in.Imm))
+		c.set(in.Rd, c.Regs[in.Rs1]>>uint(in.Imm))
 	case isa.OpSRAI:
-		setReg(in.Rd, uint32(int32(reg(in.Rs1))>>uint(in.Imm)))
+		c.set(in.Rd, uint32(int32(c.Regs[in.Rs1])>>uint(in.Imm)))
 
 	case isa.OpADD:
-		setReg(in.Rd, reg(in.Rs1)+reg(in.Rs2))
+		c.set(in.Rd, c.Regs[in.Rs1]+c.Regs[in.Rs2])
 	case isa.OpSUB:
-		setReg(in.Rd, reg(in.Rs1)-reg(in.Rs2))
+		c.set(in.Rd, c.Regs[in.Rs1]-c.Regs[in.Rs2])
 	case isa.OpSLL:
-		setReg(in.Rd, reg(in.Rs1)<<(reg(in.Rs2)&31))
+		c.set(in.Rd, c.Regs[in.Rs1]<<(c.Regs[in.Rs2]&31))
 	case isa.OpSLT:
-		setReg(in.Rd, boolToU32(int32(reg(in.Rs1)) < int32(reg(in.Rs2))))
+		c.set(in.Rd, boolToU32(int32(c.Regs[in.Rs1]) < int32(c.Regs[in.Rs2])))
 	case isa.OpSLTU:
-		setReg(in.Rd, boolToU32(reg(in.Rs1) < reg(in.Rs2)))
+		c.set(in.Rd, boolToU32(c.Regs[in.Rs1] < c.Regs[in.Rs2]))
 	case isa.OpXOR:
-		setReg(in.Rd, reg(in.Rs1)^reg(in.Rs2))
+		c.set(in.Rd, c.Regs[in.Rs1]^c.Regs[in.Rs2])
 	case isa.OpSRL:
-		setReg(in.Rd, reg(in.Rs1)>>(reg(in.Rs2)&31))
+		c.set(in.Rd, c.Regs[in.Rs1]>>(c.Regs[in.Rs2]&31))
 	case isa.OpSRA:
-		setReg(in.Rd, uint32(int32(reg(in.Rs1))>>(reg(in.Rs2)&31)))
+		c.set(in.Rd, uint32(int32(c.Regs[in.Rs1])>>(c.Regs[in.Rs2]&31)))
 	case isa.OpOR:
-		setReg(in.Rd, reg(in.Rs1)|reg(in.Rs2))
+		c.set(in.Rd, c.Regs[in.Rs1]|c.Regs[in.Rs2])
 	case isa.OpAND:
-		setReg(in.Rd, reg(in.Rs1)&reg(in.Rs2))
+		c.set(in.Rd, c.Regs[in.Rs1]&c.Regs[in.Rs2])
 
 	case isa.OpMUL:
-		setReg(in.Rd, reg(in.Rs1)*reg(in.Rs2))
+		c.set(in.Rd, c.Regs[in.Rs1]*c.Regs[in.Rs2])
 		cost += c.Costs.MulExtra
 	case isa.OpMULH:
-		setReg(in.Rd, uint32(uint64(int64(int32(reg(in.Rs1)))*int64(int32(reg(in.Rs2))))>>32))
+		c.set(in.Rd, uint32(uint64(int64(int32(c.Regs[in.Rs1]))*int64(int32(c.Regs[in.Rs2])))>>32))
 		cost += c.Costs.MulExtra
 	case isa.OpMULHSU:
-		setReg(in.Rd, uint32(uint64(int64(int32(reg(in.Rs1)))*int64(uint64(reg(in.Rs2))))>>32))
+		c.set(in.Rd, uint32(uint64(int64(int32(c.Regs[in.Rs1]))*int64(uint64(c.Regs[in.Rs2])))>>32))
 		cost += c.Costs.MulExtra
 	case isa.OpMULHU:
-		setReg(in.Rd, uint32(uint64(reg(in.Rs1))*uint64(reg(in.Rs2))>>32))
+		c.set(in.Rd, uint32(uint64(c.Regs[in.Rs1])*uint64(c.Regs[in.Rs2])>>32))
 		cost += c.Costs.MulExtra
 	case isa.OpDIV:
-		a, b := int32(reg(in.Rs1)), int32(reg(in.Rs2))
+		a, b := int32(c.Regs[in.Rs1]), int32(c.Regs[in.Rs2])
 		switch {
 		case b == 0:
-			setReg(in.Rd, 0xFFFFFFFF)
+			c.set(in.Rd, 0xFFFFFFFF)
 		case a == -1<<31 && b == -1:
-			setReg(in.Rd, uint32(a))
+			c.set(in.Rd, uint32(a))
 		default:
-			setReg(in.Rd, uint32(a/b))
+			c.set(in.Rd, uint32(a/b))
 		}
 		cost += c.Costs.DivExtra
 	case isa.OpDIVU:
-		a, b := reg(in.Rs1), reg(in.Rs2)
+		a, b := c.Regs[in.Rs1], c.Regs[in.Rs2]
 		if b == 0 {
-			setReg(in.Rd, 0xFFFFFFFF)
+			c.set(in.Rd, 0xFFFFFFFF)
 		} else {
-			setReg(in.Rd, a/b)
+			c.set(in.Rd, a/b)
 		}
 		cost += c.Costs.DivExtra
 	case isa.OpREM:
-		a, b := int32(reg(in.Rs1)), int32(reg(in.Rs2))
+		a, b := int32(c.Regs[in.Rs1]), int32(c.Regs[in.Rs2])
 		switch {
 		case b == 0:
-			setReg(in.Rd, uint32(a))
+			c.set(in.Rd, uint32(a))
 		case a == -1<<31 && b == -1:
-			setReg(in.Rd, 0)
+			c.set(in.Rd, 0)
 		default:
-			setReg(in.Rd, uint32(a%b))
+			c.set(in.Rd, uint32(a%b))
 		}
 		cost += c.Costs.DivExtra
 	case isa.OpREMU:
-		a, b := reg(in.Rs1), reg(in.Rs2)
+		a, b := c.Regs[in.Rs1], c.Regs[in.Rs2]
 		if b == 0 {
-			setReg(in.Rd, a)
+			c.set(in.Rd, a)
 		} else {
-			setReg(in.Rd, a%b)
+			c.set(in.Rd, a%b)
 		}
 		cost += c.Costs.DivExtra
 
@@ -310,22 +414,22 @@ func (c *CPU) Step() error {
 
 	case isa.OpECALL:
 		cost += c.Costs.EcallExtra
-		switch reg(isa.A7) {
+		switch c.Regs[isa.A7] {
 		case EcallExit:
 			c.Halted = true
-			c.ExitCode = reg(isa.A0)
+			c.ExitCode = c.Regs[isa.A0]
 		case EcallPutchar:
-			c.Output = append(c.Output, byte(reg(isa.A0)))
+			c.Output = append(c.Output, byte(c.Regs[isa.A0]))
 		case EcallGetword:
 			var v uint32
 			if c.inputPos < len(c.Input) {
 				v = c.Input[c.inputPos]
 				c.inputPos++
 			}
-			setReg(isa.A0, v)
+			c.set(isa.A0, v)
 		default:
 			return &ExecError{PC: pc, Cycle: c.Cycle,
-				Err: fmt.Errorf("unknown ecall %d", reg(isa.A7))}
+				Err: fmt.Errorf("unknown ecall %d", c.Regs[isa.A7])}
 		}
 
 	case isa.OpEBREAK:
@@ -339,30 +443,71 @@ func (c *CPU) Step() error {
 	c.Retired++
 	c.PC = nextPC
 
-	if c.Trace != nil {
-		kind := isa.Classify(in)
+	if c.TraceBatch != nil {
+		if !(c.TraceCFOnly && p.kind == isa.KindNone) {
+			if c.batch == nil {
+				c.batch = make([]trace.Event, 0, TraceBatchSize)
+			}
+			c.batch = append(c.batch, trace.Event{
+				Cycle:   c.Cycle,
+				PC:      pc,
+				Word:    p.word,
+				Inst:    in,
+				Kind:    p.kind,
+				Taken:   taken,
+				NextPC:  nextPC,
+				Linking: p.linking,
+			})
+			if len(c.batch) >= TraceBatchSize {
+				c.flushBatch()
+			}
+		}
+		if c.Halted {
+			c.FlushTrace()
+		}
+	} else if c.Trace != nil {
 		c.Trace.Retire(trace.Event{
 			Cycle:   c.Cycle,
 			PC:      pc,
-			Word:    word,
+			Word:    p.word,
 			Inst:    in,
-			Kind:    kind,
+			Kind:    p.kind,
 			Taken:   taken,
 			NextPC:  nextPC,
-			Linking: isa.IsLinking(in),
+			Linking: p.linking,
 		})
 	}
 	return nil
 }
 
+func (c *CPU) flushBatch() {
+	if len(c.batch) > 0 {
+		c.TraceBatch.RetireBatch(c.batch)
+		c.batch = c.batch[:0]
+	}
+}
+
+// FlushTrace delivers any buffered batched-trace events and syncs the
+// observer clock to the core clock. Called automatically at halt;
+// callers that stop stepping before the exit ecall (fixed-step harnesses)
+// must call it before finalizing the observer.
+func (c *CPU) FlushTrace() {
+	if c.TraceBatch == nil {
+		return
+	}
+	c.flushBatch()
+	c.TraceBatch.Sync(c.Cycle)
+}
+
 // Run executes until the program halts or maxInstructions retire.
 func (c *CPU) Run(maxInstructions uint64) error {
-	start := c.Retired
+	budget := maxInstructions
 	for !c.Halted {
-		if c.Retired-start >= maxInstructions {
+		if budget == 0 {
 			return fmt.Errorf("cpu: instruction budget %d exhausted at pc=%#08x", maxInstructions, c.PC)
 		}
-		if err := c.Step(); err != nil {
+		budget--
+		if err := c.step(); err != nil {
 			return err
 		}
 	}

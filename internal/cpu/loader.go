@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"sync"
 
 	"lofat/internal/asm"
 	"lofat/internal/mem"
@@ -14,6 +15,27 @@ type Machine struct {
 	Program  *asm.Program
 	Entry    uint32
 	StackTop uint32
+
+	poolKey machineKey
+	pooled  bool
+}
+
+// Reset restores the machine to its just-loaded state: all segments
+// re-zeroed (dirty windows only), the text and data images re-installed,
+// and the core reset to the entry point. The predecoded instruction
+// cache is retained — the rx text image cannot have changed.
+func (m *Machine) Reset() error {
+	m.Mem.ResetData()
+	if err := m.Mem.LoadImage(m.Program.TextBase, m.Program.Text); err != nil {
+		return err
+	}
+	if len(m.Program.Data) > 0 {
+		if err := m.Mem.LoadImage(m.Program.DataBase, m.Program.Data); err != nil {
+			return err
+		}
+	}
+	m.CPU.Reset(m.Entry, m.StackTop)
+	return nil
 }
 
 // LoadOptions tune the memory map built around an assembled program.
@@ -83,8 +105,65 @@ func Load(p *asm.Program, opts LoadOptions) (*Machine, error) {
 	stackTop := opts.StackBase + uint32(opts.StackSize) - 16
 
 	c := New(m)
+	// The rx text image is immutable for the whole run (the adversary
+	// cannot write executable memory), so decode it exactly once.
+	c.Predecode(p.TextBase, p.Text)
 	c.Reset(entry, stackTop)
 	return &Machine{CPU: c, Mem: m, Program: p, Entry: entry, StackTop: stackTop}, nil
+}
+
+// machineKey identifies a pool of interchangeable machines: same
+// program image, same memory map.
+type machineKey struct {
+	prog *asm.Program
+	opts LoadOptions
+}
+
+// machinePools maps machineKey -> *sync.Pool of *Machine.
+var machinePools sync.Map
+
+// AcquireMachine returns a reset, ready-to-run machine for the program,
+// reusing a pooled instance — memory map, zeroed segments, predecoded
+// instruction cache — when one is available. Repeated measurements of
+// the same program (fleet sweeps, golden-run verification) skip the
+// per-run map/decode cost entirely. Release with ReleaseMachine.
+func AcquireMachine(p *asm.Program, opts LoadOptions) (*Machine, error) {
+	opts.fill()
+	key := machineKey{prog: p, opts: opts}
+	v, ok := machinePools.Load(key)
+	if !ok {
+		v, _ = machinePools.LoadOrStore(key, &sync.Pool{})
+	}
+	pool := v.(*sync.Pool)
+	if m, _ := pool.Get().(*Machine); m != nil {
+		if err := m.Reset(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	m, err := Load(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.poolKey = key
+	m.pooled = true
+	return m, nil
+}
+
+// ReleaseMachine returns a machine obtained from AcquireMachine to its
+// pool. The machine must not be used afterwards. Trace attachments and
+// input are dropped so the pool retains no caller references.
+func ReleaseMachine(m *Machine) {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.CPU.Trace = nil
+	m.CPU.TraceBatch = nil
+	m.CPU.TraceCFOnly = false
+	m.CPU.Input = nil
+	if v, ok := machinePools.Load(m.poolKey); ok {
+		v.(*sync.Pool).Put(m)
+	}
 }
 
 // MustLoadSource assembles and loads source, panicking on error; for

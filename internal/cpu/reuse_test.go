@@ -1,0 +1,223 @@
+package cpu
+
+import (
+	"testing"
+
+	"lofat/internal/asm"
+	"lofat/internal/isa"
+	"lofat/internal/trace"
+)
+
+const reuseProg = `
+	.data
+counter:
+	.word 0
+	.text
+main:
+	la t0, counter
+	lw t1, 0(t0)
+	addi t1, t1, 1
+	sw t1, 0(t0)
+	li t2, 5
+loop:
+	addi t2, t2, -1
+	bne t2, zero, loop
+	mv a0, t1
+	li a7, 93
+	ecall
+`
+
+// TestMachineResetIsPristine proves Reset restores a just-loaded state:
+// a program whose result depends on initial data-memory contents returns
+// the same exit code on every reuse.
+func TestMachineResetIsPristine(t *testing.T) {
+	p, err := asm.Assemble(reuseProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := Load(p, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := mach.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		if err := mach.CPU.Run(1000); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		// counter starts at 0 every run: exit code is always 1.
+		if mach.CPU.ExitCode != 1 {
+			t.Fatalf("run %d: exit %d, want 1 (stale data memory?)", i, mach.CPU.ExitCode)
+		}
+	}
+}
+
+// TestAcquireMachineReuses verifies the pool round-trip hands back the
+// same machine, reset and with trace attachments dropped.
+func TestAcquireMachineReuses(t *testing.T) {
+	p, err := asm.Assemble(reuseProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := AcquireMachine(p, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.CPU.Trace = trace.SinkFunc(func(trace.Event) {})
+	if err := m1.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	ReleaseMachine(m1)
+
+	m2, err := AcquireMachine(p, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseMachine(m2)
+	if m2 != m1 {
+		t.Skip("pool did not retain the machine (GC ran); nothing to verify")
+	}
+	if m2.CPU.Trace != nil || m2.CPU.TraceBatch != nil || m2.CPU.Input != nil {
+		t.Fatal("pooled machine retained trace/input attachments")
+	}
+	if m2.CPU.Halted || m2.CPU.Retired != 0 || m2.CPU.PC != m2.Entry {
+		t.Fatalf("pooled machine not reset: halted=%v retired=%d pc=%#x",
+			m2.CPU.Halted, m2.CPU.Retired, m2.CPU.PC)
+	}
+	if err := m2.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m2.CPU.ExitCode != 1 {
+		t.Fatalf("reused machine exit %d, want 1", m2.CPU.ExitCode)
+	}
+}
+
+// batchRecorder collects batched events and Sync calls.
+type batchRecorder struct {
+	events []trace.Event
+	synced uint64
+}
+
+func (r *batchRecorder) RetireBatch(events []trace.Event) {
+	r.events = append(r.events, events...)
+}
+func (r *batchRecorder) Sync(cycle uint64) { r.synced = cycle }
+
+// TestBatchTraceMatchesSink proves the batched trace port delivers the
+// identical event sequence as the per-event Sink, and that the
+// control-flow-only mask drops exactly the KindNone events.
+func TestBatchTraceMatchesSink(t *testing.T) {
+	p, err := asm.Assemble(reuseProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(configure func(*CPU) func() []trace.Event) []trace.Event {
+		mach, err := Load(p, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := configure(mach.CPU)
+		if err := mach.CPU.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		return collect()
+	}
+
+	perEvent := run(func(c *CPU) func() []trace.Event {
+		var evs []trace.Event
+		c.Trace = trace.SinkFunc(func(e trace.Event) { evs = append(evs, e) })
+		return func() []trace.Event { return evs }
+	})
+	batched := run(func(c *CPU) func() []trace.Event {
+		r := &batchRecorder{}
+		c.TraceBatch = r
+		return func() []trace.Event { return r.events }
+	})
+	masked := run(func(c *CPU) func() []trace.Event {
+		r := &batchRecorder{}
+		c.TraceBatch = r
+		c.TraceCFOnly = true
+		return func() []trace.Event { return r.events }
+	})
+
+	if len(perEvent) == 0 {
+		t.Fatal("no events")
+	}
+	if len(batched) != len(perEvent) {
+		t.Fatalf("batched delivered %d events, per-event %d", len(batched), len(perEvent))
+	}
+	for i := range perEvent {
+		if batched[i] != perEvent[i] {
+			t.Fatalf("event %d differs: batched %+v, sink %+v", i, batched[i], perEvent[i])
+		}
+	}
+	var wantMasked []trace.Event
+	for _, e := range perEvent {
+		if e.Kind != isa.KindNone {
+			wantMasked = append(wantMasked, e)
+		}
+	}
+	if len(masked) != len(wantMasked) {
+		t.Fatalf("masked delivered %d events, want %d", len(masked), len(wantMasked))
+	}
+	for i := range wantMasked {
+		if masked[i] != wantMasked[i] {
+			t.Fatalf("masked event %d differs", i)
+		}
+	}
+}
+
+// TestBatchTraceSyncAtHalt verifies the observer clock is synced to the
+// final core cycle even when the mask withholds the trailing events.
+func TestBatchTraceSyncAtHalt(t *testing.T) {
+	p, err := asm.Assemble(reuseProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := Load(p, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &batchRecorder{}
+	mach.CPU.TraceBatch = r
+	mach.CPU.TraceCFOnly = true
+	if err := mach.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if r.synced != mach.CPU.Cycle {
+		t.Fatalf("synced to cycle %d, core at %d", r.synced, mach.CPU.Cycle)
+	}
+}
+
+// TestPredecodeFallback executes from a PC outside the instruction cache
+// window (after clearing it mid-flight) to pin the fetch+decode
+// fallback, and checks invalid cached words still error at execution.
+func TestPredecodeFallback(t *testing.T) {
+	p, err := asm.Assemble(reuseProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := Load(p, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.CPU.ClearPredecode()
+	if err := mach.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if mach.CPU.ExitCode != 1 {
+		t.Fatalf("fallback path exit %d, want 1", mach.CPU.ExitCode)
+	}
+
+	// An undecodable word in the cache must fault with a decode error
+	// when reached, exactly like the uncached path.
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	c := New(mach.Mem)
+	c.Predecode(0x1000, bad)
+	c.PC = 0x1000
+	if err := c.Step(); err == nil {
+		t.Fatal("invalid cached word did not fault")
+	}
+}

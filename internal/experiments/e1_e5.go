@@ -143,7 +143,8 @@ func E3Overhead() (Table, error) {
 			return t, err
 		}
 		dev := core.NewDevice(core.Config{})
-		mach2.CPU.Trace = dev
+		mach2.CPU.TraceBatch = dev
+		mach2.CPU.TraceCFOnly = dev.CFOnlyCompatible()
 		mach2.CPU.Input = w.Input
 		if err := mach2.CPU.Run(50_000_000); err != nil {
 			return t, err

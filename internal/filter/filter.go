@@ -151,7 +151,8 @@ func (f *Filter) Step(e trace.Event, out []Op) []Op {
 	// directly. Attribution happens against the PRE-update stack: the
 	// back-edge that first reveals a loop is measured in the enclosing
 	// context (the loop body proper is measured from iteration 2 on;
-	// the verifier applies the identical convention).
+	// the verifier applies the identical convention). The same top
+	// context then takes the call-depth bookkeeping of step 2.
 	if top := f.top(); top != nil {
 		f.LoopEvents++
 		op := Op{Kind: OpLoopEvent, Pair: pair}
@@ -166,18 +167,16 @@ func (f *Filter) Step(e trace.Event, out []Op) []Op {
 			op.Target = dest
 		}
 		out = append(out, op)
-	} else {
-		out = append(out, Op{Kind: OpHashDirect, Pair: pair})
-	}
 
-	// 2. Call-depth bookkeeping: linking calls suspend exit detection;
-	// returns resume it when they balance.
-	if top := f.top(); top != nil {
+		// 2. Call-depth bookkeeping: linking calls suspend exit
+		// detection; returns resume it when they balance.
 		if e.Linking {
 			top.depth++
 		} else if e.Kind == isa.KindReturn && top.depth > 0 {
 			top.depth--
 		}
+	} else {
+		out = append(out, Op{Kind: OpHashDirect, Pair: pair})
 	}
 
 	// 3. Cascade loop exits: pop every loop whose body no longer

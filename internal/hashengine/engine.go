@@ -121,14 +121,26 @@ func (e *Engine) Tick() {
 	copy(e.fifo, e.fifo[1:])
 	e.fifo = e.fifo[:len(e.fifo)-1]
 
-	b := p.bytes()
-	e.sponge.Write(b[:])
+	e.sponge.WritePair(p.Src, p.Dest)
 	e.stats.Absorbed++
 	e.inBlk++
 	if e.inBlk == e.cfg.PairsPerBlock {
 		e.inBlk = 0
 		e.busy = e.cfg.BusyCycles
 	}
+}
+
+// Advance runs the engine clock n cycles: exactly equivalent to (and
+// counter-identical with) calling Tick n times, but once the FIFO is
+// empty and the padding buffer idle the remaining cycles are credited in
+// bulk. The trace pipeline uses it to fast-forward across the long
+// no-control-flow stretches between measured events.
+func (e *Engine) Advance(n uint64) {
+	for n > 0 && (e.busy > 0 || len(e.fifo) > 0) {
+		e.Tick()
+		n--
+	}
+	e.stats.Cycles += n
 }
 
 // Pending reports how many pairs are waiting in the FIFO.
@@ -168,15 +180,20 @@ func (e *Engine) Reset() {
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// AbsorbPairs absorbs a pair stream in order via the direct lane-buffer
+// path, without per-pair byte-slice staging.
+func (s *Sponge) AbsorbPairs(pairs []Pair) {
+	for _, p := range pairs {
+		s.WritePair(p.Src, p.Dest)
+	}
+}
+
 // HashPairs computes, functionally, the digest the engine would produce
 // for the given pair stream. The verifier uses this to recompute A
 // without a cycle model.
 func HashPairs(pairs []Pair) [DigestSize]byte {
 	var s Sponge
-	for _, p := range pairs {
-		b := p.bytes()
-		s.Write(b[:])
-	}
+	s.AbsorbPairs(pairs)
 	return s.Sum()
 }
 
@@ -188,9 +205,6 @@ func HashPairs(pairs []Pair) [DigestSize]byte {
 func ChainPairs(prev [DigestSize]byte, pairs []Pair) [DigestSize]byte {
 	var s Sponge
 	s.Write(prev[:])
-	for _, p := range pairs {
-		b := p.bytes()
-		s.Write(b[:])
-	}
+	s.AbsorbPairs(pairs)
 	return s.Sum()
 }

@@ -110,20 +110,48 @@ func Decode(word uint32) (Inst, error) {
 		}
 
 	case 0x33: // OP
-		type key struct{ f3, f7 uint32 }
-		ops := map[key]Opcode{
-			{0, 0x00}: OpADD, {0, 0x20}: OpSUB,
-			{1, 0x00}: OpSLL, {2, 0x00}: OpSLT, {3, 0x00}: OpSLTU,
-			{4, 0x00}: OpXOR, {5, 0x00}: OpSRL, {5, 0x20}: OpSRA,
-			{6, 0x00}: OpOR, {7, 0x00}: OpAND,
-			{0, 0x01}: OpMUL, {1, 0x01}: OpMULH, {2, 0x01}: OpMULHSU,
-			{3, 0x01}: OpMULHU, {4, 0x01}: OpDIV, {5, 0x01}: OpDIVU,
-			{6, 0x01}: OpREM, {7, 0x01}: OpREMU,
+		var op Opcode
+		switch funct7<<3 | funct3 {
+		case 0x00<<3 | 0:
+			op = OpADD
+		case 0x20<<3 | 0:
+			op = OpSUB
+		case 0x00<<3 | 1:
+			op = OpSLL
+		case 0x00<<3 | 2:
+			op = OpSLT
+		case 0x00<<3 | 3:
+			op = OpSLTU
+		case 0x00<<3 | 4:
+			op = OpXOR
+		case 0x00<<3 | 5:
+			op = OpSRL
+		case 0x20<<3 | 5:
+			op = OpSRA
+		case 0x00<<3 | 6:
+			op = OpOR
+		case 0x00<<3 | 7:
+			op = OpAND
+		case 0x01<<3 | 0:
+			op = OpMUL
+		case 0x01<<3 | 1:
+			op = OpMULH
+		case 0x01<<3 | 2:
+			op = OpMULHSU
+		case 0x01<<3 | 3:
+			op = OpMULHU
+		case 0x01<<3 | 4:
+			op = OpDIV
+		case 0x01<<3 | 5:
+			op = OpDIVU
+		case 0x01<<3 | 6:
+			op = OpREM
+		case 0x01<<3 | 7:
+			op = OpREMU
+		default:
+			return Inst{}, fmt.Errorf("isa: decode %#08x: bad OP funct3/funct7 %d/%#x", word, funct3, funct7)
 		}
-		if op, ok := ops[key{funct3, funct7}]; ok {
-			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
-		}
-		return Inst{}, fmt.Errorf("isa: decode %#08x: bad OP funct3/funct7 %d/%#x", word, funct3, funct7)
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
 
 	case 0x0F: // MISC-MEM
 		return Inst{Op: OpFENCE}, nil

@@ -78,6 +78,37 @@ type Segment struct {
 	Base uint32
 	Perm Perm
 	Data []byte
+
+	// [dirtyLo, dirtyHi) is the offset window written since the segment
+	// was mapped (or last ResetData): the only bytes a reset must
+	// re-zero. Embedded programs touch a tiny fraction of their 64 KiB
+	// stack/BSS maps, so tracking the window makes machine reuse cheap.
+	dirtyLo, dirtyHi uint32
+}
+
+// markDirty widens the dirty window to cover [off, off+n).
+func (s *Segment) markDirty(off uint32, n int) {
+	end := off + uint32(n)
+	if s.dirtyHi == s.dirtyLo { // empty window
+		s.dirtyLo, s.dirtyHi = off, end
+		return
+	}
+	if off < s.dirtyLo {
+		s.dirtyLo = off
+	}
+	if end > s.dirtyHi {
+		s.dirtyHi = end
+	}
+}
+
+// ResetData zeroes every byte written since the segment was mapped (or
+// since the last ResetData), restoring the freshly-mapped all-zero
+// state without touching untouched pages.
+func (s *Segment) ResetData() {
+	if s.dirtyHi > s.dirtyLo {
+		clear(s.Data[s.dirtyLo:s.dirtyHi])
+	}
+	s.dirtyLo, s.dirtyHi = 0, 0
 }
 
 // Contains reports whether [addr, addr+size) lies inside the segment.
@@ -118,6 +149,15 @@ func (m *Memory) Map(name string, base uint32, size int, perm Perm) (*Segment, e
 
 // Segments returns the mapped segments (shared, do not mutate the slice).
 func (m *Memory) Segments() []*Segment { return m.segs }
+
+// ResetData restores every segment to its freshly-mapped all-zero state
+// by clearing the tracked dirty windows. Callers re-load any initial
+// images afterwards (the trusted-boot step), exactly as at first map.
+func (m *Memory) ResetData() {
+	for _, s := range m.segs {
+		s.ResetData()
+	}
+}
 
 // find returns the segment containing the access, or nil.
 func (m *Memory) find(addr uint32, size int) *Segment {
@@ -176,7 +216,9 @@ func (m *Memory) StoreByte(addr uint32, v byte) error {
 	if err != nil {
 		return err
 	}
-	s.Data[addr-s.Base] = v
+	off := addr - s.Base
+	s.Data[off] = v
+	s.markDirty(off, 1)
 	return nil
 }
 
@@ -188,6 +230,7 @@ func (m *Memory) StoreHalf(addr uint32, v uint16) error {
 	}
 	off := addr - s.Base
 	binary.LittleEndian.PutUint16(s.Data[off:off+2], v)
+	s.markDirty(off, 2)
 	return nil
 }
 
@@ -199,6 +242,7 @@ func (m *Memory) StoreWord(addr uint32, v uint32) error {
 	}
 	off := addr - s.Base
 	binary.LittleEndian.PutUint32(s.Data[off:off+4], v)
+	s.markDirty(off, 4)
 	return nil
 }
 
@@ -223,7 +267,9 @@ func (m *Memory) LoadImage(addr uint32, data []byte) error {
 	if s == nil {
 		return &Fault{Kind: AccessWrite, Addr: addr, Size: len(data), Why: "unmapped (image load)"}
 	}
-	copy(s.Data[addr-s.Base:], data)
+	off := addr - s.Base
+	copy(s.Data[off:], data)
+	s.markDirty(off, len(data))
 	return nil
 }
 
@@ -243,6 +289,7 @@ func (m *Memory) Poke(addr uint32, v uint32) error {
 	}
 	off := addr - s.Base
 	binary.LittleEndian.PutUint32(s.Data[off:off+4], v)
+	s.markDirty(off, 4)
 	return nil
 }
 

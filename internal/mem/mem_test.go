@@ -191,3 +191,43 @@ func TestFaultError(t *testing.T) {
 		}
 	}
 }
+
+// TestResetDataRestoresZeroState verifies dirty-window reset: every
+// write path (stores, pokes, image loads) is tracked, and ResetData
+// returns the segment to all-zero without missing any byte.
+func TestResetDataRestoresZeroState(t *testing.T) {
+	m := New()
+	if _, err := m.Map("data", 0x1000, 4096, PermR|PermW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreByte(0x1003, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreHalf(0x1F00, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreWord(0x1800, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Poke(0x1FF8, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(0x1100, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetData()
+	seg := m.Segments()[0]
+	for i, b := range seg.Data {
+		if b != 0 {
+			t.Fatalf("byte %#x not re-zeroed (=%#x)", 0x1000+i, b)
+		}
+	}
+	// The window restarts empty: a fresh write then reset still clears.
+	if err := m.StoreWord(0x1004, 7); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetData()
+	if w, _ := m.Peek(0x1004); w != 0 {
+		t.Fatalf("second-generation dirty byte survived reset: %#x", w)
+	}
+}

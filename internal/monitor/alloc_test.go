@@ -1,0 +1,99 @@
+package monitor
+
+import (
+	"testing"
+
+	"lofat/internal/filter"
+	"lofat/internal/hashengine"
+)
+
+// TestApplyZeroAllocSteadyState pins the zero-allocation property of the
+// monitor hot path: once a loop context exists and its path is interned,
+// encoding further iterations (events + iteration boundaries) must not
+// allocate.
+func TestApplyZeroAllocSteadyState(t *testing.T) {
+	m := New(Config{}, func(hashengine.Pair) {})
+	m.Apply(filter.Op{Kind: filter.OpLoopPush, Entry: 0x100, Exit: 0x140})
+	iter := func() {
+		m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymCond, Taken: true,
+			Pair: hashengine.Pair{Src: 0x104, Dest: 0x120}})
+		m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymJump,
+			Pair: hashengine.Pair{Src: 0x130, Dest: 0x100}})
+		m.Apply(filter.Op{Kind: filter.OpIterEnd})
+	}
+	iter() // intern the path (first occurrence hashes and allocates the counter row)
+	if allocs := testing.AllocsPerRun(100, iter); allocs != 0 {
+		t.Fatalf("monitor.Apply steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestPushPoolReuse pins the frame pool: after a loop has exited, a new
+// loop push must reuse its frame instead of allocating maps. The only
+// steady-state allocations of a push/exit cycle are the exact-size
+// record copies the metadata L hands to the caller.
+func TestPushPoolReuse(t *testing.T) {
+	m := New(Config{}, func(hashengine.Pair) {})
+	cycle := func() {
+		m.Apply(filter.Op{Kind: filter.OpLoopPush, Entry: 0x100, Exit: 0x140})
+		m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymCond, Taken: true,
+			Pair: hashengine.Pair{Src: 0x104, Dest: 0x100}})
+		m.Apply(filter.Op{Kind: filter.OpIterEnd})
+		m.Apply(filter.Op{Kind: filter.OpLoopExit})
+	}
+	// Warm up: allocate one frame, grow the records slice.
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	m.Reset()
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	base := m.Records()
+	allocs := testing.AllocsPerRun(100, cycle)
+	// Per cycle: one Paths copy + one records growth at most. The frame
+	// and its maps must come from the pool (a fresh frame costs 2 map
+	// allocations plus the state struct).
+	if allocs > 2 {
+		t.Fatalf("push/exit cycle: %v allocs/op, want <= 2 (frame pool not reusing?)", allocs)
+	}
+	if len(m.Records()) <= len(base) {
+		t.Fatalf("records not appended")
+	}
+}
+
+// TestPooledFrameStateIsolation verifies a reused frame starts clean:
+// records produced after heavy prior use match those of a fresh monitor.
+func TestPooledFrameStateIsolation(t *testing.T) {
+	runOnce := func(m *Monitor) LoopRecord {
+		m.Apply(filter.Op{Kind: filter.OpLoopPush, Entry: 0x200, Exit: 0x240})
+		m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymIndirect, Target: 0xB00,
+			Pair: hashengine.Pair{Src: 0x204, Dest: 0xB00}})
+		m.Apply(filter.Op{Kind: filter.OpIterEnd})
+		m.Apply(filter.Op{Kind: filter.OpLoopExit})
+		recs := m.Records()
+		return recs[len(recs)-1]
+	}
+
+	fresh := New(Config{}, func(hashengine.Pair) {})
+	want := runOnce(fresh)
+
+	used := New(Config{}, func(hashengine.Pair) {})
+	// Pollute a frame with different loop state, then force reuse.
+	used.Apply(filter.Op{Kind: filter.OpLoopPush, Entry: 0x100, Exit: 0x180})
+	for i := 0; i < 20; i++ {
+		used.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymIndirect,
+			Target: uint32(0xA00 + i*4), Pair: hashengine.Pair{Src: 0x104, Dest: uint32(0xA00 + i*4)}})
+		used.Apply(filter.Op{Kind: filter.OpIterEnd})
+	}
+	used.Apply(filter.Op{Kind: filter.OpLoopExit})
+	got := runOnce(used)
+
+	if got.Entry != want.Entry || got.Exit != want.Exit ||
+		got.Iterations != want.Iterations ||
+		len(got.Paths) != len(want.Paths) ||
+		len(got.IndirectTargets) != len(want.IndirectTargets) ||
+		got.IndirectTargets[0] != want.IndirectTargets[0] ||
+		got.Paths[0].Code != want.Paths[0].Code {
+		t.Fatalf("reused frame leaked state:\n got %+v\nwant %+v", got, want)
+	}
+}

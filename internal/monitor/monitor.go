@@ -118,18 +118,36 @@ func (r LoopRecord) String() string {
 	return b.String()
 }
 
-// loopState is the per-active-loop hardware context.
+// loopState is the per-active-loop hardware context. States are pooled
+// by the Monitor: a loop push in steady state reuses a frame freed by an
+// earlier loop exit instead of allocating (the hardware analogue: the
+// fixed per-nesting-level register banks of §5.2).
 type loopState struct {
 	entry, exit uint32
 	code        PathCode
 	syms        int
 	buf         []hashengine.Pair
-	stats       map[PathCode]int // code -> index into order
+	stats       map[PathCode]int32 // code -> interned path ID (index into order)
 	order       []PathStat
 	cam         map[uint32]uint8
 	camOrder    []uint32
 	camOverflow uint64
 	iterations  uint64
+}
+
+// reset prepares a pooled frame for a fresh loop, keeping the allocated
+// buffers and map storage.
+func (l *loopState) reset(entry, exit uint32) {
+	l.entry, l.exit = entry, exit
+	l.code = PathCode{}
+	l.syms = 0
+	l.buf = l.buf[:0]
+	clear(l.stats)
+	l.order = l.order[:0]
+	clear(l.cam)
+	l.camOrder = l.camOrder[:0]
+	l.camOverflow = 0
+	l.iterations = 0
 }
 
 // Monitor is the loop monitor. Emitted (Src,Dest) pairs flow to the hash
@@ -138,6 +156,7 @@ type loopState struct {
 type Monitor struct {
 	cfg     Config
 	stack   []*loopState
+	free    []*loopState // frame pool (exited loops awaiting reuse)
 	records []LoopRecord
 	emit    func(hashengine.Pair)
 
@@ -154,8 +173,10 @@ func New(cfg Config, emit func(hashengine.Pair)) *Monitor {
 	return &Monitor{cfg: cfg, emit: emit}
 }
 
-// Reset clears all state for a new attestation.
+// Reset clears all state for a new attestation. Pooled loop frames are
+// retained across resets so repeated attestations stay allocation-free.
 func (m *Monitor) Reset() {
+	m.free = append(m.free, m.stack...)
 	m.stack = m.stack[:0]
 	m.records = m.records[:0]
 	m.HashedPairs = 0
@@ -182,12 +203,20 @@ func (m *Monitor) Apply(op filter.Op) {
 		m.send(op.Pair)
 
 	case filter.OpLoopPush:
-		m.stack = append(m.stack, &loopState{
-			entry: op.Entry,
-			exit:  op.Exit,
-			stats: make(map[PathCode]int),
-			cam:   make(map[uint32]uint8),
-		})
+		var l *loopState
+		if n := len(m.free); n > 0 {
+			l = m.free[n-1]
+			m.free = m.free[:n-1]
+			l.reset(op.Entry, op.Exit)
+		} else {
+			l = &loopState{
+				entry: op.Entry,
+				exit:  op.Exit,
+				stats: make(map[PathCode]int32),
+				cam:   make(map[uint32]uint8),
+			}
+		}
+		m.stack = append(m.stack, l)
 
 	case filter.OpLoopEvent:
 		l := m.top()
@@ -218,15 +247,18 @@ func (m *Monitor) Apply(op filter.Op) {
 		for _, p := range l.buf {
 			m.send(p)
 		}
+		// The record owns exact-size copies so the frame (and its grown
+		// buffers) can go back to the pool.
 		m.records = append(m.records, LoopRecord{
 			Entry:             l.entry,
 			Exit:              l.exit,
-			Paths:             l.order,
-			IndirectTargets:   l.camOrder,
+			Paths:             append([]PathStat(nil), l.order...),
+			IndirectTargets:   append([]uint32(nil), l.camOrder...),
 			IndirectOverflows: l.camOverflow,
 			Partial:           l.code,
 			Iterations:        l.iterations,
 		})
+		m.free = append(m.free, l)
 	}
 }
 
@@ -300,10 +332,7 @@ func (m *Monitor) finishIteration(l *loopState) {
 			m.send(p)
 		}
 		if !seen {
-			l.stats[code] = len(l.order)
-			l.order = append(l.order, PathStat{Code: code})
-			idx = len(l.order) - 1
-			m.NewPaths++
+			idx = m.internPath(l, code)
 		}
 		l.order[idx].Count++
 	case code.Overflow:
@@ -313,10 +342,7 @@ func (m *Monitor) finishIteration(l *loopState) {
 			m.send(p)
 		}
 		if !seen {
-			l.stats[code] = len(l.order)
-			l.order = append(l.order, PathStat{Code: code})
-			idx = len(l.order) - 1
-			m.NewPaths++
+			idx = m.internPath(l, code)
 		}
 		l.order[idx].Count++
 	case !seen:
@@ -325,9 +351,8 @@ func (m *Monitor) finishIteration(l *loopState) {
 		for _, p := range l.buf {
 			m.send(p)
 		}
-		l.stats[code] = len(l.order)
-		l.order = append(l.order, PathStat{Code: code, Count: 1})
-		m.NewPaths++
+		idx = m.internPath(l, code)
+		l.order[idx].Count = 1
 	default:
 		// Known path: counter increment only; no hash work.
 		l.order[idx].Count++
@@ -337,4 +362,15 @@ func (m *Monitor) finishIteration(l *loopState) {
 	l.buf = l.buf[:0]
 	l.code = PathCode{}
 	l.syms = 0
+}
+
+// internPath allocates the next path ID for a first-seen code: the row
+// index in the loop counter memory. Downstream lookups compare interned
+// IDs, never the code bit strings.
+func (m *Monitor) internPath(l *loopState, code PathCode) int32 {
+	id := int32(len(l.order))
+	l.stats[code] = id
+	l.order = append(l.order, PathStat{Code: code})
+	m.NewPaths++
+	return id
 }

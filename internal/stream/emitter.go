@@ -97,6 +97,17 @@ func (e *Emitter) seal() {
 	}
 }
 
+// RetireBatch implements trace.BatchSink, the core's fast trace port.
+func (e *Emitter) RetireBatch(events []trace.Event) {
+	for i := range events {
+		e.Retire(events[i])
+	}
+}
+
+// Sync implements trace.BatchSink by forwarding the core clock to the
+// wrapped device (the emitter itself has no cycle state).
+func (e *Emitter) Sync(cycle uint64) { e.dev.Sync(cycle) }
+
 // Err reports the first SegmentFunc error; the prover's run loop polls
 // it to abort an execution whose verifier has hung up.
 func (e *Emitter) Err() error { return e.err }
@@ -128,13 +139,19 @@ func (e *Emitter) Finalize() (core.Measurement, error) {
 // verifier-side half of segmented attestation. It mirrors
 // attest.Measure, adding the streaming instrumentation.
 func MeasureStream(prog *asm.Program, devCfg core.Config, input []uint32, segmentEvents int, budget uint64) (core.Measurement, uint32, error) {
-	mach, err := cpu.Load(prog, cpu.LoadOptions{})
+	mach, err := cpu.AcquireMachine(prog, cpu.LoadOptions{})
 	if err != nil {
 		return core.Measurement{}, 0, err
 	}
-	dev := core.NewDevice(devCfg)
+	defer cpu.ReleaseMachine(mach)
+	dev := core.AcquireDevice(devCfg)
+	defer core.ReleaseDevice(dev)
 	em := NewEmitter(dev, devCfg, segmentEvents, nil)
-	mach.CPU.Trace = em
+	// Golden runs take the batched trace port; the control-flow-only
+	// mask is exact here because the emitter ignores non-control-flow
+	// events and the device accepts the mask whenever no Region is set.
+	mach.CPU.TraceBatch = em
+	mach.CPU.TraceCFOnly = dev.CFOnlyCompatible()
 	mach.CPU.Input = input
 
 	for !mach.CPU.Halted {

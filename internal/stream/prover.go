@@ -60,6 +60,9 @@ func (p *Prover) Stream(open OpenRequest, emit func(*SegmentReport) error) (*Clo
 		sr.Sig = p.ap.Sign(SegmentPayload(sr))
 		return emit(sr)
 	})
+	// Per-event delivery, deliberately not the batched port: the run
+	// loop polls em.Err() every step so a verifier-side abort stops the
+	// execution within one instruction, not one batch.
 	mach.CPU.Trace = em
 	mach.CPU.Input = open.Input
 

@@ -53,11 +53,48 @@ type SinkFunc func(Event)
 // Retire implements Sink.
 func (f SinkFunc) Retire(e Event) { f(e) }
 
-// Multi fans one event stream out to several sinks in order.
+// Multi fans one event stream out to several sinks in order. A single
+// sink is returned unwrapped so the common one-observer case pays no
+// extra indirection.
 func Multi(sinks ...Sink) Sink {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
 	return SinkFunc(func(e Event) {
 		for _, s := range sinks {
 			s.Retire(e)
 		}
 	})
 }
+
+// BatchSink consumes retired-instruction events in batches: the fast
+// trace port. The core buffers events and delivers them in program
+// order once per batch instead of crossing an interface per retirement;
+// a consumer that also cares about wall-clock alignment (the LO-FAT
+// device ticking its hash engine in step with the processor) receives
+// a Sync with the core clock at flush points, covering cycles whose
+// events were withheld by the core-side control-flow-only mask.
+//
+// The batch slice is owned by the producer and reused across calls:
+// implementations must not retain it (copy events they need).
+type BatchSink interface {
+	RetireBatch(events []Event)
+	// Sync advances the observer's notion of the core clock to cycle
+	// without delivering an event. Observers with no clock model ignore
+	// it.
+	Sync(cycle uint64)
+}
+
+// Batch adapts a per-event Sink to the batched interface, keeping old
+// observers attachable to the fast trace port.
+type Batch struct{ Sink Sink }
+
+// RetireBatch implements BatchSink by replaying the batch per event.
+func (b Batch) RetireBatch(events []Event) {
+	for i := range events {
+		b.Sink.Retire(events[i])
+	}
+}
+
+// Sync implements BatchSink; per-event sinks carry no clock state.
+func (b Batch) Sync(uint64) {}
