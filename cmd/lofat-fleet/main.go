@@ -4,13 +4,18 @@
 // firmware — enrols them in a fleet.Service, and drives attestation
 // sweeps through the worker-pool verification pipeline. A fraction of
 // the fleet can be armed with a Figure 1 attack to exercise detection
-// and quarantine.
+// and quarantine, and another fraction can be degraded at the transport
+// layer (stalling mid-frame or dropping connections, via the faultconn
+// harness) to exercise the deadline / retry / circuit-breaker
+// resilience path.
 //
 // Usage:
 //
 //	lofat-fleet                                  # 100 devices, 2 sweeps
 //	lofat-fleet -devices 250 -attacked 10
 //	lofat-fleet -attack auth-bypass -attacked 3
+//	lofat-fleet -stalled 5 -dropping 5 -sweeps 4 # transport chaos
+//	lofat-fleet -read-timeout 500ms -retries 3 -breaker 2
 //	lofat-fleet -nocache                         # per-device golden runs
 //	lofat-fleet -interval 500ms -duration 3s     # scheduler-driven sweeps
 package main
@@ -19,12 +24,16 @@ import (
 	"crypto/rand"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"sync"
 	"time"
 
 	"lofat/internal/attest"
 	"lofat/internal/core"
 	"lofat/internal/fleet"
+	"lofat/internal/fleet/faultconn"
 	"lofat/internal/sig"
 	"lofat/internal/workloads"
 )
@@ -40,15 +49,48 @@ func main() {
 	nocache := flag.Bool("nocache", false, "disable the shared measurement cache")
 	interval := flag.Duration("interval", 0, "run the periodic scheduler at this interval instead of manual sweeps")
 	duration := flag.Duration("duration", 2*time.Second, "how long to run the scheduler (with -interval)")
+
+	stalled := flag.Int("stalled", 0, "devices whose transport stalls mid-frame (chaos)")
+	dropping := flag.Int("dropping", 0, "devices whose connection drops mid-exchange (chaos)")
+	dialTO := flag.Duration("dial-timeout", 5*time.Second, "transport dial timeout")
+	readTO := flag.Duration("read-timeout", 30*time.Second, "per-phase read deadline (negative disables)")
+	writeTO := flag.Duration("write-timeout", 30*time.Second, "per-phase write deadline (negative disables)")
+	retries := flag.Int("retries", 2, "total transport attempts per round")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubled per attempt, jittered)")
+	breaker := flag.Int("breaker", 3, "consecutive failed rounds that trip a device's circuit breaker (negative disables)")
 	flag.Parse()
 
-	if err := run(*devices, *attacked, *attackName, *workload, *sweeps, *workers, *shards, *nocache, *interval, *duration); err != nil {
+	cfg := fleet.Config{
+		Workers:          *workers,
+		Shards:           *shards,
+		DisableCache:     *nocache,
+		DialTimeout:      *dialTO,
+		ReadTimeout:      *readTO,
+		WriteTimeout:     *writeTO,
+		RetryAttempts:    *retries,
+		RetryBackoff:     *backoff,
+		BreakerThreshold: *breaker,
+	}
+	if err := run(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, *interval, *duration); err != nil {
 		fmt.Fprintf(os.Stderr, "lofat-fleet: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(devices, attacked int, attackName, workload string, sweeps, workers, shards int, nocache bool, interval, duration time.Duration) error {
+// proverIdleTimeout derives the simulated devices' server-side idle
+// deadline from the verifier's per-phase timeouts, so a stalled
+// exchange frees the prover goroutine on the same scale the operator
+// tuned (twice the slower phase, floor 1s; disabled phases fall back
+// to 30s).
+func proverIdleTimeout(cfg fleet.Config) time.Duration {
+	d := max(cfg.ReadTimeout, cfg.WriteTimeout)
+	if d <= 0 {
+		return 30 * time.Second
+	}
+	return max(2*d, time.Second)
+}
+
+func run(devices, attacked, stalled, dropping int, attackName, workload string, sweeps int, cfg fleet.Config, interval, duration time.Duration) error {
 	w, ok := workloads.ByName(workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", workload)
@@ -60,16 +102,31 @@ func run(devices, attacked int, attackName, workload string, sweeps, workers, sh
 	if attacked > devices {
 		attacked = devices
 	}
+	if attacked+stalled+dropping > devices {
+		return fmt.Errorf("attacked+stalled+dropping (%d) exceeds -devices (%d)", attacked+stalled+dropping, devices)
+	}
 	prog, err := w.Assemble()
 	if err != nil {
 		return err
 	}
 
-	svc := fleet.NewService(fleet.Config{
-		Workers:      workers,
-		Shards:       shards,
-		DisableCache: nocache,
+	// Transport-chaos plans keyed by enrolled address, applied by a
+	// faultconn wrapper around the plain TCP dial. The table is fully
+	// built during enrolment, before any sweep dials.
+	plans := make(map[string]faultconn.Plan)
+	dialTO := cfg.DialTimeout
+	tcpDial := func(addr string) (io.ReadWriteCloser, error) {
+		return net.DialTimeout("tcp", addr, dialTO)
+	}
+	var plansMu sync.Mutex
+	cfg.Dial = faultconn.Wrap(tcpDial, func(addr string) (faultconn.Plan, bool) {
+		plansMu.Lock()
+		defer plansMu.Unlock()
+		p, ok := plans[addr]
+		return p, ok
 	})
+
+	svc := fleet.NewService(cfg)
 	defer svc.Close()
 	progID, err := svc.RegisterProgram(prog, core.Config{}, [][]uint32{w.Input})
 	if err != nil {
@@ -79,6 +136,8 @@ func run(devices, attacked int, attackName, workload string, sweeps, workers, sh
 
 	// Spin up the simulated fleet: one attest.Server per device on a
 	// loopback port, each provisioned with its own key at "manufacture".
+	// Device roles by index: [0,attacked) armed, then stalled, then
+	// dropping, the rest honest.
 	var servers []*attest.Server
 	defer func() {
 		for _, s := range servers {
@@ -92,25 +151,38 @@ func run(devices, attacked int, attackName, workload string, sweeps, workers, sh
 			return err
 		}
 		p := attest.NewProver(prog, core.Config{}, keys)
-		armed := i < attacked
-		if armed {
+		if i < attacked {
 			p.Adversary = atk.Build(prog)
 		}
 		reg := attest.NewRegistry()
 		reg.Register(p)
 		srv := attest.NewServer(reg)
+		srv.IdleTimeout = proverIdleTimeout(cfg)
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
 		servers = append(servers, srv)
+		switch {
+		case i >= attacked && i < attacked+stalled:
+			// Deliver 3 bytes of the challenge frame, swallow the rest:
+			// the prover blocks mid-ReadFull, the verifier's read
+			// deadline times the round out.
+			plansMu.Lock()
+			plans[addr.String()] = faultconn.Plan{StallWriteAfter: 3}
+			plansMu.Unlock()
+		case i >= attacked+stalled && i < attacked+stalled+dropping:
+			plansMu.Lock()
+			plans[addr.String()] = faultconn.Plan{CloseAfter: 2}
+			plansMu.Unlock()
+		}
 		id := fleet.DeviceID(fmt.Sprintf("dev-%04d", i))
 		if err := svc.Enroll(id, progID, keys.Public(), addr.String()); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("enrolled %d devices (%d armed with %q) in %v\n",
-		devices, attacked, atk.Name, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("enrolled %d devices (%d armed with %q, %d stalled, %d dropping) in %v\n",
+		devices, attacked, atk.Name, stalled, dropping, time.Since(start).Round(time.Millisecond))
 
 	if interval > 0 {
 		fmt.Printf("scheduler sweeping every %v for %v\n", interval, duration)
@@ -124,7 +196,7 @@ func run(devices, attacked int, attackName, workload string, sweeps, workers, sh
 		for i := 0; i < sweeps; i++ {
 			reports, err := svc.Sweep()
 			if err != nil {
-				return err
+				fmt.Printf("sweep %d: partial failure: %v\n", i+1, err)
 			}
 			for _, rep := range reports {
 				fmt.Printf("sweep %d: %v\n", i+1, rep)
@@ -142,6 +214,13 @@ func run(devices, attacked int, attackName, workload string, sweeps, workers, sh
 				fmt.Printf(" (%s)", st.LastFindings[0])
 			}
 			fmt.Println()
+		}
+	}
+	if tr := svc.Tripped(); len(tr) > 0 {
+		fmt.Printf("tripped breakers (transport-faulty, not quarantined):\n")
+		for _, id := range tr {
+			st, _ := svc.Device(id)
+			fmt.Printf("  %s: %d transport errors, last: %s\n", id, st.TransportErrors, st.LastError)
 		}
 	}
 	return nil

@@ -1,11 +1,13 @@
 package attest
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Registry hosts multiple attestable programs on one prover device —
@@ -96,6 +98,15 @@ func HandleChallenge(conn io.ReadWriter, payload []byte, lookup func(ProgramID) 
 type Server struct {
 	Registry *Registry
 
+	// IdleTimeout, when positive, bounds each section of every received
+	// frame (the 5-byte header, then the payload) and each write on an
+	// accepted connection. The deadline re-arms only at section
+	// boundaries, never mid-section, so a peer that goes silent — or
+	// trickles one byte per deadline to stretch it (slowloris) —
+	// cannot pin a handler goroutine beyond two windows per frame. Set
+	// before Listen.
+	IdleTimeout time.Duration
+
 	handler  func(io.ReadWriter) error
 	mu       sync.Mutex
 	listener net.Listener
@@ -167,7 +178,11 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()
-				_ = s.handler(conn)
+				var rw io.ReadWriter = conn
+				if d := s.IdleTimeout; d > 0 {
+					rw = &idleConn{conn: conn, timeout: d}
+				}
+				_ = s.handler(rw)
 			}()
 		}
 	}()
@@ -188,9 +203,83 @@ func (s *Server) Close() error {
 	return err
 }
 
+// idleConn bounds one slow or stalled peer by the server's IdleTimeout.
+// Reads arm one deadline per frame section (header, then payload) by
+// tracking the wire format, so a byte-trickling client cannot re-arm
+// its way past the budget; writes arm a deadline per call.
+type idleConn struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	hdr       [5]byte // header bytes of the frame being received
+	hdrN      int
+	remaining uint64 // payload bytes outstanding for the current frame
+	armed     bool
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if !c.armed {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return 0, err
+		}
+		c.armed = true
+	}
+	n, err := c.conn.Read(p)
+	c.consume(p[:n])
+	return n, err
+}
+
+// consume advances the frame parser over bytes the peer delivered; at
+// each section boundary (header complete, payload complete) the next
+// Read re-arms a fresh deadline — and only there.
+func (c *idleConn) consume(b []byte) {
+	for len(b) > 0 {
+		if c.hdrN < len(c.hdr) {
+			k := len(c.hdr) - c.hdrN
+			if k > len(b) {
+				k = len(b)
+			}
+			copy(c.hdr[c.hdrN:], b[:k])
+			c.hdrN += k
+			b = b[k:]
+			if c.hdrN == len(c.hdr) {
+				c.remaining = uint64(binary.LittleEndian.Uint32(c.hdr[1:]))
+				c.armed = false
+				if c.remaining == 0 {
+					c.hdrN = 0
+				}
+			}
+			continue
+		}
+		k := uint64(len(b))
+		if k > c.remaining {
+			k = c.remaining
+		}
+		c.remaining -= k
+		b = b[k:]
+		if c.remaining == 0 {
+			c.hdrN = 0
+			c.armed = false
+		}
+	}
+}
+
+func (c *idleConn) Write(p []byte) (int, error) {
+	if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, err
+	}
+	return c.conn.Write(p)
+}
+
 // RequestFrom drives one challenge-response exchange for input against
 // an already-open connection to a registry server (connections are
 // reusable across rounds).
 func RequestFrom(conn io.ReadWriter, v *Verifier, input []uint32) (Result, error) {
 	return RequestAttestation(conn, v, input)
+}
+
+// RequestFromTimeout is RequestFrom with per-phase I/O deadlines (see
+// RequestAttestationTimeout).
+func RequestFromTimeout(conn io.ReadWriter, v *Verifier, input []uint32, to Timeouts) (Result, error) {
+	return RequestAttestationTimeout(conn, v, input, to)
 }

@@ -2,8 +2,10 @@ package attest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Message types on the wire. The attest package owns type bytes 1-15;
@@ -20,18 +22,114 @@ const (
 // unbounded allocation.
 const maxMessageSize = 16 << 20
 
+// TransportError marks an I/O failure on the frame transport — the
+// bytes could not be moved — as opposed to a protocol violation or a
+// verification verdict. Callers use it to decide whether a failed
+// exchange is worth retrying (a timed-out or dropped connection may
+// recover; a peer speaking garbage will not).
+type TransportError struct {
+	Op  string // "read frame" or "write frame"
+	Err error
+}
+
+func (e *TransportError) Error() string { return fmt.Sprintf("attest: %s: %v", e.Op, e.Err) }
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the underlying failure was a deadline expiry
+// (net.Error timeout or os.ErrDeadlineExceeded), distinguishing a
+// stalled peer from a dropped connection.
+func (e *TransportError) Timeout() bool {
+	var t interface{ Timeout() bool }
+	if errors.As(e.Err, &t) {
+		return t.Timeout()
+	}
+	return false
+}
+
+// LocalError marks a failure that occurred verifier-side before any
+// bytes moved — challenge/session creation, golden-run or cache
+// failures. It carries no evidence about the peer: callers applying
+// per-peer health policy (retry, circuit breaking) must not attribute
+// it to the device.
+type LocalError struct {
+	Err error
+}
+
+func (e *LocalError) Error() string { return fmt.Sprintf("attest: verifier-local: %v", e.Err) }
+
+func (e *LocalError) Unwrap() error { return e.Err }
+
+// DeadlineConn is the optional transport interface for per-phase I/O
+// deadlines. net.Conn and net.Pipe implement it; in-memory buffers do
+// not and simply run without deadlines.
+type DeadlineConn interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// Timeouts are per-phase I/O deadlines for one protocol exchange: each
+// read phase (waiting for the peer's next frame) and each write phase
+// gets its own deadline, so a peer that stalls mid-frame — cheaper for
+// an attacker than forging a measurement — cannot wedge the caller
+// forever. Zero fields disable the corresponding deadline; conns that
+// do not implement DeadlineConn are used as-is.
+type Timeouts struct {
+	Read  time.Duration
+	Write time.Duration
+}
+
+// ArmRead sets the read deadline on conn for the next read phase, when
+// both the timeout and the conn support it.
+func (t Timeouts) ArmRead(conn any) {
+	if t.Read <= 0 {
+		return
+	}
+	if dc, ok := conn.(DeadlineConn); ok {
+		_ = dc.SetReadDeadline(time.Now().Add(t.Read))
+	}
+}
+
+// ArmWrite sets the write deadline on conn for the next write phase,
+// when both the timeout and the conn support it.
+func (t Timeouts) ArmWrite(conn any) {
+	if t.Write <= 0 {
+		return
+	}
+	if dc, ok := conn.(DeadlineConn); ok {
+		_ = dc.SetWriteDeadline(time.Now().Add(t.Write))
+	}
+}
+
+// Disarm clears any deadlines this exchange armed, so a connection
+// reused for a later exchange without timeouts is not poisoned by a
+// stale deadline.
+func (t Timeouts) Disarm(conn any) {
+	dc, ok := conn.(DeadlineConn)
+	if !ok {
+		return
+	}
+	if t.Read > 0 {
+		_ = dc.SetReadDeadline(time.Time{})
+	}
+	if t.Write > 0 {
+		_ = dc.SetWriteDeadline(time.Time{})
+	}
+}
+
 // WriteFrame sends a type-tagged, length-prefixed frame — the transport
 // unit under every protocol message, shared with extensions
-// (internal/stream) so one connection can carry both.
+// (internal/stream) so one connection can carry both. Header and
+// payload are coalesced into a single Write: an error or a concurrent
+// writer can no longer land between them and leave a torn frame on the
+// wire.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
-	hdr := make([]byte, 5)
-	hdr[0] = typ
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(hdr); err != nil {
-		return fmt.Errorf("attest: write frame: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("attest: write frame: %w", err)
+	buf := make([]byte, 5+len(payload))
+	buf[0] = typ
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(payload)))
+	copy(buf[5:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return &TransportError{Op: "write frame", Err: err}
 	}
 	return nil
 }
@@ -40,7 +138,7 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 func ReadFrame(r io.Reader) (byte, []byte, error) {
 	hdr := make([]byte, 5)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, nil, fmt.Errorf("attest: read frame: %w", err)
+		return 0, nil, &TransportError{Op: "read frame", Err: err}
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
 	if n > maxMessageSize {
@@ -48,7 +146,7 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("attest: read frame: %w", err)
+		return 0, nil, &TransportError{Op: "read frame", Err: err}
 	}
 	return hdr[0], payload, nil
 }
@@ -84,17 +182,31 @@ func ServeProver(conn io.ReadWriter, p *Prover) error {
 // verifier's issued-nonce set — long-lived verifiers polling flaky
 // devices stay bounded.
 func RequestAttestation(conn io.ReadWriter, v *Verifier, input []uint32) (Result, error) {
+	return RequestAttestationTimeout(conn, v, input, Timeouts{})
+}
+
+// RequestAttestationTimeout is RequestAttestation with per-phase I/O
+// deadlines: the challenge write and the report read each get their own
+// deadline when the conn supports them (DeadlineConn), so a prover that
+// accepts the challenge and then stalls — mid-frame or by going silent —
+// fails the exchange with a TransportError whose Timeout() is true
+// instead of blocking forever. Deadlines armed here are cleared before
+// returning, keeping the connection reusable.
+func RequestAttestationTimeout(conn io.ReadWriter, v *Verifier, input []uint32, to Timeouts) (Result, error) {
 	ch, err := v.NewChallenge(input)
 	if err != nil {
-		return Result{}, err
+		return Result{}, &LocalError{Err: err}
 	}
+	defer to.Disarm(conn)
 	fail := func(err error) (Result, error) {
 		v.consumeNonce(ch.Nonce)
 		return Result{}, err
 	}
+	to.ArmWrite(conn)
 	if err := WriteFrame(conn, MsgChallenge, EncodeChallenge(&ch)); err != nil {
 		return fail(err)
 	}
+	to.ArmRead(conn)
 	typ, payload, err := ReadFrame(conn)
 	if err != nil {
 		return fail(err)

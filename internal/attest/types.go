@@ -106,6 +106,13 @@ type Result struct {
 	// Expected and Got expose the compared measurements for reporting.
 	Expected *core.Measurement
 	Got      *Report
+	// VerifierFault marks a rejection caused by a verifier-side failure
+	// (the golden run could not be computed), not by anything the
+	// prover sent: the report may be perfectly honest, the verifier
+	// just could not check it. Per-device health policy (quarantine,
+	// circuit breaking) must not attribute such a rejection to the
+	// device.
+	VerifierFault bool
 }
 
 func (r Result) String() string {

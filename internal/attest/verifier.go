@@ -271,6 +271,7 @@ func (v *Verifier) Verify(ch Challenge, rep *Report) Result {
 	// fully determined.
 	exp, err := v.expected(ch.Input)
 	if err != nil {
+		res.VerifierFault = true
 		return reject(res, ClassProtocol, err.Error())
 	}
 	res.Expected = exp

@@ -1,0 +1,264 @@
+// Package faultconn injects transport faults into attestation
+// connections for chaos testing the fleet's resilience layer. A Conn
+// wraps any io.ReadWriteCloser (net.Conn, net.Pipe ends, in-memory
+// fabrics) and degrades it according to a Plan: added latency, silent
+// mid-frame stalls, abrupt connection drops, wire corruption, and torn
+// writes — the failure modes a compromised or flaky prover can impose
+// on the verifier far more cheaply than forging a measurement.
+//
+// Stalls cooperate with deadlines: a stalled Read blocks until the
+// read deadline set through SetReadDeadline expires (returning
+// os.ErrDeadlineExceeded, like a real net.Conn) or the conn closes.
+// Callers that never arm a deadline hang forever — exactly the bug the
+// fleet's per-phase timeouts exist to rule out.
+package faultconn
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrTorn is reported by a write torn by Plan.TearWriteAfter: part of
+// the buffer reached the wire, the rest did not.
+var ErrTorn = errors.New("faultconn: torn write")
+
+// Plan selects the faults injected into one connection. The zero value
+// injects nothing. Byte thresholds count from the start of the
+// connection; 0 disables the fault.
+type Plan struct {
+	// Latency delays every Read and Write, simulating a slow link.
+	Latency time.Duration
+	// StallWriteAfter: once this many bytes have been written, further
+	// bytes are silently swallowed — the writes report success but
+	// never reach the peer. A threshold inside a frame leaves the peer
+	// blocked mid-ReadFull: the mid-frame stall.
+	StallWriteAfter int
+	// StallReadAfter: once this many bytes have been read, Read blocks
+	// until the read deadline expires (os.ErrDeadlineExceeded) or the
+	// conn closes — a peer that goes silent mid-reply.
+	StallReadAfter int
+	// TearWriteAfter: the write crossing this threshold delivers the
+	// bytes up to it, drops the rest, and reports ErrTorn — an I/O
+	// error landing between the bytes of a frame.
+	TearWriteAfter int
+	// CloseAfter: once this many bytes have moved in either direction,
+	// the connection drops abruptly (both ends).
+	CloseAfter int
+	// CorruptReadAt flips the bits of read-stream byte N (1-based) —
+	// wire corruption that leaves framing intact when N lands inside a
+	// payload.
+	CorruptReadAt int
+}
+
+// Conn is a fault-injected connection. It forwards deadlines to the
+// underlying conn when supported, and tracks the read deadline itself
+// so injected stalls respect it even when the underlying transport
+// never sees the blocked call.
+type Conn struct {
+	inner io.ReadWriteCloser
+	plan  Plan
+
+	mu      sync.Mutex
+	read    int // bytes delivered to the reader
+	written int // bytes the writer believes it sent
+
+	dlMu         sync.Mutex
+	readDeadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// New wraps inner with the plan's faults.
+func New(inner io.ReadWriteCloser, plan Plan) *Conn {
+	return &Conn{inner: inner, plan: plan, closed: make(chan struct{})}
+}
+
+// Wrap adapts a dial function (the shape of fleet.DialFunc) so that
+// connections to addresses the plan function knows are fault-injected;
+// other addresses pass through untouched.
+func Wrap(dial func(addr string) (io.ReadWriteCloser, error), plan func(addr string) (Plan, bool)) func(addr string) (io.ReadWriteCloser, error) {
+	return func(addr string) (io.ReadWriteCloser, error) {
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := plan(addr); ok {
+			return New(conn, p), nil
+		}
+		return conn, nil
+	}
+}
+
+// delay applies the plan latency, aborting early if the conn closes.
+func (c *Conn) delay() error {
+	select {
+	case <-c.closed:
+		return io.ErrClosedPipe
+	default:
+	}
+	if c.plan.Latency <= 0 {
+		return nil
+	}
+	t := time.NewTimer(c.plan.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.closed:
+		return io.ErrClosedPipe
+	}
+}
+
+// stall blocks like a silent peer: until the tracked read deadline
+// expires or the conn closes.
+func (c *Conn) stall() error {
+	c.dlMu.Lock()
+	dl := c.readDeadline
+	c.dlMu.Unlock()
+	var expire <-chan time.Time
+	if !dl.IsZero() {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-expire:
+		return os.ErrDeadlineExceeded
+	case <-c.closed:
+		return io.ErrClosedPipe
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.delay(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if ca := c.plan.CloseAfter; ca > 0 && c.read+c.written >= ca {
+		c.mu.Unlock()
+		c.Close()
+		return 0, io.ErrUnexpectedEOF
+	}
+	limit := len(p)
+	if sa := c.plan.StallReadAfter; sa > 0 {
+		if c.read >= sa {
+			c.mu.Unlock()
+			return 0, c.stall()
+		}
+		if room := sa - c.read; limit > room {
+			limit = room
+		}
+	}
+	if ca := c.plan.CloseAfter; ca > 0 {
+		if room := ca - c.read - c.written; limit > room {
+			limit = room
+		}
+	}
+	start := c.read
+	c.mu.Unlock()
+
+	n, err := c.inner.Read(p[:limit])
+	c.mu.Lock()
+	c.read += n
+	total := c.read + c.written
+	c.mu.Unlock()
+	if at := c.plan.CorruptReadAt; at > 0 && start < at && at <= start+n {
+		p[at-start-1] ^= 0xFF
+	}
+	if err == nil && c.plan.CloseAfter > 0 && total >= c.plan.CloseAfter {
+		// The byte budget is spent: drop the connection for both ends.
+		c.Close()
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.delay(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	written := c.written
+	read := c.read
+	c.mu.Unlock()
+
+	if ca := c.plan.CloseAfter; ca > 0 {
+		if written+read >= ca {
+			c.Close()
+			return 0, io.ErrClosedPipe
+		}
+		if room := ca - written - read; len(p) > room {
+			n, _ := c.inner.Write(p[:room])
+			c.mu.Lock()
+			c.written += n
+			c.mu.Unlock()
+			c.Close()
+			return n, io.ErrClosedPipe
+		}
+	}
+	if sa := c.plan.StallWriteAfter; sa > 0 && written+len(p) > sa {
+		if keep := sa - written; keep > 0 {
+			if n, err := c.inner.Write(p[:keep]); err != nil {
+				c.mu.Lock()
+				c.written += n
+				c.mu.Unlock()
+				return n, err
+			}
+		}
+		// The remainder is swallowed: the writer sees success, the
+		// peer waits for bytes that never come.
+		c.mu.Lock()
+		c.written += len(p)
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	if ta := c.plan.TearWriteAfter; ta > 0 && written+len(p) > ta {
+		keep := ta - written
+		var n int
+		if keep > 0 {
+			n, _ = c.inner.Write(p[:keep])
+		}
+		c.mu.Lock()
+		c.written += n
+		c.mu.Unlock()
+		return n, ErrTorn
+	}
+	n, err := c.inner.Write(p)
+	c.mu.Lock()
+	c.written += n
+	c.mu.Unlock()
+	return n, err
+}
+
+// Close drops the connection; injected stalls unblock immediately.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.inner.Close()
+	})
+	return err
+}
+
+// SetReadDeadline tracks the deadline for injected stalls and forwards
+// it to the underlying conn when supported.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDeadline = t
+	c.dlMu.Unlock()
+	if dc, ok := c.inner.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return dc.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// SetWriteDeadline forwards to the underlying conn when supported.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	if dc, ok := c.inner.(interface{ SetWriteDeadline(time.Time) error }); ok {
+		return dc.SetWriteDeadline(t)
+	}
+	return nil
+}

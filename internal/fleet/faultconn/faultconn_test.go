@@ -1,0 +1,210 @@
+package faultconn_test
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"lofat/internal/fleet/faultconn"
+)
+
+// echoPipe returns a faulted client end whose peer echoes every byte
+// back, plus a cleanup.
+func echoPipe(t *testing.T, plan faultconn.Plan) *faultconn.Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			n, err := server.Read(buf)
+			if n > 0 {
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	c := faultconn.New(client, plan)
+	t.Cleanup(func() { c.Close(); server.Close() })
+	return c
+}
+
+func TestPassthrough(t *testing.T) {
+	c := echoPipe(t, faultconn.Plan{})
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echoed %q", buf)
+	}
+}
+
+func TestStallReadHonorsDeadline(t *testing.T) {
+	c := echoPipe(t, faultconn.Plan{StallReadAfter: 3})
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf[:3]); err != nil {
+		t.Fatalf("pre-stall read: %v", err)
+	}
+	if err := c.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.Read(buf[3:])
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read returned %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled read blocked %v despite deadline", elapsed)
+	}
+}
+
+func TestStallWriteSwallowsSilently(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	c := faultconn.New(client, faultconn.Plan{StallWriteAfter: 3})
+	defer c.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		server.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _ := server.Read(buf)
+		got <- buf[:n]
+	}()
+	// The write "succeeds" in full but only 3 bytes cross the wire.
+	if n, err := c.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("stalled write: n=%d err=%v", n, err)
+	}
+	if b := <-got; string(b) != "hel" {
+		t.Fatalf("peer saw %q, want %q (mid-frame stall)", b, "hel")
+	}
+}
+
+func TestCloseAfterDropsBothEnds(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	c := faultconn.New(client, faultconn.Plan{CloseAfter: 2})
+	defer c.Close()
+
+	peerErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		server.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			if _, err := server.Read(buf); err != nil {
+				peerErr <- err
+				return
+			}
+		}
+	}()
+	n, err := c.Write([]byte("hello"))
+	if err == nil || n > 2 {
+		t.Fatalf("write past drop: n=%d err=%v", n, err)
+	}
+	if err := <-peerErr; err == nil {
+		t.Fatal("peer read survived the drop")
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write on dropped conn succeeded")
+	}
+}
+
+func TestCorruptReadAt(t *testing.T) {
+	c := echoPipe(t, faultconn.Plan{CorruptReadAt: 2})
+	if _, err := c.Write([]byte{0x10, 0x20, 0x30}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x10, 0x20 ^ 0xFF, 0x30}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("read %x, want %x", buf, want)
+		}
+	}
+}
+
+func TestTearWrite(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	c := faultconn.New(client, faultconn.Plan{TearWriteAfter: 2})
+	defer c.Close()
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		server.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _ := server.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := c.Write([]byte("hello"))
+	if !errors.Is(err, faultconn.ErrTorn) {
+		t.Fatalf("torn write returned %v, want ErrTorn", err)
+	}
+	if n != 2 {
+		t.Fatalf("torn write delivered %d bytes, want 2", n)
+	}
+	if b := <-got; string(b) != "he" {
+		t.Fatalf("peer saw %q, want %q (torn frame)", b, "he")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	c := echoPipe(t, faultconn.Plan{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 60ms (latency on write and read)", elapsed)
+	}
+}
+
+func TestWrapOnlyPlannedAddrs(t *testing.T) {
+	dial := func(addr string) (io.ReadWriteCloser, error) {
+		client, server := net.Pipe()
+		go func() { io.Copy(server, server) }()
+		return client, nil
+	}
+	wrapped := faultconn.Wrap(dial, func(addr string) (faultconn.Plan, bool) {
+		if addr == "bad" {
+			return faultconn.Plan{StallReadAfter: 1}, true
+		}
+		return faultconn.Plan{}, false
+	})
+	good, err := wrapped("good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if _, ok := good.(*faultconn.Conn); ok {
+		t.Fatal("unplanned address was wrapped")
+	}
+	bad, err := wrapped("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	if _, ok := bad.(*faultconn.Conn); !ok {
+		t.Fatal("planned address was not wrapped")
+	}
+}

@@ -16,7 +16,18 @@
 //     the existing frame transport, records per-device results, and
 //     quarantines devices whose attestations are rejected;
 //   - fleet metrics: throughput, cache hit rate, accept/reject counts
-//     per attack classification.
+//     per attack classification, and per-class transport-failure
+//     counters (dial / timeout / drop / protocol);
+//   - a transport resilience layer: per-phase I/O deadlines on every
+//     exchange, bounded retries with jittered exponential backoff, and
+//     a per-device circuit breaker (healthy → degraded → tripped, with
+//     half-open probes on later sweeps) so devices that stall
+//     mid-frame or drop connections — a cheaper attack than forging a
+//     measurement — cannot wedge workers or consume the fleet's
+//     timeout budget sweep after sweep. The breaker is deliberately
+//     distinct from quarantine: quarantine is a measurement verdict,
+//     the breaker a transport verdict. internal/fleet/faultconn is the
+//     fault-injection harness that chaos-tests this layer.
 //
 // The design follows the C-FLAT lineage's precomputed-measurement
 // deployment mode (attest.MeasurementDB): for fleets of identical
@@ -29,9 +40,11 @@ import (
 	"crypto/rand"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lofat/internal/asm"
@@ -55,9 +68,13 @@ type Config struct {
 	// when the queue is full (default 4×Workers).
 	QueueDepth int
 	// QuarantineAfter is the number of consecutive rejected attestations
-	// that quarantines a device (default 1). Transport errors neither
-	// count toward nor reset the streak: an unreachable device is not
-	// evidence of compromise.
+	// that quarantines a device (default 1). Only authenticated
+	// rejections — a report that carried a valid device signature and
+	// measured wrong — advance the streak. Transport errors and
+	// unauthenticated rejects (signature/protocol failures, which an
+	// on-path attacker or a corrupting link can fabricate) feed the
+	// transport circuit breaker instead: an unreachable or garbled
+	// device is not evidence of compromise.
 	QuarantineAfter int
 	// DisableCache turns the shared measurement cache off; every device
 	// verifier then golden-runs independently (the pre-fleet behaviour,
@@ -73,8 +90,45 @@ type Config struct {
 	// StreamSegmentEvents is the checkpoint window N for streamed
 	// rounds (default stream.DefaultSegmentEvents).
 	StreamSegmentEvents int
-	// Dial opens device transports (default TCP with a 5s timeout).
+	// Dial opens device transports (default TCP with a DialTimeout
+	// timeout).
 	Dial DialFunc
+	// DialTimeout bounds the default TCP dial (default 5s). Ignored
+	// when a custom Dial is supplied.
+	DialTimeout time.Duration
+	// ReadTimeout and WriteTimeout are the per-phase I/O deadlines
+	// armed on every exchange with a device: each protocol write and
+	// each wait for the device's next frame (report, or stream segment)
+	// gets its own deadline, so a device that stalls mid-frame — a
+	// cheaper attack than forging a measurement — times the round out
+	// instead of wedging a fleet worker forever. Default 30s each; a
+	// negative value disables that deadline.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// RetryAttempts is the total number of transport attempts per round
+	// (default 2, i.e. one retry). Only transport failures — dial
+	// errors, timeouts, dropped connections — are retried; a device
+	// speaking garbage or a rejected measurement is never retried.
+	RetryAttempts int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per further attempt, capped at RetryBackoffMax, with ±50% jitter
+	// so a fleet of failing devices does not retry in lockstep.
+	// Defaults: 50ms base, 1s cap.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// BreakerThreshold trips a device's transport circuit breaker after
+	// this many consecutive failed rounds (all attempts exhausted).
+	// Tripped devices are skipped — their timeout budget is not paid —
+	// except for one half-open probe after the device has sat out
+	// BreakerProbeAfter fleet sweeps; a completed exchange closes the
+	// breaker. Default 3; a negative value disables the breaker. The
+	// breaker is distinct from quarantine: quarantine is a measurement
+	// verdict (the device attested wrong), the breaker is a transport
+	// verdict (the device cannot be talked to).
+	BreakerThreshold int
+	// BreakerProbeAfter is the number of sweeps a tripped device sits
+	// out before the next half-open probe (default 1).
+	BreakerProbeAfter int
 	// MaxInstructions bounds golden runs (default: verifier default).
 	MaxInstructions uint64
 }
@@ -95,11 +149,61 @@ func (c *Config) fill() {
 	if c.QuarantineAfter <= 0 {
 		c.QuarantineAfter = 1
 	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerProbeAfter <= 0 {
+		c.BreakerProbeAfter = 1
+	}
 	if c.Dial == nil {
+		dialTimeout := c.DialTimeout
 		c.Dial = func(addr string) (io.ReadWriteCloser, error) {
-			return net.DialTimeout("tcp", addr, 5*time.Second)
+			return net.DialTimeout("tcp", addr, dialTimeout)
 		}
 	}
+}
+
+// timeouts are the per-phase exchange deadlines selected by the config
+// (negative fields disable the corresponding deadline).
+func (c *Config) timeouts() attest.Timeouts {
+	to := attest.Timeouts{Read: c.ReadTimeout, Write: c.WriteTimeout}
+	if to.Read < 0 {
+		to.Read = 0
+	}
+	if to.Write < 0 {
+		to.Write = 0
+	}
+	return to
+}
+
+// backoff is the pre-attempt delay before retry number retry (1-based):
+// exponential, uniformly jittered to ±50% of the nominal value, and
+// never above RetryBackoffMax.
+func (c *Config) backoff(retry int) time.Duration {
+	d := c.RetryBackoff << (retry - 1)
+	if d <= 0 || d > c.RetryBackoffMax {
+		d = c.RetryBackoffMax
+	}
+	j := d/2 + mrand.N(d+1) // uniform in [d/2, 3d/2]
+	return min(j, c.RetryBackoffMax)
 }
 
 // program is a registered firmware image: the shared offline analysis
@@ -121,6 +225,10 @@ type Service struct {
 	metrics *Metrics
 	jobs    chan *job
 	workers sync.WaitGroup
+
+	// sweepGen numbers program sweeps; tripped-breaker devices use it
+	// to pace their half-open probes (one per BreakerProbeAfter sweeps).
+	sweepGen atomic.Uint64
 
 	// mu guards programs, reports and closed. Submission paths hold it
 	// read-locked around queue sends so Close cannot race a send on a
@@ -239,8 +347,16 @@ func (s *Service) FleetSize() int { return s.reg.Len() }
 // Quarantined lists quarantined device IDs, sorted.
 func (s *Service) Quarantined() []DeviceID { return s.reg.Quarantined() }
 
-// Release lifts a device's quarantine (operator override after
-// re-provisioning); it reports whether the device exists.
+// Tripped lists devices whose transport circuit breaker is tripped,
+// sorted. Distinct from Quarantined: these devices measured nothing
+// wrong — they could not be talked to.
+func (s *Service) Tripped() []DeviceID { return s.reg.Tripped() }
+
+// Release restores a device to full service (operator override after
+// re-provisioning): quarantine is lifted and an open transport breaker
+// is closed; it reports whether the device exists. This is also the
+// recovery path for breakers tripped by direct Submit rounds, which —
+// unlike sweeps — never fire half-open probes.
 func (s *Service) Release(id DeviceID) bool { return s.reg.SetQuarantined(id, false) }
 
 // Cache exposes the shared measurement cache (nil when disabled).

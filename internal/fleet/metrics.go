@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,6 +29,19 @@ type Metrics struct {
 	streamRounds     atomic.Uint64
 	segmentsVerified atomic.Uint64
 	earlyAborts      atomic.Uint64
+
+	// Transport-failure classes (each failed round increments errors
+	// plus exactly one of these) and resilience counters.
+	dialFailures   atomic.Uint64
+	timeouts       atomic.Uint64
+	connDrops      atomic.Uint64
+	protocolErrors atomic.Uint64
+	localErrors    atomic.Uint64
+	retries        atomic.Uint64
+	breakerTrips   atomic.Uint64
+	breakerResets  atomic.Uint64
+	breakerSkips   atomic.Uint64
+	breakerProbes  atomic.Uint64
 }
 
 // NewMetrics returns zeroed metrics.
@@ -42,6 +56,29 @@ func (m *Metrics) record(res attest.Result) {
 	}
 	if c := int(res.Class); c < numClasses {
 		m.byClass[c].Add(1)
+	}
+}
+
+// recordFailure buckets a failed round (all attempts exhausted) into
+// the per-class transport-failure counters: could not dial, peer
+// stalled past a deadline, connection dropped mid-exchange, or the
+// peer spoke a broken protocol.
+func (m *Metrics) recordFailure(err error) {
+	m.errors.Add(1)
+	var de *DialError
+	var te *attest.TransportError
+	var le *attest.LocalError
+	switch {
+	case errors.As(err, &de):
+		m.dialFailures.Add(1)
+	case errors.As(err, &te) && te.Timeout():
+		m.timeouts.Add(1)
+	case errors.As(err, &te):
+		m.connDrops.Add(1)
+	case errors.As(err, &le):
+		m.localErrors.Add(1)
+	default:
+		m.protocolErrors.Add(1)
 	}
 }
 
@@ -78,15 +115,40 @@ type MetricsSnapshot struct {
 	SegmentsVerified uint64
 	EarlyAborts      uint64
 
+	// Transport-failure classes: every failed round (all attempts
+	// exhausted) lands in exactly one of these. DialFailures could not
+	// open a transport; Timeouts hit a per-phase deadline (stalled
+	// peer); ConnDrops lost the connection mid-exchange; ProtocolErrors
+	// cover peers speaking a broken or hostile protocol, plus rounds
+	// unusable for other non-transport reasons (unknown device);
+	// LocalErrors failed verifier-side before any bytes moved (golden
+	// run, cache, entropy) and say nothing about the device — they
+	// never advance a breaker.
+	DialFailures   uint64
+	Timeouts       uint64
+	ConnDrops      uint64
+	ProtocolErrors uint64
+	LocalErrors    uint64
+	// Retries counts extra transport attempts beyond the first.
+	Retries uint64
+	// BreakerTrips / BreakerResets count breaker state transitions;
+	// BreakerSkips are rounds dropped on an open breaker (no timeout
+	// budget paid); BreakerProbes are half-open probe rounds.
+	BreakerTrips  uint64
+	BreakerResets uint64
+	BreakerSkips  uint64
+	BreakerProbes uint64
+
 	// CacheHits / CacheMisses / CacheHitRate mirror the shared
 	// measurement cache (zero when the cache is disabled).
 	CacheHits    uint64
 	CacheMisses  uint64
 	CacheHitRate float64
 
-	// Devices / Quarantined are registry gauges.
+	// Devices / Quarantined / Tripped are registry gauges.
 	Devices     int
 	Quarantined int
+	Tripped     int
 }
 
 // Metrics snapshots the service counters.
@@ -105,8 +167,20 @@ func (s *Service) Metrics() MetricsSnapshot {
 		SegmentsVerified: m.segmentsVerified.Load(),
 		EarlyAborts:      m.earlyAborts.Load(),
 
+		DialFailures:   m.dialFailures.Load(),
+		Timeouts:       m.timeouts.Load(),
+		ConnDrops:      m.connDrops.Load(),
+		ProtocolErrors: m.protocolErrors.Load(),
+		LocalErrors:    m.localErrors.Load(),
+		Retries:        m.retries.Load(),
+		BreakerTrips:   m.breakerTrips.Load(),
+		BreakerResets:  m.breakerResets.Load(),
+		BreakerSkips:   m.breakerSkips.Load(),
+		BreakerProbes:  m.breakerProbes.Load(),
+
 		Devices:     s.reg.Len(),
-		Quarantined: len(s.reg.Quarantined()),
+		Quarantined: s.reg.count(func(d *device) bool { return d.quarantined }),
+		Tripped:     s.reg.count(func(d *device) bool { return d.breaker == BreakerTripped }),
 	}
 	for c := 0; c < numClasses; c++ {
 		if n := m.byClass[c].Load(); n > 0 {
@@ -129,6 +203,14 @@ func (snap MetricsSnapshot) String() string {
 	if snap.StreamRounds > 0 {
 		fmt.Fprintf(&b, ", %d streamed (%d segments, %d early aborts)",
 			snap.StreamRounds, snap.SegmentsVerified, snap.EarlyAborts)
+	}
+	if snap.Errors > 0 || snap.Retries > 0 {
+		fmt.Fprintf(&b, ", transport: %d dial / %d timeout / %d drop / %d protocol / %d local, %d retries",
+			snap.DialFailures, snap.Timeouts, snap.ConnDrops, snap.ProtocolErrors, snap.LocalErrors, snap.Retries)
+	}
+	if snap.BreakerTrips > 0 || snap.Tripped > 0 {
+		fmt.Fprintf(&b, ", breaker: %d tripped now (%d trips, %d skips, %d probes, %d resets)",
+			snap.Tripped, snap.BreakerTrips, snap.BreakerSkips, snap.BreakerProbes, snap.BreakerResets)
 	}
 	if snap.CacheHits+snap.CacheMisses > 0 {
 		fmt.Fprintf(&b, ", cache %.0f%% hit (%d/%d)",

@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,25 +19,42 @@ type Round struct {
 	// the device is verified incrementally and cut off at the first
 	// divergent segment instead of after the run completes.
 	Streamed bool
+
+	// gen is the sweep generation the round belongs to (0 for direct
+	// submissions); tripped-breaker devices pace half-open probes by it.
+	gen uint64
 }
 
 // Outcome is the pipeline's record of one completed round.
 type Outcome struct {
 	Device DeviceID
-	// Skipped is set when no exchange happened (device quarantined).
+	// Skipped is set when no exchange happened (device quarantined, or
+	// its transport breaker open — see BreakerOpen).
 	Skipped bool
+	// BreakerOpen is set alongside Skipped when the round was dropped
+	// because the device's transport breaker is tripped.
+	BreakerOpen bool
+	// BreakerProbe marks this round as a half-open probe against a
+	// tripped breaker.
+	BreakerProbe bool
 	// Result is the verifier's decision (valid when Err is nil and the
 	// round was not skipped).
 	Result attest.Result
 	// Stream carries the streaming-specific outcome of a streamed round
 	// (segments consumed, early abort, divergence localization).
 	Stream *stream.Result
-	// Err reports transport or attestation failures.
+	// Err reports transport or attestation failures (after all
+	// transport attempts were exhausted).
 	Err error
+	// Attempts is the number of transport attempts made (> 1 when the
+	// round was retried).
+	Attempts int
 	// Quarantined is set when this round newly quarantined the device.
 	Quarantined bool
-	// Duration covers the full exchange: dial, challenge, prover
-	// execution, verification.
+	// Tripped is set when this round's failure tripped the device's
+	// transport breaker.
+	Tripped bool
+	// Duration covers the full round: every dial, exchange and backoff.
 	Duration time.Duration
 }
 
@@ -56,18 +75,41 @@ func (s *Service) worker() {
 	}
 }
 
+// DialError marks a failure to open the device transport at all, as
+// opposed to a failure mid-exchange.
+type DialError struct {
+	Addr string
+	Err  error
+}
+
+func (e *DialError) Error() string { return fmt.Sprintf("fleet: dial %q: %v", e.Addr, e.Err) }
+
+func (e *DialError) Unwrap() error { return e.Err }
+
+// retryable reports whether a failed attempt is worth repeating: dial
+// failures and transport I/O errors may be transient, while protocol
+// violations and prover-side refusals are deterministic — a byzantine
+// peer does not improve on retry.
+func retryable(err error) bool {
+	var de *DialError
+	var te *attest.TransportError
+	return errors.As(err, &de) || errors.As(err, &te)
+}
+
 // process runs one attestation round end to end: registry lookup,
-// transport dial, the Figure 2 exchange (prover execution + report
-// verification), then metrics and registry bookkeeping.
-func (s *Service) process(r Round) Outcome {
-	out := Outcome{Device: r.Device}
+// quarantine and breaker gates, then up to RetryAttempts transport
+// attempts of the Figure 2 exchange (dial, challenge with per-phase
+// deadlines, prover execution, verification) with exponential backoff
+// between them, and finally metrics and registry bookkeeping.
+func (s *Service) process(r Round) (out Outcome) {
+	out.Device = r.Device
 	start := time.Now()
 	defer func() { out.Duration = time.Since(start) }()
 
 	d, ok := s.reg.get(r.Device)
 	if !ok {
 		out.Err = fmt.Errorf("fleet: device %q not enrolled", r.Device)
-		s.metrics.errors.Add(1)
+		s.metrics.recordFailure(out.Err)
 		return out
 	}
 	if _, quarantined := s.quarantineCheck(d); quarantined {
@@ -75,22 +117,81 @@ func (s *Service) process(r Round) Outcome {
 		s.metrics.skipped.Add(1)
 		return out
 	}
-	conn, err := s.cfg.Dial(d.addr)
-	if err != nil {
-		out.Err = fmt.Errorf("fleet: dial %q: %w", d.addr, err)
-		s.metrics.errors.Add(1)
-		s.reg.recordError(d.id, out.Err)
+	skip, probe := s.reg.breakerCheck(d.id, r.gen, s.cfg.BreakerProbeAfter)
+	if skip {
+		out.Skipped = true
+		out.BreakerOpen = true
+		s.metrics.skipped.Add(1)
+		s.metrics.breakerSkips.Add(1)
 		return out
 	}
+	attempts := s.cfg.RetryAttempts
+	if probe {
+		// Half-open: one cautious attempt, no retry ladder.
+		out.BreakerProbe = true
+		s.metrics.breakerProbes.Add(1)
+		attempts = 1
+	}
+
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			s.metrics.retries.Add(1)
+			time.Sleep(s.cfg.backoff(attempt - 1))
+		}
+		out.Attempts = attempt
+		err := s.exchange(d, r, &out)
+		if err == nil {
+			return out
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+	}
+	out.Err = lastErr
+	s.metrics.recordFailure(lastErr)
+	// Verifier-local failures (golden run, cache, entropy — no bytes
+	// moved) carry no evidence about the device: they must not advance
+	// its breaker, or a verifier misconfiguration would trip breakers
+	// fleet-wide on healthy devices.
+	var le *attest.LocalError
+	if errors.As(lastErr, &le) {
+		return out
+	}
+	if s.reg.recordError(d.id, lastErr, s.cfg.BreakerThreshold, s.roundGen(r)) {
+		out.Tripped = true
+		s.metrics.breakerTrips.Add(1)
+	}
+	return out
+}
+
+// roundGen is the sweep generation breaker bookkeeping anchors on.
+// Direct rounds carry none, so they anchor at the current one: a trip
+// outside sweeps still sits out BreakerProbeAfter sweeps before its
+// first probe.
+func (s *Service) roundGen(r Round) uint64 {
+	if r.gen != 0 {
+		return r.gen
+	}
+	return s.sweepGen.Load()
+}
+
+// exchange dials the device and drives one protocol exchange with
+// per-phase deadlines, folding success bookkeeping (metrics, quarantine
+// policy, breaker close) into out when the exchange completes.
+func (s *Service) exchange(d *device, r Round, out *Outcome) error {
+	conn, err := s.cfg.Dial(d.addr)
+	if err != nil {
+		return &DialError{Addr: d.addr, Err: err}
+	}
 	defer conn.Close()
+	to := s.cfg.timeouts()
 	if r.Streamed {
 		sv := stream.NewVerifier(d.verifier, stream.Config{SegmentEvents: s.cfg.StreamSegmentEvents})
-		sres, err := stream.RequestStream(conn, sv, r.Input)
+		sres, err := stream.RequestStreamTimeout(conn, sv, r.Input, to)
 		if err != nil {
-			out.Err = err
-			s.metrics.errors.Add(1)
-			s.reg.recordError(d.id, err)
-			return out
+			return err
 		}
 		// The deferred Close drops the transport right here — for an
 		// early-aborted round that is what cuts the device off
@@ -99,20 +200,39 @@ func (s *Service) process(r Round) Outcome {
 		out.Result = sres.Result
 		out.Stream = &sres
 		s.metrics.recordStream(sres)
-		out.Quarantined = s.reg.recordResult(d.id, sres.Result, s.cfg.QuarantineAfter)
-		return out
+		s.recordVerified(d, sres.Result, r, out)
+		return nil
 	}
-	res, err := attest.RequestFrom(conn, d.verifier, r.Input)
+	res, err := attest.RequestFromTimeout(conn, d.verifier, r.Input, to)
 	if err != nil {
-		out.Err = err
-		s.metrics.errors.Add(1)
-		s.reg.recordError(d.id, err)
-		return out
+		return err
+	}
+	if res.VerifierFault {
+		// The exchange completed but the verifier could not compute
+		// the golden comparison: a verifier-local failure wearing a
+		// rejection — route it as one so it is neither a measurement
+		// verdict against the device nor breaker evidence.
+		return &attest.LocalError{Err: fmt.Errorf("fleet: golden comparison unavailable: %s", strings.Join(res.Findings, "; "))}
 	}
 	out.Result = res
 	s.metrics.record(res)
-	out.Quarantined = s.reg.recordResult(d.id, res, s.cfg.QuarantineAfter)
-	return out
+	s.recordVerified(d, res, r, out)
+	return nil
+}
+
+// recordVerified applies the registry bookkeeping of a completed
+// exchange to the outcome. Unauthenticated rejects advance the breaker
+// (see authenticatedReject), so they too can trip it.
+func (s *Service) recordVerified(d *device, res attest.Result, r Round, out *Outcome) {
+	ro := s.reg.recordResult(d.id, res, s.cfg.QuarantineAfter, s.cfg.BreakerThreshold, s.roundGen(r))
+	out.Quarantined = ro.NewlyQuarantined
+	if ro.BreakerClosed {
+		s.metrics.breakerResets.Add(1)
+	}
+	if ro.Tripped {
+		out.Tripped = true
+		s.metrics.breakerTrips.Add(1)
+	}
 }
 
 // quarantineCheck reads the device's quarantine flag under its shard

@@ -14,6 +14,42 @@ import (
 // DeviceID names one enrolled device (serial number, asset tag, ...).
 type DeviceID string
 
+// BreakerState is the position of one device's transport circuit
+// breaker. It is deliberately distinct from quarantine: quarantine is a
+// measurement verdict (the device attested and the attestation was
+// rejected), the breaker is a transport verdict (the device stalls,
+// drops connections, or cannot be reached). A compromised device that
+// wedges exchanges mid-frame is cheaper for an attacker than one that
+// forges a measurement; the breaker stops it from consuming a full
+// timeout-and-retry budget on every sweep.
+type BreakerState uint8
+
+const (
+	// BreakerHealthy: recent exchanges completed; rounds run normally.
+	BreakerHealthy BreakerState = iota
+	// BreakerDegraded: consecutive transport failures below the trip
+	// threshold. Rounds still run; the state is operator visibility.
+	BreakerDegraded
+	// BreakerTripped: consecutive failures reached the threshold.
+	// Rounds are skipped without paying the timeout budget, except one
+	// half-open probe after the device sits out the configured number
+	// of sweeps; a completed exchange closes the breaker again.
+	BreakerTripped
+)
+
+func (b BreakerState) String() string {
+	switch b {
+	case BreakerHealthy:
+		return "healthy"
+	case BreakerDegraded:
+		return "degraded"
+	case BreakerTripped:
+		return "tripped"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", uint8(b))
+	}
+}
+
 // device is the registry's record of one enrolled prover. Mutable
 // fields are guarded by the owning shard's lock.
 type device struct {
@@ -33,6 +69,10 @@ type device struct {
 	lastFindings       []string
 	lastError          string
 	lastAttested       time.Time
+
+	breaker        BreakerState
+	transportFails int    // consecutive failed rounds (all attempts exhausted)
+	breakerGen     uint64 // sweep generation of the trip or last failed probe
 }
 
 // DeviceState is an exported point-in-time snapshot of a device record.
@@ -54,6 +94,11 @@ type DeviceState struct {
 	LastFindings []string
 	LastError    string
 	LastAttested time.Time
+
+	// Breaker is the transport circuit breaker position;
+	// ConsecutiveTransportFails is the failed-round streak feeding it.
+	Breaker                   BreakerState
+	ConsecutiveTransportFails int
 }
 
 func (d *device) snapshot() DeviceState {
@@ -72,6 +117,9 @@ func (d *device) snapshot() DeviceState {
 		LastFindings:       append([]string(nil), d.lastFindings...),
 		LastError:          d.lastError,
 		LastAttested:       d.lastAttested,
+
+		Breaker:                   d.breaker,
+		ConsecutiveTransportFails: d.transportFails,
 	}
 }
 
@@ -161,13 +209,13 @@ func (r *Registry) States() []DeviceState {
 	return out
 }
 
-// Quarantined lists quarantined device IDs, sorted.
-func (r *Registry) Quarantined() []DeviceID {
+// ids lists the devices matching pred, sorted.
+func (r *Registry) ids(pred func(*device) bool) []DeviceID {
 	var out []DeviceID
 	for _, sh := range r.shards {
 		sh.mu.RLock()
 		for _, d := range sh.devices {
-			if d.quarantined {
+			if pred(d) {
 				out = append(out, d.id)
 			}
 		}
@@ -177,9 +225,33 @@ func (r *Registry) Quarantined() []DeviceID {
 	return out
 }
 
-// SetQuarantined forces a device's quarantine flag (operator action);
-// releasing also clears the rejection streak. It reports whether the
-// device exists.
+// count reports how many devices match pred.
+func (r *Registry) count(pred func(*device) bool) int {
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, d := range sh.devices {
+			if pred(d) {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Quarantined lists quarantined device IDs, sorted.
+func (r *Registry) Quarantined() []DeviceID {
+	return r.ids(func(d *device) bool { return d.quarantined })
+}
+
+// SetQuarantined forces a device's quarantine flag (operator action).
+// Releasing restores the device to full service: the rejection streak,
+// the transport-failure streak and an open circuit breaker are all
+// cleared — an operator re-provisioning a device fixes its transport
+// along with its firmware, and this is also the recovery path for
+// breakers tripped outside sweeps (direct Submit rounds never fire
+// half-open probes). It reports whether the device exists.
 func (r *Registry) SetQuarantined(id DeviceID, q bool) bool {
 	sh := r.shardFor(id)
 	sh.mu.Lock()
@@ -191,6 +263,8 @@ func (r *Registry) SetQuarantined(id DeviceID, q bool) bool {
 	d.quarantined = q
 	if !q {
 		d.consecutiveRejects = 0
+		d.transportFails = 0
+		d.breaker = BreakerHealthy
 	}
 	return true
 }
@@ -212,47 +286,131 @@ func (r *Registry) membersOf(prog attest.ProgramID) []*device {
 	return out
 }
 
+// authenticatedReject reports whether a rejection is backed by a report
+// that authenticated as coming from the device (valid signature,
+// coherent protocol): only those are evidence of compromise. Signature
+// and protocol failures are exactly what an on-path attacker or a
+// corrupting link produces, so they feed the transport breaker instead
+// of the quarantine policy — otherwise one flipped byte on the wire
+// would quarantine an honest device, and a man-in-the-middle could
+// quarantine the whole fleet.
+func authenticatedReject(res attest.Result) bool {
+	return res.Class != attest.ClassSignature && res.Class != attest.ClassProtocol
+}
+
+// advanceBreaker folds one transport-level failure into the breaker
+// (caller holds the shard write lock); it reports whether this failure
+// newly tripped it. gen is the sweep generation of the round (0 outside
+// sweeps); a failed half-open probe re-arms the sit-out window from it.
+func (d *device) advanceBreaker(threshold int, gen uint64) bool {
+	if threshold < 0 {
+		return false // breaker disabled
+	}
+	d.transportFails++
+	switch {
+	case d.breaker == BreakerTripped:
+		// Failed half-open probe: sit out again from this sweep.
+		d.breakerGen = gen
+		return false
+	case d.transportFails >= threshold:
+		d.breaker = BreakerTripped
+		d.breakerGen = gen
+		return true
+	default:
+		d.breaker = BreakerDegraded
+		return false
+	}
+}
+
+// resultOutcome is the registry bookkeeping of one completed exchange.
+type resultOutcome struct {
+	NewlyQuarantined bool
+	BreakerClosed    bool
+	Tripped          bool
+}
+
 // recordResult folds a verified round into the device record and
-// applies the quarantine policy. It reports whether this round newly
-// quarantined the device.
-func (r *Registry) recordResult(id DeviceID, res attest.Result, quarantineAfter int) bool {
+// applies the quarantine policy. An exchange whose report authenticated
+// is also transport health: the failure streak resets and an open
+// breaker closes. An unauthenticated reject (signature/protocol class)
+// is the opposite — indistinguishable from wire tampering, it advances
+// the breaker and leaves the quarantine streak alone.
+func (r *Registry) recordResult(id DeviceID, res attest.Result, quarantineAfter, breakerThreshold int, gen uint64) resultOutcome {
 	sh := r.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var out resultOutcome
 	d, ok := sh.devices[id]
 	if !ok {
-		return false
+		return out
 	}
 	d.rounds++
 	d.lastClass = res.Class
 	d.lastFindings = append([]string(nil), res.Findings...)
-	d.lastError = ""
 	d.lastAttested = time.Now()
+	if !res.Accepted && !authenticatedReject(res) {
+		// Transport verdict, not a measurement one: the device-level
+		// Accepted/Rejected counters track authenticated verdicts only.
+		d.transportErrors++
+		d.lastError = fmt.Sprintf("unauthenticated report (%v)", res.Class)
+		out.Tripped = d.advanceBreaker(breakerThreshold, gen)
+		return out
+	}
+	d.lastError = ""
+	d.transportFails = 0
+	out.BreakerClosed = d.breaker == BreakerTripped
+	d.breaker = BreakerHealthy
 	if res.Accepted {
 		d.accepted++
 		d.consecutiveRejects = 0
-		return false
+		return out
 	}
 	d.rejected++
 	d.consecutiveRejects++
 	if !d.quarantined && d.consecutiveRejects >= quarantineAfter {
 		d.quarantined = true
-		return true
+		out.NewlyQuarantined = true
 	}
-	return false
+	return out
 }
 
-// recordError folds a transport/attestation failure into the device
-// record. Errors do not advance the quarantine streak: an unreachable
-// device is an availability problem, not evidence of compromise.
-func (r *Registry) recordError(id DeviceID, err error) {
+// recordError folds a failed round (all transport attempts exhausted)
+// into the device record and advances the circuit breaker. Errors do
+// not advance the quarantine streak: an unreachable device is an
+// availability problem, not evidence of compromise. It reports whether
+// this failure newly tripped the breaker.
+func (r *Registry) recordError(id DeviceID, err error, threshold int, gen uint64) (tripped bool) {
 	sh := r.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	d, ok := sh.devices[id]
 	if !ok {
-		return
+		return false
 	}
 	d.transportErrors++
 	d.lastError = err.Error()
+	return d.advanceBreaker(threshold, gen)
+}
+
+// breakerCheck gates one round on the device's breaker: skip reports
+// that the round must not run (breaker open), probe that it runs as the
+// half-open probe. Rounds outside sweeps (gen 0) never probe a tripped
+// breaker.
+func (r *Registry) breakerCheck(id DeviceID, gen uint64, probeAfter int) (skip, probe bool) {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.devices[id]
+	if !ok || d.breaker != BreakerTripped {
+		return false, false
+	}
+	if gen > d.breakerGen+uint64(probeAfter) {
+		return false, true
+	}
+	return true, false
+}
+
+// Tripped lists devices whose transport breaker is tripped, sorted.
+func (r *Registry) Tripped() []DeviceID {
+	return r.ids(func(d *device) bool { return d.breaker == BreakerTripped })
 }

@@ -1,7 +1,11 @@
 package fleet
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,15 +22,25 @@ type SweepReport struct {
 	// protocol.
 	Streamed bool
 	// Devices is the number enrolled for the program; Skipped of those
-	// were quarantined and not challenged.
+	// were not challenged (quarantined, or transport breaker open —
+	// the latter also counted in BreakerSkipped).
 	Devices int
 	Skipped int
 
 	Accepted int
 	Rejected int
 	Errors   int
+	// Retried counts rounds that needed more than one transport
+	// attempt (whether or not they eventually completed).
+	Retried int
 	// NewlyQuarantined lists devices this sweep quarantined.
 	NewlyQuarantined []DeviceID
+	// NewlyTripped lists devices whose transport breaker this sweep
+	// tripped; BreakerSkipped / BreakerProbes count breaker-gated
+	// rounds.
+	NewlyTripped   []DeviceID
+	BreakerSkipped int
+	BreakerProbes  int
 	// ByClass breaks verified rounds down per classification.
 	ByClass map[attest.Classification]int
 
@@ -44,16 +58,55 @@ type SweepReport struct {
 func (r SweepReport) String() string {
 	s := fmt.Sprintf("sweep %v: %d devices, %d accepted, %d rejected, %d errors, %d skipped, %d newly quarantined, %.0f rounds/s",
 		r.Program, r.Devices, r.Accepted, r.Rejected, r.Errors, r.Skipped, len(r.NewlyQuarantined), r.Throughput)
+	if r.Retried > 0 || len(r.NewlyTripped) > 0 || r.BreakerSkipped > 0 || r.BreakerProbes > 0 {
+		s += fmt.Sprintf(" [transport: %d retried, %d newly tripped, %d breaker-skipped, %d probes]",
+			r.Retried, len(r.NewlyTripped), r.BreakerSkipped, r.BreakerProbes)
+	}
 	if r.Streamed {
 		s += fmt.Sprintf(" [streamed: %d segments, %d early aborts]", r.SegmentsVerified, r.EarlyAborts)
 	}
 	return s
 }
 
+// ProgramError pairs a program with its sweep failure.
+type ProgramError struct {
+	Program attest.ProgramID
+	Err     error
+}
+
+func (e ProgramError) Error() string { return fmt.Sprintf("program %v: %v", e.Program, e.Err) }
+
+func (e ProgramError) Unwrap() error { return e.Err }
+
+// SweepError aggregates the per-program failures of one fleet sweep.
+// It unwraps to every underlying error, so errors.Is(err, ErrClosed)
+// still detects a service closed mid-sweep.
+type SweepError struct {
+	Failures []ProgramError
+}
+
+func (e *SweepError) Error() string {
+	parts := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		parts[i] = f.Error()
+	}
+	return fmt.Sprintf("fleet: sweep: %d program(s) failed: %s", len(e.Failures), strings.Join(parts, "; "))
+}
+
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f
+	}
+	return errs
+}
+
 // Sweep challenges every non-quarantined device of every registered
-// program once, rotating through each program's input schedule, and
-// returns one report per program (sorted by registration order of the
-// underlying map is not guaranteed; reports carry the program ID).
+// program once, rotating through each program's input schedule.
+// Programs are swept concurrently, and one program failing does not
+// abort the others: the sweep continues, the reports of the programs
+// that completed are returned sorted by program ID, and the failures —
+// if any — come back aggregated in a *SweepError.
 func (s *Service) Sweep() ([]SweepReport, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -71,14 +124,37 @@ func (s *Service) Sweep() ([]SweepReport, error) {
 		picks = append(picks, pick{id: id, input: in})
 	}
 	s.mu.Unlock()
+	sort.Slice(picks, func(i, j int) bool {
+		return bytes.Compare(picks[i].id[:], picks[j].id[:]) < 0
+	})
+
+	// One generation per fleet sweep, shared by every program, so
+	// tripped breakers pace their half-open probes in whole sweeps no
+	// matter how many programs are registered.
+	gen := s.sweepGen.Add(1)
+	all := make([]SweepReport, len(picks))
+	errs := make([]error, len(picks))
+	var wg sync.WaitGroup
+	for i, pk := range picks {
+		wg.Add(1)
+		go func(i int, id attest.ProgramID, input []uint32) {
+			defer wg.Done()
+			all[i], errs[i] = s.sweepProgram(id, input, s.cfg.StreamedSweeps, gen)
+		}(i, pk.id, pk.input)
+	}
+	wg.Wait()
 
 	reports := make([]SweepReport, 0, len(picks))
-	for _, pk := range picks {
-		rep, err := s.sweepProgram(pk.id, pk.input, s.cfg.StreamedSweeps)
-		if err != nil {
-			return reports, err
+	var failures []ProgramError
+	for i, pk := range picks {
+		if errs[i] != nil {
+			failures = append(failures, ProgramError{Program: pk.id, Err: errs[i]})
+			continue
 		}
-		reports = append(reports, rep)
+		reports = append(reports, all[i])
+	}
+	if len(failures) > 0 {
+		return reports, &SweepError{Failures: failures}
 	}
 	return reports, nil
 }
@@ -89,7 +165,7 @@ func (s *Service) Sweep() ([]SweepReport, error) {
 // template verifier), so the fan-out below never simulates: every
 // worker-pool verification is a cache hit.
 func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepReport, error) {
-	return s.sweepProgram(prog, input, false)
+	return s.sweepProgram(prog, input, false, s.sweepGen.Add(1))
 }
 
 // SweepProgramStreamed is SweepProgram over the segmented streaming
@@ -98,10 +174,10 @@ func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepRepo
 // at its first divergent segment instead of after end-of-run. The
 // devices must serve the stream protocol on their enrolled address.
 func (s *Service) SweepProgramStreamed(prog attest.ProgramID, input []uint32) (SweepReport, error) {
-	return s.sweepProgram(prog, input, true)
+	return s.sweepProgram(prog, input, true, s.sweepGen.Add(1))
 }
 
-func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed bool) (SweepReport, error) {
+func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed bool, gen uint64) (SweepReport, error) {
 	s.mu.RLock()
 	p, ok := s.programs[prog]
 	closed := s.closed
@@ -137,7 +213,7 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 	rep.Devices = len(members)
 	rounds := make([]Round, 0, len(members))
 	for _, d := range members {
-		rounds = append(rounds, Round{Device: d.id, Input: input, Streamed: streamed})
+		rounds = append(rounds, Round{Device: d.id, Input: input, Streamed: streamed, gen: gen})
 	}
 	outs, err := s.SubmitBatch(rounds)
 	if err != nil {
@@ -147,6 +223,9 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 		switch {
 		case o.Skipped:
 			rep.Skipped++
+			if o.BreakerOpen {
+				rep.BreakerSkipped++
+			}
 		case o.Err != nil:
 			rep.Errors++
 		case o.Result.Accepted:
@@ -162,8 +241,17 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 				rep.EarlyAborts++
 			}
 		}
+		if o.Attempts > 1 {
+			rep.Retried++
+		}
+		if o.BreakerProbe {
+			rep.BreakerProbes++
+		}
 		if o.Quarantined {
 			rep.NewlyQuarantined = append(rep.NewlyQuarantined, o.Device)
+		}
+		if o.Tripped {
+			rep.NewlyTripped = append(rep.NewlyTripped, o.Device)
 		}
 	}
 	rep.Duration = time.Since(start)
@@ -212,7 +300,7 @@ func (s *Service) StartScheduler(interval time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				if _, err := s.Sweep(); err == ErrClosed {
+				if _, err := s.Sweep(); errors.Is(err, ErrClosed) {
 					return
 				}
 			}

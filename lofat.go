@@ -27,7 +27,11 @@
 //     sharded device registry, a worker-pool verification pipeline with
 //     batch submission, a fleet-wide measurement cache that amortizes
 //     golden-run simulation across every enrolled device, a periodic
-//     sweep scheduler with quarantine, and fleet metrics;
+//     sweep scheduler with quarantine, and fleet metrics — hardened
+//     against slow, stalling and byzantine devices with per-phase I/O
+//     deadlines, bounded retries with jittered backoff, and per-device
+//     transport circuit breakers (internal/fleet/faultconn is the
+//     fault-injection harness that chaos-tests this layer);
 //   - streaming attestation (internal/stream): segmented measurements
 //     every N control-flow events, chained so each checkpoint commits
 //     to the whole prefix, verified incrementally — divergence rejects
@@ -66,6 +70,7 @@ import (
 	"lofat/internal/core"
 	"lofat/internal/cpu"
 	"lofat/internal/fleet"
+	"lofat/internal/fleet/faultconn"
 	"lofat/internal/monitor"
 	"lofat/internal/sig"
 	"lofat/internal/stream"
@@ -127,6 +132,23 @@ type (
 	FleetOutcome = fleet.Outcome
 	// MeasurementCache is the fleet-wide golden-measurement store.
 	MeasurementCache = fleet.MeasurementCache
+	// BreakerState is a fleet device's transport circuit breaker
+	// position (healthy / degraded / tripped) — a transport verdict,
+	// distinct from measurement-based quarantine.
+	BreakerState = fleet.BreakerState
+	// SweepError aggregates per-program failures of one fleet sweep.
+	SweepError = fleet.SweepError
+	// TransportTimeouts are per-phase I/O deadlines for one attestation
+	// exchange (challenge write, report/segment reads).
+	TransportTimeouts = attest.Timeouts
+	// TransportError marks an I/O failure on the frame transport, with
+	// Timeout() separating stalled peers from dropped connections.
+	TransportError = attest.TransportError
+	// FaultPlan selects transport faults (latency, mid-frame stalls,
+	// drops, corruption, torn writes) for chaos testing; FaultConn is a
+	// connection degraded by one.
+	FaultPlan = faultconn.Plan
+	FaultConn = faultconn.Conn
 
 	// Segment is one chained checkpoint of a streamed attestation.
 	Segment = core.Segment
@@ -155,6 +177,20 @@ const (
 	ClassControlFlow    = attest.ClassControlFlow
 	ClassNonControlData = attest.ClassNonControlData
 )
+
+// Transport circuit breaker states (fleet resilience layer).
+const (
+	BreakerHealthy  = fleet.BreakerHealthy
+	BreakerDegraded = fleet.BreakerDegraded
+	BreakerTripped  = fleet.BreakerTripped
+)
+
+// NewFaultConn wraps a transport in a fault-injection plan — the chaos
+// harness used to test the fleet's deadline / retry / breaker layer
+// against stalling, dropping and corrupting peers.
+func NewFaultConn(inner io.ReadWriteCloser, plan FaultPlan) *FaultConn {
+	return faultconn.New(inner, plan)
+}
 
 // Assemble builds a program image from RV32IM assembly source.
 func Assemble(source string) (*Program, error) { return asm.Assemble(source) }
