@@ -1,0 +1,202 @@
+// Command lofat-conform runs the adversarial conformance harness: a
+// seed-reproducible corpus of generated programs, each mutated into
+// every attack class of the paper's Figure 1 taxonomy and verified
+// over every delivery path (in-process direct, streamed sessions,
+// fleet sweeps over in-memory pipes). Any misclassification or
+// cross-path disagreement fails the run and prints a one-line repro
+// recipe; feeding that recipe back to this command replays exactly the
+// failing scenario.
+//
+// Usage:
+//
+//	lofat-conform [-seeds SPEC] [-budget N] [-path direct,stream,fleet]
+//	              [-mutations LIST] [-segment-events N] [-fleet-latency US]
+//	              [-workers N] [-json] [-v]
+//
+// The -seeds SPEC is a comma list of seeds and half-open ranges, e.g.
+// "0:200" or "7,42,100:110". A failing CI run echoes recipes like
+//
+//	lofat-conform -seeds 42 -mutations cfg-splice
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lofat/internal/conform"
+)
+
+func main() {
+	var (
+		seedSpec  = flag.String("seeds", "0:25", "seed spec: comma list of seeds and start:end ranges")
+		budget    = flag.Int("budget", 0, "cap the scenario count by bounding the seed set (0 = no cap)")
+		pathSpec  = flag.String("path", "all", "delivery paths: comma list of direct, stream, fleet (or all)")
+		mutations = flag.String("mutations", "", "restrict to these mutation kinds (comma list; empty = all)")
+		segEvents = flag.Int("segment-events", 0, "streamed checkpoint window N (0 = default)")
+		latency   = flag.Int("fleet-latency", 0, "faultconn latency per fleet I/O op, microseconds")
+		workers   = flag.Int("workers", 0, "seed-level parallelism (0 = GOMAXPROCS)")
+		jsonOut   = flag.Bool("json", false, "emit the full summary as JSON")
+		verbose   = flag.Bool("v", false, "print every scenario, not only failures")
+	)
+	flag.Parse()
+
+	seeds, err := parseSeeds(*seedSpec)
+	if err != nil {
+		fatalf("bad -seeds: %v", err)
+	}
+	paths, err := parsePaths(*pathSpec)
+	if err != nil {
+		fatalf("bad -path: %v", err)
+	}
+	// "oracle" and "corpus" are the per-seed pseudo-scenarios: their
+	// recipes replay through the same flag (filtering out every real
+	// mutation re-runs exactly the oracle / subject-construction pass).
+	known := append(conform.MutationNames(), "oracle", "corpus")
+	var muts []string
+	if *mutations != "" {
+		for _, m := range strings.Split(*mutations, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				continue
+			}
+			if !slices.Contains(known, m) {
+				fatalf("bad -mutations: unknown mutation %q (known: %s)", m, strings.Join(known, ", "))
+			}
+			muts = append(muts, m)
+		}
+	}
+	if *budget > 0 {
+		// Every seed contributes at most (oracle + mutation kinds)
+		// scenarios; bound the seed set so the corpus stays within
+		// budget.
+		perSeed := 1 + len(conform.MutationNames())
+		if len(muts) > 0 {
+			perSeed = 1 + len(muts)
+		}
+		if maxSeeds := max(*budget/perSeed, 1); len(seeds) > maxSeeds {
+			seeds = seeds[:maxSeeds]
+		}
+	}
+
+	sum := conform.New(conform.Config{
+		Seeds:         seeds,
+		Paths:         paths,
+		Mutations:     muts,
+		SegmentEvents: *segEvents,
+		FleetLatency:  *latency,
+		Workers:       *workers,
+	}).Run()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatalf("encode: %v", err)
+		}
+	} else {
+		if *verbose {
+			for _, r := range sum.Results {
+				status := "pass"
+				switch {
+				case r.Skipped:
+					status = "skip (" + r.SkipReason + ")"
+				case len(r.Failures) > 0:
+					status = "FAIL"
+				}
+				fmt.Printf("seed %4d  %-14s expect=%-23s %s\n", r.Seed, r.Mutation, r.Expect, status)
+			}
+		}
+		fmt.Printf("conformance: %d seeds, %d scenarios (%d passed, %d skipped, %d failed), %d verdicts\n",
+			sum.Seeds, sum.Scenarios, sum.Passed, sum.Skipped, sum.Failed, sum.Verdicts)
+		classes := make([]string, 0, len(sum.ByClass))
+		for c := range sum.ByClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Printf("  %-24s %d verdicts\n", c, sum.ByClass[c])
+		}
+	}
+
+	if failures := sum.Failures(); len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d scenario(s) FAILED:\n", len(failures))
+		for _, r := range failures {
+			for _, f := range r.Failures {
+				fmt.Fprintf(os.Stderr, "  seed %d %s: %s\n", r.Seed, r.Mutation, f)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "\nfailing seed recipes:")
+		for _, r := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", r.Recipe())
+		}
+		os.Exit(1)
+	}
+}
+
+// parseSeeds expands "0:200,7,300:310" into the seed list.
+func parseSeeds(spec string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, ":"); ok {
+			start, err := strconv.ParseInt(lo, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("range start %q: %w", lo, err)
+			}
+			end, err := strconv.ParseInt(hi, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("range end %q: %w", hi, err)
+			}
+			if end <= start {
+				return nil, fmt.Errorf("empty range %q", part)
+			}
+			for s := start; s < end; s++ {
+				seeds = append(seeds, s)
+			}
+			continue
+		}
+		s, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("seed %q: %w", part, err)
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", spec)
+	}
+	return seeds, nil
+}
+
+func parsePaths(spec string) ([]conform.Path, error) {
+	if spec == "" || spec == "all" {
+		return conform.AllPaths(), nil
+	}
+	var paths []conform.Path
+	for _, part := range strings.Split(spec, ",") {
+		switch p := conform.Path(strings.TrimSpace(part)); p {
+		case conform.PathDirect, conform.PathStream, conform.PathFleet:
+			paths = append(paths, p)
+		case "fleet-direct", "fleet-stream":
+			// Failure recipes name the specific fleet sweep verdict;
+			// replaying it means running the fleet path.
+			paths = append(paths, conform.PathFleet)
+		default:
+			return nil, fmt.Errorf("unknown path %q", part)
+		}
+	}
+	return paths, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@ package attest
 
 import (
 	"fmt"
+	"strings"
 
 	"lofat/internal/core"
 	"lofat/internal/hashengine"
@@ -113,6 +114,18 @@ type Result struct {
 	// circuit breaking) must not attribute such a rejection to the
 	// device.
 	VerifierFault bool
+}
+
+// HasFinding reports whether any finding contains the substring — the
+// assertion conformance and protocol tests make about WHY a report was
+// rejected, not only that it was.
+func (r Result) HasFinding(sub string) bool {
+	for _, f := range r.Findings {
+		if strings.Contains(f, sub) {
+			return true
+		}
+	}
+	return false
 }
 
 func (r Result) String() string {

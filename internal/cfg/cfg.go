@@ -258,6 +258,19 @@ func (g *Graph) IsInnermost(l Loop) bool {
 	return true
 }
 
+// BranchArms returns the two static successors of the conditional
+// branch at src — the taken target and the fall-through — and reports
+// whether src holds a conditional branch at all. Mutation tooling (the
+// conformance harness's attack mutator) uses it to flip a recorded
+// branch decision onto the branch's other, equally CFG-consistent arm.
+func (g *Graph) BranchArms(src uint32) (taken, fallthru uint32, ok bool) {
+	in, found := g.InstAt(src)
+	if !found || !in.Inst.Op.IsCondBranch() {
+		return 0, 0, false
+	}
+	return src + uint32(in.Inst.Imm), src + 4, true
+}
+
 // ValidEdge reports whether a (src, dest) pair is a CFG-consistent
 // control transfer: the core check the verifier applies to decide
 // whether a reported path "resembles a valid path in CFG".

@@ -370,3 +370,49 @@ func TestInstAt(t *testing.T) {
 		t.Error("InstAt(misaligned) succeeded")
 	}
 }
+
+// BranchArms must return exactly the two successors of a conditional
+// branch — both admitted by ValidEdge — and nothing for any other
+// instruction.
+func TestBranchArms(t *testing.T) {
+	g, _ := buildFromSource(t, `
+main:
+	li   t0, 3
+loop:
+	beqz t0, done
+	addi t0, t0, -1
+	j    loop
+done:
+	li   a7, 93
+	ecall
+`)
+	arms := 0
+	for _, in := range g.Instrs {
+		taken, fallthru, ok := g.BranchArms(in.Addr)
+		if !in.Inst.Op.IsCondBranch() {
+			if ok {
+				t.Errorf("BranchArms claimed arms for non-branch at %#x", in.Addr)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("BranchArms missed the branch at %#x", in.Addr)
+		}
+		arms++
+		if fallthru != in.Addr+4 {
+			t.Errorf("fall-through %#x, want %#x", fallthru, in.Addr+4)
+		}
+		if !g.ValidEdge(in.Addr, taken) || !g.ValidEdge(in.Addr, fallthru) {
+			t.Errorf("BranchArms arm rejected by ValidEdge at %#x", in.Addr)
+		}
+		if taken == fallthru {
+			t.Errorf("degenerate arms at %#x", in.Addr)
+		}
+	}
+	if arms == 0 {
+		t.Fatal("no conditional branch found")
+	}
+	if _, _, ok := g.BranchArms(0xdead_0000); ok {
+		t.Error("BranchArms claimed arms outside the text")
+	}
+}

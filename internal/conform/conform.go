@@ -1,0 +1,384 @@
+// Package conform is the adversarial conformance harness: it proves,
+// at corpus scale, the classification claim behind LO-FAT's security
+// argument — for every control-flow attack class of the paper's
+// Figure 1 the verifier must reject with the RIGHT diagnosis, for
+// every honest run it must accept, and the verdict must not depend on
+// which delivery path carried the evidence.
+//
+// The harness is deterministic end to end. A scenario is the triple
+// (seed, mutation, path):
+//
+//   - the SEED names a program: internal/proggen generates it
+//     byte-reproducibly, and one instrumented golden run captures the
+//     honest measurement (A, L) plus the raw control-flow edge stream;
+//   - the MUTATION mechanically derives a labeled attack from the
+//     honest artifacts. Each mutation carries its ground-truth
+//     attest.Classification, established by CONSTRUCTION against the
+//     static CFG oracle (internal/cfg) — never by asking the verifier
+//     being tested. The mutator covers the Figure 1 taxonomy (loop
+//     counter corruption, CFG-invalid edge splices, permissible-but-
+//     unintended path substitution) plus the protocol layer that
+//     fences it (code injection caught by program-identity binding,
+//     nonce replay, signature forgery);
+//   - the PATH is one of the three delivery routes a real deployment
+//     uses: the in-process attest.Verifier, an incremental
+//     internal/stream session, and an internal/fleet sweep over
+//     in-memory pipes (optionally fault-injected with latency via
+//     internal/fleet/faultconn). A synthetic dishonest prover replays
+//     the same mutated artifacts over each path, so any disagreement
+//     between paths is a bug in one of them, not noise in the attack.
+//
+// Every scenario asserts the verifier's Classification (and a finding
+// substring) against the mutation's label, and that all paths agree.
+// On top of the labeled corpus, an oracle pass checks per-seed
+// invariants no single scenario sees: measurement determinism,
+// device/emitter agreement, event conservation, honest records passing
+// CFG path walks, and cfg.ValidEdge soundness on every executed honest
+// edge. Failures print a one-line repro recipe (seed + mutation +
+// path) that cmd/lofat-conform replays exactly.
+package conform
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lofat/internal/attest"
+	"lofat/internal/proggen"
+	"lofat/internal/stream"
+)
+
+// Path names one delivery route for attestation evidence.
+type Path string
+
+// The three delivery paths.
+const (
+	// PathDirect verifies a signed end-of-run report with an
+	// in-process attest.Verifier.
+	PathDirect Path = "direct"
+	// PathStream consumes a segmented edge stream through an
+	// internal/stream session, rejecting at the first divergent
+	// segment.
+	PathStream Path = "stream"
+	// PathFleet drives both protocols through an internal/fleet
+	// service over in-memory pipes: a direct sweep and a streamed
+	// sweep, each producing its own verdict.
+	PathFleet Path = "fleet"
+)
+
+// AllPaths is the default path set.
+func AllPaths() []Path { return []Path{PathDirect, PathStream, PathFleet} }
+
+// Config parameterises a conformance run. Zero values select defaults.
+type Config struct {
+	// Seeds are the program seeds to test (required).
+	Seeds []int64
+	// SegmentEvents is the streamed checkpoint window N (default 32).
+	SegmentEvents int
+	// MaxInstructions bounds every simulation (default 3,000,000).
+	MaxInstructions uint64
+	// Paths restricts the delivery paths exercised (default all).
+	Paths []Path
+	// Mutations restricts the mutation kinds by name (default all).
+	Mutations []string
+	// Workers bounds seed-level parallelism (default GOMAXPROCS).
+	Workers int
+	// Prog shapes the generated programs (proggen defaults).
+	Prog proggen.Config
+	// FleetLatency, when positive, wraps every fleet transport in a
+	// faultconn latency plan: the sweeps then exercise the deadline
+	// plumbing without changing any verdict.
+	FleetLatency int // microseconds per I/O operation
+}
+
+func (c *Config) fill() {
+	if c.SegmentEvents <= 0 {
+		c.SegmentEvents = 32
+	}
+	if c.SegmentEvents > stream.MaxSegmentEvents {
+		c.SegmentEvents = stream.MaxSegmentEvents
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = 3_000_000
+	}
+	if len(c.Paths) == 0 {
+		c.Paths = AllPaths()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+func (c *Config) hasPath(p Path) bool {
+	for _, q := range c.Paths {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Config) wantsMutation(name string) bool {
+	if len(c.Mutations) == 0 {
+		return true
+	}
+	for _, m := range c.Mutations {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Verdict is one path's decision on one scenario.
+type Verdict struct {
+	Path     string   `json:"path"`
+	Class    string   `json:"class"`
+	Accepted bool     `json:"accepted"`
+	Findings []string `json:"findings,omitempty"`
+}
+
+// ScenarioResult is the outcome of one (seed, mutation) pair across
+// every enabled path.
+type ScenarioResult struct {
+	Seed     int64  `json:"seed"`
+	Mutation string `json:"mutation"`
+	// Class is the mutation's Figure 1 class (1–3; 0 for honest and
+	// oracle scenarios, -1 for protocol-layer mutations).
+	Class int `json:"figure1_class"`
+	// Expect is the ground-truth classification label.
+	Expect string `json:"expect"`
+	// Verdicts holds one entry per delivery verdict (the fleet path
+	// contributes two: its direct and its streamed sweep).
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+	// Skipped scenarios were inapplicable to the generated program
+	// (e.g. a loop mutation on a loop-free program).
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+	// Failures lists every conformance violation, each ending with the
+	// repro recipe. Empty means the scenario passed.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Recipe is the one-line reproduction recipe for the scenario: feed it
+// back to cmd/lofat-conform to replay exactly this check.
+func (r ScenarioResult) Recipe() string {
+	return Recipe(r.Seed, r.Mutation)
+}
+
+// Recipe renders the reproduction recipe for a (seed, mutation) pair.
+func Recipe(seed int64, mutation string) string {
+	return fmt.Sprintf("lofat-conform -seeds %d -mutations %s", seed, mutation)
+}
+
+// Summary aggregates a conformance run.
+type Summary struct {
+	Seeds     int              `json:"seeds"`
+	Scenarios int              `json:"scenarios"`
+	Passed    int              `json:"passed"`
+	Skipped   int              `json:"skipped"`
+	Failed    int              `json:"failed"`
+	Verdicts  int              `json:"verdicts"`
+	ByClass   map[string]int   `json:"by_class"`
+	Results   []ScenarioResult `json:"results"`
+}
+
+// Failures returns the failing scenarios.
+func (s *Summary) Failures() []ScenarioResult {
+	var out []ScenarioResult
+	for _, r := range s.Results {
+		if len(r.Failures) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Engine runs conformance scenarios.
+type Engine struct {
+	cfg Config
+}
+
+// New builds an engine; the configuration is filled with defaults.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	return &Engine{cfg: cfg}
+}
+
+// Run executes every (seed, mutation, path) scenario and aggregates
+// the summary. Seeds run in parallel (Config.Workers); results are
+// reported in deterministic (seed, mutation) order regardless.
+func (e *Engine) Run() *Summary {
+	jobs := make(chan int)
+	out := make([][]ScenarioResult, len(e.cfg.Seeds))
+	var wg sync.WaitGroup
+	workers := min(e.cfg.Workers, max(len(e.cfg.Seeds), 1))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = e.RunSeed(e.cfg.Seeds[i])
+			}
+		}()
+	}
+	for i := range e.cfg.Seeds {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	sum := &Summary{Seeds: len(e.cfg.Seeds), ByClass: make(map[string]int)}
+	for _, results := range out {
+		sum.Results = append(sum.Results, results...)
+	}
+	sort.SliceStable(sum.Results, func(i, j int) bool {
+		a, b := sum.Results[i], sum.Results[j]
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.Mutation < b.Mutation
+	})
+	for _, r := range sum.Results {
+		sum.Scenarios++
+		switch {
+		case r.Skipped:
+			sum.Skipped++
+		case len(r.Failures) > 0:
+			sum.Failed++
+		default:
+			sum.Passed++
+		}
+		sum.Verdicts += len(r.Verdicts)
+		for _, v := range r.Verdicts {
+			sum.ByClass[v.Class]++
+		}
+	}
+	return sum
+}
+
+// RunSeed executes every scenario for one seed: the oracle pass over
+// the honest run, then each applicable mutation over every enabled
+// path.
+func (e *Engine) RunSeed(seed int64) []ScenarioResult {
+	sub, err := buildSubject(seed, &e.cfg)
+	if err != nil {
+		return []ScenarioResult{{
+			Seed:     seed,
+			Mutation: "corpus",
+			Expect:   attest.ClassAccepted.String(),
+			Failures: []string{fmt.Sprintf("subject construction failed: %v [repro: %s]", err, Recipe(seed, "corpus"))},
+		}}
+	}
+
+	results := []ScenarioResult{e.oracleScenario(sub)}
+
+	var muts []*Mutation
+	for _, b := range builders() {
+		if !e.cfg.wantsMutation(b.name) {
+			continue
+		}
+		mut, skip := b.build(sub, mutationRand(seed, b.name))
+		if mut == nil {
+			results = append(results, ScenarioResult{
+				Seed:       seed,
+				Mutation:   b.name,
+				Skipped:    true,
+				SkipReason: skip,
+			})
+			continue
+		}
+		muts = append(muts, mut)
+	}
+
+	// The fleet path verifies every mutant of the seed in two sweeps
+	// of one service, so it runs once per seed, not once per mutation.
+	var fleetVerdicts map[string][]Verdict
+	var fleetErr error
+	if e.cfg.hasPath(PathFleet) && len(muts) > 0 {
+		fleetVerdicts, fleetErr = runFleet(sub, muts)
+	}
+
+	for _, mut := range muts {
+		res := ScenarioResult{
+			Seed:     seed,
+			Mutation: mut.Name,
+			Class:    mut.Class,
+			Expect:   mut.Expect.String(),
+		}
+		if e.cfg.hasPath(PathDirect) {
+			res.Verdicts = append(res.Verdicts, runDirect(sub, mut))
+		}
+		if e.cfg.hasPath(PathStream) {
+			res.Verdicts = append(res.Verdicts, runStream(sub, mut))
+		}
+		if fleetErr != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"fleet path failed: %v [repro: %s]", fleetErr, res.Recipe()))
+		} else if fleetVerdicts != nil {
+			res.Verdicts = append(res.Verdicts, fleetVerdicts[mut.Name]...)
+		}
+		res.Failures = append(res.Failures, checkScenario(&res, mut)...)
+		results = append(results, res)
+	}
+	return results
+}
+
+// checkScenario asserts the conformance contract on a scenario's
+// verdicts: every path classified the mutation as its ground-truth
+// label, at least one finding names the diagnosis, and no two paths
+// disagree.
+func checkScenario(res *ScenarioResult, mut *Mutation) []string {
+	var fails []string
+	recipe := res.Recipe()
+	for _, v := range res.Verdicts {
+		if v.Class != mut.Expect.String() {
+			fails = append(fails, fmt.Sprintf(
+				"%s path classified %q, ground truth %q (findings: %v) [repro: %s -path %s]",
+				v.Path, v.Class, mut.Expect, v.Findings, recipe, v.Path))
+		}
+		if v.Accepted != (mut.Expect == attest.ClassAccepted) {
+			fails = append(fails, fmt.Sprintf(
+				"%s path accepted=%v, ground truth accepted=%v [repro: %s -path %s]",
+				v.Path, v.Accepted, mut.Expect == attest.ClassAccepted, recipe, v.Path))
+		}
+		if len(mut.FindingAny) > 0 && !findingMatches(v.Findings, mut.FindingAny) {
+			fails = append(fails, fmt.Sprintf(
+				"%s path findings %v name none of %v [repro: %s -path %s]",
+				v.Path, v.Findings, mut.FindingAny, recipe, v.Path))
+		}
+	}
+	// Cross-path agreement: any divergence between delivery paths is a
+	// conformance failure in its own right, with a forensic dump of
+	// every verdict.
+	for i := 1; i < len(res.Verdicts); i++ {
+		if res.Verdicts[i].Class != res.Verdicts[0].Class {
+			fails = append(fails, fmt.Sprintf(
+				"delivery paths disagree: %s [repro: %s]", dumpVerdicts(res.Verdicts), recipe))
+			break
+		}
+	}
+	return fails
+}
+
+func dumpVerdicts(vs []Verdict) string {
+	s := ""
+	for i, v := range vs {
+		if i > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("%s=%s(accepted=%v findings=%v)", v.Path, v.Class, v.Accepted, v.Findings)
+	}
+	return s
+}
+
+func findingMatches(findings, any []string) bool {
+	res := attest.Result{Findings: findings}
+	for _, sub := range any {
+		if res.HasFinding(sub) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package conform
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lofat/internal/attest"
+)
+
+func seedRange(n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	return seeds
+}
+
+// TestConformanceCorpus is the headline conformance run: ≥200 labeled
+// scenarios across every delivery path, zero misclassifications, zero
+// cross-path disagreements. Short mode still meets the 200-scenario
+// floor; the full run quadruples the corpus.
+func TestConformanceCorpus(t *testing.T) {
+	n := 30 // 30 seeds × (oracle + 7 mutations) ≈ 240 scenarios
+	if !testing.Short() {
+		n = 120
+	}
+	sum := New(Config{Seeds: seedRange(n)}).Run()
+
+	t.Logf("conformance: %d scenarios (%d passed, %d skipped, %d failed), %d verdicts, classes=%v",
+		sum.Scenarios, sum.Passed, sum.Skipped, sum.Failed, sum.Verdicts, sum.ByClass)
+
+	const floor = 200
+	if sum.Scenarios-sum.Skipped < floor {
+		t.Errorf("only %d non-skipped scenarios, conformance floor is %d",
+			sum.Scenarios-sum.Skipped, floor)
+	}
+	for _, r := range sum.Failures() {
+		for _, f := range r.Failures {
+			t.Errorf("seed %d mutation %s: %s", r.Seed, r.Mutation, f)
+		}
+	}
+
+	// Every attack class of the taxonomy must actually be exercised —
+	// a corpus that silently skipped a class proves nothing about it.
+	for _, class := range []attest.Classification{
+		attest.ClassAccepted, attest.ClassProtocol, attest.ClassSignature,
+		attest.ClassLoopCounter, attest.ClassControlFlow, attest.ClassNonControlData,
+	} {
+		if sum.ByClass[class.String()] == 0 {
+			t.Errorf("no scenario exercised classification %q", class)
+		}
+	}
+}
+
+// TestCrossPathAgreement drives every (program, mutation) pair through
+// the direct and streamed paths independently and re-asserts that no
+// pair produces differing verdicts — the forensic dump names the seed,
+// mutation and both verdicts when one does.
+func TestCrossPathAgreement(t *testing.T) {
+	e := New(Config{Seeds: seedRange(12), Paths: []Path{PathDirect, PathStream}})
+	for _, seed := range e.cfg.Seeds {
+		for _, r := range e.RunSeed(seed) {
+			if r.Skipped || r.Mutation == "oracle" {
+				continue
+			}
+			if len(r.Verdicts) != 2 {
+				t.Fatalf("seed %d mutation %s: %d verdicts, want 2", r.Seed, r.Mutation, len(r.Verdicts))
+			}
+			d, s := r.Verdicts[0], r.Verdicts[1]
+			if d.Class != s.Class || d.Accepted != s.Accepted {
+				t.Errorf("seed %d mutation %s: direct and streamed verdicts differ\n  direct:  %s accepted=%v findings=%v\n  stream:  %s accepted=%v findings=%v\n  repro: %s",
+					r.Seed, r.Mutation, d.Class, d.Accepted, d.Findings,
+					s.Class, s.Accepted, s.Findings, r.Recipe())
+			}
+		}
+	}
+}
+
+// TestSeedRecipeReproduces re-runs a scenario from nothing but its
+// recipe coordinates (seed + mutation) and checks the outcome is
+// bit-identical — the property that makes a printed repro recipe
+// trustworthy.
+func TestSeedRecipeReproduces(t *testing.T) {
+	cfg := Config{Seeds: []int64{7}}
+	first := New(cfg).Run()
+	second := New(Config{Seeds: []int64{7}}).Run()
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatalf("re-running seed 7 from its recipe changed the outcome:\n%v\nvs\n%v",
+			first.Results, second.Results)
+	}
+	// Narrowing to one mutation must reproduce that scenario exactly.
+	for _, r := range first.Results {
+		if r.Mutation == "oracle" || r.Skipped {
+			continue
+		}
+		repro := New(Config{Seeds: []int64{r.Seed}, Mutations: []string{r.Mutation}}).Run()
+		var got *ScenarioResult
+		for i := range repro.Results {
+			if repro.Results[i].Mutation == r.Mutation {
+				got = &repro.Results[i]
+			}
+		}
+		if got == nil {
+			t.Fatalf("recipe %q did not re-run its scenario", r.Recipe())
+		}
+		if !reflect.DeepEqual(*got, r) {
+			t.Errorf("recipe %q produced a different outcome:\n%+v\nvs\n%+v", r.Recipe(), *got, r)
+		}
+	}
+}
+
+// TestInjectedFailureIsCaughtAndReproducible plants a deliberate
+// misclassification — a mutation whose ground-truth label is wrong —
+// and checks the engine reports it with a recipe that reproduces the
+// failure.
+func TestInjectedFailureIsCaughtAndReproducible(t *testing.T) {
+	run := func() ScenarioResult {
+		e := New(Config{Seeds: []int64{3}, Paths: []Path{PathDirect, PathStream}})
+		sub, err := buildSubject(3, &e.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut, skip := buildSigForgery(sub, mutationRand(3, "sig-forgery"))
+		if mut == nil {
+			t.Fatalf("seed 3 cannot express sig-forgery: %s", skip)
+		}
+		mut.Expect = attest.ClassAccepted // sabotage the label
+		res := ScenarioResult{Seed: 3, Mutation: mut.Name, Expect: mut.Expect.String()}
+		res.Verdicts = append(res.Verdicts, runDirect(sub, mut), runStream(sub, mut))
+		res.Failures = checkScenario(&res, mut)
+		return res
+	}
+	first := run()
+	if len(first.Failures) == 0 {
+		t.Fatal("sabotaged label was not flagged as a conformance failure")
+	}
+	for _, f := range first.Failures {
+		if !strings.Contains(f, "repro: lofat-conform -seeds 3 -mutations sig-forgery") {
+			t.Errorf("failure lacks the repro recipe: %s", f)
+		}
+	}
+	if second := run(); !reflect.DeepEqual(first, second) {
+		t.Errorf("injected failure did not reproduce identically:\n%+v\nvs\n%+v", first, second)
+	}
+}
+
+// TestSummaryJSONRoundTrips keeps the -json CLI surface stable enough
+// to parse.
+func TestSummaryJSONRoundTrips(t *testing.T) {
+	sum := New(Config{Seeds: []int64{1}, Paths: []Path{PathDirect}}).Run()
+	b, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenarios != sum.Scenarios || back.Passed != sum.Passed {
+		t.Errorf("JSON round trip changed counts: %+v vs %+v", back, sum)
+	}
+}

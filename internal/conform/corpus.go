@@ -1,0 +1,194 @@
+package conform
+
+import (
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+	"reflect"
+
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/cfg"
+	"lofat/internal/core"
+	"lofat/internal/hashengine"
+	"lofat/internal/proggen"
+	"lofat/internal/sig"
+	"lofat/internal/stream"
+)
+
+// subject is one seed's honest ground state: the generated program,
+// its static analysis, the device keys, the shared verifiers, and the
+// honest instrumented run (measurement + raw edge stream) every
+// mutation is derived from.
+type subject struct {
+	cfg  *Config
+	seed int64
+
+	src   string
+	prog  *asm.Program
+	graph *cfg.Graph
+	id    attest.ProgramID
+	dev   core.Config
+	keys  *sig.KeyStore
+
+	// av / sv are the in-process verifiers, shared across the seed's
+	// scenarios so golden runs amortize exactly as they do in a fleet.
+	av *attest.Verifier
+	sv *stream.Verifier
+
+	// honest is the golden streamed measurement (hash A, loop metadata
+	// L, per-segment checkpoints); edges is its flattened control-flow
+	// edge stream; exit is the honest exit code.
+	honest core.Measurement
+	edges  []hashengine.Pair
+	exit   uint32
+}
+
+// buildSubject generates, assembles, analyses and golden-runs the
+// seed's program.
+func buildSubject(seed int64, cfg *Config) (*subject, error) {
+	src := proggen.GenerateSeeded(seed, cfg.Prog)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("assemble: %w", err)
+	}
+	keys, err := sig.GenerateKeyStore(mrand.New(mrand.NewSource(seed ^ 0x5eed)))
+	if err != nil {
+		return nil, fmt.Errorf("keys: %w", err)
+	}
+	devCfg := core.Config{}
+	av, err := attest.NewVerifier(prog, devCfg, keys.Public(), mrand.New(mrand.NewSource(seed^0x0ce)))
+	if err != nil {
+		return nil, fmt.Errorf("verifier: %w", err)
+	}
+	av.MaxInstructions = cfg.MaxInstructions
+	sv := stream.NewVerifier(av, stream.Config{SegmentEvents: cfg.SegmentEvents})
+
+	meas, exit, err := stream.MeasureStream(prog, devCfg, nil, cfg.SegmentEvents, cfg.MaxInstructions)
+	if err != nil {
+		return nil, fmt.Errorf("honest run: %w", err)
+	}
+	sub := &subject{
+		cfg:    cfg,
+		seed:   seed,
+		src:    src,
+		prog:   prog,
+		graph:  av.Graph(),
+		id:     av.ProgramID(),
+		dev:    devCfg,
+		keys:   keys,
+		av:     av,
+		sv:     sv,
+		honest: meas,
+		edges:  stream.FlattenSegments(meas.Segments),
+		exit:   exit,
+	}
+	return sub, nil
+}
+
+func (s *subject) indirectBits() int {
+	bits := s.dev.Monitor.IndirectBits
+	if bits <= 0 {
+		bits = 4
+	}
+	return bits
+}
+
+// oracleScenario checks the per-seed invariants of the honest run —
+// properties the labeled scenarios rely on but do not themselves
+// assert.
+func (e *Engine) oracleScenario(sub *subject) ScenarioResult {
+	res := ScenarioResult{
+		Seed:     sub.seed,
+		Mutation: "oracle",
+		Expect:   attest.ClassAccepted.String(),
+	}
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		res.Failures = append(res.Failures, fmt.Sprintf("%s [repro: %s]", msg, res.Recipe()))
+	}
+
+	// Measurement determinism: a second instrumented run must be
+	// bit-identical in hash, loop metadata and segment chain.
+	again, exit2, err := stream.MeasureStream(sub.prog, sub.dev, nil, e.cfg.SegmentEvents, e.cfg.MaxInstructions)
+	switch {
+	case err != nil:
+		fail("determinism re-run failed: %v", err)
+	case again.Hash != sub.honest.Hash:
+		fail("nondeterministic measurement hash")
+	case !reflect.DeepEqual(again.Loops, sub.honest.Loops):
+		fail("nondeterministic loop metadata")
+	case !reflect.DeepEqual(again.Segments, sub.honest.Segments):
+		fail("nondeterministic segment chain")
+	case exit2 != sub.exit:
+		fail("nondeterministic exit code: %d vs %d", exit2, sub.exit)
+	}
+
+	// Device/emitter agreement: the plain end-of-run device must
+	// produce the same (A, L) as the streamed instrumentation.
+	plain, _, err := attest.Measure(sub.prog, sub.dev, nil, e.cfg.MaxInstructions)
+	switch {
+	case err != nil:
+		fail("plain measurement failed: %v", err)
+	case plain.Hash != sub.honest.Hash:
+		fail("streamed and plain measurement hashes differ")
+	case !reflect.DeepEqual(plain.Loops, sub.honest.Loops):
+		fail("streamed and plain loop metadata differ")
+	}
+
+	// Event conservation: every control-flow event is hashed or
+	// deduplicated; the device drops and stalls nothing.
+	st := sub.honest.Stats
+	if st.HashedPairs+st.DedupedPairs != st.ControlFlowEvents {
+		fail("conservation: hashed %d + deduped %d != events %d",
+			st.HashedPairs, st.DedupedPairs, st.ControlFlowEvents)
+	}
+	if st.ProcessorStallCycles != 0 {
+		fail("device stalled the processor for %d cycles", st.ProcessorStallCycles)
+	}
+	if st.Engine.Dropped != 0 {
+		fail("hash engine dropped %d pairs", st.Engine.Dropped)
+	}
+	if got := uint64(len(sub.edges)); got != st.ControlFlowEvents {
+		fail("emitter recorded %d edges, device measured %d events", got, st.ControlFlowEvents)
+	}
+
+	// cfg.ValidEdge soundness: the static analysis must admit every
+	// edge the honest execution actually took.
+	for i, p := range sub.edges {
+		if !sub.graph.ValidEdge(p.Src, p.Dest) {
+			fail("executed honest edge %d (%#x->%#x) rejected by cfg.ValidEdge", i, p.Src, p.Dest)
+			break
+		}
+	}
+
+	// Honest loop records never fail the CFG path walks.
+	for _, rec := range sub.honest.Loops {
+		for _, wr := range sub.graph.ValidateRecord(rec, sub.indirectBits()) {
+			if wr.Verdict == cfg.PathInvalid {
+				fail("honest record %v flagged invalid: %s", rec, wr.Reason)
+			}
+		}
+	}
+
+	// ChunkEdges must reproduce the emitter's segmentation exactly —
+	// the synthetic provers depend on it.
+	if !reflect.DeepEqual(stream.ChunkEdges(sub.edges, e.cfg.SegmentEvents), sub.honest.Segments) {
+		fail("ChunkEdges disagrees with the emitter's segment chain")
+	}
+
+	res.Verdicts = append(res.Verdicts, Verdict{
+		Path:     "oracle",
+		Class:    attest.ClassAccepted.String(),
+		Accepted: len(res.Failures) == 0,
+	})
+	return res
+}
+
+// mutationRand derives the deterministic RNG for one (seed, mutation)
+// pair: mutation choices never depend on builder order or on other
+// mutations.
+func mutationRand(seed int64, name string) *mrand.Rand {
+	h := hashengine.Sum512(append(binary.LittleEndian.AppendUint64(nil, uint64(seed)), name...))
+	return mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(h[:8]))))
+}

@@ -1,0 +1,149 @@
+package conform
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/hashengine"
+	"lofat/internal/stream"
+)
+
+// mutantDevice is the synthetic dishonest prover: it answers both
+// protocols with a mutation's artifacts, signed with the real device
+// key (except where the mutation tampers the signature itself). It
+// replaces execution with replay — the measurement a LO-FAT device
+// would have produced under the attack was already derived by the
+// mutator — so the same labeled evidence can be presented on every
+// delivery path and any verdict difference is attributable to the
+// path, not the attack.
+type mutantDevice struct {
+	sub *subject
+	mut *Mutation
+}
+
+func newMutantDevice(sub *subject, mut *Mutation) *mutantDevice {
+	return &mutantDevice{sub: sub, mut: mut}
+}
+
+// nonce echoes (or, for the replay mutation, corrupts) the challenge
+// nonce.
+func (d *mutantDevice) nonce(n attest.Nonce) attest.Nonce {
+	if d.mut.tamperNonce {
+		n[0] ^= 0xa5
+	}
+	return n
+}
+
+// report builds the signed end-of-run report for a challenge nonce.
+func (d *mutantDevice) report(n attest.Nonce) *attest.Report {
+	rep := &attest.Report{
+		Program:  d.mut.program,
+		Nonce:    d.nonce(n),
+		Hash:     d.mut.hash,
+		Loops:    d.mut.loops,
+		ExitCode: d.mut.exit,
+	}
+	rep.Sig = d.sub.keys.Sign(attest.SignedPayload(rep))
+	if d.mut.tamperSig {
+		rep.Sig[0] ^= 0x80
+	}
+	return rep
+}
+
+// mutantStream walks one streamed session: the mutation's edge stream
+// chunked with the verifier-requested window, signed segment by
+// segment on demand (a session rejected early never pays for the tail
+// signatures).
+type mutantStream struct {
+	d     *mutantDevice
+	nonce attest.Nonce
+	segs  []core.Segment
+	next  int
+}
+
+func (d *mutantDevice) streamSession(n attest.Nonce, windowEvents int) *mutantStream {
+	return &mutantStream{d: d, nonce: n, segs: stream.ChunkEdges(d.mut.edges, windowEvents)}
+}
+
+// nextReport returns the next signed segment, or nil at end of stream.
+func (ms *mutantStream) nextReport() *stream.SegmentReport {
+	if ms.next >= len(ms.segs) {
+		return nil
+	}
+	seg := ms.segs[ms.next]
+	ms.next++
+	sr := &stream.SegmentReport{
+		Program: ms.d.mut.program,
+		Nonce:   ms.d.nonce(ms.nonce),
+		Index:   seg.Index,
+		Events:  seg.Events,
+		Chain:   seg.Chain,
+		Edges:   seg.Edges,
+	}
+	sr.Sig = ms.d.sub.keys.Sign(stream.SegmentPayload(sr))
+	if ms.d.mut.tamperSig && seg.Index == 0 {
+		sr.Sig[0] ^= 0x80
+	}
+	return sr
+}
+
+// closeReport builds the final message: the end-of-run report framed
+// with the stream's segment count and chain head.
+func (ms *mutantStream) closeReport() *stream.CloseReport {
+	var chain [hashengine.DigestSize]byte
+	if n := len(ms.segs); n > 0 {
+		chain = ms.segs[n-1].Chain
+	}
+	return &stream.CloseReport{
+		Report:   *ms.d.report(ms.nonce),
+		Segments: uint32(len(ms.segs)),
+		Chain:    chain,
+	}
+}
+
+// serveConn speaks both wire protocols on one connection — the fleet
+// delivery path. Classic challenges get a mutant report; stream opens
+// get the mutant segment stream and close. A write error means the
+// verifier hung up (mid-stream rejection): the device stops, exactly
+// like a real prover whose emitter write fails.
+func (d *mutantDevice) serveConn(conn io.ReadWriter) error {
+	for {
+		typ, payload, err := attest.ReadFrame(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case attest.MsgChallenge:
+			ch, err := attest.DecodeChallenge(payload)
+			if err != nil {
+				return err
+			}
+			rep := d.report(ch.Nonce)
+			if err := attest.WriteFrame(conn, attest.MsgReport, attest.EncodeReport(rep)); err != nil {
+				return err
+			}
+		case stream.MsgStreamOpen:
+			open, err := stream.DecodeOpen(payload)
+			if err != nil {
+				return err
+			}
+			ms := d.streamSession(open.Nonce, int(open.SegmentEvents))
+			for sr := ms.nextReport(); sr != nil; sr = ms.nextReport() {
+				if err := attest.WriteFrame(conn, stream.MsgSegment, stream.EncodeSegment(sr)); err != nil {
+					return err
+				}
+			}
+			if err := attest.WriteFrame(conn, stream.MsgStreamClose, stream.EncodeClose(ms.closeReport())); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("conform: mutant device: unexpected message type %d", typ)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package conform
+
+import (
+	mrand "math/rand"
+
+	"lofat/internal/attest"
+	"lofat/internal/cfg"
+	"lofat/internal/hashengine"
+	"lofat/internal/monitor"
+)
+
+// Mutation is one mechanically-derived labeled attack: the artifacts a
+// dishonest prover will present on every delivery path, plus the
+// ground-truth verdict the verifier must reach. The label is fixed by
+// CONSTRUCTION — each builder gates its candidates against the static
+// CFG oracle (cfg.ValidEdge / cfg.ValidateRecord / loop membership),
+// which restates the paper's Figure 1 class definitions without asking
+// the classifier under test:
+//
+//   - class 2 (loop counter): identical path structure, identical
+//     hash, different iteration counts; at trace level, an extra (or
+//     missing) decision whose two arms differ in loop membership;
+//   - class 3 (control flow): loop metadata no CFG walk realizes; at
+//     trace level, an edge cfg.ValidEdge rejects;
+//   - class 1 (non-control data): everything CFG-consistent but not
+//     the expected execution for the input; at trace level, a flipped
+//     decision whose arms agree on every loop's membership;
+//   - protocol layer: wrong program identity (code injection caught by
+//     static-attestation binding), wrong nonce (replay), bad
+//     signature (forgery).
+type Mutation struct {
+	// Name identifies the mutation kind in recipes and reports.
+	Name string
+	// Class is the Figure 1 attack class (1-3), 0 for the honest
+	// baseline, -1 for protocol-layer mutations.
+	Class int
+	// Expect is the ground-truth classification.
+	Expect attest.Classification
+	// FindingAny requires at least one verifier finding to contain one
+	// of these substrings (empty: no requirement).
+	FindingAny []string
+
+	// The presented artifacts: claimed program identity, end-of-run
+	// measurement (hash A, loop metadata L), exit code, and the
+	// control-flow edge stream the streamed protocol reports.
+	program attest.ProgramID
+	hash    [hashengine.DigestSize]byte
+	loops   []monitor.LoopRecord
+	edges   []hashengine.Pair
+	exit    uint32
+
+	// tamperNonce corrupts the echoed nonce; tamperSig corrupts the
+	// report signature and the first segment signature.
+	tamperNonce bool
+	tamperSig   bool
+}
+
+// builderSpec pairs a mutation name with its constructor. A builder
+// returns (nil, reason) when the generated program cannot express the
+// attack (e.g. a loop mutation on a loop-free program).
+type builderSpec struct {
+	name  string
+	build func(*subject, *mrand.Rand) (*Mutation, string)
+}
+
+// MutationNames lists every mutation kind the engine knows, in report
+// order — the valid values for Config.Mutations (and the CLI's
+// -mutations flag).
+func MutationNames() []string {
+	specs := builders()
+	names := make([]string, len(specs))
+	for i, b := range specs {
+		names[i] = b.name
+	}
+	return names
+}
+
+// builders lists every mutation kind in report order.
+func builders() []builderSpec {
+	return []builderSpec{
+		{"honest", buildHonest},
+		{"code-injection", buildCodeInjection},
+		{"nonce-replay", buildNonceReplay},
+		{"sig-forgery", buildSigForgery},
+		{"loop-count", buildLoopCount},
+		{"path-subst", buildPathSubst},
+		{"cfg-splice", buildCFGSplice},
+	}
+}
+
+// base copies the honest artifacts; builders then tamper with them.
+func base(sub *subject, name string) *Mutation {
+	return &Mutation{
+		Name:    name,
+		program: sub.id,
+		hash:    sub.honest.Hash,
+		loops:   sub.honest.Loops,
+		edges:   sub.edges,
+		exit:    sub.exit,
+	}
+}
+
+// buildHonest is the acceptance baseline: unmodified artifacts.
+func buildHonest(sub *subject, _ *mrand.Rand) (*Mutation, string) {
+	m := base(sub, "honest")
+	m.Class = 0
+	m.Expect = attest.ClassAccepted
+	return m, ""
+}
+
+// buildCodeInjection models a tampered binary: one flipped bit in the
+// text image. The device reports the identity of what it actually
+// runs, so the program-identity binding — the paper's static
+// attestation prerequisite — rejects at the protocol layer before any
+// measurement is inspected.
+func buildCodeInjection(sub *subject, r *mrand.Rand) (*Mutation, string) {
+	text := append([]byte(nil), sub.prog.Text...)
+	text[r.Intn(len(text))] ^= 1 << uint(r.Intn(8))
+	id := attest.ComputeProgramID(text)
+	if id == sub.id {
+		return nil, "bit flip did not change the program identity"
+	}
+	m := base(sub, "code-injection")
+	m.Class = -1
+	m.Expect = attest.ClassProtocol
+	m.FindingAny = []string{"program"}
+	m.program = id
+	return m, ""
+}
+
+// buildNonceReplay echoes a corrupted nonce in every message — the
+// stale-response replay the freshness challenge exists to stop.
+func buildNonceReplay(sub *subject, _ *mrand.Rand) (*Mutation, string) {
+	m := base(sub, "nonce-replay")
+	m.Class = -1
+	m.Expect = attest.ClassProtocol
+	m.FindingAny = []string{"nonce"}
+	m.tamperNonce = true
+	return m, ""
+}
+
+// buildSigForgery corrupts the signatures: a forged or in-flight
+// tampered report must be rejected as such, not as a measurement
+// mismatch.
+func buildSigForgery(sub *subject, _ *mrand.Rand) (*Mutation, string) {
+	m := base(sub, "sig-forgery")
+	m.Class = -1
+	m.Expect = attest.ClassSignature
+	m.FindingAny = []string{"signature"}
+	m.tamperSig = true
+	return m, ""
+}
+
+// buildLoopCount is Figure 1 class 2 — loop counter corruption. The
+// report keeps the honest hash and path structure but inflates one
+// path's iteration count (what corrupting a memory-held trip counter
+// produces: same paths, more iterations, hash unchanged because
+// repeated paths are deduplicated). The edge stream takes one extra
+// stay-in-loop decision at a site where the golden run left (or
+// stayed in) a loop: the two arms differ in static loop membership,
+// which is the trace-level definition of an iteration-count change.
+func buildLoopCount(sub *subject, r *mrand.Rand) (*Mutation, string) {
+	// Direct-path artifact: bump a recorded path count.
+	type pathRef struct{ rec, path int }
+	var refs []pathRef
+	for i, rec := range sub.honest.Loops {
+		for j := range rec.Paths {
+			refs = append(refs, pathRef{i, j})
+		}
+	}
+	if len(refs) == 0 {
+		return nil, "honest run recorded no loop paths"
+	}
+
+	// Stream-path artifact: a decision site whose flip crosses a loop
+	// boundary.
+	var sites []flipSite
+	for k, e := range sub.edges {
+		other, ok := otherArm(sub.graph, e)
+		if !ok {
+			continue
+		}
+		if loopMembershipDiffers(sub.graph, e.Src, other, e.Dest) {
+			sites = append(sites, flipSite{k: k, dest: other})
+		}
+	}
+	if len(sites) == 0 {
+		return nil, "no loop-boundary decision in the edge stream"
+	}
+
+	m := base(sub, "loop-count")
+	m.Class = 2
+	m.Expect = attest.ClassLoopCounter
+	m.FindingAny = []string{"iteration", "loop counter"}
+
+	ref := refs[r.Intn(len(refs))]
+	delta := uint64(1 + r.Intn(4))
+	loops := copyLoops(sub.honest.Loops)
+	loops[ref.rec].Paths[ref.path].Count += delta
+	loops[ref.rec].Iterations += delta // keep the record internally consistent
+	m.loops = loops
+
+	site := sites[r.Intn(len(sites))]
+	m.edges = insertEdge(sub.edges, site.k, hashengine.Pair{Src: sub.edges[site.k].Src, Dest: site.dest})
+	return m, ""
+}
+
+// buildPathSubst is Figure 1 class 1 — a permissible-but-unintended
+// path. The loop metadata swaps the first-occurrence order of two
+// recorded paths (or flips a path-code bit), gated so every resulting
+// walk stays CFG-consistent; the edge stream flips one forward
+// decision whose arms agree on every loop's membership. Nothing the
+// prover reports is statically impossible — it is just not the
+// execution of S under input i.
+func buildPathSubst(sub *subject, r *mrand.Rand) (*Mutation, string) {
+	var sites []flipSite
+	for k, e := range sub.edges {
+		other, ok := otherArm(sub.graph, e)
+		if !ok || other <= e.Src || e.Dest <= e.Src {
+			// Backward arms are loop decisions; class 1 must not look
+			// like one.
+			continue
+		}
+		if !loopMembershipDiffers(sub.graph, e.Src, other, e.Dest) {
+			sites = append(sites, flipSite{k: k, dest: other})
+		}
+	}
+	if len(sites) == 0 {
+		return nil, "no loop-neutral decision in the edge stream"
+	}
+
+	m := base(sub, "path-subst")
+	m.Class = 1
+	m.Expect = attest.ClassNonControlData
+	m.FindingAny = []string{"differs from expected execution", "not the expected path"}
+	if loops, ok := substituteValidLoops(sub, r); ok {
+		// A flip inside a loop: the unintended path shows up in the
+		// loop metadata L while the deduplicated hash A is unchanged.
+		m.loops = loops
+	} else {
+		// A flip outside every loop: L carries no evidence, only the
+		// cumulative hash A differs — still CFG-consistent, still
+		// class 1. Any changed hash expresses it; flip one bit.
+		m.hash[0] ^= 0x01
+	}
+	site := sites[r.Intn(len(sites))]
+	m.edges = replaceEdge(sub.edges, site.k, hashengine.Pair{Src: sub.edges[site.k].Src, Dest: site.dest})
+	return m, ""
+}
+
+// substituteValidLoops derives loop metadata that differs from the
+// honest record yet passes every CFG walk. Preferred construction:
+// swap two distinct recorded paths of one loop (reordering the
+// first-occurrence list). Fallback: flip one path-code bit, keeping
+// only candidates whose record re-validates without a PathInvalid.
+func substituteValidLoops(sub *subject, r *mrand.Rand) ([]monitor.LoopRecord, bool) {
+	bits := sub.indirectBits()
+	var candidates [][]monitor.LoopRecord
+	for i, rec := range sub.honest.Loops {
+		if len(rec.Paths) >= 2 {
+			loops := copyLoops(sub.honest.Loops)
+			p := loops[i].Paths
+			p[0], p[1] = p[1], p[0]
+			if !recordInvalid(sub.graph, loops[i], bits) {
+				candidates = append(candidates, loops)
+			}
+		}
+		for j, ps := range rec.Paths {
+			for b := 0; b < int(ps.Code.Len); b++ {
+				loops := copyLoops(sub.honest.Loops)
+				loops[i].Paths[j].Code.Bits ^= 1 << uint(b)
+				if duplicateCode(loops[i].Paths, j) {
+					continue
+				}
+				if !recordInvalid(sub.graph, loops[i], bits) {
+					candidates = append(candidates, loops)
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, false
+	}
+	return candidates[r.Intn(len(candidates))], true
+}
+
+// buildCFGSplice is Figure 1 class 3 — a control-flow attack. The edge
+// stream splices in an edge cfg.ValidEdge rejects (the trace-level
+// signature of a hijacked code pointer); the loop metadata is
+// corrupted until cfg.ValidateRecord proves no CFG walk realizes it.
+func buildCFGSplice(sub *subject, r *mrand.Rand) (*Mutation, string) {
+	if len(sub.edges) == 0 {
+		return nil, "edge stream is empty"
+	}
+	loops, ok := corruptLoopsInvalid(sub, r)
+	if !ok {
+		return nil, "honest run recorded no loop metadata to corrupt"
+	}
+
+	m := base(sub, "cfg-splice")
+	m.Class = 3
+	m.Expect = attest.ClassControlFlow
+	m.FindingAny = []string{"CFG violation", "not CFG-consistent"}
+	m.loops = loops
+
+	k := r.Intn(len(sub.edges))
+	src, honest := sub.edges[k].Src, sub.edges[k].Dest
+	for _, bad := range []uint32{0xfffffff0, src + 8, sub.graph.Limit + 64, src ^ 0x44} {
+		if bad != honest && !sub.graph.ValidEdge(src, bad) {
+			m.edges = replaceEdge(sub.edges, k, hashengine.Pair{Src: src, Dest: bad})
+			return m, ""
+		}
+	}
+	return nil, "no CFG-invalid splice target found" // unreachable in practice
+}
+
+// corruptLoopsInvalid derives loop metadata that cfg.ValidateRecord
+// provably rejects: a flipped path-code bit whose walk derails, or —
+// when no bit flip lands on an invalid walk — a loop identity shifted
+// off the static loop table.
+func corruptLoopsInvalid(sub *subject, r *mrand.Rand) ([]monitor.LoopRecord, bool) {
+	if len(sub.honest.Loops) == 0 {
+		return nil, false
+	}
+	bits := sub.indirectBits()
+	var candidates [][]monitor.LoopRecord
+	for i, rec := range sub.honest.Loops {
+		for j, ps := range rec.Paths {
+			for b := 0; b < int(ps.Code.Len); b++ {
+				loops := copyLoops(sub.honest.Loops)
+				loops[i].Paths[j].Code.Bits ^= 1 << uint(b)
+				if duplicateCode(loops[i].Paths, j) {
+					continue
+				}
+				if recordInvalid(sub.graph, loops[i], bits) {
+					candidates = append(candidates, loops)
+				}
+			}
+		}
+	}
+	if len(candidates) > 0 {
+		return candidates[r.Intn(len(candidates))], true
+	}
+	// Fallback: report a loop the static analysis never enumerated.
+	i := r.Intn(len(sub.honest.Loops))
+	loops := copyLoops(sub.honest.Loops)
+	for shift := uint32(4); shift < 64; shift += 4 {
+		entry := loops[i].Entry + shift
+		if _, exists := sub.graph.LoopWithEntry(entry, loops[i].Exit); !exists {
+			loops[i].Entry = entry
+			return loops, true
+		}
+	}
+	return nil, false
+}
+
+// flipSite is a candidate decision flip in the edge stream.
+type flipSite struct {
+	k    int
+	dest uint32
+}
+
+// otherArm returns the successor of the conditional branch at e.Src
+// that the honest edge did NOT take.
+func otherArm(g *cfg.Graph, e hashengine.Pair) (uint32, bool) {
+	taken, fallthru, ok := g.BranchArms(e.Src)
+	if !ok || taken == fallthru {
+		return 0, false
+	}
+	switch e.Dest {
+	case taken:
+		return fallthru, true
+	case fallthru:
+		return taken, true
+	}
+	return 0, false
+}
+
+// loopMembershipDiffers reports whether some static loop contains the
+// decision site and exactly one of the two destinations — the flip
+// then changes how often that loop iterates.
+func loopMembershipDiffers(g *cfg.Graph, src, a, b uint32) bool {
+	for _, l := range g.Loops() {
+		if l.Contains(src) && l.Contains(a) != l.Contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func recordInvalid(g *cfg.Graph, rec monitor.LoopRecord, indirectBits int) bool {
+	for _, wr := range g.ValidateRecord(rec, indirectBits) {
+		if wr.Verdict == cfg.PathInvalid {
+			return true
+		}
+	}
+	return false
+}
+
+// duplicateCode reports whether path j's code collides with another
+// recorded path of the same loop (the monitor never records the same
+// path ID twice, so a collision would be trivially implausible).
+func duplicateCode(paths []monitor.PathStat, j int) bool {
+	for i := range paths {
+		if i != j && paths[i].Code == paths[j].Code {
+			return true
+		}
+	}
+	return false
+}
+
+func copyLoops(in []monitor.LoopRecord) []monitor.LoopRecord {
+	out := make([]monitor.LoopRecord, len(in))
+	for i, r := range in {
+		r.Paths = append([]monitor.PathStat(nil), r.Paths...)
+		r.IndirectTargets = append([]uint32(nil), r.IndirectTargets...)
+		out[i] = r
+	}
+	return out
+}
+
+func insertEdge(edges []hashengine.Pair, k int, e hashengine.Pair) []hashengine.Pair {
+	out := make([]hashengine.Pair, 0, len(edges)+1)
+	out = append(out, edges[:k]...)
+	out = append(out, e)
+	out = append(out, edges[k:]...)
+	return out
+}
+
+func replaceEdge(edges []hashengine.Pair, k int, e hashengine.Pair) []hashengine.Pair {
+	out := append([]hashengine.Pair(nil), edges...)
+	out[k] = e
+	return out
+}

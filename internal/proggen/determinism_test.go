@@ -1,0 +1,52 @@
+package proggen
+
+import (
+	"testing"
+
+	"lofat/internal/asm"
+	"lofat/internal/cpu"
+)
+
+// Seed determinism is the contract the conformance harness's repro
+// recipes stand on: a seed printed by a failing run must regenerate
+// the exact program that failed, byte for byte, on any machine.
+func TestGenerateSeededIsByteIdentical(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a := GenerateSeeded(seed, Config{})
+		b := GenerateSeeded(seed, Config{})
+		if a != b {
+			t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", seed, a, b)
+		}
+	}
+	// Distinct seeds must not collapse onto one program (a frozen RNG
+	// would pass the identity check above).
+	if GenerateSeeded(1, Config{}) == GenerateSeeded(2, Config{}) {
+		t.Fatal("seeds 1 and 2 generated identical programs")
+	}
+}
+
+// Every seed of the corpus assembles and terminates cleanly within the
+// instruction budget — 1000 seeds in full mode, a sample under -short.
+func TestThousandSeedsAssembleAndTerminate(t *testing.T) {
+	seeds := int64(1000)
+	if testing.Short() {
+		seeds = 250
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := GenerateSeeded(seed, Config{})
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+		}
+		mach, err := cpu.Load(prog, cpu.LoadOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: load: %v", seed, err)
+		}
+		if err := mach.CPU.Run(3_000_000); err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+		}
+		if !mach.CPU.Halted {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+	}
+}

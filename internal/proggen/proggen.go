@@ -31,9 +31,10 @@ type Config struct {
 	MaxStmts int
 	// Helpers is the number of callable leaf functions (default 2).
 	Helpers int
-	// AllowIndirect enables jump-table indirect calls (default true
-	// via Generate's config fill).
-	AllowIndirect bool
+	// NoIndirect disables jump-table indirect calls; the zero value
+	// generates them, so the default corpus exercises the CAM-encoded
+	// indirect-target path.
+	NoIndirect bool
 }
 
 func (c *Config) fill() {
@@ -56,6 +57,15 @@ type generator struct {
 	nLabel int
 	// loop counters use s2..s6 indexed by depth; s0 is the running
 	// checksum, s1 a scratch accumulator.
+}
+
+// GenerateSeeded produces the program for a seed: the canonical
+// seed → program mapping shared by every consumer that needs
+// reproducibility (the conformance corpus, regression tests, repro
+// recipes printed on failures). Same seed, same config ⇒ byte-identical
+// program text.
+func GenerateSeeded(seed int64, cfg Config) string {
+	return Generate(rand.New(rand.NewSource(seed)), cfg)
 }
 
 // Generate produces a self-contained assembly program. The program's
@@ -118,7 +128,7 @@ func (g *generator) stmt(depth int) {
 	}
 	if g.cfg.Helpers > 0 {
 		choices = append(choices, g.call)
-		if g.cfg.AllowIndirect {
+		if !g.cfg.NoIndirect {
 			choices = append(choices, g.indirectCall)
 		}
 	}

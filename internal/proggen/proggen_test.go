@@ -19,7 +19,7 @@ const seeds = 60
 
 func genProgram(t *testing.T, seed int64) (*asm.Program, string) {
 	t.Helper()
-	src := Generate(rand.New(rand.NewSource(seed)), Config{AllowIndirect: true})
+	src := Generate(rand.New(rand.NewSource(seed)), Config{})
 	prog, err := asm.Assemble(src)
 	if err != nil {
 		t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"lofat/internal/core"
+	"lofat/internal/hashengine"
+)
+
+// ChunkEdges reproduces the emitter's segmentation over a raw
+// control-flow edge stream: full windows of windowEvents edges plus a
+// partial tail, with the chain value extended per segment exactly as
+// Emitter.seal does (segment k's chain is SHA3-512 over segment k-1's
+// chain followed by the window's edges, starting from the zero digest).
+//
+// It exists so stream peers other than a live core — replay tooling,
+// the conformance harness's synthetic provers, tests — can produce a
+// segment stream that is bit-compatible with what an Emitter tapping
+// the same edge sequence would have sealed. An empty edge stream
+// yields no segments, matching a run with no measured control-flow
+// events. The window is defaulted exactly as NewEmitter defaults it —
+// and, like the emitter, deliberately NOT clamped to MaxSegmentEvents
+// (that bound is protocol admission policy, enforced where windows are
+// negotiated; applying it here would silently diverge from an emitter
+// configured with the same oversized window).
+func ChunkEdges(edges []hashengine.Pair, windowEvents int) []core.Segment {
+	if windowEvents <= 0 {
+		windowEvents = DefaultSegmentEvents
+	}
+	var (
+		chain [hashengine.DigestSize]byte
+		segs  []core.Segment
+	)
+	for start := 0; start < len(edges); start += windowEvents {
+		end := min(start+windowEvents, len(edges))
+		window := edges[start:end]
+		chain = hashengine.ChainPairs(chain, window)
+		segs = append(segs, core.Segment{
+			Index:  uint32(len(segs)),
+			Events: uint32(len(window)),
+			Chain:  chain,
+			Edges:  append([]hashengine.Pair(nil), window...),
+		})
+	}
+	return segs
+}
+
+// FlattenSegments concatenates the edge windows of a segment chain back
+// into the raw control-flow edge stream — the inverse of ChunkEdges for
+// golden measurements that retained their segments.
+func FlattenSegments(segs []core.Segment) []hashengine.Pair {
+	n := 0
+	for i := range segs {
+		n += len(segs[i].Edges)
+	}
+	out := make([]hashengine.Pair, 0, n)
+	for i := range segs {
+		out = append(out, segs[i].Edges...)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package stream_test
+
+import (
+	"reflect"
+	"testing"
+
+	"lofat/internal/core"
+	"lofat/internal/hashengine"
+	"lofat/internal/stream"
+	"lofat/internal/workloads"
+)
+
+// ChunkEdges must be bit-compatible with the emitter: chunking a golden
+// run's flattened edge stream reproduces the emitter's segment chain
+// exactly — indexes, window sizes, chain values and edge windows.
+func TestChunkEdgesMatchesEmitter(t *testing.T) {
+	for _, window := range []int{1, 7, 64, 1 << 20 /* larger than any run */} {
+		for _, w := range []workloads.Workload{workloads.SyringePump(), workloads.Dispatch()} {
+			prog, err := w.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			meas, _, err := stream.MeasureStream(prog, core.Config{}, w.Input, window, 10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edges := stream.FlattenSegments(meas.Segments)
+			rebuilt := stream.ChunkEdges(edges, window)
+			if !reflect.DeepEqual(rebuilt, meas.Segments) {
+				t.Errorf("window %d, %s: ChunkEdges differs from emitter segments (%d vs %d segments)",
+					window, w.Name, len(rebuilt), len(meas.Segments))
+			}
+		}
+	}
+}
+
+// Degenerate inputs: no edges, no segments; a final partial window is
+// its own segment.
+func TestChunkEdgesEdgeCases(t *testing.T) {
+	if segs := stream.ChunkEdges(nil, 8); segs != nil {
+		t.Errorf("empty edge stream produced %d segments", len(segs))
+	}
+	edges := []hashengine.Pair{{Src: 4, Dest: 8}, {Src: 8, Dest: 12}, {Src: 12, Dest: 4}}
+	segs := stream.ChunkEdges(edges, 2)
+	if len(segs) != 2 || segs[0].Events != 2 || segs[1].Events != 1 {
+		t.Fatalf("3 edges / window 2: got %+v", segs)
+	}
+	if segs[0].Chain != hashengine.ChainPairs([hashengine.DigestSize]byte{}, edges[:2]) {
+		t.Error("first chain link does not start from the zero digest")
+	}
+	if segs[1].Chain != hashengine.ChainPairs(segs[0].Chain, edges[2:]) {
+		t.Error("second chain link does not extend the first")
+	}
+	if !reflect.DeepEqual(stream.FlattenSegments(segs), edges) {
+		t.Error("FlattenSegments is not the inverse of ChunkEdges")
+	}
+}

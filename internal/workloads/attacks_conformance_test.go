@@ -1,0 +1,92 @@
+package workloads_test
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/sig"
+	"lofat/internal/stream"
+	"lofat/internal/workloads"
+)
+
+// Every hand-written attack scenario of Figure 1 must round-trip
+// through the FULL attestation protocol — challenge, adversarial
+// execution, signed report, verification — and land on its expected
+// Classification on both the direct and the streamed delivery path.
+// This is the hand-written anchor of the conformance suite: the
+// generated corpus (internal/conform) scales the same contract to
+// thousands of scenarios, but these four are the paper's own examples
+// with real adversarial executions.
+func TestAttacksRoundTripBothPaths(t *testing.T) {
+	for _, atk := range workloads.Attacks() {
+		atk := atk
+		t.Run(atk.Name, func(t *testing.T) {
+			prog, err := atk.Workload.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys, err := sig.GenerateKeyStore(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			devCfg := core.Config{}
+
+			// Direct path: end-of-run report, in-process verifier.
+			p := attest.NewProver(prog, devCfg, keys)
+			p.Adversary = atk.Build(prog)
+			v, err := attest.NewVerifier(prog, devCfg, keys.Public(), rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := v.NewChallenge(atk.Workload.Input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := p.Attest(ch)
+			if err != nil {
+				t.Fatalf("direct attest: %v", err)
+			}
+			direct := v.Verify(ch, rep)
+			if direct.Class != atk.Expect {
+				t.Errorf("direct path: class %v, want %v (findings: %v)",
+					direct.Class, atk.Expect, direct.Findings)
+			}
+			if direct.Accepted != (atk.Expect == attest.ClassAccepted) {
+				t.Errorf("direct path: accepted=%v for expected class %v", direct.Accepted, atk.Expect)
+			}
+
+			// Streamed path: fresh prover/verifier pair (independent
+			// adversary state), incremental session.
+			p2 := attest.NewProver(prog, devCfg, keys)
+			p2.Adversary = atk.Build(prog)
+			v2, err := attest.NewVerifier(prog, devCfg, keys.Public(), rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv := stream.NewVerifier(v2, stream.Config{SegmentEvents: 16})
+			streamed, err := stream.AttestOnce(stream.NewProver(p2), sv, atk.Workload.Input, nil)
+			if err != nil {
+				t.Fatalf("streamed attest: %v", err)
+			}
+			if streamed.Class != atk.Expect {
+				t.Errorf("streamed path: class %v, want %v (findings: %v)",
+					streamed.Class, atk.Expect, streamed.Findings)
+			}
+
+			// The two delivery paths must agree on every scenario —
+			// the workloads-level instance of the conformance harness's
+			// cross-path invariant.
+			if direct.Class != streamed.Class || direct.Accepted != streamed.Accepted {
+				t.Errorf("paths disagree: direct %v (accepted=%v) vs streamed %v (accepted=%v)",
+					direct.Class, direct.Accepted, streamed.Class, streamed.Accepted)
+			}
+
+			// Rejections must say why: a finding naming the diagnosis.
+			if atk.Expect != attest.ClassAccepted && len(direct.Findings) == 0 {
+				t.Error("direct rejection carries no findings")
+			}
+		})
+	}
+}
