@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"lofat/internal/attest"
 	"lofat/internal/cflat"
@@ -32,6 +33,7 @@ import (
 	"lofat/internal/filter"
 	"lofat/internal/hashengine"
 	"lofat/internal/monitor"
+	"lofat/internal/obs"
 	"lofat/internal/stream"
 	"lofat/internal/workloads"
 )
@@ -52,18 +54,29 @@ func jumpOp(src, dest uint32) filter.Op {
 
 func iterEnd() filter.Op { return filter.Op{Kind: filter.OpIterEnd} }
 
-// BenchResult is one timed benchmark in the JSON report.
+// BenchResult is one timed benchmark in the JSON report. The percentile
+// fields come from a separate per-op sampling pass (testing.Benchmark
+// only reports the mean), so they are absent when a shape could not be
+// sampled — and absent from baselines recorded at schema 1.
 type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	P50NsPerOp  float64 `json:"p50_ns_per_op,omitempty"`
+	P95NsPerOp  float64 `json:"p95_ns_per_op,omitempty"`
+	P99NsPerOp  float64 `json:"p99_ns_per_op,omitempty"`
 }
+
+// reportSchema versions the -bench JSON document: 1 was means only,
+// 2 added the schema field itself and per-op latency percentiles.
+const reportSchema = 2
 
 // Report is the -bench JSON document. When a -baseline file is given its
 // benchmarks are embedded alongside the current run with the computed
 // speedup factors, so the file is a self-contained before/after record.
 type Report struct {
+	Schema     int                    `json:"schema"`
 	Benchmarks map[string]BenchResult `json:"benchmarks"`
 	Baseline   map[string]BenchResult `json:"baseline,omitempty"`
 	Speedup    map[string]float64     `json:"speedup,omitempty"`
@@ -152,37 +165,75 @@ func runExperiments(ids, out string) error {
 	return os.WriteFile(out, []byte(b.String()), 0o644)
 }
 
+// benchShape pairs a testing.Benchmark function (mean / allocs) with a
+// single-op setup for the percentile sampling pass: Setup runs once and
+// returns a closure executing exactly one operation.
+type benchShape struct {
+	Name  string
+	Fn    func(b *testing.B)
+	Setup func() (func() error, error)
+}
+
 // hotPathBenchmarks are the timed shapes: full attested captures (the
 // fleet/stream golden-run bottleneck), the monitor and hash-engine
 // microbenchmarks, and the C-FLAT software baseline.
-func hotPathBenchmarks() []struct {
-	Name string
-	Fn   func(b *testing.B)
-} {
-	return []struct {
-		Name string
-		Fn   func(b *testing.B)
-	}{
-		{"E1_Capture", benchCapture},
-		{"E2_PathEncoding", benchPathEncoding},
-		{"E3_CFLAT", benchCFLAT},
-		{"E5_HashEngine", benchHashEngine},
-		{"StreamGolden", benchStreamGolden},
+func hotPathBenchmarks() []benchShape {
+	return []benchShape{
+		{"E1_Capture", benchCapture, setupCaptureOp},
+		{"E2_PathEncoding", benchPathEncoding, setupPathEncodingOp},
+		{"E3_CFLAT", benchCFLAT, setupCFLATOp},
+		{"E5_HashEngine", benchHashEngine, setupHashEngineOp},
+		{"StreamGolden", benchStreamGolden, setupStreamGoldenOp},
 	}
 }
 
+// samplePercentiles times single operations into a log-bucketed
+// histogram until the budget runs out — at most sampleBudget wall time
+// or maxSamples operations — and returns the p50/p95/p99 estimates.
+const (
+	sampleBudget = 250 * time.Millisecond
+	maxSamples   = 2048
+)
+
+func samplePercentiles(setup func() (func() error, error)) (p50, p95, p99 float64, err error) {
+	op, err := setup()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := op(); err != nil { // warm caches and one-time lazy init
+		return 0, 0, 0, err
+	}
+	var h obs.Histogram
+	deadline := time.Now().Add(sampleBudget)
+	for i := 0; i < maxSamples && !time.Now().After(deadline); i++ {
+		start := time.Now()
+		if err := op(); err != nil {
+			return 0, 0, 0, err
+		}
+		h.ObserveSince(start)
+	}
+	s := h.Snapshot()
+	return s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99), nil
+}
+
 func runBench(baselinePath, jsonOut string) error {
-	rep := Report{Benchmarks: map[string]BenchResult{}}
+	rep := Report{Schema: reportSchema, Benchmarks: map[string]BenchResult{}}
 	for _, bm := range hotPathBenchmarks() {
 		r := testing.Benchmark(bm.Fn)
-		rep.Benchmarks[bm.Name] = BenchResult{
+		res := BenchResult{
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Iterations:  r.N,
 		}
-		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %8d allocs/op\n",
-			bm.Name, rep.Benchmarks[bm.Name].NsPerOp, r.AllocsPerOp())
+		p50, p95, p99, err := samplePercentiles(bm.Setup)
+		if err != nil {
+			return fmt.Errorf("%s: sample: %w", bm.Name, err)
+		}
+		res.P50NsPerOp, res.P95NsPerOp, res.P99NsPerOp = p50, p95, p99
+		rep.Benchmarks[bm.Name] = res
+		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %8d allocs/op  p50/p95/p99 %.0f/%.0f/%.0f ns\n",
+			bm.Name, res.NsPerOp, r.AllocsPerOp(), p50, p95, p99)
 	}
 
 	if baselinePath != "" {
@@ -294,4 +345,66 @@ func benchStreamGolden(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// The setup*Op functions mirror the benchmarks above one operation at a
+// time, for the percentile sampling pass.
+
+func setupCaptureOp() (func() error, error) {
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		_, _, err := attest.Measure(prog, core.Config{}, w.Input, 50_000_000)
+		return err
+	}, nil
+}
+
+func setupPathEncodingOp() (func() error, error) {
+	m := monitor.New(monitor.Config{}, func(hashengine.Pair) {})
+	m.Apply(pushOp(0x100, 0x140))
+	return func() error {
+		m.Apply(condOp(0x100, 0x104, false))
+		m.Apply(condOp(0x104, 0x108, false))
+		m.Apply(jumpOp(0x118, 0x124))
+		m.Apply(jumpOp(0x130, 0x100))
+		m.Apply(iterEnd())
+		return nil
+	}, nil
+}
+
+func setupCFLATOp() (func() error, error) {
+	w := workloads.CRC32()
+	prog, err := w.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	r := cflat.NewRunner()
+	return func() error {
+		_, err := r.Run(prog, w.Input)
+		return err
+	}, nil
+}
+
+func setupHashEngineOp() (func() error, error) {
+	buf := make([]byte, hashengine.Rate)
+	var s hashengine.Sponge
+	return func() error {
+		s.Write(buf)
+		return nil
+	}, nil
+}
+
+func setupStreamGoldenOp() (func() error, error) {
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		_, _, err := stream.MeasureStream(prog, core.Config{}, w.Input, stream.DefaultSegmentEvents, 50_000_000)
+		return err
+	}, nil
 }

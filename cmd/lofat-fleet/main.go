@@ -18,6 +18,8 @@
 //	lofat-fleet -read-timeout 500ms -retries 3 -breaker 2
 //	lofat-fleet -nocache                         # per-device golden runs
 //	lofat-fleet -interval 500ms -duration 3s     # scheduler-driven sweeps
+//	lofat-fleet -metrics-addr 127.0.0.1:9464     # live /metrics + pprof
+//	lofat-fleet -trace-out sweep.trace.json      # Perfetto trace of the run
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -34,6 +37,7 @@ import (
 	"lofat/internal/core"
 	"lofat/internal/fleet"
 	"lofat/internal/fleet/faultconn"
+	"lofat/internal/obs"
 	"lofat/internal/sig"
 	"lofat/internal/workloads"
 )
@@ -58,6 +62,11 @@ func main() {
 	retries := flag.Int("retries", 2, "total transport attempts per round")
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubled per attempt, jittered)")
 	breaker := flag.Int("breaker", 3, "consecutive failed rounds that trip a device's circuit breaker (negative disables)")
+
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /flight and pprof on this address (empty = off)")
+	pprofOn := flag.Bool("pprof", true, "mount /debug/pprof/ on the metrics server (with -metrics-addr)")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace of the run to this file")
+	flightCap := flag.Int("flight", obs.DefaultFlightCapacity, "flight recorder capacity in events (0 disables)")
 	flag.Parse()
 
 	cfg := fleet.Config{
@@ -71,10 +80,70 @@ func main() {
 		RetryBackoff:     *backoff,
 		BreakerThreshold: *breaker,
 	}
-	if err := run(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, *interval, *duration); err != nil {
+	o := obsConfig{metricsAddr: *metricsAddr, pprof: *pprofOn, traceOut: *traceOut, flightCap: *flightCap}
+	if err := run(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, *interval, *duration, o); err != nil {
 		fmt.Fprintf(os.Stderr, "lofat-fleet: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// obsConfig bundles the observability flags.
+type obsConfig struct {
+	metricsAddr string
+	pprof       bool
+	traceOut    string
+	flightCap   int
+}
+
+// setupObs builds the observability hub from the flags and starts the
+// metrics server when requested. It returns the hub (never nil — a hub
+// with only the registry is effectively free) and a teardown that
+// flushes the trace file and stops the server.
+func setupObs(o obsConfig) (*obs.Hub, func(), error) {
+	hub := obs.NewHub()
+	var teardown []func()
+
+	var traceFile *os.File
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		traceFile = f
+		hub.Tracer = obs.NewTracer(f)
+		teardown = append(teardown, func() {
+			if err := hub.Tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "lofat-fleet: trace: %v\n", err)
+			}
+			traceFile.Close()
+			fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", o.traceOut)
+		})
+	}
+	if o.flightCap > 0 {
+		hub.Flight = obs.NewFlight(o.flightCap)
+	}
+	if o.metricsAddr != "" {
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			return nil, nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: hub.Handler(o.pprof)}
+		go srv.Serve(ln)
+		fmt.Printf("metrics on http://%s/metrics", ln.Addr())
+		if o.pprof {
+			fmt.Printf(" (pprof on /debug/pprof/)")
+		}
+		fmt.Println()
+		teardown = append(teardown, func() { srv.Close() })
+	}
+	return hub, func() {
+		for i := len(teardown) - 1; i >= 0; i-- {
+			teardown[i]()
+		}
+	}, nil
 }
 
 // proverIdleTimeout derives the simulated devices' server-side idle
@@ -90,7 +159,7 @@ func proverIdleTimeout(cfg fleet.Config) time.Duration {
 	return max(2*d, time.Second)
 }
 
-func run(devices, attacked, stalled, dropping int, attackName, workload string, sweeps int, cfg fleet.Config, interval, duration time.Duration) error {
+func run(devices, attacked, stalled, dropping int, attackName, workload string, sweeps int, cfg fleet.Config, interval, duration time.Duration, o obsConfig) error {
 	w, ok := workloads.ByName(workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", workload)
@@ -109,6 +178,13 @@ func run(devices, attacked, stalled, dropping int, attackName, workload string, 
 	if err != nil {
 		return err
 	}
+
+	hub, obsDone, err := setupObs(o)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+	cfg.Obs = hub
 
 	// Transport-chaos plans keyed by enrolled address, applied by a
 	// faultconn wrapper around the plain TCP dial. The table is fully
@@ -197,6 +273,7 @@ func run(devices, attacked, stalled, dropping int, attackName, workload string, 
 			reports, err := svc.Sweep()
 			if err != nil {
 				fmt.Printf("sweep %d: partial failure: %v\n", i+1, err)
+				dumpFlight(svc, "sweep failure")
 			}
 			for _, rep := range reports {
 				fmt.Printf("sweep %d: %v\n", i+1, rep)
@@ -204,7 +281,11 @@ func run(devices, attacked, stalled, dropping int, attackName, workload string, 
 		}
 	}
 
-	fmt.Println(svc.Metrics())
+	snap := svc.Metrics()
+	fmt.Println(snap)
+	if snap.Errors > 0 {
+		dumpFlight(svc, fmt.Sprintf("%d transport error(s)", snap.Errors))
+	}
 	if q := svc.Quarantined(); len(q) > 0 {
 		fmt.Printf("quarantined devices:\n")
 		for _, id := range q {
@@ -224,4 +305,17 @@ func run(devices, attacked, stalled, dropping int, attackName, workload string, 
 		}
 	}
 	return nil
+}
+
+// dumpFlight writes the flight-recorder ring to stderr, once per cause,
+// so a failed run leaves the per-device event history in the log.
+func dumpFlight(svc *fleet.Service, cause string) {
+	fr := svc.Flight()
+	if fr == nil || fr.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "--- flight recorder dump (%s) ---\n", cause)
+	if err := fr.Dump(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-fleet: flight dump: %v\n", err)
+	}
 }

@@ -12,6 +12,7 @@
 //	lofat-stream -attack loop-counter       # rejected mid-run, class 2
 //	lofat-stream -attack code-pointer       # rejected mid-run, class 3
 //	lofat-stream -attack auth-bypass -segment 4
+//	lofat-stream -trace-out stream.trace.json  # Perfetto trace of the run
 package main
 
 import (
@@ -19,9 +20,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lofat/internal/attest"
 	"lofat/internal/core"
+	"lofat/internal/obs"
 	"lofat/internal/sig"
 	"lofat/internal/stream"
 	"lofat/internal/workloads"
@@ -31,15 +34,16 @@ func main() {
 	workload := flag.String("w", "syringe-pump", "workload to attest")
 	attackName := flag.String("attack", "", "attack to arm (loop-counter, auth-bypass, code-pointer, dop-data-only; empty = honest)")
 	segment := flag.Int("segment", 8, "checkpoint window N (control-flow events per segment)")
+	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace of the run to this file")
 	flag.Parse()
 
-	if err := run(*workload, *attackName, *segment); err != nil {
+	if err := run(*workload, *attackName, *segment, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "lofat-stream: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, attackName string, segment int) error {
+func run(workload, attackName string, segment int, traceOut string) error {
 	w, ok := workloads.ByName(workload)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", workload)
@@ -72,15 +76,42 @@ func run(workload, attackName string, segment int) error {
 		fmt.Printf("armed attack %q (class %d): %s\n", atk.Name, atk.Class, atk.Description)
 	}
 
+	// Per-segment verify latencies always feed a histogram (it is one
+	// atomic-array, effectively free); the trace is opt-in via the flag.
+	segHist := new(obs.Histogram)
+	scfg := stream.Config{SegmentEvents: segment, SegmentHist: segHist}
+	var tracer *obs.Tracer
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f)
+		scfg.Trace = obs.Scope{T: tracer, TID: tracer.NextTID()}
+	}
+
 	sp := stream.NewProver(ap)
-	sv := stream.NewVerifier(av, stream.Config{SegmentEvents: segment})
+	sv := stream.NewVerifier(av, scfg)
 	fmt.Printf("streaming %q with window N=%d control-flow events\n\n", w.Name, segment)
 
 	res, err := stream.AttestOnce(sp, sv, input, func(sr *stream.SegmentReport) {
 		fmt.Printf("  segment %3d: %3d events, chain %x...\n", sr.Index, sr.Events, sr.Chain[:8])
 	})
+	if tracer != nil {
+		if cerr := tracer.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "lofat-stream: trace: %v\n", cerr)
+		} else {
+			fmt.Printf("\ntrace written to %s (load in ui.perfetto.dev)\n", traceOut)
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if h := segHist.Snapshot(); h.Count > 0 {
+		fmt.Printf("\nsegment verify latency: %d segments, mean %v, p50/p95/p99 %v/%v/%v\n",
+			h.Count, time.Duration(h.Mean()),
+			time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.95)), time.Duration(h.Quantile(0.99)))
 	}
 
 	fmt.Println()

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"lofat/internal/obs"
 )
 
 // Registry hosts multiple attestable programs on one prover device —
@@ -282,4 +284,10 @@ func RequestFrom(conn io.ReadWriter, v *Verifier, input []uint32) (Result, error
 // RequestAttestationTimeout).
 func RequestFromTimeout(conn io.ReadWriter, v *Verifier, input []uint32, to Timeouts) (Result, error) {
 	return RequestAttestationTimeout(conn, v, input, to)
+}
+
+// RequestFromScoped is RequestFromTimeout with round tracing (see
+// RequestAttestationScoped).
+func RequestFromScoped(conn io.ReadWriter, v *Verifier, input []uint32, to Timeouts, sc obs.Scope) (Result, error) {
+	return RequestAttestationScoped(conn, v, input, to, sc)
 }

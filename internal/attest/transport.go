@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"lofat/internal/obs"
 )
 
 // Message types on the wire. The attest package owns type bytes 1-15;
@@ -193,6 +195,15 @@ func RequestAttestation(conn io.ReadWriter, v *Verifier, input []uint32) (Result
 // instead of blocking forever. Deadlines armed here are cleared before
 // returning, keeping the connection reusable.
 func RequestAttestationTimeout(conn io.ReadWriter, v *Verifier, input []uint32, to Timeouts) (Result, error) {
+	return RequestAttestationScoped(conn, v, input, to, obs.Scope{})
+}
+
+// RequestAttestationScoped is RequestAttestationTimeout with round
+// tracing: the network phase (challenge write through report read) and
+// the verification phase are recorded as "exchange" and "verify" spans
+// on sc's track. The zero Scope disables tracing at the cost of one
+// branch per span — this is the variant the fleet pipeline calls.
+func RequestAttestationScoped(conn io.ReadWriter, v *Verifier, input []uint32, to Timeouts, sc obs.Scope) (Result, error) {
 	ch, err := v.NewChallenge(input)
 	if err != nil {
 		return Result{}, &LocalError{Err: err}
@@ -202,22 +213,29 @@ func RequestAttestationTimeout(conn io.ReadWriter, v *Verifier, input []uint32, 
 		v.consumeNonce(ch.Nonce)
 		return Result{}, err
 	}
+	xsp := sc.Start("exchange", "attest")
 	to.ArmWrite(conn)
 	if err := WriteFrame(conn, MsgChallenge, EncodeChallenge(&ch)); err != nil {
+		xsp.Arg("error", "write").End()
 		return fail(err)
 	}
 	to.ArmRead(conn)
 	typ, payload, err := ReadFrame(conn)
 	if err != nil {
+		xsp.Arg("error", "read").End()
 		return fail(err)
 	}
+	xsp.End()
 	switch typ {
 	case MsgReport:
 		rep, err := DecodeReport(payload)
 		if err != nil {
 			return fail(err)
 		}
-		return v.Verify(ch, rep), nil
+		vsp := sc.Start("verify", "attest")
+		res := v.Verify(ch, rep)
+		vsp.Arg("class", res.Class.String()).End()
+		return res, nil
 	case MsgError:
 		return fail(fmt.Errorf("attest: prover error: %s", payload))
 	default:

@@ -13,6 +13,7 @@ import (
 	"lofat/internal/filter"
 	"lofat/internal/hashengine"
 	"lofat/internal/monitor"
+	"lofat/internal/obs"
 	"lofat/internal/trace"
 )
 
@@ -141,6 +142,12 @@ func NewDevice(cfg Config) *Device {
 	d.monitor = monitor.New(cfg.Monitor, d.absorb)
 	return d
 }
+
+// SetFIFOGauge publishes the hash engine's input-FIFO occupancy to g
+// (see hashengine.Engine.SetFIFOGauge). Deliberately a setter, not a
+// Config field: Config is the device-pool key and must stay free of
+// observability state.
+func (d *Device) SetFIFOGauge(g *obs.Gauge) { d.engine.SetFIFOGauge(g) }
 
 // devicePools maps a (filled) Config to a *sync.Pool of *Device.
 var devicePools sync.Map

@@ -50,6 +50,7 @@ import (
 	"lofat/internal/asm"
 	"lofat/internal/attest"
 	"lofat/internal/core"
+	"lofat/internal/obs"
 	"lofat/internal/stream"
 )
 
@@ -131,6 +132,12 @@ type Config struct {
 	BreakerProbeAfter int
 	// MaxInstructions bounds golden runs (default: verifier default).
 	MaxInstructions uint64
+	// Obs attaches the observability hub: a non-nil Reg exposes the
+	// fleet counters, gauges and latency histograms; a non-nil Tracer
+	// records sweep → round → segment spans; a non-nil Flight keeps the
+	// recent-event ring for post-mortem dumps. Nil (the default) leaves
+	// every hot path at its zero-overhead disabled state.
+	Obs *obs.Hub
 }
 
 func (c *Config) fill() {
@@ -223,6 +230,8 @@ type Service struct {
 	reg     *Registry
 	cache   *MeasurementCache // nil when disabled
 	metrics *Metrics
+	tracer  *obs.Tracer // nil when tracing is off
+	flight  *obs.Flight // nil when the flight recorder is off
 	jobs    chan *job
 	workers sync.WaitGroup
 
@@ -251,6 +260,21 @@ func NewService(cfg Config) *Service {
 	}
 	if !cfg.DisableCache {
 		s.cache = NewMeasurementCache()
+	}
+	if hub := cfg.Obs; hub != nil {
+		s.tracer = hub.Tracer
+		s.flight = hub.Flight
+		if reg := hub.Reg; reg != nil {
+			s.metrics.register(reg)
+			reg.RegisterGaugeFunc("lofat_fleet_devices", "", "Enrolled devices.",
+				func() int64 { return int64(s.reg.Len()) })
+			reg.RegisterGaugeFunc("lofat_fleet_quarantined", "", "Quarantined devices (measurement verdict).",
+				func() int64 { return int64(s.reg.count(func(d *device) bool { return d.quarantined })) })
+			reg.RegisterGaugeFunc("lofat_fleet_tripped", "", "Devices with a tripped transport breaker.",
+				func() int64 { return int64(s.reg.count(func(d *device) bool { return d.breaker == BreakerTripped })) })
+			reg.RegisterGaugeFunc("lofat_fleet_queue_depth", "", "Verification jobs waiting in the pipeline queue.",
+				func() int64 { return int64(len(s.jobs)) })
+		}
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -361,3 +385,6 @@ func (s *Service) Release(id DeviceID) bool { return s.reg.SetQuarantined(id, fa
 
 // Cache exposes the shared measurement cache (nil when disabled).
 func (s *Service) Cache() *MeasurementCache { return s.cache }
+
+// Flight exposes the service's flight recorder (nil when disabled).
+func (s *Service) Flight() *obs.Flight { return s.flight }

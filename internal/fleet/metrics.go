@@ -5,47 +5,143 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync/atomic"
 
 	"lofat/internal/attest"
+	"lofat/internal/obs"
 	"lofat/internal/stream"
 )
 
 // numClasses covers attest.ClassAccepted..ClassNonControlData.
 const numClasses = int(attest.ClassNonControlData) + 1
 
-// Metrics aggregates fleet-wide counters. All fields are atomics so the
-// worker pool updates them without a shared lock.
+// failureClass buckets a failed round (all attempts exhausted) by what
+// killed it. Each failed round lands in exactly one class.
+type failureClass uint8
+
+const (
+	failDial failureClass = iota
+	failTimeout
+	failDrop
+	failLocal
+	failProtocol
+)
+
+func (f failureClass) String() string {
+	switch f {
+	case failDial:
+		return "dial"
+	case failTimeout:
+		return "timeout"
+	case failDrop:
+		return "conn-drop"
+	case failLocal:
+		return "local"
+	}
+	return "protocol"
+}
+
+// classifyFailure maps a round error to its failure class: could not
+// dial, peer stalled past a deadline, connection dropped mid-exchange,
+// verifier-side fault, or a peer speaking a broken protocol.
+func classifyFailure(err error) failureClass {
+	var de *DialError
+	var te *attest.TransportError
+	var le *attest.LocalError
+	switch {
+	case errors.As(err, &de):
+		return failDial
+	case errors.As(err, &te) && te.Timeout():
+		return failTimeout
+	case errors.As(err, &te):
+		return failDrop
+	case errors.As(err, &le):
+		return failLocal
+	}
+	return failProtocol
+}
+
+// Metrics aggregates fleet-wide counters and latency histograms. All
+// fields are atomics so the worker pool updates them without a shared
+// lock; register exposes them through an obs.Registry for HTTP
+// exposition without changing how they are written.
 type Metrics struct {
-	verified atomic.Uint64
-	accepted atomic.Uint64
-	rejected atomic.Uint64
-	errors   atomic.Uint64
-	skipped  atomic.Uint64
-	sweeps   atomic.Uint64
-	byClass  [numClasses]atomic.Uint64
+	verified obs.Counter
+	accepted obs.Counter
+	rejected obs.Counter
+	errors   obs.Counter
+	skipped  obs.Counter
+	sweeps   obs.Counter
+	byClass  [numClasses]obs.Counter
+	// unknownClass counts verdicts whose classification is outside the
+	// known range — a protocol evolution signal that previously vanished
+	// silently.
+	unknownClass obs.Counter
 
 	// Streaming counters (segmented attestation rounds).
-	streamRounds     atomic.Uint64
-	segmentsVerified atomic.Uint64
-	earlyAborts      atomic.Uint64
+	streamRounds     obs.Counter
+	segmentsVerified obs.Counter
+	earlyAborts      obs.Counter
 
 	// Transport-failure classes (each failed round increments errors
 	// plus exactly one of these) and resilience counters.
-	dialFailures   atomic.Uint64
-	timeouts       atomic.Uint64
-	connDrops      atomic.Uint64
-	protocolErrors atomic.Uint64
-	localErrors    atomic.Uint64
-	retries        atomic.Uint64
-	breakerTrips   atomic.Uint64
-	breakerResets  atomic.Uint64
-	breakerSkips   atomic.Uint64
-	breakerProbes  atomic.Uint64
+	dialFailures   obs.Counter
+	timeouts       obs.Counter
+	connDrops      obs.Counter
+	protocolErrors obs.Counter
+	localErrors    obs.Counter
+	retries        obs.Counter
+	breakerTrips   obs.Counter
+	breakerResets  obs.Counter
+	breakerSkips   obs.Counter
+	breakerProbes  obs.Counter
+
+	// Latency histograms (nanoseconds) and pipeline gauges.
+	roundLatency  obs.Histogram
+	queueWait     obs.Histogram
+	segmentVerify obs.Histogram
+	sweepDuration obs.Histogram
+	workersBusy   obs.Gauge
 }
 
 // NewMetrics returns zeroed metrics.
 func NewMetrics() *Metrics { return &Metrics{} }
+
+// register exposes every counter, gauge and histogram through reg under
+// stable lofat_fleet_* names. Registration is idempotent.
+func (m *Metrics) register(reg *obs.Registry) {
+	reg.RegisterCounter("lofat_fleet_verified_total", "", "Completed verifications (accepted + rejected).", &m.verified)
+	reg.RegisterCounter("lofat_fleet_accepted_total", "", "Rounds accepted.", &m.accepted)
+	reg.RegisterCounter("lofat_fleet_rejected_total", "", "Rounds rejected.", &m.rejected)
+	reg.RegisterCounter("lofat_fleet_errors_total", "", "Rounds lost to transport or attestation failures.", &m.errors)
+	reg.RegisterCounter("lofat_fleet_skipped_total", "", "Rounds dropped for quarantined devices.", &m.skipped)
+	reg.RegisterCounter("lofat_fleet_sweeps_total", "", "Completed fleet sweeps.", &m.sweeps)
+	for c := 0; c < numClasses; c++ {
+		labels := fmt.Sprintf("class=%q", attest.Classification(c).String())
+		reg.RegisterCounter("lofat_fleet_class_total", labels, "Verdicts by attack classification.", &m.byClass[c])
+	}
+	reg.RegisterCounter("lofat_fleet_class_total", `class="unknown"`, "Verdicts by attack classification.", &m.unknownClass)
+
+	reg.RegisterCounter("lofat_fleet_stream_rounds_total", "", "Rounds verified over the streaming protocol.", &m.streamRounds)
+	reg.RegisterCounter("lofat_fleet_segments_verified_total", "", "Segment reports consumed by streamed rounds.", &m.segmentsVerified)
+	reg.RegisterCounter("lofat_fleet_early_aborts_total", "", "Streamed rounds rejected mid-run at a divergent segment.", &m.earlyAborts)
+
+	reg.RegisterCounter("lofat_fleet_failures_total", `class="dial"`, "Failed rounds by transport-failure class.", &m.dialFailures)
+	reg.RegisterCounter("lofat_fleet_failures_total", `class="timeout"`, "Failed rounds by transport-failure class.", &m.timeouts)
+	reg.RegisterCounter("lofat_fleet_failures_total", `class="conn-drop"`, "Failed rounds by transport-failure class.", &m.connDrops)
+	reg.RegisterCounter("lofat_fleet_failures_total", `class="protocol"`, "Failed rounds by transport-failure class.", &m.protocolErrors)
+	reg.RegisterCounter("lofat_fleet_failures_total", `class="local"`, "Failed rounds by transport-failure class.", &m.localErrors)
+	reg.RegisterCounter("lofat_fleet_retries_total", "", "Extra transport attempts beyond the first.", &m.retries)
+	reg.RegisterCounter("lofat_fleet_breaker_trips_total", "", "Circuit breaker trips.", &m.breakerTrips)
+	reg.RegisterCounter("lofat_fleet_breaker_resets_total", "", "Circuit breaker resets.", &m.breakerResets)
+	reg.RegisterCounter("lofat_fleet_breaker_skips_total", "", "Rounds dropped on an open breaker.", &m.breakerSkips)
+	reg.RegisterCounter("lofat_fleet_breaker_probes_total", "", "Half-open breaker probe rounds.", &m.breakerProbes)
+
+	reg.RegisterHistogram("lofat_fleet_round_latency_ns", "", "End-to-end device round latency.", &m.roundLatency)
+	reg.RegisterHistogram("lofat_fleet_queue_wait_ns", "", "Pipeline wait between enqueue and worker pickup.", &m.queueWait)
+	reg.RegisterHistogram("lofat_fleet_segment_verify_ns", "", "Per-segment verification time (streamed rounds).", &m.segmentVerify)
+	reg.RegisterHistogram("lofat_fleet_sweep_duration_ns", "", "Whole-sweep duration per program.", &m.sweepDuration)
+	reg.RegisterGauge("lofat_fleet_workers_busy", "", "Workers currently processing a round.", &m.workersBusy)
+}
 
 func (m *Metrics) record(res attest.Result) {
 	m.verified.Add(1)
@@ -56,30 +152,30 @@ func (m *Metrics) record(res attest.Result) {
 	}
 	if c := int(res.Class); c < numClasses {
 		m.byClass[c].Add(1)
+	} else {
+		m.unknownClass.Add(1)
 	}
 }
 
-// recordFailure buckets a failed round (all attempts exhausted) into
-// the per-class transport-failure counters: could not dial, peer
-// stalled past a deadline, connection dropped mid-exchange, or the
-// peer spoke a broken protocol.
-func (m *Metrics) recordFailure(err error) {
+// recordFailure buckets a failed round into the per-class
+// transport-failure counters and returns the class for flight
+// recording.
+func (m *Metrics) recordFailure(err error) failureClass {
 	m.errors.Add(1)
-	var de *DialError
-	var te *attest.TransportError
-	var le *attest.LocalError
-	switch {
-	case errors.As(err, &de):
+	fc := classifyFailure(err)
+	switch fc {
+	case failDial:
 		m.dialFailures.Add(1)
-	case errors.As(err, &te) && te.Timeout():
+	case failTimeout:
 		m.timeouts.Add(1)
-	case errors.As(err, &te):
+	case failDrop:
 		m.connDrops.Add(1)
-	case errors.As(err, &le):
+	case failLocal:
 		m.localErrors.Add(1)
 	default:
 		m.protocolErrors.Add(1)
 	}
+	return fc
 }
 
 func (m *Metrics) recordStream(res stream.Result) {
@@ -106,6 +202,9 @@ type MetricsSnapshot struct {
 	Sweeps uint64
 	// ByClass breaks verified rounds down per attack classification.
 	ByClass map[attest.Classification]uint64
+	// UnknownClass counts verdicts whose classification fell outside
+	// the known range (future protocol versions, corrupted verdicts).
+	UnknownClass uint64
 
 	// StreamRounds counts rounds verified over the streaming protocol;
 	// SegmentsVerified sums the segment reports those rounds consumed;
@@ -139,6 +238,14 @@ type MetricsSnapshot struct {
 	BreakerSkips  uint64
 	BreakerProbes uint64
 
+	// Latency distributions in nanoseconds: end-to-end round latency,
+	// pipeline queue wait, per-segment verify time (streamed rounds),
+	// and whole-sweep duration.
+	RoundLatency  obs.HistSnapshot
+	QueueWait     obs.HistSnapshot
+	SegmentVerify obs.HistSnapshot
+	SweepDuration obs.HistSnapshot
+
 	// CacheHits / CacheMisses / CacheHitRate mirror the shared
 	// measurement cache (zero when the cache is disabled).
 	CacheHits    uint64
@@ -155,13 +262,14 @@ type MetricsSnapshot struct {
 func (s *Service) Metrics() MetricsSnapshot {
 	m := s.metrics
 	snap := MetricsSnapshot{
-		Verified: m.verified.Load(),
-		Accepted: m.accepted.Load(),
-		Rejected: m.rejected.Load(),
-		Errors:   m.errors.Load(),
-		Skipped:  m.skipped.Load(),
-		Sweeps:   m.sweeps.Load(),
-		ByClass:  make(map[attest.Classification]uint64, numClasses),
+		Verified:     m.verified.Load(),
+		Accepted:     m.accepted.Load(),
+		Rejected:     m.rejected.Load(),
+		Errors:       m.errors.Load(),
+		Skipped:      m.skipped.Load(),
+		Sweeps:       m.sweeps.Load(),
+		ByClass:      make(map[attest.Classification]uint64, numClasses),
+		UnknownClass: m.unknownClass.Load(),
 
 		StreamRounds:     m.streamRounds.Load(),
 		SegmentsVerified: m.segmentsVerified.Load(),
@@ -177,6 +285,11 @@ func (s *Service) Metrics() MetricsSnapshot {
 		BreakerResets:  m.breakerResets.Load(),
 		BreakerSkips:   m.breakerSkips.Load(),
 		BreakerProbes:  m.breakerProbes.Load(),
+
+		RoundLatency:  m.roundLatency.Snapshot(),
+		QueueWait:     m.queueWait.Snapshot(),
+		SegmentVerify: m.segmentVerify.Snapshot(),
+		SweepDuration: m.sweepDuration.Snapshot(),
 
 		Devices:     s.reg.Len(),
 		Quarantined: s.reg.count(func(d *device) bool { return d.quarantined }),
@@ -216,17 +329,39 @@ func (snap MetricsSnapshot) String() string {
 		fmt.Fprintf(&b, ", cache %.0f%% hit (%d/%d)",
 			100*snap.CacheHitRate, snap.CacheHits, snap.CacheHits+snap.CacheMisses)
 	}
-	if len(snap.ByClass) > 0 {
+	if snap.RoundLatency.Count > 0 {
+		fmt.Fprintf(&b, ", round latency p50/p95/p99 %s/%s/%s",
+			fmtNanos(snap.RoundLatency.Quantile(0.5)),
+			fmtNanos(snap.RoundLatency.Quantile(0.95)),
+			fmtNanos(snap.RoundLatency.Quantile(0.99)))
+	}
+	if len(snap.ByClass) > 0 || snap.UnknownClass > 0 {
 		classes := make([]attest.Classification, 0, len(snap.ByClass))
 		for c := range snap.ByClass {
 			classes = append(classes, c)
 		}
 		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
-		parts := make([]string, len(classes))
-		for i, c := range classes {
-			parts[i] = fmt.Sprintf("%v=%d", c, snap.ByClass[c])
+		parts := make([]string, 0, len(classes)+1)
+		for _, c := range classes {
+			parts = append(parts, fmt.Sprintf("%v=%d", c, snap.ByClass[c]))
+		}
+		if snap.UnknownClass > 0 {
+			parts = append(parts, fmt.Sprintf("unknown=%d", snap.UnknownClass))
 		}
 		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
 	}
 	return b.String()
+}
+
+// fmtNanos renders a nanosecond quantity with a readable unit.
+func fmtNanos(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	}
+	return fmt.Sprintf("%.0fns", ns)
 }

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"lofat/internal/attest"
+	"lofat/internal/obs"
+)
+
+// TestRecordUnknownClass pins the fix for verdicts whose classification
+// is outside the known range: they used to vanish from the per-class
+// breakdown entirely; now they land in an explicit unknown counter.
+func TestRecordUnknownClass(t *testing.T) {
+	m := NewMetrics()
+	m.record(attest.Result{Accepted: false, Class: attest.Classification(200)})
+	if got := m.unknownClass.Load(); got != 1 {
+		t.Fatalf("unknownClass = %d, want 1", got)
+	}
+	if got := m.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1 (unknown class still counts the verdict)", got)
+	}
+	for c := 0; c < numClasses; c++ {
+		if n := m.byClass[c].Load(); n != 0 {
+			t.Fatalf("byClass[%d] = %d, want 0", c, n)
+		}
+	}
+	// Known classes stay out of the unknown bucket.
+	m.record(attest.Result{Accepted: true, Class: attest.ClassAccepted})
+	if got := m.unknownClass.Load(); got != 1 {
+		t.Fatalf("unknownClass after known verdict = %d, want 1", got)
+	}
+}
+
+func TestSnapshotRendersUnknownClass(t *testing.T) {
+	snap := MetricsSnapshot{Verified: 3, Rejected: 3, UnknownClass: 3}
+	if s := snap.String(); !strings.Contains(s, "unknown=3") {
+		t.Fatalf("summary missing unknown bucket: %s", s)
+	}
+}
+
+func TestFailureClassStrings(t *testing.T) {
+	want := map[failureClass]string{
+		failDial:     "dial",
+		failTimeout:  "timeout",
+		failDrop:     "conn-drop",
+		failLocal:    "local",
+		failProtocol: "protocol",
+	}
+	for fc, s := range want {
+		if fc.String() != s {
+			t.Errorf("%d.String() = %q, want %q", fc, fc.String(), s)
+		}
+	}
+}
+
+// TestMetricsRegisterIdempotent re-registers the same Metrics into one
+// registry twice and checks the snapshot does not duplicate families.
+func TestMetricsRegisterIdempotent(t *testing.T) {
+	m := NewMetrics()
+	reg := obs.NewRegistry()
+	m.register(reg)
+	first := len(reg.Snapshot())
+	m.register(reg)
+	if second := len(reg.Snapshot()); second != first {
+		t.Fatalf("re-registration grew the registry: %d -> %d", first, second)
+	}
+	m.verified.Add(7)
+	for _, ms := range reg.Snapshot() {
+		if ms.Name == "lofat_fleet_verified_total" && ms.Value != 7 {
+			t.Fatalf("registered counter detached from live metrics: %v", ms.Value)
+		}
+	}
+}

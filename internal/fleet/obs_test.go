@@ -1,0 +1,345 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lofat/internal/core"
+	"lofat/internal/fleet"
+	"lofat/internal/fleet/faultconn"
+	"lofat/internal/obs"
+	"lofat/internal/workloads"
+)
+
+// obsTraceEvent mirrors the Chrome trace-event fields the tests check.
+type obsTraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TID  int64             `json:"tid"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args"`
+}
+
+// TestObservabilityEndToEnd drives a streamed sweep over a 100+-device
+// mixed honest/attacked fleet with the full observability stack
+// attached, then checks all three legs: live metrics served over HTTP
+// in Prometheus exposition format, a Perfetto-loadable trace with
+// sweep → round → segment span nesting, and flight-recorder verdict
+// and quarantine events.
+func TestObservabilityEndToEnd(t *testing.T) {
+	f := newStreamFabric()
+
+	var traceBuf bytes.Buffer
+	hub := obs.NewHub()
+	hub.Tracer = obs.NewTracer(&traceBuf)
+	hub.Flight = obs.NewFlight(1024)
+
+	svc := fleet.NewService(fleet.Config{
+		Dial:                f.dial,
+		StreamedSweeps:      true,
+		StreamSegmentEvents: 8,
+		Obs:                 hub,
+	})
+	defer svc.Close()
+
+	pump := workloads.SyringePump()
+	prog, err := pump.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := svc.RegisterProgram(prog, core.Config{}, [][]uint32{pump.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const honest = 100
+	for i := 0; i < honest; i++ {
+		d := f.spawn(t, pump, i, nil)
+		if err := svc.Enroll(d.id, pid, d.pub, d.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	atk, ok := workloads.AttackByName("loop-counter")
+	if !ok {
+		t.Fatal("loop-counter attack not found")
+	}
+	var attackedIDs []fleet.DeviceID
+	for i := 0; i < 4; i++ {
+		d := f.spawn(t, pump, 500+i, atk.Build(prog))
+		if err := svc.Enroll(d.id, pid, d.pub, d.addr); err != nil {
+			t.Fatal(err)
+		}
+		attackedIDs = append(attackedIDs, d.id)
+	}
+	const total = honest + 4
+
+	if _, err := svc.Sweep(); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	// Leg 1: metrics. The snapshot and the HTTP exposition must both
+	// reflect the sweep.
+	snap := svc.Metrics()
+	if snap.Verified != total {
+		t.Errorf("verified = %d, want %d", snap.Verified, total)
+	}
+	if snap.Accepted != honest || snap.Rejected != 4 {
+		t.Errorf("accepted/rejected = %d/%d, want %d/4", snap.Accepted, snap.Rejected, honest)
+	}
+	if snap.RoundLatency.Count != total {
+		t.Errorf("round latency samples = %d, want %d", snap.RoundLatency.Count, total)
+	}
+	if snap.QueueWait.Count != total {
+		t.Errorf("queue wait samples = %d, want %d", snap.QueueWait.Count, total)
+	}
+	if snap.SegmentVerify.Count == 0 {
+		t.Error("no per-segment verify samples recorded")
+	}
+	if snap.SweepDuration.Count != 1 {
+		t.Errorf("sweep duration samples = %d, want 1", snap.SweepDuration.Count)
+	}
+	if p50 := snap.RoundLatency.Quantile(0.5); p50 <= 0 {
+		t.Errorf("round latency p50 = %v, want > 0", p50)
+	}
+	if !strings.Contains(snap.String(), "round latency p50/p95/p99") {
+		t.Errorf("snapshot summary missing percentiles: %s", snap)
+	}
+
+	srv := httptest.NewServer(hub.Handler(false))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	expo := string(body)
+	for _, want := range []string{
+		"# TYPE lofat_fleet_verified_total counter",
+		"lofat_fleet_verified_total 104",
+		`lofat_fleet_class_total{class="accepted"} 100`,
+		`lofat_fleet_class_total{class="loop-counter-attack"} 4`,
+		"# TYPE lofat_fleet_round_latency_ns histogram",
+		"lofat_fleet_round_latency_ns_count 104",
+		"lofat_fleet_devices 104",
+		"lofat_fleet_quarantined 4",
+		"lofat_fleet_sweeps_total 1",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if !strings.Contains(expo, `_bucket{le="`) {
+		t.Errorf("exposition has no histogram buckets:\n%s", expo)
+	}
+
+	// Leg 2: the trace. Close the tracer and check the JSON parses and
+	// the spans nest sweep → round → segment by time containment.
+	if err := hub.Tracer.Close(); err != nil {
+		t.Fatalf("tracer close: %v", err)
+	}
+	var events []obsTraceEvent
+	if err := json.Unmarshal(traceBuf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sweep *obsTraceEvent
+	var rounds, segments []obsTraceEvent
+	for i := range events {
+		switch events[i].Name {
+		case "sweep":
+			sweep = &events[i]
+		case "round":
+			rounds = append(rounds, events[i])
+		case "segment":
+			segments = append(segments, events[i])
+		}
+	}
+	if sweep == nil {
+		t.Fatal("no sweep span in trace")
+	}
+	if len(rounds) != total {
+		t.Errorf("round spans = %d, want %d", len(rounds), total)
+	}
+	if len(segments) == 0 {
+		t.Error("no segment spans in trace")
+	}
+	const eps = 1.0 // ms-scale clock reads, µs units: allow 1µs slack
+	sweepEnd := sweep.TS + sweep.Dur
+	for _, r := range rounds {
+		if r.TS+eps < sweep.TS || r.TS+r.Dur > sweepEnd+eps {
+			t.Errorf("round span [%v, %v] outside sweep [%v, %v]",
+				r.TS, r.TS+r.Dur, sweep.TS, sweepEnd)
+			break
+		}
+		if r.Args["device"] == "" || r.Args["outcome"] == "" {
+			t.Errorf("round span missing args: %v", r.Args)
+			break
+		}
+	}
+	// Each segment span must be contained in a round span on its own
+	// track (the worker tid).
+	contained := 0
+	for _, sg := range segments {
+		for _, r := range rounds {
+			if sg.TID == r.TID && sg.TS+eps >= r.TS && sg.TS+sg.Dur <= r.TS+r.Dur+eps {
+				contained++
+				break
+			}
+		}
+	}
+	if contained != len(segments) {
+		t.Errorf("only %d/%d segment spans nest inside a round span on their track", contained, len(segments))
+	}
+
+	// Leg 3: the flight recorder holds verdicts for the sweep and
+	// quarantine events naming each attacked device.
+	for _, id := range attackedIDs {
+		evs := hub.Flight.DeviceEvents(string(id))
+		var sawVerdict, sawQuarantine bool
+		for _, e := range evs {
+			switch e.Kind {
+			case obs.KindVerdict:
+				if e.Class == "loop-counter-attack" {
+					sawVerdict = true
+				}
+			case obs.KindQuarantine:
+				sawQuarantine = true
+			}
+		}
+		if !sawVerdict || !sawQuarantine {
+			t.Errorf("device %s: verdict=%v quarantine=%v, want both (events: %v)", id, sawVerdict, sawQuarantine, evs)
+		}
+	}
+	if n := hub.Flight.Len(); n < total {
+		t.Errorf("flight events = %d, want >= %d (one verdict per device)", n, total)
+	}
+}
+
+// TestFlightRecorderOnChaos injects transport faults (stall, drop) into
+// a sweep sequence and checks the flight recorder names the failing
+// devices, their transport-error classes, and the breaker transitions
+// (trip, skip-era probe), and that the dump renders all of it.
+func TestFlightRecorderOnChaos(t *testing.T) {
+	f := newFabric()
+	plans := newPlannedDial()
+	hub := obs.NewHub()
+	hub.Flight = obs.NewFlight(1024)
+	cfg := chaosConfig(plans.wrap(f.dial))
+	cfg.Obs = hub
+	svc := fleet.NewService(cfg)
+	defer svc.Close()
+
+	pump := workloads.SyringePump()
+	prog, err := pump.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := svc.RegisterProgram(prog, core.Config{}, [][]uint32{pump.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		d := spawnDevice(t, f, pump, i, nil)
+		if err := svc.Enroll(d.id, pid, d.pub, d.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stalled := spawnDevice(t, f, pump, 200, nil)
+	if err := svc.Enroll(stalled.id, pid, stalled.pub, stalled.addr); err != nil {
+		t.Fatal(err)
+	}
+	plans.set(stalled.addr, faultconn.Plan{StallWriteAfter: 3})
+	dropping := spawnDevice(t, f, pump, 300, nil)
+	if err := svc.Enroll(dropping.id, pid, dropping.pub, dropping.addr); err != nil {
+		t.Fatal(err)
+	}
+	plans.set(dropping.addr, faultconn.Plan{CloseAfter: 2})
+
+	// Sweeps 1-2 fail the faulty devices to their breaker threshold
+	// (trip); sweep 3 skips them; sweep 4 fires half-open probes.
+	for i := 0; i < 4; i++ {
+		if _, err := svc.Sweep(); err != nil {
+			t.Fatalf("sweep %d: %v", i+1, err)
+		}
+	}
+
+	check := func(dev fleet.DeviceID, wantClass string) {
+		t.Helper()
+		evs := svc.Flight().DeviceEvents(string(dev))
+		if len(evs) == 0 {
+			t.Fatalf("no flight events for %s", dev)
+		}
+		var sawErr, sawTrip, sawProbe, sawRetry bool
+		for _, e := range evs {
+			switch e.Kind {
+			case obs.KindTransportError:
+				if e.Class == wantClass {
+					sawErr = true
+				}
+			case obs.KindBreakerTrip:
+				sawTrip = true
+			case obs.KindBreakerProbe:
+				sawProbe = true
+			case obs.KindRetry:
+				sawRetry = true
+			}
+		}
+		if !sawErr {
+			t.Errorf("%s: no transport-error event with class %q (events: %v)", dev, wantClass, evs)
+		}
+		if !sawTrip {
+			t.Errorf("%s: no breaker-trip event", dev)
+		}
+		if !sawProbe {
+			t.Errorf("%s: no breaker-probe event", dev)
+		}
+		if !sawRetry {
+			t.Errorf("%s: no retry event", dev)
+		}
+	}
+	check(stalled.id, "timeout")
+	check(dropping.id, "conn-drop")
+
+	// The dump must name the failing device, its error class, and the
+	// breaker transition in operator-readable text.
+	var dump bytes.Buffer
+	if err := svc.Flight().Dump(&dump); err != nil {
+		t.Fatal(err)
+	}
+	text := dump.String()
+	for _, want := range []string{string(stalled.id), string(dropping.id), "[timeout]", "[conn-drop]", "breaker-trip", "breaker-probe"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("flight dump missing %q:\n%s", want, text)
+		}
+	}
+
+	// Healed device: clearing the fault lets the probe complete, which
+	// must surface as a breaker-reset event.
+	plans.clear(stalled.addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := svc.Sweep(); err != nil {
+			t.Fatalf("heal sweep: %v", err)
+		}
+		var reset bool
+		for _, e := range svc.Flight().DeviceEvents(string(stalled.id)) {
+			if e.Kind == obs.KindBreakerReset {
+				reset = true
+			}
+		}
+		if reset {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no breaker-reset event after healing the stalled device")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lofat/internal/attest"
+	"lofat/internal/obs"
 	"lofat/internal/stream"
 )
 
@@ -58,19 +59,42 @@ type Outcome struct {
 	Duration time.Duration
 }
 
+// label is the outcome's one-word trace annotation (static strings
+// only — labeling must not allocate).
+func (o *Outcome) label() string {
+	switch {
+	case o.Skipped:
+		return "skipped"
+	case o.Err != nil:
+		return "error"
+	case o.Result.Accepted:
+		return "accepted"
+	}
+	return "rejected"
+}
+
 // job carries a round through the queue to a worker, with its result
 // slot and completion latch.
 type job struct {
-	round Round
-	out   *Outcome
-	wg    *sync.WaitGroup
+	round    Round
+	out      *Outcome
+	wg       *sync.WaitGroup
+	enqueued time.Time
 }
 
-// worker drains the job queue until the service closes.
+// worker drains the job queue until the service closes. Each worker is
+// one trace track: its rounds (and their nested exchange/verify/segment
+// spans) render as a lane in Perfetto, with queue-wait spans showing
+// the gap between enqueue and pickup.
 func (s *Service) worker() {
 	defer s.workers.Done()
+	sc := obs.Scope{T: s.tracer, TID: s.tracer.NextTID()}
 	for j := range s.jobs {
-		*j.out = s.process(j.round)
+		s.metrics.queueWait.Observe(uint64(time.Since(j.enqueued)))
+		sc.StartAt("queue-wait", "fleet", j.enqueued).End()
+		s.metrics.workersBusy.Add(1)
+		*j.out = s.process(j.round, sc)
+		s.metrics.workersBusy.Add(-1)
 		j.wg.Done()
 	}
 }
@@ -101,15 +125,24 @@ func retryable(err error) bool {
 // attempts of the Figure 2 exchange (dial, challenge with per-phase
 // deadlines, prover execution, verification) with exponential backoff
 // between them, and finally metrics and registry bookkeeping.
-func (s *Service) process(r Round) (out Outcome) {
+func (s *Service) process(r Round, sc obs.Scope) (out Outcome) {
 	out.Device = r.Device
 	start := time.Now()
-	defer func() { out.Duration = time.Since(start) }()
+	sp := sc.Start("round", "fleet").Arg("device", string(r.Device))
+	defer func() {
+		out.Duration = time.Since(start)
+		s.metrics.roundLatency.Observe(uint64(out.Duration))
+		sp.Arg("outcome", out.label()).End()
+	}()
 
 	d, ok := s.reg.get(r.Device)
 	if !ok {
 		out.Err = fmt.Errorf("fleet: device %q not enrolled", r.Device)
-		s.metrics.recordFailure(out.Err)
+		fc := s.metrics.recordFailure(out.Err)
+		if s.flight != nil {
+			s.flight.Record(obs.Event{Device: string(r.Device), Kind: obs.KindTransportError,
+				Class: fc.String(), Detail: out.Err.Error(), Sweep: r.gen})
+		}
 		return out
 	}
 	if _, quarantined := s.quarantineCheck(d); quarantined {
@@ -130,6 +163,9 @@ func (s *Service) process(r Round) (out Outcome) {
 		// Half-open: one cautious attempt, no retry ladder.
 		out.BreakerProbe = true
 		s.metrics.breakerProbes.Add(1)
+		if s.flight != nil {
+			s.flight.Record(obs.Event{Device: string(r.Device), Kind: obs.KindBreakerProbe, Sweep: r.gen})
+		}
 		attempts = 1
 	}
 
@@ -137,10 +173,14 @@ func (s *Service) process(r Round) (out Outcome) {
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			s.metrics.retries.Add(1)
+			if s.flight != nil {
+				s.flight.Record(obs.Event{Device: string(r.Device), Kind: obs.KindRetry,
+					Class: classifyFailure(lastErr).String(), Detail: lastErr.Error(), Sweep: r.gen})
+			}
 			time.Sleep(s.cfg.backoff(attempt - 1))
 		}
 		out.Attempts = attempt
-		err := s.exchange(d, r, &out)
+		err := s.exchange(d, r, &out, sc)
 		if err == nil {
 			return out
 		}
@@ -150,7 +190,11 @@ func (s *Service) process(r Round) (out Outcome) {
 		}
 	}
 	out.Err = lastErr
-	s.metrics.recordFailure(lastErr)
+	fc := s.metrics.recordFailure(lastErr)
+	if s.flight != nil {
+		s.flight.Record(obs.Event{Device: string(r.Device), Kind: obs.KindTransportError,
+			Class: fc.String(), Detail: lastErr.Error(), Sweep: r.gen})
+	}
 	// Verifier-local failures (golden run, cache, entropy — no bytes
 	// moved) carry no evidence about the device: they must not advance
 	// its breaker, or a verifier misconfiguration would trip breakers
@@ -162,6 +206,10 @@ func (s *Service) process(r Round) (out Outcome) {
 	if s.reg.recordError(d.id, lastErr, s.cfg.BreakerThreshold, s.roundGen(r)) {
 		out.Tripped = true
 		s.metrics.breakerTrips.Add(1)
+		if s.flight != nil {
+			s.flight.Record(obs.Event{Device: string(r.Device), Kind: obs.KindBreakerTrip,
+				Class: fc.String(), Detail: "consecutive transport failures reached breaker threshold", Sweep: r.gen})
+		}
 	}
 	return out
 }
@@ -180,16 +228,24 @@ func (s *Service) roundGen(r Round) uint64 {
 // exchange dials the device and drives one protocol exchange with
 // per-phase deadlines, folding success bookkeeping (metrics, quarantine
 // policy, breaker close) into out when the exchange completes.
-func (s *Service) exchange(d *device, r Round, out *Outcome) error {
+func (s *Service) exchange(d *device, r Round, out *Outcome, sc obs.Scope) error {
+	dsp := sc.Start("dial", "fleet")
 	conn, err := s.cfg.Dial(d.addr)
+	dsp.End()
 	if err != nil {
 		return &DialError{Addr: d.addr, Err: err}
 	}
 	defer conn.Close()
 	to := s.cfg.timeouts()
 	if r.Streamed {
-		sv := stream.NewVerifier(d.verifier, stream.Config{SegmentEvents: s.cfg.StreamSegmentEvents})
+		sv := stream.NewVerifier(d.verifier, stream.Config{
+			SegmentEvents: s.cfg.StreamSegmentEvents,
+			Trace:         sc,
+			SegmentHist:   &s.metrics.segmentVerify,
+		})
+		xsp := sc.Start("exchange", "stream")
 		sres, err := stream.RequestStreamTimeout(conn, sv, r.Input, to)
+		xsp.End()
 		if err != nil {
 			return err
 		}
@@ -200,10 +256,18 @@ func (s *Service) exchange(d *device, r Round, out *Outcome) error {
 		out.Result = sres.Result
 		out.Stream = &sres
 		s.metrics.recordStream(sres)
+		if sres.EarlyAbort && s.flight != nil {
+			detail := "rejected mid-run"
+			if sres.Divergence != nil {
+				detail = fmt.Sprintf("divergence at segment %d, event %d", sres.Divergence.Segment, sres.Divergence.Event)
+			}
+			s.flight.Record(obs.Event{Device: string(r.Device), Kind: obs.KindEarlyAbort,
+				Class: sres.Class.String(), Detail: detail, Sweep: r.gen})
+		}
 		s.recordVerified(d, sres.Result, r, out)
 		return nil
 	}
-	res, err := attest.RequestFromTimeout(conn, d.verifier, r.Input, to)
+	res, err := attest.RequestFromScoped(conn, d.verifier, r.Input, to, sc)
 	if err != nil {
 		return err
 	}
@@ -232,6 +296,26 @@ func (s *Service) recordVerified(d *device, res attest.Result, r Round, out *Out
 	if ro.Tripped {
 		out.Tripped = true
 		s.metrics.breakerTrips.Add(1)
+	}
+	if s.flight != nil {
+		detail := ""
+		if !res.Accepted && len(res.Findings) > 0 {
+			detail = res.Findings[0]
+		}
+		s.flight.Record(obs.Event{Device: string(d.id), Kind: obs.KindVerdict,
+			Class: res.Class.String(), Detail: detail, Sweep: r.gen})
+		if ro.BreakerClosed {
+			s.flight.Record(obs.Event{Device: string(d.id), Kind: obs.KindBreakerReset,
+				Detail: "completed exchange closed the breaker", Sweep: r.gen})
+		}
+		if ro.Tripped {
+			s.flight.Record(obs.Event{Device: string(d.id), Kind: obs.KindBreakerTrip,
+				Detail: "unauthenticated rejects reached breaker threshold", Sweep: r.gen})
+		}
+		if ro.NewlyQuarantined {
+			s.flight.Record(obs.Event{Device: string(d.id), Kind: obs.KindQuarantine,
+				Class: res.Class.String(), Detail: detail, Sweep: r.gen})
+		}
 	}
 }
 
@@ -266,7 +350,7 @@ func (s *Service) SubmitBatch(rounds []Round) ([]Outcome, error) {
 	var wg sync.WaitGroup
 	wg.Add(len(rounds))
 	for i := range rounds {
-		j := &job{round: rounds[i], out: &outs[i], wg: &wg}
+		j := &job{round: rounds[i], out: &outs[i], wg: &wg, enqueued: time.Now()}
 		s.mu.RLock()
 		if s.closed {
 			s.mu.RUnlock()

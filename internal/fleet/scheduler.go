@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lofat/internal/attest"
+	"lofat/internal/obs"
 	"lofat/internal/stream"
 )
 
@@ -177,6 +178,16 @@ func (s *Service) SweepProgramStreamed(prog attest.ProgramID, input []uint32) (S
 	return s.sweepProgram(prog, input, true, s.sweepGen.Add(1))
 }
 
+// sweepFail records a program-sweep failure in the flight recorder; the
+// Device slot carries the program ID (there is no single device to
+// blame for a sweep-level failure).
+func (s *Service) sweepFail(prog attest.ProgramID, gen uint64, err error) {
+	if s.flight != nil {
+		s.flight.Record(obs.Event{Device: prog.String(), Kind: obs.KindSweepFail,
+			Detail: err.Error(), Sweep: gen})
+	}
+}
+
 func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed bool, gen uint64) (SweepReport, error) {
 	s.mu.RLock()
 	p, ok := s.programs[prog]
@@ -186,8 +197,23 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 		return SweepReport{}, ErrClosed
 	}
 	if !ok {
-		return SweepReport{}, fmt.Errorf("fleet: program %v not registered", prog)
+		err := fmt.Errorf("fleet: program %v not registered", prog)
+		s.sweepFail(prog, gen, err)
+		return SweepReport{}, err
 	}
+
+	// Each program sweep is its own trace track: the sweep span brackets
+	// cache warming and the full fan-out, and the per-round spans on the
+	// worker tracks nest inside it by time.
+	sc := obs.Scope{T: s.tracer, TID: s.tracer.NextTID()}
+	ssp := sc.Start("sweep", "fleet")
+	if sc.Enabled() {
+		ssp = ssp.Arg("program", prog.String())
+		if streamed {
+			ssp = ssp.Arg("mode", "streamed")
+		}
+	}
+	defer ssp.End()
 
 	rep := SweepReport{
 		Program:  prog,
@@ -197,16 +223,24 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 	}
 	start := time.Now()
 	if s.cache != nil {
+		wsp := sc.Start("warm-cache", "fleet")
 		if streamed {
 			// Streamed golden runs carry the per-segment states; they
 			// also seed the plain end-of-run expectation.
 			sv := stream.NewVerifier(p.template, stream.Config{SegmentEvents: s.cfg.StreamSegmentEvents})
 			if err := sv.Precompute([][]uint32{input}); err != nil {
-				return rep, fmt.Errorf("fleet: warm stream cache: %w", err)
+				wsp.End()
+				err = fmt.Errorf("fleet: warm stream cache: %w", err)
+				s.sweepFail(prog, gen, err)
+				return rep, err
 			}
 		} else if err := s.cache.Warm(p.template, [][]uint32{input}); err != nil {
-			return rep, fmt.Errorf("fleet: warm cache: %w", err)
+			wsp.End()
+			err = fmt.Errorf("fleet: warm cache: %w", err)
+			s.sweepFail(prog, gen, err)
+			return rep, err
 		}
+		wsp.End()
 	}
 
 	members := s.reg.membersOf(prog)
@@ -217,6 +251,7 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 	}
 	outs, err := s.SubmitBatch(rounds)
 	if err != nil {
+		s.sweepFail(prog, gen, err)
 		return rep, err
 	}
 	for _, o := range outs {
@@ -259,6 +294,7 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 		rep.Throughput = float64(verified) / rep.Duration.Seconds()
 	}
 	s.metrics.sweeps.Add(1)
+	s.metrics.sweepDuration.Observe(uint64(rep.Duration))
 	s.mu.Lock()
 	s.reports = append(s.reports, rep)
 	if len(s.reports) > maxRetainedReports {

@@ -1,6 +1,10 @@
 package hashengine
 
-import "testing"
+import (
+	"testing"
+
+	"lofat/internal/obs"
+)
 
 // TestEngineZeroAllocSteadyState pins the zero-allocation property of
 // the engine hot path: Enqueue and Tick (including block absorption and
@@ -18,6 +22,51 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 	op() // warm up
 	if allocs := testing.AllocsPerRun(1000, op); allocs != 0 {
 		t.Fatalf("Enqueue/Tick steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEngineZeroAllocWithGauge pins the same property with a FIFO
+// occupancy gauge attached: publishing occupancy is an atomic store,
+// never an allocation.
+func TestEngineZeroAllocWithGauge(t *testing.T) {
+	e := New(Config{})
+	var g obs.Gauge
+	e.SetFIFOGauge(&g)
+	i := uint32(0)
+	op := func() {
+		for !e.Enqueue(Pair{Src: i, Dest: i * 7}) {
+			e.Tick()
+		}
+		i++
+		e.Tick()
+	}
+	op() // warm up
+	if allocs := testing.AllocsPerRun(1000, op); allocs != 0 {
+		t.Fatalf("Enqueue/Tick with gauge: %v allocs/op, want 0", allocs)
+	}
+	if g.Load() < 0 || g.Load() > int64(e.cfg.FIFODepth) {
+		t.Fatalf("gauge out of range: %d", g.Load())
+	}
+}
+
+// TestFIFOGaugeTracksOccupancy checks the gauge follows enqueue, pop,
+// and reset.
+func TestFIFOGaugeTracksOccupancy(t *testing.T) {
+	e := New(Config{})
+	var g obs.Gauge
+	e.SetFIFOGauge(&g)
+	e.Enqueue(Pair{Src: 1, Dest: 2})
+	e.Enqueue(Pair{Src: 3, Dest: 4})
+	if g.Load() != 2 {
+		t.Fatalf("after 2 enqueues: gauge = %d, want 2", g.Load())
+	}
+	e.Tick() // pops one
+	if g.Load() != 1 {
+		t.Fatalf("after tick: gauge = %d, want 1", g.Load())
+	}
+	e.Reset()
+	if g.Load() != 0 {
+		t.Fatalf("after reset: gauge = %d, want 0", g.Load())
 	}
 }
 

@@ -1,5 +1,7 @@
 package hashengine
 
+import "lofat/internal/obs"
+
 // Pair is one control-flow edge measurement: the 64-bit (Src,Dest)
 // input the engine absorbs per clock cycle (§5.3).
 type Pair struct {
@@ -75,6 +77,7 @@ type Engine struct {
 	inBlk  int
 	busy   int
 	stats  Stats
+	occ    *obs.Gauge
 }
 
 // New returns an engine with the given configuration (zero fields take
@@ -82,6 +85,17 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg.fill()
 	return &Engine{cfg: cfg, fifo: make([]Pair, 0, cfg.FIFODepth)}
+}
+
+// SetFIFOGauge publishes the FIFO occupancy to g on every change. A nil
+// gauge (the default) keeps the hot path branch-only: Enqueue and Tick
+// stay allocation-free either way. Not wired through Config — the device
+// pool keys on Config identity, and observability must not split pools.
+func (e *Engine) SetFIFOGauge(g *obs.Gauge) {
+	e.occ = g
+	if g != nil {
+		g.Set(int64(len(e.fifo)))
+	}
 }
 
 // Full reports whether the input FIFO cannot accept a pair this cycle.
@@ -102,6 +116,9 @@ func (e *Engine) Enqueue(p Pair) bool {
 	if len(e.fifo) > e.stats.MaxFIFO {
 		e.stats.MaxFIFO = len(e.fifo)
 	}
+	if e.occ != nil {
+		e.occ.Set(int64(len(e.fifo)))
+	}
 	return true
 }
 
@@ -120,6 +137,9 @@ func (e *Engine) Tick() {
 	p := e.fifo[0]
 	copy(e.fifo, e.fifo[1:])
 	e.fifo = e.fifo[:len(e.fifo)-1]
+	if e.occ != nil {
+		e.occ.Set(int64(len(e.fifo)))
+	}
 
 	e.sponge.WritePair(p.Src, p.Dest)
 	e.stats.Absorbed++
@@ -175,6 +195,7 @@ func (e *Engine) Reset() {
 	e.inBlk = 0
 	e.busy = 0
 	e.stats = Stats{}
+	e.occ.Set(0)
 }
 
 // Stats returns a copy of the counters.

@@ -1,0 +1,76 @@
+// Package obs_test holds the cross-package zero-allocation regression
+// tests for the observability layer: with every obs facility in its
+// disabled state (zero Scope, nil gauge, nil histogram, nil flight),
+// the measurement hot paths must allocate exactly what they did before
+// the layer existed — nothing.
+package obs_test
+
+import (
+	"testing"
+
+	"lofat/internal/filter"
+	"lofat/internal/hashengine"
+	"lofat/internal/monitor"
+	"lofat/internal/obs"
+)
+
+// TestDisabledObsAddsNoAllocsToEngine pins hashengine.Enqueue/Tick at
+// zero allocations with no gauge attached (the default state after the
+// obs wiring landed).
+func TestDisabledObsAddsNoAllocsToEngine(t *testing.T) {
+	e := hashengine.New(hashengine.Config{})
+	i := uint32(0)
+	op := func() {
+		for !e.Enqueue(hashengine.Pair{Src: i, Dest: i * 7}) {
+			e.Tick()
+		}
+		i++
+		e.Tick()
+	}
+	op()
+	if allocs := testing.AllocsPerRun(1000, op); allocs != 0 {
+		t.Fatalf("Enqueue/Tick without gauge: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDisabledObsAddsNoAllocsToMonitor pins monitor.Apply at zero
+// steady-state allocations — the same property monitor's own alloc test
+// pins, re-asserted here so a future obs hook into the monitor path
+// cannot regress it unnoticed.
+func TestDisabledObsAddsNoAllocsToMonitor(t *testing.T) {
+	m := monitor.New(monitor.Config{}, func(hashengine.Pair) {})
+	m.Apply(filter.Op{Kind: filter.OpLoopPush, Entry: 0x100, Exit: 0x140})
+	iter := func() {
+		m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymCond, Taken: true,
+			Pair: hashengine.Pair{Src: 0x104, Dest: 0x120}})
+		m.Apply(filter.Op{Kind: filter.OpLoopEvent, Sym: filter.SymJump,
+			Pair: hashengine.Pair{Src: 0x130, Dest: 0x100}})
+		m.Apply(filter.Op{Kind: filter.OpIterEnd})
+	}
+	iter() // intern the path
+	if allocs := testing.AllocsPerRun(1000, iter); allocs != 0 {
+		t.Fatalf("monitor.Apply with obs package linked: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDisabledPrimitivesZeroAlloc pins the disabled obs primitives
+// themselves: nil gauge/histogram updates and zero-Scope span
+// lifecycles must be allocation-free, since they sit inline on hot
+// paths guarded only by a branch.
+func TestDisabledPrimitivesZeroAlloc(t *testing.T) {
+	var g *obs.Gauge
+	var h *obs.Histogram
+	var f *obs.Flight
+	var sc obs.Scope
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.Set(3)
+		g.Add(-1)
+		h.Observe(42)
+		f.Record(obs.Event{})
+		sp := sc.Start("round", "fleet").Arg("device", "d")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled obs primitives: %v allocs/op, want 0", allocs)
+	}
+}

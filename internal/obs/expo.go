@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Metrics sharing a family name get
+// one HELP/TYPE header; histograms expand into cumulative _bucket
+// series plus _sum and _count.
+func WritePrometheus(w io.Writer, snap []MetricSnapshot) error {
+	lastFamily := ""
+	for _, m := range snap {
+		if m.Name != lastFamily {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, strings.ReplaceAll(m.Help, "\n", " ")); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		if m.Hist != nil {
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(m.Name, m.Labels), formatValue(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m MetricSnapshot) error {
+	var cum uint64
+	for _, b := range m.Hist.Buckets {
+		cum += b.Count
+		if b.Le == math.MaxUint64 {
+			// Overflow bucket: covered by the +Inf line below.
+			continue
+		}
+		labels := m.Labels
+		if labels != "" {
+			labels += ","
+		}
+		labels += `le="` + strconv.FormatUint(b.Le, 10) + `"`
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(m.Name+"_bucket", labels), cum); err != nil {
+			return err
+		}
+	}
+	labels := m.Labels
+	infLabels := labels
+	if infLabels != "" {
+		infLabels += ","
+	}
+	infLabels += `le="+Inf"`
+	if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(m.Name+"_bucket", infLabels), m.Hist.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(m.Name+"_sum", labels), m.Hist.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(m.Name+"_count", labels), m.Hist.Count)
+	return err
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// formatValue renders counters and gauges: integral values without a
+// fraction, everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders a metrics snapshot as a JSON document.
+func WriteJSON(w io.Writer, snap []MetricSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}{Metrics: snap})
+}
+
+// Handler returns the hub's HTTP surface:
+//
+//	/metrics        Prometheus text format (?format=json for JSON)
+//	/metrics.json   JSON snapshot
+//	/flight         flight-recorder dump, text (?format=json for JSON)
+//	/flight.json    flight-recorder dump, JSON
+//	/debug/pprof/*  pprof handlers (when withPprof is true)
+//
+// The handler is safe with any subset of facilities disabled: missing
+// ones answer 404.
+func (h *Hub) Handler(withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if h.Reg == nil {
+			http.Error(w, "metrics registry disabled", http.StatusNotFound)
+			return
+		}
+		snap := h.Reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, snap)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if h.Reg == nil {
+			http.Error(w, "metrics registry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, h.Reg.Snapshot())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		if h.Flight == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = h.Flight.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = h.Flight.Dump(w)
+	})
+	mux.HandleFunc("/flight.json", func(w http.ResponseWriter, r *http.Request) {
+		if h.Flight == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = h.Flight.WriteJSON(w)
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("lofat_test_rounds_total", "", "Rounds completed.")
+	c.Add(42)
+	ca := r.Counter("lofat_test_class_total", `class="accepted"`, "Verdicts by class.")
+	ca.Add(40)
+	cr := r.Counter("lofat_test_class_total", `class="rejected"`, "Verdicts by class.")
+	cr.Add(2)
+	g := r.Gauge("lofat_test_depth", "", "Queue depth.")
+	g.Set(-3)
+	h := r.Histogram("lofat_test_latency_ns", "", "Round latency.")
+	h.Observe(100)
+	h.Observe(1000)
+	h.Observe(1 << 50) // overflow
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, buildTestRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP lofat_test_rounds_total Rounds completed.",
+		"# TYPE lofat_test_rounds_total counter",
+		"lofat_test_rounds_total 42",
+		`lofat_test_class_total{class="accepted"} 40`,
+		`lofat_test_class_total{class="rejected"} 2`,
+		"# TYPE lofat_test_depth gauge",
+		"lofat_test_depth -3",
+		"# TYPE lofat_test_latency_ns histogram",
+		`lofat_test_latency_ns_bucket{le="127"} 1`,
+		`lofat_test_latency_ns_bucket{le="1023"} 2`,
+		`lofat_test_latency_ns_bucket{le="+Inf"} 3`,
+		"lofat_test_latency_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// The class family header appears once, not per label set.
+	if n := strings.Count(out, "# TYPE lofat_test_class_total counter"); n != 1 {
+		t.Errorf("family TYPE header count = %d, want 1", n)
+	}
+	// Exactly one +Inf line even with a populated overflow bucket.
+	if n := strings.Count(out, `le="+Inf"`); n != 1 {
+		t.Errorf("+Inf lines = %d, want 1\n%s", n, out)
+	}
+	// Cumulative le buckets never decrease.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lofat_test_latency_ns_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscanLast(line, &v); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = v
+	}
+}
+
+// fmtSscanLast parses the final whitespace-separated field as int64.
+func fmtSscanLast(line string, v *int64) (int, error) {
+	fields := strings.Fields(line)
+	return 1, json.Unmarshal([]byte(fields[len(fields)-1]), v)
+}
+
+func TestWriteJSONSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, buildTestRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.Metrics) != 5 {
+		t.Fatalf("metrics = %d, want 5", len(doc.Metrics))
+	}
+	var hist *MetricSnapshot
+	for i := range doc.Metrics {
+		if doc.Metrics[i].Kind == "histogram" {
+			hist = &doc.Metrics[i]
+		}
+	}
+	if hist == nil || hist.Hist == nil || hist.Hist.Count != 3 {
+		t.Fatalf("histogram snapshot missing or wrong: %+v", hist)
+	}
+}
+
+func TestHubHandler(t *testing.T) {
+	hub := NewHub()
+	hub.Reg = buildTestRegistry()
+	hub.Flight = NewFlight(8)
+	hub.Flight.Record(Event{Device: "dev-9", Kind: KindQuarantine})
+	srv := httptest.NewServer(hub.Handler(true))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "lofat_test_rounds_total 42") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	body, ct = get("/metrics?format=json")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics?format=json content-type = %q", ct)
+	}
+	if !json.Valid([]byte(body)) {
+		t.Errorf("/metrics?format=json invalid JSON")
+	}
+
+	body, _ = get("/metrics.json")
+	if !json.Valid([]byte(body)) {
+		t.Errorf("/metrics.json invalid JSON")
+	}
+
+	body, _ = get("/flight")
+	if !strings.Contains(body, "dev-9") || !strings.Contains(body, "quarantine") {
+		t.Errorf("/flight body:\n%s", body)
+	}
+
+	body, _ = get("/flight.json")
+	if !json.Valid([]byte(body)) {
+		t.Errorf("/flight.json invalid JSON")
+	}
+
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Errorf("pprof cmdline empty")
+	}
+}
+
+func TestHubHandlerDisabledFacilities(t *testing.T) {
+	hub := &Hub{} // no registry, no flight
+	srv := httptest.NewServer(hub.Handler(false))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/flight", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+// Flight-recorder event kinds.
+const (
+	// KindVerdict: a completed verification (accepted or rejected);
+	// Class carries the attest classification.
+	KindVerdict EventKind = iota
+	// KindTransportError: a round lost after all transport attempts;
+	// Class carries the failure class (dial / timeout / conn-drop /
+	// protocol / local).
+	KindTransportError
+	// KindRetry: an extra transport attempt beyond the first.
+	KindRetry
+	// KindBreakerTrip / KindBreakerProbe / KindBreakerReset: transport
+	// circuit breaker state transitions.
+	KindBreakerTrip
+	KindBreakerProbe
+	KindBreakerReset
+	// KindQuarantine: the device was newly quarantined (measurement
+	// verdict).
+	KindQuarantine
+	// KindEarlyAbort: a streamed round was rejected mid-run at a
+	// divergent segment.
+	KindEarlyAbort
+	// KindSweepFail: a whole program sweep failed; Device carries the
+	// program ID.
+	KindSweepFail
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindVerdict:
+		return "verdict"
+	case KindTransportError:
+		return "transport-error"
+	case KindRetry:
+		return "retry"
+	case KindBreakerTrip:
+		return "breaker-trip"
+	case KindBreakerProbe:
+		return "breaker-probe"
+	case KindBreakerReset:
+		return "breaker-reset"
+	case KindQuarantine:
+		return "quarantine"
+	case KindEarlyAbort:
+		return "early-abort"
+	case KindSweepFail:
+		return "sweep-fail"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// MarshalText renders the kind as its name in JSON dumps.
+func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Event is one flight-recorder entry.
+type Event struct {
+	// Seq is a monotonically increasing sequence number assigned by the
+	// recorder.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock time of the event (stamped by Record when
+	// zero).
+	Time time.Time `json:"time"`
+	// Device names the device the event concerns (or the program, for
+	// sweep-level events).
+	Device string    `json:"device"`
+	Kind   EventKind `json:"kind"`
+	// Class qualifies the kind: the attest classification of a verdict,
+	// the transport-failure class of an error.
+	Class string `json:"class,omitempty"`
+	// Detail is free-form diagnostic text (error strings, findings).
+	Detail string `json:"detail,omitempty"`
+	// Sweep is the sweep generation the event belongs to (0 outside
+	// sweeps).
+	Sweep uint64 `json:"sweep,omitempty"`
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s %s", e.Seq, e.Time.Format("15:04:05.000"), e.Device, e.Kind)
+	if e.Sweep > 0 {
+		s += fmt.Sprintf(" sweep=%d", e.Sweep)
+	}
+	if e.Class != "" {
+		s += fmt.Sprintf(" [%s]", e.Class)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Flight is a bounded ring of recent events — the post-mortem record of
+// what happened inside recent rounds. All methods are safe on a nil
+// receiver, the disabled state; callers building event detail strings
+// should still gate on Enabled so the formatting cost is not paid when
+// recording is off.
+type Flight struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	seq     uint64
+	wrapped bool
+}
+
+// DefaultFlightCapacity is the ring size NewFlight uses for
+// non-positive capacities.
+const DefaultFlightCapacity = 1024
+
+// NewFlight returns a recorder retaining the last capacity events
+// (DefaultFlightCapacity when capacity <= 0).
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Flight{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether recording is active.
+func (f *Flight) Enabled() bool { return f != nil }
+
+// Record appends one event, evicting the oldest when full. A zero
+// Time is stamped with the current wall clock; Seq is always assigned
+// by the recorder.
+func (f *Flight) Record(e Event) {
+	if f == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	f.mu.Lock()
+	f.seq++
+	e.Seq = f.seq
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.wrapped = true
+	}
+	f.mu.Unlock()
+}
+
+// Len reports how many events are retained.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wrapped {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Events returns the retained events, oldest first.
+func (f *Flight) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Event
+	if f.wrapped {
+		out = make([]Event, 0, len(f.buf))
+		out = append(out, f.buf[f.next:]...)
+		out = append(out, f.buf[:f.next]...)
+		return out
+	}
+	return append([]Event(nil), f.buf[:f.next]...)
+}
+
+// DeviceEvents returns the retained events for one device, oldest
+// first.
+func (f *Flight) DeviceEvents(device string) []Event {
+	var out []Event
+	for _, e := range f.Events() {
+		if e.Device == device {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable dump, oldest first.
+func (f *Flight) Dump(w io.Writer) error {
+	events := f.Events()
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "flight recorder: no events")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "flight recorder: %d event(s)\n", len(events)); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "  %s\n", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the retained events as a JSON array, oldest first.
+func (f *Flight) WriteJSON(w io.Writer) error {
+	events := f.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}

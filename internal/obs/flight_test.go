@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFlightRingWraparound(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 6; i++ {
+		f.Record(Event{Device: string(rune('a' + i)), Kind: KindVerdict})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len = %d, want 4", f.Len())
+	}
+	events := f.Events()
+	// Oldest retained is #3 ("c"); newest is #6 ("f").
+	want := []string{"c", "d", "e", "f"}
+	for i, e := range events {
+		if e.Device != want[i] {
+			t.Fatalf("events[%d].Device = %q, want %q (order after wrap)", i, e.Device, want[i])
+		}
+		if e.Seq != uint64(i+3) {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, e.Seq, i+3)
+		}
+	}
+}
+
+func TestFlightDeviceEvents(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(Event{Device: "dev-1", Kind: KindVerdict, Class: "accepted"})
+	f.Record(Event{Device: "dev-2", Kind: KindTransportError, Class: "timeout"})
+	f.Record(Event{Device: "dev-1", Kind: KindQuarantine})
+	got := f.DeviceEvents("dev-1")
+	if len(got) != 2 {
+		t.Fatalf("dev-1 events = %d, want 2", len(got))
+	}
+	if got[0].Kind != KindVerdict || got[1].Kind != KindQuarantine {
+		t.Fatalf("wrong kinds: %v, %v", got[0].Kind, got[1].Kind)
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(Event{Device: "dev-7", Kind: KindBreakerTrip, Detail: "5 consecutive transport failures", Sweep: 3})
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1 event(s)", "dev-7", "breaker-trip", "sweep=3", "5 consecutive transport failures"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+
+	var empty bytes.Buffer
+	if err := NewFlight(2).Dump(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no events") {
+		t.Errorf("empty dump: %q", empty.String())
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(Event{Device: "dev-1", Kind: KindTransportError, Class: "conn-drop", Detail: "read: EOF"})
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 {
+		t.Fatalf("events = %d, want 1", len(out))
+	}
+	if out[0]["kind"] != "transport-error" {
+		t.Errorf("kind = %v, want transport-error (MarshalText)", out[0]["kind"])
+	}
+	if out[0]["class"] != "conn-drop" {
+		t.Errorf("class = %v", out[0]["class"])
+	}
+
+	// Empty recorder still writes a valid (empty) array.
+	var ebuf bytes.Buffer
+	if err := NewFlight(2).WriteJSON(&ebuf); err != nil {
+		t.Fatal(err)
+	}
+	var eout []map[string]any
+	if err := json.Unmarshal(ebuf.Bytes(), &eout); err != nil {
+		t.Fatalf("empty JSON invalid: %v", err)
+	}
+}
+
+func TestNilFlight(t *testing.T) {
+	var f *Flight
+	if f.Enabled() {
+		t.Error("nil flight enabled")
+	}
+	f.Record(Event{Device: "x"}) // must not panic
+	if f.Len() != 0 {
+		t.Error("nil len != 0")
+	}
+	if f.Events() != nil {
+		t.Error("nil events != nil")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		KindVerdict:        "verdict",
+		KindTransportError: "transport-error",
+		KindRetry:          "retry",
+		KindBreakerTrip:    "breaker-trip",
+		KindBreakerProbe:   "breaker-probe",
+		KindBreakerReset:   "breaker-reset",
+		KindQuarantine:     "quarantine",
+		KindEarlyAbort:     "early-abort",
+		KindSweepFail:      "sweep-fail",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// maxBucketBits is the highest regular log2 bucket: values whose bit
+// length exceeds it land in a single overflow bucket. 40 bits covers
+// nanosecond latencies up to ~18 minutes — everything slower is, for
+// latency purposes, the same disaster.
+const maxBucketBits = 40
+
+// numBuckets is the bucket array size: indices 0..maxBucketBits are the
+// regular buckets (bucket i holds values of bit length i, so its
+// inclusive upper edge is 2^i - 1; bucket 0 holds exactly 0), and index
+// maxBucketBits+1 is the overflow bucket.
+const numBuckets = maxBucketBits + 2
+
+// Histogram is a log2-bucketed distribution of uint64 samples
+// (typically latencies in nanoseconds). Observe is a few uncontended
+// atomic adds, cheap enough for per-round and per-segment recording;
+// all methods are safe on a nil receiver so optional histograms cost
+// one branch when disabled. Count, sum and buckets are independent
+// atomics: a concurrent Snapshot may be off by in-flight samples but is
+// always race-free.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketIdx maps a sample to its bucket: bits.Len64 clamps into the
+// overflow bucket past maxBucketBits.
+func bucketIdx(v uint64) int {
+	if i := bits.Len64(v); i <= maxBucketBits {
+		return i
+	}
+	return maxBucketBits + 1
+}
+
+// BucketUpperEdge returns the inclusive upper edge of bucket i
+// (math.MaxUint64 for the overflow bucket). Exported for exposition and
+// tests.
+func BucketUpperEdge(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i > maxBucketBits {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIdx(v)].Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(uint64(time.Since(start)))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistBucket is one non-empty bucket in a snapshot. Le is the inclusive
+// upper edge (math.MaxUint64 marks the overflow bucket); Count is the
+// samples in this bucket alone, not cumulative.
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: total count and
+// sum plus the non-empty buckets in ascending edge order.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram state (zero value on a nil receiver).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < numBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Le: BucketUpperEdge(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the recorded samples (0 when
+// empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the target bucket. Log2 buckets make this an
+// order-of-magnitude instrument, not a precision one: the estimate is
+// within the bucket holding the true quantile. Returns 0 for an empty
+// snapshot; for a quantile landing in the overflow bucket the bucket's
+// lower edge is returned (the distribution's tail is unbounded).
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if rank <= next {
+			if b.Le == math.MaxUint64 {
+				// Overflow bucket: no finite upper edge, return its
+				// lower edge.
+				return float64(BucketUpperEdge(maxBucketBits))
+			}
+			// True lower edge of the log2 bucket ending at Le = 2^i - 1
+			// is 2^(i-1) - 1.
+			lower := 0.0
+			if b.Le > 0 {
+				lower = float64((b.Le+1)/2 - 1)
+			}
+			frac := (rank - cum) / float64(b.Count)
+			return lower + frac*(float64(b.Le)-lower)
+		}
+		cum = next
+	}
+	if n := len(s.Buckets); n > 0 && s.Buckets[n-1].Le != math.MaxUint64 {
+		return float64(s.Buckets[n-1].Le)
+	}
+	return float64(BucketUpperEdge(maxBucketBits))
+}

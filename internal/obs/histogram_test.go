@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{(1 << 10) - 1, 10},
+		{1 << 10, 11},
+		{(1 << 40) - 1, 40},
+		{1 << 40, 41},        // first overflow value
+		{math.MaxUint64, 41}, // max lands in overflow too
+	}
+	for _, c := range cases {
+		if got := bucketIdx(c.v); got != c.want {
+			t.Errorf("bucketIdx(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketUpperEdge(t *testing.T) {
+	if got := BucketUpperEdge(0); got != 0 {
+		t.Errorf("edge(0) = %d, want 0", got)
+	}
+	if got := BucketUpperEdge(1); got != 1 {
+		t.Errorf("edge(1) = %d, want 1", got)
+	}
+	if got := BucketUpperEdge(10); got != (1<<10)-1 {
+		t.Errorf("edge(10) = %d, want %d", got, (1<<10)-1)
+	}
+	if got := BucketUpperEdge(maxBucketBits); got != (1<<40)-1 {
+		t.Errorf("edge(max) = %d, want %d", got, uint64(1<<40)-1)
+	}
+	if got := BucketUpperEdge(maxBucketBits + 1); got != math.MaxUint64 {
+		t.Errorf("edge(overflow) = %d, want MaxUint64", got)
+	}
+	// Every sample must fall at or below its bucket's upper edge and
+	// above the previous bucket's edge.
+	for _, v := range []uint64{0, 1, 2, 3, 7, 8, 1023, 1024, 1 << 39, (1 << 40) - 1} {
+		i := bucketIdx(v)
+		if v > BucketUpperEdge(i) {
+			t.Errorf("value %d above edge of its bucket %d", v, i)
+		}
+		if i > 0 && v <= BucketUpperEdge(i-1) {
+			t.Errorf("value %d not above edge of bucket %d", v, i-1)
+		}
+	}
+}
+
+func TestHistogramZeroMaxOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(math.MaxUint64)
+	h.Observe(1 << 40) // overflow
+	h.Observe(5)
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	var wantSum uint64 // wraps; sum is modular
+	for _, v := range []uint64{0, math.MaxUint64, 1 << 40, 5} {
+		wantSum += v
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	var zero, overflow, mid uint64
+	for _, b := range s.Buckets {
+		switch {
+		case b.Le == 0:
+			zero = b.Count
+		case b.Le == math.MaxUint64:
+			overflow = b.Count
+		case b.Le == 7:
+			mid = b.Count
+		}
+	}
+	if zero != 1 {
+		t.Errorf("zero bucket count = %d, want 1", zero)
+	}
+	if overflow != 2 {
+		t.Errorf("overflow bucket count = %d, want 2 (MaxUint64 and 1<<40)", overflow)
+	}
+	if mid != 1 {
+		t.Errorf("bucket le=7 count = %d, want 1", mid)
+	}
+}
+
+func TestHistogramSnapshotAscending(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 100, 10000, 1 << 41, 0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Le <= s.Buckets[i-1].Le {
+			t.Fatalf("buckets not ascending: %v", s.Buckets)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	// 100 samples all in bucket (512, 1023].
+	for i := 0; i < 100; i++ {
+		h.Observe(600)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 <= 511 || p50 > 1023 {
+		t.Errorf("p50 = %v, want within (511, 1023]", p50)
+	}
+	// Monotone in q.
+	if s.Quantile(0.99) < s.Quantile(0.5) {
+		t.Errorf("quantile not monotone")
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty mean = %v, want 0", got)
+	}
+
+	var h Histogram
+	h.Observe(1 << 50) // everything in overflow
+	s := h.Snapshot()
+	got := s.Quantile(0.5)
+	want := float64(uint64(1<<40) - 1) // overflow lower edge
+	if got != want {
+		t.Errorf("overflow quantile = %v, want %v", got, want)
+	}
+
+	// Out-of-range q values clamp rather than panic.
+	h2 := Histogram{}
+	h2.Observe(10)
+	s2 := h2.Snapshot()
+	if s2.Quantile(-1) < 0 {
+		t.Errorf("q=-1 returned negative")
+	}
+	_ = s2.Quantile(2)
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	h.Observe(30)
+	if got := h.Snapshot().Mean(); got != 20 {
+		t.Errorf("mean = %v, want 20", got)
+	}
+}
+
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 {
+		t.Errorf("nil histogram count != 0")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("nil histogram snapshot not empty: %+v", s)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; embed by value and update with atomic cost only.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value. All methods are safe on a
+// nil receiver (no-ops), so hot paths update an optional gauge with one
+// branch and no allocation.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (0 on a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Kind is the exposition type of a registered metric.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// metric is one registered instrument: a family name, an optional
+// pre-rendered label set (`class="accepted"`), and exactly one backing
+// primitive.
+type metric struct {
+	name   string
+	labels string
+	help   string
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() int64
+	hist    *Histogram
+}
+
+// Registry is an ordered set of named metrics with a consistent
+// snapshot API. Registration is cheap and happens at wiring time; reads
+// (Snapshot, exposition) take the registry lock only to copy the metric
+// list, never while loading values.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+// register adds m, replacing any earlier metric with the same
+// (name, labels) identity so re-wiring is idempotent.
+func (r *Registry) register(m *metric) {
+	key := m.name + "\x00" + m.labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.index[key]; ok {
+		*old = *m
+		return
+	}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// RegisterCounter exposes an externally-owned counter under name.
+// labels is a pre-rendered Prometheus label set without braces (for
+// example `class="accepted"`), or empty.
+func (r *Registry) RegisterCounter(name, labels, help string, c *Counter) {
+	r.register(&metric{name: name, labels: labels, help: help, kind: KindCounter, counter: c})
+}
+
+// RegisterGauge exposes an externally-owned gauge under name.
+func (r *Registry) RegisterGauge(name, labels, help string, g *Gauge) {
+	r.register(&metric{name: name, labels: labels, help: help, kind: KindGauge, gauge: g})
+}
+
+// RegisterGaugeFunc exposes a computed gauge: fn is evaluated at every
+// snapshot, so it must be safe for concurrent use and must not call
+// back into the registry.
+func (r *Registry) RegisterGaugeFunc(name, labels, help string, fn func() int64) {
+	r.register(&metric{name: name, labels: labels, help: help, kind: KindGauge, gaugeFn: fn})
+}
+
+// RegisterHistogram exposes an externally-owned histogram under name.
+func (r *Registry) RegisterHistogram(name, labels, help string, h *Histogram) {
+	r.register(&metric{name: name, labels: labels, help: help, kind: KindHistogram, hist: h})
+}
+
+// Counter registers (or returns the already-registered) counter for
+// (name, labels).
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	key := name + "\x00" + labels
+	r.mu.Lock()
+	if m, ok := r.index[key]; ok && m.counter != nil {
+		r.mu.Unlock()
+		return m.counter
+	}
+	r.mu.Unlock()
+	c := &Counter{}
+	r.RegisterCounter(name, labels, help, c)
+	return c
+}
+
+// Gauge registers (or returns the already-registered) gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	key := name + "\x00" + labels
+	r.mu.Lock()
+	if m, ok := r.index[key]; ok && m.gauge != nil {
+		r.mu.Unlock()
+		return m.gauge
+	}
+	r.mu.Unlock()
+	g := &Gauge{}
+	r.RegisterGauge(name, labels, help, g)
+	return g
+}
+
+// Histogram registers (or returns the already-registered) histogram.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	key := name + "\x00" + labels
+	r.mu.Lock()
+	if m, ok := r.index[key]; ok && m.hist != nil {
+		r.mu.Unlock()
+		return m.hist
+	}
+	r.mu.Unlock()
+	h := &Histogram{}
+	r.RegisterHistogram(name, labels, help, h)
+	return h
+}
+
+// MetricSnapshot is the point-in-time value of one registered metric.
+// Value carries counter and gauge readings; Hist carries histogram
+// state (nil otherwise).
+type MetricSnapshot struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Kind   string `json:"kind"`
+	Help   string `json:"help,omitempty"`
+
+	Value float64       `json:"value"`
+	Hist  *HistSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot captures every registered metric in registration order.
+// Counters and histograms are loaded atomically per field; gauge
+// functions are evaluated inline.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(metrics))
+	for _, m := range metrics {
+		ms := MetricSnapshot{Name: m.name, Labels: m.labels, Kind: m.kind.String(), Help: m.help}
+		switch {
+		case m.counter != nil:
+			ms.Value = float64(m.counter.Load())
+		case m.gauge != nil:
+			ms.Value = float64(m.gauge.Load())
+		case m.gaugeFn != nil:
+			ms.Value = float64(m.gaugeFn())
+		case m.hist != nil:
+			h := m.hist.Snapshot()
+			ms.Hist = &h
+		}
+		out = append(out, ms)
+	}
+	return out
+}

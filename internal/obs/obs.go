@@ -1,0 +1,48 @@
+// Package obs is the shared observability layer for the LO-FAT verify
+// path: metrics, tracing and a flight recorder, designed so that the
+// instrumented hot paths (fleet pipeline, stream sessions, hash engine)
+// pay nothing when observability is disabled.
+//
+// Three independent facilities, bundled by Hub:
+//
+//   - Metrics: Counter / Gauge / Histogram primitives behind a Registry
+//     with a point-in-time Snapshot API and HTTP exposition in both
+//     Prometheus text format and JSON (plus optional pprof handlers).
+//     Histograms are log2-bucketed — cheap enough to record every round
+//     latency and per-segment verify time with a handful of atomic adds.
+//   - Tracing: lightweight spans with monotonic timestamps, exported as
+//     Chrome trace-event JSON (one event per line, array-framed) that
+//     loads directly in Perfetto / chrome://tracing. A nil Tracer (the
+//     default) makes every span operation a no-op with zero
+//     allocations: Scope and Span are plain values, never heap-bound.
+//   - Flight recorder: a bounded ring of recent per-device events
+//     (verdicts, transport-error classes, retries, breaker state
+//     transitions, quarantines) that turns a failed chaos sweep into a
+//     post-mortem artifact instead of a rerun-with-printfs session.
+//
+// Every facility is nil-safe: methods on nil *Gauge, *Histogram,
+// *Tracer and *Flight receivers return immediately, so instrumented
+// code calls them unconditionally and the disabled configuration costs
+// one predictable branch.
+package obs
+
+// Hub bundles the three observability facilities one process shares.
+// The zero value is fully disabled; NewHub returns a hub with a live
+// metrics registry and tracing/flight still off (nil).
+type Hub struct {
+	// Reg is the metrics registry exposed over HTTP. Nil disables
+	// metric registration (instrumented code still updates its own
+	// counters; they are just not exported).
+	Reg *Registry
+	// Tracer, when non-nil, receives spans from every instrumented
+	// layer (fleet sweeps, rounds, attest exchange/verify phases,
+	// stream segments).
+	Tracer *Tracer
+	// Flight, when non-nil, records per-device events into a bounded
+	// ring for post-mortem dumps.
+	Flight *Flight
+}
+
+// NewHub returns a hub with a fresh metrics registry and tracing /
+// flight recording disabled.
+func NewHub() *Hub { return &Hub{Reg: NewRegistry()} }

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer serializes spans as Chrome trace-event JSON — one complete
+// ("ph":"X") event per line inside an array — directly loadable in
+// Perfetto or chrome://tracing. Timestamps are monotonic, measured from
+// the tracer's construction. A nil *Tracer is the disabled state: every
+// operation on it (and on Scopes and Spans derived from it) is a no-op
+// with zero allocations.
+//
+// Serialization happens under one mutex into a reused buffer; callers
+// on different goroutines interleave whole events, never bytes.
+type Tracer struct {
+	base    time.Time
+	nextTID atomic.Int64
+	events  atomic.Uint64
+
+	mu    sync.Mutex
+	w     *bufio.Writer
+	buf   []byte
+	wrote bool
+	err   error
+}
+
+// NewTracer returns a tracer writing trace events to w. Call Close to
+// terminate the JSON array and flush buffered events.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{base: time.Now(), w: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// NextTID allocates a fresh track ID. Spans sharing a track nest by
+// time containment in Perfetto, so each logical lane (a worker, a
+// sweep) takes one TID and emits its nested spans on it. Returns 0 on a
+// nil tracer.
+func (t *Tracer) NextTID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextTID.Add(1)
+}
+
+// Events reports how many trace events have been emitted.
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.events.Load()
+}
+
+// Close terminates the JSON array and flushes. The tracer must not be
+// used afterwards. Safe on nil.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrote {
+		t.w.WriteString("[]\n")
+	} else {
+		t.w.WriteString("\n]\n")
+	}
+	if err := t.w.Flush(); err != nil {
+		return err
+	}
+	return t.err
+}
+
+// emit writes one complete event. start/dur are nanoseconds relative to
+// the tracer base; args are up to two key/value pairs (empty keys are
+// skipped).
+func (t *Tracer) emit(name, cat string, tid int64, startNS, durNS int64, k1, v1, k2, v2 string) {
+	if t == nil {
+		return
+	}
+	t.events.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf[:0]
+	if t.wrote {
+		b = append(b, ",\n"...)
+	} else {
+		b = append(b, "[\n"...)
+		t.wrote = true
+	}
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, cat)
+	b = append(b, `,"ph":"X","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, tid, 10)
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, startNS)
+	b = append(b, `,"dur":`...)
+	b = appendMicros(b, durNS)
+	if k1 != "" || k2 != "" {
+		b = append(b, `,"args":{`...)
+		first := true
+		if k1 != "" {
+			b = appendJSONString(b, k1)
+			b = append(b, ':')
+			b = appendJSONString(b, v1)
+			first = false
+		}
+		if k2 != "" {
+			if !first {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, k2)
+			b = append(b, ':')
+			b = appendJSONString(b, v2)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// appendMicros renders ns as microseconds with nanosecond precision
+// (the trace-event "ts"/"dur" unit is microseconds).
+func appendMicros(b []byte, ns int64) []byte {
+	if ns < 0 {
+		ns = 0
+	}
+	b = strconv.AppendInt(b, ns/1e3, 10)
+	b = append(b, '.')
+	frac := ns % 1e3
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+// appendJSONString appends s as a quoted JSON string, escaping the
+// characters the grammar requires.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c >= 0x20:
+			b = append(b, c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return append(b, '"')
+}
+
+// Scope is a tracing context handed down a call path: the tracer plus
+// the track its spans belong to. The zero Scope is disabled; Scope is a
+// small value, passed by copy, never heap-allocated.
+type Scope struct {
+	T   *Tracer
+	TID int64
+}
+
+// Enabled reports whether spans started from this scope are recorded.
+func (s Scope) Enabled() bool { return s.T != nil }
+
+// Start opens a span now. The returned Span is a value; finish it with
+// End (or EndArg). On a disabled scope this is free.
+func (s Scope) Start(name, cat string) Span {
+	if s.T == nil {
+		return Span{}
+	}
+	return Span{t: s.T, tid: s.TID, name: name, cat: cat, start: int64(time.Since(s.T.base))}
+}
+
+// StartAt opens a span whose beginning is backdated to start (for
+// example a queue-wait span measured from the enqueue timestamp).
+func (s Scope) StartAt(name, cat string, start time.Time) Span {
+	if s.T == nil {
+		return Span{}
+	}
+	ns := int64(start.Sub(s.T.base))
+	if ns < 0 {
+		ns = 0
+	}
+	return Span{t: s.T, tid: s.TID, name: name, cat: cat, start: ns}
+}
+
+// Span is one in-flight trace span. It carries up to two string args;
+// attach them with Arg before calling End. The zero Span (from a
+// disabled scope) ignores everything.
+type Span struct {
+	t         *Tracer
+	tid       int64
+	start     int64
+	name, cat string
+	k1, v1    string
+	k2, v2    string
+}
+
+// Arg attaches a key/value pair (at most two are kept) and returns the
+// updated span, so it chains: sc.Start(...).Arg("device", id).
+func (sp Span) Arg(k, v string) Span {
+	if sp.t == nil {
+		return sp
+	}
+	if sp.k1 == "" {
+		sp.k1, sp.v1 = k, v
+	} else if sp.k2 == "" {
+		sp.k2, sp.v2 = k, v
+	}
+	return sp
+}
+
+// End emits the span with duration measured to now.
+func (sp Span) End() {
+	if sp.t == nil {
+		return
+	}
+	dur := int64(time.Since(sp.t.base)) - sp.start
+	if dur < 0 {
+		dur = 0
+	}
+	sp.t.emit(sp.name, sp.cat, sp.tid, sp.start, dur, sp.k1, sp.v1, sp.k2, sp.v2)
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args"`
+}
+
+func TestTracerEmitsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sc := Scope{T: tr, TID: tr.NextTID()}
+
+	outer := sc.Start("sweep", "fleet").Arg("program", "abc123")
+	inner := sc.Start("round", "fleet").Arg("device", "dev-001").Arg("outcome", "accepted")
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	// End order: inner emitted first.
+	if events[0].Name != "round" || events[1].Name != "sweep" {
+		t.Fatalf("unexpected event names: %s, %s", events[0].Name, events[1].Name)
+	}
+	for _, e := range events {
+		if e.Ph != "X" {
+			t.Errorf("event %s ph = %q, want X", e.Name, e.Ph)
+		}
+		if e.PID != 1 || e.TID != 1 {
+			t.Errorf("event %s pid/tid = %d/%d", e.Name, e.PID, e.TID)
+		}
+	}
+	if events[0].Args["device"] != "dev-001" || events[0].Args["outcome"] != "accepted" {
+		t.Errorf("round args = %v", events[0].Args)
+	}
+	if events[1].Args["program"] != "abc123" {
+		t.Errorf("sweep args = %v", events[1].Args)
+	}
+	// Nesting by time containment: round inside sweep.
+	round, sweep := events[0], events[1]
+	if round.TS < sweep.TS || round.TS+round.Dur > sweep.TS+sweep.Dur+0.001 {
+		t.Errorf("round [%v, %v] not contained in sweep [%v, %v]",
+			round.TS, round.TS+round.Dur, sweep.TS, sweep.TS+sweep.Dur)
+	}
+	if tr.Events() != 2 {
+		t.Errorf("Events() = %d, want 2", tr.Events())
+	}
+}
+
+func TestTracerEmptyCloseIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("events = %d, want 0", len(events))
+	}
+}
+
+func TestTracerEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sc := Scope{T: tr, TID: tr.NextTID()}
+	sc.Start(`na"me\with`, "c").Arg("k", "line\nbreak\ttab\x01ctl").End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("escaped output invalid: %v\n%s", err, buf.String())
+	}
+	if events[0].Name != `na"me\with` {
+		t.Errorf("name round-trip failed: %q", events[0].Name)
+	}
+	if events[0].Args["k"] != "line\nbreak\ttab\x01ctl" {
+		t.Errorf("arg round-trip failed: %q", events[0].Args["k"])
+	}
+}
+
+func TestTracerStartAt(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sc := Scope{T: tr, TID: tr.NextTID()}
+	// Backdate before the tracer base: clamps to 0 rather than going
+	// negative.
+	sc.StartAt("wait", "fleet", time.Now().Add(-time.Hour)).End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if events[0].TS != 0 {
+		t.Errorf("backdated ts = %v, want 0", events[0].TS)
+	}
+	if events[0].Dur <= 0 {
+		t.Errorf("backdated dur = %v, want > 0", events[0].Dur)
+	}
+}
+
+func TestDisabledScopeZeroAlloc(t *testing.T) {
+	var sc Scope // zero scope: disabled
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := sc.Start("round", "fleet").Arg("device", "d").Arg("outcome", "ok")
+		sp.End()
+		sc.StartAt("wait", "fleet", time.Time{}).End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled scope allocates: %v allocs/op", allocs)
+	}
+	if sc.Enabled() {
+		t.Fatal("zero scope reports enabled")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.NextTID() != 0 {
+		t.Error("nil NextTID != 0")
+	}
+	if tr.Events() != 0 {
+		t.Error("nil Events != 0")
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestTIDAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	a, b := tr.NextTID(), tr.NextTID()
+	if a == b {
+		t.Fatalf("NextTID not unique: %d == %d", a, b)
+	}
+	tr.Close()
+	if !strings.HasPrefix(buf.String(), "[]") {
+		t.Fatalf("unexpected empty-trace output: %q", buf.String())
+	}
+}

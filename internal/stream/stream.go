@@ -48,6 +48,7 @@ import (
 
 	"lofat/internal/attest"
 	"lofat/internal/hashengine"
+	"lofat/internal/obs"
 )
 
 // DefaultSegmentEvents is the default checkpoint window N: the number
@@ -65,6 +66,16 @@ type Config struct {
 	// DefaultSegmentEvents). Smaller windows localize divergence
 	// faster and abort earlier; larger windows cost fewer signatures.
 	SegmentEvents int
+
+	// Trace, when enabled, records a "segment" span per consumed
+	// segment report on its track. The zero Scope (the default)
+	// disables tracing; Consume then takes one extra branch and
+	// allocates nothing.
+	Trace obs.Scope
+
+	// SegmentHist, when non-nil, records per-segment verify time in
+	// nanoseconds. Nil (the default) costs one branch.
+	SegmentHist *obs.Histogram
 }
 
 func (c *Config) fill() {

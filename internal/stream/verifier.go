@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"lofat/internal/attest"
 	"lofat/internal/core"
@@ -149,7 +151,35 @@ func (s *Session) terminal(earlyAbort bool, class attest.Classification, finding
 // the session's terminal verdict — the first divergent (or malformed)
 // segment rejects immediately, while the device may still be running:
 // callers drop the transport to cut it off (see RequestStream).
+//
+// With observability configured (Config.Trace / Config.SegmentHist)
+// each consume is timed and recorded; disabled, the wrapper is two
+// branches in front of the verification work.
 func (s *Session) Consume(sr *SegmentReport) *Result {
+	hist, tr := s.v.cfg.SegmentHist, s.v.cfg.Trace
+	if hist == nil && !tr.Enabled() {
+		return s.consume(sr)
+	}
+	sp := tr.Start("segment", "stream")
+	start := time.Now()
+	res := s.consume(sr)
+	hist.ObserveSince(start)
+	if tr.Enabled() {
+		sp = sp.Arg("index", strconv.FormatUint(uint64(sr.Index), 10))
+		switch {
+		case res == nil:
+			sp = sp.Arg("verdict", "matched")
+		case res.EarlyAbort:
+			sp = sp.Arg("verdict", "early-abort")
+		default:
+			sp = sp.Arg("verdict", res.Class.String())
+		}
+	}
+	sp.End()
+	return res
+}
+
+func (s *Session) consume(sr *SegmentReport) *Result {
 	if s.done {
 		return &Result{
 			Result:   attest.Result{Accepted: false, Class: attest.ClassProtocol, Findings: []string{"session already terminated"}},
