@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// analyzeGateFloor is the minimum relative slowdown treated as a
+// regression: below 10% the gate is pure noise on shared CI hardware.
+const analyzeGateFloor = 0.10
+
+// loadReport reads one -bench JSON document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
+}
+
+// relSpread estimates a benchmark's run-to-run noise from its own
+// latency distribution: the p95/p50 spread. A shape whose p95 sits 30%
+// above its median cannot distinguish a 15% mean shift from noise, so
+// its regression gate widens to match. Baselines recorded at schema 1
+// carry no percentiles and report zero spread (the 10% floor governs).
+func relSpread(r BenchResult) float64 {
+	if r.P50NsPerOp <= 0 || r.P95NsPerOp <= r.P50NsPerOp {
+		return 0
+	}
+	return (r.P95NsPerOp - r.P50NsPerOp) / r.P50NsPerOp
+}
+
+// runAnalyze compares two -bench reports and fails (nonzero exit via
+// the returned error) when any benchmark regressed beyond its
+// noise-aware threshold: max(10%, the larger p95/p50 spread of the two
+// runs). Benchmarks present in only one report are listed but never
+// gate — a new benchmark is not a regression.
+func runAnalyze(oldPath, newPath string) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := map[string]bool{}
+	for n := range oldRep.Benchmarks {
+		names[n] = true
+	}
+	for n := range newRep.Benchmarks {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("%-24s %14s %14s %8s %7s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "gate", "verdict")
+	var regressions []string
+	for _, name := range sorted {
+		o, haveOld := oldRep.Benchmarks[name]
+		n, haveNew := newRep.Benchmarks[name]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-24s %14s %14.0f %8s %7s  new\n", name, "-", n.NsPerOp, "-", "-")
+			continue
+		case !haveNew:
+			fmt.Printf("%-24s %14.0f %14s %8s %7s  removed\n", name, o.NsPerOp, "-", "-", "-")
+			continue
+		case o.NsPerOp <= 0:
+			fmt.Printf("%-24s %14.0f %14.0f %8s %7s  unusable baseline\n", name, o.NsPerOp, n.NsPerOp, "-", "-")
+			continue
+		}
+		delta := n.NsPerOp/o.NsPerOp - 1
+		gate := math.Max(analyzeGateFloor, math.Max(relSpread(o), relSpread(n)))
+		verdict := "ok"
+		switch {
+		case delta > gate:
+			verdict = "REGRESSION"
+			regressions = append(regressions, name)
+		case delta < -gate:
+			verdict = "improved"
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %+7.1f%% %6.1f%%  %s\n",
+			name, o.NsPerOp, n.NsPerOp, delta*100, gate*100, verdict)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond their noise gate: %v", len(regressions), regressions)
+	}
+	fmt.Println("no regressions beyond noise thresholds")
+	return nil
+}

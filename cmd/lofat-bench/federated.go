@@ -1,0 +1,141 @@
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/fed"
+	"lofat/internal/fleet"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+// fedBenchDevices is the simulated fleet size for the federated sweep
+// shapes — large enough that the sweep (not federation setup) dominates
+// each timed op, small enough for the percentile sampling budget.
+const fedBenchDevices = 24
+
+// federation stands up a complete federated sweep fixture: a loopback
+// TCP device fleet enrolled through a coordinator across nodeCount
+// in-process verifier nodes. sweep runs one warm federated sweep.
+type federation struct {
+	sweep func() error
+	close func()
+}
+
+func newFederation(nodeCount int) (*federation, error) {
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		return nil, err
+	}
+
+	var cleanup []func()
+	closeAll := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	fail := func(err error) (*federation, error) {
+		closeAll()
+		return nil, err
+	}
+
+	coord := fed.NewCoordinator(fed.Config{})
+	cleanup = append(cleanup, coord.Close)
+	for i := 0; i < nodeCount; i++ {
+		n, err := fed.NewNode(fed.NodeConfig{
+			ID:    fed.NodeID(fmt.Sprintf("node-%d", i)),
+			Fleet: fleet.Config{},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cleanup = append(cleanup, func() { n.Close() })
+		dial := func() (io.ReadWriteCloser, error) {
+			client, server := net.Pipe()
+			go func() {
+				defer server.Close()
+				_ = n.ServeConn(server)
+			}()
+			return client, nil
+		}
+		if _, err := coord.Join(n.ID(), dial); err != nil {
+			return fail(err)
+		}
+	}
+	progID, err := coord.RegisterProgram(prog, core.Config{}, [][]uint32{w.Input})
+	if err != nil {
+		return fail(err)
+	}
+	for i := 0; i < fedBenchDevices; i++ {
+		keys, err := sig.GenerateKeyStore(rand.Reader)
+		if err != nil {
+			return fail(err)
+		}
+		reg := attest.NewRegistry()
+		reg.Register(attest.NewProver(prog, core.Config{}, keys))
+		srv := attest.NewServer(reg)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		cleanup = append(cleanup, func() { srv.Close() })
+		id := fleet.DeviceID(fmt.Sprintf("dev-%03d", i))
+		if err := coord.Enroll(id, progID, keys.Public(), addr.String()); err != nil {
+			return fail(err)
+		}
+	}
+
+	sweep := func() error {
+		v, err := coord.Sweep(progID, w.Input, false)
+		if err != nil {
+			return err
+		}
+		if v.Accepted != fedBenchDevices || !v.Healthy {
+			return fmt.Errorf("federated sweep verdict: %s", v)
+		}
+		return nil
+	}
+	// Warm sweep: prime every node's measurement cache so the timed ops
+	// measure steady-state verification, not the one-time golden run.
+	if err := sweep(); err != nil {
+		return fail(err)
+	}
+	return &federation{sweep: sweep, close: closeAll}, nil
+}
+
+// benchFederated times full federated sweeps at a given node count.
+func benchFederated(nodeCount int) func(b *testing.B) {
+	return func(b *testing.B) {
+		f, err := newFederation(nodeCount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := f.sweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func setupFederatedOp(nodeCount int) func() (func() error, error) {
+	return func() (func() error, error) {
+		f, err := newFederation(nodeCount)
+		if err != nil {
+			return nil, err
+		}
+		// The fixture leaks until process exit; the sampling pass has no
+		// teardown hook, and one federation per shape is cheap.
+		return f.sweep, nil
+	}
+}

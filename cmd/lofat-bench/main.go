@@ -12,6 +12,9 @@
 //	lofat-bench -bench -baseline old.json \
 //	            -json BENCH_PR3.json             # + per-bench speedups
 //	lofat-bench -bench -cpuprofile cpu.pprof     # profile the hot path
+//	lofat-bench -analyze old.json new.json       # regression diff with
+//	                                             # noise-aware thresholds;
+//	                                             # nonzero exit on regression
 package main
 
 import (
@@ -95,6 +98,7 @@ func run() error {
 	ids := flag.String("id", "", "comma-separated experiment IDs (default: all)")
 	out := flag.String("o", "", "output file (default: stdout)")
 	bench := flag.Bool("bench", false, "time the capture hot path instead of printing experiment tables")
+	analyze := flag.Bool("analyze", false, "compare two -bench JSON reports: lofat-bench -analyze old.json new.json (nonzero exit on regression)")
 	baseline := flag.String("baseline", "", "prior -bench JSON to compute per-benchmark speedups against")
 	jsonOut := flag.String("json", "", "write the -bench JSON report to this file (default: stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -114,7 +118,12 @@ func run() error {
 	}
 
 	var err error
-	if *bench {
+	if *analyze {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-analyze takes exactly two arguments: old.json new.json")
+		}
+		err = runAnalyze(flag.Arg(0), flag.Arg(1))
+	} else if *bench {
 		err = runBench(*baseline, *jsonOut)
 	} else {
 		err = runExperiments(*ids, *out)
@@ -184,6 +193,8 @@ func hotPathBenchmarks() []benchShape {
 		{"E3_CFLAT", benchCFLAT, setupCFLATOp},
 		{"E5_HashEngine", benchHashEngine, setupHashEngineOp},
 		{"StreamGolden", benchStreamGolden, setupStreamGoldenOp},
+		{"FederatedSweep_1node", benchFederated(1), setupFederatedOp(1)},
+		{"FederatedSweep_3nodes", benchFederated(3), setupFederatedOp(3)},
 	}
 }
 

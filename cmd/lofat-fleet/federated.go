@@ -1,0 +1,291 @@
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/fed"
+	"lofat/internal/fleet"
+	"lofat/internal/fleet/faultconn"
+	"lofat/internal/obs"
+	"lofat/internal/sig"
+	"lofat/internal/workloads"
+)
+
+// fedConfig bundles the federated-mode flags.
+type fedConfig struct {
+	nodes   int
+	snapDir string
+	kill    bool
+	join    bool
+}
+
+// nodeHandle wraps an in-process verifier node with the connection
+// bookkeeping a kill needs: crashing a real node severs its TCP
+// connections, so the demo kill closes every open control-plane pipe
+// alongside abandoning the WAL.
+type nodeHandle struct {
+	node *fed.Node
+
+	mu    sync.Mutex
+	conns []net.Conn
+	down  bool
+}
+
+func (h *nodeHandle) dial() (io.ReadWriteCloser, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.down {
+		return nil, fmt.Errorf("node %s is down", h.node.ID())
+	}
+	client, server := net.Pipe()
+	h.conns = append(h.conns, server)
+	go func() {
+		defer server.Close()
+		_ = h.node.ServeConn(server)
+	}()
+	return client, nil
+}
+
+func (h *nodeHandle) kill() {
+	h.mu.Lock()
+	h.down = true
+	conns := h.conns
+	h.conns = nil
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	h.node.Kill()
+}
+
+func (h *nodeHandle) close() {
+	h.mu.Lock()
+	h.down = true
+	conns := h.conns
+	h.conns = nil
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	if err := h.node.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-fleet: close node %s: %v\n", h.node.ID(), err)
+	}
+}
+
+// runFederated is the multi-verifier variant of run: the same simulated
+// TCP device fleet, but sharded by the placement ring across fc.nodes
+// verifier nodes behind one coordinator, with optional persistent
+// registries and kill/rejoin or join/rebalance chaos.
+func runFederated(devices, attacked, stalled, dropping int, attackName, workload string, sweeps int, cfg fleet.Config, fc fedConfig, o obsConfig) error {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	atk, ok := workloads.AttackByName(attackName)
+	if !ok {
+		return fmt.Errorf("unknown attack %q", attackName)
+	}
+	if attacked > devices {
+		attacked = devices
+	}
+	if attacked+stalled+dropping > devices {
+		return fmt.Errorf("attacked+stalled+dropping (%d) exceeds -devices (%d)", attacked+stalled+dropping, devices)
+	}
+	if fc.kill && fc.snapDir == "" {
+		dir, err := os.MkdirTemp("", "lofat-fed-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fc.snapDir = dir
+		fmt.Printf("-kill without -snapshot-dir: persisting node registries under %s for the warm restart\n", dir)
+	}
+	prog, err := w.Assemble()
+	if err != nil {
+		return err
+	}
+
+	hub, obsDone, err := setupObs(o)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+
+	plans := make(map[string]faultconn.Plan)
+	dialTO := cfg.DialTimeout
+	tcpDial := func(addr string) (io.ReadWriteCloser, error) {
+		return net.DialTimeout("tcp", addr, dialTO)
+	}
+	var plansMu sync.Mutex
+	cfg.Dial = faultconn.Wrap(tcpDial, func(addr string) (faultconn.Plan, bool) {
+		plansMu.Lock()
+		defer plansMu.Unlock()
+		p, ok := plans[addr]
+		return p, ok
+	})
+
+	nodeCfg := func(i int) fed.NodeConfig {
+		nc := fed.NodeConfig{ID: fed.NodeID(fmt.Sprintf("node-%d", i)), Fleet: cfg}
+		if fc.snapDir != "" {
+			nc.Dir = filepath.Join(fc.snapDir, string(nc.ID))
+		}
+		return nc
+	}
+	startNode := func(i int) (*nodeHandle, error) {
+		n, err := fed.NewNode(nodeCfg(i))
+		if err != nil {
+			return nil, err
+		}
+		return &nodeHandle{node: n}, nil
+	}
+
+	coord := fed.NewCoordinator(fed.Config{Obs: hub})
+	defer coord.Close()
+	handles := make([]*nodeHandle, fc.nodes)
+	for i := range handles {
+		h, err := startNode(i)
+		if err != nil {
+			return err
+		}
+		handles[i] = h
+		defer h.close()
+		if _, err := coord.Join(h.node.ID(), h.dial); err != nil {
+			return err
+		}
+	}
+	persisted := "ephemeral"
+	if fc.snapDir != "" {
+		persisted = "snapshot/WAL under " + fc.snapDir
+	}
+	fmt.Printf("federation: %d verifier nodes (%s)\n", fc.nodes, persisted)
+
+	progID, err := coord.RegisterProgram(prog, core.Config{}, [][]uint32{w.Input})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered firmware %q as program %v on every node\n", w.Name, progID)
+
+	var servers []*attest.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	start := time.Now()
+	for i := 0; i < devices; i++ {
+		keys, err := sig.GenerateKeyStore(rand.Reader)
+		if err != nil {
+			return err
+		}
+		p := attest.NewProver(prog, core.Config{}, keys)
+		if i < attacked {
+			p.Adversary = atk.Build(prog)
+		}
+		reg := attest.NewRegistry()
+		reg.Register(p)
+		srv := attest.NewServer(reg)
+		srv.IdleTimeout = proverIdleTimeout(cfg)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		servers = append(servers, srv)
+		switch {
+		case i >= attacked && i < attacked+stalled:
+			plansMu.Lock()
+			plans[addr.String()] = faultconn.Plan{StallWriteAfter: 3}
+			plansMu.Unlock()
+		case i >= attacked+stalled && i < attacked+stalled+dropping:
+			plansMu.Lock()
+			plans[addr.String()] = faultconn.Plan{CloseAfter: 2}
+			plansMu.Unlock()
+		}
+		id := fleet.DeviceID(fmt.Sprintf("dev-%04d", i))
+		if err := coord.Enroll(id, progID, keys.Public(), addr.String()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("enrolled %d devices across %d nodes (%d armed with %q, %d stalled, %d dropping) in %v\n",
+		devices, fc.nodes, attacked, atk.Name, stalled, dropping, time.Since(start).Round(time.Millisecond))
+
+	sweep := func(label string) error {
+		v, err := coord.Sweep(progID, w.Input, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %v\n", label, v)
+		return nil
+	}
+	for i := 0; i < sweeps; i++ {
+		if err := sweep(fmt.Sprintf("sweep %d", i+1)); err != nil {
+			return err
+		}
+	}
+
+	if fc.kill {
+		victim := handles[0]
+		fmt.Printf("\n--- chaos: killing %s (no final sync; WAL abandoned as-is) ---\n", victim.node.ID())
+		victim.kill()
+		if err := sweep("degraded sweep"); err != nil {
+			return err
+		}
+		restarted, err := startNode(0)
+		if err != nil {
+			return fmt.Errorf("warm restart: %w", err)
+		}
+		handles[0] = restarted
+		defer restarted.close()
+		fmt.Printf("warm restart: %s recovered %d pending devices from snapshot+WAL\n",
+			restarted.node.ID(), restarted.node.PendingDevices())
+		if err := coord.Rejoin(restarted.node.ID(), restarted.dial); err != nil {
+			return err
+		}
+		if err := sweep("post-rejoin sweep"); err != nil {
+			return err
+		}
+	}
+
+	if fc.join {
+		h, err := startNode(fc.nodes)
+		if err != nil {
+			return err
+		}
+		defer h.close()
+		fmt.Printf("\n--- joining %s ---\n", h.node.ID())
+		rep, err := coord.Join(h.node.ID(), h.dial)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rebalance: %d devices moved (%d with full state, %d re-enrolled fresh), %d errors\n",
+			rep.Moved, rep.Transferred, rep.Recovered, len(rep.Errors))
+		if err := sweep("post-join sweep"); err != nil {
+			return err
+		}
+	}
+
+	if fr := hub.Flight; fr != nil && fr.Len() > 0 {
+		fmt.Println("\ncoordinator flight recorder (topology + rebalance events):")
+		topo := 0
+		for _, e := range fr.Events() {
+			switch e.Kind {
+			case obs.KindNodeJoin, obs.KindNodeLeave, obs.KindRebalance:
+				fmt.Printf("  #%d %s %s %s\n", e.Seq, e.Kind, e.Device, e.Detail)
+				topo++
+			}
+			if topo >= 20 {
+				fmt.Println("  ...")
+				break
+			}
+		}
+	}
+	return nil
+}

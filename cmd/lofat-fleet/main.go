@@ -20,6 +20,15 @@
 //	lofat-fleet -interval 500ms -duration 3s     # scheduler-driven sweeps
 //	lofat-fleet -metrics-addr 127.0.0.1:9464     # live /metrics + pprof
 //	lofat-fleet -trace-out sweep.trace.json      # Perfetto trace of the run
+//
+// Federated mode shards the same fleet across several verifier nodes
+// behind one coordinator (internal/fed), optionally with persistent
+// per-node registries and chaos:
+//
+//	lofat-fleet -nodes 3                         # 3 verifier nodes, ring-sharded
+//	lofat-fleet -nodes 3 -snapshot-dir /tmp/fed  # snapshot/WAL-persistent registries
+//	lofat-fleet -nodes 3 -kill                   # crash node-0 mid-run, warm-restart, rejoin
+//	lofat-fleet -nodes 3 -join                   # join a 4th node after the sweeps, rebalance
 package main
 
 import (
@@ -63,6 +72,11 @@ func main() {
 	backoff := flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubled per attempt, jittered)")
 	breaker := flag.Int("breaker", 3, "consecutive failed rounds that trip a device's circuit breaker (negative disables)")
 
+	nodes := flag.Int("nodes", 0, "federate across this many verifier nodes (0 = single service)")
+	snapDir := flag.String("snapshot-dir", "", "persist each node's registry (snapshot + WAL) under this directory")
+	killNode := flag.Bool("kill", false, "crash node-0 after the sweeps, then warm-restart and rejoin it (federated mode)")
+	joinNode := flag.Bool("join", false, "join one extra node after the sweeps and rebalance (federated mode)")
+
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /flight and pprof on this address (empty = off)")
 	pprofOn := flag.Bool("pprof", true, "mount /debug/pprof/ on the metrics server (with -metrics-addr)")
 	traceOut := flag.String("trace-out", "", "write a Chrome/Perfetto trace of the run to this file")
@@ -81,7 +95,18 @@ func main() {
 		BreakerThreshold: *breaker,
 	}
 	o := obsConfig{metricsAddr: *metricsAddr, pprof: *pprofOn, traceOut: *traceOut, flightCap: *flightCap}
-	if err := run(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, *interval, *duration, o); err != nil {
+	var err error
+	if *nodes > 0 {
+		fc := fedConfig{nodes: *nodes, snapDir: *snapDir, kill: *killNode, join: *joinNode}
+		err = runFederated(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, fc, o)
+	} else {
+		if *killNode || *joinNode || *snapDir != "" {
+			fmt.Fprintln(os.Stderr, "lofat-fleet: -kill/-join/-snapshot-dir need federated mode (-nodes N)")
+			os.Exit(2)
+		}
+		err = run(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, *interval, *duration, o)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "lofat-fleet: %v\n", err)
 		os.Exit(1)
 	}

@@ -13,7 +13,8 @@ import (
 // Message types on the wire. The attest package owns type bytes 1-15;
 // protocol extensions riding the same frame transport allocate from 16
 // up (internal/stream uses 16-19 for its segmented-attestation
-// messages).
+// messages; internal/fed uses 32-47 for its coordinator↔node
+// control-plane messages).
 const (
 	MsgChallenge byte = 1
 	MsgReport    byte = 2

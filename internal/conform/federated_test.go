@@ -1,0 +1,173 @@
+package conform
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"lofat/internal/attest"
+	"lofat/internal/fed"
+	"lofat/internal/fleet"
+)
+
+// runFederated verifies every mutant of one seed through the federated
+// path: a coordinator fanning sweeps out to three verifier nodes, the
+// mutants sharded across them by the placement ring. Like runFleet it
+// contributes two verdicts per mutation — a direct sweep and, after
+// releasing the quarantines it caused, a streamed sweep.
+func runFederated(t *testing.T, sub *subject, muts []*Mutation) map[string][]Verdict {
+	t.Helper()
+	devices := make(map[string]*mutantDevice, len(muts))
+	addrOf := func(m *Mutation) string { return "mem://" + m.Name }
+	for _, mut := range muts {
+		devices[addrOf(mut)] = newMutantDevice(sub, mut)
+	}
+	dial := func(addr string) (io.ReadWriteCloser, error) {
+		d, ok := devices[addr]
+		if !ok {
+			return nil, fmt.Errorf("conform: no mutant device at %q", addr)
+		}
+		client, server := net.Pipe()
+		go func() {
+			defer server.Close()
+			_ = d.serveConn(server)
+		}()
+		return client, nil
+	}
+
+	coord := fed.NewCoordinator(fed.Config{})
+	defer coord.Close()
+	for i := 0; i < 3; i++ {
+		node, err := fed.NewNode(fed.NodeConfig{
+			ID: fed.NodeID(fmt.Sprintf("node-%d", i)),
+			Fleet: fleet.Config{
+				Workers:             2,
+				Dial:                dial,
+				BreakerThreshold:    -1, // protocol-class mutants must be re-challenged, not tripped
+				StreamSegmentEvents: sub.cfg.SegmentEvents,
+				MaxInstructions:     sub.cfg.MaxInstructions,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		nodeDial := func() (io.ReadWriteCloser, error) {
+			client, server := net.Pipe()
+			go func() {
+				defer server.Close()
+				_ = node.ServeConn(server)
+			}()
+			return client, nil
+		}
+		if _, err := coord.Join(node.ID(), nodeDial); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	progID, err := coord.RegisterProgram(sub.prog, sub.dev, [][]uint32{{}})
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for _, mut := range muts {
+		if err := coord.Enroll(fleet.DeviceID(mut.Name), progID, sub.keys.Public(), addrOf(mut)); err != nil {
+			t.Fatalf("enroll %s: %v", mut.Name, err)
+		}
+	}
+
+	out := make(map[string][]Verdict, len(muts))
+	collect := func(path string, wantRounds uint64) {
+		for _, mut := range muts {
+			st, _, err := coord.Device(fleet.DeviceID(mut.Name))
+			if err != nil {
+				t.Fatalf("device %s: %v", mut.Name, err)
+			}
+			if st.Rounds != wantRounds {
+				out[mut.Name] = append(out[mut.Name], errorVerdict(path, fmt.Errorf(
+					"device %s completed %d rounds, want %d (last error: %s)",
+					mut.Name, st.Rounds, wantRounds, st.LastError)))
+				continue
+			}
+			out[mut.Name] = append(out[mut.Name], Verdict{
+				Path:     path,
+				Class:    st.LastClass.String(),
+				Accepted: st.LastClass == attest.ClassAccepted,
+				Findings: st.LastFindings,
+			})
+		}
+	}
+
+	v, err := coord.Sweep(progID, nil, false)
+	if err != nil {
+		t.Fatalf("federated direct sweep: %v", err)
+	}
+	if v.NodesOK != 3 || v.Devices != len(muts) {
+		t.Fatalf("federated sweep did not cover the corpus: %s", v)
+	}
+	collect("federated-direct", 1)
+	// Release the direct sweep's quarantines so the streamed sweep
+	// challenges every mutant again — same protocol as runFleet.
+	for _, ids := range v.NewlyQuarantined {
+		for _, id := range ids {
+			if err := coord.Release(id); err != nil {
+				t.Fatalf("release %s: %v", id, err)
+			}
+		}
+	}
+	if _, err := coord.Sweep(progID, nil, true); err != nil {
+		t.Fatalf("federated streamed sweep: %v", err)
+	}
+	collect("federated-stream", 2)
+	return out
+}
+
+// TestFederatedCrossPathAgreement runs a seed range through every
+// delivery path — direct, streamed, single-service fleet, and the
+// federated coordinator → 3 nodes topology — and asserts each mutation
+// gets the same classification everywhere, including against its
+// ground-truth label. A federation must not change a single verdict:
+// sharding and transport are below the measurement semantics.
+func TestFederatedCrossPathAgreement(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 3
+	}
+	e := New(Config{Seeds: seedRange(seeds)})
+	for _, seed := range e.cfg.Seeds {
+		sub, err := buildSubject(seed, &e.cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var muts []*Mutation
+		for _, b := range builders() {
+			if mut, _ := b.build(sub, mutationRand(seed, b.name)); mut != nil {
+				muts = append(muts, mut)
+			}
+		}
+		fleetVerdicts, err := runFleet(sub, muts)
+		if err != nil {
+			t.Fatalf("seed %d: fleet path: %v", seed, err)
+		}
+		fedVerdicts := runFederated(t, sub, muts)
+
+		for _, mut := range muts {
+			res := ScenarioResult{
+				Seed:     seed,
+				Mutation: mut.Name,
+				Class:    mut.Class,
+				Expect:   mut.Expect.String(),
+			}
+			res.Verdicts = append(res.Verdicts, runDirect(sub, mut))
+			res.Verdicts = append(res.Verdicts, runStream(sub, mut))
+			res.Verdicts = append(res.Verdicts, fleetVerdicts[mut.Name]...)
+			res.Verdicts = append(res.Verdicts, fedVerdicts[mut.Name]...)
+			if len(res.Verdicts) != 6 {
+				t.Fatalf("seed %d mutation %s: %d verdicts, want 6", seed, mut.Name, len(res.Verdicts))
+			}
+			for _, f := range checkScenario(&res, mut) {
+				t.Errorf("seed %d mutation %s: %s", seed, mut.Name, f)
+			}
+		}
+	}
+}

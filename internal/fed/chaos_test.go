@@ -1,0 +1,303 @@
+package fed
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/fleet"
+	"lofat/internal/fleet/faultconn"
+	"lofat/internal/obs"
+	"lofat/internal/workloads"
+)
+
+// TestFederationKillRejoin is the federation chaos scenario: build up
+// non-trivial registry state (quarantine, device transport breaker,
+// sweep-generation pacing) across three persistent nodes, crash one
+// mid-federation, verify the coordinator degrades and trips the node
+// breaker, then restart the node from its snapshot+WAL and check the
+// recovered durable state is byte-identical to the pre-kill picture.
+// A fourth node then joins to force a rebalance; no honest device may
+// be misclassified at any point.
+func TestFederationKillRejoin(t *testing.T) {
+	f := newFabric()
+
+	// One device gets a permanently faulty link: its connection drops
+	// after a handful of bytes every round, feeding the *transport*
+	// breaker (not quarantine) so the persisted state includes a tripped
+	// breaker with its probe-pacing generation.
+	const flakyAddr = "mem://flaky"
+	dial := faultconn.Wrap(f.dial, func(addr string) (faultconn.Plan, bool) {
+		if addr == flakyAddr {
+			return faultconn.Plan{CloseAfter: 40}, true
+		}
+		return faultconn.Plan{}, false
+	})
+
+	dir := t.TempDir()
+	fleetCfg := fleet.Config{
+		Dial:             dial,
+		Workers:          4,
+		RetryAttempts:    1,
+		RetryBackoff:     time.Millisecond,
+		ReadTimeout:      2 * time.Second,
+		WriteTimeout:     2 * time.Second,
+		BreakerThreshold: 2,
+	}
+	nodeCfg := func(i int) NodeConfig {
+		return NodeConfig{
+			ID:            NodeID(fmt.Sprintf("node-%d", i)),
+			Dir:           fmt.Sprintf("%s/node-%d", dir, i),
+			Fleet:         fleetCfg,
+			SnapshotEvery: 8, // compact aggressively so recovery spans snapshot + WAL
+		}
+	}
+
+	hub := &obs.Hub{Reg: obs.NewRegistry(), Flight: obs.NewFlight(256)}
+	coord := NewCoordinator(Config{
+		ReadTimeout:      2 * time.Second,
+		WriteTimeout:     2 * time.Second,
+		SweepTimeout:     time.Minute,
+		RetryAttempts:    2,
+		RetryBackoff:     5 * time.Millisecond,
+		BreakerThreshold: 1, // one lost sweep exchange trips the node breaker
+		Obs:              hub,
+	})
+	defer coord.Close()
+
+	nodes := make(map[NodeID]*testNode)
+	for i := 0; i < 3; i++ {
+		tn := newTestNode(t, nodeCfg(i))
+		nodes[tn.node.ID()] = tn
+		if _, err := coord.Join(tn.node.ID(), tn.dial); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pump := workloads.SyringePump()
+	prog, err := pump.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progID, err := coord.RegisterProgram(prog, core.Config{}, [][]uint32{pump.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub, addr := spawnHonestEndpoint(t, f, pump, "honest")
+	const honest = 40
+	honestIDs := make([]fleet.DeviceID, honest)
+	for i := range honestIDs {
+		honestIDs[i] = fleet.DeviceID(fmt.Sprintf("dev-%03d", i))
+		if err := coord.Enroll(honestIDs[i], progID, pub, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	atkID, atkPub, atkAddr := spawnAttacked(t, f, pump, "loop-counter", 0)
+	if err := coord.Enroll(atkID, progID, atkPub, atkAddr); err != nil {
+		t.Fatal(err)
+	}
+	flakyID := fleet.DeviceID("dev-flaky")
+	f.install(flakyAddr, attest.NewRegistry()) // never actually answers; the fault drops the conn first
+	if err := coord.Enroll(flakyID, progID, pub, flakyAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	assertHonestClean := func(when string) {
+		t.Helper()
+		for _, id := range honestIDs {
+			st, node, err := coord.Device(id)
+			if err != nil {
+				t.Fatalf("%s: device %s: %v", when, id, err)
+			}
+			if st.Quarantined || st.LastClass != attest.ClassAccepted {
+				t.Fatalf("%s: honest device %s on %s misclassified: quarantined=%v class=%v",
+					when, id, node, st.Quarantined, st.LastClass)
+			}
+		}
+	}
+
+	// Two sweeps: the attacker is quarantined on the first, the flaky
+	// device's transport breaker trips on the second (threshold 2).
+	for i := 0; i < 2; i++ {
+		if _, err := coord.Sweep(progID, pump.Input, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertHonestClean("after warm-up sweeps")
+	if st, _, err := coord.Device(atkID); err != nil || !st.Quarantined {
+		t.Fatalf("attacker not quarantined: %+v (%v)", st, err)
+	}
+	if st, _, err := coord.Device(flakyID); err != nil || st.Breaker != fleet.BreakerTripped {
+		t.Fatalf("flaky device breaker = %v, want tripped (%v)", st.Breaker, err)
+	}
+
+	// Crash the node that owns the attacker — its durable state is the
+	// most interesting to recover.
+	victim, _ := coord.Owner(atkID)
+	tn := nodes[victim]
+	preKill := tn.node.MaterializedState()
+	if len(preKill.Devices) == 0 || preKill.SweepGen == 0 {
+		t.Fatalf("pre-kill state trivial: %d devices, gen %d", len(preKill.Devices), preKill.SweepGen)
+	}
+	tn.kill()
+
+	// Sweep the degraded federation: the dead node fails its exchange
+	// and trips the coordinator's node breaker; the next sweep skips it
+	// without paying its timeout.
+	v, err := coord.Sweep(progID, pump.Input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NodesOK != 2 || v.NodesFailed != 1 || v.Healthy {
+		t.Fatalf("degraded sweep: ok=%d failed=%d healthy=%v", v.NodesOK, v.NodesFailed, v.Healthy)
+	}
+	if br, ok := coord.NodeBreaker(victim); !ok || br != fleet.BreakerTripped {
+		t.Fatalf("node breaker = %v after lost sweep, want tripped", br)
+	}
+	v, err = coord.Sweep(progID, pump.Input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NodesSkipped != 1 {
+		t.Fatalf("tripped node not skipped: %s", v)
+	}
+
+	// Warm restart from the same directory: the recovered durable
+	// picture must equal the pre-kill one exactly — same membership,
+	// quarantine flags, breaker positions and sweep generation.
+	restarted, err := NewNode(nodeCfg(int(victim[len(victim)-1] - '0')))
+	if err != nil {
+		t.Fatalf("warm restart: %v", err)
+	}
+	if got := restarted.MaterializedState(); !reflect.DeepEqual(preKill, got) {
+		t.Fatalf("recovered state diverges from pre-kill state:\n pre:  %+v\n post: %+v", preKill, got)
+	}
+	if restarted.PendingDevices() == 0 {
+		t.Fatal("restored devices should be pending until their program re-registers")
+	}
+	tn2 := &testNode{node: restarted}
+	nodes[victim] = tn2
+	t.Cleanup(func() { tn2.close() })
+	if err := coord.Rejoin(victim, tn2.dial); err != nil {
+		t.Fatal(err)
+	}
+	if restarted.PendingDevices() != 0 {
+		t.Fatal("rejoin re-registered programs but devices still pending")
+	}
+
+	// The rejoined federation sweeps whole again; the restored node's
+	// quarantine survived the crash.
+	v, err = coord.Sweep(progID, pump.Input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NodesOK != 3 || v.NodesFailed != 0 || v.NodesSkipped != 0 {
+		t.Fatalf("post-rejoin sweep: %s", v)
+	}
+	if v.Devices != honest+2 || v.Accepted != honest {
+		t.Fatalf("post-rejoin coverage: %s", v)
+	}
+	assertHonestClean("after rejoin")
+	if st, _, err := coord.Device(atkID); err != nil || !st.Quarantined || st.LastClass != attest.ClassLoopCounter {
+		t.Fatalf("quarantine lost across crash: %+v (%v)", st, err)
+	}
+
+	// A fourth node joins and takes over part of the ring; devices move
+	// with their state and no honest device is misclassified by the
+	// rebalance.
+	tn3 := newTestNode(t, nodeCfg(3))
+	t.Cleanup(func() { tn3.close() })
+	rep, err := coord.Join(tn3.node.ID(), tn3.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) != 0 {
+		t.Fatalf("rebalance errors: %v", rep.Errors)
+	}
+	if rep.Moved == 0 || rep.Transferred != rep.Moved {
+		t.Fatalf("join rebalance: moved %d, transferred %d — want all moves stateful", rep.Moved, rep.Transferred)
+	}
+	v, err = coord.Sweep(progID, pump.Input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NodesOK != 4 || v.Devices != honest+2 || v.Accepted != honest {
+		t.Fatalf("post-join sweep: %s", v)
+	}
+	assertHonestClean("after rebalance")
+	if st, _, err := coord.Device(atkID); err != nil || !st.Quarantined {
+		t.Fatalf("quarantine lost across rebalance: %+v (%v)", st, err)
+	}
+
+	// The coordinator's flight ring narrates the whole episode:
+	// joins, the breaker-tripped leave, the rejoin, and device moves.
+	kinds := map[obs.EventKind]int{}
+	for _, e := range hub.Flight.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[obs.KindNodeJoin] < 5 || kinds[obs.KindNodeLeave] < 1 || kinds[obs.KindRebalance] < rep.Moved {
+		t.Fatalf("flight events incomplete: %v", kinds)
+	}
+}
+
+// TestFederationRejoinColdRecovers checks the wiped-directory path: a
+// node that lost its data directory rejoins cold, and the coordinator
+// re-enrolls its ring-assigned devices fresh from enrolment metadata.
+func TestFederationRejoinColdRecovers(t *testing.T) {
+	f := newFabric()
+	coord, nodes := federation(t, f, Config{}, 3)
+
+	pump := workloads.SyringePump()
+	prog, err := pump.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progID, err := coord.RegisterProgram(prog, core.Config{}, [][]uint32{pump.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, addr := spawnHonestEndpoint(t, f, pump, "honest")
+	ids := make([]fleet.DeviceID, 30)
+	for i := range ids {
+		ids[i] = fleet.DeviceID(fmt.Sprintf("dev-%03d", i))
+		if err := coord.Enroll(ids[i], progID, pub, addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash node 1 (ephemeral: its registry dies with it) and bring up
+	// a blank replacement under the same identity.
+	victim := nodes[1]
+	id := victim.node.ID()
+	owned := victim.node.Service().FleetSize()
+	if owned == 0 {
+		t.Skip("ring assigned node-1 nothing; nothing to recover")
+	}
+	victim.kill()
+	blank := newTestNode(t, NodeConfig{ID: id, Fleet: fleet.Config{Dial: f.dial}})
+	t.Cleanup(func() { blank.close() })
+	if err := coord.Rejoin(id, blank.dial); err != nil {
+		t.Fatal(err)
+	}
+	if got := blank.node.Service().FleetSize(); got != owned {
+		t.Fatalf("cold rejoin re-enrolled %d devices, want %d", got, owned)
+	}
+	v, err := coord.Sweep(progID, pump.Input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NodesOK != 3 || v.Devices != len(ids) || v.Accepted != len(ids) || !v.Healthy {
+		t.Fatalf("post-cold-rejoin sweep: %s", v)
+	}
+	var got []string
+	for _, n := range v.Nodes {
+		got = append(got, fmt.Sprintf("%s:%d", n.Node, n.Report.Devices))
+	}
+	sort.Strings(got)
+	t.Logf("shards after cold rejoin: %v", got)
+}

@@ -1,0 +1,454 @@
+package fed
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"lofat/internal/attest"
+	"lofat/internal/fleet"
+)
+
+// Persistence wire format: all integers little-endian, length-prefixed
+// strings, one canonical encoding per value (the attest codec
+// discipline). Two containers share it:
+//
+//	snapshot file:  "LFED" | u16 version | body | u32 crc
+//	WAL file:       "LFWL" | u16 version | record*
+//	WAL record:     u32 len | u32 crc(body) | body
+//	record body:    u8 kind | kind-specific fields
+//
+// The snapshot CRC covers magic+version+body; a WAL record's CRC covers
+// its body only, so each record is independently verifiable and a crash
+// mid-append damages at most the final record (the torn tail).
+
+// SnapshotVersion is the schema version this build writes. Loading a
+// different version fails loudly — silently reinterpreting breaker or
+// quarantine state across schema changes is exactly the failure mode
+// the version field exists to prevent.
+const SnapshotVersion = 1
+
+const (
+	snapshotMagic = "LFED"
+	walMagic      = "LFWL"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL record kinds.
+const (
+	// recUpsert: full DeviceRecord — enrolment or any post-sweep change.
+	recUpsert byte = 1
+	// recForget: device removed (federation hand-off or teardown).
+	recForget byte = 2
+	// recQuarantine: operator quarantine flag change; clearing it also
+	// clears the streaks and breaker, mirroring fleet.SetQuarantined.
+	recQuarantine byte = 3
+	// recCacheKey: a measurement-cache key the node has warmed.
+	recCacheKey byte = 4
+	// recSweepGen: the sweep-generation counter after a sweep.
+	recSweepGen byte = 5
+)
+
+// DeviceRecord is the persistable subset of a fleet.DeviceState: the
+// fields that must survive a restart for the node to make the same
+// policy decisions it would have made had it stayed up — identity,
+// placement, quarantine, breaker lifecycle and the lifetime counters.
+// Last-round diagnostics (findings, error text, wall-clock timestamp)
+// are deliberately not persisted: they inform operators, not policy.
+// The struct is comparable, so the node's post-sweep diff is a plain
+// != against the previously persisted record.
+type DeviceRecord struct {
+	ID      fleet.DeviceID
+	Addr    string
+	Program attest.ProgramID
+	Pub     [ed25519.PublicKeySize]byte
+
+	Quarantined        bool
+	ConsecutiveRejects uint32
+	Rounds             uint64
+	Accepted           uint64
+	Rejected           uint64
+	TransportErrors    uint64
+	LastClass          attest.Classification
+
+	Breaker        fleet.BreakerState
+	TransportFails uint32
+	BreakerGen     uint64
+}
+
+// RecordFromState projects a registry snapshot onto its persistable
+// record.
+func RecordFromState(st fleet.DeviceState) DeviceRecord {
+	r := DeviceRecord{
+		ID:                 st.ID,
+		Addr:               st.Addr,
+		Program:            st.Program,
+		Quarantined:        st.Quarantined,
+		ConsecutiveRejects: uint32(st.ConsecutiveRejects),
+		Rounds:             st.Rounds,
+		Accepted:           st.Accepted,
+		Rejected:           st.Rejected,
+		TransportErrors:    st.TransportErrors,
+		LastClass:          st.LastClass,
+		Breaker:            st.Breaker,
+		TransportFails:     uint32(st.ConsecutiveTransportFails),
+		BreakerGen:         st.BreakerGen,
+	}
+	copy(r.Pub[:], st.Pub)
+	return r
+}
+
+// State rehydrates the record into the fleet.DeviceState shape that
+// Service.EnrollState restores.
+func (r DeviceRecord) State() fleet.DeviceState {
+	return fleet.DeviceState{
+		ID:                 r.ID,
+		Addr:               r.Addr,
+		Program:            r.Program,
+		Pub:                append(ed25519.PublicKey(nil), r.Pub[:]...),
+		Quarantined:        r.Quarantined,
+		ConsecutiveRejects: int(r.ConsecutiveRejects),
+		Rounds:             r.Rounds,
+		Accepted:           r.Accepted,
+		Rejected:           r.Rejected,
+		TransportErrors:    r.TransportErrors,
+		LastClass:          r.LastClass,
+
+		Breaker:                   r.Breaker,
+		ConsecutiveTransportFails: int(r.TransportFails),
+		BreakerGen:                r.BreakerGen,
+	}
+}
+
+// WALRecord is one append-only log entry. Kind selects which of the
+// other fields are meaningful.
+type WALRecord struct {
+	Kind   byte
+	Device DeviceRecord   // recUpsert
+	ID     fleet.DeviceID // recForget, recQuarantine
+	On     bool           // recQuarantine
+	Key    string         // recCacheKey
+	Gen    uint64         // recSweepGen
+}
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("fed: decode: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail("u16")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bool() bool { return r.u8() == 1 }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("string")
+		return ""
+	}
+	v := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *reader) raw(n int, what string) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func writeDeviceRecord(w *writer, d DeviceRecord) {
+	w.str(string(d.ID))
+	w.str(d.Addr)
+	w.buf = append(w.buf, d.Program[:]...)
+	w.buf = append(w.buf, d.Pub[:]...)
+	w.bool(d.Quarantined)
+	w.u32(d.ConsecutiveRejects)
+	w.u64(d.Rounds)
+	w.u64(d.Accepted)
+	w.u64(d.Rejected)
+	w.u64(d.TransportErrors)
+	w.u8(uint8(d.LastClass))
+	w.u8(uint8(d.Breaker))
+	w.u32(d.TransportFails)
+	w.u64(d.BreakerGen)
+}
+
+func readDeviceRecord(r *reader) DeviceRecord {
+	var d DeviceRecord
+	d.ID = fleet.DeviceID(r.str())
+	d.Addr = r.str()
+	copy(d.Program[:], r.raw(len(d.Program), "program id"))
+	copy(d.Pub[:], r.raw(len(d.Pub), "public key"))
+	d.Quarantined = r.bool()
+	d.ConsecutiveRejects = r.u32()
+	d.Rounds = r.u64()
+	d.Accepted = r.u64()
+	d.Rejected = r.u64()
+	d.TransportErrors = r.u64()
+	d.LastClass = attest.Classification(r.u8())
+	d.Breaker = fleet.BreakerState(r.u8())
+	d.TransportFails = r.u32()
+	d.BreakerGen = r.u64()
+	return d
+}
+
+// encodeRecordBody serializes a WAL record body (kind byte + fields).
+func encodeRecordBody(rec WALRecord) []byte {
+	var w writer
+	w.u8(rec.Kind)
+	switch rec.Kind {
+	case recUpsert:
+		writeDeviceRecord(&w, rec.Device)
+	case recForget:
+		w.str(string(rec.ID))
+	case recQuarantine:
+		w.str(string(rec.ID))
+		w.bool(rec.On)
+	case recCacheKey:
+		w.str(rec.Key)
+	case recSweepGen:
+		w.u64(rec.Gen)
+	}
+	return w.buf
+}
+
+// decodeRecordBody parses a WAL record body. Unknown kinds are an
+// error: a WAL written by a future schema must not be half-understood.
+func decodeRecordBody(b []byte) (WALRecord, error) {
+	r := &reader{buf: b}
+	var rec WALRecord
+	rec.Kind = r.u8()
+	switch rec.Kind {
+	case recUpsert:
+		rec.Device = readDeviceRecord(r)
+	case recForget:
+		rec.ID = fleet.DeviceID(r.str())
+	case recQuarantine:
+		rec.ID = fleet.DeviceID(r.str())
+		rec.On = r.bool()
+	case recCacheKey:
+		rec.Key = r.str()
+	case recSweepGen:
+		rec.Gen = r.u64()
+	default:
+		if r.err == nil {
+			return rec, fmt.Errorf("fed: wal: unknown record kind %d", rec.Kind)
+		}
+	}
+	if r.err != nil {
+		return rec, r.err
+	}
+	if r.off != len(b) {
+		return rec, fmt.Errorf("fed: wal: %d trailing bytes in record", len(b)-r.off)
+	}
+	return rec, nil
+}
+
+// State is a node's materialized persistable state: what a snapshot
+// stores and what WAL replay reconstructs.
+type State struct {
+	Node      NodeID
+	SweepGen  uint64
+	Devices   map[fleet.DeviceID]DeviceRecord
+	CacheKeys map[string]struct{}
+}
+
+// NewState returns an empty state for a node.
+func NewState(node NodeID) *State {
+	return &State{
+		Node:      node,
+		Devices:   make(map[fleet.DeviceID]DeviceRecord),
+		CacheKeys: make(map[string]struct{}),
+	}
+}
+
+// Apply folds one WAL record into the state.
+func (s *State) Apply(rec WALRecord) {
+	switch rec.Kind {
+	case recUpsert:
+		s.Devices[rec.Device.ID] = rec.Device
+	case recForget:
+		delete(s.Devices, rec.ID)
+	case recQuarantine:
+		d, ok := s.Devices[rec.ID]
+		if !ok {
+			return
+		}
+		d.Quarantined = rec.On
+		if !rec.On {
+			// Mirror fleet.SetQuarantined(id, false): release clears the
+			// streaks and closes the breaker.
+			d.ConsecutiveRejects = 0
+			d.TransportFails = 0
+			d.Breaker = fleet.BreakerHealthy
+		}
+		s.Devices[rec.ID] = d
+	case recCacheKey:
+		s.CacheKeys[rec.Key] = struct{}{}
+	case recSweepGen:
+		if rec.Gen > s.SweepGen {
+			s.SweepGen = rec.Gen
+		}
+	}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := NewState(s.Node)
+	c.SweepGen = s.SweepGen
+	for id, d := range s.Devices {
+		c.Devices[id] = d
+	}
+	for k := range s.CacheKeys {
+		c.CacheKeys[k] = struct{}{}
+	}
+	return c
+}
+
+// EncodeSnapshot serializes the state as a schema-versioned,
+// checksummed snapshot file image.
+func EncodeSnapshot(s *State) []byte {
+	var w writer
+	w.buf = append(w.buf, snapshotMagic...)
+	w.u16(SnapshotVersion)
+	w.str(string(s.Node))
+	w.u64(s.SweepGen)
+	// Deterministic image: devices and keys sorted, so identical state
+	// always snapshots to identical bytes.
+	ids := make([]string, 0, len(s.Devices))
+	for id := range s.Devices {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	w.u32(uint32(len(ids)))
+	for _, id := range ids {
+		writeDeviceRecord(&w, s.Devices[fleet.DeviceID(id)])
+	}
+	keys := make([]string, 0, len(s.CacheKeys))
+	for k := range s.CacheKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+	}
+	w.u32(crc32.Checksum(w.buf, crcTable))
+	return w.buf
+}
+
+// DecodeSnapshot parses and verifies a snapshot image. Any damage —
+// bad magic, a version this build does not speak, a checksum mismatch,
+// truncation — fails loudly; a snapshot is the node's ground truth and
+// must never be half-loaded.
+func DecodeSnapshot(b []byte) (*State, error) {
+	if len(b) < len(snapshotMagic)+2+4 {
+		return nil, fmt.Errorf("fed: snapshot: too short (%d bytes)", len(b))
+	}
+	if string(b[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("fed: snapshot: bad magic %q", b[:len(snapshotMagic)])
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.Checksum(body, crcTable); got != sum {
+		return nil, fmt.Errorf("fed: snapshot: checksum mismatch (stored %08x, computed %08x)", sum, got)
+	}
+	r := &reader{buf: body, off: len(snapshotMagic)}
+	if v := r.u16(); v != SnapshotVersion {
+		return nil, fmt.Errorf("fed: snapshot: version %d, this build speaks only %d", v, SnapshotVersion)
+	}
+	s := NewState(NodeID(r.str()))
+	s.SweepGen = r.u64()
+	nDev := int(r.u32())
+	if r.err == nil && nDev > len(body) {
+		return nil, fmt.Errorf("fed: snapshot: absurd device count %d", nDev)
+	}
+	for i := 0; i < nDev && r.err == nil; i++ {
+		d := readDeviceRecord(r)
+		s.Devices[d.ID] = d
+	}
+	nKeys := int(r.u32())
+	if r.err == nil && nKeys > len(body) {
+		return nil, fmt.Errorf("fed: snapshot: absurd key count %d", nKeys)
+	}
+	for i := 0; i < nKeys && r.err == nil; i++ {
+		s.CacheKeys[r.str()] = struct{}{}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("fed: snapshot: %d trailing bytes", len(body)-r.off)
+	}
+	return s, nil
+}

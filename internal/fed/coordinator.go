@@ -1,0 +1,712 @@
+package fed
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/fleet"
+	"lofat/internal/obs"
+)
+
+// DialFunc opens a control-plane transport to a verifier node.
+type DialFunc func() (io.ReadWriteCloser, error)
+
+// Config parameterises a Coordinator. Zero values select defaults.
+type Config struct {
+	// Replicas is the virtual-node count per node on the placement ring
+	// (default DefaultReplicas).
+	Replicas int
+	// ReadTimeout / WriteTimeout are the per-phase deadlines on
+	// control-plane exchanges other than sweeps (default 30s each; a
+	// negative value disables that deadline).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// SweepTimeout is the read deadline while waiting for a node's
+	// sweep report — a sweep legitimately takes as long as the node's
+	// slowest device rounds, so it gets its own, longer budget
+	// (default 5m; negative disables).
+	SweepTimeout time.Duration
+	// RetryAttempts is the total number of transport attempts per node
+	// exchange (default 2); RetryBackoff is the flat pre-retry delay
+	// (default 50ms).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	// BreakerThreshold trips a node's circuit breaker after this many
+	// consecutive failed exchanges; the node then sits out
+	// BreakerProbeAfter federated sweeps between half-open probes.
+	// Default 3; negative disables. The same healthy → degraded →
+	// tripped lifecycle the fleet applies per device, applied per node.
+	BreakerThreshold  int
+	BreakerProbeAfter int
+	// Obs attaches the coordinator's observability hub: node gauges on
+	// Reg, topology events (join/leave/rebalance) on Flight.
+	Obs *obs.Hub
+}
+
+func (c *Config) fill() {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.SweepTimeout == 0 {
+		c.SweepTimeout = 5 * time.Minute
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerProbeAfter <= 0 {
+		c.BreakerProbeAfter = 1
+	}
+}
+
+func (c *Config) timeouts() attest.Timeouts {
+	to := attest.Timeouts{Read: c.ReadTimeout, Write: c.WriteTimeout}
+	if to.Read < 0 {
+		to.Read = 0
+	}
+	if to.Write < 0 {
+		to.Write = 0
+	}
+	return to
+}
+
+func (c *Config) sweepTimeouts() attest.Timeouts {
+	to := c.timeouts()
+	to.Read = c.SweepTimeout
+	if to.Read < 0 {
+		to.Read = 0
+	}
+	return to
+}
+
+// nodeClient is the coordinator's handle on one member node: a
+// persistent control-plane connection (re-dialled on failure) plus the
+// node's circuit-breaker bookkeeping. mu serialises exchanges — the
+// control plane is one request/response stream per node.
+type nodeClient struct {
+	id   NodeID
+	dial DialFunc
+
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+
+	fails      int
+	breaker    fleet.BreakerState
+	breakerGen uint64
+	devices    atomic.Int64 // last reported enrolment, for the gauge
+}
+
+// deviceMeta is the coordinator's own record of an enrolment — enough
+// to re-enroll the device fresh if its owning node dies with the state.
+type deviceMeta struct {
+	Program attest.ProgramID
+	Pub     ed25519.PublicKey
+	Addr    string
+}
+
+// Coordinator owns the federation: the placement ring, one client per
+// member node, the authoritative enrolment table, and the sweep fan-out
+// that merges per-node reports into fleet verdicts.
+type Coordinator struct {
+	cfg     Config
+	flight  *obs.Flight
+	tracer  *obs.Tracer
+	metrics *coordMetrics
+
+	mu       sync.Mutex
+	ring     *Ring
+	clients  map[NodeID]*nodeClient
+	programs map[attest.ProgramID]registerReq
+	devices  map[fleet.DeviceID]deviceMeta
+	sweepGen uint64
+}
+
+type coordMetrics struct {
+	sweeps        obs.Counter
+	nodeFailures  obs.Counter
+	nodeRetries   obs.Counter
+	breakerTrips  obs.Counter
+	breakerResets obs.Counter
+	rebalanced    obs.Counter
+	transferred   obs.Counter
+}
+
+// NewCoordinator builds an empty federation.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg.fill()
+	c := &Coordinator{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Replicas),
+		clients:  make(map[NodeID]*nodeClient),
+		programs: make(map[attest.ProgramID]registerReq),
+		devices:  make(map[fleet.DeviceID]deviceMeta),
+		metrics:  &coordMetrics{},
+	}
+	if hub := cfg.Obs; hub != nil {
+		c.flight = hub.Flight
+		c.tracer = hub.Tracer
+		if reg := hub.Reg; reg != nil {
+			reg.RegisterCounter("lofat_fed_sweeps", "", "Federated sweeps completed.", &c.metrics.sweeps)
+			reg.RegisterCounter("lofat_fed_node_failures", "", "Node exchanges lost after all attempts.", &c.metrics.nodeFailures)
+			reg.RegisterCounter("lofat_fed_node_retries", "", "Extra node-exchange attempts beyond the first.", &c.metrics.nodeRetries)
+			reg.RegisterCounter("lofat_fed_node_breaker_trips", "", "Node circuit-breaker trips.", &c.metrics.breakerTrips)
+			reg.RegisterCounter("lofat_fed_node_breaker_resets", "", "Node circuit-breaker resets.", &c.metrics.breakerResets)
+			reg.RegisterCounter("lofat_fed_rebalanced_devices", "", "Devices reassigned by ring changes.", &c.metrics.rebalanced)
+			reg.RegisterCounter("lofat_fed_transferred_devices", "", "Reassigned devices moved with full state.", &c.metrics.transferred)
+			reg.RegisterGaugeFunc("lofat_fed_nodes", "", "Member verifier nodes.", func() int64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return int64(c.ring.Len())
+			})
+			reg.RegisterGaugeFunc("lofat_fed_devices", "", "Devices enrolled across the federation.", func() int64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return int64(len(c.devices))
+			})
+		}
+	}
+	return c
+}
+
+// RebalanceReport summarises the device moves one ring change caused.
+type RebalanceReport struct {
+	// Node is the node that joined or left; Joined says which.
+	Node   NodeID
+	Joined bool
+	// Moved devices changed owner; Transferred of those moved with
+	// their full state (quarantine, breaker, counters) from the old
+	// owner, and Recovered were re-enrolled fresh from coordinator
+	// metadata because the old owner could not hand them off.
+	Moved       int
+	Transferred int
+	Recovered   int
+	// Errors lists devices that could not be placed at all (their new
+	// owner refused the enrolment).
+	Errors []string
+}
+
+// Join adds a verifier node to the federation: programs are registered
+// on it, the ring is extended, and every device whose placement moved
+// onto the new node is handed off (with state where possible).
+func (c *Coordinator) Join(id NodeID, dial DialFunc) (*RebalanceReport, error) {
+	c.mu.Lock()
+	if _, dup := c.clients[id]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fed: node %s already a member", id)
+	}
+	nc := &nodeClient{id: id, dial: dial}
+	progs := c.programSpecs()
+	c.mu.Unlock()
+
+	// Register every known program before the node owns any devices.
+	for _, spec := range progs {
+		var resp okResp
+		if _, err := c.request(nc, msgRegister, spec, msgOK, &resp, c.cfg.timeouts()); err != nil {
+			return nil, fmt.Errorf("fed: join %s: register program: %w", id, err)
+		}
+	}
+
+	c.mu.Lock()
+	old := c.ring.Clone()
+	c.ring.Add(id)
+	c.clients[id] = nc
+	c.mu.Unlock()
+	c.recordTopology(obs.KindNodeJoin, id, "")
+	rep := c.rebalance(old, id, true)
+	return rep, nil
+}
+
+// Leave removes a node from the federation, first draining its devices
+// to their new owners (with state while the node is still reachable).
+func (c *Coordinator) Leave(id NodeID) (*RebalanceReport, error) {
+	c.mu.Lock()
+	nc, ok := c.clients[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fed: node %s is not a member", id)
+	}
+	old := c.ring.Clone()
+	c.ring.Remove(id)
+	c.mu.Unlock()
+	rep := c.rebalance(old, id, false)
+	c.mu.Lock()
+	delete(c.clients, id)
+	c.mu.Unlock()
+	nc.close()
+	c.recordTopology(obs.KindNodeLeave, id, "")
+	return rep, nil
+}
+
+// Rejoin reattaches a node that crashed and restarted without changing
+// the ring: the client connection and breaker are reset, programs are
+// re-registered (idempotent node-side; a warm node adopts its restored
+// devices here), and any device the ring assigns to the node that it
+// does not hold — a cold restart, or enrolments that happened while it
+// was down are NOT possible (the ring still owned them), but a wiped
+// data directory is — is re-enrolled fresh from coordinator metadata.
+func (c *Coordinator) Rejoin(id NodeID, dial DialFunc) error {
+	c.mu.Lock()
+	if !c.ring.Has(id) {
+		c.mu.Unlock()
+		return fmt.Errorf("fed: node %s is not a member (use Join)", id)
+	}
+	if old := c.clients[id]; old != nil {
+		old.close()
+	}
+	nc := &nodeClient{id: id, dial: dial}
+	c.clients[id] = nc
+	progs := c.programSpecs()
+	owned := c.ownedBy(id)
+	c.mu.Unlock()
+
+	for _, spec := range progs {
+		var resp okResp
+		if _, err := c.request(nc, msgRegister, spec, msgOK, &resp, c.cfg.timeouts()); err != nil {
+			return fmt.Errorf("fed: rejoin %s: register program: %w", id, err)
+		}
+	}
+	for _, dev := range owned {
+		var st stateResp
+		if _, err := c.request(nc, msgGet, deviceReq{Device: dev.id}, msgState, &st, c.cfg.timeouts()); err != nil {
+			return fmt.Errorf("fed: rejoin %s: query device %q: %w", id, dev.id, err)
+		}
+		if st.Found {
+			continue
+		}
+		var ok okResp
+		if _, err := c.request(nc, msgEnroll, enrollReq{State: freshState(dev.id, dev.meta)}, msgOK, &ok, c.cfg.timeouts()); err != nil {
+			return fmt.Errorf("fed: rejoin %s: re-enroll device %q: %w", id, dev.id, err)
+		}
+	}
+	c.recordTopology(obs.KindNodeJoin, id, "rejoin")
+	return nil
+}
+
+type ownedDevice struct {
+	id   fleet.DeviceID
+	meta deviceMeta
+}
+
+// ownedBy lists devices the ring assigns to node, sorted. Caller holds
+// c.mu.
+func (c *Coordinator) ownedBy(node NodeID) []ownedDevice {
+	var out []ownedDevice
+	for id, meta := range c.devices {
+		if owner, ok := c.ring.Assign(string(id)); ok && owner == node {
+			out = append(out, ownedDevice{id: id, meta: meta})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// programSpecs lists registered program specs. Caller holds c.mu.
+func (c *Coordinator) programSpecs() []registerReq {
+	out := make([]registerReq, 0, len(c.programs))
+	for _, spec := range c.programs {
+		out = append(out, spec)
+	}
+	return out
+}
+
+// freshState is the zero-history DeviceState of a new (or recovered)
+// enrolment.
+func freshState(id fleet.DeviceID, meta deviceMeta) fleet.DeviceState {
+	return fleet.DeviceState{ID: id, Addr: meta.Addr, Program: meta.Program, Pub: meta.Pub}
+}
+
+// rebalance moves every device whose owner changed between the old and
+// new ring. For each moved device the coordinator first tries a
+// stateful hand-off — Transfer from the old owner, enroll-with-state on
+// the new — and falls back to a fresh enrolment from its own metadata
+// when the old owner is gone or failing (the changed node, on a leave,
+// may already be dead; that must not strand its devices).
+func (c *Coordinator) rebalance(old *Ring, changed NodeID, joined bool) *RebalanceReport {
+	rep := &RebalanceReport{Node: changed, Joined: joined}
+	c.mu.Lock()
+	type move struct {
+		id       fleet.DeviceID
+		meta     deviceMeta
+		from, to NodeID
+	}
+	var moves []move
+	for id, meta := range c.devices {
+		oldOwner, okOld := old.Assign(string(id))
+		newOwner, okNew := c.ring.Assign(string(id))
+		if !okNew {
+			continue // ring emptied; nothing to place onto
+		}
+		if okOld && oldOwner == newOwner {
+			continue
+		}
+		moves = append(moves, move{id: id, meta: meta, from: oldOwner, to: newOwner})
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].id < moves[j].id })
+	clients := make(map[NodeID]*nodeClient, len(c.clients))
+	for id, nc := range c.clients {
+		clients[id] = nc
+	}
+	c.mu.Unlock()
+
+	for _, mv := range moves {
+		rep.Moved++
+		c.metrics.rebalanced.Inc()
+		state := freshState(mv.id, mv.meta)
+		stateful := false
+		if from := clients[mv.from]; from != nil {
+			var st stateResp
+			if _, err := c.request(from, msgTransfer, deviceReq{Device: mv.id}, msgState, &st, c.cfg.timeouts()); err == nil && st.Found {
+				state = st.State
+				stateful = true
+			}
+		}
+		to := clients[mv.to]
+		if to == nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: new owner %s has no client", mv.id, mv.to))
+			continue
+		}
+		var ok okResp
+		if _, err := c.request(to, msgEnroll, enrollReq{State: state}, msgOK, &ok, c.cfg.timeouts()); err != nil {
+			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: enroll on %s: %v", mv.id, mv.to, err))
+			continue
+		}
+		if stateful {
+			rep.Transferred++
+			c.metrics.transferred.Inc()
+		} else {
+			rep.Recovered++
+		}
+		if c.flight.Enabled() {
+			c.flight.Record(obs.Event{Device: string(mv.id), Kind: obs.KindRebalance,
+				Detail: fmt.Sprintf("%s → %s", mv.from, mv.to)})
+		}
+	}
+	return rep
+}
+
+// recordTopology logs a node join/leave flight event.
+func (c *Coordinator) recordTopology(kind obs.EventKind, id NodeID, detail string) {
+	if c.flight.Enabled() {
+		c.flight.Record(obs.Event{Device: string(id), Kind: kind, Detail: detail})
+	}
+}
+
+// RegisterProgram registers a firmware image on every member node and
+// remembers the spec for nodes that join later.
+func (c *Coordinator) RegisterProgram(prog *asm.Program, devCfg core.Config, inputs [][]uint32) (attest.ProgramID, error) {
+	spec := registerReq{Prog: prog, DevCfg: devCfg, Inputs: inputs}
+	clients := c.clientList()
+	if len(clients) == 0 {
+		return attest.ProgramID{}, fmt.Errorf("fed: no member nodes")
+	}
+	var id attest.ProgramID
+	for _, nc := range clients {
+		var resp okResp
+		if _, err := c.request(nc, msgRegister, spec, msgOK, &resp, c.cfg.timeouts()); err != nil {
+			return attest.ProgramID{}, fmt.Errorf("fed: register on %s: %w", nc.id, err)
+		}
+		id = resp.Program
+	}
+	c.mu.Lock()
+	c.programs[id] = spec
+	c.mu.Unlock()
+	return id, nil
+}
+
+// Enroll places a device on its ring-assigned node.
+func (c *Coordinator) Enroll(id fleet.DeviceID, prog attest.ProgramID, pub ed25519.PublicKey, addr string) error {
+	c.mu.Lock()
+	if _, dup := c.devices[id]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("fed: device %q already enrolled", id)
+	}
+	owner, ok := c.ring.Assign(string(id))
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("fed: no member nodes")
+	}
+	nc := c.clients[owner]
+	meta := deviceMeta{Program: prog, Pub: append(ed25519.PublicKey(nil), pub...), Addr: addr}
+	c.mu.Unlock()
+
+	var resp okResp
+	if _, err := c.request(nc, msgEnroll, enrollReq{State: freshState(id, meta)}, msgOK, &resp, c.cfg.timeouts()); err != nil {
+		return fmt.Errorf("fed: enroll %q on %s: %w", id, owner, err)
+	}
+	c.mu.Lock()
+	c.devices[id] = meta
+	c.mu.Unlock()
+	return nil
+}
+
+// Owner reports the node the ring currently assigns a device to.
+func (c *Coordinator) Owner(id fleet.DeviceID) (NodeID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, known := c.devices[id]; !known {
+		return "", false
+	}
+	return c.ring.Assign(string(id))
+}
+
+// Device queries a device's registry state from its owning node.
+func (c *Coordinator) Device(id fleet.DeviceID) (fleet.DeviceState, NodeID, error) {
+	c.mu.Lock()
+	owner, ok := c.ring.Assign(string(id))
+	nc := c.clients[owner]
+	c.mu.Unlock()
+	if !ok || nc == nil {
+		return fleet.DeviceState{}, "", fmt.Errorf("fed: no owner for device %q", id)
+	}
+	var st stateResp
+	if _, err := c.request(nc, msgGet, deviceReq{Device: id}, msgState, &st, c.cfg.timeouts()); err != nil {
+		return fleet.DeviceState{}, owner, err
+	}
+	if !st.Found {
+		return fleet.DeviceState{}, owner, fmt.Errorf("fed: device %q not held by node %s", id, owner)
+	}
+	return st.State, owner, nil
+}
+
+// Release lifts a device's quarantine on its owning node.
+func (c *Coordinator) Release(id fleet.DeviceID) error {
+	c.mu.Lock()
+	owner, ok := c.ring.Assign(string(id))
+	nc := c.clients[owner]
+	c.mu.Unlock()
+	if !ok || nc == nil {
+		return fmt.Errorf("fed: no owner for device %q", id)
+	}
+	var st stateResp
+	if _, err := c.request(nc, msgRelease, deviceReq{Device: id}, msgState, &st, c.cfg.timeouts()); err != nil {
+		return err
+	}
+	if !st.Found {
+		return fmt.Errorf("fed: device %q not held by node %s", id, owner)
+	}
+	return nil
+}
+
+// Nodes lists member node IDs, sorted.
+func (c *Coordinator) Nodes() []NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Nodes()
+}
+
+// FleetSize reports the coordinator's enrolment count.
+func (c *Coordinator) FleetSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.devices)
+}
+
+// clientList snapshots the member clients sorted by node ID.
+func (c *Coordinator) clientList() []*nodeClient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*nodeClient, 0, len(c.clients))
+	for _, nc := range c.clients {
+		out = append(out, nc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Sweep fans one federated sweep out to every member node for the given
+// program and merges their reports into a single fleet verdict. Nodes
+// sweep concurrently; a node that fails its exchange (after the
+// configured retries) is attributed in the verdict rather than sinking
+// the sweep, and its breaker advances so later sweeps skip it until a
+// half-open probe succeeds.
+func (c *Coordinator) Sweep(prog attest.ProgramID, input []uint32, streamed bool) (*FleetVerdict, error) {
+	clients := c.clientList()
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fed: no member nodes")
+	}
+	gen := atomic.AddUint64(&c.sweepGen, 1)
+	start := time.Now()
+	reports := make([]NodeReport, len(clients))
+	var wg sync.WaitGroup
+	for i, nc := range clients {
+		wg.Add(1)
+		go func(i int, nc *nodeClient) {
+			defer wg.Done()
+			reports[i] = c.sweepNode(nc, prog, input, streamed, gen)
+		}(i, nc)
+	}
+	wg.Wait()
+	c.metrics.sweeps.Inc()
+	return mergeVerdict(prog, input, reports, time.Since(start)), nil
+}
+
+// sweepNode runs one node's sweep exchange with breaker gating.
+func (c *Coordinator) sweepNode(nc *nodeClient, prog attest.ProgramID, input []uint32, streamed bool, gen uint64) NodeReport {
+	rep := NodeReport{Node: nc.id}
+	skip, probe := nc.breakerCheck(gen, c.cfg.BreakerProbeAfter)
+	if skip {
+		rep.Skipped = true
+		return rep
+	}
+	rep.Probe = probe
+	var nodeRep NodeReport
+	attempts, err := c.request(nc, msgSweep, sweepReq{Program: prog, Input: input, Streamed: streamed}, msgReport, &nodeRep, c.cfg.sweepTimeouts())
+	rep.Attempts = attempts
+	if err != nil {
+		rep.Err = err.Error()
+		var ne *NodeError
+		if !errors.As(err, &ne) {
+			// Transport failure: breaker evidence. A NodeError is not —
+			// the node answered; it just refused the request.
+			c.metrics.nodeFailures.Inc()
+			if tripped := nc.advanceBreaker(c.cfg.BreakerThreshold, gen); tripped {
+				c.metrics.breakerTrips.Inc()
+				c.recordTopology(obs.KindNodeLeave, nc.id, "breaker tripped: "+err.Error())
+			}
+		}
+		return rep
+	}
+	if reset := nc.recordSuccess(); reset {
+		c.metrics.breakerResets.Inc()
+	}
+	nodeRep.Probe = probe
+	nodeRep.Attempts = attempts
+	nc.devices.Store(int64(nodeRep.Devices))
+	return nodeRep
+}
+
+// request runs one exchange against a node with bounded retries on
+// transport failures, re-dialling the persistent connection per
+// attempt. It returns the attempts spent.
+func (c *Coordinator) request(nc *nodeClient, reqTyp byte, req any, respTyp byte, resp any, to attest.Timeouts) (int, error) {
+	if nc == nil {
+		return 0, fmt.Errorf("fed: no client for node")
+	}
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	var err error
+	for attempt := 1; attempt <= c.cfg.RetryAttempts; attempt++ {
+		if attempt > 1 {
+			c.metrics.nodeRetries.Inc()
+			time.Sleep(c.cfg.RetryBackoff)
+		}
+		if nc.conn == nil {
+			nc.conn, err = nc.dial()
+			if err != nil {
+				err = fmt.Errorf("fed: dial node %s: %w", nc.id, err)
+				continue
+			}
+		}
+		err = exchange(nc.conn, to, nc.id, reqTyp, req, respTyp, resp)
+		if err == nil {
+			return attempt, nil
+		}
+		var te *attest.TransportError
+		if errors.As(err, &te) {
+			// The stream is dead or desynchronised; next attempt re-dials.
+			nc.conn.Close()
+			nc.conn = nil
+			continue
+		}
+		// Node-level refusal or protocol mismatch: not retryable.
+		return attempt, err
+	}
+	return c.cfg.RetryAttempts, err
+}
+
+// breakerCheck gates one sweep exchange on the node's breaker.
+func (nc *nodeClient) breakerCheck(gen uint64, probeAfter int) (skip, probe bool) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.breaker != fleet.BreakerTripped {
+		return false, false
+	}
+	if gen > nc.breakerGen+uint64(probeAfter) {
+		return false, true
+	}
+	return true, false
+}
+
+// advanceBreaker folds one failed exchange into the node breaker; it
+// reports whether this failure newly tripped it.
+func (nc *nodeClient) advanceBreaker(threshold int, gen uint64) bool {
+	if threshold < 0 {
+		return false
+	}
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	nc.fails++
+	switch {
+	case nc.breaker == fleet.BreakerTripped:
+		nc.breakerGen = gen
+		return false
+	case nc.fails >= threshold:
+		nc.breaker = fleet.BreakerTripped
+		nc.breakerGen = gen
+		return true
+	default:
+		nc.breaker = fleet.BreakerDegraded
+		return false
+	}
+}
+
+// recordSuccess resets the node breaker after a completed exchange; it
+// reports whether an open breaker closed.
+func (nc *nodeClient) recordSuccess() (reset bool) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	reset = nc.breaker == fleet.BreakerTripped
+	nc.fails = 0
+	nc.breaker = fleet.BreakerHealthy
+	return reset
+}
+
+func (nc *nodeClient) close() {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if nc.conn != nil {
+		nc.conn.Close()
+		nc.conn = nil
+	}
+}
+
+// NodeBreaker reports a node's breaker position.
+func (c *Coordinator) NodeBreaker(id NodeID) (fleet.BreakerState, bool) {
+	c.mu.Lock()
+	nc := c.clients[id]
+	c.mu.Unlock()
+	if nc == nil {
+		return fleet.BreakerHealthy, false
+	}
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.breaker, true
+}
+
+// Close tears down every node connection (the nodes themselves keep
+// running; they are independent processes).
+func (c *Coordinator) Close() {
+	for _, nc := range c.clientList() {
+		nc.close()
+	}
+}

@@ -1,0 +1,27 @@
+// Package fed federates the fleet attestation service across multiple
+// verifier nodes. It is the scale-out layer above internal/fleet:
+//
+//   - a consistent-hash ring (virtual nodes, configurable replicas)
+//     assigns each enrolled device to one verifier node, and keeps
+//     reassignment deterministic and minimal when nodes join or leave;
+//   - a persistence layer — schema-versioned snapshot files plus an
+//     append-only, checksummed WAL — makes each node's registry
+//     membership, quarantine flags, breaker lifecycle and measurement-
+//     cache keys durable, so a killed node restarts warm: the latest
+//     valid snapshot is loaded and the WAL replayed onto it, tolerating
+//     a torn tail (a record cut short by the crash) but refusing
+//     corruption loudly;
+//   - a coordinator fans sweeps out to member nodes over the existing
+//     attest frame transport — reusing its per-phase deadlines, bounded
+//     retries and per-node circuit breakers — and merges the per-node
+//     SweepReports, metrics snapshots and flight-recorder events into
+//     one fleet-wide verdict with per-node attribution.
+//
+// The division of labour: internal/fleet still owns devices (registry
+// shards, worker pools, quarantine, per-device breakers); fed owns
+// nodes (placement, durability, fan-out, per-node breakers) and treats
+// each node's fleet.Service as a black box behind the frame protocol.
+package fed
+
+// NodeID names one verifier node in the federation.
+type NodeID string

@@ -1,0 +1,459 @@
+package fed
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/fleet"
+	"lofat/internal/obs"
+)
+
+// DefaultSnapshotEvery is the WAL record count that triggers automatic
+// compaction into a fresh snapshot generation.
+const DefaultSnapshotEvery = 4096
+
+// NodeConfig parameterises one verifier node.
+type NodeConfig struct {
+	// ID names the node in the ring and in persisted state.
+	ID NodeID
+	// Dir is the persistence directory; empty runs the node ephemeral
+	// (no snapshot, no WAL — state dies with the process).
+	Dir string
+	// Fleet configures the node's underlying fleet service.
+	Fleet fleet.Config
+	// SnapshotEvery compacts the WAL into a new snapshot after this
+	// many records (default DefaultSnapshotEvery).
+	SnapshotEvery int
+}
+
+// Node is one federation member: a fleet.Service plus its durability
+// layer and the frame handler the coordinator talks to.
+//
+// Warm restart: NewNode loads the newest snapshot and replays the WAL,
+// but the recovered device records cannot be enrolled until their
+// program's offline analysis exists — so they wait in a pending set,
+// and RegisterProgram adopts the ones belonging to the program it just
+// registered. A node restarted with the same programs re-registered is
+// therefore byte-for-byte back where it was killed: same membership,
+// same quarantine flags, same breaker positions, same sweep-generation
+// pacing. Cached measurements are not persisted (they are derivable);
+// the first post-restart sweep re-warms them.
+type Node struct {
+	cfg   NodeConfig
+	svc   *fleet.Service
+	store *Store // nil when ephemeral
+
+	mu sync.Mutex
+	// pending holds restored device records awaiting their program's
+	// registration, keyed by program then device.
+	pending map[attest.ProgramID]map[fleet.DeviceID]DeviceRecord
+	// persisted mirrors what the WAL+snapshot durably describe, so the
+	// post-sweep diff appends only records that actually changed.
+	persisted map[fleet.DeviceID]DeviceRecord
+	// knownKeys tracks cache keys already WAL-logged. The measurements
+	// behind them are not persisted (derivable, large) — sweeps re-warm
+	// them lazily; the keys keep the durable picture complete.
+	knownKeys     map[string]struct{}
+	persistedGen  uint64
+	programs      map[attest.ProgramID]registerReq
+	lastFlightSeq uint64
+	killed        bool
+}
+
+// NewNode builds the node, recovering persisted state when cfg.Dir is
+// set. Registry membership restores lazily per program — see the type
+// comment.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("fed: node needs an ID")
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	n := &Node{
+		cfg:       cfg,
+		pending:   make(map[attest.ProgramID]map[fleet.DeviceID]DeviceRecord),
+		persisted: make(map[fleet.DeviceID]DeviceRecord),
+		knownKeys: make(map[string]struct{}),
+		programs:  make(map[attest.ProgramID]registerReq),
+	}
+	var restored *State
+	if cfg.Dir != "" {
+		store, state, err := OpenStore(cfg.Dir, cfg.ID)
+		if err != nil {
+			return nil, err
+		}
+		n.store, restored = store, state
+	}
+	n.svc = fleet.NewService(cfg.Fleet)
+	if restored != nil {
+		for id, rec := range restored.Devices {
+			byProg, ok := n.pending[rec.Program]
+			if !ok {
+				byProg = make(map[fleet.DeviceID]DeviceRecord)
+				n.pending[rec.Program] = byProg
+			}
+			byProg[id] = rec
+			n.persisted[id] = rec
+		}
+		for k := range restored.CacheKeys {
+			n.knownKeys[k] = struct{}{}
+		}
+		n.persistedGen = restored.SweepGen
+		n.svc.SyncSweepGeneration(restored.SweepGen)
+	}
+	return n, nil
+}
+
+// ID names the node.
+func (n *Node) ID() NodeID { return n.cfg.ID }
+
+// Service exposes the underlying fleet service (tests and local
+// embedding; the coordinator goes through the frame protocol).
+func (n *Node) Service() *fleet.Service { return n.svc }
+
+// PendingDevices reports restored devices still awaiting their
+// program's registration.
+func (n *Node) PendingDevices() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := 0
+	for _, m := range n.pending {
+		c += len(m)
+	}
+	return c
+}
+
+// RegisterProgram registers a firmware image on the node's fleet
+// service and adopts any restored devices waiting for it (re-enrolling
+// them with their persisted quarantine, breaker and counter state).
+// Registration is idempotent — a coordinator re-registering on rejoin
+// gets the same program ID back.
+func (n *Node) RegisterProgram(prog *asm.Program, devCfg core.Config, inputs [][]uint32) (attest.ProgramID, error) {
+	id := attest.ComputeProgramID(prog.Text)
+	n.mu.Lock()
+	_, known := n.programs[id]
+	n.mu.Unlock()
+	if !known {
+		got, err := n.svc.RegisterProgram(prog, devCfg, inputs)
+		if err != nil {
+			return attest.ProgramID{}, err
+		}
+		id = got
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.programs[id] = registerReq{Prog: prog, DevCfg: devCfg, Inputs: inputs}
+	for devID, rec := range n.pending[id] {
+		if err := n.svc.EnrollState(rec.State()); err != nil {
+			return id, fmt.Errorf("fed: node %s: restore device %q: %w", n.cfg.ID, devID, err)
+		}
+	}
+	delete(n.pending, id)
+	return id, nil
+}
+
+// Enroll adds (or restores) one device and logs it durably.
+func (n *Node) Enroll(st fleet.DeviceState) error {
+	if err := n.svc.EnrollState(st); err != nil {
+		return err
+	}
+	rec := RecordFromState(st)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.persisted[st.ID] = rec
+	return n.appendLocked(WALRecord{Kind: recUpsert, Device: rec})
+}
+
+// Transfer extracts one device for hand-off to another node: the
+// device is removed (flight ring drained) and its final state returned;
+// the removal is WAL-logged so a restart does not resurrect it.
+func (n *Node) Transfer(id fleet.DeviceID) (fleet.DeviceState, bool, error) {
+	st, ok := n.svc.Forget(id)
+	if !ok {
+		return fleet.DeviceState{}, false, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.persisted, id)
+	return st, true, n.appendLocked(WALRecord{Kind: recForget, ID: id})
+}
+
+// Release lifts a device's quarantine (operator override), logging the
+// change.
+func (n *Node) Release(id fleet.DeviceID) (bool, error) {
+	if !n.svc.Release(id) {
+		return false, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rec, ok := n.persisted[id]; ok {
+		rec.Quarantined = false
+		rec.ConsecutiveRejects = 0
+		rec.TransportFails = 0
+		rec.Breaker = fleet.BreakerHealthy
+		n.persisted[id] = rec
+	}
+	return true, n.appendLocked(WALRecord{Kind: recQuarantine, ID: id, On: false})
+}
+
+// Sweep runs one program sweep on the node's fleet and persists the
+// diff: every device whose persistable record changed, every cache key
+// newly warmed, and the advanced sweep generation.
+func (n *Node) Sweep(prog attest.ProgramID, input []uint32, streamed bool) (fleet.SweepReport, error) {
+	var rep fleet.SweepReport
+	var err error
+	if streamed {
+		rep, err = n.svc.SweepProgramStreamed(prog, input)
+	} else {
+		rep, err = n.svc.SweepProgram(prog, input)
+	}
+	if err != nil {
+		return rep, err
+	}
+	return rep, n.persistDiff()
+}
+
+// persistDiff appends WAL records for whatever changed since the last
+// persisted picture, then compacts if the WAL has grown past the
+// configured trigger.
+func (n *Node) persistDiff() error {
+	if n.store == nil {
+		return nil
+	}
+	states := n.svc.Devices()
+	keys := []string(nil)
+	if c := n.svc.Cache(); c != nil {
+		keys = c.Keys()
+	}
+	gen := n.svc.SweepGeneration()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, st := range states {
+		rec := RecordFromState(st)
+		if prev, ok := n.persisted[st.ID]; ok && prev == rec {
+			continue
+		}
+		if err := n.appendLocked(WALRecord{Kind: recUpsert, Device: rec}); err != nil {
+			return err
+		}
+		n.persisted[st.ID] = rec
+	}
+	for _, k := range keys {
+		if _, ok := n.knownKeys[k]; ok {
+			continue
+		}
+		if err := n.appendLocked(WALRecord{Kind: recCacheKey, Key: k}); err != nil {
+			return err
+		}
+		n.knownKeys[k] = struct{}{}
+	}
+	if gen > n.persistedGen {
+		if err := n.appendLocked(WALRecord{Kind: recSweepGen, Gen: gen}); err != nil {
+			return err
+		}
+		n.persistedGen = gen
+	}
+	if err := n.store.Sync(); err != nil {
+		return fmt.Errorf("fed: node %s: wal sync: %w", n.cfg.ID, err)
+	}
+	if n.store.Records() >= n.cfg.SnapshotEvery {
+		return n.compactLocked()
+	}
+	return nil
+}
+
+// appendLocked logs one record (no-op when ephemeral). Caller holds
+// n.mu.
+func (n *Node) appendLocked(rec WALRecord) error {
+	if n.store == nil {
+		return nil
+	}
+	if err := n.store.Append(rec); err != nil {
+		return fmt.Errorf("fed: node %s: %w", n.cfg.ID, err)
+	}
+	return nil
+}
+
+// materializeLocked builds the State the store should describe. Caller
+// holds n.mu.
+func (n *Node) materializeLocked() *State {
+	st := NewState(n.cfg.ID)
+	st.SweepGen = n.persistedGen
+	for id, rec := range n.persisted {
+		st.Devices[id] = rec
+	}
+	// Devices still pending (program never re-registered this run) are
+	// part of the durable picture too.
+	for _, byProg := range n.pending {
+		for id, rec := range byProg {
+			st.Devices[id] = rec
+		}
+	}
+	for k := range n.knownKeys {
+		st.CacheKeys[k] = struct{}{}
+	}
+	return st
+}
+
+// MaterializedState returns the node's current durable picture — what
+// a warm restart would recover. Chaos tests compare this across a
+// kill/reopen cycle.
+func (n *Node) MaterializedState() *State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.materializeLocked()
+}
+
+func (n *Node) compactLocked() error {
+	if err := n.store.Compact(n.materializeLocked()); err != nil {
+		return fmt.Errorf("fed: node %s: %w", n.cfg.ID, err)
+	}
+	return nil
+}
+
+// Compact forces a snapshot generation now.
+func (n *Node) Compact() error {
+	if n.store == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.compactLocked()
+}
+
+// Close shuts the node down cleanly: fleet workers drained, WAL synced
+// and closed.
+func (n *Node) Close() error {
+	n.svc.Close()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.store == nil || n.killed {
+		return nil
+	}
+	return n.store.Close()
+}
+
+// Kill is the chaos switch: the node stops as a crash would — no final
+// sync, no snapshot, WAL handle dropped as-is. Whatever the OS already
+// wrote is what recovery gets.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.store != nil && !n.killed {
+		n.store.Abandon()
+	}
+	n.killed = true
+	n.mu.Unlock()
+	n.svc.Close()
+}
+
+// ServeConn handles coordinator requests on one connection until EOF
+// or transport error — the node side of the control plane. Run it in a
+// goroutine per accepted connection.
+func (n *Node) ServeConn(conn io.ReadWriter) error {
+	for {
+		if err := n.handleOne(conn); err != nil {
+			return err
+		}
+	}
+}
+
+// handleOne reads and answers a single request frame. The returned
+// error is transport-level only — request refusals go back on the wire
+// as msgErr frames and keep the connection serving.
+func (n *Node) handleOne(conn io.ReadWriter) error {
+	typ, body, err := attest.ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case msgRegister:
+		var req registerReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		id, err := n.RegisterProgram(req.Prog, req.DevCfg, req.Inputs)
+		if err != nil {
+			return writeErr(conn, err)
+		}
+		return writeResp(conn, msgOK, okResp{Node: n.cfg.ID, Program: id})
+	case msgEnroll:
+		var req enrollReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		if err := n.Enroll(req.State); err != nil {
+			return writeErr(conn, err)
+		}
+		return writeResp(conn, msgOK, okResp{Node: n.cfg.ID})
+	case msgSweep:
+		var req sweepReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		rep, err := n.Sweep(req.Program, req.Input, req.Streamed)
+		if err != nil {
+			return writeErr(conn, err)
+		}
+		nr := NodeReport{
+			Node:    n.cfg.ID,
+			Devices: n.svc.FleetSize(),
+			Report:  rep,
+			Metrics: n.svc.Metrics(),
+			Flight:  n.flightDelta(),
+		}
+		return writeResp(conn, msgReport, nr)
+	case msgTransfer:
+		var req deviceReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		st, found, err := n.Transfer(req.Device)
+		if err != nil {
+			return writeErr(conn, err)
+		}
+		return writeResp(conn, msgState, stateResp{Found: found, State: st})
+	case msgRelease:
+		var req deviceReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		found, err := n.Release(req.Device)
+		if err != nil {
+			return writeErr(conn, err)
+		}
+		st, _ := n.svc.Device(req.Device)
+		return writeResp(conn, msgState, stateResp{Found: found, State: st})
+	case msgGet:
+		var req deviceReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		st, found := n.svc.Device(req.Device)
+		return writeResp(conn, msgState, stateResp{Found: found, State: st})
+	default:
+		return writeErr(conn, fmt.Errorf("fed: node %s: unknown request type %d", n.cfg.ID, typ))
+	}
+}
+
+// flightDelta returns the node's flight events newer than the last
+// delta it shipped, so the coordinator accumulates each event exactly
+// once across sweeps.
+func (n *Node) flightDelta() []obs.Event {
+	events := n.svc.Flight().Events()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []obs.Event
+	for _, e := range events {
+		if e.Seq > n.lastFlightSeq {
+			out = append(out, e)
+			n.lastFlightSeq = e.Seq
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package fed
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per physical node used when
+// a Ring is built with a non-positive replica count. More replicas
+// smooth the key distribution at the cost of a larger point table;
+// 128 keeps per-node load within a few percent of even for the node
+// counts a federation realistically runs (single digits to tens).
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring mapping device IDs to verifier nodes.
+// Each node contributes `replicas` virtual points; a key is assigned to
+// the node owning the first point at or clockwise after the key's hash.
+// Adding or removing one node therefore moves only the keys that hashed
+// into the arcs its points covered — roughly 1/N of the fleet — and the
+// assignment is a pure function of the membership set, so every party
+// that knows the members computes identical placement.
+//
+// Ring is not safe for concurrent mutation; the Coordinator guards it.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by (hash, node)
+	nodes    map[NodeID]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node NodeID
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// physical node (non-positive selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[NodeID]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone distributes short, similar strings ("n1#0", "n1#1", …)
+	// poorly around the ring; a splitmix64 finalizer scrambles the low
+	// entropy into the full 64-bit space so arc lengths even out.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a node's virtual points; it reports false (and changes
+// nothing) if the node is already a member.
+func (r *Ring) Add(n NodeID) bool {
+	if _, dup := r.nodes[n]; dup {
+		return false
+	}
+	r.nodes[n] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, i)), node: n})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return true
+}
+
+// Remove deletes a node's virtual points; it reports whether the node
+// was a member.
+func (r *Ring) Remove(n NodeID) bool {
+	if _, ok := r.nodes[n]; !ok {
+		return false
+	}
+	delete(r.nodes, n)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != n {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return true
+}
+
+// Assign maps a key to its owning node; ok is false on an empty ring.
+func (r *Ring) Assign(key string) (node NodeID, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the hash space
+	}
+	return r.points[i].node, true
+}
+
+// Nodes lists the member nodes, sorted.
+func (r *Ring) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len reports the member-node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Has reports membership of one node.
+func (r *Ring) Has(n NodeID) bool {
+	_, ok := r.nodes[n]
+	return ok
+}
+
+// Clone returns an independent copy — the Coordinator diffs assignments
+// between the pre- and post-change rings to plan a rebalance.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		replicas: r.replicas,
+		points:   append([]ringPoint(nil), r.points...),
+		nodes:    make(map[NodeID]struct{}, len(r.nodes)),
+	}
+	for n := range r.nodes {
+		c.nodes[n] = struct{}{}
+	}
+	return c
+}

@@ -1,0 +1,133 @@
+package fed
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("device-%06d", i)
+	}
+	return keys
+}
+
+func assignAll(r *Ring, keys []string) map[string]NodeID {
+	out := make(map[string]NodeID, len(keys))
+	for _, k := range keys {
+		n, ok := r.Assign(k)
+		if !ok {
+			panic("empty ring")
+		}
+		out[k] = n
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	keys := ringKeys(1000)
+	build := func() *Ring {
+		r := NewRing(64)
+		// Insertion order must not matter.
+		return r
+	}
+	a := build()
+	for _, n := range []NodeID{"a", "b", "c"} {
+		a.Add(n)
+	}
+	b := build()
+	for _, n := range []NodeID{"c", "a", "b"} {
+		b.Add(n)
+	}
+	av, bv := assignAll(a, keys), assignAll(b, keys)
+	for _, k := range keys {
+		if av[k] != bv[k] {
+			t.Fatalf("key %s: %s vs %s under different insertion order", k, av[k], bv[k])
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Assign("x"); ok {
+		t.Fatal("assign on empty ring should fail")
+	}
+	if !r.Add("a") || r.Add("a") {
+		t.Fatal("Add should succeed once then report duplicate")
+	}
+	if !r.Has("a") || r.Has("b") {
+		t.Fatal("membership wrong")
+	}
+	if r.Remove("b") {
+		t.Fatal("removing a non-member should report false")
+	}
+	if !r.Remove("a") || r.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(128)
+	nodes := []NodeID{"n0", "n1", "n2", "n3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(20000)
+	counts := make(map[NodeID]int)
+	for _, k := range keys {
+		n, _ := r.Assign(k)
+		counts[n]++
+	}
+	want := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < want/2 || c > want*2 {
+			t.Errorf("node %s holds %d keys, want within [%d, %d]", n, c, want/2, want*2)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing contract: adding a
+// node moves only keys onto the new node (nothing shuffles between
+// survivors), removing it restores the previous assignment exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(128)
+	for _, n := range []NodeID{"a", "b", "c"} {
+		r.Add(n)
+	}
+	keys := ringKeys(5000)
+	before := assignAll(r, keys)
+
+	r.Add("d")
+	after := assignAll(r, keys)
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != "d" {
+				t.Fatalf("key %s moved %s → %s, not onto the joining node", k, before[k], after[k])
+			}
+		}
+	}
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("join moved %d of %d keys; want roughly 1/4", moved, len(keys))
+	}
+
+	r.Remove("d")
+	restored := assignAll(r, keys)
+	for _, k := range keys {
+		if before[k] != restored[k] {
+			t.Fatalf("key %s: %s before join, %s after leave", k, before[k], restored[k])
+		}
+	}
+}
+
+func TestRingClone(t *testing.T) {
+	r := NewRing(32)
+	r.Add("a")
+	c := r.Clone()
+	c.Add("b")
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: %d / %d", r.Len(), c.Len())
+	}
+}

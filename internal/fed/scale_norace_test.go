@@ -1,0 +1,12 @@
+//go:build !race
+
+package fed
+
+// Scale-test sizing for regular runs: the full 100k-device fleet the
+// federation is designed to shard. The race detector multiplies memory
+// and time per goroutine, so -race runs use the smaller sizing in
+// scale_race_test.go; -short shrinks further still.
+const (
+	scaleHonestDevices   = 100000
+	scaleAttackedDevices = 100
+)

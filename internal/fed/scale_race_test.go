@@ -1,0 +1,12 @@
+//go:build race
+
+package fed
+
+// Scale-test sizing under the race detector: the instrumentation costs
+// roughly an order of magnitude in time and memory, so the fleet
+// shrinks while staying large enough to exercise every shard, worker
+// and ring arc.
+const (
+	scaleHonestDevices   = 20000
+	scaleAttackedDevices = 50
+)

@@ -1,0 +1,327 @@
+package fed
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is a node's durability layer: a directory holding generations
+// of snapshot files plus the append-only WAL written since the latest
+// snapshot.
+//
+//	snap-00000003.lfed   snapshot generation 3 (schema-versioned, CRC'd)
+//	wal-00000003.log     records appended since snapshot 3
+//
+// OpenStore loads the newest valid snapshot and replays its paired WAL
+// on top, yielding the warm-restart state. Crash-recovery contract:
+//
+//   - a torn tail — the final WAL record cut short mid-append by the
+//     crash — is expected damage: replay stops at the last complete,
+//     checksummed record and the file is truncated to that consistent
+//     prefix before appends resume;
+//   - a checksum mismatch on a *complete* record, a bad header, or an
+//     unknown schema version is NOT expected damage: it means the log
+//     no longer says what was written, and the store refuses to open
+//     rather than silently dropping quarantine or breaker state.
+//
+// Compact writes a new snapshot generation (write-to-temp, fsync,
+// rename) and starts a fresh WAL; the previous generation is kept as a
+// fallback and older ones removed.
+type Store struct {
+	dir     string
+	wal     *os.File
+	walLen  int64  // bytes of durable, validated WAL content
+	gen     uint64 // current snapshot/WAL generation
+	records int    // records appended to the current WAL
+	closed  bool
+}
+
+// ErrCorrupt tags unrecoverable persistence damage (distinct from the
+// torn tail, which recovery handles silently). errors.Is(err,
+// ErrCorrupt) holds for every such failure out of OpenStore.
+var ErrCorrupt = errors.New("fed: persistent state corrupt")
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.lfed", gen))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+// walHeaderLen is magic + u16 version.
+const walHeaderLen = len(walMagic) + 2
+
+// recHeaderLen is u32 len + u32 crc.
+const recHeaderLen = 8
+
+// OpenStore opens (creating if needed) the store in dir and returns it
+// together with the recovered state: the newest valid snapshot with its
+// WAL replayed on top, or an empty state for a fresh directory. node
+// names the owner; opening a directory persisted by a different node ID
+// fails loudly (two nodes sharing a directory is operator error).
+func OpenStore(dir string, node NodeID) (*Store, *State, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("fed: store: %w", err)
+	}
+	gens, err := snapshotGenerations(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	state := NewState(node)
+	st := &Store{dir: dir}
+	// Newest snapshot first; an unreadable snapshot file is corruption,
+	// not an invitation to fall back silently.
+	if len(gens) > 0 {
+		st.gen = gens[len(gens)-1]
+		img, err := os.ReadFile(snapPath(dir, st.gen))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: read snapshot %d: %v", ErrCorrupt, st.gen, err)
+		}
+		state, err = DecodeSnapshot(img)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: snapshot %d: %v", ErrCorrupt, st.gen, err)
+		}
+		if state.Node != node {
+			return nil, nil, fmt.Errorf("%w: snapshot %d belongs to node %q, not %q", ErrCorrupt, st.gen, state.Node, node)
+		}
+	}
+	if err := st.openWAL(state); err != nil {
+		return nil, nil, err
+	}
+	return st, state, nil
+}
+
+// openWAL opens (creating if absent) the current generation's WAL,
+// replays it onto state, truncates a torn tail, and leaves the file
+// positioned for appends.
+func (s *Store) openWAL(state *State) error {
+	path := walPath(s.dir, s.gen)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("fed: store: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("fed: store: %w", err)
+	}
+	if info.Size() == 0 {
+		// Fresh WAL: stamp the header.
+		var w writer
+		w.buf = append(w.buf, walMagic...)
+		w.u16(SnapshotVersion)
+		if _, err := f.Write(w.buf); err != nil {
+			f.Close()
+			return fmt.Errorf("fed: store: write wal header: %w", err)
+		}
+		s.wal, s.walLen = f, int64(walHeaderLen)
+		return nil
+	}
+	n, records, err := replayWAL(f, state)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if n < info.Size() {
+		// Torn tail: cut the file back to the validated prefix so the
+		// next append does not graft onto garbage.
+		if err := f.Truncate(n); err != nil {
+			f.Close()
+			return fmt.Errorf("fed: store: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(n, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("fed: store: %w", err)
+	}
+	s.wal, s.walLen, s.records = f, n, records
+	return nil
+}
+
+// replayWAL applies every complete, checksummed record to state and
+// returns the byte length of the consistent prefix. A record cut short
+// by EOF is the torn tail and ends replay silently; a complete record
+// whose checksum or encoding is wrong is corruption and fails.
+func replayWAL(r io.Reader, state *State) (prefix int64, records int, err error) {
+	hdr := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, fmt.Errorf("%w: wal header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(walMagic)]) != walMagic {
+		return 0, 0, fmt.Errorf("%w: wal: bad magic %q", ErrCorrupt, hdr[:len(walMagic)])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[len(walMagic):]); v != SnapshotVersion {
+		return 0, 0, fmt.Errorf("%w: wal: version %d, this build speaks only %d", ErrCorrupt, v, SnapshotVersion)
+	}
+	prefix = int64(walHeaderLen)
+	rec := make([]byte, recHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return prefix, records, nil // torn (or clean) tail
+			}
+			return 0, 0, fmt.Errorf("%w: wal read: %v", ErrCorrupt, err)
+		}
+		n := binary.LittleEndian.Uint32(rec[:4])
+		sum := binary.LittleEndian.Uint32(rec[4:])
+		if n > walMaxRecord {
+			return 0, 0, fmt.Errorf("%w: wal: absurd record length %d", ErrCorrupt, n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return prefix, records, nil // torn tail mid-body
+			}
+			return 0, 0, fmt.Errorf("%w: wal read: %v", ErrCorrupt, err)
+		}
+		if got := crc32.Checksum(body, crcTable); got != sum {
+			// The full record is present but its bytes are not what was
+			// written: that is disk damage, not a crash artifact.
+			return 0, 0, fmt.Errorf("%w: wal record at offset %d: checksum mismatch (stored %08x, computed %08x)",
+				ErrCorrupt, prefix, sum, got)
+		}
+		decoded, err := decodeRecordBody(body)
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: wal record at offset %d: %v", ErrCorrupt, prefix, err)
+		}
+		state.Apply(decoded)
+		prefix += int64(recHeaderLen) + int64(n)
+		records++
+	}
+}
+
+// walMaxRecord bounds one WAL record; device records are well under a
+// kilobyte, so anything near this is damage, not data.
+const walMaxRecord = 1 << 20
+
+// Append durably logs one record.
+func (s *Store) Append(rec WALRecord) error {
+	if s.closed {
+		return fmt.Errorf("fed: store: closed")
+	}
+	body := encodeRecordBody(rec)
+	var w writer
+	w.u32(uint32(len(body)))
+	w.u32(crc32.Checksum(body, crcTable))
+	w.buf = append(w.buf, body...)
+	if _, err := s.wal.Write(w.buf); err != nil {
+		return fmt.Errorf("fed: store: wal append: %w", err)
+	}
+	s.walLen += int64(len(w.buf))
+	s.records++
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (s *Store) Sync() error {
+	if s.closed {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// Records reports how many records the current WAL holds — the
+// compaction trigger.
+func (s *Store) Records() int { return s.records }
+
+// Generation reports the current snapshot/WAL generation.
+func (s *Store) Generation() uint64 { return s.gen }
+
+// Compact writes state as the next snapshot generation and starts its
+// empty WAL. The snapshot lands via temp-file + fsync + rename, so a
+// crash mid-compaction leaves the previous generation intact and
+// loadable. Snapshots older than the previous generation are removed.
+func (s *Store) Compact(state *State) error {
+	if s.closed {
+		return fmt.Errorf("fed: store: closed")
+	}
+	next := s.gen + 1
+	img := EncodeSnapshot(state)
+	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("fed: store: %w", err)
+	}
+	if _, err := tmp.Write(img); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fed: store: write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fed: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), snapPath(s.dir, next)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fed: store: %w", err)
+	}
+	// The new generation is durable; swap the WAL.
+	old := s.wal
+	s.gen, s.records, s.wal, s.walLen = next, 0, nil, 0
+	if err := s.openWAL(NewState(state.Node)); err != nil {
+		return err
+	}
+	old.Sync()
+	old.Close()
+	// Retire obsolete generations (keep current and previous).
+	if gens, err := snapshotGenerations(s.dir); err == nil {
+		for _, g := range gens {
+			if g+1 < next {
+				os.Remove(snapPath(s.dir, g))
+				os.Remove(walPath(s.dir, g))
+			}
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL. The store is unusable afterwards.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}
+
+// Abandon closes the WAL file handle without syncing — the kill
+// switch for chaos tests: whatever the OS already has is what a real
+// crash would have left.
+func (s *Store) Abandon() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.wal.Close()
+}
+
+// snapshotGenerations lists the snapshot generations present in dir,
+// ascending.
+func snapshotGenerations(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fed: store: %w", err)
+	}
+	var gens []uint64
+	for _, e := range ents {
+		var g uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%d.lfed", &g); err == nil {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}

@@ -1,0 +1,165 @@
+package fed
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lofat/internal/attest"
+	"lofat/internal/fleet"
+	"lofat/internal/obs"
+)
+
+// NodeReport is one node's contribution to a federated sweep: its
+// SweepReport plus the metrics snapshot and the flight-recorder events
+// it produced, so the coordinator's merged verdict keeps per-node
+// attribution instead of flattening everything into fleet totals.
+type NodeReport struct {
+	Node NodeID
+	// Skipped: the coordinator did not contact this node (its node
+	// breaker was open); Probe: this contact was the half-open probe.
+	Skipped bool
+	Probe   bool
+	// Err is the failure that voided this node's report ("" on
+	// success); Attempts counts the transport attempts spent.
+	Err      string
+	Attempts int
+
+	// Devices is the node's total enrolment at sweep time (all
+	// programs); the remaining fields are valid when Err is empty and
+	// Skipped is false.
+	Devices int
+	Report  fleet.SweepReport
+	Metrics fleet.MetricsSnapshot
+	// Flight carries the node's flight-recorder events new since the
+	// coordinator last collected (delta, not the full ring).
+	Flight []obs.Event
+}
+
+// FleetVerdict is the single merged outcome of one federated sweep:
+// fleet-wide totals with the per-node reports they were merged from.
+type FleetVerdict struct {
+	Program attest.ProgramID
+	Input   []uint32
+
+	// Nodes are the per-node reports, sorted by node ID. NodesOK
+	// completed; NodesFailed exhausted their transport attempts;
+	// NodesSkipped sat out behind an open node breaker.
+	Nodes        []NodeReport
+	NodesOK      int
+	NodesFailed  int
+	NodesSkipped int
+
+	// Fleet-wide sums over the nodes that reported.
+	Devices  int
+	Accepted int
+	Rejected int
+	Errors   int
+	Skipped  int
+	Retried  int
+	ByClass  map[attest.Classification]int
+
+	// Per-node attribution of state transitions this sweep caused.
+	NewlyQuarantined map[NodeID][]fleet.DeviceID
+	NewlyTripped     map[NodeID][]fleet.DeviceID
+
+	SegmentsVerified int
+	EarlyAborts      int
+
+	// Healthy: every member node reported and no device was rejected
+	// or lost — the fleet attested clean.
+	Healthy  bool
+	Duration time.Duration
+	// Throughput is fleet-wide verified rounds per second — the
+	// scale-out quantity: nodes sweep their shards concurrently, so the
+	// federation's rate is the sum of its members' rates over the
+	// slowest member's wall clock.
+	Throughput float64
+}
+
+// mergeVerdict folds per-node reports into the fleet verdict. duration
+// is the coordinator's wall-clock for the whole fan-out.
+func mergeVerdict(prog attest.ProgramID, input []uint32, nodes []NodeReport, duration time.Duration) *FleetVerdict {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+	v := &FleetVerdict{
+		Program:          prog,
+		Input:            append([]uint32(nil), input...),
+		Nodes:            nodes,
+		ByClass:          make(map[attest.Classification]int),
+		NewlyQuarantined: make(map[NodeID][]fleet.DeviceID),
+		NewlyTripped:     make(map[NodeID][]fleet.DeviceID),
+		Healthy:          true,
+		Duration:         duration,
+	}
+	for _, n := range nodes {
+		switch {
+		case n.Skipped:
+			v.NodesSkipped++
+			v.Healthy = false
+			continue
+		case n.Err != "":
+			v.NodesFailed++
+			v.Healthy = false
+			continue
+		}
+		v.NodesOK++
+		r := n.Report
+		v.Devices += r.Devices
+		v.Accepted += r.Accepted
+		v.Rejected += r.Rejected
+		v.Errors += r.Errors
+		v.Skipped += r.Skipped
+		v.Retried += r.Retried
+		for c, k := range r.ByClass {
+			v.ByClass[c] += k
+		}
+		if len(r.NewlyQuarantined) > 0 {
+			v.NewlyQuarantined[n.Node] = append([]fleet.DeviceID(nil), r.NewlyQuarantined...)
+		}
+		if len(r.NewlyTripped) > 0 {
+			v.NewlyTripped[n.Node] = append([]fleet.DeviceID(nil), r.NewlyTripped...)
+		}
+		v.SegmentsVerified += r.SegmentsVerified
+		v.EarlyAborts += r.EarlyAborts
+		if r.Rejected > 0 || r.Errors > 0 || r.Skipped > 0 {
+			v.Healthy = false
+		}
+	}
+	if verified := v.Accepted + v.Rejected; verified > 0 && duration > 0 {
+		v.Throughput = float64(verified) / duration.Seconds()
+	}
+	return v
+}
+
+// String renders a multi-line fleet verdict with per-node attribution.
+func (v *FleetVerdict) String() string {
+	var b strings.Builder
+	status := "HEALTHY"
+	if !v.Healthy {
+		status = "DEGRADED"
+	}
+	fmt.Fprintf(&b, "fleet verdict %v: %s — %d devices on %d node(s): %d accepted, %d rejected, %d errors, %d skipped, %.0f rounds/s",
+		v.Program, status, v.Devices, v.NodesOK, v.Accepted, v.Rejected, v.Errors, v.Skipped, v.Throughput)
+	if v.NodesFailed > 0 || v.NodesSkipped > 0 {
+		fmt.Fprintf(&b, " [%d node(s) failed, %d breaker-skipped]", v.NodesFailed, v.NodesSkipped)
+	}
+	for _, n := range v.Nodes {
+		switch {
+		case n.Skipped:
+			fmt.Fprintf(&b, "\n  %s: skipped (node breaker open)", n.Node)
+		case n.Err != "":
+			fmt.Fprintf(&b, "\n  %s: FAILED after %d attempt(s): %s", n.Node, n.Attempts, n.Err)
+		default:
+			fmt.Fprintf(&b, "\n  %s: %d devices, %d accepted, %d rejected, %d errors, %d skipped",
+				n.Node, n.Report.Devices, n.Report.Accepted, n.Report.Rejected, n.Report.Errors, n.Report.Skipped)
+			if q := v.NewlyQuarantined[n.Node]; len(q) > 0 {
+				fmt.Fprintf(&b, ", quarantined %v", q)
+			}
+			if t := v.NewlyTripped[n.Node]; len(t) > 0 {
+				fmt.Fprintf(&b, ", tripped %v", t)
+			}
+		}
+	}
+	return b.String()
+}

@@ -78,6 +78,21 @@ func (c *MeasurementCache) HitRate() float64 {
 	return float64(h) / float64(h+m)
 }
 
+// Keys lists the cached measurement keys. The keys are the opaque
+// verifier-built strings of attest.ExpectationCache; a persistence
+// layer records them so a restarted node knows which golden runs it had
+// warmed (the measurements themselves are recomputed, not persisted —
+// they are derivable and large, the keys are neither).
+func (c *MeasurementCache) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
 // Len reports the number of cached (program, input) measurements.
 func (c *MeasurementCache) Len() int {
 	c.mu.RLock()

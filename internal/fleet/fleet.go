@@ -357,6 +357,75 @@ func (s *Service) Enroll(id DeviceID, prog attest.ProgramID, pub ed25519.PublicK
 	})
 }
 
+// EnrollState enrols a device restoring a previously snapshotted record
+// — the warm-restart and federation hand-off path. Unlike Enroll, the
+// quarantine flag, rejection streak, breaker position and lifetime
+// counters all carry over, so a device quarantined (or mid-breaker)
+// before a node died stays that way after the restore. The program must
+// already be registered; the verifier is re-derived from its template
+// (verifier nonce state is per-round and deliberately not restored).
+func (s *Service) EnrollState(st DeviceState) error {
+	s.mu.RLock()
+	p, ok := s.programs[st.Program]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("fleet: program %v not registered", st.Program)
+	}
+	return s.reg.add(&device{
+		id:       st.ID,
+		addr:     st.Addr,
+		program:  st.Program,
+		pub:      append(ed25519.PublicKey(nil), st.Pub...),
+		verifier: p.template.ForKey(st.Pub),
+
+		quarantined:        st.Quarantined,
+		consecutiveRejects: st.ConsecutiveRejects,
+		rounds:             st.Rounds,
+		accepted:           st.Accepted,
+		rejected:           st.Rejected,
+		transportErrors:    st.TransportErrors,
+		lastClass:          st.LastClass,
+		lastFindings:       append([]string(nil), st.LastFindings...),
+		lastError:          st.LastError,
+		lastAttested:       st.LastAttested,
+
+		breaker:        st.Breaker,
+		transportFails: st.ConsecutiveTransportFails,
+		breakerGen:     st.BreakerGen,
+	})
+}
+
+// Forget removes a device from the fleet entirely, returning its final
+// snapshot — the extraction half of a federation hand-off (EnrollState
+// on the receiving node is the other half). The device's flight-recorder
+// events are drained along with the record: if the ID is ever enrolled
+// again, here or elsewhere, it must not inherit this occupant's breaker
+// or quarantine history.
+func (s *Service) Forget(id DeviceID) (DeviceState, bool) {
+	st, ok := s.reg.remove(id)
+	if ok {
+		s.flight.DropDevice(string(id))
+	}
+	return st, ok
+}
+
+// SweepGeneration reports the current sweep generation counter.
+func (s *Service) SweepGeneration() uint64 { return s.sweepGen.Load() }
+
+// SyncSweepGeneration advances the sweep counter to at least gen (it
+// never rewinds). A node restoring persisted device state must also
+// restore the generation the breaker fields were recorded against,
+// or every restored tripped breaker would fire its half-open probe on
+// the first post-restart sweep regardless of how long it had sat out.
+func (s *Service) SyncSweepGeneration(gen uint64) {
+	for {
+		cur := s.sweepGen.Load()
+		if cur >= gen || s.sweepGen.CompareAndSwap(cur, gen) {
+			return
+		}
+	}
+}
+
 // Registry surface, re-exposed on the service.
 
 // Device returns the registry snapshot for one device.
@@ -380,8 +449,18 @@ func (s *Service) Tripped() []DeviceID { return s.reg.Tripped() }
 // re-provisioning): quarantine is lifted and an open transport breaker
 // is closed; it reports whether the device exists. This is also the
 // recovery path for breakers tripped by direct Submit rounds, which —
-// unlike sweeps — never fire half-open probes.
-func (s *Service) Release(id DeviceID) bool { return s.reg.SetQuarantined(id, false) }
+// unlike sweeps — never fire half-open probes. The device's
+// flight-recorder events are drained too: a released device is treated
+// as re-provisioned, and post-mortems on its future conduct must not
+// pick up breaker or quarantine history from before the operator
+// intervened.
+func (s *Service) Release(id DeviceID) bool {
+	ok := s.reg.SetQuarantined(id, false)
+	if ok {
+		s.flight.DropDevice(string(id))
+	}
+	return ok
+}
 
 // Cache exposes the shared measurement cache (nil when disabled).
 func (s *Service) Cache() *MeasurementCache { return s.cache }

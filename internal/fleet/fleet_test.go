@@ -13,6 +13,7 @@ import (
 	"lofat/internal/core"
 	"lofat/internal/fleet"
 	"lofat/internal/monitor"
+	"lofat/internal/obs"
 	"lofat/internal/sig"
 	"lofat/internal/workloads"
 )
@@ -606,5 +607,72 @@ func TestUnreachableDevice(t *testing.T) {
 	st, _ := svc.Device("lost")
 	if st.Quarantined || st.TransportErrors != 1 || st.LastError == "" {
 		t.Fatalf("device state: %+v", st)
+	}
+}
+
+// TestReleaseDrainsFlightHistory is the federation-era release
+// contract: lifting a quarantine (or forgetting a device for hand-off)
+// also drains the device's flight-recorder events, so a device released
+// and later re-enrolled — possibly on another node — does not inherit
+// stale quarantine/breaker history from its previous life.
+func TestReleaseDrainsFlightHistory(t *testing.T) {
+	f := newFabric()
+	hub := obs.NewHub()
+	hub.Flight = obs.NewFlight(256)
+	svc := fleet.NewService(fleet.Config{Dial: f.dial, Obs: hub})
+	defer svc.Close()
+
+	w := workloads.SyringePump()
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := svc.RegisterProgram(prog, core.Config{}, [][]uint32{w.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := spawnDevice(t, f, w, 0, nil)
+	atk, _ := workloads.AttackByName("loop-counter")
+	bad := spawnDevice(t, f, w, 1, atk.Build(prog))
+	for _, d := range []simDevice{honest, bad} {
+		if err := svc.Enroll(d.id, pid, d.pub, d.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.SweepProgram(pid, w.Input); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Flight.DeviceEvents(string(bad.id)); len(got) == 0 {
+		t.Fatal("attacked device produced no flight events")
+	}
+	honestEvents := len(hub.Flight.DeviceEvents(string(honest.id)))
+	if honestEvents == 0 {
+		t.Fatal("honest device produced no flight events")
+	}
+
+	if !svc.Release(bad.id) {
+		t.Fatal("release failed")
+	}
+	if got := hub.Flight.DeviceEvents(string(bad.id)); len(got) != 0 {
+		t.Fatalf("released device kept %d stale flight events: %+v", len(got), got)
+	}
+	if got := len(hub.Flight.DeviceEvents(string(honest.id))); got != honestEvents {
+		t.Fatalf("release drained a bystander's events: %d → %d", honestEvents, got)
+	}
+
+	// Forget (the federation hand-off primitive) drains the same way,
+	// and a fresh enrolment under the old ID starts with a clean ring.
+	st, ok := svc.Forget(honest.id)
+	if !ok {
+		t.Fatal("forget failed")
+	}
+	if got := hub.Flight.DeviceEvents(string(honest.id)); len(got) != 0 {
+		t.Fatalf("forgotten device kept %d flight events", len(got))
+	}
+	if err := svc.EnrollState(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Flight.DeviceEvents(string(honest.id)); len(got) != 0 {
+		t.Fatalf("re-enrolled device inherited %d events", len(got))
 	}
 }

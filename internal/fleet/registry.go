@@ -97,8 +97,13 @@ type DeviceState struct {
 
 	// Breaker is the transport circuit breaker position;
 	// ConsecutiveTransportFails is the failed-round streak feeding it.
+	// BreakerGen is the sweep generation of the trip (or last failed
+	// half-open probe); together with the service's sweep counter it
+	// paces when the next probe fires, so it must survive a restore or a
+	// restarted node would probe a tripped device immediately.
 	Breaker                   BreakerState
 	ConsecutiveTransportFails int
+	BreakerGen                uint64
 }
 
 func (d *device) snapshot() DeviceState {
@@ -120,6 +125,7 @@ func (d *device) snapshot() DeviceState {
 
 		Breaker:                   d.breaker,
 		ConsecutiveTransportFails: d.transportFails,
+		BreakerGen:                d.breakerGen,
 	}
 }
 
@@ -162,6 +168,22 @@ func (r *Registry) add(d *device) error {
 	}
 	sh.devices[d.id] = d
 	return nil
+}
+
+// remove deletes a device, returning its final snapshot. This is the
+// federation hand-off primitive: the snapshot carries everything a
+// receiving node needs to restore the device mid-history.
+func (r *Registry) remove(id DeviceID) (DeviceState, bool) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[id]
+	if !ok {
+		return DeviceState{}, false
+	}
+	st := d.snapshot()
+	delete(sh.devices, id)
+	return st, true
 }
 
 func (r *Registry) get(id DeviceID) (*device, bool) {

@@ -36,6 +36,12 @@ const (
 	// KindSweepFail: a whole program sweep failed; Device carries the
 	// program ID.
 	KindSweepFail
+	// KindNodeJoin / KindNodeLeave / KindRebalance: federation topology
+	// changes; Device carries the node ID (or the moved device for a
+	// rebalance, with the old→new assignment in Detail).
+	KindNodeJoin
+	KindNodeLeave
+	KindRebalance
 )
 
 func (k EventKind) String() string {
@@ -58,6 +64,12 @@ func (k EventKind) String() string {
 		return "early-abort"
 	case KindSweepFail:
 		return "sweep-fail"
+	case KindNodeJoin:
+		return "node-join"
+	case KindNodeLeave:
+		return "node-leave"
+	case KindRebalance:
+		return "rebalance"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -192,6 +204,53 @@ func (f *Flight) DeviceEvents(device string) []Event {
 		}
 	}
 	return out
+}
+
+// DropDevice removes every retained event for one device, preserving
+// the order (and Seq numbers) of the rest. The sequence counter is not
+// rewound, so later events still sort after the dropped ones. This is
+// the teardown path for released or forgotten devices: a device ID that
+// is re-enrolled later must not inherit the previous occupant's breaker
+// or quarantine history.
+func (f *Flight) DropDevice(device string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var kept []Event
+	if f.wrapped {
+		kept = make([]Event, 0, len(f.buf))
+		for _, e := range f.buf[f.next:] {
+			if e.Device != device {
+				kept = append(kept, e)
+			}
+		}
+		for _, e := range f.buf[:f.next] {
+			if e.Device != device {
+				kept = append(kept, e)
+			}
+		}
+	} else {
+		kept = make([]Event, 0, f.next)
+		for _, e := range f.buf[:f.next] {
+			if e.Device != device {
+				kept = append(kept, e)
+			}
+		}
+	}
+	if len(kept) == len(f.buf) {
+		return // nothing dropped, ring unchanged
+	}
+	buf := make([]Event, len(f.buf))
+	copy(buf, kept)
+	f.buf = buf
+	f.next = len(kept)
+	f.wrapped = false
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.wrapped = true
+	}
 }
 
 // Dump writes a human-readable dump, oldest first.

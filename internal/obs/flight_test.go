@@ -129,3 +129,61 @@ func TestEventKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestFlightDropDevice(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(Event{Device: "keep-1", Kind: KindVerdict})
+	f.Record(Event{Device: "drop", Kind: KindTransportError})
+	f.Record(Event{Device: "keep-2", Kind: KindQuarantine})
+	f.Record(Event{Device: "drop", Kind: KindBreakerTrip})
+
+	f.DropDevice("drop")
+	events := f.Events()
+	if len(events) != 2 {
+		t.Fatalf("len = %d after drop, want 2", len(events))
+	}
+	// Survivors keep their order and original sequence numbers.
+	if events[0].Device != "keep-1" || events[0].Seq != 1 {
+		t.Fatalf("events[0] = %+v", events[0])
+	}
+	if events[1].Device != "keep-2" || events[1].Seq != 3 {
+		t.Fatalf("events[1] = %+v", events[1])
+	}
+	if got := f.DeviceEvents("drop"); len(got) != 0 {
+		t.Fatalf("dropped device still has %d events", len(got))
+	}
+
+	// New events continue the sequence; nothing is rewound.
+	f.Record(Event{Device: "keep-3", Kind: KindVerdict})
+	events = f.Events()
+	if last := events[len(events)-1]; last.Seq != 5 {
+		t.Fatalf("seq after drop = %d, want 5 (counter must not rewind)", last.Seq)
+	}
+
+	// Dropping across a wrapped ring keeps the retained window coherent.
+	w := NewFlight(4)
+	for i := 0; i < 6; i++ {
+		dev := "even"
+		if i%2 == 1 {
+			dev = "odd"
+		}
+		w.Record(Event{Device: dev, Kind: KindVerdict})
+	}
+	w.DropDevice("odd")
+	got := w.Events()
+	if len(got) != 2 || got[0].Device != "even" || got[1].Device != "even" {
+		t.Fatalf("wrapped drop: %+v", got)
+	}
+	if got[0].Seq != 3 || got[1].Seq != 5 {
+		t.Fatalf("wrapped drop seqs: %d, %d", got[0].Seq, got[1].Seq)
+	}
+
+	// Nil and absent-device drops are no-ops.
+	var nilf *Flight
+	nilf.DropDevice("x")
+	before := f.Len()
+	f.DropDevice("absent")
+	if f.Len() != before {
+		t.Fatalf("absent drop changed len %d → %d", before, f.Len())
+	}
+}

@@ -101,12 +101,20 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	if h == nil {
 		return HistSnapshot{}
 	}
-	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	// Buckets are read before count: Observe increments count first, so
+	// every bucket increment the loop sees has its count increment
+	// visible to the later load. The bucket total may trail Count by
+	// in-flight samples but can never exceed it. (The reverse order
+	// would let observes landing between the two reads push the bucket
+	// sum arbitrarily past the snapshot count.)
+	var s HistSnapshot
 	for i := 0; i < numBuckets; i++ {
 		if n := h.buckets[i].Load(); n > 0 {
 			s.Buckets = append(s.Buckets, HistBucket{Le: BucketUpperEdge(i), Count: n})
 		}
 	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
 	return s
 }
 
