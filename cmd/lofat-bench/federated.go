@@ -28,7 +28,7 @@ type federation struct {
 	close func()
 }
 
-func newFederation(nodeCount int) (*federation, error) {
+func newFederation(nodeCount, replicas int) (*federation, error) {
 	w := workloads.SyringePump()
 	prog, err := w.Assemble()
 	if err != nil {
@@ -46,7 +46,7 @@ func newFederation(nodeCount int) (*federation, error) {
 		return nil, err
 	}
 
-	coord := fed.NewCoordinator(fed.Config{})
+	coord := fed.NewCoordinator(fed.Config{Replicas: replicas})
 	cleanup = append(cleanup, coord.Close)
 	for i := 0; i < nodeCount; i++ {
 		n, err := fed.NewNode(fed.NodeConfig{
@@ -110,10 +110,12 @@ func newFederation(nodeCount int) (*federation, error) {
 	return &federation{sweep: sweep, close: closeAll}, nil
 }
 
-// benchFederated times full federated sweeps at a given node count.
-func benchFederated(nodeCount int) func(b *testing.B) {
+// benchFederated times full federated sweeps at a given node count
+// and replication factor (replicas > 1 adds the warm-standby hand-off
+// and post-sweep anti-entropy reconciliation to each op).
+func benchFederated(nodeCount, replicas int) func(b *testing.B) {
 	return func(b *testing.B) {
-		f, err := newFederation(nodeCount)
+		f, err := newFederation(nodeCount, replicas)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,9 +130,9 @@ func benchFederated(nodeCount int) func(b *testing.B) {
 	}
 }
 
-func setupFederatedOp(nodeCount int) func() (func() error, error) {
+func setupFederatedOp(nodeCount, replicas int) func() (func() error, error) {
 	return func() (func() error, error) {
-		f, err := newFederation(nodeCount)
+		f, err := newFederation(nodeCount, replicas)
 		if err != nil {
 			return nil, err
 		}

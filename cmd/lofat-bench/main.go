@@ -193,8 +193,9 @@ func hotPathBenchmarks() []benchShape {
 		{"E3_CFLAT", benchCFLAT, setupCFLATOp},
 		{"E5_HashEngine", benchHashEngine, setupHashEngineOp},
 		{"StreamGolden", benchStreamGolden, setupStreamGoldenOp},
-		{"FederatedSweep_1node", benchFederated(1), setupFederatedOp(1)},
-		{"FederatedSweep_3nodes", benchFederated(3), setupFederatedOp(3)},
+		{"FederatedSweep_1node", benchFederated(1, 1), setupFederatedOp(1, 1)},
+		{"FederatedSweep_3nodes", benchFederated(3, 1), setupFederatedOp(3, 1)},
+		{"FederatedSweep_3nodes_R2", benchFederated(3, 2), setupFederatedOp(3, 2)},
 	}
 }
 

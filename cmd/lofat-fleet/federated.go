@@ -2,6 +2,7 @@ package main
 
 import (
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"lofat/internal/attest"
 	"lofat/internal/core"
 	"lofat/internal/fed"
+	"lofat/internal/fed/faultfs"
 	"lofat/internal/fleet"
 	"lofat/internal/fleet/faultconn"
 	"lofat/internal/obs"
@@ -22,10 +24,16 @@ import (
 
 // fedConfig bundles the federated-mode flags.
 type fedConfig struct {
-	nodes   int
-	snapDir string
-	kill    bool
-	join    bool
+	nodes    int
+	replicas int
+	snapDir  string
+	kill     bool
+	killMid  bool
+	join     bool
+	// diskFault injects a storage fault into node-0's persistence:
+	// "fsync" (every fsync fails — the lame-duck path) or "enospc"
+	// (the disk fills mid-write).
+	diskFault string
 }
 
 // nodeHandle wraps an in-process verifier node with the connection
@@ -100,14 +108,28 @@ func runFederated(devices, attacked, stalled, dropping int, attackName, workload
 	if attacked+stalled+dropping > devices {
 		return fmt.Errorf("attacked+stalled+dropping (%d) exceeds -devices (%d)", attacked+stalled+dropping, devices)
 	}
-	if fc.kill && fc.snapDir == "" {
+	if (fc.kill || fc.diskFault != "") && fc.snapDir == "" {
 		dir, err := os.MkdirTemp("", "lofat-fed-")
 		if err != nil {
 			return err
 		}
 		defer os.RemoveAll(dir)
 		fc.snapDir = dir
-		fmt.Printf("-kill without -snapshot-dir: persisting node registries under %s for the warm restart\n", dir)
+		fmt.Printf("persisting node registries under %s (needed by -kill / -disk-fault)\n", dir)
+	}
+	// The fault is armed only after enrollment (below), so the demo
+	// always shows a warmed node losing its disk — never a node that
+	// cannot even enroll its shard.
+	var diskInj *faultfs.Injector
+	var diskPlan faultfs.Plan
+	switch fc.diskFault {
+	case "":
+	case "fsync":
+		diskPlan = faultfs.Plan{SyncErrOn: 1, Err: errors.New("injected: fsync: input/output error")}
+	case "enospc":
+		diskPlan = faultfs.Plan{WriteErrAfter: 1, Err: errors.New("injected: no space left on device")}
+	default:
+		return fmt.Errorf("unknown -disk-fault %q (want fsync or enospc)", fc.diskFault)
 	}
 	prog, err := w.Assemble()
 	if err != nil {
@@ -138,6 +160,10 @@ func runFederated(devices, attacked, stalled, dropping int, attackName, workload
 		if fc.snapDir != "" {
 			nc.Dir = filepath.Join(fc.snapDir, string(nc.ID))
 		}
+		if i == 0 && fc.diskFault != "" {
+			diskInj = faultfs.New(faultfs.OS{}, faultfs.Plan{})
+			nc.FS = diskInj
+		}
 		return nc
 	}
 	startNode := func(i int) (*nodeHandle, error) {
@@ -148,7 +174,7 @@ func runFederated(devices, attacked, stalled, dropping int, attackName, workload
 		return &nodeHandle{node: n}, nil
 	}
 
-	coord := fed.NewCoordinator(fed.Config{Obs: hub})
+	coord := fed.NewCoordinator(fed.Config{Obs: hub, Replicas: fc.replicas})
 	defer coord.Close()
 	handles := make([]*nodeHandle, fc.nodes)
 	for i := range handles {
@@ -166,7 +192,11 @@ func runFederated(devices, attacked, stalled, dropping int, attackName, workload
 	if fc.snapDir != "" {
 		persisted = "snapshot/WAL under " + fc.snapDir
 	}
-	fmt.Printf("federation: %d verifier nodes (%s)\n", fc.nodes, persisted)
+	replicas := fc.replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	fmt.Printf("federation: %d verifier nodes, %d replica(s) per device (%s)\n", fc.nodes, replicas, persisted)
 
 	progID, err := coord.RegisterProgram(prog, core.Config{}, [][]uint32{w.Input})
 	if err != nil {
@@ -216,6 +246,11 @@ func runFederated(devices, attacked, stalled, dropping int, attackName, workload
 	}
 	fmt.Printf("enrolled %d devices across %d nodes (%d armed with %q, %d stalled, %d dropping) in %v\n",
 		devices, fc.nodes, attacked, atk.Name, stalled, dropping, time.Since(start).Round(time.Millisecond))
+	if diskInj != nil {
+		diskInj.Arm(diskPlan)
+		fmt.Printf("armed disk fault %q on %s (%d bytes already durable)\n",
+			fc.diskFault, handles[0].node.ID(), diskInj.Stats().BytesWritten)
+	}
 
 	sweep := func(label string) error {
 		v, err := coord.Sweep(progID, w.Input, false)
@@ -228,6 +263,53 @@ func runFederated(devices, attacked, stalled, dropping int, attackName, workload
 	for i := 0; i < sweeps; i++ {
 		if err := sweep(fmt.Sprintf("sweep %d", i+1)); err != nil {
 			return err
+		}
+	}
+
+	if fc.killMid {
+		victim := handles[0]
+		fmt.Printf("\n--- chaos: killing %s DURING the next sweep (failover needs -replicas >= 2) ---\n", victim.node.ID())
+		timer := time.AfterFunc(2*time.Millisecond, victim.kill)
+		v, err := coord.Sweep(progID, w.Input, false)
+		timer.Stop()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mid-sweep-kill sweep: %v\n", v)
+		if len(v.FailedOver) > 0 {
+			fmt.Printf("failed over %d device(s) to surviving replicas in %d wave(s):\n", len(v.FailedOver), v.Waves)
+			shown := 0
+			for id, to := range v.FailedOver {
+				fmt.Printf("  %s → %s\n", id, to)
+				if shown++; shown >= 10 {
+					fmt.Println("  ...")
+					break
+				}
+			}
+		}
+		if len(v.Uncovered) > 0 {
+			fmt.Printf("UNCOVERED after failover: %d device(s) — no live replica held them\n", len(v.Uncovered))
+		}
+		if err := sweep("post-failover sweep"); err != nil {
+			return err
+		}
+	}
+
+	if fc.diskFault != "" {
+		n := handles[0].node
+		fmt.Printf("\n--- disk fault %q on %s ---\n", fc.diskFault, n.ID())
+		if lame, reason := n.Health(); lame {
+			fmt.Printf("%s is a lame duck (read-only): %s\n", n.ID(), reason)
+		} else {
+			fmt.Printf("%s still reports healthy storage (fault not yet hit; reason=%q)\n", n.ID(), reason)
+		}
+		if err := sweep("degraded-storage sweep"); err != nil {
+			return err
+		}
+		if err := coord.Enroll("probe-enroll", progID, nil, "127.0.0.1:1"); err != nil {
+			fmt.Printf("enroll on the degraded federation refused: %v\n", err)
+		} else {
+			fmt.Println("enroll on the degraded federation accepted (device placed on a healthy replica)")
 		}
 	}
 
@@ -273,11 +355,11 @@ func runFederated(devices, attacked, stalled, dropping int, attackName, workload
 	}
 
 	if fr := hub.Flight; fr != nil && fr.Len() > 0 {
-		fmt.Println("\ncoordinator flight recorder (topology + rebalance events):")
+		fmt.Println("\ncoordinator flight recorder (topology, rebalance, failover, lame-duck events):")
 		topo := 0
 		for _, e := range fr.Events() {
 			switch e.Kind {
-			case obs.KindNodeJoin, obs.KindNodeLeave, obs.KindRebalance:
+			case obs.KindNodeJoin, obs.KindNodeLeave, obs.KindRebalance, obs.KindFailover, obs.KindLameDuck:
 				fmt.Printf("  #%d %s %s %s\n", e.Seq, e.Kind, e.Device, e.Detail)
 				topo++
 			}

@@ -26,9 +26,12 @@
 // per-node registries and chaos:
 //
 //	lofat-fleet -nodes 3                         # 3 verifier nodes, ring-sharded
+//	lofat-fleet -nodes 3 -replicas 2             # every device held by 2 nodes (warm standby)
 //	lofat-fleet -nodes 3 -snapshot-dir /tmp/fed  # snapshot/WAL-persistent registries
 //	lofat-fleet -nodes 3 -kill                   # crash node-0 mid-run, warm-restart, rejoin
+//	lofat-fleet -nodes 3 -replicas 2 -kill-during-sweep  # crash node-0 MID-sweep; replicas fail over
 //	lofat-fleet -nodes 3 -join                   # join a 4th node after the sweeps, rebalance
+//	lofat-fleet -nodes 3 -disk-fault fsync       # node-0's disk dies; lame-duck read-only mode
 package main
 
 import (
@@ -73,9 +76,12 @@ func main() {
 	breaker := flag.Int("breaker", 3, "consecutive failed rounds that trip a device's circuit breaker (negative disables)")
 
 	nodes := flag.Int("nodes", 0, "federate across this many verifier nodes (0 = single service)")
+	replicas := flag.Int("replicas", 1, "distinct verifier nodes holding each device's state (federated mode)")
 	snapDir := flag.String("snapshot-dir", "", "persist each node's registry (snapshot + WAL) under this directory")
 	killNode := flag.Bool("kill", false, "crash node-0 after the sweeps, then warm-restart and rejoin it (federated mode)")
+	killMid := flag.Bool("kill-during-sweep", false, "crash node-0 in the middle of a sweep; surviving replicas take over (federated mode)")
 	joinNode := flag.Bool("join", false, "join one extra node after the sweeps and rebalance (federated mode)")
+	diskFault := flag.String("disk-fault", "", "inject a storage fault into node-0: fsync (lame-duck path) or enospc (federated mode)")
 
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /flight and pprof on this address (empty = off)")
 	pprofOn := flag.Bool("pprof", true, "mount /debug/pprof/ on the metrics server (with -metrics-addr)")
@@ -97,11 +103,18 @@ func main() {
 	o := obsConfig{metricsAddr: *metricsAddr, pprof: *pprofOn, traceOut: *traceOut, flightCap: *flightCap}
 	var err error
 	if *nodes > 0 {
-		fc := fedConfig{nodes: *nodes, snapDir: *snapDir, kill: *killNode, join: *joinNode}
+		if *killNode && *killMid {
+			fmt.Fprintln(os.Stderr, "lofat-fleet: -kill and -kill-during-sweep both crash node-0; pick one")
+			os.Exit(2)
+		}
+		fc := fedConfig{
+			nodes: *nodes, replicas: *replicas, snapDir: *snapDir,
+			kill: *killNode, killMid: *killMid, join: *joinNode, diskFault: *diskFault,
+		}
 		err = runFederated(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, fc, o)
 	} else {
-		if *killNode || *joinNode || *snapDir != "" {
-			fmt.Fprintln(os.Stderr, "lofat-fleet: -kill/-join/-snapshot-dir need federated mode (-nodes N)")
+		if *killNode || *killMid || *joinNode || *snapDir != "" || *replicas != 1 || *diskFault != "" {
+			fmt.Fprintln(os.Stderr, "lofat-fleet: -kill/-kill-during-sweep/-join/-snapshot-dir/-replicas/-disk-fault need federated mode (-nodes N)")
 			os.Exit(2)
 		}
 		err = run(*devices, *attacked, *stalled, *dropping, *attackName, *workload, *sweeps, cfg, *interval, *duration, o)

@@ -13,10 +13,11 @@ import (
 
 // runFederated verifies every mutant of one seed through the federated
 // path: a coordinator fanning sweeps out to three verifier nodes, the
-// mutants sharded across them by the placement ring. Like runFleet it
-// contributes two verdicts per mutation — a direct sweep and, after
-// releasing the quarantines it caused, a streamed sweep.
-func runFederated(t *testing.T, sub *subject, muts []*Mutation) map[string][]Verdict {
+// mutants sharded across them by the placement ring (replicas-wide
+// replica sets; 1 = single-owner). Like runFleet it contributes two
+// verdicts per mutation — a direct sweep and, after releasing the
+// quarantines it caused, a streamed sweep.
+func runFederated(t *testing.T, sub *subject, muts []*Mutation, replicas int) map[string][]Verdict {
 	t.Helper()
 	devices := make(map[string]*mutantDevice, len(muts))
 	addrOf := func(m *Mutation) string { return "mem://" + m.Name }
@@ -36,7 +37,7 @@ func runFederated(t *testing.T, sub *subject, muts []*Mutation) map[string][]Ver
 		return client, nil
 	}
 
-	coord := fed.NewCoordinator(fed.Config{})
+	coord := fed.NewCoordinator(fed.Config{Replicas: replicas})
 	defer coord.Close()
 	for i := 0; i < 3; i++ {
 		node, err := fed.NewNode(fed.NodeConfig{
@@ -102,7 +103,7 @@ func runFederated(t *testing.T, sub *subject, muts []*Mutation) map[string][]Ver
 	if err != nil {
 		t.Fatalf("federated direct sweep: %v", err)
 	}
-	if v.NodesOK != 3 || v.Devices != len(muts) {
+	if v.NodesOK != 3 || v.Devices != len(muts) || len(v.Uncovered) != 0 {
 		t.Fatalf("federated sweep did not cover the corpus: %s", v)
 	}
 	collect("federated-direct", 1)
@@ -149,7 +150,7 @@ func TestFederatedCrossPathAgreement(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: fleet path: %v", seed, err)
 		}
-		fedVerdicts := runFederated(t, sub, muts)
+		fedVerdicts := runFederated(t, sub, muts, 1)
 
 		for _, mut := range muts {
 			res := ScenarioResult{
@@ -167,6 +168,56 @@ func TestFederatedCrossPathAgreement(t *testing.T) {
 			}
 			for _, f := range checkScenario(&res, mut) {
 				t.Errorf("seed %d mutation %s: %s", seed, mut.Name, f)
+			}
+		}
+	}
+}
+
+// TestFederatedReplicatedAgreement re-runs the federated path with a
+// replication factor of 2 and asserts replication is invisible to the
+// measurement: every mutant classifies identically to the single-owner
+// federation and to its ground-truth label. Warm standby replicas must
+// never double-challenge a device — a second challenge would consume a
+// one-shot mutation and flip the verdict.
+func TestFederatedReplicatedAgreement(t *testing.T) {
+	seeds := 3
+	if testing.Short() {
+		seeds = 2
+	}
+	e := New(Config{Seeds: seedRange(seeds)})
+	for _, seed := range e.cfg.Seeds {
+		sub, err := buildSubject(seed, &e.cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var muts []*Mutation
+		for _, b := range builders() {
+			if mut, _ := b.build(sub, mutationRand(seed, b.name)); mut != nil {
+				muts = append(muts, mut)
+			}
+		}
+		single := runFederated(t, sub, muts, 1)
+		replicated := runFederated(t, sub, muts, 2)
+		for _, mut := range muts {
+			a, b := single[mut.Name], replicated[mut.Name]
+			if len(a) != len(b) {
+				t.Fatalf("seed %d mutation %s: %d vs %d verdicts across replication factors", seed, mut.Name, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Class != b[i].Class || a[i].Accepted != b[i].Accepted {
+					t.Errorf("seed %d mutation %s %s: R=1 classified %q, R=2 %q",
+						seed, mut.Name, a[i].Path, a[i].Class, b[i].Class)
+				}
+			}
+			res := ScenarioResult{
+				Seed:     seed,
+				Mutation: mut.Name,
+				Class:    mut.Class,
+				Expect:   mut.Expect.String(),
+				Verdicts: b,
+			}
+			for _, f := range checkScenario(&res, mut) {
+				t.Errorf("seed %d mutation %s (R=2): %s", seed, mut.Name, f)
 			}
 		}
 	}

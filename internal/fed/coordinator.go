@@ -22,9 +22,14 @@ type DialFunc func() (io.ReadWriteCloser, error)
 
 // Config parameterises a Coordinator. Zero values select defaults.
 type Config struct {
-	// Replicas is the virtual-node count per node on the placement ring
-	// (default DefaultReplicas).
+	// Replicas is the replication factor R: every device is placed on
+	// an ordered set of R distinct nodes — the first live one acts for
+	// it each sweep, the rest hold warm state and take over mid-sweep
+	// when it fails (default 1: no replication, single-owner placement).
 	Replicas int
+	// VirtualNodes is the virtual-node count per physical node on the
+	// placement ring (default DefaultReplicas).
+	VirtualNodes int
 	// ReadTimeout / WriteTimeout are the per-phase deadlines on
 	// control-plane exchanges other than sweeps (default 30s each; a
 	// negative value disables that deadline).
@@ -54,7 +59,10 @@ type Config struct {
 
 func (c *Config) fill() {
 	if c.Replicas <= 0 {
-		c.Replicas = DefaultReplicas
+		c.Replicas = 1
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultReplicas
 	}
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = 30 * time.Second
@@ -101,19 +109,50 @@ func (c *Config) sweepTimeouts() attest.Timeouts {
 
 // nodeClient is the coordinator's handle on one member node: a
 // persistent control-plane connection (re-dialled on failure) plus the
-// node's circuit-breaker bookkeeping. mu serialises exchanges — the
-// control plane is one request/response stream per node.
+// node's circuit-breaker bookkeeping.
+//
+// Two locks, deliberately: exMu serialises exchanges (the control
+// plane is one request/response stream per node), while mu guards the
+// connection handle and breaker state. They used to be one lock, which
+// meant Leave's close() queued behind an in-flight sweep exchange for
+// up to the full sweep timeout; with the split, close() severs the
+// conn immediately — the blocked exchange takes a transport error and
+// the closed flag stops its retry loop from re-dialling a node that is
+// no longer a member.
 type nodeClient struct {
 	id   NodeID
 	dial DialFunc
 
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
+	exMu sync.Mutex // serialises request/response exchanges
+
+	mu     sync.Mutex // guards everything below
+	conn   io.ReadWriteCloser
+	closed bool
 
 	fails      int
 	breaker    fleet.BreakerState
 	breakerGen uint64
-	devices    atomic.Int64 // last reported enrolment, for the gauge
+	// lame mirrors the node's last reported lame-duck flag; the sweep
+	// planner deprioritises lame nodes when choosing acting replicas.
+	lame    bool
+	devices atomic.Int64 // last reported enrolment, for the gauge
+}
+
+// isLame reports the node's last known lame-duck state.
+func (nc *nodeClient) isLame() bool {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return nc.lame
+}
+
+// setLame records the lame-duck flag from a sweep report; it reports
+// whether the flag flipped on.
+func (nc *nodeClient) setLame(lame bool) (flipped bool) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	flipped = lame && !nc.lame
+	nc.lame = lame
+	return flipped
 }
 
 // deviceMeta is the coordinator's own record of an enrolment — enough
@@ -139,6 +178,11 @@ type Coordinator struct {
 	programs map[attest.ProgramID]registerReq
 	devices  map[fleet.DeviceID]deviceMeta
 	sweepGen uint64
+	// topoGen counts ring/membership mutations; a sweep re-reads its
+	// placement between failover waves when it observes a newer
+	// generation, so a Leave or Rejoin landing mid-sweep cannot leave a
+	// wave routing devices by a ring that no longer exists.
+	topoGen uint64
 }
 
 type coordMetrics struct {
@@ -149,6 +193,11 @@ type coordMetrics struct {
 	breakerResets obs.Counter
 	rebalanced    obs.Counter
 	transferred   obs.Counter
+
+	failoverDevices  obs.Counter
+	failoverWaves    obs.Counter
+	uncoveredDevices obs.Counter
+	syncedRecords    obs.Counter
 }
 
 // NewCoordinator builds an empty federation.
@@ -156,7 +205,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 	cfg.fill()
 	c := &Coordinator{
 		cfg:      cfg,
-		ring:     NewRing(cfg.Replicas),
+		ring:     NewRing(cfg.VirtualNodes),
 		clients:  make(map[NodeID]*nodeClient),
 		programs: make(map[attest.ProgramID]registerReq),
 		devices:  make(map[fleet.DeviceID]deviceMeta),
@@ -173,6 +222,19 @@ func NewCoordinator(cfg Config) *Coordinator {
 			reg.RegisterCounter("lofat_fed_node_breaker_resets", "", "Node circuit-breaker resets.", &c.metrics.breakerResets)
 			reg.RegisterCounter("lofat_fed_rebalanced_devices", "", "Devices reassigned by ring changes.", &c.metrics.rebalanced)
 			reg.RegisterCounter("lofat_fed_transferred_devices", "", "Reassigned devices moved with full state.", &c.metrics.transferred)
+			reg.RegisterCounter("lofat_fed_failover_devices", "", "Devices re-issued against a replica after their acting node failed mid-sweep.", &c.metrics.failoverDevices)
+			reg.RegisterCounter("lofat_fed_failover_waves", "", "Extra placement waves federated sweeps needed beyond the first.", &c.metrics.failoverWaves)
+			reg.RegisterCounter("lofat_fed_uncovered_devices", "", "Devices no live replica could verify in a sweep.", &c.metrics.uncoveredDevices)
+			reg.RegisterCounter("lofat_fed_synced_records", "", "Device records pushed to replicas by anti-entropy.", &c.metrics.syncedRecords)
+			reg.RegisterGaugeFunc("lofat_fed_lame_nodes", "", "Member nodes in lame-duck (read-only) service.", func() int64 {
+				var lame int64
+				for _, nc := range c.clientList() {
+					if nc.isLame() {
+						lame++
+					}
+				}
+				return lame
+			})
 			reg.RegisterGaugeFunc("lofat_fed_nodes", "", "Member verifier nodes.", func() int64 {
 				c.mu.Lock()
 				defer c.mu.Unlock()
@@ -230,6 +292,7 @@ func (c *Coordinator) Join(id NodeID, dial DialFunc) (*RebalanceReport, error) {
 	old := c.ring.Clone()
 	c.ring.Add(id)
 	c.clients[id] = nc
+	c.topoGen++
 	c.mu.Unlock()
 	c.recordTopology(obs.KindNodeJoin, id, "")
 	rep := c.rebalance(old, id, true)
@@ -247,10 +310,12 @@ func (c *Coordinator) Leave(id NodeID) (*RebalanceReport, error) {
 	}
 	old := c.ring.Clone()
 	c.ring.Remove(id)
+	c.topoGen++
 	c.mu.Unlock()
 	rep := c.rebalance(old, id, false)
 	c.mu.Lock()
 	delete(c.clients, id)
+	c.topoGen++
 	c.mu.Unlock()
 	nc.close()
 	c.recordTopology(obs.KindNodeLeave, id, "")
@@ -260,10 +325,14 @@ func (c *Coordinator) Leave(id NodeID) (*RebalanceReport, error) {
 // Rejoin reattaches a node that crashed and restarted without changing
 // the ring: the client connection and breaker are reset, programs are
 // re-registered (idempotent node-side; a warm node adopts its restored
-// devices here), and any device the ring assigns to the node that it
-// does not hold — a cold restart, or enrolments that happened while it
-// was down are NOT possible (the ring still owned them), but a wiped
-// data directory is — is re-enrolled fresh from coordinator metadata.
+// devices here). State then reconciles in two tiers. Devices with a
+// live replica on another node are bulk-fetched from that peer and
+// pushed onto the rejoiner — the peers kept acting while this node was
+// down, so their copy is authoritative and carries quarantines and
+// breaker history the rejoiner's own store missed. Devices with no
+// live peer (R=1, or every other replica dead) fall back to the old
+// path: keep whatever the node restored from disk, re-enroll fresh
+// from coordinator metadata only if it holds nothing.
 func (c *Coordinator) Rejoin(id NodeID, dial DialFunc) error {
 	c.mu.Lock()
 	if !c.ring.Has(id) {
@@ -275,8 +344,24 @@ func (c *Coordinator) Rejoin(id NodeID, dial DialFunc) error {
 	}
 	nc := &nodeClient{id: id, dial: dial}
 	c.clients[id] = nc
+	c.topoGen++
 	progs := c.programSpecs()
 	owned := c.ownedBy(id)
+	peers := make(map[NodeID]*nodeClient, len(c.clients))
+	for pid, pc := range c.clients {
+		if pid != id {
+			peers[pid] = pc
+		}
+	}
+	peerOf := make(map[fleet.DeviceID]NodeID, len(owned))
+	for _, dev := range owned {
+		for _, o := range c.ring.AssignN(string(dev.id), c.cfg.Replicas) {
+			if o != id && peers[o] != nil {
+				peerOf[dev.id] = o
+				break
+			}
+		}
+	}
 	c.mu.Unlock()
 
 	for _, spec := range progs {
@@ -285,7 +370,47 @@ func (c *Coordinator) Rejoin(id NodeID, dial DialFunc) error {
 			return fmt.Errorf("fed: rejoin %s: register program: %w", id, err)
 		}
 	}
+
+	// Tier 1: pull authoritative records from live peer replicas, then
+	// push them onto the rejoiner (enroll-or-overwrite node-side).
+	// Failures demote the affected devices to the tier-2 path instead of
+	// failing the rejoin — a flaky peer must not keep a node out.
+	byPeer := make(map[NodeID][]fleet.DeviceID)
 	for _, dev := range owned {
+		if peer, ok := peerOf[dev.id]; ok {
+			byPeer[peer] = append(byPeer[peer], dev.id)
+		}
+	}
+	synced := make(map[fleet.DeviceID]bool)
+	peerIDs := make([]NodeID, 0, len(byPeer))
+	for peer := range byPeer {
+		peerIDs = append(peerIDs, peer)
+	}
+	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
+	for _, peer := range peerIDs {
+		ids := byPeer[peer]
+		var recs recordsResp
+		if _, err := c.request(peers[peer], msgFetch, fetchReq{Devices: ids}, msgRecords, &recs, c.cfg.timeouts()); err != nil {
+			continue
+		}
+		if len(recs.Records) == 0 {
+			continue
+		}
+		if err := c.pushRecords(nc, recs.Records); err != nil {
+			return fmt.Errorf("fed: rejoin %s: sync state from %s: %w", id, peer, err)
+		}
+		c.metrics.syncedRecords.Add(uint64(len(recs.Records)))
+		for _, rec := range recs.Records {
+			synced[rec.ID] = true
+		}
+	}
+
+	// Tier 2: no live peer had the device — trust the node's own
+	// restored copy, re-enrolling fresh only when it holds nothing.
+	for _, dev := range owned {
+		if synced[dev.id] {
+			continue
+		}
 		var st stateResp
 		if _, err := c.request(nc, msgGet, deviceReq{Device: dev.id}, msgState, &st, c.cfg.timeouts()); err != nil {
 			return fmt.Errorf("fed: rejoin %s: query device %q: %w", id, dev.id, err)
@@ -302,18 +427,41 @@ func (c *Coordinator) Rejoin(id NodeID, dial DialFunc) error {
 	return nil
 }
 
+// syncChunk bounds one msgSync payload; anti-entropy and rejoin pushes
+// split larger record sets so no frame nears the transport's 16 MiB cap.
+const syncChunk = 2048
+
+// pushRecords upserts records onto a node in bounded chunks.
+func (c *Coordinator) pushRecords(nc *nodeClient, recs []DeviceRecord) error {
+	for len(recs) > 0 {
+		chunk := recs
+		if len(chunk) > syncChunk {
+			chunk = chunk[:syncChunk]
+		}
+		recs = recs[len(chunk):]
+		var resp okResp
+		if _, err := c.request(nc, msgSync, syncReq{Records: chunk}, msgOK, &resp, c.cfg.timeouts()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 type ownedDevice struct {
 	id   fleet.DeviceID
 	meta deviceMeta
 }
 
-// ownedBy lists devices the ring assigns to node, sorted. Caller holds
-// c.mu.
+// ownedBy lists devices whose replica set includes node, sorted. Caller
+// holds c.mu.
 func (c *Coordinator) ownedBy(node NodeID) []ownedDevice {
 	var out []ownedDevice
 	for id, meta := range c.devices {
-		if owner, ok := c.ring.Assign(string(id)); ok && owner == node {
-			out = append(out, ownedDevice{id: id, meta: meta})
+		for _, owner := range c.ring.AssignN(string(id), c.cfg.Replicas) {
+			if owner == node {
+				out = append(out, ownedDevice{id: id, meta: meta})
+				break
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
@@ -335,31 +483,58 @@ func freshState(id fleet.DeviceID, meta deviceMeta) fleet.DeviceState {
 	return fleet.DeviceState{ID: id, Addr: meta.Addr, Program: meta.Program, Pub: meta.Pub}
 }
 
-// rebalance moves every device whose owner changed between the old and
-// new ring. For each moved device the coordinator first tries a
-// stateful hand-off — Transfer from the old owner, enroll-with-state on
-// the new — and falls back to a fresh enrolment from its own metadata
-// when the old owner is gone or failing (the changed node, on a leave,
-// may already be dead; that must not strand its devices).
+// rebalance moves every (device, replica) assignment that changed
+// between the old and new ring. For each replica a device gained, the
+// coordinator first tries a stateful hand-off — Transfer from a holder
+// the device lost (the leave-drain path: state moves off the departing
+// node), then a copy from a surviving replica — and falls back to a
+// fresh enrolment from its own metadata when neither source answers
+// (the changed node, on a leave, may already be dead; that must not
+// strand its devices). Lost holders that no hand-off consumed are then
+// drained with a discard-Transfer so standby copies do not accumulate
+// on nodes the ring no longer assigns.
 func (c *Coordinator) rebalance(old *Ring, changed NodeID, joined bool) *RebalanceReport {
 	rep := &RebalanceReport{Node: changed, Joined: joined}
 	c.mu.Lock()
 	type move struct {
-		id       fleet.DeviceID
-		meta     deviceMeta
-		from, to NodeID
+		id        fleet.DeviceID
+		meta      deviceMeta
+		added     []NodeID
+		removed   []NodeID
+		survivors []NodeID
 	}
 	var moves []move
 	for id, meta := range c.devices {
-		oldOwner, okOld := old.Assign(string(id))
-		newOwner, okNew := c.ring.Assign(string(id))
-		if !okNew {
+		oldOwners := old.AssignN(string(id), c.cfg.Replicas)
+		newOwners := c.ring.AssignN(string(id), c.cfg.Replicas)
+		if len(newOwners) == 0 {
 			continue // ring emptied; nothing to place onto
 		}
-		if okOld && oldOwner == newOwner {
+		was := make(map[NodeID]bool, len(oldOwners))
+		for _, o := range oldOwners {
+			was[o] = true
+		}
+		now := make(map[NodeID]bool, len(newOwners))
+		for _, o := range newOwners {
+			now[o] = true
+		}
+		mv := move{id: id, meta: meta}
+		for _, o := range newOwners {
+			if was[o] {
+				mv.survivors = append(mv.survivors, o)
+			} else {
+				mv.added = append(mv.added, o)
+			}
+		}
+		for _, o := range oldOwners {
+			if !now[o] {
+				mv.removed = append(mv.removed, o)
+			}
+		}
+		if len(mv.added) == 0 && len(mv.removed) == 0 {
 			continue
 		}
-		moves = append(moves, move{id: id, meta: meta, from: oldOwner, to: newOwner})
+		moves = append(moves, mv)
 	}
 	sort.Slice(moves, func(i, j int) bool { return moves[i].id < moves[j].id })
 	clients := make(map[NodeID]*nodeClient, len(c.clients))
@@ -371,34 +546,83 @@ func (c *Coordinator) rebalance(old *Ring, changed NodeID, joined bool) *Rebalan
 	for _, mv := range moves {
 		rep.Moved++
 		c.metrics.rebalanced.Inc()
-		state := freshState(mv.id, mv.meta)
-		stateful := false
-		if from := clients[mv.from]; from != nil {
-			var st stateResp
-			if _, err := c.request(from, msgTransfer, deviceReq{Device: mv.id}, msgState, &st, c.cfg.timeouts()); err == nil && st.Found {
-				state = st.State
+		removedPool := append([]NodeID(nil), mv.removed...)
+		stateful, recovered := false, false
+		for _, target := range mv.added {
+			state := freshState(mv.id, mv.meta)
+			got := false
+			// Preferred source: a holder the device lost — Transfer both
+			// moves the state and drains the old copy in one exchange.
+			if len(removedPool) > 0 {
+				if from := clients[removedPool[0]]; from != nil {
+					var st stateResp
+					if _, err := c.request(from, msgTransfer, deviceReq{Device: mv.id}, msgState, &st, c.cfg.timeouts()); err == nil && st.Found {
+						state = st.State
+						got = true
+						removedPool = removedPool[1:]
+					}
+				}
+			}
+			// Else copy from a surviving replica (which keeps its copy).
+			if !got {
+				for _, src := range mv.survivors {
+					if from := clients[src]; from != nil {
+						var st stateResp
+						if _, err := c.request(from, msgGet, deviceReq{Device: mv.id}, msgState, &st, c.cfg.timeouts()); err == nil && st.Found {
+							state = st.State
+							got = true
+							break
+						}
+					}
+				}
+			}
+			to := clients[target]
+			if to == nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: new owner %s has no client", mv.id, target))
+				continue
+			}
+			var ok okResp
+			if _, err := c.request(to, msgEnroll, enrollReq{State: state}, msgOK, &ok, c.cfg.timeouts()); err != nil {
+				// A refusal usually means the target already holds the
+				// device — a warm copy from an earlier topology, or a
+				// concurrent sweep's anti-entropy push landing first.
+				// Upsert the authoritative hand-off state over it rather
+				// than failing the move; transport errors stay errors.
+				var ne *NodeError
+				if !errors.As(err, &ne) {
+					rep.Errors = append(rep.Errors, fmt.Sprintf("%s: enroll on %s: %v", mv.id, target, err))
+					continue
+				}
+				if serr := c.pushRecords(to, []DeviceRecord{RecordFromState(state)}); serr != nil {
+					rep.Errors = append(rep.Errors, fmt.Sprintf("%s: enroll on %s: %v", mv.id, target, err))
+					continue
+				}
+			}
+			if got {
 				stateful = true
+			} else {
+				recovered = true
+			}
+			if c.flight.Enabled() {
+				c.flight.Record(obs.Event{Device: string(mv.id), Kind: obs.KindRebalance,
+					Detail: fmt.Sprintf("→ %s", target)})
 			}
 		}
-		to := clients[mv.to]
-		if to == nil {
-			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: new owner %s has no client", mv.id, mv.to))
-			continue
+		// Drain surplus copies no hand-off consumed (best-effort: the
+		// holder may already be dead, and a stale standby copy is only
+		// wasted memory, never authoritative).
+		for _, holder := range removedPool {
+			if from := clients[holder]; from != nil {
+				var st stateResp
+				_, _ = c.request(from, msgTransfer, deviceReq{Device: mv.id}, msgState, &st, c.cfg.timeouts())
+			}
 		}
-		var ok okResp
-		if _, err := c.request(to, msgEnroll, enrollReq{State: state}, msgOK, &ok, c.cfg.timeouts()); err != nil {
-			rep.Errors = append(rep.Errors, fmt.Sprintf("%s: enroll on %s: %v", mv.id, mv.to, err))
-			continue
-		}
-		if stateful {
+		switch {
+		case stateful:
 			rep.Transferred++
 			c.metrics.transferred.Inc()
-		} else {
+		case recovered:
 			rep.Recovered++
-		}
-		if c.flight.Enabled() {
-			c.flight.Record(obs.Event{Device: string(mv.id), Kind: obs.KindRebalance,
-				Detail: fmt.Sprintf("%s → %s", mv.from, mv.to)})
 		}
 	}
 	return rep
@@ -433,25 +657,40 @@ func (c *Coordinator) RegisterProgram(prog *asm.Program, devCfg core.Config, inp
 	return id, nil
 }
 
-// Enroll places a device on its ring-assigned node.
+// Enroll places a device on its full replica set: the fresh state is
+// enrolled on every owner, so standbys hold warm copies from round
+// zero. Enrolment is all-or-nothing — a replica that refuses (a lame
+// duck, say) fails the enrol and the copies already placed are rolled
+// back, keeping the invariant that an enrolled device is held by all
+// of its owners.
 func (c *Coordinator) Enroll(id fleet.DeviceID, prog attest.ProgramID, pub ed25519.PublicKey, addr string) error {
 	c.mu.Lock()
 	if _, dup := c.devices[id]; dup {
 		c.mu.Unlock()
 		return fmt.Errorf("fed: device %q already enrolled", id)
 	}
-	owner, ok := c.ring.Assign(string(id))
-	if !ok {
+	owners := c.ring.AssignN(string(id), c.cfg.Replicas)
+	if len(owners) == 0 {
 		c.mu.Unlock()
 		return fmt.Errorf("fed: no member nodes")
 	}
-	nc := c.clients[owner]
+	targets := make([]*nodeClient, len(owners))
+	for i, o := range owners {
+		targets[i] = c.clients[o]
+	}
 	meta := deviceMeta{Program: prog, Pub: append(ed25519.PublicKey(nil), pub...), Addr: addr}
 	c.mu.Unlock()
 
-	var resp okResp
-	if _, err := c.request(nc, msgEnroll, enrollReq{State: freshState(id, meta)}, msgOK, &resp, c.cfg.timeouts()); err != nil {
-		return fmt.Errorf("fed: enroll %q on %s: %w", id, owner, err)
+	state := freshState(id, meta)
+	for i, nc := range targets {
+		var resp okResp
+		if _, err := c.request(nc, msgEnroll, enrollReq{State: state}, msgOK, &resp, c.cfg.timeouts()); err != nil {
+			for _, prev := range targets[:i] {
+				var st stateResp
+				_, _ = c.request(prev, msgTransfer, deviceReq{Device: id}, msgState, &st, c.cfg.timeouts())
+			}
+			return fmt.Errorf("fed: enroll %q on %s: %w", id, owners[i], err)
+		}
 	}
 	c.mu.Lock()
 	c.devices[id] = meta
@@ -459,7 +698,8 @@ func (c *Coordinator) Enroll(id fleet.DeviceID, prog attest.ProgramID, pub ed255
 	return nil
 }
 
-// Owner reports the node the ring currently assigns a device to.
+// Owner reports the node acting for a device: the first owner in its
+// replica set — the one a fault-free sweep challenges it from.
 func (c *Coordinator) Owner(id fleet.DeviceID) (NodeID, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -469,42 +709,73 @@ func (c *Coordinator) Owner(id fleet.DeviceID) (NodeID, bool) {
 	return c.ring.Assign(string(id))
 }
 
-// Device queries a device's registry state from its owning node.
-func (c *Coordinator) Device(id fleet.DeviceID) (fleet.DeviceState, NodeID, error) {
+// replicaClients snapshots the live clients for a device's replica set,
+// in placement order.
+func (c *Coordinator) replicaClients(id fleet.DeviceID) []*nodeClient {
 	c.mu.Lock()
-	owner, ok := c.ring.Assign(string(id))
-	nc := c.clients[owner]
-	c.mu.Unlock()
-	if !ok || nc == nil {
-		return fleet.DeviceState{}, "", fmt.Errorf("fed: no owner for device %q", id)
+	defer c.mu.Unlock()
+	var out []*nodeClient
+	for _, o := range c.ring.AssignN(string(id), c.cfg.Replicas) {
+		if nc := c.clients[o]; nc != nil {
+			out = append(out, nc)
+		}
 	}
-	var st stateResp
-	if _, err := c.request(nc, msgGet, deviceReq{Device: id}, msgState, &st, c.cfg.timeouts()); err != nil {
-		return fleet.DeviceState{}, owner, err
-	}
-	if !st.Found {
-		return fleet.DeviceState{}, owner, fmt.Errorf("fed: device %q not held by node %s", id, owner)
-	}
-	return st.State, owner, nil
+	return out
 }
 
-// Release lifts a device's quarantine on its owning node.
+// Device queries a device's registry state, walking its replica set in
+// placement order so a dead primary does not mask a live copy.
+func (c *Coordinator) Device(id fleet.DeviceID) (fleet.DeviceState, NodeID, error) {
+	cands := c.replicaClients(id)
+	if len(cands) == 0 {
+		return fleet.DeviceState{}, "", fmt.Errorf("fed: no owner for device %q", id)
+	}
+	var lastErr error
+	lastOwner := cands[0].id
+	for _, nc := range cands {
+		var st stateResp
+		if _, err := c.request(nc, msgGet, deviceReq{Device: id}, msgState, &st, c.cfg.timeouts()); err != nil {
+			lastErr, lastOwner = err, nc.id
+			continue
+		}
+		if st.Found {
+			return st.State, nc.id, nil
+		}
+		lastErr, lastOwner = fmt.Errorf("fed: device %q not held by node %s", id, nc.id), nc.id
+	}
+	return fleet.DeviceState{}, lastOwner, lastErr
+}
+
+// Release lifts a device's quarantine on every reachable replica — the
+// copies must agree immediately, not at the next anti-entropy pass, or
+// a failover could resurrect the quarantine the operator just lifted.
+// It succeeds when at least one holder applied the release.
 func (c *Coordinator) Release(id fleet.DeviceID) error {
-	c.mu.Lock()
-	owner, ok := c.ring.Assign(string(id))
-	nc := c.clients[owner]
-	c.mu.Unlock()
-	if !ok || nc == nil {
+	cands := c.replicaClients(id)
+	if len(cands) == 0 {
 		return fmt.Errorf("fed: no owner for device %q", id)
 	}
-	var st stateResp
-	if _, err := c.request(nc, msgRelease, deviceReq{Device: id}, msgState, &st, c.cfg.timeouts()); err != nil {
-		return err
+	applied := false
+	var firstErr error
+	for _, nc := range cands {
+		var st stateResp
+		if _, err := c.request(nc, msgRelease, deviceReq{Device: id}, msgState, &st, c.cfg.timeouts()); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if st.Found {
+			applied = true
+		}
 	}
-	if !st.Found {
-		return fmt.Errorf("fed: device %q not held by node %s", id, owner)
+	if applied {
+		return nil
 	}
-	return nil
+	if firstErr != nil {
+		return firstErr
+	}
+	return fmt.Errorf("fed: device %q not held by node %s", id, cands[0].id)
 }
 
 // Nodes lists member node IDs, sorted.
@@ -533,44 +804,284 @@ func (c *Coordinator) clientList() []*nodeClient {
 	return out
 }
 
-// Sweep fans one federated sweep out to every member node for the given
-// program and merges their reports into a single fleet verdict. Nodes
-// sweep concurrently; a node that fails its exchange (after the
-// configured retries) is attributed in the verdict rather than sinking
-// the sweep, and its breaker advances so later sweeps skip it until a
-// half-open probe succeeds.
+// Sweep fans one federated sweep out over the program's devices and
+// merges per-node reports into a single fleet verdict. Placement is
+// wave-based: wave 1 challenges every device from the first live,
+// non-lame node in its replica set (and still contacts owner-less
+// member nodes, keeping node health observable); when a node's breaker
+// is open or its exchange fails mid-sweep, the devices it was acting
+// for are re-issued against their next live replica in the following
+// wave of the SAME sweep, with per-device attribution in the verdict.
+// A device whose every replica is dead is reported Uncovered rather
+// than silently dropped. After the waves, an anti-entropy pass pushes
+// the device records the sweep changed onto their other live replicas
+// so standbys stay warm for the next failure.
 func (c *Coordinator) Sweep(prog attest.ProgramID, input []uint32, streamed bool) (*FleetVerdict, error) {
-	clients := c.clientList()
-	if len(clients) == 0 {
-		return nil, fmt.Errorf("fed: no member nodes")
-	}
 	gen := atomic.AddUint64(&c.sweepGen, 1)
 	start := time.Now()
-	reports := make([]NodeReport, len(clients))
-	var wg sync.WaitGroup
-	for i, nc := range clients {
-		wg.Add(1)
-		go func(i int, nc *nodeClient) {
-			defer wg.Done()
-			reports[i] = c.sweepNode(nc, prog, input, streamed, gen)
-		}(i, nc)
+	R := c.cfg.Replicas
+	wantDelta := R > 1
+
+	c.mu.Lock()
+	if len(c.clients) == 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fed: no member nodes")
 	}
-	wg.Wait()
+	remaining := make([]fleet.DeviceID, 0, len(c.devices))
+	for id, meta := range c.devices {
+		if meta.Program == prog {
+			remaining = append(remaining, id)
+		}
+	}
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+	topo := c.topoGen
+	memberCount := len(c.clients)
+	c.mu.Unlock()
+
+	// Per-sweep node fates. A node that skips (breaker open) or fails
+	// its exchange is dead for the remaining waves: failover reroutes
+	// its devices, it is never retried within this sweep.
+	type gateRes struct{ skip, probe bool }
+	gates := make(map[NodeID]gateRes)
+	dead := make(map[NodeID]bool)
+	folded := make(map[NodeID]NodeReport)
+	next := make(map[fleet.DeviceID]int) // replica cursor per device
+	failedOver := make(map[fleet.DeviceID]NodeID)
+	var uncovered []fleet.DeviceID
+
+	waves := 0
+	for waves <= 2*memberCount+2 { // belt: cursor advance already bounds this
+		waves++
+
+		// Snapshot membership and placement for this wave. If topology
+		// moved since the last wave (Leave/Join/Rejoin mid-sweep), the
+		// replica cursors index stale owner lists — reset them; the dead
+		// map still keeps failed nodes out.
+		c.mu.Lock()
+		clients := make(map[NodeID]*nodeClient, len(c.clients))
+		for id, nc := range c.clients {
+			clients[id] = nc
+		}
+		if c.topoGen != topo {
+			topo = c.topoGen
+			next = make(map[fleet.DeviceID]int)
+		}
+		owners := make(map[fleet.DeviceID][]NodeID, len(remaining))
+		for _, id := range remaining {
+			if _, held := c.devices[id]; !held {
+				continue // released/forgotten mid-sweep: drop, not uncovered
+			}
+			owners[id] = c.ring.AssignN(string(id), R)
+		}
+		c.mu.Unlock()
+
+		gate := func(n NodeID, nc *nodeClient) gateRes {
+			if g, ok := gates[n]; ok {
+				return g
+			}
+			skip, probe := nc.breakerCheck(gen, c.cfg.BreakerProbeAfter)
+			g := gateRes{skip: skip, probe: probe}
+			gates[n] = g
+			if skip {
+				dead[n] = true
+				folded[n] = NodeReport{Node: n, Skipped: true}
+			}
+			return g
+		}
+
+		// Group each remaining device onto its first usable replica:
+		// live, not dead this sweep, breaker closed, and not lame — a
+		// lame duck still serves sweeps, so it is the fallback of last
+		// resort before declaring the device uncovered.
+		groups := make(map[NodeID][]fleet.DeviceID)
+		picked := make(map[fleet.DeviceID]int)
+		for _, id := range remaining {
+			own := owners[id]
+			chosen, lameIdx := -1, -1
+			for j := next[id]; j < len(own); j++ {
+				n := own[j]
+				if dead[n] {
+					continue
+				}
+				nc := clients[n]
+				if nc == nil {
+					continue
+				}
+				if gate(n, nc).skip {
+					continue
+				}
+				if nc.isLame() {
+					if lameIdx < 0 {
+						lameIdx = j
+					}
+					continue
+				}
+				chosen = j
+				break
+			}
+			if chosen < 0 {
+				chosen = lameIdx
+			}
+			if chosen < 0 {
+				uncovered = append(uncovered, id)
+				continue
+			}
+			picked[id] = chosen
+			groups[own[chosen]] = append(groups[own[chosen]], id)
+		}
+		if waves == 1 {
+			// Contact every live member even if it acts for nothing: the
+			// empty exchange is the health probe that keeps NodesOK (and
+			// lame-duck reporting) covering the whole federation.
+			for n, nc := range clients {
+				if dead[n] || gate(n, nc).skip {
+					continue
+				}
+				if _, has := groups[n]; !has {
+					groups[n] = nil
+				}
+			}
+		}
+		if len(groups) == 0 {
+			break
+		}
+
+		type waveRes struct {
+			node NodeID
+			devs []fleet.DeviceID
+			rep  NodeReport
+		}
+		results := make(chan waveRes, len(groups))
+		var wg sync.WaitGroup
+		for n, devs := range groups {
+			wg.Add(1)
+			go func(n NodeID, devs []fleet.DeviceID) {
+				defer wg.Done()
+				rep := c.sweepNode(clients[n], prog, input, streamed, gen, gates[n].probe, devs, wantDelta)
+				results <- waveRes{node: n, devs: devs, rep: rep}
+			}(n, devs)
+		}
+		wg.Wait()
+		close(results)
+
+		remaining = remaining[:0]
+		for res := range results {
+			prev, seen := folded[res.node]
+			if !seen {
+				prev = NodeReport{Node: res.node}
+			}
+			folded[res.node] = foldNodeReport(prev, res.rep)
+			if res.rep.Err != "" {
+				// Whatever this node was acting for moves to the next
+				// replica in the following wave.
+				dead[res.node] = true
+				for _, id := range res.devs {
+					next[id] = picked[id] + 1
+					remaining = append(remaining, id)
+				}
+				continue
+			}
+			for _, id := range res.devs {
+				if picked[id] == 0 {
+					continue
+				}
+				// Served by a non-primary replica: mid-sweep failover.
+				failedOver[id] = res.node
+				c.metrics.failoverDevices.Inc()
+				if c.flight.Enabled() {
+					from := NodeID("?")
+					if own := owners[id]; len(own) > 0 {
+						from = own[0]
+					}
+					c.flight.Record(obs.Event{Device: string(id), Kind: obs.KindFailover, Sweep: gen,
+						Detail: fmt.Sprintf("%s → %s", from, res.node)})
+				}
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+	}
+	if len(remaining) > 0 {
+		uncovered = append(uncovered, remaining...) // wave belt tripped
+	}
+
+	if wantDelta {
+		c.antiEntropy(folded, dead)
+	}
+
+	reports := make([]NodeReport, 0, len(folded))
+	for _, rep := range folded {
+		reports = append(reports, rep)
+	}
+	sort.Slice(uncovered, func(i, j int) bool { return uncovered[i] < uncovered[j] })
 	c.metrics.sweeps.Inc()
-	return mergeVerdict(prog, input, reports, time.Since(start)), nil
+	if waves > 1 {
+		c.metrics.failoverWaves.Add(uint64(waves - 1))
+	}
+	c.metrics.uncoveredDevices.Add(uint64(len(uncovered)))
+	if len(failedOver) == 0 {
+		failedOver = nil
+	}
+	return mergeVerdict(prog, input, reports, failedOver, uncovered, waves, time.Since(start)), nil
 }
 
-// sweepNode runs one node's sweep exchange with breaker gating.
-func (c *Coordinator) sweepNode(nc *nodeClient, prog attest.ProgramID, input []uint32, streamed bool, gen uint64) NodeReport {
-	rep := NodeReport{Node: nc.id}
-	skip, probe := nc.breakerCheck(gen, c.cfg.BreakerProbeAfter)
-	if skip {
-		rep.Skipped = true
-		return rep
+// antiEntropy reconciles replicas after a sweep: every device record a
+// node's waves changed is pushed onto the device's other live replicas,
+// so a standby that takes over at the next failure starts from the
+// state the acting node just wrote (quarantines, streaks, breakers) —
+// not from the enrolment-time snapshot. Push failures are tolerated:
+// the records re-surface as drift in the next sweep's delta.
+func (c *Coordinator) antiEntropy(folded map[NodeID]NodeReport, dead map[NodeID]bool) {
+	c.mu.Lock()
+	clients := make(map[NodeID]*nodeClient, len(c.clients))
+	for id, nc := range c.clients {
+		clients[id] = nc
 	}
-	rep.Probe = probe
+	targetsOf := func(id fleet.DeviceID) []NodeID {
+		if _, held := c.devices[id]; !held {
+			return nil
+		}
+		return c.ring.AssignN(string(id), c.cfg.Replicas)
+	}
+	push := make(map[NodeID][]DeviceRecord)
+	for source, rep := range folded {
+		for _, rec := range rep.Changed {
+			for _, target := range targetsOf(rec.ID) {
+				if target == source || dead[target] || clients[target] == nil {
+					continue
+				}
+				push[target] = append(push[target], rec)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	targets := make([]NodeID, 0, len(push))
+	for t := range push {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, t := range targets {
+		if err := c.pushRecords(clients[t], push[t]); err != nil {
+			continue
+		}
+		c.metrics.syncedRecords.Add(uint64(len(push[t])))
+	}
+}
+
+// sweepNode runs one node's sweep exchange for its acting device set.
+// Breaker gating already happened at the planner; this folds the
+// outcome back into the breaker — with the twist that a node removed
+// from the federation mid-exchange (Leave raced the sweep) must not
+// have the failure its severed connection produced counted as breaker
+// evidence against a future member under the same ID.
+func (c *Coordinator) sweepNode(nc *nodeClient, prog attest.ProgramID, input []uint32, streamed bool, gen uint64, probe bool, devs []fleet.DeviceID, wantDelta bool) NodeReport {
+	rep := NodeReport{Node: nc.id, Probe: probe}
+	req := sweepReq{Program: prog, Input: input, Streamed: streamed, Explicit: true, Devices: devs, WantDelta: wantDelta}
 	var nodeRep NodeReport
-	attempts, err := c.request(nc, msgSweep, sweepReq{Program: prog, Input: input, Streamed: streamed}, msgReport, &nodeRep, c.cfg.sweepTimeouts())
+	attempts, err := c.request(nc, msgSweep, req, msgReport, &nodeRep, c.cfg.sweepTimeouts())
 	rep.Attempts = attempts
 	if err != nil {
 		rep.Err = err.Error()
@@ -579,15 +1090,24 @@ func (c *Coordinator) sweepNode(nc *nodeClient, prog attest.ProgramID, input []u
 			// Transport failure: breaker evidence. A NodeError is not —
 			// the node answered; it just refused the request.
 			c.metrics.nodeFailures.Inc()
-			if tripped := nc.advanceBreaker(c.cfg.BreakerThreshold, gen); tripped {
-				c.metrics.breakerTrips.Inc()
-				c.recordTopology(obs.KindNodeLeave, nc.id, "breaker tripped: "+err.Error())
+			c.mu.Lock()
+			member := c.clients[nc.id] == nc
+			c.mu.Unlock()
+			if member {
+				if tripped := nc.advanceBreaker(c.cfg.BreakerThreshold, gen); tripped {
+					c.metrics.breakerTrips.Inc()
+					c.recordTopology(obs.KindNodeLeave, nc.id, "breaker tripped: "+err.Error())
+				}
 			}
 		}
 		return rep
 	}
 	if reset := nc.recordSuccess(); reset {
 		c.metrics.breakerResets.Inc()
+	}
+	if flipped := nc.setLame(nodeRep.LameDuck); flipped && c.flight.Enabled() {
+		c.flight.Record(obs.Event{Device: string(nc.id), Kind: obs.KindLameDuck, Sweep: gen,
+			Detail: nodeRep.StoreErr})
 	}
 	nodeRep.Probe = probe
 	nodeRep.Attempts = attempts
@@ -597,35 +1117,62 @@ func (c *Coordinator) sweepNode(nc *nodeClient, prog attest.ProgramID, input []u
 
 // request runs one exchange against a node with bounded retries on
 // transport failures, re-dialling the persistent connection per
-// attempt. It returns the attempts spent.
+// attempt. It returns the attempts spent. Only exMu is held across the
+// wire exchange: a concurrent close() (Leave, Rejoin) severs the
+// connection under the state lock, failing the in-flight exchange
+// immediately, and the closed flag stops the retry loop from
+// re-dialling a node that is no longer a member.
 func (c *Coordinator) request(nc *nodeClient, reqTyp byte, req any, respTyp byte, resp any, to attest.Timeouts) (int, error) {
 	if nc == nil {
 		return 0, fmt.Errorf("fed: no client for node")
 	}
-	nc.mu.Lock()
-	defer nc.mu.Unlock()
+	nc.exMu.Lock()
+	defer nc.exMu.Unlock()
 	var err error
 	for attempt := 1; attempt <= c.cfg.RetryAttempts; attempt++ {
 		if attempt > 1 {
 			c.metrics.nodeRetries.Inc()
 			time.Sleep(c.cfg.RetryBackoff)
 		}
-		if nc.conn == nil {
-			nc.conn, err = nc.dial()
+		nc.mu.Lock()
+		if nc.closed {
+			nc.mu.Unlock()
+			return attempt, fmt.Errorf("fed: node %s: client closed", nc.id)
+		}
+		conn := nc.conn
+		nc.mu.Unlock()
+		if conn == nil {
+			conn, err = nc.dial()
 			if err != nil {
 				err = fmt.Errorf("fed: dial node %s: %w", nc.id, err)
 				continue
 			}
+			nc.mu.Lock()
+			if nc.closed {
+				nc.mu.Unlock()
+				conn.Close()
+				return attempt, fmt.Errorf("fed: node %s: client closed", nc.id)
+			}
+			nc.conn = conn
+			nc.mu.Unlock()
 		}
-		err = exchange(nc.conn, to, nc.id, reqTyp, req, respTyp, resp)
+		err = exchange(conn, to, nc.id, reqTyp, req, respTyp, resp)
 		if err == nil {
 			return attempt, nil
 		}
 		var te *attest.TransportError
 		if errors.As(err, &te) {
 			// The stream is dead or desynchronised; next attempt re-dials.
-			nc.conn.Close()
-			nc.conn = nil
+			nc.mu.Lock()
+			if nc.conn == conn {
+				nc.conn = nil
+			}
+			closed := nc.closed
+			nc.mu.Unlock()
+			conn.Close()
+			if closed {
+				return attempt, err
+			}
 			continue
 		}
 		// Node-level refusal or protocol mismatch: not retryable.
@@ -681,9 +1228,13 @@ func (nc *nodeClient) recordSuccess() (reset bool) {
 	return reset
 }
 
+// close marks the client dead and severs its connection. It does NOT
+// wait for in-flight exchanges — severing the conn fails them with a
+// transport error, and the closed flag stops their retry loops.
 func (nc *nodeClient) close() {
 	nc.mu.Lock()
 	defer nc.mu.Unlock()
+	nc.closed = true
 	if nc.conn != nil {
 		nc.conn.Close()
 		nc.conn = nil

@@ -1,0 +1,423 @@
+package fed
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/fleet"
+	"lofat/internal/obs"
+	"lofat/internal/workloads"
+)
+
+// chaosGate wedges a node's device-side dials: once armed, every dial
+// signals begun (first only), blocks until release, then fails. The
+// blocking matters — if gated dials failed immediately, the victim
+// would finish its sweep and politely report per-device errors, which
+// is not a crash. Blocking holds the victim's sweep exchange open so
+// the chaos goroutine can sever its control plane mid-flight, and the
+// one-shot adversaries on attacked devices are never consumed by a
+// challenge whose verdict dies with the node.
+type chaosGate struct {
+	armed   atomic.Bool
+	once    sync.Once
+	begun   chan struct{}
+	release chan struct{}
+}
+
+func newChaosGate() *chaosGate {
+	return &chaosGate{begun: make(chan struct{}), release: make(chan struct{})}
+}
+
+// dial wraps the fabric's dialer with the gate.
+func (g *chaosGate) dial(f *fabric) func(string) (io.ReadWriteCloser, error) {
+	return func(addr string) (io.ReadWriteCloser, error) {
+		if g.armed.Load() {
+			g.once.Do(func() { close(g.begun) })
+			<-g.release
+			return nil, fmt.Errorf("chaos: device network down")
+		}
+		return f.dial(addr)
+	}
+}
+
+// sever cuts the coordinator's control-plane connections to the node
+// and refuses new dials without tearing the node process down — the
+// first half of a crash, split from kill because Node.Kill blocks on
+// fleet workers that may still be wedged inside gated device dials:
+// the chaos sequence is sever, release the gate, then Kill.
+func (tn *testNode) sever() {
+	tn.mu.Lock()
+	tn.down = true
+	conns := tn.conns
+	tn.conns = nil
+	tn.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// chaosFed is a three-node federation whose nodes' device networks are
+// individually gateable.
+type chaosFed struct {
+	f        *fabric
+	coord    *Coordinator
+	nodes    []*testNode
+	gates    []*chaosGate
+	progID   attest.ProgramID
+	input    []uint32
+	honest   []fleet.DeviceID
+	attacked []fleet.DeviceID
+}
+
+func (cf *chaosFed) total() int { return len(cf.honest) + len(cf.attacked) }
+
+// nodeIndex maps a node ID back to its slot in nodes/gates.
+func (cf *chaosFed) nodeIndex(id NodeID) int {
+	for i, tn := range cf.nodes {
+		if tn.node.ID() == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// newChaosFed builds the federation: three nodes, honest devices on a
+// shared endpoint, attacked devices running one-shot loop-counter
+// adversaries.
+func newChaosFed(t *testing.T, cfg Config, honest, attacked int) *chaosFed {
+	t.Helper()
+	cf := &chaosFed{f: newFabric(), coord: NewCoordinator(cfg)}
+	for i := 0; i < 3; i++ {
+		gate := newChaosGate()
+		tn := newTestNode(t, NodeConfig{
+			ID:    NodeID(fmt.Sprintf("node-%d", i)),
+			Fleet: fleet.Config{Dial: gate.dial(cf.f)},
+		})
+		cf.nodes = append(cf.nodes, tn)
+		cf.gates = append(cf.gates, gate)
+		if _, err := cf.coord.Join(tn.node.ID(), tn.dial); err != nil {
+			t.Fatalf("join %s: %v", tn.node.ID(), err)
+		}
+	}
+	t.Cleanup(func() {
+		cf.coord.Close()
+		for _, tn := range cf.nodes {
+			tn.close()
+		}
+	})
+
+	pump := workloads.SyringePump()
+	prog, err := pump.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf.input = pump.Input
+	cf.progID, err = cf.coord.RegisterProgram(prog, core.Config{}, [][]uint32{pump.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, addr := spawnHonestEndpoint(t, cf.f, pump, "honest")
+	for i := 0; i < honest; i++ {
+		id := fleet.DeviceID(fmt.Sprintf("dev-%03d", i))
+		if err := cf.coord.Enroll(id, cf.progID, pub, addr); err != nil {
+			t.Fatal(err)
+		}
+		cf.honest = append(cf.honest, id)
+	}
+	for i := 0; i < attacked; i++ {
+		id, apub, aaddr := spawnAttacked(t, cf.f, pump, "loop-counter", i)
+		if err := cf.coord.Enroll(id, cf.progID, apub, aaddr); err != nil {
+			t.Fatal(err)
+		}
+		cf.attacked = append(cf.attacked, id)
+	}
+	return cf
+}
+
+// TestFailoverMidSweep is the headline chaos scenario the replicated
+// placement exists for: a node is crashed in the middle of a federated
+// sweep — control plane severed mid-exchange, WAL handle dropped
+// without a sync — and the verdict must still cover every device with
+// per-device classifications identical to a federation that never saw
+// the failure. Two follow-up sweeps walk the dead node's breaker
+// through trip and skip, each still covering the whole fleet.
+func TestFailoverMidSweep(t *testing.T) {
+	const honest, attacked = 36, 4
+	cfg := Config{Replicas: 2, BreakerThreshold: 2}
+
+	// Baseline: identical fleet, no failure.
+	base := newChaosFed(t, cfg, honest, attacked)
+	vA, err := base.coord.Sweep(base.progID, base.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vA.Waves != 1 || len(vA.FailedOver) != 0 || len(vA.Uncovered) != 0 {
+		t.Fatalf("baseline sweep not clean: %s", vA)
+	}
+
+	hub := obs.NewHub()
+	hub.Flight = obs.NewFlight(0)
+	cfg.Obs = hub
+	cf := newChaosFed(t, cfg, honest, attacked)
+	victimID, ok := cf.coord.Owner(cf.honest[0])
+	if !ok {
+		t.Fatal("no owner for honest device 0")
+	}
+	vi := cf.nodeIndex(victimID)
+	victim, gate := cf.nodes[vi], cf.gates[vi]
+
+	// Expected failover set: every device whose primary is the victim.
+	wantFailover := make(map[fleet.DeviceID]bool)
+	for _, id := range append(append([]fleet.DeviceID(nil), cf.honest...), cf.attacked...) {
+		if owner, _ := cf.coord.Owner(id); owner == victimID {
+			wantFailover[id] = true
+		}
+	}
+
+	gate.armed.Store(true)
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		<-gate.begun
+		victim.sever()
+		close(gate.release)
+		victim.node.Kill()
+	}()
+
+	vB, err := cf.coord.Sweep(cf.progID, cf.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	t.Logf("kill sweep: %s", vB)
+
+	if vB.NodesFailed != 1 || vB.NodesOK != 2 || vB.NodesSkipped != 0 {
+		t.Fatalf("node outcome: ok=%d failed=%d skipped=%d", vB.NodesOK, vB.NodesFailed, vB.NodesSkipped)
+	}
+	if vB.Waves != 2 {
+		t.Fatalf("sweep took %d waves, want 2", vB.Waves)
+	}
+	if len(vB.Uncovered) != 0 {
+		t.Fatalf("uncovered devices despite live replicas: %v", vB.Uncovered)
+	}
+	if vB.Devices != cf.total() {
+		t.Fatalf("verdict covers %d devices, want %d", vB.Devices, cf.total())
+	}
+
+	// The crash must be invisible in the attestation outcome.
+	if vB.Accepted != vA.Accepted || vB.Rejected != vA.Rejected || vB.Errors != 0 || vB.Skipped != 0 {
+		t.Fatalf("totals diverge from no-failure run: accepted %d/%d rejected %d/%d errors=%d skipped=%d",
+			vB.Accepted, vA.Accepted, vB.Rejected, vA.Rejected, vB.Errors, vB.Skipped)
+	}
+	if !reflect.DeepEqual(vB.ByClass, vA.ByClass) {
+		t.Fatalf("classification diverges from no-failure run:\n  with kill: %v\n  baseline:  %v", vB.ByClass, vA.ByClass)
+	}
+
+	// Per-device attribution: exactly the victim's devices failed over,
+	// each to a surviving replica.
+	if len(vB.FailedOver) != len(wantFailover) {
+		t.Fatalf("%d devices failed over, want %d (the victim's acting set)", len(vB.FailedOver), len(wantFailover))
+	}
+	for id, node := range vB.FailedOver {
+		if !wantFailover[id] {
+			t.Fatalf("device %s failed over but its primary %v is alive", id, victimID)
+		}
+		if node == victimID {
+			t.Fatalf("device %s attributed to the dead node", id)
+		}
+	}
+	events := 0
+	for _, e := range hub.Flight.Events() {
+		if e.Kind == obs.KindFailover {
+			events++
+		}
+	}
+	if events != len(wantFailover) {
+		t.Fatalf("%d failover flight events, want %d", events, len(wantFailover))
+	}
+
+	// Post-failover device state matches the baseline's classifications.
+	for _, id := range cf.honest {
+		st, node, err := cf.coord.Device(id)
+		if err != nil {
+			t.Fatalf("device %s: %v", id, err)
+		}
+		if st.Quarantined || st.LastClass != attest.ClassAccepted {
+			t.Fatalf("honest device %s on %s misclassified after failover: %+v", id, node, st)
+		}
+	}
+	for _, id := range cf.attacked {
+		st, _, err := cf.coord.Device(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Quarantined || st.LastClass != attest.ClassLoopCounter {
+			t.Fatalf("attacked device %s not quarantined after failover: %+v", id, st)
+		}
+	}
+
+	// Sweep 2: the dead node fails again — second consecutive failure
+	// trips its breaker — and its devices fail over in-wave once more.
+	v2, err := cf.coord.Sweep(cf.progID, cf.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.NodesFailed != 1 || v2.NodesOK != 2 || v2.Waves < 2 {
+		t.Fatalf("second sweep: ok=%d failed=%d waves=%d", v2.NodesOK, v2.NodesFailed, v2.Waves)
+	}
+	if v2.Devices != cf.total() || len(v2.Uncovered) != 0 || len(v2.FailedOver) != len(wantFailover) {
+		t.Fatalf("second sweep coverage: %s", v2)
+	}
+	if br, ok := cf.coord.NodeBreaker(victimID); !ok || br != fleet.BreakerTripped {
+		t.Fatalf("victim breaker = %v after repeat failure, want tripped", br)
+	}
+	if v2.Accepted != honest || v2.Skipped != attacked {
+		t.Fatalf("second sweep totals: accepted=%d skipped=%d, want %d/%d", v2.Accepted, v2.Skipped, honest, attacked)
+	}
+
+	// Sweep 3: the breaker is open, so the dead node is skipped at the
+	// planner — failover happens in wave one, no transport attempts
+	// wasted on it.
+	v3, err := cf.coord.Sweep(cf.progID, cf.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.NodesSkipped != 1 || v3.NodesOK != 2 || v3.Waves != 1 {
+		t.Fatalf("third sweep: ok=%d skipped=%d waves=%d", v3.NodesOK, v3.NodesSkipped, v3.Waves)
+	}
+	if v3.Devices != cf.total() || len(v3.Uncovered) != 0 || len(v3.FailedOver) != len(wantFailover) {
+		t.Fatalf("third sweep coverage: %s", v3)
+	}
+}
+
+// TestRejoinDuringSweep races a crash-and-rejoin against an in-flight
+// sweep: the victim dies mid-exchange, a replacement node rejoins under
+// the same ID while the sweep's failover waves are still running, and
+// the generation check must keep the sweep routing by a consistent
+// placement. The replacement's breaker must be untouched by the dead
+// incarnation's failure, and the next sweep must run three-healthy.
+func TestRejoinDuringSweep(t *testing.T) {
+	const honest = 40
+	cf := newChaosFed(t, Config{Replicas: 2}, honest, 0)
+	victimID, _ := cf.coord.Owner(cf.honest[0])
+	vi := cf.nodeIndex(victimID)
+	victim, gate := cf.nodes[vi], cf.gates[vi]
+
+	gate.armed.Store(true)
+	done := make(chan struct{})
+	var rejoinErr error
+	go func() {
+		defer close(done)
+		<-gate.begun
+		victim.sever()
+		close(gate.release)
+		victim.node.Kill()
+		replacement := newTestNode(t, NodeConfig{
+			ID:    victimID,
+			Fleet: fleet.Config{Dial: cf.f.dial},
+		})
+		cf.nodes[vi] = replacement
+		rejoinErr = cf.coord.Rejoin(victimID, replacement.dial)
+	}()
+
+	v, err := cf.coord.Sweep(cf.progID, cf.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if rejoinErr != nil {
+		t.Fatalf("rejoin during sweep: %v", rejoinErr)
+	}
+	t.Logf("sweep racing rejoin: %s", v)
+
+	if v.Devices != honest || len(v.Uncovered) != 0 {
+		t.Fatalf("coverage under rejoin race: devices=%d uncovered=%v", v.Devices, v.Uncovered)
+	}
+	if v.NodesFailed != 1 {
+		t.Fatalf("node outcome: ok=%d failed=%d skipped=%d", v.NodesOK, v.NodesFailed, v.NodesSkipped)
+	}
+	// The dead incarnation's transport failure must not have advanced
+	// the replacement's breaker — it is a different client under the
+	// same name.
+	if br, ok := cf.coord.NodeBreaker(victimID); !ok || br != fleet.BreakerHealthy {
+		t.Fatalf("replacement breaker = %v (member=%v), want healthy", br, ok)
+	}
+
+	v2, err := cf.coord.Sweep(cf.progID, cf.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Healthy || v2.NodesOK != 3 || v2.Accepted != honest || len(v2.FailedOver) != 0 {
+		t.Fatalf("post-rejoin sweep not three-healthy: %s", v2)
+	}
+}
+
+// TestLeaveDuringSweep races a planned departure against an in-flight
+// sweep. The split nodeClient locking must keep Leave from deadlocking
+// behind the victim's wedged sweep exchange, the generation check must
+// re-plan any failover waves on the post-leave ring, and the shrunken
+// federation must still cover the whole fleet.
+func TestLeaveDuringSweep(t *testing.T) {
+	const honest = 40
+	cf := newChaosFed(t, Config{Replicas: 2}, honest, 0)
+	victimID, _ := cf.coord.Owner(cf.honest[0])
+	vi := cf.nodeIndex(victimID)
+	gate := cf.gates[vi]
+
+	gate.armed.Store(true)
+	done := make(chan struct{})
+	var leaveRep *RebalanceReport
+	var leaveErr error
+	go func() {
+		defer close(done)
+		<-gate.begun
+		leaveFinished := make(chan struct{})
+		go func() {
+			leaveRep, leaveErr = cf.coord.Leave(victimID)
+			close(leaveFinished)
+		}()
+		// Leave's hand-off requests queue behind the victim's in-flight
+		// sweep exchange; release the gate so that exchange can finish
+		// (with per-device dial errors) instead of wedging both.
+		close(gate.release)
+		<-leaveFinished
+	}()
+
+	v, err := cf.coord.Sweep(cf.progID, cf.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if leaveErr != nil {
+		t.Fatalf("leave during sweep: %v", leaveErr)
+	}
+	if len(leaveRep.Errors) != 0 {
+		t.Fatalf("leave rebalance errors: %v", leaveRep.Errors)
+	}
+	t.Logf("sweep racing leave: %s", v)
+
+	if v.Devices != honest || len(v.Uncovered) != 0 {
+		t.Fatalf("coverage under leave race: devices=%d uncovered=%v", v.Devices, v.Uncovered)
+	}
+	if got := len(cf.coord.Nodes()); got != 2 {
+		t.Fatalf("federation has %d nodes after leave, want 2", got)
+	}
+	if got := cf.coord.FleetSize(); got != honest {
+		t.Fatalf("fleet size %d after leave, want %d", got, honest)
+	}
+
+	// The two survivors carry the whole fleet on the next sweep.
+	v2, err := cf.coord.Sweep(cf.progID, cf.input, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Healthy || v2.NodesOK != 2 || v2.Accepted != honest || v2.Devices != honest {
+		t.Fatalf("post-leave sweep: %s", v2)
+	}
+}

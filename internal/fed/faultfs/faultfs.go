@@ -1,0 +1,284 @@
+// Package faultfs injects filesystem faults into a node's persistence
+// layer for chaos testing — the disk-side mirror of fleet/faultconn. A
+// Store normally talks to the real filesystem through the OS
+// implementation of the FS interface; tests swap in an Injector, which
+// degrades the same operations according to a Plan: writes that start
+// failing mid-stream (a disk filling up), short writes (power cut
+// mid-append), fsync failures (the write-back cache lying), and rename
+// or directory-sync failures (the two steps crash-durable snapshot
+// publication actually depends on).
+//
+// The distinction the store's recovery contract draws — a torn tail is
+// expected damage, a corrupt complete record is not — is exactly what
+// these faults exercise: every Plan in this package produces states a
+// real crash could have left, so a store that ever refuses to load
+// after one has a durability bug, not bad luck.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the default error returned by injected faults when a
+// Plan does not supply its own (for example syscall.ENOSPC).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// File is the slice of *os.File the store's WAL and snapshot plumbing
+// needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Name() string
+	Stat() (fs.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface the store is written against. OS is the
+// real thing; Injector wraps any FS with faults.
+type FS interface {
+	MkdirAll(dir string, perm fs.FileMode) error
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making previously renamed entries
+	// crash-durable. Rename alone only updates the in-memory dirent.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS backed by package os.
+type OS struct{}
+
+func (OS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (OS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
+func (OS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+func (OS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                  { return os.Remove(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Plan selects the faults an Injector applies. The zero value injects
+// nothing. Byte thresholds count file bytes written through the
+// injector since its creation; operation indexes are 1-based counts of
+// that operation ("the Nth sync and every one after it fails"). Zero
+// disables a fault.
+type Plan struct {
+	// WriteErrAfter: the disk is full after this many bytes. The write
+	// crossing the threshold delivers only the bytes up to it and
+	// reports Err (real ENOSPC is exactly this partial write); every
+	// later write fails outright.
+	WriteErrAfter int
+	// ShortWriteAt: the single write crossing this byte threshold
+	// delivers only the bytes up to it, then reports Err — a power cut
+	// mid-append. Later writes proceed normally (unless another fault
+	// applies), so tests can grow a file around one torn record.
+	ShortWriteAt int
+	// SyncErrOn: the Nth file Sync and every later one fail with Err —
+	// the write-back cache can no longer reach stable storage.
+	SyncErrOn int
+	// RenameErrOn: the Nth Rename and every later one fail with Err.
+	RenameErrOn int
+	// DirSyncErrOn: the Nth SyncDir and every later one fail with Err.
+	DirSyncErrOn int
+	// Err is the error injected faults return; nil selects ErrInjected.
+	Err error
+}
+
+func (p Plan) err() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return ErrInjected
+}
+
+// Stats counts the operations an Injector has seen — how tests assert
+// the store performed a durability step (for example that Compact
+// issued a SyncDir after its Rename) rather than merely not crashing.
+type Stats struct {
+	BytesWritten int
+	Writes       int
+	Syncs        int
+	Renames      int
+	Removes      int
+	DirSyncs     int
+}
+
+// Injector wraps an FS with the faults of a Plan. Counters are shared
+// across every file opened through it, so byte thresholds describe the
+// node's total write stream the way faultconn thresholds describe one
+// connection's.
+type Injector struct {
+	inner FS
+	plan  Plan
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New wraps inner with the plan's faults.
+func New(inner FS, plan Plan) *Injector {
+	return &Injector{inner: inner, plan: plan}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Arm swaps the injector's plan mid-run, so a fixture can enroll and
+// warm a node cleanly and only then break its disk for a chosen phase.
+// Counters are not reset: byte and operation thresholds still count
+// from the injector's creation.
+func (in *Injector) Arm(plan Plan) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.plan = plan
+}
+
+func (in *Injector) MkdirAll(dir string, perm fs.FileMode) error {
+	return in.inner.MkdirAll(dir, perm)
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: f, in: in}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: f, in: in}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.inner.ReadFile(name) }
+
+func (in *Injector) ReadDir(dir string) ([]fs.DirEntry, error) { return in.inner.ReadDir(dir) }
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	in.mu.Lock()
+	in.stats.Renames++
+	fail := in.plan.RenameErrOn > 0 && in.stats.Renames >= in.plan.RenameErrOn
+	in.mu.Unlock()
+	if fail {
+		return in.plan.err()
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	in.mu.Lock()
+	in.stats.Removes++
+	in.mu.Unlock()
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	in.mu.Lock()
+	in.stats.DirSyncs++
+	fail := in.plan.DirSyncErrOn > 0 && in.stats.DirSyncs >= in.plan.DirSyncErrOn
+	in.mu.Unlock()
+	if fail {
+		return in.plan.err()
+	}
+	return in.inner.SyncDir(dir)
+}
+
+// faultFile applies the injector's write and sync faults to one file.
+type faultFile struct {
+	inner File
+	in    *Injector
+}
+
+func (f *faultFile) Read(p []byte) (int, error)         { return f.inner.Read(p) }
+func (f *faultFile) Seek(o int64, w int) (int64, error) { return f.inner.Seek(o, w) }
+func (f *faultFile) Close() error                       { return f.inner.Close() }
+func (f *faultFile) Name() string                       { return f.inner.Name() }
+func (f *faultFile) Stat() (fs.FileInfo, error)         { return f.inner.Stat() }
+func (f *faultFile) Truncate(size int64) error          { return f.inner.Truncate(size) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	in := f.in
+	in.mu.Lock()
+	written := in.stats.BytesWritten
+	in.stats.Writes++
+	plan := in.plan
+	// allow is how many of p's bytes reach the disk; faulted stays
+	// false for a clean write. A threshold landing inside this write
+	// tears it: the prefix lands, the call reports the injected error.
+	allow, faulted := len(p), false
+	cut := func(limit int) {
+		if limit > 0 && written+allow > limit {
+			if keep := limit - written; keep < allow {
+				if keep < 0 {
+					keep = 0
+				}
+				allow = keep
+			}
+			faulted = true
+		}
+	}
+	cut(plan.WriteErrAfter)
+	if plan.ShortWriteAt > 0 && written < plan.ShortWriteAt {
+		cut(plan.ShortWriteAt)
+	}
+	in.mu.Unlock()
+
+	if faulted && allow == 0 {
+		return 0, plan.err()
+	}
+	n, err := f.inner.Write(p[:allow])
+	in.mu.Lock()
+	in.stats.BytesWritten += n
+	in.mu.Unlock()
+	if err == nil && faulted {
+		err = plan.err()
+	}
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	in := f.in
+	in.mu.Lock()
+	in.stats.Syncs++
+	fail := in.plan.SyncErrOn > 0 && in.stats.Syncs >= in.plan.SyncErrOn
+	in.mu.Unlock()
+	if fail {
+		return in.plan.err()
+	}
+	return f.inner.Sync()
+}

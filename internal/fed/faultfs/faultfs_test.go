@@ -1,0 +1,131 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, p []byte) (int, error) {
+	t.Helper()
+	return f.Write(p)
+}
+
+func TestInjectorWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := New(OS{}, Plan{WriteErrAfter: 10, Err: syscall.ENOSPC})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if n, err := writeAll(t, f, []byte("1234")); n != 4 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// This write crosses the 10-byte budget: 6 bytes land, ENOSPC.
+	n, err := writeAll(t, f, []byte("56789abc"))
+	if n != 6 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("crossing write: n=%d err=%v, want 6/ENOSPC", n, err)
+	}
+	// The disk stays full.
+	if n, err := writeAll(t, f, []byte("x")); n != 0 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-budget write: n=%d err=%v", n, err)
+	}
+	got, rerr := os.ReadFile(filepath.Join(dir, "w"))
+	if rerr != nil || !bytes.Equal(got, []byte("123456789a")) {
+		t.Fatalf("on-disk content %q err=%v, want the 10-byte prefix", got, rerr)
+	}
+	st := in.Stats()
+	if st.BytesWritten != 10 || st.Writes != 3 {
+		t.Fatalf("stats %+v, want BytesWritten=10 Writes=3", st)
+	}
+}
+
+func TestInjectorShortWriteOneShot(t *testing.T) {
+	dir := t.TempDir()
+	in := New(OS{}, Plan{ShortWriteAt: 3})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n, err := writeAll(t, f, []byte("abcdef")); n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v, want 3/ErrInjected", n, err)
+	}
+	// One-shot: the torn record happened, the file grows again.
+	if n, err := writeAll(t, f, []byte("ghi")); n != 3 || err != nil {
+		t.Fatalf("follow-up write: n=%d err=%v", n, err)
+	}
+	got, _ := os.ReadFile(filepath.Join(dir, "w"))
+	if !bytes.Equal(got, []byte("abcghi")) {
+		t.Fatalf("on-disk content %q, want abcghi", got)
+	}
+}
+
+func TestInjectorOpFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := New(OS{}, Plan{SyncErrOn: 2, RenameErrOn: 1, DirSyncErrOn: 1})
+	f, err := in.CreateTemp(dir, "t-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 should fail: %v", err)
+	}
+	if err := in.Rename(f.Name(), filepath.Join(dir, "final")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename should fail: %v", err)
+	}
+	if err := in.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dir sync should fail: %v", err)
+	}
+	if st := in.Stats(); st.Syncs != 2 || st.Renames != 1 || st.DirSyncs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestOSSyncDir(t *testing.T) {
+	if err := (OS{}).SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+}
+
+func TestInjectorArm(t *testing.T) {
+	dir := t.TempDir()
+	in := New(OS{}, Plan{})
+	f, err := in.OpenFile(filepath.Join(dir, "w"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Clean plan: writes and syncs succeed while the fixture warms up.
+	if n, err := writeAll(t, f, []byte("123456")); n != 6 || err != nil {
+		t.Fatalf("pre-arm write: n=%d err=%v", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("pre-arm sync: %v", err)
+	}
+
+	// Arm the fault mid-run. Thresholds still count from creation, so a
+	// budget below what is already written fails the very next write,
+	// and SyncErrOn 2 means the next (second) sync fails.
+	in.Arm(Plan{WriteErrAfter: 4, SyncErrOn: 2, Err: syscall.ENOSPC})
+	if n, err := writeAll(t, f, []byte("x")); n != 0 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-arm write: n=%d err=%v, want 0/ENOSPC", n, err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-arm sync: %v, want ENOSPC", err)
+	}
+	got, rerr := os.ReadFile(filepath.Join(dir, "w"))
+	if rerr != nil || !bytes.Equal(got, []byte("123456")) {
+		t.Fatalf("on-disk content %q err=%v, want the pre-arm bytes", got, rerr)
+	}
+}

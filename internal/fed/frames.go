@@ -28,11 +28,14 @@ const (
 	msgTransfer byte = 35 // deviceReq    → msgState (extract + forget)
 	msgRelease  byte = 36 // deviceReq    → msgState
 	msgGet      byte = 37 // deviceReq    → msgState
+	msgSync     byte = 38 // syncReq      → msgOK (anti-entropy upsert)
+	msgFetch    byte = 39 // fetchReq     → msgRecords (bulk state read)
 	// Responses.
-	msgOK     byte = 44 // okResp
-	msgReport byte = 45 // NodeReport
-	msgState  byte = 46 // stateResp
-	msgErr    byte = 47 // error string (plain bytes, not gob)
+	msgRecords byte = 43 // recordsResp
+	msgOK      byte = 44 // okResp
+	msgReport  byte = 45 // NodeReport
+	msgState   byte = 46 // stateResp
+	msgErr     byte = 47 // error string (plain bytes, not gob)
 )
 
 type registerReq struct {
@@ -52,10 +55,40 @@ type sweepReq struct {
 	Program  attest.ProgramID
 	Input    []uint32
 	Streamed bool
+	// Explicit selects placement-directed sweeps: the node challenges
+	// exactly the Devices listed (the coordinator's acting set for this
+	// node this generation) instead of every member it holds. Standby
+	// replicas therefore keep warm state without double-challenging the
+	// prover. Explicit is a separate flag because gob cannot tell an
+	// empty Devices list from an absent one.
+	Explicit bool
+	Devices  []fleet.DeviceID
+	// WantDelta asks the node to return the device records its sweep
+	// changed, feeding the coordinator's anti-entropy pass. Off for
+	// unreplicated federations to keep reports small.
+	WantDelta bool
 }
 
 type deviceReq struct {
 	Device fleet.DeviceID
+}
+
+// syncReq pushes authoritative device records onto a replica — the
+// anti-entropy write half. The node upserts each record: overwrite the
+// policy fields of a device it holds, enrol from the record otherwise.
+type syncReq struct {
+	Records []DeviceRecord
+}
+
+// fetchReq reads a batch of device records — the anti-entropy read
+// half, used by Rejoin to pull authoritative state from live replicas.
+// Unknown devices are silently absent from the response.
+type fetchReq struct {
+	Devices []fleet.DeviceID
+}
+
+type recordsResp struct {
+	Records []DeviceRecord
 }
 
 type okResp struct {

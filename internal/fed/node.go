@@ -8,6 +8,7 @@ import (
 	"lofat/internal/asm"
 	"lofat/internal/attest"
 	"lofat/internal/core"
+	"lofat/internal/fed/faultfs"
 	"lofat/internal/fleet"
 	"lofat/internal/obs"
 )
@@ -15,6 +16,12 @@ import (
 // DefaultSnapshotEvery is the WAL record count that triggers automatic
 // compaction into a fresh snapshot generation.
 const DefaultSnapshotEvery = 4096
+
+// DefaultLameDuckAfter is how many consecutive failed persistence
+// passes a node tolerates before declaring its store dead and entering
+// lame-duck service. One flaky fsync should not drain a node; a disk
+// that fails twice in a row is not coming back on its own.
+const DefaultLameDuckAfter = 2
 
 // NodeConfig parameterises one verifier node.
 type NodeConfig struct {
@@ -28,6 +35,13 @@ type NodeConfig struct {
 	// SnapshotEvery compacts the WAL into a new snapshot after this
 	// many records (default DefaultSnapshotEvery).
 	SnapshotEvery int
+	// FS is the filesystem the store runs against; nil selects the real
+	// one. Chaos tests pass a faultfs.Injector.
+	FS faultfs.FS
+	// LameDuckAfter is the consecutive persistence-failure threshold
+	// that flips the node into lame-duck service (default
+	// DefaultLameDuckAfter).
+	LameDuckAfter int
 }
 
 // Node is one federation member: a fleet.Service plus its durability
@@ -62,6 +76,14 @@ type Node struct {
 	programs      map[attest.ProgramID]registerReq
 	lastFlightSeq uint64
 	killed        bool
+	// storeFails counts consecutive failed persistence passes; at
+	// cfg.LameDuckAfter the node goes lame: read-only degraded service.
+	// A lame node still answers sweeps, transfers and syncs (in memory)
+	// but refuses new enrolments, stops touching its broken store, and
+	// reports itself unhealthy so the coordinator drains it.
+	storeFails int
+	lame       bool
+	lameErr    string
 }
 
 // NewNode builds the node, recovering persisted state when cfg.Dir is
@@ -74,6 +96,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
+	if cfg.LameDuckAfter <= 0 {
+		cfg.LameDuckAfter = DefaultLameDuckAfter
+	}
 	n := &Node{
 		cfg:       cfg,
 		pending:   make(map[attest.ProgramID]map[fleet.DeviceID]DeviceRecord),
@@ -83,7 +108,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	var restored *State
 	if cfg.Dir != "" {
-		store, state, err := OpenStore(cfg.Dir, cfg.ID)
+		store, state, err := OpenStoreFS(cfg.FS, cfg.Dir, cfg.ID)
 		if err != nil {
 			return nil, err
 		}
@@ -157,8 +182,17 @@ func (n *Node) RegisterProgram(prog *asm.Program, devCfg core.Config, inputs [][
 	return id, nil
 }
 
-// Enroll adds (or restores) one device and logs it durably.
+// Enroll adds (or restores) one device and logs it durably. A lame
+// node refuses: it cannot durably own anything new, and refusing is
+// what steers the coordinator's placement toward healthy replicas.
 func (n *Node) Enroll(st fleet.DeviceState) error {
+	n.mu.Lock()
+	if n.lame {
+		msg := n.lameErr
+		n.mu.Unlock()
+		return fmt.Errorf("fed: node %s: lame duck (read-only): %s", n.cfg.ID, msg)
+	}
+	n.mu.Unlock()
 	if err := n.svc.EnrollState(st); err != nil {
 		return err
 	}
@@ -203,28 +237,44 @@ func (n *Node) Release(id fleet.DeviceID) (bool, error) {
 
 // Sweep runs one program sweep on the node's fleet and persists the
 // diff: every device whose persistable record changed, every cache key
-// newly warmed, and the advanced sweep generation.
+// newly warmed, and the advanced sweep generation. It delegates to
+// sweepEx with no device filter.
 func (n *Node) Sweep(prog attest.ProgramID, input []uint32, streamed bool) (fleet.SweepReport, error) {
+	rep, _, err := n.sweepEx(prog, input, streamed, false, nil)
+	return rep, err
+}
+
+// sweepEx is the full-width sweep entry point: explicit selects a
+// placement-directed sweep over exactly devices, and the returned
+// changed slice (sorted by ID) lists every device record the round
+// moved — the coordinator's anti-entropy feed. A persistence failure
+// does not fail the sweep: the verdict was already computed, so the
+// node records the store failure (eventually going lame) and serves
+// the report regardless — losing durability must not lose coverage.
+func (n *Node) sweepEx(prog attest.ProgramID, input []uint32, streamed bool, explicit bool, devices []fleet.DeviceID) (fleet.SweepReport, []DeviceRecord, error) {
 	var rep fleet.SweepReport
 	var err error
-	if streamed {
+	if explicit {
+		rep, err = n.svc.SweepProgramDevices(prog, input, streamed, devices)
+	} else if streamed {
 		rep, err = n.svc.SweepProgramStreamed(prog, input)
 	} else {
 		rep, err = n.svc.SweepProgram(prog, input)
 	}
 	if err != nil {
-		return rep, err
+		return rep, nil, err
 	}
-	return rep, n.persistDiff()
+	return rep, n.persistDiff(), nil
 }
 
-// persistDiff appends WAL records for whatever changed since the last
-// persisted picture, then compacts if the WAL has grown past the
-// configured trigger.
-func (n *Node) persistDiff() error {
-	if n.store == nil {
-		return nil
-	}
+// persistDiff computes which device records drifted from the last
+// persisted picture, appends WAL records for them (plus newly warmed
+// cache keys and the advanced sweep generation), and compacts past the
+// configured trigger. The changed records are returned even when the
+// node is ephemeral or its store is failing — replication needs the
+// delta regardless of local durability. Store errors never propagate:
+// they feed the lame-duck counter instead (see storeFailLocked).
+func (n *Node) persistDiff() []DeviceRecord {
 	states := n.svc.Devices()
 	keys := []string(nil)
 	if c := n.svc.Cache(); c != nil {
@@ -234,44 +284,98 @@ func (n *Node) persistDiff() error {
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	var changed []DeviceRecord
+	persistOK := true
 	for _, st := range states {
 		rec := RecordFromState(st)
 		if prev, ok := n.persisted[st.ID]; ok && prev == rec {
 			continue
 		}
+		changed = append(changed, rec)
+		if !persistOK {
+			continue
+		}
 		if err := n.appendLocked(WALRecord{Kind: recUpsert, Device: rec}); err != nil {
-			return err
+			n.storeFailLocked(err)
+			persistOK = false
+			continue
 		}
 		n.persisted[st.ID] = rec
+	}
+	if n.store == nil || n.lame {
+		// Ephemeral nodes track the reported picture in n.persisted so
+		// deltas stay precise; a lame node stops advancing it (the disk
+		// no longer reflects it) and simply re-reports drift — the
+		// anti-entropy upserts are idempotent.
+		if n.store == nil {
+			for _, rec := range changed {
+				n.persisted[rec.ID] = rec
+			}
+		}
+		return changed
+	}
+	if !persistOK {
+		return changed
 	}
 	for _, k := range keys {
 		if _, ok := n.knownKeys[k]; ok {
 			continue
 		}
 		if err := n.appendLocked(WALRecord{Kind: recCacheKey, Key: k}); err != nil {
-			return err
+			n.storeFailLocked(err)
+			return changed
 		}
 		n.knownKeys[k] = struct{}{}
 	}
 	if gen > n.persistedGen {
 		if err := n.appendLocked(WALRecord{Kind: recSweepGen, Gen: gen}); err != nil {
-			return err
+			n.storeFailLocked(err)
+			return changed
 		}
 		n.persistedGen = gen
 	}
 	if err := n.store.Sync(); err != nil {
-		return fmt.Errorf("fed: node %s: wal sync: %w", n.cfg.ID, err)
+		n.storeFailLocked(fmt.Errorf("fed: node %s: wal sync: %w", n.cfg.ID, err))
+		return changed
 	}
 	if n.store.Records() >= n.cfg.SnapshotEvery {
-		return n.compactLocked()
+		if err := n.compactLocked(); err != nil {
+			n.storeFailLocked(err)
+			return changed
+		}
 	}
-	return nil
+	n.storeFails = 0
+	return changed
 }
 
-// appendLocked logs one record (no-op when ephemeral). Caller holds
-// n.mu.
+// storeFailLocked records one failed persistence pass; at the
+// configured threshold the node flips to lame duck. Caller holds n.mu.
+func (n *Node) storeFailLocked(err error) {
+	n.storeFails++
+	n.lameErr = err.Error()
+	if n.storeFails >= n.cfg.LameDuckAfter && !n.lame {
+		n.lame = true
+		if f := n.svc.Flight(); f != nil {
+			f.Record(obs.Event{Device: string(n.cfg.ID), Kind: obs.KindLameDuck,
+				Detail: n.lameErr, Sweep: n.svc.SweepGeneration()})
+		}
+	}
+}
+
+// Health reports whether the node is lame (read-only degraded service)
+// and, if so, the store error that put it there.
+func (n *Node) Health() (lame bool, reason string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lame, n.lameErr
+}
+
+// appendLocked logs one record (no-op when ephemeral or lame — a lame
+// node's store is broken, and retrying every append against a dead
+// disk would only add latency to the degraded service that remains).
+// Caller holds n.mu.
 func (n *Node) appendLocked(rec WALRecord) error {
-	if n.store == nil {
+	if n.store == nil || n.lame {
 		return nil
 	}
 	if err := n.store.Append(rec); err != nil {
@@ -327,13 +431,85 @@ func (n *Node) Compact() error {
 	return n.compactLocked()
 }
 
+// SyncRecords applies authoritative device records pushed by the
+// coordinator's anti-entropy pass (or its rejoin reconciliation):
+// overwrite the policy fields of a device the node holds, enrol from
+// the record when the program is registered but the device absent, and
+// park it in the pending set otherwise (adopted when the program
+// arrives, exactly like warm-restart recovery). Applied records are
+// WAL-logged like any other state change.
+func (n *Node) SyncRecords(recs []DeviceRecord) error {
+	for _, rec := range recs {
+		st := rec.State()
+		if !n.svc.SyncState(st) {
+			n.mu.Lock()
+			_, registered := n.programs[rec.Program]
+			n.mu.Unlock()
+			if registered {
+				if err := n.svc.EnrollState(st); err != nil {
+					return fmt.Errorf("fed: node %s: sync device %q: %w", n.cfg.ID, rec.ID, err)
+				}
+			} else {
+				n.mu.Lock()
+				byProg, ok := n.pending[rec.Program]
+				if !ok {
+					byProg = make(map[fleet.DeviceID]DeviceRecord)
+					n.pending[rec.Program] = byProg
+				}
+				byProg[rec.ID] = rec
+				n.mu.Unlock()
+			}
+		}
+		n.mu.Lock()
+		if prev, ok := n.persisted[rec.ID]; !ok || prev != rec {
+			if err := n.appendLocked(WALRecord{Kind: recUpsert, Device: rec}); err != nil {
+				n.storeFailLocked(err)
+			} else if n.store == nil || !n.lame {
+				n.persisted[rec.ID] = rec
+			}
+		}
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.store != nil && !n.lame {
+		if err := n.store.Sync(); err != nil {
+			n.storeFailLocked(fmt.Errorf("fed: node %s: wal sync: %w", n.cfg.ID, err))
+			return nil
+		}
+		if n.store.Records() >= n.cfg.SnapshotEvery {
+			if err := n.compactLocked(); err != nil {
+				n.storeFailLocked(err)
+			}
+		}
+	}
+	return nil
+}
+
+// FetchRecords snapshots the named devices as wire records; devices
+// the node does not hold are silently absent from the result.
+func (n *Node) FetchRecords(ids []fleet.DeviceID) []DeviceRecord {
+	out := make([]DeviceRecord, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := n.svc.Device(id); ok {
+			out = append(out, RecordFromState(st))
+		}
+	}
+	return out
+}
+
 // Close shuts the node down cleanly: fleet workers drained, WAL synced
-// and closed.
+// and closed. A lame node's store is already broken — its handle is
+// dropped crash-style rather than risking a hang on a dead disk.
 func (n *Node) Close() error {
 	n.svc.Close()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.store == nil || n.killed {
+		return nil
+	}
+	if n.lame {
+		n.store.Abandon()
 		return nil
 	}
 	return n.store.Close()
@@ -396,18 +572,42 @@ func (n *Node) handleOne(conn io.ReadWriter) error {
 		if err := decodePayload(body, &req); err != nil {
 			return writeErr(conn, err)
 		}
-		rep, err := n.Sweep(req.Program, req.Input, req.Streamed)
+		rep, changed, err := n.sweepEx(req.Program, req.Input, req.Streamed, req.Explicit, req.Devices)
 		if err != nil {
 			return writeErr(conn, err)
 		}
+		lame, lameErr := n.Health()
+		if !lame {
+			lameErr = ""
+		}
 		nr := NodeReport{
-			Node:    n.cfg.ID,
-			Devices: n.svc.FleetSize(),
-			Report:  rep,
-			Metrics: n.svc.Metrics(),
-			Flight:  n.flightDelta(),
+			Node:     n.cfg.ID,
+			Devices:  n.svc.FleetSize(),
+			Report:   rep,
+			Metrics:  n.svc.Metrics(),
+			Flight:   n.flightDelta(),
+			LameDuck: lame,
+			StoreErr: lameErr,
+		}
+		if req.WantDelta {
+			nr.Changed = changed
 		}
 		return writeResp(conn, msgReport, nr)
+	case msgSync:
+		var req syncReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		if err := n.SyncRecords(req.Records); err != nil {
+			return writeErr(conn, err)
+		}
+		return writeResp(conn, msgOK, okResp{Node: n.cfg.ID})
+	case msgFetch:
+		var req fetchReq
+		if err := decodePayload(body, &req); err != nil {
+			return writeErr(conn, err)
+		}
+		return writeResp(conn, msgRecords, recordsResp{Records: n.FetchRecords(req.Devices)})
 	case msgTransfer:
 		var req deviceReq
 		if err := decodePayload(body, &req); err != nil {

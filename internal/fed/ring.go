@@ -106,6 +106,35 @@ func (r *Ring) Assign(key string) (node NodeID, ok bool) {
 	return r.points[i].node, true
 }
 
+// AssignN maps a key to an ordered replica set of up to n distinct
+// physical nodes: the owner from Assign first, then the owners of the
+// next clockwise points belonging to nodes not already collected. The
+// order is significant — index 0 is the primary, later entries are the
+// failover sequence — and, like Assign, it is a pure function of the
+// membership set. When the ring holds fewer than n nodes the slice is
+// shorter (min(n, Len()) entries); an empty ring yields nil.
+func (r *Ring) AssignN(key string, n int) []NodeID {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]NodeID, 0, n)
+	seen := make(map[NodeID]struct{}, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		owners = append(owners, p.node)
+	}
+	return owners
+}
+
 // Nodes lists the member nodes, sorted.
 func (r *Ring) Nodes() []NodeID {
 	out := make([]NodeID, 0, len(r.nodes))

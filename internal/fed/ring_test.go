@@ -122,6 +122,124 @@ func TestRingMinimalMovement(t *testing.T) {
 	}
 }
 
+// TestRingAssignNDistinct is the replica-set placement property: for
+// every key and every replication factor up to the member count, the
+// owner list holds exactly min(R, N) distinct physical nodes, starts
+// with the Assign owner, and is stable across recomputation.
+func TestRingAssignNDistinct(t *testing.T) {
+	r := NewRing(64)
+	nodes := []NodeID{"n0", "n1", "n2", "n3", "n4"}
+	keys := ringKeys(2000)
+	for added, n := range nodes {
+		r.Add(n)
+		live := added + 1
+		for wantR := 1; wantR <= live+1; wantR++ {
+			want := wantR
+			if want > live {
+				want = live
+			}
+			for _, k := range keys[:500] {
+				owners := r.AssignN(k, wantR)
+				if len(owners) != want {
+					t.Fatalf("%d nodes, R=%d: key %s got %d owners, want %d", live, wantR, k, len(owners), want)
+				}
+				seen := make(map[NodeID]bool, len(owners))
+				for _, o := range owners {
+					if seen[o] {
+						t.Fatalf("key %s: duplicate owner %s in %v", k, o, owners)
+					}
+					if !r.Has(o) {
+						t.Fatalf("key %s: owner %s is not a ring member", k, o)
+					}
+					seen[o] = true
+				}
+				primary, _ := r.Assign(k)
+				if owners[0] != primary {
+					t.Fatalf("key %s: AssignN[0]=%s, Assign=%s", k, owners[0], primary)
+				}
+			}
+		}
+	}
+	if got := r.AssignN("x", 0); got != nil {
+		t.Fatalf("AssignN(_, 0) = %v, want nil", got)
+	}
+	if got := NewRing(8).AssignN("x", 2); got != nil {
+		t.Fatalf("AssignN on empty ring = %v, want nil", got)
+	}
+}
+
+// TestRingAssignNMinimalMovement extends the consistent-hashing
+// contract to replica sets: a join only ever adds the joining node to a
+// key's owner list (survivor membership is preserved, though failover
+// order may shift), a leave only removes the leaver, and removal
+// restores the pre-join replica sets exactly. The moved fraction of
+// (key, replica) assignments stays near R/N.
+func TestRingAssignNMinimalMovement(t *testing.T) {
+	const R = 2
+	r := NewRing(128)
+	for _, n := range []NodeID{"a", "b", "c"} {
+		r.Add(n)
+	}
+	keys := ringKeys(5000)
+	setOf := func(owners []NodeID) map[NodeID]bool {
+		m := make(map[NodeID]bool, len(owners))
+		for _, o := range owners {
+			m[o] = true
+		}
+		return m
+	}
+	before := make(map[string][]NodeID, len(keys))
+	for _, k := range keys {
+		before[k] = r.AssignN(k, R)
+	}
+
+	r.Add("d")
+	movedPairs := 0
+	for _, k := range keys {
+		after := r.AssignN(k, R)
+		was, now := setOf(before[k]), setOf(after)
+		for n := range now {
+			if !was[n] && n != "d" {
+				t.Fatalf("key %s: join of d added survivor %s (%v → %v)", k, n, before[k], after)
+			}
+		}
+		dropped := 0
+		for n := range was {
+			if !now[n] {
+				dropped++
+			}
+		}
+		if dropped > 1 {
+			t.Fatalf("key %s: join displaced %d replicas (%v → %v), want ≤ 1", k, dropped, before[k], after)
+		}
+		for i := range after {
+			if i >= len(before[k]) || after[i] != before[k][i] {
+				movedPairs++
+			}
+		}
+	}
+	// Expected churn: each of the R replica slots moves for ~1/4 of
+	// keys (the new node's share), plus order shifts; allow slack but
+	// reject wholesale reshuffles.
+	total := len(keys) * R
+	if movedPairs == 0 || movedPairs > total/2 {
+		t.Fatalf("join moved %d of %d (key, replica) pairs; want roughly %d", movedPairs, total, total/4)
+	}
+
+	r.Remove("d")
+	for _, k := range keys {
+		restored := r.AssignN(k, R)
+		if len(restored) != len(before[k]) {
+			t.Fatalf("key %s: %v before join, %v after leave", k, before[k], restored)
+		}
+		for i := range restored {
+			if restored[i] != before[k][i] {
+				t.Fatalf("key %s: %v before join, %v after leave", k, before[k], restored)
+			}
+		}
+	}
+}
+
 func TestRingClone(t *testing.T) {
 	r := NewRing(32)
 	r.Add("a")

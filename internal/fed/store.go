@@ -1,6 +1,7 @@
 package fed
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,6 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+
+	"lofat/internal/fed/faultfs"
 )
 
 // Store is a node's durability layer: a directory holding generations
@@ -34,8 +38,9 @@ import (
 // rename) and starts a fresh WAL; the previous generation is kept as a
 // fallback and older ones removed.
 type Store struct {
+	fs      faultfs.FS
 	dir     string
-	wal     *os.File
+	wal     faultfs.File
 	walLen  int64  // bytes of durable, validated WAL content
 	gen     uint64 // current snapshot/WAL generation
 	records int    // records appended to the current WAL
@@ -67,20 +72,40 @@ const recHeaderLen = 8
 // names the owner; opening a directory persisted by a different node ID
 // fails loudly (two nodes sharing a directory is operator error).
 func OpenStore(dir string, node NodeID) (*Store, *State, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenStoreFS(faultfs.OS{}, dir, node)
+}
+
+// OpenStoreFS is OpenStore against an explicit filesystem — the real
+// one in production, a faultfs.Injector under chaos tests.
+func OpenStoreFS(fsys faultfs.FS, dir string, node NodeID) (*Store, *State, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("fed: store: %w", err)
 	}
-	gens, err := snapshotGenerations(dir)
+	gens, err := snapshotGenerations(fsys, dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	// A crash between CreateTemp and the rename in Compact leaves a
+	// stale snap-*.tmp: never-published garbage. Sweep it now so the
+	// directory only ever holds files the recovery contract covers.
+	if ents, err := fsys.ReadDir(dir); err == nil {
+		for _, e := range ents {
+			name := e.Name()
+			if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".tmp") {
+				fsys.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
 	state := NewState(node)
-	st := &Store{dir: dir}
+	st := &Store{fs: fsys, dir: dir}
 	// Newest snapshot first; an unreadable snapshot file is corruption,
 	// not an invitation to fall back silently.
 	if len(gens) > 0 {
 		st.gen = gens[len(gens)-1]
-		img, err := os.ReadFile(snapPath(dir, st.gen))
+		img, err := fsys.ReadFile(snapPath(dir, st.gen))
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: read snapshot %d: %v", ErrCorrupt, st.gen, err)
 		}
@@ -103,7 +128,7 @@ func OpenStore(dir string, node NodeID) (*Store, *State, error) {
 // positioned for appends.
 func (s *Store) openWAL(state *State) error {
 	path := walPath(s.dir, s.gen)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("fed: store: %w", err)
 	}
@@ -112,11 +137,32 @@ func (s *Store) openWAL(state *State) error {
 		f.Close()
 		return fmt.Errorf("fed: store: %w", err)
 	}
-	if info.Size() == 0 {
-		// Fresh WAL: stamp the header.
+	if info.Size() < int64(walHeaderLen) {
+		// Fresh WAL — or the header write itself torn by a crash. A
+		// strict prefix of the expected header is a crash artifact, so
+		// rewind and stamp a fresh one; any other bytes are damage.
 		var w writer
 		w.buf = append(w.buf, walMagic...)
 		w.u16(SnapshotVersion)
+		if info.Size() > 0 {
+			got := make([]byte, info.Size())
+			if _, err := io.ReadFull(f, got); err != nil {
+				f.Close()
+				return fmt.Errorf("fed: store: %w", err)
+			}
+			if !bytes.Equal(got, w.buf[:len(got)]) {
+				f.Close()
+				return fmt.Errorf("%w: wal: %d-byte file is not a header prefix", ErrCorrupt, info.Size())
+			}
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return fmt.Errorf("fed: store: %w", err)
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				f.Close()
+				return fmt.Errorf("fed: store: %w", err)
+			}
+		}
 		if _, err := f.Write(w.buf); err != nil {
 			f.Close()
 			return fmt.Errorf("fed: store: write wal header: %w", err)
@@ -212,6 +258,14 @@ func (s *Store) Append(rec WALRecord) error {
 	w.u32(crc32.Checksum(body, crcTable))
 	w.buf = append(w.buf, body...)
 	if _, err := s.wal.Write(w.buf); err != nil {
+		// Claw back whatever partial bytes the failed write left, so a
+		// later successful append never grafts a valid record onto a
+		// torn middle — replay would stop at the tear and silently drop
+		// it. If the truncate fails too the disk is gone; the node's
+		// lame-duck path stops further appends.
+		if s.wal.Truncate(s.walLen) == nil {
+			s.wal.Seek(s.walLen, io.SeekStart)
+		}
 		return fmt.Errorf("fed: store: wal append: %w", err)
 	}
 	s.walLen += int64(len(w.buf))
@@ -244,7 +298,7 @@ func (s *Store) Compact(state *State) error {
 	}
 	next := s.gen + 1
 	img := EncodeSnapshot(state)
-	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
+	tmp, err := s.fs.CreateTemp(s.dir, "snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("fed: store: %w", err)
 	}
@@ -253,16 +307,23 @@ func (s *Store) Compact(state *State) error {
 	}
 	if err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("fed: store: write snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("fed: store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), snapPath(s.dir, next)); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp.Name(), snapPath(s.dir, next)); err != nil {
+		s.fs.Remove(tmp.Name())
 		return fmt.Errorf("fed: store: %w", err)
+	}
+	// The rename published the snapshot's name, but only in the
+	// directory's in-memory state: a crash before the directory itself
+	// reaches disk can roll the rename back, orphaning the generation.
+	// Fsync the directory before trusting it.
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("fed: store: sync dir after snapshot rename: %w", err)
 	}
 	// The new generation is durable; swap the WAL.
 	old := s.wal
@@ -273,11 +334,11 @@ func (s *Store) Compact(state *State) error {
 	old.Sync()
 	old.Close()
 	// Retire obsolete generations (keep current and previous).
-	if gens, err := snapshotGenerations(s.dir); err == nil {
+	if gens, err := snapshotGenerations(s.fs, s.dir); err == nil {
 		for _, g := range gens {
 			if g+1 < next {
-				os.Remove(snapPath(s.dir, g))
-				os.Remove(walPath(s.dir, g))
+				s.fs.Remove(snapPath(s.dir, g))
+				s.fs.Remove(walPath(s.dir, g))
 			}
 		}
 	}
@@ -310,8 +371,8 @@ func (s *Store) Abandon() {
 
 // snapshotGenerations lists the snapshot generations present in dir,
 // ascending.
-func snapshotGenerations(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func snapshotGenerations(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("fed: store: %w", err)
 	}

@@ -28,13 +28,79 @@ type NodeReport struct {
 
 	// Devices is the node's total enrolment at sweep time (all
 	// programs); the remaining fields are valid when Err is empty and
-	// Skipped is false.
+	// Skipped is false — except that a node which completed earlier
+	// failover waves before dying keeps those waves' sums in Report
+	// alongside its Err.
 	Devices int
 	Report  fleet.SweepReport
 	Metrics fleet.MetricsSnapshot
 	// Flight carries the node's flight-recorder events new since the
 	// coordinator last collected (delta, not the full ring).
 	Flight []obs.Event
+
+	// LameDuck: the node's persistence layer is failing and it is in
+	// read-only degraded service; StoreErr is the store failure that
+	// put it there. The coordinator steers placement away from lame
+	// nodes, falling back to them only when no healthy replica is live.
+	LameDuck bool
+	StoreErr string
+
+	// Changed lists the device records this node's sweep moved, when
+	// the coordinator asked for the delta (replicated federations only)
+	// — the anti-entropy feed. Cleared before the report lands in the
+	// verdict; it is plumbing, not attestation outcome.
+	Changed []DeviceRecord `json:"-"`
+}
+
+// foldNodeReport merges a later wave's report for the same node into
+// an earlier one: sweep sums add (each wave challenged a disjoint
+// device set), flight deltas concatenate, the newest metrics snapshot
+// and health flags win, and a failure in any wave voids no earlier
+// wave's results but does mark the node failed.
+func foldNodeReport(dst, src NodeReport) NodeReport {
+	dst.Probe = dst.Probe || src.Probe
+	dst.Attempts += src.Attempts
+	if src.Err != "" {
+		dst.Err = src.Err
+	}
+	if src.Devices > dst.Devices {
+		dst.Devices = src.Devices
+	}
+	dst.Report = foldSweepReports(dst.Report, src.Report)
+	if src.Err == "" {
+		dst.Metrics = src.Metrics
+		dst.LameDuck = src.LameDuck
+		dst.StoreErr = src.StoreErr
+	}
+	dst.Flight = append(dst.Flight, src.Flight...)
+	dst.Changed = append(dst.Changed, src.Changed...)
+	return dst
+}
+
+// foldSweepReports sums two sweep reports over disjoint device sets.
+func foldSweepReports(a, b fleet.SweepReport) fleet.SweepReport {
+	a.Devices += b.Devices
+	a.Skipped += b.Skipped
+	a.Accepted += b.Accepted
+	a.Rejected += b.Rejected
+	a.Errors += b.Errors
+	a.Retried += b.Retried
+	a.BreakerSkipped += b.BreakerSkipped
+	a.BreakerProbes += b.BreakerProbes
+	a.SegmentsVerified += b.SegmentsVerified
+	a.EarlyAborts += b.EarlyAborts
+	a.NewlyQuarantined = append(a.NewlyQuarantined, b.NewlyQuarantined...)
+	a.NewlyTripped = append(a.NewlyTripped, b.NewlyTripped...)
+	if len(b.ByClass) > 0 {
+		if a.ByClass == nil {
+			a.ByClass = make(map[attest.Classification]int, len(b.ByClass))
+		}
+		for c, k := range b.ByClass {
+			a.ByClass[c] += k
+		}
+	}
+	a.Duration += b.Duration
+	return a
 }
 
 // FleetVerdict is the single merged outcome of one federated sweep:
@@ -67,6 +133,20 @@ type FleetVerdict struct {
 	SegmentsVerified int
 	EarlyAborts      int
 
+	// FailedOver attributes each re-issued device to the node that
+	// actually verified it: a device appears here when its acting
+	// primary failed (or sat behind an open breaker) mid-sweep and a
+	// later wave re-challenged it on the mapped replica. Waves counts
+	// the placement rounds the sweep needed (1 = no failover).
+	FailedOver map[fleet.DeviceID]NodeID
+	Waves      int
+	// Uncovered lists enrolled devices no live replica could verify
+	// this sweep — every owner dead, skipped, or exhausted. Empty in a
+	// healthy federation and, with R ≥ 2, across single-node failures.
+	Uncovered []fleet.DeviceID
+	// NodesLame counts reporting nodes in lame-duck (read-only) service.
+	NodesLame int
+
 	// Healthy: every member node reported and no device was rejected
 	// or lost — the fleet attested clean.
 	Healthy  bool
@@ -79,9 +159,16 @@ type FleetVerdict struct {
 }
 
 // mergeVerdict folds per-node reports into the fleet verdict. duration
-// is the coordinator's wall-clock for the whole fan-out.
-func mergeVerdict(prog attest.ProgramID, input []uint32, nodes []NodeReport, duration time.Duration) *FleetVerdict {
+// is the coordinator's wall-clock for the whole fan-out; failedOver,
+// uncovered and waves come from the failover planner (nil/0 for an
+// unreplicated sweep). A failed node's partial report — waves it
+// completed before dying — still counts toward the fleet sums: those
+// devices were verified.
+func mergeVerdict(prog attest.ProgramID, input []uint32, nodes []NodeReport, failedOver map[fleet.DeviceID]NodeID, uncovered []fleet.DeviceID, waves int, duration time.Duration) *FleetVerdict {
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+	for i := range nodes {
+		nodes[i].Changed = nil // anti-entropy plumbing, not verdict data
+	}
 	v := &FleetVerdict{
 		Program:          prog,
 		Input:            append([]uint32(nil), input...),
@@ -89,8 +176,14 @@ func mergeVerdict(prog attest.ProgramID, input []uint32, nodes []NodeReport, dur
 		ByClass:          make(map[attest.Classification]int),
 		NewlyQuarantined: make(map[NodeID][]fleet.DeviceID),
 		NewlyTripped:     make(map[NodeID][]fleet.DeviceID),
+		FailedOver:       failedOver,
+		Waves:            waves,
+		Uncovered:        uncovered,
 		Healthy:          true,
 		Duration:         duration,
+	}
+	if len(uncovered) > 0 {
+		v.Healthy = false
 	}
 	for _, n := range nodes {
 		switch {
@@ -101,9 +194,12 @@ func mergeVerdict(prog attest.ProgramID, input []uint32, nodes []NodeReport, dur
 		case n.Err != "":
 			v.NodesFailed++
 			v.Healthy = false
-			continue
+		default:
+			v.NodesOK++
+			if n.LameDuck {
+				v.NodesLame++
+			}
 		}
-		v.NodesOK++
 		r := n.Report
 		v.Devices += r.Devices
 		v.Accepted += r.Accepted
@@ -144,12 +240,21 @@ func (v *FleetVerdict) String() string {
 	if v.NodesFailed > 0 || v.NodesSkipped > 0 {
 		fmt.Fprintf(&b, " [%d node(s) failed, %d breaker-skipped]", v.NodesFailed, v.NodesSkipped)
 	}
+	if len(v.FailedOver) > 0 {
+		fmt.Fprintf(&b, " [%d device(s) failed over across %d wave(s)]", len(v.FailedOver), v.Waves)
+	}
+	if len(v.Uncovered) > 0 {
+		fmt.Fprintf(&b, " [%d device(s) UNCOVERED]", len(v.Uncovered))
+	}
 	for _, n := range v.Nodes {
 		switch {
 		case n.Skipped:
 			fmt.Fprintf(&b, "\n  %s: skipped (node breaker open)", n.Node)
 		case n.Err != "":
 			fmt.Fprintf(&b, "\n  %s: FAILED after %d attempt(s): %s", n.Node, n.Attempts, n.Err)
+			if n.Report.Devices > 0 {
+				fmt.Fprintf(&b, " (kept %d device(s) from completed waves)", n.Report.Devices)
+			}
 		default:
 			fmt.Fprintf(&b, "\n  %s: %d devices, %d accepted, %d rejected, %d errors, %d skipped",
 				n.Node, n.Report.Devices, n.Report.Accepted, n.Report.Rejected, n.Report.Errors, n.Report.Skipped)
@@ -158,6 +263,9 @@ func (v *FleetVerdict) String() string {
 			}
 			if t := v.NewlyTripped[n.Node]; len(t) > 0 {
 				fmt.Fprintf(&b, ", tripped %v", t)
+			}
+			if n.LameDuck {
+				fmt.Fprintf(&b, " [LAME DUCK: %s]", n.StoreErr)
 			}
 		}
 	}

@@ -395,6 +395,18 @@ func (s *Service) EnrollState(st DeviceState) error {
 	})
 }
 
+// SyncState overwrites an enrolled device's replicated policy fields —
+// quarantine, rejection streak, lifetime counters, breaker position —
+// with a snapshot from another replica of the same device. This is the
+// anti-entropy half of federated replication: a secondary that did not
+// run the round still converges on the primary's verdict history.
+// Identity fields and local diagnostics are left untouched. It reports
+// false when the device is not enrolled (or enrolled for a different
+// program); callers then restore via EnrollState instead.
+func (s *Service) SyncState(st DeviceState) bool {
+	return s.reg.sync(st)
+}
+
 // Forget removes a device from the fleet entirely, returning its final
 // snapshot — the extraction half of a federation hand-off (EnrollState
 // on the receiving node is the other half). The device's flight-recorder

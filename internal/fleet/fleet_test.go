@@ -676,3 +676,116 @@ func TestReleaseDrainsFlightHistory(t *testing.T) {
 		t.Fatalf("re-enrolled device inherited %d events", len(got))
 	}
 }
+
+// TestSweepProgramDevicesSubset pins the federated placement primitive:
+// only the named devices are challenged, the rest of the program's
+// members sit the round out untouched.
+func TestSweepProgramDevicesSubset(t *testing.T) {
+	f := newFabric()
+	svc := newService(f, fleet.Config{})
+	defer svc.Close()
+
+	pump := workloads.SyringePump()
+	prog, err := pump.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := svc.RegisterProgram(prog, core.Config{}, [][]uint32{pump.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devs []simDevice
+	for i := 0; i < 4; i++ {
+		d := spawnDevice(t, f, pump, i, nil)
+		if err := svc.Enroll(d.id, pid, d.pub, d.addr); err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, d)
+	}
+
+	subset := []fleet.DeviceID{devs[0].id, devs[2].id, "no-such-device"}
+	rep, err := svc.SweepProgramDevices(pid, pump.Input, false, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Devices != 2 || rep.Accepted != 2 {
+		t.Fatalf("subset sweep: devices=%d accepted=%d, want 2/2", rep.Devices, rep.Accepted)
+	}
+	for i, d := range devs {
+		st, ok := svc.Device(d.id)
+		if !ok {
+			t.Fatalf("device %s missing", d.id)
+		}
+		wantRounds := uint64(0)
+		if i == 0 || i == 2 {
+			wantRounds = 1
+		}
+		if st.Rounds != wantRounds {
+			t.Fatalf("device %s: rounds=%d, want %d", d.id, st.Rounds, wantRounds)
+		}
+	}
+
+	// The empty subset is a no-op round, not an error.
+	rep, err = svc.SweepProgramDevices(pid, pump.Input, false, nil)
+	if err != nil || rep.Devices != 0 {
+		t.Fatalf("empty subset: devices=%d err=%v", rep.Devices, err)
+	}
+}
+
+// TestSyncState pins the anti-entropy upsert: replicated policy fields
+// converge on the pushed snapshot, identity and enrolment stay local.
+func TestSyncState(t *testing.T) {
+	f := newFabric()
+	svc := newService(f, fleet.Config{})
+	defer svc.Close()
+
+	pump := workloads.SyringePump()
+	prog, err := pump.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := svc.RegisterProgram(prog, core.Config{}, [][]uint32{pump.Input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spawnDevice(t, f, pump, 0, nil)
+	if err := svc.Enroll(d.id, pid, d.pub, d.addr); err != nil {
+		t.Fatal(err)
+	}
+
+	push := fleet.DeviceState{
+		ID:      d.id,
+		Addr:    "mem://bogus/overwritten-identity-must-not-land",
+		Program: pid,
+
+		Quarantined:        true,
+		ConsecutiveRejects: 3,
+		Rounds:             7,
+		Accepted:           4,
+		Rejected:           3,
+		LastClass:          attest.ClassLoopCounter,
+
+		Breaker:                   fleet.BreakerDegraded,
+		ConsecutiveTransportFails: 1,
+		BreakerGen:                9,
+	}
+	if !svc.SyncState(push) {
+		t.Fatal("SyncState on an enrolled device should succeed")
+	}
+	st, _ := svc.Device(d.id)
+	if !st.Quarantined || st.ConsecutiveRejects != 3 || st.Rounds != 7 ||
+		st.Accepted != 4 || st.Rejected != 3 || st.LastClass != attest.ClassLoopCounter ||
+		st.Breaker != fleet.BreakerDegraded || st.ConsecutiveTransportFails != 1 || st.BreakerGen != 9 {
+		t.Fatalf("policy fields did not converge: %+v", st)
+	}
+	if st.Addr != d.addr {
+		t.Fatalf("SyncState rewrote identity: addr %q → %q", d.addr, st.Addr)
+	}
+
+	if svc.SyncState(fleet.DeviceState{ID: "ghost", Program: pid}) {
+		t.Fatal("SyncState on an unknown device should report false")
+	}
+	if svc.SyncState(fleet.DeviceState{ID: d.id}) {
+		t.Fatal("SyncState with a mismatched program should report false")
+	}
+}

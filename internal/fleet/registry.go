@@ -291,6 +291,34 @@ func (r *Registry) SetQuarantined(id DeviceID, q bool) bool {
 	return true
 }
 
+// sync overwrites the replicated policy fields of an enrolled device —
+// quarantine, streaks, lifetime counters, breaker position — with a
+// snapshot from another replica, leaving identity (address, key,
+// verifier) and local diagnostics (findings, last error, timestamps)
+// untouched. It reports false when the device is absent or enrolled for
+// a different program; anti-entropy callers fall back to a full
+// EnrollState in that case.
+func (r *Registry) sync(st DeviceState) bool {
+	sh := r.shardFor(st.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[st.ID]
+	if !ok || d.program != st.Program {
+		return false
+	}
+	d.quarantined = st.Quarantined
+	d.consecutiveRejects = st.ConsecutiveRejects
+	d.rounds = st.Rounds
+	d.accepted = st.Accepted
+	d.rejected = st.Rejected
+	d.transportErrors = st.TransportErrors
+	d.lastClass = st.LastClass
+	d.breaker = st.Breaker
+	d.transportFails = st.ConsecutiveTransportFails
+	d.breakerGen = st.BreakerGen
+	return true
+}
+
 // membersOf returns the devices enrolled for a program, sorted by ID
 // for deterministic sweep order.
 func (r *Registry) membersOf(prog attest.ProgramID) []*device {

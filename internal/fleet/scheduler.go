@@ -169,6 +169,21 @@ func (s *Service) SweepProgram(prog attest.ProgramID, input []uint32) (SweepRepo
 	return s.sweepProgram(prog, input, false, s.sweepGen.Add(1))
 }
 
+// SweepProgramDevices is SweepProgram restricted to an explicit device
+// subset — the federated placement primitive: a coordinator that has
+// replicated a device onto several nodes names, per sweep, exactly
+// which devices each node acts for, so standby replicas hold the state
+// without double-challenging the prover. Devices in ids that are not
+// enrolled for prog are ignored; an empty subset performs the cache
+// warm-up and returns an empty report.
+func (s *Service) SweepProgramDevices(prog attest.ProgramID, input []uint32, streamed bool, ids []DeviceID) (SweepReport, error) {
+	only := make(map[DeviceID]bool, len(ids))
+	for _, id := range ids {
+		only[id] = true
+	}
+	return s.sweepProgramFiltered(prog, input, streamed, s.sweepGen.Add(1), only)
+}
+
 // SweepProgramStreamed is SweepProgram over the segmented streaming
 // protocol: every device is verified incrementally as it executes, and
 // an attacked or long-running device is rejected — and quarantined —
@@ -189,6 +204,12 @@ func (s *Service) sweepFail(prog attest.ProgramID, gen uint64, err error) {
 }
 
 func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed bool, gen uint64) (SweepReport, error) {
+	return s.sweepProgramFiltered(prog, input, streamed, gen, nil)
+}
+
+// sweepProgramFiltered is sweepProgram with an optional device filter
+// (nil sweeps every member; non-nil sweeps exactly the listed members).
+func (s *Service) sweepProgramFiltered(prog attest.ProgramID, input []uint32, streamed bool, gen uint64, only map[DeviceID]bool) (SweepReport, error) {
 	s.mu.RLock()
 	p, ok := s.programs[prog]
 	closed := s.closed
@@ -244,6 +265,15 @@ func (s *Service) sweepProgram(prog attest.ProgramID, input []uint32, streamed b
 	}
 
 	members := s.reg.membersOf(prog)
+	if only != nil {
+		kept := members[:0]
+		for _, d := range members {
+			if only[d.id] {
+				kept = append(kept, d)
+			}
+		}
+		members = kept
+	}
 	rep.Devices = len(members)
 	rounds := make([]Round, 0, len(members))
 	for _, d := range members {

@@ -42,6 +42,14 @@ const (
 	KindNodeJoin
 	KindNodeLeave
 	KindRebalance
+	// KindFailover: a mid-sweep re-issue of a device against its next
+	// live replica after its acting node failed; Device carries the
+	// device ID, Detail the failed→acting node hop.
+	KindFailover
+	// KindLameDuck: a node's persistence layer began failing and the
+	// node entered read-only degraded service; Device carries the node
+	// ID, Detail the store error.
+	KindLameDuck
 )
 
 func (k EventKind) String() string {
@@ -70,6 +78,10 @@ func (k EventKind) String() string {
 		return "node-leave"
 	case KindRebalance:
 		return "rebalance"
+	case KindFailover:
+		return "failover"
+	case KindLameDuck:
+		return "lame-duck"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
