@@ -1,0 +1,73 @@
+// Command lofat-vet runs the LO-FAT project-invariant analyzer suite
+// (internal/lint) over the packages matched by its arguments.
+//
+// Usage:
+//
+//	go run ./cmd/lofat-vet ./...
+//	go run ./cmd/lofat-vet -json ./...
+//
+// Exit status: 0 when clean, 1 when any diagnostic is reported, 2 when
+// loading or type-checking fails outright. In -json mode the output is
+// a single object with "diagnostics" and "suppressions" arrays — the
+// latter lists every //lofat:ignore and sanctioning //lofat:rawconn /
+// //lofat:locked directive in effect, so exceptions are auditable in
+// CI artifacts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lofat/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (diagnostics + suppressions)")
+	dir := flag.String("dir", ".", "directory to resolve package patterns from")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lofat-vet [-json] [-dir DIR] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	suite, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lofat-vet: %v\n", err)
+		os.Exit(2)
+	}
+	res := suite.Run()
+
+	if *jsonOut {
+		// A clean run still emits well-formed arrays, not nulls.
+		if res.Diagnostics == nil {
+			res.Diagnostics = []lint.Diagnostic{}
+		}
+		if res.Suppressions == nil {
+			res.Suppressions = []lint.Suppression{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "lofat-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+		if n := len(res.Suppressions); n > 0 {
+			fmt.Fprintf(os.Stderr, "lofat-vet: %d audited suppression(s); run with -json to list them\n", n)
+		}
+	}
+
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

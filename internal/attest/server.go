@@ -17,7 +17,8 @@ import (
 // installed binary by program ID. Challenges are routed by the ID in
 // the challenge message.
 type Registry struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//lofat:guardedby mu
 	provers map[ProgramID]*Prover
 }
 
@@ -109,11 +110,13 @@ type Server struct {
 	// before Listen.
 	IdleTimeout time.Duration
 
-	handler  func(io.ReadWriter) error
-	mu       sync.Mutex
+	handler func(io.ReadWriter) error
+	mu      sync.Mutex
+	//lofat:guardedby mu
 	listener net.Listener
 	wg       sync.WaitGroup
-	closed   bool
+	//lofat:guardedby mu
+	closed bool
 }
 
 // NewServer wraps a registry in a TCP server (not yet listening).
@@ -219,6 +222,9 @@ type idleConn struct {
 	armed     bool
 }
 
+// Read delivers bytes under the per-section deadline.
+//
+//lofat:rawconn idleConn IS the server-side deadline wrapper; every Read arms a deadline first
 func (c *idleConn) Read(p []byte) (int, error) {
 	if !c.armed {
 		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
@@ -266,6 +272,9 @@ func (c *idleConn) consume(b []byte) {
 	}
 }
 
+// Write sends bytes under a per-call deadline.
+//
+//lofat:rawconn idleConn IS the server-side deadline wrapper; every Write arms a deadline first
 func (c *idleConn) Write(p []byte) (int, error) {
 	if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
 		return 0, err

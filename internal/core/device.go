@@ -29,6 +29,8 @@ type Region struct {
 
 // Contains reports whether pc is attested under the region (the zero
 // region attests all addresses).
+//
+//lofat:zeroalloc
 func (r Region) Contains(pc uint32) bool {
 	if r.Start == 0 && r.End == 0 {
 		return true
@@ -186,6 +188,8 @@ func ReleaseDevice(d *Device) {
 // monitor reads pairs out of the branches memory, so when the engine's
 // input FIFO is full it simply waits engine cycles (backpressure inside
 // the device — never to the processor) rather than dropping.
+//
+//lofat:zeroalloc
 func (d *Device) absorb(p hashengine.Pair) {
 	for d.engine.Full() {
 		d.engine.Tick()
@@ -198,6 +202,8 @@ func (d *Device) absorb(p hashengine.Pair) {
 // instructions in program order from the core's fast trace port. Each
 // event carries its own cycle, so batch delivery is state-identical to
 // per-event delivery.
+//
+//lofat:zeroalloc
 func (d *Device) RetireBatch(events []trace.Event) {
 	for i := range events {
 		d.Retire(events[i])
@@ -208,6 +214,8 @@ func (d *Device) RetireBatch(events []trace.Event) {
 // further events for this device (trailing non-control-flow retirements
 // withheld by the control-flow-only mask). The engine clock catches up
 // exactly as it would have per event.
+//
+//lofat:zeroalloc
 func (d *Device) Sync(cycle uint64) {
 	if d.finalized {
 		return
@@ -226,6 +234,8 @@ func (d *Device) Sync(cycle uint64) {
 func (d *Device) CFOnlyCompatible() bool { return d.cfg.Region == (Region{}) }
 
 // Retire implements trace.Sink: one retired instruction from the core.
+//
+//lofat:zeroalloc
 func (d *Device) Retire(e trace.Event) {
 	if d.finalized {
 		return
@@ -314,6 +324,8 @@ func (d *Device) stats() Stats {
 }
 
 // Reset prepares the device for a fresh attestation run.
+//
+//lofat:zeroalloc
 func (d *Device) Reset() {
 	d.filter.Reset()
 	d.monitor.Reset()

@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"testing"
+
+	"lofat/internal/asm"
+	"lofat/internal/trace"
+)
+
+const allocProg = `
+	li t0, 0
+	li t1, 32
+loop:
+	addi t0, t0, 1
+	bne t0, t1, loop
+	li a0, 0
+	li a7, 93
+	ecall
+`
+
+// TestRunHotPathZeroAlloc is the runtime proof behind the
+// //lofat:zeroalloc annotations on the interpreter's fetch/decode/exec
+// path: a predecoded counting loop runs to completion — with the trace
+// batch draining into a sink — without a single steady-state
+// allocation.
+func TestRunHotPathZeroAlloc(t *testing.T) {
+	p, err := asm.Assemble(allocProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := Load(p, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retired uint64
+	mach.CPU.Trace = trace.SinkFunc(func(trace.Event) { retired++ })
+	run := func() {
+		if err := mach.Reset(); err != nil {
+			panic(err)
+		}
+		if err := mach.CPU.Run(10000); err != nil {
+			panic(err)
+		}
+		mach.CPU.FlushTrace()
+	}
+	run() // warm the lazy trace batch buffer
+	if n := testing.AllocsPerRun(50, run); n != 0 {
+		t.Fatalf("interpreter hot path allocates %v per run, want 0", n)
+	}
+	if retired == 0 {
+		t.Fatal("trace sink never saw a retired instruction")
+	}
+}

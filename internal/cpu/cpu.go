@@ -140,6 +140,8 @@ func New(m *mem.Memory) *CPU {
 
 // Reset prepares the core to run from entry with the given stack top.
 // The instruction cache, if any, is retained: the rx image is unchanged.
+//
+//lofat:zeroalloc
 func (c *CPU) Reset(entry, stackTop uint32) {
 	c.Regs = [isa.NumRegs]uint32{}
 	c.Regs[isa.SP] = stackTop
@@ -195,22 +197,29 @@ func (c *CPU) Step() error {
 }
 
 // step is Step without the halt guard (hoisted by Run's loop condition).
+//
+//lofat:zeroalloc
 func (c *CPU) step() error {
 	pc := c.PC
 	if off := pc - c.icacheBase; off&3 == 0 && uint64(off)>>2 < uint64(len(c.icache)) {
 		p := &c.icache[off>>2]
 		if !p.valid {
+			//lofat:ignore zeroalloc cold fault path: re-decoding an invalid word ends the run
 			_, err := isa.Decode(p.word)
+			//lofat:ignore zeroalloc cold fault path: the run is over once an ExecError exists
 			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 		}
 		return c.exec(pc, p)
 	}
 	word, err := c.Mem.Fetch(pc)
 	if err != nil {
+		//lofat:ignore zeroalloc cold fault path: the run is over once an ExecError exists
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 	}
+	//lofat:ignore zeroalloc uncached decode is the pinned slow path (ClearPredecode harnesses only)
 	in, err := isa.Decode(word)
 	if err != nil {
+		//lofat:ignore zeroalloc cold fault path: the run is over once an ExecError exists
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 	}
 	p := predecoded{
@@ -224,6 +233,8 @@ func (c *CPU) step() error {
 }
 
 // set writes a register, honouring the hardwired x0.
+//
+//lofat:zeroalloc
 func (c *CPU) set(r isa.Reg, v uint32) {
 	if r != isa.Zero {
 		c.Regs[r] = v
@@ -232,6 +243,8 @@ func (c *CPU) set(r isa.Reg, v uint32) {
 
 // exec executes one predecoded instruction at pc: the flattened hot
 // loop body, reading and writing the register file directly.
+//
+//lofat:zeroalloc
 func (c *CPU) exec(pc uint32, p *predecoded) error {
 	in := p.inst
 	cost := c.Costs.Base
@@ -298,6 +311,7 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 			v, err = c.Mem.LoadWord(addr)
 		}
 		if err != nil {
+			//lofat:ignore zeroalloc cold fault path: the run is over once an ExecError exists
 			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 		}
 		c.set(in.Rd, v)
@@ -315,6 +329,7 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 			err = c.Mem.StoreWord(addr, v)
 		}
 		if err != nil {
+			//lofat:ignore zeroalloc cold fault path: the run is over once an ExecError exists
 			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 		}
 
@@ -428,14 +443,18 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 			}
 			c.set(isa.A0, v)
 		default:
-			return &ExecError{PC: pc, Cycle: c.Cycle,
-				Err: fmt.Errorf("unknown ecall %d", c.Regs[isa.A7])}
+			//lofat:ignore zeroalloc cold fault path: unknown ecall halts the run
+			err = fmt.Errorf("unknown ecall %d", c.Regs[isa.A7])
+			//lofat:ignore zeroalloc cold fault path: the run is over once an ExecError exists
+			return &ExecError{PC: pc, Cycle: c.Cycle, Err: err}
 		}
 
 	case isa.OpEBREAK:
+		//lofat:ignore zeroalloc cold fault path: ebreak halts the run
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: fmt.Errorf("ebreak")}
 
 	default:
+		//lofat:ignore zeroalloc cold fault path: an unimplemented opcode halts the run
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: fmt.Errorf("unimplemented opcode %v", in.Op)}
 	}
 
@@ -446,6 +465,7 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 	if c.TraceBatch != nil {
 		if !(c.TraceCFOnly && p.kind == isa.KindNone) {
 			if c.batch == nil {
+				//lofat:ignore zeroalloc one-time lazy batch buffer; reused (and Reset-retained) afterwards
 				c.batch = make([]trace.Event, 0, TraceBatchSize)
 			}
 			c.batch = append(c.batch, trace.Event{
@@ -480,6 +500,7 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 	return nil
 }
 
+//lofat:zeroalloc
 func (c *CPU) flushBatch() {
 	if len(c.batch) > 0 {
 		c.TraceBatch.RetireBatch(c.batch)
@@ -491,6 +512,8 @@ func (c *CPU) flushBatch() {
 // observer clock to the core clock. Called automatically at halt;
 // callers that stop stepping before the exit ecall (fixed-step harnesses)
 // must call it before finalizing the observer.
+//
+//lofat:zeroalloc
 func (c *CPU) FlushTrace() {
 	if c.TraceBatch == nil {
 		return
@@ -514,6 +537,7 @@ func (c *CPU) Run(maxInstructions uint64) error {
 	return nil
 }
 
+//lofat:zeroalloc
 func boolToU32(b bool) uint32 {
 	if b {
 		return 1

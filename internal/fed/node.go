@@ -64,31 +64,46 @@ type Node struct {
 	mu sync.Mutex
 	// pending holds restored device records awaiting their program's
 	// registration, keyed by program then device.
+	//lofat:guardedby mu
 	pending map[attest.ProgramID]map[fleet.DeviceID]DeviceRecord
 	// persisted mirrors what the WAL+snapshot durably describe, so the
 	// post-sweep diff appends only records that actually changed.
+	//lofat:guardedby mu
 	persisted map[fleet.DeviceID]DeviceRecord
 	// knownKeys tracks cache keys already WAL-logged. The measurements
 	// behind them are not persisted (derivable, large) — sweeps re-warm
 	// them lazily; the keys keep the durable picture complete.
-	knownKeys     map[string]struct{}
-	persistedGen  uint64
-	programs      map[attest.ProgramID]registerReq
+	//lofat:guardedby mu
+	knownKeys map[string]struct{}
+	//lofat:guardedby mu
+	persistedGen uint64
+	//lofat:guardedby mu
+	programs map[attest.ProgramID]registerReq
+	//lofat:guardedby mu
 	lastFlightSeq uint64
-	killed        bool
+	//lofat:guardedby mu
+	killed bool
 	// storeFails counts consecutive failed persistence passes; at
 	// cfg.LameDuckAfter the node goes lame: read-only degraded service.
 	// A lame node still answers sweeps, transfers and syncs (in memory)
 	// but refuses new enrolments, stops touching its broken store, and
 	// reports itself unhealthy so the coordinator drains it.
+	//lofat:guardedby mu
 	storeFails int
-	lame       bool
-	lameErr    string
+	//lofat:guardedby mu
+	lame bool
+	//lofat:guardedby mu
+	lameErr string
 }
 
 // NewNode builds the node, recovering persisted state when cfg.Dir is
 // set. Registry membership restores lazily per program — see the type
 // comment.
+//
+// (construction: the node is not yet published to any other goroutine,
+// so its state is owned without taking the lock)
+//
+//lofat:locked mu
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("fed: node needs an ID")
@@ -350,6 +365,8 @@ func (n *Node) persistDiff() []DeviceRecord {
 
 // storeFailLocked records one failed persistence pass; at the
 // configured threshold the node flips to lame duck. Caller holds n.mu.
+//
+//lofat:locked mu
 func (n *Node) storeFailLocked(err error) {
 	n.storeFails++
 	n.lameErr = err.Error()
@@ -374,6 +391,8 @@ func (n *Node) Health() (lame bool, reason string) {
 // node's store is broken, and retrying every append against a dead
 // disk would only add latency to the degraded service that remains).
 // Caller holds n.mu.
+//
+//lofat:locked mu
 func (n *Node) appendLocked(rec WALRecord) error {
 	if n.store == nil || n.lame {
 		return nil
@@ -386,6 +405,8 @@ func (n *Node) appendLocked(rec WALRecord) error {
 
 // materializeLocked builds the State the store should describe. Caller
 // holds n.mu.
+//
+//lofat:locked mu
 func (n *Node) materializeLocked() *State {
 	st := NewState(n.cfg.ID)
 	st.SweepGen = n.persistedGen
@@ -414,6 +435,7 @@ func (n *Node) MaterializedState() *State {
 	return n.materializeLocked()
 }
 
+//lofat:locked mu
 func (n *Node) compactLocked() error {
 	if err := n.store.Compact(n.materializeLocked()); err != nil {
 		return fmt.Errorf("fed: node %s: %w", n.cfg.ID, err)

@@ -1,0 +1,35 @@
+package filter
+
+import (
+	"testing"
+
+	"lofat/internal/isa"
+	"lofat/internal/trace"
+)
+
+// TestFilterHotPathZeroAlloc is the runtime proof behind the
+// //lofat:zeroalloc annotations on Step, Flush, Reset, and Depth: a
+// full loop lifecycle (push, iterate, exit) into a reused Op buffer
+// allocates nothing in the steady state.
+func TestFilterHotPathZeroAlloc(t *testing.T) {
+	f := New(Config{})
+	out := make([]Op, 0, 16)
+	evt := func(pc, next uint32, kind isa.ControlFlowKind) trace.Event {
+		return trace.Event{PC: pc, NextPC: next, Kind: kind, Taken: true}
+	}
+	run := func() {
+		out = f.Step(evt(0x120, 0x100, isa.KindCondBr), out[:0]) // back-edge: push
+		out = f.Step(evt(0x11c, 0x100, isa.KindCondBr), out[:0]) // iteration boundary
+		out = f.Step(evt(0x118, 0x200, isa.KindJump), out[:0])   // leaves the body: exit
+		out = f.Flush(out[:0])
+		_ = f.Depth()
+		f.Reset()
+	}
+	run() // warm the Op buffer and loop stack capacity
+	if n := testing.AllocsPerRun(200, run); n != 0 {
+		t.Fatalf("filter hot path allocates %v per run, want 0", n)
+	}
+	if f.Depth() != 0 {
+		t.Fatalf("loop stack not drained: depth %d", f.Depth())
+	}
+}

@@ -112,9 +112,13 @@ func New(cfg Config) *Filter {
 }
 
 // Depth reports the current active loop nesting depth.
+//
+//lofat:zeroalloc
 func (f *Filter) Depth() int { return len(f.stack) }
 
 // Reset clears all loop state for a new attestation run.
+//
+//lofat:zeroalloc
 func (f *Filter) Reset() {
 	f.stack = f.stack[:0]
 	f.Events = 0
@@ -124,6 +128,8 @@ func (f *Filter) Reset() {
 }
 
 // top returns the innermost active loop, or nil.
+//
+//lofat:zeroalloc
 func (f *Filter) top() *loopCtx {
 	if len(f.stack) == 0 {
 		return nil
@@ -132,6 +138,8 @@ func (f *Filter) top() *loopCtx {
 }
 
 // inRange reports whether pc is within the loop body [entry, exit).
+//
+//lofat:zeroalloc
 func (l *loopCtx) inRange(pc uint32) bool {
 	return pc >= l.entry && pc < l.exit
 }
@@ -139,6 +147,8 @@ func (l *loopCtx) inRange(pc uint32) bool {
 // Step processes one retired-instruction event, appending the resulting
 // control operations to out (which is returned, possibly grown).
 // Non-control-flow events produce no operations.
+//
+//lofat:zeroalloc
 func (f *Filter) Step(e trace.Event, out []Op) []Op {
 	if e.Kind == isa.KindNone {
 		return out
@@ -213,6 +223,8 @@ func (f *Filter) Step(e trace.Event, out []Op) []Op {
 // Flush terminates all still-active loops (end of attested execution,
 // e.g. an attested region that halts inside a loop), emitting the
 // corresponding exit operations.
+//
+//lofat:zeroalloc
 func (f *Filter) Flush(out []Op) []Op {
 	for range f.stack {
 		out = append(out, Op{Kind: OpLoopExit})

@@ -291,9 +291,11 @@ func (s *Service) Metrics() MetricsSnapshot {
 		SegmentVerify: m.segmentVerify.Snapshot(),
 		SweepDuration: m.sweepDuration.Snapshot(),
 
-		Devices:     s.reg.Len(),
+		Devices: s.reg.Len(),
+		//lofat:ignore locked the pred runs inside count, which holds each shard's read lock around it
 		Quarantined: s.reg.count(func(d *device) bool { return d.quarantined }),
-		Tripped:     s.reg.count(func(d *device) bool { return d.breaker == BreakerTripped }),
+		//lofat:ignore locked the pred runs inside count, which holds each shard's read lock around it
+		Tripped: s.reg.count(func(d *device) bool { return d.breaker == BreakerTripped }),
 	}
 	for c := 0; c < numClasses; c++ {
 		if n := m.byClass[c].Load(); n > 0 {

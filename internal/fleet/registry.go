@@ -59,20 +59,37 @@ type device struct {
 	pub      ed25519.PublicKey
 	verifier *attest.Verifier
 
-	quarantined        bool
+	//lofat:guardedby mu
+	quarantined bool
+	//lofat:guardedby mu
 	consecutiveRejects int
-	rounds             uint64
-	accepted           uint64
-	rejected           uint64
-	transportErrors    uint64
-	lastClass          attest.Classification
-	lastFindings       []string
-	lastError          string
-	lastAttested       time.Time
+	//lofat:guardedby mu
+	rounds uint64
+	//lofat:guardedby mu
+	accepted uint64
+	//lofat:guardedby mu
+	rejected uint64
+	//lofat:guardedby mu
+	transportErrors uint64
+	//lofat:guardedby mu
+	lastClass attest.Classification
+	//lofat:guardedby mu
+	lastFindings []string
+	//lofat:guardedby mu
+	lastError string
+	//lofat:guardedby mu
+	lastAttested time.Time
 
-	breaker        BreakerState
-	transportFails int    // consecutive failed rounds (all attempts exhausted)
-	breakerGen     uint64 // sweep generation of the trip or last failed probe
+	//lofat:guardedby mu
+	breaker BreakerState
+	// transportFails counts consecutive failed rounds (all attempts
+	// exhausted).
+	//lofat:guardedby mu
+	transportFails int
+	// breakerGen is the sweep generation of the trip or last failed
+	// probe.
+	//lofat:guardedby mu
+	breakerGen uint64
 }
 
 // DeviceState is an exported point-in-time snapshot of a device record.
@@ -106,6 +123,7 @@ type DeviceState struct {
 	BreakerGen                uint64
 }
 
+//lofat:locked mu
 func (d *device) snapshot() DeviceState {
 	return DeviceState{
 		ID:                 d.id,
@@ -137,7 +155,8 @@ type Registry struct {
 }
 
 type shard struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//lofat:guardedby mu
 	devices map[DeviceID]*device
 }
 
@@ -264,6 +283,7 @@ func (r *Registry) count(pred func(*device) bool) int {
 
 // Quarantined lists quarantined device IDs, sorted.
 func (r *Registry) Quarantined() []DeviceID {
+	//lofat:ignore locked the pred runs inside ids, which holds each shard's read lock around it
 	return r.ids(func(d *device) bool { return d.quarantined })
 }
 
@@ -352,6 +372,8 @@ func authenticatedReject(res attest.Result) bool {
 // (caller holds the shard write lock); it reports whether this failure
 // newly tripped it. gen is the sweep generation of the round (0 outside
 // sweeps); a failed half-open probe re-arms the sit-out window from it.
+//
+//lofat:locked mu
 func (d *device) advanceBreaker(threshold int, gen uint64) bool {
 	if threshold < 0 {
 		return false // breaker disabled
@@ -462,5 +484,6 @@ func (r *Registry) breakerCheck(id DeviceID, gen uint64, probeAfter int) (skip, 
 
 // Tripped lists devices whose transport breaker is tripped, sorted.
 func (r *Registry) Tripped() []DeviceID {
+	//lofat:ignore locked the pred runs inside ids, which holds each shard's read lock around it
 	return r.ids(func(d *device) bool { return d.breaker == BreakerTripped })
 }

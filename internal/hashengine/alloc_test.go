@@ -13,7 +13,7 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 	e := New(Config{})
 	i := uint32(0)
 	op := func() {
-		for !e.Enqueue(Pair{Src: i, Dest: i * 7}) {
+		for e.Full() || !e.Enqueue(Pair{Src: i, Dest: i * 7}) {
 			e.Tick()
 		}
 		i++

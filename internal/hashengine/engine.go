@@ -102,11 +102,15 @@ func (e *Engine) SetFIFOGauge(g *obs.Gauge) {
 // Producers with backpressure (the loop monitor draining the branches
 // memory) poll Full and wait instead of losing the pair; only
 // unbuffered wire-speed producers drop.
+//
+//lofat:zeroalloc
 func (e *Engine) Full() bool { return len(e.fifo) >= e.cfg.FIFODepth }
 
 // Enqueue presents a pair at the engine input this cycle. It reports
 // false (and counts a drop) if the FIFO is full — the hardware condition
 // the paper's buffer sizing rules out.
+//
+//lofat:zeroalloc
 func (e *Engine) Enqueue(p Pair) bool {
 	if len(e.fifo) >= e.cfg.FIFODepth {
 		e.stats.Dropped++
@@ -124,6 +128,8 @@ func (e *Engine) Enqueue(p Pair) bool {
 
 // Tick advances the engine one clock cycle: either the padding buffer is
 // busy, or one pair is popped from the FIFO and absorbed.
+//
+//lofat:zeroalloc
 func (e *Engine) Tick() {
 	e.stats.Cycles++
 	if e.busy > 0 {
@@ -155,6 +161,8 @@ func (e *Engine) Tick() {
 // empty and the padding buffer idle the remaining cycles are credited in
 // bulk. The trace pipeline uses it to fast-forward across the long
 // no-control-flow stretches between measured events.
+//
+//lofat:zeroalloc
 func (e *Engine) Advance(n uint64) {
 	for n > 0 && (e.busy > 0 || len(e.fifo) > 0) {
 		e.Tick()
@@ -164,13 +172,19 @@ func (e *Engine) Advance(n uint64) {
 }
 
 // Pending reports how many pairs are waiting in the FIFO.
+//
+//lofat:zeroalloc
 func (e *Engine) Pending() int { return len(e.fifo) }
 
 // Busy reports whether the padding buffer is refusing input this cycle.
+//
+//lofat:zeroalloc
 func (e *Engine) Busy() bool { return e.busy > 0 }
 
 // Drain ticks until the FIFO is empty and the engine idle, returning the
 // number of cycles spent. Called at attestation end before Finalize.
+//
+//lofat:zeroalloc
 func (e *Engine) Drain() uint64 {
 	var n uint64
 	for len(e.fifo) > 0 || e.busy > 0 {
@@ -189,6 +203,8 @@ func (e *Engine) Finalize() [DigestSize]byte {
 }
 
 // Reset clears the sponge, FIFO and statistics for a new attestation.
+//
+//lofat:zeroalloc
 func (e *Engine) Reset() {
 	e.sponge.Reset()
 	e.fifo = e.fifo[:0]

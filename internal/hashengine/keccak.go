@@ -34,6 +34,8 @@ var (
 // spent most of its time on lane loads/stores and modular index
 // arithmetic. Generated from the same rotation/permutation tables;
 // bit-identical to the loop form (TestKeccakUnrollMatchesSpec).
+//
+//lofat:zeroalloc
 func keccakF1600(a *[25]uint64) {
 	a00 := a[0]
 	a01 := a[1]
@@ -238,6 +240,8 @@ type Sponge struct {
 }
 
 // Write absorbs p into the sponge. It never fails.
+//
+//lofat:zeroalloc
 func (s *Sponge) Write(p []byte) (int, error) {
 	if s.closed {
 		panic("hashengine: Write after Sum")
@@ -254,6 +258,7 @@ func (s *Sponge) Write(p []byte) (int, error) {
 	return n, nil
 }
 
+//lofat:zeroalloc
 func (s *Sponge) absorbBlock() {
 	for i := 0; i < Rate/8; i++ {
 		s.state[i] ^= leUint64(s.buf[8*i:])
@@ -288,6 +293,8 @@ func (s *Sponge) Sum() [DigestSize]byte {
 // engine's per-cycle input — directly into the rate buffer, avoiding the
 // intermediate byte-slice copy of the generic Write path. Byte-for-byte
 // equivalent to writing Pair.bytes().
+//
+//lofat:zeroalloc
 func (s *Sponge) WritePair(src, dest uint32) {
 	if s.closed {
 		panic("hashengine: Write after Sum")
@@ -308,6 +315,8 @@ func (s *Sponge) WritePair(src, dest uint32) {
 }
 
 // Reset returns the sponge to its initial state.
+//
+//lofat:zeroalloc
 func (s *Sponge) Reset() {
 	*s = Sponge{}
 }
@@ -319,11 +328,13 @@ func Sum512(msg []byte) [DigestSize]byte {
 	return s.Sum()
 }
 
+//lofat:zeroalloc
 func leUint64(b []byte) uint64 {
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
+//lofat:zeroalloc
 func putLeUint64(b []byte, v uint64) {
 	b[0] = byte(v)
 	b[1] = byte(v >> 8)

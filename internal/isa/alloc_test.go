@@ -1,0 +1,35 @@
+package isa
+
+import "testing"
+
+// TestClassifyZeroAlloc is the runtime proof for the //lofat:zeroalloc
+// annotations on the per-instruction classification helpers: Classify,
+// IsLinking, IsCondBranch, and IsControlFlow run on every retired
+// instruction and must not allocate.
+func TestClassifyZeroAlloc(t *testing.T) {
+	insts := []Inst{
+		{Op: OpBEQ},
+		{Op: OpJAL, Rd: RA},
+		{Op: OpJAL},
+		{Op: OpJALR, Rs1: RA},
+		{Op: OpADDI},
+	}
+	var kinds [8]int
+	var links int
+	n := testing.AllocsPerRun(200, func() {
+		for _, in := range insts {
+			kinds[Classify(in)]++
+			if IsLinking(in) {
+				links++
+			}
+			_ = in.Op.IsCondBranch()
+			_ = in.Op.IsControlFlow()
+		}
+	})
+	if n != 0 {
+		t.Fatalf("classification helpers allocate %v per run, want 0", n)
+	}
+	if kinds[KindCondBr] == 0 || kinds[KindJump] == 0 || kinds[KindReturn] == 0 || links == 0 {
+		t.Fatalf("classification coverage hole: kinds %v links %d", kinds, links)
+	}
+}

@@ -34,6 +34,8 @@ func (k ControlFlowKind) String() string {
 }
 
 // IsCondBranch reports whether the opcode is a conditional branch.
+//
+//lofat:zeroalloc
 func (op Opcode) IsCondBranch() bool {
 	switch op {
 	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
@@ -43,6 +45,8 @@ func (op Opcode) IsCondBranch() bool {
 }
 
 // IsControlFlow reports whether the opcode can redirect the PC.
+//
+//lofat:zeroalloc
 func (op Opcode) IsControlFlow() bool {
 	return op.IsCondBranch() || op == OpJAL || op == OpJALR
 }
@@ -53,6 +57,8 @@ func (op Opcode) IsControlFlow() bool {
 // (any jalr through ra that does not link is treated as a return). All
 // other jalr instructions are indirect calls/jumps whose targets cannot
 // be enumerated statically (§5.2).
+//
+//lofat:zeroalloc
 func Classify(in Inst) ControlFlowKind {
 	switch {
 	case in.Op.IsCondBranch():
@@ -74,6 +80,8 @@ func Classify(in Inst) ControlFlowKind {
 // with multiple call sites must be linking and updates the link
 // register" (§5.1). Backward control transfers that are NOT linking are
 // treated as loop back-edges.
+//
+//lofat:zeroalloc
 func IsLinking(in Inst) bool {
 	switch in.Op {
 	case OpJAL, OpJALR:

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TestZeroAllocDriftCoupling couples the static //lofat:zeroalloc
+// annotations to their runtime proofs: every package that annotates a
+// hot-path function must carry a testing.AllocsPerRun suite, and every
+// exported annotated function must be named somewhere in that
+// package's tests. Annotating a function without measuring it (or
+// deleting the measurement while keeping the annotation) fails here —
+// the static contract and the runtime evidence cannot drift apart.
+func TestZeroAllocDriftCoupling(t *testing.T) {
+	var dirs []string
+	for _, top := range []string{"../../internal", "../../cmd"} {
+		err := filepath.WalkDir(top, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	annotated := 0
+	for _, dir := range dirs {
+		fset, files, testFiles, err := LoadDirAST(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		keys := ParseDirectives(fset, files).ZeroAllocFuncs()
+		if len(keys) == 0 {
+			continue
+		}
+		annotated++
+
+		idents := make(map[string]bool)
+		for _, f := range testFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					idents[id.Name] = true
+				}
+				return true
+			})
+		}
+		rel := filepath.ToSlash(strings.TrimPrefix(dir, "../../"))
+		if !idents["AllocsPerRun"] {
+			t.Errorf("%s: carries //lofat:zeroalloc annotations but no testing.AllocsPerRun proof in its tests", rel)
+		}
+		for _, key := range keys {
+			name := key[strings.LastIndex(key, ".")+1:]
+			if r, _ := utf8.DecodeRuneInString(name); !unicode.IsUpper(r) {
+				continue // unexported: measured through the exported entry points
+			}
+			if !idents[name] {
+				t.Errorf("%s: exported //lofat:zeroalloc function %s is never mentioned in the package's tests", rel, key)
+			}
+		}
+	}
+	if annotated == 0 {
+		t.Fatal("found no //lofat:zeroalloc-annotated packages; the directive scan is broken")
+	}
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockedAnalyzer checks that fields annotated //lofat:guardedby <mutex>
+// are only touched under that mutex. An access is considered guarded
+// when any lexically enclosing function (declaration or closure)
+// either contains a <...>.mutex.Lock() / RLock() call, or is annotated
+// //lofat:locked <mutex> (documenting that its caller holds the lock —
+// the convention the *Locked helper suffix already encodes informally).
+//
+// The analysis is flow-insensitive and matches the mutex symbolically
+// by name, so a field of a record struct guarded by its owning
+// container's lock (fleet's device fields under shard.mu) is expressed
+// as //lofat:guardedby mu. This catches the common real bug — a new
+// accessor that forgets the lock entirely — not lock-ordering or
+// release-before-use errors; the chaos/race suites keep sampling
+// those.
+func LockedAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "locked",
+		Doc:  "require //lofat:guardedby fields to be accessed under their mutex",
+		Run:  runLocked,
+	}
+}
+
+func runLocked(p *Package) []Diagnostic {
+	// Resolve annotated fields to their types.Var objects.
+	guarded := make(map[types.Object]string)
+	for field, mutex := range p.Directives.GuardedBy {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				guarded[obj] = mutex
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lc := &lockedCheck{p: p, guarded: guarded}
+			lc.pushFunc(fn.Body, p.lockedMutexes(fn))
+			ast.Inspect(fn.Body, lc.visit)
+			diags = append(diags, lc.diags...)
+		}
+	}
+	return diags
+}
+
+// lockedMutexes returns the mutex names fn's //lofat:locked directives
+// declare held on entry.
+func (p *Package) lockedMutexes(fn *ast.FuncDecl) []string {
+	var names []string
+	for _, fd := range p.Directives.Funcs[fn] {
+		if fd.Kind == DirLocked {
+			names = append(names, fd.Arg)
+		}
+	}
+	return names
+}
+
+type lockedScope struct {
+	body  *ast.BlockStmt
+	holds map[string]bool // mutex names locked (or declared held) here
+}
+
+type lockedCheck struct {
+	p       *Package
+	guarded map[types.Object]string
+	scopes  []lockedScope
+	diags   []Diagnostic
+}
+
+func (lc *lockedCheck) pushFunc(body *ast.BlockStmt, declared []string) {
+	holds := make(map[string]bool)
+	for _, m := range declared {
+		holds[m] = true
+	}
+	// Pre-scan the body (excluding nested closures) for Lock/RLock
+	// calls: flow-insensitive, "locks it somewhere in this function".
+	collectLockCalls(body, holds)
+	lc.scopes = append(lc.scopes, lockedScope{body: body, holds: holds})
+}
+
+// collectLockCalls records the mutex names m for which a "<x>.m.Lock()"
+// or "<x>.m.RLock()" call appears in body, not descending into nested
+// function literals (a closure's locks do not protect its definer).
+func collectLockCalls(body *ast.BlockStmt, holds map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		if name := finalSelectorName(sel.X); name != "" {
+			holds[name] = true
+		}
+		return true
+	})
+}
+
+// finalSelectorName returns the last identifier of a selector chain:
+// "s.mu" -> "mu", "mu" -> "mu".
+func finalSelectorName(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func (lc *lockedCheck) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		lc.pushFunc(n.Body, nil)
+		ast.Inspect(n.Body, lc.visit)
+		lc.scopes = lc.scopes[:len(lc.scopes)-1]
+		return false
+	case *ast.SelectorExpr:
+		sel, ok := lc.p.Info.Selections[n]
+		if !ok || sel.Kind() != types.FieldVal {
+			return true
+		}
+		mutex, isGuarded := lc.guarded[sel.Obj()]
+		if !isGuarded {
+			return true
+		}
+		if !lc.holds(mutex) {
+			lc.diags = append(lc.diags, lc.p.Diag("locked", n.Sel.Pos(),
+				"field %s is //lofat:guardedby %s but no enclosing function locks %s or is //lofat:locked %s",
+				n.Sel.Name, mutex, mutex, mutex))
+		}
+	}
+	return true
+}
+
+// holds reports whether any enclosing function scope locks (or
+// declares held) the named mutex. Outer scopes count: a closure
+// defined inside a locked region runs while the lock is held in the
+// common sync-callback pattern this codebase uses.
+func (lc *lockedCheck) holds(mutex string) bool {
+	for _, scope := range lc.scopes {
+		if scope.holds[mutex] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ObsNilAnalyzer enforces the nil-safe handle contract: every exported
+// pointer-receiver method of a type annotated //lofat:nilsafe must
+// begin with a nil-receiver guard, so a disabled (nil) handle is a
+// no-op rather than a panic. Accepted guard forms:
+//
+//	if h == nil { ... return ... }   // leading guard
+//	return h == nil                  // predicate methods (Enabled)
+//	return h != nil
+//
+// Value-receiver methods and methods with an unnamed receiver cannot
+// dereference a nil handle and are exempt; unexported methods are the
+// package's own business (they run behind an exported guard).
+func ObsNilAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "obsnil",
+		Doc:  "require nil-receiver guards on exported methods of //lofat:nilsafe types",
+		Run:  runObsNil,
+	}
+}
+
+func runObsNil(p *Package) []Diagnostic {
+	nilSafe := make(map[string]bool)
+	for ts := range p.Directives.NilSafe {
+		nilSafe[ts.Name.Name] = true
+	}
+	if len(nilSafe) == 0 {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recv := fn.Recv.List[0]
+			star, isPtr := recv.Type.(*ast.StarExpr)
+			if !isPtr {
+				continue // value receiver: a nil handle can't reach it
+			}
+			if !nilSafe[recvTypeNameFrom(star)] {
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unused: trivially nil-safe
+			}
+			recvName := recv.Names[0].Name
+			if !hasNilGuard(fn.Body, recvName) {
+				diags = append(diags, p.Diag("obsnil", fn.Name.Pos(),
+					"exported method %s on nil-safe type must begin with \"if %s == nil\" guard",
+					FuncKey(fn), recvName))
+			}
+		}
+	}
+	return diags
+}
+
+func recvTypeNameFrom(star *ast.StarExpr) string {
+	return recvTypeName(star.X)
+}
+
+func hasNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return true // empty body cannot dereference anything
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		// if recv == nil { ...; return }
+		if !isNilComparison(first.Cond, recvName, "==") {
+			return false
+		}
+		if n := len(first.Body.List); n > 0 {
+			_, isReturn := first.Body.List[n-1].(*ast.ReturnStmt)
+			return isReturn
+		}
+		return false
+	case *ast.ReturnStmt:
+		// return recv == nil / return recv != nil (Enabled-style)
+		if len(first.Results) != 1 {
+			return false
+		}
+		return isNilComparison(first.Results[0], recvName, "==") ||
+			isNilComparison(first.Results[0], recvName, "!=")
+	}
+	return false
+}
+
+func isNilComparison(expr ast.Expr, recvName, op string) bool {
+	bin, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != op {
+		return false
+	}
+	return isIdentPair(bin.X, bin.Y, recvName) || isIdentPair(bin.Y, bin.X, recvName)
+}
+
+func isIdentPair(a, b ast.Expr, recvName string) bool {
+	ai, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok || ai.Name != recvName {
+		return false
+	}
+	bi, ok := ast.Unparen(b).(*ast.Ident)
+	return ok && bi.Name == "nil"
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawConnAnalyzer forbids direct Read/Write calls on deadline-capable
+// connections outside the sanctioned transport layer. PR 4 routed all
+// frame I/O through deadline-arming wrappers so a stalled peer can
+// never hang a verifier; a bare conn.Read anywhere else silently
+// reopens that hole.
+//
+// A type is "deadline-capable" when its method set includes
+// SetReadDeadline(time.Time) error — this covers net.Conn, *net.TCPConn
+// and every conn wrapper, without requiring the net package itself to
+// be type-checked from source. Functions annotated
+// //lofat:rawconn <reason> form the sanctioned layer; each annotation
+// is surfaced as an audited suppression in -json output.
+//
+// io.ReadFull / ReadAtLeast / Copy / CopyN / ReadAll on a
+// deadline-capable argument are flagged too: they loop over the same
+// raw Read.
+func RawConnAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "rawconn",
+		Doc:  "forbid raw conn Read/Write outside the deadline-wrapped transport layer",
+		Run:  runRawConn,
+	}
+}
+
+var ioReaders = map[string]bool{
+	"ReadFull":    true,
+	"ReadAtLeast": true,
+	"Copy":        true,
+	"CopyN":       true,
+	"ReadAll":     true,
+}
+
+func runRawConn(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || p.sanctioned(fn, DirRawConn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Read", "Write":
+					if t := p.typeOf(sel.X); t != nil && deadlineCapable(t) {
+						diags = append(diags, p.Diag("rawconn", call.Pos(),
+							"direct %s on deadline-capable connection; route I/O through the deadline-armed frame layer", sel.Sel.Name))
+					}
+				default:
+					if !ioReaders[sel.Sel.Name] || !isPackageRef(p, sel.X, "io") {
+						return true
+					}
+					for _, arg := range call.Args {
+						if t := p.typeOf(arg); t != nil && deadlineCapable(t) {
+							diags = append(diags, p.Diag("rawconn", call.Pos(),
+								"io.%s over a deadline-capable connection loops over raw Read; use the deadline-armed frame layer", sel.Sel.Name))
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// sanctioned reports whether fn carries the given function directive.
+func (p *Package) sanctioned(fn *ast.FuncDecl, kind string) bool {
+	for _, fd := range p.Directives.Funcs[fn] {
+		if fd.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// deadlineCapable reports whether t's method set (or its pointer's)
+// includes SetReadDeadline. *os.File structurally qualifies but is not
+// a network transport — plain file I/O is exempt.
+func deadlineCapable(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+			return false
+		}
+	}
+	if hasSetReadDeadline(t) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return hasSetReadDeadline(types.NewPointer(t))
+	}
+	return false
+}
+
+func hasSetReadDeadline(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if m.Name() != "SetReadDeadline" {
+			continue
+		}
+		sig, ok := m.Type().(*types.Signature)
+		if ok && sig.Params().Len() == 1 && sig.Results().Len() == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// isPackageRef reports whether expr is a reference to the named
+// package (e.g. the "io" in io.ReadFull).
+func isPackageRef(p *Package, expr ast.Expr, path string) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == path
+}

@@ -1,0 +1,20 @@
+// Package ig exercises the suppression machinery: a matching
+// //lofat:ignore silences its diagnostic (and is audited), an unused
+// ignore is itself a diagnostic, and malformed directives are
+// reported.
+package ig
+
+//lofat:zeroalloc
+func Hot() []int {
+	//lofat:ignore zeroalloc fixture exception: one-time cold-path buffer
+	buf := make([]int, 4)
+
+	grown := append(buf, 9) //lofat:ignore zeroalloc end-of-line form matches its own line
+	_ = grown
+
+	//lofat:ignore zeroalloc this matches nothing // want "suppresses no diagnostic"
+	return buf
+}
+
+//lofat:ignore bogus not a real analyzer // want "unknown analyzer"
+func cold() {}

@@ -1,0 +1,3 @@
+module fixture.example/ignore
+
+go 1.24

@@ -1,0 +1,69 @@
+// Package lk exercises the locked analyzer: //lofat:guardedby fields
+// may only be touched where an enclosing function locks the named
+// mutex or is sanctioned //lofat:locked.
+package lk
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	//lofat:guardedby mu
+	n int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) Read() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// incLocked is the caller-holds-lock idiom; the directive sanctions
+// it and is audited as a suppression.
+//
+//lofat:locked mu caller-holds-lock idiom; call sites take c.mu first
+func (c *Counter) incLocked() { c.n++ }
+
+func (c *Counter) Racy() int { // the access below fires
+	return c.n // want "no enclosing function locks"
+}
+
+// HeldClosure builds the closure while holding the lock; the lock
+// call in the enclosing scope satisfies the (lexical, flow-insensitive)
+// check, so this is silent.
+func (c *Counter) HeldClosure() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() { c.n++ }
+}
+
+// EscapedClosure touches the guarded field from a closure whose
+// enclosing scopes never lock: fires.
+func (c *Counter) EscapedClosure() func() {
+	return func() {
+		c.n++ // want "no enclosing function locks"
+	}
+}
+
+// RWGuard shows RLock satisfying the guard too.
+type RWGuard struct {
+	mu sync.RWMutex
+	//lofat:guardedby mu
+	state string
+}
+
+func (g *RWGuard) State() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.state
+}
+
+// unguarded fields stay free.
+type Free struct{ n int }
+
+func (f *Free) Bump() { f.n++ }

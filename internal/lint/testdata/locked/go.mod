@@ -1,0 +1,3 @@
+module fixture.example/locked
+
+go 1.24

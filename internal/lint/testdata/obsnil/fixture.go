@@ -1,0 +1,48 @@
+// Package on exercises the obsnil analyzer: exported pointer-receiver
+// methods on a //lofat:nilsafe type must open with a nil-receiver
+// guard.
+package on
+
+//lofat:nilsafe
+type Handle struct{ n int }
+
+// Good opens with the canonical guard: silent.
+func (h *Handle) Good() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Enabled is the single-expression form of the guard: silent.
+func (h *Handle) Enabled() bool { return h != nil }
+
+// Disabled is the negated single-expression form: silent.
+func (h *Handle) Disabled() bool { return h == nil }
+
+func (h *Handle) Bad() int { // want "must begin with"
+	return h.n
+}
+
+func (h *Handle) GuardNotFirst(x int) int { // want "must begin with"
+	x++
+	if h == nil {
+		return 0
+	}
+	return h.n + x
+}
+
+// Value copies the receiver; a nil pointer cannot reach it: silent.
+func (h Handle) Value() int { return h.n }
+
+// unexported methods are internal plumbing with the guard at the
+// exported boundary: silent.
+func (h *Handle) load() int { return h.n }
+
+// Reset never touches the receiver: silent.
+func (_ *Handle) Reset() {}
+
+// Plain is not //lofat:nilsafe; its methods are unconstrained.
+type Plain struct{ n int }
+
+func (p *Plain) Get() int { return p.n }

@@ -1,0 +1,3 @@
+module fixture.example/obsnil
+
+go 1.24

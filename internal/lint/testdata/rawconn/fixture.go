@@ -1,0 +1,35 @@
+// Package rc exercises the rawconn analyzer: direct Read/Write on a
+// deadline-capable connection fires, sanctioned wrappers and
+// non-deadline-capable readers stay silent.
+package rc
+
+import (
+	"io"
+	"net"
+	"os"
+)
+
+func Bad(c net.Conn, buf []byte) {
+	c.Read(buf)            // want "direct Read"
+	c.Write(buf)           // want "direct Write"
+	io.ReadFull(c, buf)    // want "io.ReadFull"
+	io.Copy(io.Discard, c) // want "io.Copy"
+}
+
+// Sanctioned is the deadline wrapper itself; the directive suspends
+// the analyzer for this function and is audited as a suppression.
+//
+//lofat:rawconn fixture: this function IS the deadline wrapper
+func Sanctioned(c net.Conn, buf []byte) {
+	c.Read(buf)
+	c.Write(buf)
+}
+
+func File(f *os.File, buf []byte) {
+	f.Read(buf) // *os.File is deadline-capable but explicitly exempt
+}
+
+func Plain(r io.Reader, buf []byte) {
+	r.Read(buf)         // io.Reader has no SetReadDeadline: silent
+	io.ReadFull(r, buf) // same via the io helpers
+}

@@ -1,0 +1,3 @@
+module fixture.example/rawconn
+
+go 1.24

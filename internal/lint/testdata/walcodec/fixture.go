@@ -1,0 +1,71 @@
+// Package wc exercises the walcodec analyzer: every encoder needs a
+// decoder (and vice versa), every decoder needs a test exercising it,
+// and encoders must not iterate maps except to collect keys.
+package wc
+
+import "sort"
+
+// EncodeThing / DecodeThing: matched pair, decoder exercised by the
+// test file — fully silent.
+func EncodeThing(v uint32) []byte {
+	return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+func DecodeThing(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func EncodeOrphan(v int) []byte { // want "no matching decoder"
+	return []byte{byte(v)}
+}
+
+func DecodeLost(b []byte) int { // want "no matching encoder"
+	return int(b[0])
+}
+
+// EncodeUntested / DecodeUntested pair up, but no test mentions the
+// decoder.
+func EncodeUntested(v int) []byte { return []byte{byte(v)} }
+
+func DecodeUntested(b []byte) int { // want "not exercised by any test"
+	return int(b[0])
+}
+
+// EncodeTable iterates its map directly: iteration order leaks into
+// the encoding.
+func EncodeTable(m map[string]int) []byte {
+	var out []byte
+	for k, v := range m { // want "non-deterministic"
+		out = append(out, byte(len(k)))
+		out = append(out, byte(v))
+	}
+	return out
+}
+
+func DecodeTable(b []byte) map[string]int { return nil }
+
+// EncodeSorted uses the collect-then-sort idiom: the map range only
+// gathers keys, so it is deterministic and silent.
+func EncodeSorted(m map[string]int) []byte {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	for _, k := range keys {
+		out = append(out, byte(m[k]))
+	}
+	return out
+}
+
+func DecodeSorted(b []byte) map[string]int { return nil }
+
+// helper is not a codec; free to do anything.
+func helper(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

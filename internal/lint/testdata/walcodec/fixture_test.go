@@ -1,0 +1,14 @@
+package wc
+
+import "testing"
+
+func TestRoundTrip(t *testing.T) {
+	if got := DecodeThing(EncodeThing(0xdeadbeef)); got != 0xdeadbeef {
+		t.Fatalf("round trip: got %#x", got)
+	}
+	if got := DecodeLost([]byte{7}); got != 7 {
+		t.Fatalf("DecodeLost: got %d", got)
+	}
+	_ = DecodeTable(nil)
+	_ = DecodeSorted(nil)
+}

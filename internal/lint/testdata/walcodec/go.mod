@@ -1,0 +1,3 @@
+module fixture.example/walcodec
+
+go 1.24

@@ -1,0 +1,65 @@
+// Package za exercises the zeroalloc analyzer: every construct the
+// hot-path contract forbids fires exactly one diagnostic, and the
+// allowed idioms (self-append, value literals, annotated callees) stay
+// silent.
+package za
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+type point struct{ x, y int }
+
+var table = map[string]int{}
+
+//lofat:zeroalloc
+func noop() {}
+
+//lofat:zeroalloc
+func sink(v any) { _ = v }
+
+//lofat:zeroalloc
+func Hot(dst, src []byte, s1, s2 string) []byte {
+	var fresh []int
+	_ = make([]byte, 4)       // want "make allocates"
+	_ = new(point)            // want "new allocates"
+	fresh = append(fresh, 1)  // self-append: silent
+	grown := append(fresh, 2) // want "fresh slice"
+	_ = grown
+	_ = []int{1, 2}   // want "slice literal allocates"
+	_ = map[int]int{} // want "map literal allocates"
+	_ = &point{x: 1}  // want "escapes to the heap"
+	f := func() {}    // want "closure literal allocates"
+	f()
+	go noop()           // want "goroutine"
+	_ = s1 + s2         // want "string concatenation allocates"
+	s1 += s2            // want "+= allocates"
+	_ = string(src)     // want "string conversion copies"
+	_ = []byte(s1)      // want "string conversion copies"
+	table["k"] = 1      // want "map assignment may grow"
+	_ = fmt.Sprint()    // want "fmt.Sprint allocates"
+	_ = errors.New("x") // want "errors.New allocates"
+	cold()              // want "not //lofat:zeroalloc"
+	sink(42)            // want "boxed into interface parameter"
+	dst = append(dst, src...)
+	dst = append(dst[:0], src...)
+	return dst
+}
+
+//lofat:zeroalloc
+func OK(dst, src []byte, w io.Writer) []byte {
+	p := point{x: 1, y: 2} // value literal: stack, silent
+	_ = p
+	noop()              // annotated callee: silent
+	_, _ = w.Write(src) // dynamic dispatch: trusted
+	const a, b = "x", "y"
+	_ = a + b // constant-folded concat: silent
+	sink(&p)  // pointer is pointer-shaped: no boxing
+	dst = append(dst, src...)
+	dst = append(dst[:0], src...)
+	return dst
+}
+
+func cold() { _ = make([]int, 8) } // unannotated: free to allocate

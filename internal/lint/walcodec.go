@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WalCodecAnalyzer enforces the persistence-codec contract on
+// encode/decode function pairs:
+//
+//   - every EncodeX/encodeX plain function must have a matching
+//     DecodeX/decodeX in the same package, and vice versa — a
+//     write-only record is unrecoverable, a read-only one untestable;
+//   - every decoder must be exercised by the package's own tests (a
+//     round-trip or fuzz test referencing it by name) — decoders parse
+//     attacker-reachable or disk-corrupted bytes and must not rot;
+//   - encoders must not iterate maps, whose order is randomized —
+//     canonical (CRC-stable) encodings require deterministic byte
+//     output. The collect-then-sort idiom (a range whose body is a
+//     single self-append of the keys) is allowed.
+func WalCodecAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "walcodec",
+		Doc:  "require paired, round-trip-tested, canonically-ordered encode/decode functions",
+		Run:  runWalCodec,
+	}
+}
+
+func runWalCodec(p *Package) []Diagnostic {
+	var diags []Diagnostic
+
+	type codecFunc struct {
+		fn   *ast.FuncDecl
+		rest string // name with the Encode/Decode prefix stripped
+	}
+	var encoders, decoders []codecFunc
+	byName := make(map[string]bool)
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil {
+				continue
+			}
+			byName[fn.Name.Name] = true
+			if rest, ok := codecRest(fn.Name.Name, "Encode", "encode"); ok {
+				encoders = append(encoders, codecFunc{fn, rest})
+			}
+			if rest, ok := codecRest(fn.Name.Name, "Decode", "decode"); ok {
+				decoders = append(decoders, codecFunc{fn, rest})
+			}
+		}
+	}
+	if len(encoders) == 0 && len(decoders) == 0 {
+		return nil
+	}
+
+	// Identifiers referenced anywhere in the package's own test files:
+	// the "exercised by a test" witness.
+	tested := make(map[string]bool)
+	for _, f := range p.TestFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				tested[id.Name] = true
+			}
+			return true
+		})
+	}
+
+	counterpart := func(name, from, to string) string {
+		if strings.HasPrefix(name, from) {
+			return to + strings.TrimPrefix(name, from)
+		}
+		return strings.ToLower(to[:1]) + to[1:] + strings.TrimPrefix(name, strings.ToLower(from[:1])+from[1:])
+	}
+
+	for _, enc := range encoders {
+		want := counterpart(enc.fn.Name.Name, "Encode", "Decode")
+		if !byName[want] {
+			diags = append(diags, p.Diag("walcodec", enc.fn.Name.Pos(),
+				"encoder %s has no matching decoder %s in this package", enc.fn.Name.Name, want))
+		}
+		diags = append(diags, checkEncoderMapRange(p, enc.fn)...)
+	}
+	for _, dec := range decoders {
+		want := counterpart(dec.fn.Name.Name, "Decode", "Encode")
+		if !byName[want] {
+			diags = append(diags, p.Diag("walcodec", dec.fn.Name.Pos(),
+				"decoder %s has no matching encoder %s in this package", dec.fn.Name.Name, want))
+		}
+		if !tested[dec.fn.Name.Name] {
+			diags = append(diags, p.Diag("walcodec", dec.fn.Name.Pos(),
+				"decoder %s is not exercised by any test in this package; add a round-trip or fuzz test", dec.fn.Name.Name))
+		}
+	}
+	return diags
+}
+
+func codecRest(name, upper, lower string) (string, bool) {
+	for _, prefix := range []string{upper, lower} {
+		rest, ok := strings.CutPrefix(name, prefix)
+		if ok && rest != "" {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+// checkEncoderMapRange flags map iteration inside an encoder unless
+// the range body is a single key-collecting self-append (the
+// collect-then-sort idiom).
+func checkEncoderMapRange(p *Package, fn *ast.FuncDecl) []Diagnostic {
+	if fn.Body == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.typeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isCollectOnlyBody(rng.Body) {
+			return true
+		}
+		diags = append(diags, p.Diag("walcodec", rng.Pos(),
+			"map iteration in encoder %s is non-deterministic; collect keys, sort, then encode", fn.Name.Name))
+		return true
+	})
+	return diags
+}
+
+// isCollectOnlyBody reports whether a range body is exactly one
+// self-append statement ("keys = append(keys, k)").
+func isCollectOnlyBody(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	assign, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	return types.ExprString(assign.Lhs[0]) == types.ExprString(appendBase(call.Args[0]))
+}

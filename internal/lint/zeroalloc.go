@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ZeroAllocAnalyzer checks functions annotated //lofat:zeroalloc for
+// allocation-inducing constructs. The contract is the amortized
+// steady-state one the AllocsPerRun suites prove at runtime: pooled
+// buffers may grow themselves (self-append is allowed), but nothing on
+// the path may build fresh maps, slices, closures, boxed interfaces,
+// or formatted strings per call.
+//
+// Calls are checked transitively by annotation, not by inlining: a
+// zeroalloc function may call stdlib functions (except fmt/errors),
+// other //lofat:zeroalloc functions anywhere in the module, and
+// dynamic callees (interface methods, func values) — the latter are
+// trusted, since the concrete callee is not statically known. A call
+// to an unannotated in-module function is a diagnostic: either
+// annotate the callee or isolate the cold path behind an
+// //lofat:ignore.
+func ZeroAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "zeroalloc",
+		Doc:  "forbid allocation-inducing constructs in //lofat:zeroalloc functions",
+		Run:  runZeroAlloc,
+	}
+}
+
+func runZeroAlloc(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for fn, dirs := range p.Directives.Funcs {
+		for _, fd := range dirs {
+			if fd.Kind == DirZeroAlloc {
+				diags = append(diags, checkZeroAllocFunc(p, fn)...)
+				break
+			}
+		}
+	}
+	return diags
+}
+
+func checkZeroAllocFunc(p *Package, fn *ast.FuncDecl) []Diagnostic {
+	if fn.Body == nil {
+		return nil
+	}
+	za := &zeroAllocCheck{p: p, selfAppends: make(map[*ast.CallExpr]bool)}
+
+	// First pass: mark self-appends. "x = append(x, ...)" (including
+	// "x = append(x[:n], ...)") reuses x's backing array in the steady
+	// state; any other append builds or leaks a fresh slice.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !za.isBuiltin(call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			if types.ExprString(assign.Lhs[i]) == types.ExprString(appendBase(call.Args[0])) {
+				za.selfAppends[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, za.visit)
+	return za.diags
+}
+
+type zeroAllocCheck struct {
+	p           *Package
+	selfAppends map[*ast.CallExpr]bool
+	diags       []Diagnostic
+}
+
+func (za *zeroAllocCheck) diag(pos ast.Node, format string, args ...any) {
+	za.diags = append(za.diags, za.p.Diag("zeroalloc", pos.Pos(), format, args...))
+}
+
+// appendBase strips slicing from append's first argument, so
+// "x = append(x[:0], ...)" counts as a self-append on x.
+func appendBase(e ast.Expr) ast.Expr {
+	for {
+		if s, ok := ast.Unparen(e).(*ast.SliceExpr); ok {
+			e = s.X
+			continue
+		}
+		return ast.Unparen(e)
+	}
+}
+
+func (za *zeroAllocCheck) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := za.p.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+func (za *zeroAllocCheck) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		za.diag(n, "closure literal allocates")
+		return false // don't double-report the closure's own body
+	case *ast.GoStmt:
+		za.diag(n, "go statement allocates a goroutine")
+	case *ast.CompositeLit:
+		za.checkCompositeLit(n)
+	case *ast.UnaryExpr:
+		za.checkUnary(n)
+	case *ast.BinaryExpr:
+		za.checkStringConcat(n)
+	case *ast.AssignStmt:
+		za.checkAssign(n)
+	case *ast.CallExpr:
+		za.checkCall(n)
+	}
+	return true
+}
+
+func (za *zeroAllocCheck) checkCompositeLit(lit *ast.CompositeLit) {
+	t := za.p.typeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		za.diag(lit, "slice literal allocates")
+	case *types.Map:
+		za.diag(lit, "map literal allocates")
+	}
+	// Value struct/array literals stay on the stack and are allowed;
+	// &T{...} is caught by checkUnary.
+}
+
+func (za *zeroAllocCheck) checkUnary(u *ast.UnaryExpr) {
+	if u.Op.String() != "&" {
+		return
+	}
+	if _, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+		za.diag(u, "&composite literal escapes to the heap")
+	}
+}
+
+func (za *zeroAllocCheck) checkStringConcat(b *ast.BinaryExpr) {
+	if b.Op.String() != "+" {
+		return
+	}
+	tv, ok := za.p.Info.Types[b]
+	if !ok || tv.Value != nil { // constant-folded concat is free
+		return
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		za.diag(b, "string concatenation allocates")
+	}
+}
+
+func (za *zeroAllocCheck) checkAssign(assign *ast.AssignStmt) {
+	if assign.Tok.String() == "+=" && len(assign.Lhs) == 1 {
+		if t := za.p.typeOf(assign.Lhs[0]); t != nil {
+			if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+				za.diag(assign, "string += allocates")
+			}
+		}
+	}
+	for _, lhs := range assign.Lhs {
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if t := za.p.typeOf(idx.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				za.diag(lhs, "map assignment may grow the map")
+			}
+		}
+	}
+}
+
+func (za *zeroAllocCheck) checkCall(call *ast.CallExpr) {
+	// Type conversions: only string<->[]byte/[]rune copy.
+	if tv, ok := za.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		za.checkConversion(call, tv.Type)
+		return
+	}
+
+	obj := calleeObject(za.p, call)
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			za.diag(call, "make allocates")
+		case "new":
+			za.diag(call, "new allocates")
+		case "append":
+			if !za.selfAppends[call] {
+				za.diag(call, "append into a fresh slice allocates (only self-append \"x = append(x, ...)\" is amortized-free)")
+			}
+		}
+		// Builtins are exempt from the boxing check: panic's any
+		// parameter is a never-returns cold path.
+		return
+	case *types.Func:
+		za.checkFuncCall(call, obj)
+	}
+	// nil obj: dynamic call through a func value — trusted.
+
+	za.checkBoxing(call)
+}
+
+func (za *zeroAllocCheck) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := za.p.typeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isStringType(target) && isByteOrRuneSlice(src) || isByteOrRuneSlice(target) && isStringType(src) {
+		za.diag(call, "string conversion copies and allocates")
+	}
+}
+
+func (za *zeroAllocCheck) checkFuncCall(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if recv := sig.Recv(); recv != nil {
+		if types.IsInterface(recv.Type()) {
+			return // dynamic dispatch: callee trusted
+		}
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return // universe-scope (error.Error)
+	}
+	switch pkg.Path() {
+	case "fmt":
+		za.diag(call, "fmt.%s allocates", fn.Name())
+		return
+	case "errors":
+		za.diag(call, "errors.%s allocates", fn.Name())
+		return
+	}
+	set, inModule := za.p.suite.zeroalloc[pkg.Path()]
+	if !inModule {
+		return // stdlib or unloaded dependency: trusted
+	}
+	key := fn.Name()
+	if recv := sig.Recv(); recv != nil {
+		if name := namedTypeName(recv.Type()); name != "" {
+			key = name + "." + key
+		}
+	}
+	if !set[key] {
+		za.diag(call, "calls %s.%s which is not //lofat:zeroalloc", pkg.Path(), key)
+	}
+}
+
+// checkBoxing flags arguments converted to interface parameters when
+// the argument's concrete type is not pointer-shaped: boxing such a
+// value heap-allocates its copy.
+func (za *zeroAllocCheck) checkBoxing(call *ast.CallExpr) {
+	sig, ok := typeAsSignature(za.p.typeOf(call.Fun))
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1)
+			slice, ok := last.Type().Underlying().(*types.Slice)
+			if !ok {
+				return
+			}
+			paramType = slice.Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			return
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		argType := za.p.typeOf(arg)
+		if argType == nil || types.IsInterface(argType) || pointerShaped(argType) {
+			continue
+		}
+		za.diag(arg, "value of type %s boxed into interface parameter allocates", argType)
+	}
+}
+
+func calleeObject(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem, ok := slice.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	kind := elem.Kind()
+	return kind == types.Byte || kind == types.Uint8 || kind == types.Rune || kind == types.Int32
+}
+
+// pointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly in the data word (no heap copy):
+// pointers, channels, maps, funcs, and unsafe.Pointer. Untyped nil is
+// also free.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		switch u.Kind() {
+		case types.UnsafePointer, types.UntypedNil:
+			return true
+		}
+	}
+	return false
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}

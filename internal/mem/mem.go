@@ -87,6 +87,8 @@ type Segment struct {
 }
 
 // markDirty widens the dirty window to cover [off, off+n).
+//
+//lofat:zeroalloc
 func (s *Segment) markDirty(off uint32, n int) {
 	end := off + uint32(n)
 	if s.dirtyHi == s.dirtyLo { // empty window
@@ -112,6 +114,8 @@ func (s *Segment) ResetData() {
 }
 
 // Contains reports whether [addr, addr+size) lies inside the segment.
+//
+//lofat:zeroalloc
 func (s *Segment) Contains(addr uint32, size int) bool {
 	end := uint64(addr) + uint64(size)
 	return addr >= s.Base && end <= uint64(s.Base)+uint64(len(s.Data))
@@ -160,6 +164,8 @@ func (m *Memory) ResetData() {
 }
 
 // find returns the segment containing the access, or nil.
+//
+//lofat:zeroalloc
 func (m *Memory) find(addr uint32, size int) *Segment {
 	for _, s := range m.segs {
 		if s.Contains(addr, size) {
@@ -169,19 +175,25 @@ func (m *Memory) find(addr uint32, size int) *Segment {
 	return nil
 }
 
+//lofat:zeroalloc
 func (m *Memory) check(kind AccessKind, addr uint32, size int, need Perm) (*Segment, error) {
 	s := m.find(addr, size)
 	if s == nil {
+		//lofat:ignore zeroalloc cold fault path: an unmapped access ends the run
 		return nil, &Fault{Kind: kind, Addr: addr, Size: size, Why: "unmapped"}
 	}
 	if s.Perm&need != need {
-		return nil, &Fault{Kind: kind, Addr: addr, Size: size,
-			Why: fmt.Sprintf("segment %s is %s", s.Name, s.Perm)}
+		//lofat:ignore zeroalloc cold fault path: a permission fault ends the run
+		why := fmt.Sprintf("segment %s is %s", s.Name, s.Perm)
+		//lofat:ignore zeroalloc cold fault path: a permission fault ends the run
+		return nil, &Fault{Kind: kind, Addr: addr, Size: size, Why: why}
 	}
 	return s, nil
 }
 
 // LoadByte loads one byte with read permission checking.
+//
+//lofat:zeroalloc
 func (m *Memory) LoadByte(addr uint32) (byte, error) {
 	s, err := m.check(AccessRead, addr, 1, PermR)
 	if err != nil {
@@ -191,6 +203,8 @@ func (m *Memory) LoadByte(addr uint32) (byte, error) {
 }
 
 // LoadHalf loads a little-endian 16-bit value.
+//
+//lofat:zeroalloc
 func (m *Memory) LoadHalf(addr uint32) (uint16, error) {
 	s, err := m.check(AccessRead, addr, 2, PermR)
 	if err != nil {
@@ -201,6 +215,8 @@ func (m *Memory) LoadHalf(addr uint32) (uint16, error) {
 }
 
 // LoadWord loads a little-endian 32-bit value.
+//
+//lofat:zeroalloc
 func (m *Memory) LoadWord(addr uint32) (uint32, error) {
 	s, err := m.check(AccessRead, addr, 4, PermR)
 	if err != nil {
@@ -211,6 +227,8 @@ func (m *Memory) LoadWord(addr uint32) (uint32, error) {
 }
 
 // StoreByte stores one byte with write permission checking.
+//
+//lofat:zeroalloc
 func (m *Memory) StoreByte(addr uint32, v byte) error {
 	s, err := m.check(AccessWrite, addr, 1, PermW)
 	if err != nil {
@@ -223,6 +241,8 @@ func (m *Memory) StoreByte(addr uint32, v byte) error {
 }
 
 // StoreHalf stores a little-endian 16-bit value.
+//
+//lofat:zeroalloc
 func (m *Memory) StoreHalf(addr uint32, v uint16) error {
 	s, err := m.check(AccessWrite, addr, 2, PermW)
 	if err != nil {
@@ -235,6 +255,8 @@ func (m *Memory) StoreHalf(addr uint32, v uint16) error {
 }
 
 // StoreWord stores a little-endian 32-bit value.
+//
+//lofat:zeroalloc
 func (m *Memory) StoreWord(addr uint32, v uint32) error {
 	s, err := m.check(AccessWrite, addr, 4, PermW)
 	if err != nil {
@@ -247,8 +269,11 @@ func (m *Memory) StoreWord(addr uint32, v uint32) error {
 }
 
 // Fetch loads an instruction word; the segment must be executable.
+//
+//lofat:zeroalloc
 func (m *Memory) Fetch(addr uint32) (uint32, error) {
 	if addr&3 != 0 {
+		//lofat:ignore zeroalloc cold fault path: a misaligned PC ends the run
 		return 0, &Fault{Kind: AccessFetch, Addr: addr, Size: 4, Why: "misaligned PC"}
 	}
 	s, err := m.check(AccessFetch, addr, 4, PermX)

@@ -135,8 +135,22 @@ type loopState struct {
 	iterations  uint64
 }
 
+// newLoopState is the pool-miss cold path: the first loop at a given
+// nesting depth allocates its frame here; every later push at that
+// depth reuses it via reset.
+func newLoopState(entry, exit uint32) *loopState {
+	return &loopState{
+		entry: entry,
+		exit:  exit,
+		stats: make(map[PathCode]int32),
+		cam:   make(map[uint32]uint8),
+	}
+}
+
 // reset prepares a pooled frame for a fresh loop, keeping the allocated
 // buffers and map storage.
+//
+//lofat:zeroalloc
 func (l *loopState) reset(entry, exit uint32) {
 	l.entry, l.exit = entry, exit
 	l.code = PathCode{}
@@ -175,6 +189,8 @@ func New(cfg Config, emit func(hashengine.Pair)) *Monitor {
 
 // Reset clears all state for a new attestation. Pooled loop frames are
 // retained across resets so repeated attestations stay allocation-free.
+//
+//lofat:zeroalloc
 func (m *Monitor) Reset() {
 	m.free = append(m.free, m.stack...)
 	m.stack = m.stack[:0]
@@ -191,12 +207,15 @@ func (m *Monitor) Records() []LoopRecord { return m.records }
 // Depth reports the number of active loop contexts (mirrors the filter).
 func (m *Monitor) Depth() int { return len(m.stack) }
 
+//lofat:zeroalloc
 func (m *Monitor) send(p hashengine.Pair) {
 	m.HashedPairs++
 	m.emit(p)
 }
 
 // Apply consumes one filter operation.
+//
+//lofat:zeroalloc
 func (m *Monitor) Apply(op filter.Op) {
 	switch op.Kind {
 	case filter.OpHashDirect:
@@ -209,12 +228,8 @@ func (m *Monitor) Apply(op filter.Op) {
 			m.free = m.free[:n-1]
 			l.reset(op.Entry, op.Exit)
 		} else {
-			l = &loopState{
-				entry: op.Entry,
-				exit:  op.Exit,
-				stats: make(map[PathCode]int32),
-				cam:   make(map[uint32]uint8),
-			}
+			//lofat:ignore zeroalloc pool miss: first loop at this nesting depth allocates its frame once
+			l = newLoopState(op.Entry, op.Exit)
 		}
 		m.stack = append(m.stack, l)
 
@@ -247,21 +262,29 @@ func (m *Monitor) Apply(op filter.Op) {
 		for _, p := range l.buf {
 			m.send(p)
 		}
-		// The record owns exact-size copies so the frame (and its grown
-		// buffers) can go back to the pool.
-		m.records = append(m.records, LoopRecord{
-			Entry:             l.entry,
-			Exit:              l.exit,
-			Paths:             append([]PathStat(nil), l.order...),
-			IndirectTargets:   append([]uint32(nil), l.camOrder...),
-			IndirectOverflows: l.camOverflow,
-			Partial:           l.code,
-			Iterations:        l.iterations,
-		})
+		//lofat:ignore zeroalloc record emission copies the frame once per loop exit, not per iteration
+		m.emitRecord(l)
 		m.free = append(m.free, l)
 	}
 }
 
+// emitRecord appends the finished loop's metadata record. The record
+// owns exact-size copies so the frame (and its grown buffers) can go
+// back to the pool. This is the per-loop-exit cold path: its cost is
+// bounded by the number of loops, not iterations.
+func (m *Monitor) emitRecord(l *loopState) {
+	m.records = append(m.records, LoopRecord{
+		Entry:             l.entry,
+		Exit:              l.exit,
+		Paths:             append([]PathStat(nil), l.order...),
+		IndirectTargets:   append([]uint32(nil), l.camOrder...),
+		IndirectOverflows: l.camOverflow,
+		Partial:           l.code,
+		Iterations:        l.iterations,
+	})
+}
+
+//lofat:zeroalloc
 func (m *Monitor) top() *loopState {
 	if len(m.stack) == 0 {
 		return nil
@@ -272,6 +295,8 @@ func (m *Monitor) top() *loopState {
 // appendSymbol extends the current iteration's path code per Figure 4:
 // conditional branches append their taken bit, direct jumps append '1',
 // indirect transfers append the n-bit CAM code of their target.
+//
+//lofat:zeroalloc
 func (m *Monitor) appendSymbol(l *loopState, op filter.Op) {
 	l.syms++
 	if l.syms > m.cfg.MaxBranchesPerPath {
@@ -303,6 +328,8 @@ func (m *Monitor) appendSymbol(l *loopState, op filter.Op) {
 // camCode returns the n-bit re-encoding of an indirect target, assigning
 // codes 1..2^n-1 in first-seen order; 0 is the overflow code reported to
 // the verifier (§5.2).
+//
+//lofat:zeroalloc
 func (m *Monitor) camCode(l *loopState, target uint32) uint8 {
 	if c, ok := l.cam[target]; ok {
 		return c
@@ -313,6 +340,7 @@ func (m *Monitor) camCode(l *loopState, target uint32) uint8 {
 		return 0
 	}
 	code := uint8(len(l.camOrder) + 1)
+	//lofat:ignore zeroalloc CAM capacity is 2^n-1 entries; the map stops growing once full
 	l.cam[target] = code
 	l.camOrder = append(l.camOrder, target)
 	return code
@@ -321,6 +349,8 @@ func (m *Monitor) camCode(l *loopState, target uint32) uint8 {
 // finishIteration closes one loop iteration: looks the path ID up in the
 // counter memory, hashes the buffered pairs only on first occurrence
 // (the paper's core optimisation), and increments the counter.
+//
+//lofat:zeroalloc
 func (m *Monitor) finishIteration(l *loopState) {
 	l.iterations++
 	code := l.code
@@ -367,8 +397,11 @@ func (m *Monitor) finishIteration(l *loopState) {
 // internPath allocates the next path ID for a first-seen code: the row
 // index in the loop counter memory. Downstream lookups compare interned
 // IDs, never the code bit strings.
+//
+//lofat:zeroalloc
 func (m *Monitor) internPath(l *loopState, code PathCode) int32 {
 	id := int32(len(l.order))
+	//lofat:ignore zeroalloc counter memory rows are interned once per distinct path, not per iteration
 	l.stats[code] = id
 	l.order = append(l.order, PathStat{Code: code})
 	m.NewPaths++

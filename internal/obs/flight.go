@@ -130,11 +130,17 @@ func (e Event) String() string {
 // receiver, the disabled state; callers building event detail strings
 // should still gate on Enabled so the formatting cost is not paid when
 // recording is off.
+//
+//lofat:nilsafe
 type Flight struct {
-	mu      sync.Mutex
-	buf     []Event
-	next    int
-	seq     uint64
+	mu sync.Mutex
+	//lofat:guardedby mu
+	buf []Event
+	//lofat:guardedby mu
+	next int
+	//lofat:guardedby mu
+	seq uint64
+	//lofat:guardedby mu
 	wrapped bool
 }
 
@@ -209,6 +215,9 @@ func (f *Flight) Events() []Event {
 // DeviceEvents returns the retained events for one device, oldest
 // first.
 func (f *Flight) DeviceEvents(device string) []Event {
+	if f == nil {
+		return nil
+	}
 	var out []Event
 	for _, e := range f.Events() {
 		if e.Device == device {
@@ -267,6 +276,10 @@ func (f *Flight) DropDevice(device string) {
 
 // Dump writes a human-readable dump, oldest first.
 func (f *Flight) Dump(w io.Writer) error {
+	if f == nil {
+		_, err := fmt.Fprintln(w, "flight recorder: disabled")
+		return err
+	}
 	events := f.Events()
 	if len(events) == 0 {
 		_, err := fmt.Fprintln(w, "flight recorder: no events")
@@ -285,6 +298,10 @@ func (f *Flight) Dump(w io.Writer) error {
 
 // WriteJSON writes the retained events as a JSON array, oldest first.
 func (f *Flight) WriteJSON(w io.Writer) error {
+	if f == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
 	events := f.Events()
 	if events == nil {
 		events = []Event{}

@@ -26,6 +26,8 @@ const numBuckets = maxBucketBits + 2
 // one branch when disabled. Count, sum and buckets are independent
 // atomics: a concurrent Snapshot may be off by in-flight samples but is
 // always race-free.
+//
+//lofat:nilsafe
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
@@ -34,6 +36,8 @@ type Histogram struct {
 
 // bucketIdx maps a sample to its bucket: bits.Len64 clamps into the
 // overflow bucket past maxBucketBits.
+//
+//lofat:zeroalloc
 func bucketIdx(v uint64) int {
 	if i := bits.Len64(v); i <= maxBucketBits {
 		return i
@@ -55,6 +59,8 @@ func BucketUpperEdge(i int) uint64 {
 }
 
 // Observe records one sample.
+//
+//lofat:zeroalloc
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
@@ -65,6 +71,8 @@ func (h *Histogram) Observe(v uint64) {
 }
 
 // ObserveSince records the nanoseconds elapsed since start.
+//
+//lofat:zeroalloc
 func (h *Histogram) ObserveSince(start time.Time) {
 	if h == nil {
 		return
@@ -73,6 +81,8 @@ func (h *Histogram) ObserveSince(start time.Time) {
 }
 
 // Count returns the number of recorded samples.
+//
+//lofat:zeroalloc
 func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0

@@ -22,9 +22,13 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 // Gauge is a settable instantaneous value. All methods are safe on a
 // nil receiver (no-ops), so hot paths update an optional gauge with one
 // branch and no allocation.
+//
+//lofat:nilsafe
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+//lofat:zeroalloc
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -33,6 +37,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adds delta (negative to decrement).
+//
+//lofat:zeroalloc
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -41,6 +47,8 @@ func (g *Gauge) Add(delta int64) {
 }
 
 // Load returns the current value (0 on a nil gauge).
+//
+//lofat:zeroalloc
 func (g *Gauge) Load() int64 {
 	if g == nil {
 		return 0
@@ -90,9 +98,11 @@ type metric struct {
 // (Snapshot, exposition) take the registry lock only to copy the metric
 // list, never while loading values.
 type Registry struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//lofat:guardedby mu
 	metrics []*metric
-	index   map[string]*metric
+	//lofat:guardedby mu
+	index map[string]*metric
 }
 
 // NewRegistry returns an empty registry.

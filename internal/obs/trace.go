@@ -18,16 +18,22 @@ import (
 //
 // Serialization happens under one mutex into a reused buffer; callers
 // on different goroutines interleave whole events, never bytes.
+//
+//lofat:nilsafe
 type Tracer struct {
 	base    time.Time
 	nextTID atomic.Int64
 	events  atomic.Uint64
 
-	mu    sync.Mutex
-	w     *bufio.Writer
-	buf   []byte
+	mu sync.Mutex
+	//lofat:guardedby mu
+	w *bufio.Writer
+	//lofat:guardedby mu
+	buf []byte
+	//lofat:guardedby mu
 	wrote bool
-	err   error
+	//lofat:guardedby mu
+	err error
 }
 
 // NewTracer returns a tracer writing trace events to w. Call Close to

@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"testing"
+
+	"lofat/internal/isa"
+)
+
+// TestEventHelpersZeroAlloc pins the per-retired-instruction Event
+// helpers at zero allocations — SrcDest is //lofat:zeroalloc and sits
+// on the branch filter's per-event path.
+func TestEventHelpersZeroAlloc(t *testing.T) {
+	e := Event{Cycle: 7, PC: 0x104, NextPC: 0x100, Kind: isa.KindCondBr, Taken: true}
+	var src, dest uint32
+	var back bool
+	n := testing.AllocsPerRun(200, func() {
+		src, dest = e.SrcDest()
+		back = e.IsBackward()
+	})
+	if n != 0 {
+		t.Fatalf("Event helpers allocate %v per run, want 0", n)
+	}
+	if src != 0x104 || dest != 0x100 || !back {
+		t.Fatalf("SrcDest/IsBackward: got (%#x, %#x, %v)", src, dest, back)
+	}
+}

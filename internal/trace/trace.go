@@ -39,6 +39,8 @@ func (e Event) IsBackward() bool {
 
 // SrcDest returns the (Src, Dest) address pair the LO-FAT hash engine
 // absorbs for this control-flow event.
+//
+//lofat:zeroalloc
 func (e Event) SrcDest() (uint32, uint32) { return e.PC, e.NextPC }
 
 // Sink consumes retired-instruction events. Implementations must not
