@@ -94,6 +94,20 @@ func (d *drbg) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// deviceConfig builds the device configuration a workload expects:
+// paper defaults, plus the workload's interrupt schedule when it is
+// interrupt-driven (pump-isr). Prover and verifier must derive it the
+// same way or the expected measurement diverges.
+func deviceConfig(w workloads.Workload, prog *lofat.Program) (lofat.DeviceConfig, error) {
+	var cfg lofat.DeviceConfig
+	sched, err := w.Schedule(prog)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.IRQ = sched
+	return cfg, nil
+}
+
 func provision(seed int64) (io.Reader, error) {
 	if seed == 0 {
 		return rand.Reader, nil
@@ -116,7 +130,11 @@ func runServer(addr string, seed int64, attackName string) error {
 		if err != nil {
 			return err
 		}
-		p := attest.NewProver(prog, lofat.DeviceConfig{}, keys)
+		devCfg, err := deviceConfig(w, prog)
+		if err != nil {
+			return err
+		}
+		p := attest.NewProver(prog, devCfg, keys)
 		if attackName != "" {
 			if atk, ok := workloads.AttackByName(attackName); ok && atk.Workload.Name == w.Name {
 				p.Adversary = atk.Build(prog)
@@ -151,7 +169,11 @@ func runClient(addr string, seed int64, workload string, rounds int) error {
 	if err != nil {
 		return err
 	}
-	v, err := attest.NewVerifier(prog, lofat.DeviceConfig{}, keys.Public(), rand.Reader)
+	devCfg, err := deviceConfig(w, prog)
+	if err != nil {
+		return err
+	}
+	v, err := attest.NewVerifier(prog, devCfg, keys.Public(), rand.Reader)
 	if err != nil {
 		return err
 	}
@@ -207,9 +229,13 @@ func runDemo(workload, attackName string, rounds int) error {
 	if err != nil {
 		return err
 	}
-	prover := attest.NewProver(prog, lofat.DeviceConfig{}, keys)
+	devCfg, err := deviceConfig(w, prog)
+	if err != nil {
+		return err
+	}
+	prover := attest.NewProver(prog, devCfg, keys)
 	prover.Adversary = adv
-	verifier, err := attest.NewVerifier(prog, lofat.DeviceConfig{}, keys.Public(), rand.Reader)
+	verifier, err := attest.NewVerifier(prog, devCfg, keys.Public(), rand.Reader)
 	if err != nil {
 		return err
 	}

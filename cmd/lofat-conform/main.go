@@ -9,14 +9,27 @@
 //
 // Usage:
 //
-//	lofat-conform [-seeds SPEC] [-budget N] [-path direct,stream,fleet]
+//	lofat-conform [-seeds SPEC] [-isr] [-path direct,stream,fleet]
 //	              [-mutations LIST] [-segment-events N] [-fleet-latency US]
 //	              [-workers N] [-json] [-v]
+//	lofat-conform -budget DUR [-soak-state FILE] [-soak-window N] [flags...]
 //
 // The -seeds SPEC is a comma list of seeds and half-open ranges, e.g.
 // "0:200" or "7,42,100:110". A failing CI run echoes recipes like
 //
 //	lofat-conform -seeds 42 -mutations cfg-splice
+//
+// With -isr the corpus switches to interrupt-driven firmware: every
+// generated program carries an interrupt handler, each golden run
+// executes under a seed-derived deterministic interrupt schedule, and
+// the isr-hijack / interrupt-storm mutation classes become applicable.
+//
+// A positive -budget selects SOAK mode: -seeds is ignored and the
+// harness sweeps consecutive seed windows (-soak-window seeds each)
+// until the wall-clock budget is spent. With -soak-state the position
+// is persisted as JSON after every window, so the next soak resumes
+// where this one stopped and nightly runs walk a never-repeating seed
+// space.
 package main
 
 import (
@@ -28,21 +41,25 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"lofat/internal/conform"
 )
 
 func main() {
 	var (
-		seedSpec  = flag.String("seeds", "0:25", "seed spec: comma list of seeds and start:end ranges")
-		budget    = flag.Int("budget", 0, "cap the scenario count by bounding the seed set (0 = no cap)")
-		pathSpec  = flag.String("path", "all", "delivery paths: comma list of direct, stream, fleet (or all)")
-		mutations = flag.String("mutations", "", "restrict to these mutation kinds (comma list; empty = all)")
-		segEvents = flag.Int("segment-events", 0, "streamed checkpoint window N (0 = default)")
-		latency   = flag.Int("fleet-latency", 0, "faultconn latency per fleet I/O op, microseconds")
-		workers   = flag.Int("workers", 0, "seed-level parallelism (0 = GOMAXPROCS)")
-		jsonOut   = flag.Bool("json", false, "emit the full summary as JSON")
-		verbose   = flag.Bool("v", false, "print every scenario, not only failures")
+		seedSpec   = flag.String("seeds", "0:25", "seed spec: comma list of seeds and start:end ranges")
+		budget     = flag.Duration("budget", 0, "wall-clock soak budget (e.g. 15m); positive selects soak mode and ignores -seeds")
+		soakState  = flag.String("soak-state", "", "soak resume-state JSON file (written atomically after every window)")
+		soakWindow = flag.Int("soak-window", 0, "seeds per soak window (0 = default 25)")
+		isr        = flag.Bool("isr", false, "interrupt-driven corpus: ISR programs, deterministic IRQ schedules, isr-hijack/interrupt-storm classes")
+		pathSpec   = flag.String("path", "all", "delivery paths: comma list of direct, stream, fleet (or all)")
+		mutations  = flag.String("mutations", "", "restrict to these mutation kinds (comma list; empty = all)")
+		segEvents  = flag.Int("segment-events", 0, "streamed checkpoint window N (0 = default)")
+		latency    = flag.Int("fleet-latency", 0, "faultconn latency per fleet I/O op, microseconds")
+		workers    = flag.Int("workers", 0, "seed-level parallelism (0 = GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "emit the full summary as JSON")
+		verbose    = flag.Bool("v", false, "print every scenario, not only failures")
 	)
 	flag.Parse()
 
@@ -71,27 +88,27 @@ func main() {
 			muts = append(muts, m)
 		}
 	}
-	if *budget > 0 {
-		// Every seed contributes at most (oracle + mutation kinds)
-		// scenarios; bound the seed set so the corpus stays within
-		// budget.
-		perSeed := 1 + len(conform.MutationNames())
-		if len(muts) > 0 {
-			perSeed = 1 + len(muts)
-		}
-		if maxSeeds := max(*budget/perSeed, 1); len(seeds) > maxSeeds {
-			seeds = seeds[:maxSeeds]
-		}
-	}
-
-	sum := conform.New(conform.Config{
+	base := conform.Config{
 		Seeds:         seeds,
 		Paths:         paths,
 		Mutations:     muts,
 		SegmentEvents: *segEvents,
 		FleetLatency:  *latency,
 		Workers:       *workers,
-	}).Run()
+		ISR:           *isr,
+	}
+
+	if *budget > 0 {
+		runSoak(conform.SoakConfig{
+			Budget:    *budget,
+			Window:    *soakWindow,
+			StateFile: *soakState,
+			Base:      base,
+		}, *jsonOut)
+		return
+	}
+
+	sum := conform.New(base).Run()
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -133,6 +150,45 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "\nfailing seed recipes:")
 		for _, r := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", r.Recipe())
+		}
+		os.Exit(1)
+	}
+}
+
+// runSoak drives soak mode: rolling seed windows until the wall-clock
+// budget is spent, one progress line per window, then the aggregate
+// summary. Conformance failures exit 1 with the same repro recipes the
+// fixed-seed mode prints.
+func runSoak(cfg conform.SoakConfig, jsonOut bool) {
+	cfg.Log = func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	sum, err := conform.Soak(cfg)
+	if err != nil {
+		fatalf("soak: %v", err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fatalf("encode: %v", err)
+		}
+	} else {
+		fmt.Printf("soak: seeds %d:%d in %d windows, %d scenarios (%d passed, %d skipped, %d failed), %d verdicts, %v elapsed\n",
+			sum.FirstSeed, sum.NextSeed, sum.Windows,
+			sum.Scenarios, sum.Passed, sum.Skipped, sum.Failed, sum.Verdicts,
+			sum.Elapsed.Round(time.Millisecond))
+	}
+	if len(sum.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d scenario(s) FAILED:\n", len(sum.Failures))
+		for _, r := range sum.Failures {
+			for _, f := range r.Failures {
+				fmt.Fprintf(os.Stderr, "  seed %d %s: %s\n", r.Seed, r.Mutation, f)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "\nfailing seed recipes:")
+		for _, r := range sum.Failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", r.Recipe())
 		}
 		os.Exit(1)

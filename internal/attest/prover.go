@@ -99,6 +99,7 @@ func runMeasured(prog *asm.Program, devCfg core.Config, input []uint32, adv Adve
 	mach.CPU.TraceBatch = dev
 	mach.CPU.TraceCFOnly = dev.CFOnlyCompatible()
 	mach.CPU.Input = input
+	mach.CPU.IRQ = devCfg.IRQ
 
 	if adv == nil {
 		if err := mach.CPU.Run(budget); err != nil {

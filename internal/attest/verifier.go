@@ -69,6 +69,9 @@ func NewVerifier(prog *asm.Program, devCfg core.Config, pub ed25519.PublicKey, r
 	if err != nil {
 		return nil, fmt.Errorf("attest: verifier CFG: %w", err)
 	}
+	if devCfg.IRQ.Vector != 0 {
+		g.EnableISR(devCfg.IRQ.Vector)
+	}
 	id := ComputeProgramID(prog.Text)
 	return &Verifier{
 		prog:   prog,

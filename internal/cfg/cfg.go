@@ -85,6 +85,12 @@ type Graph struct {
 	ReturnSites map[uint32]bool
 
 	loops []Loop
+
+	// ISR oracle state (EnableISR): the configured interrupt vector and
+	// the addresses of the return-from-interrupt instructions.
+	isrEnabled bool
+	isrVector  uint32
+	mretSites  map[uint32]bool
 }
 
 // Build constructs the graph from a text image. dataWords are the
@@ -133,7 +139,7 @@ func Build(text []byte, base uint32, dataWords []uint32) (*Graph, error) {
 			if in.Inst.Rd != isa.Zero {
 				g.ReturnSites[in.Addr+4] = true
 			}
-		case op == isa.OpECALL || op == isa.OpEBREAK:
+		case op == isa.OpECALL || op == isa.OpEBREAK || op == isa.OpMRET:
 			leaders[in.Addr+4] = true
 		}
 	}
@@ -177,6 +183,9 @@ func Build(text []byte, base uint32, dataWords []uint32) (*Graph, error) {
 			blk.Succs = append(blk.Succs, term.Addr+uint32(term.Inst.Imm))
 		case op == isa.OpJALR:
 			// indirect: validated via FuncEntries/ReturnSites instead
+		case op == isa.OpMRET:
+			// resumes at the interrupted PC: no static successor; the
+			// edge is validated dynamically once EnableISR is set
 		case op == isa.OpECALL, op == isa.OpEBREAK:
 			// An ecall resumes at the next instruction (the exit call
 			// simply never returns at run time; the extra static edge
@@ -271,6 +280,36 @@ func (g *Graph) BranchArms(src uint32) (taken, fallthru uint32, ok bool) {
 	return src + uint32(in.Inst.Imm), src + 4, true
 }
 
+// EnableISR teaches the oracle the program's interrupt semantics: the
+// hardware may dispatch to vector from ANY instruction boundary, and a
+// return-from-interrupt (mret) may resume at any instruction. Both
+// rules are deliberately as weak as the true asynchronous semantics —
+// an interrupt is architecturally permitted at every boundary, so no
+// stronger static statement exists. A mutation that resumes at the
+// wrong (but valid) PC after mret is therefore a class-1 deviation
+// (CFG-consistent, unintended path), not a class-3 CFG violation;
+// redirecting the entry edge anywhere but the vector stays class 3.
+func (g *Graph) EnableISR(vector uint32) {
+	g.isrEnabled = true
+	g.isrVector = vector
+	g.mretSites = make(map[uint32]bool)
+	for _, in := range g.Instrs {
+		if in.Inst.Op == isa.OpMRET {
+			g.mretSites[in.Addr] = true
+		}
+	}
+}
+
+// ISRVector returns the interrupt vector configured via EnableISR, or
+// (0, false) when the oracle has no ISR semantics.
+func (g *Graph) ISRVector() (uint32, bool) {
+	return g.isrVector, g.isrEnabled
+}
+
+// IsMRetSite reports whether addr holds a return-from-interrupt
+// instruction (only meaningful after EnableISR).
+func (g *Graph) IsMRetSite(addr uint32) bool { return g.mretSites[addr] }
+
 // ValidEdge reports whether a (src, dest) pair is a CFG-consistent
 // control transfer: the core check the verifier applies to decide
 // whether a reported path "resembles a valid path in CFG".
@@ -278,6 +317,17 @@ func (g *Graph) ValidEdge(src, dest uint32) bool {
 	in, ok := g.InstAt(src)
 	if !ok {
 		return false
+	}
+	if g.isrEnabled {
+		// Interrupt entry: any instruction boundary may transfer to the
+		// vector. Interrupt return: an mret may resume anywhere in text.
+		if dest == g.isrVector {
+			return true
+		}
+		if in.Inst.Op == isa.OpMRET {
+			_, ok := g.InstAt(dest)
+			return ok
+		}
 	}
 	op := in.Inst.Op
 	switch {

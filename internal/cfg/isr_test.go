@@ -1,0 +1,94 @@
+package cfg
+
+import "testing"
+
+const isrSrc = `
+main:
+	li   t0, 4
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	li   a0, 0
+	li   a7, 93
+	ecall
+isr:
+	addi t5, t5, 1
+	mret
+`
+
+// TestEnableISRValidEdge pins the oracle's ISR semantics: with
+// EnableISR set, a dispatch edge from ANY instruction boundary to the
+// vector is valid, an mret may resume at any instruction, and both
+// rules vanish when ISR semantics are off.
+func TestEnableISRValidEdge(t *testing.T) {
+	g, p := buildFromSource(t, isrSrc)
+	vector, ok := p.Entry("isr")
+	if !ok {
+		t.Fatal("no isr label")
+	}
+	mret := vector + 4 // addi then mret
+
+	// Before EnableISR: no vector or mret edges validate.
+	if g.ValidEdge(g.Base, vector) {
+		t.Error("dispatch edge valid before EnableISR")
+	}
+	if g.ValidEdge(mret, g.Base) {
+		t.Error("mret edge valid before EnableISR")
+	}
+	if _, on := g.ISRVector(); on {
+		t.Error("ISRVector() reports enabled before EnableISR")
+	}
+
+	g.EnableISR(vector)
+	if v, on := g.ISRVector(); !on || v != vector {
+		t.Fatalf("ISRVector() = %#x, %v", v, on)
+	}
+	if !g.IsMRetSite(mret) {
+		t.Errorf("IsMRetSite(%#x) = false for the mret instruction", mret)
+	}
+	if g.IsMRetSite(g.Base) {
+		t.Error("IsMRetSite true for a non-mret address")
+	}
+
+	// Dispatch is architecturally valid at every instruction boundary.
+	for addr := g.Base; addr < g.Limit; addr += 4 {
+		if !g.ValidEdge(addr, vector) {
+			t.Errorf("dispatch edge %#x->%#x invalid with ISR enabled", addr, vector)
+		}
+	}
+	// mret resumes anywhere in text — but not outside it.
+	if !g.ValidEdge(mret, g.Base+4) {
+		t.Error("mret resume edge to a text address invalid")
+	}
+	if g.ValidEdge(mret, g.Limit+64) {
+		t.Error("mret edge to a non-text address validated")
+	}
+	// Redirecting the dispatch anywhere but the vector stays invalid
+	// (the isr-hijack shape): a non-control-flow src has no other
+	// outgoing edge.
+	if g.ValidEdge(g.Base, g.Base+8) {
+		t.Error("li has a non-fall-through edge")
+	}
+}
+
+// TestMRETBlockStructure: mret ends a basic block with no static
+// successors, and the following instruction (if any) leads a block.
+func TestMRETBlockStructure(t *testing.T) {
+	g, p := buildFromSource(t, isrSrc+"tail:\n\tret\n")
+	vector, _ := p.Entry("isr")
+	blk, ok := g.BlockContaining(vector + 4)
+	if !ok {
+		t.Fatal("mret not in any block")
+	}
+	if blk.Term().Addr != vector+4 {
+		t.Fatalf("mret does not terminate its block (term at %#x)", blk.Term().Addr)
+	}
+	if len(blk.Succs) != 0 {
+		t.Fatalf("mret block has static successors %v", blk.Succs)
+	}
+	if tail, ok := p.Entry("tail"); ok {
+		if _, found := g.BlockContaining(tail); !found {
+			t.Fatal("instruction after mret is not a block leader")
+		}
+	}
+}

@@ -90,6 +90,12 @@ type Config struct {
 	// faultconn latency plan: the sweeps then exercise the deadline
 	// plumbing without changing any verdict.
 	FleetLatency int // microseconds per I/O operation
+	// ISR switches the corpus to interrupt-driven firmware: programs
+	// carry an interrupt handler (proggen.Config.ISR), every golden run
+	// executes under a seed-derived deterministic interrupt schedule,
+	// and the isr-hijack / interrupt-storm mutation classes become
+	// applicable (they skip on a non-ISR corpus).
+	ISR bool
 }
 
 func (c *Config) fill() {

@@ -10,6 +10,7 @@ import (
 	"lofat/internal/attest"
 	"lofat/internal/cfg"
 	"lofat/internal/core"
+	"lofat/internal/cpu"
 	"lofat/internal/hashengine"
 	"lofat/internal/proggen"
 	"lofat/internal/sig"
@@ -47,7 +48,11 @@ type subject struct {
 // buildSubject generates, assembles, analyses and golden-runs the
 // seed's program.
 func buildSubject(seed int64, cfg *Config) (*subject, error) {
-	src := proggen.GenerateSeeded(seed, cfg.Prog)
+	progCfg := cfg.Prog
+	if cfg.ISR {
+		progCfg.ISR = true
+	}
+	src := proggen.GenerateSeeded(seed, progCfg)
 	prog, err := asm.Assemble(src)
 	if err != nil {
 		return nil, fmt.Errorf("assemble: %w", err)
@@ -57,6 +62,21 @@ func buildSubject(seed int64, cfg *Config) (*subject, error) {
 		return nil, fmt.Errorf("keys: %w", err)
 	}
 	devCfg := core.Config{}
+	if cfg.ISR {
+		vector, ok := prog.Entry("isr")
+		if !ok {
+			return nil, fmt.Errorf("ISR corpus program has no isr label")
+		}
+		// Seed-derived schedule: deterministic per seed, varied across
+		// the corpus. Phase lands inside even short programs; Period
+		// keeps the handler duty cycle low so the main computation
+		// dominates the measurement.
+		devCfg.IRQ = cpu.IRQSchedule{
+			Vector: vector,
+			Phase:  uint64(12 + seed&31),
+			Period: uint64(192 + (seed&7)*67),
+		}
+	}
 	av, err := attest.NewVerifier(prog, devCfg, keys.Public(), mrand.New(mrand.NewSource(seed^0x0ce)))
 	if err != nil {
 		return nil, fmt.Errorf("verifier: %w", err)

@@ -1,0 +1,151 @@
+package conform
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lofat/internal/attest"
+)
+
+// TestISRConformanceCorpus is the interrupt-driven counterpart of
+// TestConformanceCorpus: the same seed range, but every program
+// carries an interrupt handler and every golden run executes under a
+// seed-derived deterministic interrupt schedule. The full mutation
+// taxonomy runs on top of interrupt-bearing traces — the pre-existing
+// classes must keep classifying correctly when dispatch edges are
+// interleaved into the stream — and the two ISR-specific classes
+// (isr-hijack, interrupt-storm) must actually fire, not silently skip.
+func TestISRConformanceCorpus(t *testing.T) {
+	n := 12
+	if !testing.Short() {
+		n = 40
+	}
+	sum := New(Config{Seeds: seedRange(n), ISR: true}).Run()
+
+	t.Logf("ISR conformance: %d scenarios (%d passed, %d skipped, %d failed), %d verdicts, classes=%v",
+		sum.Scenarios, sum.Passed, sum.Skipped, sum.Failed, sum.Verdicts, sum.ByClass)
+
+	for _, r := range sum.Failures() {
+		for _, f := range r.Failures {
+			t.Errorf("seed %d mutation %s: %s", r.Seed, r.Mutation, f)
+		}
+	}
+
+	// Coverage floor: each ISR mutation class must run for a healthy
+	// share of the corpus. Short seeds whose schedule never fires are
+	// allowed to skip, but a corpus where most seeds skip means the
+	// seed-derived schedules are mistuned.
+	fired := map[string]int{}
+	for _, r := range sum.Results {
+		if !r.Skipped && len(r.Failures) == 0 {
+			fired[r.Mutation]++
+		}
+	}
+	for _, name := range []string{"isr-hijack", "interrupt-storm"} {
+		if fired[name]*2 < n {
+			t.Errorf("mutation %s fired on only %d/%d seeds", name, fired[name], n)
+		}
+	}
+	for _, class := range []attest.Classification{
+		attest.ClassAccepted, attest.ClassControlFlow, attest.ClassNonControlData,
+	} {
+		if sum.ByClass[class.String()] == 0 {
+			t.Errorf("ISR corpus exercised no %q verdicts", class)
+		}
+	}
+}
+
+// TestISRCrossPathAgreement drives the ISR mutation classes through
+// all five delivery paths — direct, streamed, single-service fleet
+// (two sweeps) and the federated topology (two sweeps) — and asserts
+// every path returns the ground-truth classification. Interrupts are
+// below the evidence-transport layer: no path may diagnose a hijacked
+// vector or a storm-pressured trace differently from any other.
+func TestISRCrossPathAgreement(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 3
+	}
+	e := New(Config{Seeds: seedRange(seeds), ISR: true})
+	exercised := map[string]int{}
+	for _, seed := range e.cfg.Seeds {
+		sub, err := buildSubject(seed, &e.cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var muts []*Mutation
+		for _, b := range builders() {
+			if mut, _ := b.build(sub, mutationRand(seed, b.name)); mut != nil {
+				muts = append(muts, mut)
+			}
+		}
+		fleetVerdicts, err := runFleet(sub, muts)
+		if err != nil {
+			t.Fatalf("seed %d: fleet path: %v", seed, err)
+		}
+		fedVerdicts := runFederated(t, sub, muts, 1)
+
+		for _, mut := range muts {
+			exercised[mut.Name]++
+			res := ScenarioResult{
+				Seed:     seed,
+				Mutation: mut.Name,
+				Class:    mut.Class,
+				Expect:   mut.Expect.String(),
+			}
+			res.Verdicts = append(res.Verdicts, runDirect(sub, mut))
+			res.Verdicts = append(res.Verdicts, runStream(sub, mut))
+			res.Verdicts = append(res.Verdicts, fleetVerdicts[mut.Name]...)
+			res.Verdicts = append(res.Verdicts, fedVerdicts[mut.Name]...)
+			if len(res.Verdicts) != 6 {
+				t.Fatalf("seed %d mutation %s: %d verdicts, want 6", seed, mut.Name, len(res.Verdicts))
+			}
+			for _, f := range checkScenario(&res, mut) {
+				t.Errorf("seed %d mutation %s: %s", seed, mut.Name, f)
+			}
+		}
+	}
+	for _, name := range []string{"isr-hijack", "interrupt-storm"} {
+		if exercised[name] == 0 {
+			t.Errorf("no seed in range exercised %s across the five paths", name)
+		}
+	}
+}
+
+// TestISRInjectedFailureIsCaughtAndReproducible mirrors the harness
+// self-test from the non-ISR corpus: sabotage an isr-hijack label,
+// prove the harness flags it with the exact repro recipe, and prove
+// the forensic dump — the full ScenarioResult including per-path
+// verdicts and findings — reproduces bit-identically on a second run.
+// A disagreement dump that cannot be replayed is worthless in triage.
+func TestISRInjectedFailureIsCaughtAndReproducible(t *testing.T) {
+	run := func() ScenarioResult {
+		e := New(Config{Seeds: []int64{0}, Paths: []Path{PathDirect, PathStream}, ISR: true})
+		sub, err := buildSubject(0, &e.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut, skip := buildISRHijack(sub, mutationRand(0, "isr-hijack"))
+		if mut == nil {
+			t.Fatalf("seed 0 cannot express isr-hijack: %s", skip)
+		}
+		mut.Expect = attest.ClassAccepted // sabotage the label
+		res := ScenarioResult{Seed: 0, Mutation: mut.Name, Expect: mut.Expect.String()}
+		res.Verdicts = append(res.Verdicts, runDirect(sub, mut), runStream(sub, mut))
+		res.Failures = checkScenario(&res, mut)
+		return res
+	}
+	first := run()
+	if len(first.Failures) == 0 {
+		t.Fatal("sabotaged ISR label was not flagged as a conformance failure")
+	}
+	for _, f := range first.Failures {
+		if !strings.Contains(f, "repro: lofat-conform -seeds 0 -mutations isr-hijack") {
+			t.Errorf("failure lacks the repro recipe: %s", f)
+		}
+	}
+	if second := run(); !reflect.DeepEqual(first, second) {
+		t.Errorf("injected ISR failure did not reproduce identically:\n%+v\nvs\n%+v", first, second)
+	}
+}

@@ -1,12 +1,14 @@
 package conform
 
 import (
+	"fmt"
 	mrand "math/rand"
 
 	"lofat/internal/attest"
 	"lofat/internal/cfg"
 	"lofat/internal/hashengine"
 	"lofat/internal/monitor"
+	"lofat/internal/stream"
 )
 
 // Mutation is one mechanically-derived labeled attack: the artifacts a
@@ -85,6 +87,8 @@ func builders() []builderSpec {
 		{"loop-count", buildLoopCount},
 		{"path-subst", buildPathSubst},
 		{"cfg-splice", buildCFGSplice},
+		{"isr-hijack", buildISRHijack},
+		{"interrupt-storm", buildInterruptStorm},
 	}
 }
 
@@ -312,6 +316,93 @@ func buildCFGSplice(sub *subject, r *mrand.Rand) (*Mutation, string) {
 		}
 	}
 	return nil, "no CFG-invalid splice target found" // unreachable in practice
+}
+
+// buildISRHijack is the ISR analogue of Figure 1 class 3 — a hijacked
+// interrupt vector. The edge stream redirects one honest dispatch edge
+// away from the configured vector to a forged handler address; the
+// oracle guarantees the label because EnableISR validates a dispatch
+// edge ONLY into the vector (cfg.ValidEdge rejects every candidate by
+// construction). The loop metadata is corrupted the same way as
+// cfg-splice so the direct path — which never sees individual edges —
+// has class-3 evidence too.
+func buildISRHijack(sub *subject, r *mrand.Rand) (*Mutation, string) {
+	vector := sub.dev.IRQ.Vector
+	if vector == 0 {
+		return nil, "interrupt line disabled (non-ISR corpus)"
+	}
+	var entries []int
+	for k, e := range sub.edges {
+		if e.Dest == vector {
+			entries = append(entries, k)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, "honest schedule never dispatched an interrupt"
+	}
+	loops, ok := corruptLoopsInvalid(sub, r)
+	if !ok {
+		return nil, "honest run recorded no loop metadata to corrupt"
+	}
+
+	m := base(sub, "isr-hijack")
+	m.Class = 3
+	m.Expect = attest.ClassControlFlow
+	m.FindingAny = []string{"CFG violation", "not CFG-consistent"}
+	m.loops = loops
+
+	k := entries[r.Intn(len(entries))]
+	src := sub.edges[k].Src
+	for _, bad := range []uint32{vector + 8, src + 8, sub.graph.Limit + 64, vector ^ 0x30} {
+		if bad != vector && bad != sub.edges[k].Dest && !sub.graph.ValidEdge(src, bad) {
+			m.edges = replaceEdge(sub.edges, k, hashengine.Pair{Src: src, Dest: bad})
+			return m, ""
+		}
+	}
+	return nil, "no CFG-invalid hijack target found" // unreachable in practice
+}
+
+// buildInterruptStorm is attestation under trace pressure: the device
+// re-measures the SAME program under a much denser interrupt schedule
+// than the attested one — the extra dispatch edges saturate the trace
+// path and hash-engine FIFO (absorbed by back-pressure, never
+// dropped). Everything reported is a real, CFG-consistent execution;
+// it is just not the execution the verifier's golden schedule
+// prescribes — Figure 1 class 1, labeled by the oracle (the
+// measurement genuinely differs), never by the classifier under test.
+func buildInterruptStorm(sub *subject, r *mrand.Rand) (*Mutation, string) {
+	if sub.dev.IRQ.Vector == 0 {
+		return nil, "interrupt line disabled (non-ISR corpus)"
+	}
+	storm := sub.dev
+	// 4–8× denser than attested, floored above the handler's own cycle
+	// cost so the main program still makes progress (no livelock), and
+	// phase-advanced so even a run too short for a second dispatch
+	// diverges at its first.
+	storm.IRQ.Period = max(48, sub.dev.IRQ.Period/uint64(4+r.Intn(5)))
+	storm.IRQ.Phase = max(1, sub.dev.IRQ.Phase/2)
+	meas, exit, err := stream.MeasureStream(sub.prog, storm, nil, sub.cfg.SegmentEvents, sub.cfg.MaxInstructions)
+	if err != nil {
+		return nil, fmt.Sprintf("storm run did not complete: %v", err)
+	}
+	if meas.Hash == sub.honest.Hash {
+		return nil, "storm schedule measured identically to the attested one"
+	}
+	if meas.Stats.Engine.Dropped != 0 {
+		// The back-pressure contract broke; that is an oracle failure,
+		// not a labeled scenario — surface it loudly.
+		return nil, fmt.Sprintf("storm run dropped %d pairs despite FIFO back-pressure", meas.Stats.Engine.Dropped)
+	}
+
+	m := base(sub, "interrupt-storm")
+	m.Class = 1
+	m.Expect = attest.ClassNonControlData
+	m.FindingAny = []string{"differs from expected execution", "not the expected"}
+	m.hash = meas.Hash
+	m.loops = meas.Loops
+	m.edges = stream.FlattenSegments(meas.Segments)
+	m.exit = exit
+	return m, ""
 }
 
 // corruptLoopsInvalid derives loop metadata that cfg.ValidateRecord

@@ -1,0 +1,74 @@
+package conform
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"lofat/internal/asm"
+	"lofat/internal/attest"
+	"lofat/internal/core"
+	"lofat/internal/proggen"
+)
+
+// pristineDigest is a golden measurement captured at the commit BEFORE
+// the interrupt model existed: proggen seed (zero Config), zero device
+// config, nil input, 3M instruction budget.
+type pristineDigest struct {
+	hash   string // hex SHA-3-512 measurement A
+	exit   uint32
+	loops  int
+	hashed uint64 // Stats.HashedPairs
+}
+
+// pristineDigests pins seeds 0..15. The values were produced by the
+// pre-interrupt tree; any drift here means the interrupt feature
+// changed the measurement of interrupt-free programs, which must never
+// happen — a disabled interrupt line (zero IRQSchedule) is required to
+// be bit-for-bit invisible.
+var pristineDigests = []pristineDigest{
+	{"271b770622346d7b2d682b53837327f2ae85e4c2eb70c57e90479a3ae4398f2d4b0286ebfb13b54f90850461697462bf1623db8313bc58e7948d40ce5caf6281", 2310, 1, 6},
+	{"b39292c91670bbdd1f290a1cd4ca80270e45365e4357ceb92a1c11c97abaf80d47cf1e33a9192d53fb750c6ffbf096fff5cb0f5d13705dce32bc4084c86eec01", 7228, 16, 118},
+	{"51510265d43780ed7d78514665cb4c046275eac07f6df39ce035590ce2db86f345b807c40b4cf4b72699ec7d639d9cc7d59af52db52c871eefdba04c633381fe", 4512, 4, 25},
+	{"d7366542dd0e714dfda4448a7cab3732f1961137d32182a1dc9dde06f3030c1451492bf0506d648ea47fbb2cf6f1131c2784fb7c43187245e12dcc9777c99060", 6572, 2, 8},
+	{"8a1d65f5acee94def2dac97dd68341960e841d6e1e89e4b9cb8896e73bc7771ddff345902508ae85650c738dc56729fe8ac941b4ff0d9b7a37d960938a3e1376", 223620149, 8, 45},
+	{"b8e42b5b599d753691ec6c4e3efff02c057e28aecc329e28750da3b90c485594e6bbfc5a1659c1945ff10b3f2bc37defd355dde659029ce19e37cdb3fce0692e", 911, 0, 1},
+	{"beb5e7c545fe002f02fb86ba686d3118ef204622352bb295cc36d353e2be73e89a27d65f6f6d42dee0657be7825c6d28dcb60b5bba805b38aa3f395311496b66", 3585749384, 86, 418},
+	{"286a82f3ea9ecd09bc0648a61fcfe128e5948f7a46db156ece55e5845133ec9ade24e54eef94685e5c29b6af89383add9b375d60d3135a9c40ac743896e2de0a", 668, 25, 105},
+	{"925459451f1a781c0d1b865aedc10188184927939db988680be5049ae7808156cee728dca80fe2420a9d1267a407dd77944f41f744c09891ccd835095f4c0e01", 440, 0, 1},
+	{"d01357d2b9b786c4ec02e507d11e6fcf0c2326834f03bdccfdaff15362585af499de3c26a6768dcd250dbd464b5106697ead0b4cbe049d5852250d6c22d38a4c", 5, 0, 2},
+	{"5bf8b11e5930941a1b5c1db417523b8ed085bf9989c05fe1d65f2a97cecd756caea5f13b9941ed384ed81114600558519a1987e1f729bb3fdfbb562fb5b17403", 448150, 1, 5},
+	{"0717fca0e8bda63999708389343c75f606687c585caa0719329f7d689fb7312f62e385b50db5839fec459236f739c90442bd752d8253d55b6c921e706f734735", 367533879, 68, 426},
+	{"c82db58b94b6aea4eedffdab440e512555b1f55f95124a521a43820224e24edb106dd1b2290c6382960213f585a1f129ebc20ac8bac40d7b41388eca864335ee", 146, 2, 11},
+	{"df44b9bb165c476819c0fbc064c953e22aaeb77ce601e667a71d5622a3b02d6f7ebf69411d35684047b4a994d0fd43a7dd900ce0b7b370f03353a496ebca363f", 3697, 4, 42},
+	{"76236197218a90e9ac9be6d0dce0f7c49e72eca7fa72d38f83f35d9cb74ed339d552d9f6f5334f6b354765acac3c04d55e32edee7360abcac50d54c2783ecc90", 192, 1, 5},
+	{"a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a615b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26", 264, 0, 0},
+}
+
+// TestInterruptFreeMeasurementsBitIdenticalToPreISRHead is the
+// differential acceptance test for the interrupt feature: measurements
+// of interrupt-free programs (zero IRQ schedule) must be bit-identical
+// to the measurements the tree produced before interrupts existed.
+func TestInterruptFreeMeasurementsBitIdenticalToPreISRHead(t *testing.T) {
+	for seed, want := range pristineDigests {
+		prog, err := asm.Assemble(proggen.GenerateSeeded(int64(seed), proggen.Config{}))
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		m, exit, err := attest.Measure(prog, core.Config{}, nil, 3_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: measure: %v", seed, err)
+		}
+		if got := hex.EncodeToString(m.Hash[:]); got != want.hash {
+			t.Errorf("seed %d: hash A drifted from pre-ISR HEAD\n got %s\nwant %s", seed, got, want.hash)
+		}
+		if exit != want.exit {
+			t.Errorf("seed %d: exit %d, want %d", seed, exit, want.exit)
+		}
+		if len(m.Loops) != want.loops {
+			t.Errorf("seed %d: %d loop records, want %d", seed, len(m.Loops), want.loops)
+		}
+		if m.Stats.HashedPairs != want.hashed {
+			t.Errorf("seed %d: HashedPairs %d, want %d", seed, m.Stats.HashedPairs, want.hashed)
+		}
+	}
+}

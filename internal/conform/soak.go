@@ -1,0 +1,187 @@
+package conform
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SoakConfig parameterises a long-run conformance soak: instead of a
+// fixed seed list, the engine sweeps consecutive seed windows until a
+// wall-clock budget is spent, persisting its position after every
+// window so the next soak resumes where this one stopped. Over nightly
+// runs the fleet therefore walks an unbounded, never-repeating seed
+// space instead of re-proving the same corpus forever.
+type SoakConfig struct {
+	// Budget is the wall-clock budget (required, > 0). The soak always
+	// completes at least one window, then stops at the first window
+	// boundary past the budget — a window is never abandoned mid-seed,
+	// so every persisted position is a clean resume point.
+	Budget time.Duration
+	// Window is the number of consecutive seeds per window (default 25).
+	Window int
+	// StateFile, when set, persists the soak position as JSON. The file
+	// is written atomically (temp + rename) after every window; a
+	// missing file starts the walk at seed 0.
+	StateFile string
+	// Base is the per-window engine configuration. Base.Seeds is
+	// ignored — the soak supplies each window's seed range.
+	Base Config
+	// Log, when set, receives one progress line per window.
+	Log func(format string, args ...any)
+
+	// now is a test seam; nil means time.Now.
+	now func() time.Time
+}
+
+// SoakState is the persisted position of the rolling seed walk.
+type SoakState struct {
+	// NextSeed is the first seed of the next window to run.
+	NextSeed int64 `json:"next_seed"`
+	// Windows counts completed windows across all soaks of this state.
+	Windows int64 `json:"windows"`
+	// Scenarios counts non-skipped scenarios across all soaks.
+	Scenarios int64 `json:"scenarios"`
+	// UpdatedAt is the RFC 3339 time of the last window boundary.
+	UpdatedAt string `json:"updated_at"`
+}
+
+// SoakSummary aggregates one soak invocation.
+type SoakSummary struct {
+	// FirstSeed..NextSeed is the half-open seed range this soak covered.
+	FirstSeed int64 `json:"first_seed"`
+	NextSeed  int64 `json:"next_seed"`
+	// Windows is the number of windows this soak completed.
+	Windows int `json:"windows"`
+	// Elapsed is the wall-clock time spent.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Scenarios/Passed/Skipped/Failed/Verdicts aggregate every window's
+	// Summary counters.
+	Scenarios int `json:"scenarios"`
+	Passed    int `json:"passed"`
+	Skipped   int `json:"skipped"`
+	Failed    int `json:"failed"`
+	Verdicts  int `json:"verdicts"`
+	// Failures collects every failing scenario across all windows.
+	Failures []ScenarioResult `json:"failures,omitempty"`
+}
+
+// Soak runs rolling seed windows until the budget is spent, persisting
+// the resume position after every window. It returns the aggregate
+// summary; conformance failures are reported in the summary, not as an
+// error (errors are environmental: an unreadable or unwritable state
+// file).
+func Soak(cfg SoakConfig) (*SoakSummary, error) {
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("conform: soak budget must be positive, got %v", cfg.Budget)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 25
+	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	state, err := loadSoakState(cfg.StateFile)
+	if err != nil {
+		return nil, err
+	}
+
+	sum := &SoakSummary{FirstSeed: state.NextSeed, NextSeed: state.NextSeed}
+	start := now()
+	for {
+		seeds := make([]int64, cfg.Window)
+		for i := range seeds {
+			seeds[i] = state.NextSeed + int64(i)
+		}
+		winCfg := cfg.Base
+		winCfg.Seeds = seeds
+		win := New(winCfg).Run()
+
+		state.NextSeed += int64(cfg.Window)
+		state.Windows++
+		state.Scenarios += int64(win.Scenarios - win.Skipped)
+		state.UpdatedAt = now().UTC().Format(time.RFC3339)
+		if err := saveSoakState(cfg.StateFile, state); err != nil {
+			return nil, err
+		}
+
+		sum.NextSeed = state.NextSeed
+		sum.Windows++
+		sum.Scenarios += win.Scenarios
+		sum.Passed += win.Passed
+		sum.Skipped += win.Skipped
+		sum.Failed += win.Failed
+		sum.Verdicts += win.Verdicts
+		sum.Failures = append(sum.Failures, win.Failures()...)
+		sum.Elapsed = now().Sub(start)
+
+		if cfg.Log != nil {
+			cfg.Log("soak window %d: seeds %d:%d, %d scenarios (%d failed), %v elapsed of %v",
+				state.Windows, seeds[0], state.NextSeed, win.Scenarios, win.Failed,
+				sum.Elapsed.Round(time.Millisecond), cfg.Budget)
+		}
+		if sum.Elapsed >= cfg.Budget {
+			return sum, nil
+		}
+	}
+}
+
+// loadSoakState reads the resume position; a missing file (or empty
+// path) starts the walk at seed 0. A present-but-corrupt file is an
+// error: silently restarting at 0 would re-prove old seeds while
+// looking like forward progress.
+func loadSoakState(path string) (*SoakState, error) {
+	st := &SoakState{}
+	if path == "" {
+		return st, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("conform: soak state: %w", err)
+	}
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, fmt.Errorf("conform: soak state %s is corrupt: %w", path, err)
+	}
+	if st.NextSeed < 0 {
+		return nil, fmt.Errorf("conform: soak state %s has negative next_seed %d", path, st.NextSeed)
+	}
+	return st, nil
+}
+
+// saveSoakState persists atomically: write a temp file in the same
+// directory, then rename over the target. A soak killed mid-write
+// resumes from the previous window boundary, never from a torn file.
+func saveSoakState(path string, st *SoakState) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("conform: soak state: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".soak-state-*")
+	if err != nil {
+		return fmt.Errorf("conform: soak state: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("conform: soak state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("conform: soak state: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("conform: soak state: %w", err)
+	}
+	return nil
+}

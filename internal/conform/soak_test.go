@@ -1,0 +1,120 @@
+package conform
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// soakBase is a deliberately small per-window configuration so soak
+// tests measure the soak machinery, not the corpus.
+func soakBase() Config {
+	return Config{
+		Paths:     []Path{PathDirect},
+		Mutations: []string{"honest", "cfg-splice"},
+		ISR:       true,
+	}
+}
+
+// TestSoakRollingWindowAndResume: two consecutive soaks over one state
+// file must walk disjoint, adjacent seed windows — the whole point of
+// the rolling state is that nightly runs never re-prove old seeds.
+func TestSoakRollingWindowAndResume(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "soak.json")
+	cfg := SoakConfig{
+		Budget:    time.Nanosecond, // one window, then stop at the boundary
+		Window:    3,
+		StateFile: state,
+		Base:      soakBase(),
+	}
+	first, err := Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FirstSeed != 0 || first.NextSeed != 3 || first.Windows != 1 {
+		t.Fatalf("first soak covered [%d,%d) in %d windows, want [0,3) in 1",
+			first.FirstSeed, first.NextSeed, first.Windows)
+	}
+	if first.Failed != 0 || len(first.Failures) != 0 {
+		t.Fatalf("soak window failed: %+v", first.Failures)
+	}
+	if first.Scenarios == 0 || first.Verdicts == 0 {
+		t.Fatal("soak window ran no scenarios")
+	}
+
+	second, err := Soak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.FirstSeed != 3 || second.NextSeed != 6 {
+		t.Fatalf("second soak covered [%d,%d), want the adjacent window [3,6)",
+			second.FirstSeed, second.NextSeed)
+	}
+
+	var st SoakState
+	data, err := os.ReadFile(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("state file is not valid JSON: %v", err)
+	}
+	if st.NextSeed != 6 || st.Windows != 2 {
+		t.Fatalf("persisted state %+v, want next_seed 6 after 2 windows", st)
+	}
+	if st.Scenarios == 0 || st.UpdatedAt == "" {
+		t.Fatalf("persisted state lacks run metadata: %+v", st)
+	}
+}
+
+// TestSoakBudgetRunsMultipleWindows: a budget that outlasts the first
+// window keeps rolling; the fake clock charges 40ms per call, so a
+// 100ms budget spans several windows without real sleeping.
+func TestSoakBudgetRunsMultipleWindows(t *testing.T) {
+	var tick time.Duration
+	clock := func() time.Time {
+		tick += 40 * time.Millisecond
+		return time.Unix(0, int64(tick))
+	}
+	var lines []string
+	sum, err := Soak(SoakConfig{
+		Budget: 300 * time.Millisecond,
+		Window: 2,
+		Base:   soakBase(),
+		Log:    func(format string, args ...any) { lines = append(lines, format) },
+		now:    clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Windows < 2 {
+		t.Fatalf("budget admitted only %d windows", sum.Windows)
+	}
+	if sum.NextSeed != int64(2*sum.Windows) {
+		t.Fatalf("NextSeed %d after %d windows of 2", sum.NextSeed, sum.Windows)
+	}
+	if len(lines) != sum.Windows {
+		t.Fatalf("%d log lines for %d windows", len(lines), sum.Windows)
+	}
+}
+
+// TestSoakStateFileHygiene: a corrupt state file must be a hard error
+// (silently restarting at seed 0 would fake forward progress), and a
+// rejected budget must not touch the state.
+func TestSoakStateFileHygiene(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "soak.json")
+	if err := os.WriteFile(state, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Soak(SoakConfig{Budget: time.Nanosecond, Window: 1, StateFile: state, Base: soakBase()})
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt state file not rejected: %v", err)
+	}
+
+	if _, err := Soak(SoakConfig{Window: 1, Base: soakBase()}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

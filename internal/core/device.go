@@ -10,6 +10,7 @@ package core
 import (
 	"sync"
 
+	"lofat/internal/cpu"
 	"lofat/internal/filter"
 	"lofat/internal/hashengine"
 	"lofat/internal/monitor"
@@ -54,6 +55,14 @@ type Config struct {
 	// LoopExitCycles is the internal latency at loop exit for path ID
 	// generation and loop counter memory access/update (paper: 5).
 	LoopExitCycles uint64
+
+	// IRQ is the deterministic interrupt schedule the attested core runs
+	// under; the zero value means interrupt-free execution. It is part
+	// of the device configuration because the expected measurement
+	// depends on it: the verifier must replay the identical schedule to
+	// derive the golden (A, L), and the expectation-cache key (which
+	// renders the whole Config) must distinguish schedules.
+	IRQ cpu.IRQSchedule
 }
 
 // DefaultConfig matches the paper's prototype parameters.

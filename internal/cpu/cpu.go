@@ -33,6 +33,7 @@ type CostModel struct {
 	MulExtra   uint64 // extra cycles for multiply
 	DivExtra   uint64 // extra cycles for divide/remainder
 	EcallExtra uint64 // privileged-trap entry cost
+	IRQExtra   uint64 // interrupt-entry cost (pipeline flush + vector fetch)
 }
 
 // DefaultCostModel approximates the Pulpino RI5CY timing.
@@ -43,6 +44,24 @@ var DefaultCostModel = CostModel{
 	MulExtra:   0,
 	DivExtra:   34,
 	EcallExtra: 4,
+	IRQExtra:   4,
+}
+
+// IRQSchedule is a deterministic model of the core's single external
+// interrupt line: the line asserts at cycle Phase and every Period
+// cycles thereafter, and each assertion dispatches to Vector as soon as
+// the core is between instructions and not already in a handler (the
+// model has one privilege level and no nesting, like the Pulpino event
+// unit configured for a single line). A zero Vector disables the line
+// entirely; interrupt-free runs are bit-identical to a core without the
+// feature. Determinism is the point: the same schedule against the same
+// program and input replays the identical interleaving, so golden
+// measurements of ISR-driven firmware are reproducible.
+type IRQSchedule struct {
+	Vector uint32 // handler entry address; 0 disables the interrupt line
+	Phase  uint64 // cycle at which the line first asserts
+	Period uint64 // cycles between assertions; 0 means assert exactly once
+	Count  uint64 // maximum number of assertions; 0 means unlimited
 }
 
 // Ecall numbers understood by the simulator (a7 selects the call).
@@ -120,7 +139,19 @@ type CPU struct {
 	// Output accumulates EcallPutchar bytes.
 	Output []byte
 
+	// IRQ configures the deterministic interrupt line; the zero value
+	// disables it.
+	IRQ IRQSchedule
+
 	inputPos int
+
+	// Interrupt state: epc is the PC the handler returns to via mret,
+	// inISR blocks nested dispatch, irqTaken counts dispatches so the
+	// next assertion cycle (Phase + irqTaken*Period) needs no timer
+	// state that could drift across Reset.
+	epc      uint32
+	inISR    bool
+	irqTaken uint64
 
 	// Predecoded instruction cache over the rx text segment (immutable
 	// after load: the adversary cannot write executable memory, so the
@@ -153,7 +184,22 @@ func (c *CPU) Reset(entry, stackTop uint32) {
 	c.Output = c.Output[:0]
 	c.inputPos = 0
 	c.batch = c.batch[:0]
+	c.epc = 0
+	c.inISR = false
+	c.irqTaken = 0
 }
+
+// InISR reports whether the core is currently executing an interrupt
+// handler (between vector dispatch and mret).
+//
+//lofat:zeroalloc
+func (c *CPU) InISR() bool { return c.inISR }
+
+// IRQsTaken reports how many interrupt dispatches have occurred since
+// Reset.
+//
+//lofat:zeroalloc
+func (c *CPU) IRQsTaken() uint64 { return c.irqTaken }
 
 // Predecode decodes a text image once into the instruction cache. base
 // must be 4-byte aligned. Words that do not decode are cached as invalid
@@ -200,6 +246,9 @@ func (c *CPU) Step() error {
 //
 //lofat:zeroalloc
 func (c *CPU) step() error {
+	if c.IRQ.Vector != 0 && c.pendingIRQ() {
+		c.takeIRQ()
+	}
 	pc := c.PC
 	if off := pc - c.icacheBase; off&3 == 0 && uint64(off)>>2 < uint64(len(c.icache)) {
 		p := &c.icache[off>>2]
@@ -230,6 +279,51 @@ func (c *CPU) step() error {
 		valid:   true,
 	}
 	return c.exec(pc, &p)
+}
+
+// pendingIRQ reports whether the interrupt line is asserted and
+// dispatchable. The check is stateless over (Cycle, irqTaken) so the
+// schedule replays identically no matter when IRQ was assigned relative
+// to Reset: the nth dispatch is due once Cycle reaches
+// Phase + n*Period, dispatch is blocked inside a handler, and Count
+// (when non-zero) caps the total. Period 0 degenerates to a one-shot.
+//
+//lofat:zeroalloc
+func (c *CPU) pendingIRQ() bool {
+	if c.inISR {
+		return false
+	}
+	if c.IRQ.Count != 0 && c.irqTaken >= c.IRQ.Count {
+		return false
+	}
+	if c.IRQ.Period == 0 {
+		return c.irqTaken == 0 && c.Cycle >= c.IRQ.Phase
+	}
+	return c.Cycle >= c.IRQ.Phase+c.irqTaken*c.IRQ.Period
+}
+
+// takeIRQ performs the hardware vector dispatch: save the interrupted
+// PC, redirect to the vector, charge the entry cost, and publish a
+// KindIRQEnter pseudo-event on the trace port. The event's (PC, NextPC)
+// pair is (interrupted PC, vector) — the asynchronous edge the branch
+// filter measures, bound to the exact interruption point. No
+// instruction retires: Retired is untouched and Word/Inst are zero.
+//
+//lofat:zeroalloc
+func (c *CPU) takeIRQ() {
+	epc := c.PC
+	c.epc = epc
+	c.inISR = true
+	c.irqTaken++
+	c.Cycle += c.Costs.IRQExtra
+	c.PC = c.IRQ.Vector
+	c.emit(trace.Event{
+		Cycle:  c.Cycle,
+		PC:     epc,
+		Kind:   isa.KindIRQEnter,
+		Taken:  true,
+		NextPC: c.IRQ.Vector,
+	})
 }
 
 // set writes a register, honouring the hardwired x0.
@@ -453,6 +547,16 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 		//lofat:ignore zeroalloc cold fault path: ebreak halts the run
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: fmt.Errorf("ebreak")}
 
+	case isa.OpMRET:
+		if !c.inISR {
+			//lofat:ignore zeroalloc cold fault path: mret outside a handler halts the run
+			return &ExecError{PC: pc, Cycle: c.Cycle, Err: fmt.Errorf("mret outside interrupt handler")}
+		}
+		nextPC = c.epc
+		c.inISR = false
+		taken = true
+		cost += c.Costs.TakenExtra
+
 	default:
 		//lofat:ignore zeroalloc cold fault path: an unimplemented opcode halts the run
 		return &ExecError{PC: pc, Cycle: c.Cycle, Err: fmt.Errorf("unimplemented opcode %v", in.Op)}
@@ -462,22 +566,34 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 	c.Retired++
 	c.PC = nextPC
 
+	c.emit(trace.Event{
+		Cycle:   c.Cycle,
+		PC:      pc,
+		Word:    p.word,
+		Inst:    in,
+		Kind:    p.kind,
+		Taken:   taken,
+		NextPC:  nextPC,
+		Linking: p.linking,
+	})
+	return nil
+}
+
+// emit publishes one retirement (or interrupt-dispatch pseudo-event) on
+// whichever trace port is wired, applying the control-flow-only mask
+// and the halt-time flush on the batched port. Shared by the
+// instruction hot loop and takeIRQ so both ports see identical events
+// in identical order.
+//
+//lofat:zeroalloc
+func (c *CPU) emit(e trace.Event) {
 	if c.TraceBatch != nil {
-		if !(c.TraceCFOnly && p.kind == isa.KindNone) {
+		if !(c.TraceCFOnly && e.Kind == isa.KindNone) {
 			if c.batch == nil {
 				//lofat:ignore zeroalloc one-time lazy batch buffer; reused (and Reset-retained) afterwards
 				c.batch = make([]trace.Event, 0, TraceBatchSize)
 			}
-			c.batch = append(c.batch, trace.Event{
-				Cycle:   c.Cycle,
-				PC:      pc,
-				Word:    p.word,
-				Inst:    in,
-				Kind:    p.kind,
-				Taken:   taken,
-				NextPC:  nextPC,
-				Linking: p.linking,
-			})
+			c.batch = append(c.batch, e)
 			if len(c.batch) >= TraceBatchSize {
 				c.flushBatch()
 			}
@@ -486,18 +602,8 @@ func (c *CPU) exec(pc uint32, p *predecoded) error {
 			c.FlushTrace()
 		}
 	} else if c.Trace != nil {
-		c.Trace.Retire(trace.Event{
-			Cycle:   c.Cycle,
-			PC:      pc,
-			Word:    p.word,
-			Inst:    in,
-			Kind:    p.kind,
-			Taken:   taken,
-			NextPC:  nextPC,
-			Linking: p.linking,
-		})
+		c.Trace.Retire(e)
 	}
-	return nil
 }
 
 //lofat:zeroalloc

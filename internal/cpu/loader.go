@@ -161,6 +161,7 @@ func ReleaseMachine(m *Machine) {
 	m.CPU.TraceBatch = nil
 	m.CPU.TraceCFOnly = false
 	m.CPU.Input = nil
+	m.CPU.IRQ = IRQSchedule{}
 	if v, ok := machinePools.Load(m.poolKey); ok {
 		v.(*sync.Pool).Put(m)
 	}

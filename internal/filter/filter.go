@@ -96,6 +96,11 @@ type Filter struct {
 	cfg   Config
 	stack []loopCtx
 
+	// inISR is set between an IRQ-enter event and the matching
+	// return-from-interrupt. Handler control flow is hashed directly,
+	// outside any loop context (see Step).
+	inISR bool
+
 	// Stats for §6 evaluation.
 	Events     uint64 // control-flow events seen
 	LoopEvents uint64 // events attributed to loops
@@ -121,6 +126,7 @@ func (f *Filter) Depth() int { return len(f.stack) }
 //lofat:zeroalloc
 func (f *Filter) Reset() {
 	f.stack = f.stack[:0]
+	f.inISR = false
 	f.Events = 0
 	f.LoopEvents = 0
 	f.Pushes = 0
@@ -156,6 +162,29 @@ func (f *Filter) Step(e trace.Event, out []Op) []Op {
 	f.Events++
 	src, dest := e.SrcDest()
 	pair := hashengine.Pair{Src: src, Dest: dest}
+
+	// 0. Interrupt handling: an asynchronous transfer and everything the
+	// handler executes are hashed directly, outside any loop context.
+	// The entry edge (interrupted PC → vector) and the return edge
+	// (mret PC → resumption point) bracket the handler in the
+	// measurement, so a forged or redirected handler path changes A,
+	// while the main program's loop bookkeeping is untouched — the
+	// interrupted loop's entry/exit registers, call depth, and path
+	// symbols resume exactly where dispatch suspended them, matching
+	// the paper's handling of asynchronous transfers.
+	switch {
+	case e.Kind == isa.KindIRQEnter:
+		f.inISR = true
+		out = append(out, Op{Kind: OpHashDirect, Pair: pair})
+		return out
+	case e.Kind == isa.KindIRQRet:
+		f.inISR = false
+		out = append(out, Op{Kind: OpHashDirect, Pair: pair})
+		return out
+	case f.inISR:
+		out = append(out, Op{Kind: OpHashDirect, Pair: pair})
+		return out
+	}
 
 	// 1. Attribute the event to the innermost active loop, or hash it
 	// directly. Attribution happens against the PRE-update stack: the

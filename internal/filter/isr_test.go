@@ -1,0 +1,101 @@
+package filter
+
+import (
+	"testing"
+
+	"lofat/internal/isa"
+)
+
+// TestISREventsHashedDirectInsideLoop: an interrupt that preempts an
+// active loop must hash the entry edge, every handler event, and the
+// return edge directly — no loop attribution, no iteration counting,
+// no pushes — and the interrupted loop's context must survive intact
+// so the loop keeps counting after mret.
+func TestISREventsHashedDirectInsideLoop(t *testing.T) {
+	f := New(Config{})
+
+	// Establish a loop: taken backward condbr 0x110 -> 0x100.
+	ops := f.Step(ev(0x110, 0x100, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect, OpLoopPush) {
+		t.Fatalf("loop setup ops = %v", kinds(ops))
+	}
+	if f.Depth() != 1 {
+		t.Fatalf("Depth = %d", f.Depth())
+	}
+
+	// Interrupt dispatch from inside the body to the vector at 0x400.
+	ops = f.Step(ev(0x104, 0x400, isa.KindIRQEnter, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("IRQ enter ops = %v", kinds(ops))
+	}
+	if ops[0].Pair.Src != 0x104 || ops[0].Pair.Dest != 0x400 {
+		t.Errorf("entry pair = %+v", ops[0].Pair)
+	}
+
+	// Handler control flow: a backward branch that would normally push
+	// a loop, and a jump — both must be hashed direct with no
+	// bookkeeping while in the handler.
+	ops = f.Step(ev(0x408, 0x404, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("handler back-branch ops = %v", kinds(ops))
+	}
+	if f.Depth() != 1 {
+		t.Fatalf("handler back-branch pushed a loop: depth %d", f.Depth())
+	}
+	ops = f.Step(ev(0x40c, 0x414, isa.KindJump, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("handler jump ops = %v", kinds(ops))
+	}
+
+	// Return-from-interrupt back to the interrupted PC.
+	ops = f.Step(ev(0x418, 0x104, isa.KindIRQRet, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect) {
+		t.Fatalf("IRQ ret ops = %v", kinds(ops))
+	}
+	if f.Depth() != 1 {
+		t.Fatalf("loop context lost across ISR: depth %d", f.Depth())
+	}
+
+	// The interrupted loop resumes: the back-edge is attributed to the
+	// loop and completes an iteration, exactly as if never interrupted.
+	ops = f.Step(ev(0x110, 0x100, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpLoopEvent, OpIterEnd) {
+		t.Fatalf("post-ISR back-edge ops = %v", kinds(ops))
+	}
+}
+
+// TestISRResetClearsHandlerState: Reset in the middle of a handler
+// must not leave the next run hashing everything directly.
+func TestISRResetClearsHandlerState(t *testing.T) {
+	f := New(Config{})
+	f.Step(ev(0x104, 0x400, isa.KindIRQEnter, true, false), nil)
+	f.Reset()
+	// A backward branch must push a loop again — it would not if the
+	// filter still believed it was inside a handler.
+	ops := f.Step(ev(0x110, 0x100, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect, OpLoopPush) {
+		t.Fatalf("post-Reset ops = %v", kinds(ops))
+	}
+}
+
+// TestISROutsideLoopHashDirect: entry/exit edges with no active loop
+// are plain direct hashes, and handler state toggles correctly across
+// repeated dispatches.
+func TestISROutsideLoopHashDirect(t *testing.T) {
+	f := New(Config{})
+	for i := 0; i < 3; i++ {
+		ops := f.Step(ev(0x200, 0x400, isa.KindIRQEnter, true, false), nil)
+		if !eq(kinds(ops), OpHashDirect) {
+			t.Fatalf("dispatch %d enter ops = %v", i, kinds(ops))
+		}
+		ops = f.Step(ev(0x404, 0x200, isa.KindIRQRet, true, false), nil)
+		if !eq(kinds(ops), OpHashDirect) {
+			t.Fatalf("dispatch %d ret ops = %v", i, kinds(ops))
+		}
+	}
+	// Normal loop detection works after the handlers are done.
+	ops := f.Step(ev(0x210, 0x204, isa.KindCondBr, true, false), nil)
+	if !eq(kinds(ops), OpHashDirect, OpLoopPush) {
+		t.Fatalf("post-ISR loop push ops = %v", kinds(ops))
+	}
+}

@@ -49,27 +49,6 @@ func TestEngineZeroAllocWithGauge(t *testing.T) {
 	}
 }
 
-// TestFIFOGaugeTracksOccupancy checks the gauge follows enqueue, pop,
-// and reset.
-func TestFIFOGaugeTracksOccupancy(t *testing.T) {
-	e := New(Config{})
-	var g obs.Gauge
-	e.SetFIFOGauge(&g)
-	e.Enqueue(Pair{Src: 1, Dest: 2})
-	e.Enqueue(Pair{Src: 3, Dest: 4})
-	if g.Load() != 2 {
-		t.Fatalf("after 2 enqueues: gauge = %d, want 2", g.Load())
-	}
-	e.Tick() // pops one
-	if g.Load() != 1 {
-		t.Fatalf("after tick: gauge = %d, want 1", g.Load())
-	}
-	e.Reset()
-	if g.Load() != 0 {
-		t.Fatalf("after reset: gauge = %d, want 0", g.Load())
-	}
-}
-
 // TestAdvanceMatchesTicks proves Advance(n) is counter-identical to n
 // Ticks in every engine state: mid-block, busy window, loaded FIFO.
 func TestAdvanceMatchesTicks(t *testing.T) {

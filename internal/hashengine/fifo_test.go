@@ -1,0 +1,150 @@
+package hashengine
+
+import (
+	"testing"
+
+	"lofat/internal/obs"
+)
+
+// TestEnqueueAtCapacityBoundary pins the FIFO's exact saturation
+// boundary: depth D accepts exactly D pairs without a tick, the D+1st
+// is refused and counted as a drop, and one Tick frees exactly one
+// slot. Off-by-one here would either lose a pair the paper's buffer
+// sizing promises to keep or model a phantom fifth register.
+func TestEnqueueAtCapacityBoundary(t *testing.T) {
+	const depth = 4
+	e := New(Config{FIFODepth: depth})
+	for i := 0; i < depth; i++ {
+		if e.Full() {
+			t.Fatalf("Full() true at occupancy %d/%d", i, depth)
+		}
+		if !e.Enqueue(Pair{Src: uint32(i), Dest: uint32(i) + 4}) {
+			t.Fatalf("pair %d refused below capacity", i)
+		}
+	}
+	if !e.Full() || e.Pending() != depth {
+		t.Fatalf("after %d enqueues: Full=%v Pending=%d", depth, e.Full(), e.Pending())
+	}
+
+	// Exactly at capacity: the next pair must bounce, and keep bouncing.
+	for i := 0; i < 3; i++ {
+		if e.Enqueue(Pair{Src: 0xdead, Dest: 0xbeef}) {
+			t.Fatalf("enqueue %d accepted into a full FIFO", i)
+		}
+	}
+	st := e.Stats()
+	if st.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", st.Dropped)
+	}
+	if st.MaxFIFO != depth {
+		t.Fatalf("MaxFIFO = %d, want %d", st.MaxFIFO, depth)
+	}
+
+	// One cycle pops one pair: exactly one slot opens.
+	e.Tick()
+	if e.Full() || e.Pending() != depth-1 {
+		t.Fatalf("after one tick: Full=%v Pending=%d", e.Full(), e.Pending())
+	}
+	if !e.Enqueue(Pair{Src: 1, Dest: 5}) {
+		t.Fatal("freed slot refused a pair")
+	}
+	if !e.Full() {
+		t.Fatal("refilled FIFO not full")
+	}
+
+	// Drops are observability-only: the digest covers exactly the
+	// accepted pairs, in order.
+	got := e.Finalize()
+	want := HashPairs([]Pair{{0, 4}, {1, 5}, {2, 6}, {3, 7}, {1, 5}})
+	if got != want {
+		t.Fatal("digest does not match the accepted-pair sequence")
+	}
+}
+
+// TestBackPressureLosesNothing models the loop monitor's contract: a
+// producer that polls Full and waits — instead of dropping — delivers
+// every pair even through a busy-window pile-up, and the drop counter
+// stays zero. This is the discipline the interrupt-storm conformance
+// class relies on when dispatch edges saturate the trace path.
+func TestBackPressureLosesNothing(t *testing.T) {
+	e := New(Config{}) // paper defaults: depth 4, 9 pairs/block, 3 busy cycles
+	var pairs []Pair
+	for i := 0; i < 200; i++ {
+		pairs = append(pairs, Pair{Src: uint32(i * 4), Dest: uint32(i*4 + 8)})
+	}
+	var stalls int
+	for _, p := range pairs {
+		for e.Full() {
+			e.Tick() // producer stalls a cycle, engine keeps draining
+			stalls++
+		}
+		if !e.Enqueue(p) {
+			t.Fatal("Enqueue refused after Full() reported space")
+		}
+		e.Tick()
+	}
+	st := e.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("back-pressured producer dropped %d pairs", st.Dropped)
+	}
+	if stalls == 0 {
+		t.Fatal("wire-speed stream never hit back-pressure; test exercises nothing")
+	}
+	if e.Finalize() != HashPairs(pairs) {
+		t.Fatal("digest lost pairs despite back-pressure")
+	}
+	if st := e.Stats(); st.Absorbed != uint64(len(pairs)) {
+		t.Fatalf("Absorbed = %d, want %d", st.Absorbed, len(pairs))
+	}
+}
+
+// TestFIFOGaugeTracksOccupancy pins the gauge contract: it follows
+// every enqueue/pop transition, peaks exactly at MaxFIFO, and Reset
+// zeroes it.
+func TestFIFOGaugeTracksOccupancy(t *testing.T) {
+	var g obs.Gauge
+	e := New(Config{FIFODepth: 4})
+	e.SetFIFOGauge(&g)
+	if g.Load() != 0 {
+		t.Fatalf("gauge %d on an idle engine", g.Load())
+	}
+
+	var peak int64
+	for i := 0; i < 3; i++ {
+		e.Enqueue(Pair{Src: uint32(i), Dest: uint32(i) + 4})
+		if got := g.Load(); got != int64(i+1) {
+			t.Fatalf("gauge %d after %d enqueues", got, i+1)
+		}
+		peak = max(peak, g.Load())
+	}
+	e.Tick()
+	if g.Load() != 2 {
+		t.Fatalf("gauge %d after pop, want 2", g.Load())
+	}
+	if int(peak) != e.Stats().MaxFIFO {
+		t.Fatalf("gauge peak %d disagrees with MaxFIFO %d", peak, e.Stats().MaxFIFO)
+	}
+
+	// A full-FIFO bounce is not an occupancy change.
+	e.Enqueue(Pair{}) // 3
+	e.Enqueue(Pair{}) // 4 = full
+	before := g.Load()
+	e.Enqueue(Pair{Src: 9, Dest: 13})
+	if g.Load() != before {
+		t.Fatalf("dropped pair moved the gauge %d -> %d", before, g.Load())
+	}
+
+	e.Reset()
+	if g.Load() != 0 {
+		t.Fatalf("gauge %d after Reset", g.Load())
+	}
+
+	// Late attachment snaps to the current occupancy rather than
+	// waiting for the next transition.
+	e.Enqueue(Pair{Src: 4, Dest: 8})
+	var late obs.Gauge
+	e.SetFIFOGauge(&late)
+	if late.Load() != 1 {
+		t.Fatalf("late-attached gauge %d, want 1", late.Load())
+	}
+}

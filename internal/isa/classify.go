@@ -14,6 +14,8 @@ const (
 	KindJump                            // direct jump (jal)
 	KindIndirect                        // indirect jump/call (jalr, not return)
 	KindReturn                          // function return (jalr via ra, rd=x0)
+	KindIRQEnter                        // asynchronous interrupt entry (hardware vector dispatch)
+	KindIRQRet                          // return from interrupt handler (mret)
 )
 
 // String names the kind for diagnostics.
@@ -29,6 +31,10 @@ func (k ControlFlowKind) String() string {
 		return "indirect"
 	case KindReturn:
 		return "return"
+	case KindIRQEnter:
+		return "irq-enter"
+	case KindIRQRet:
+		return "irq-return"
 	}
 	return "unknown"
 }
@@ -48,7 +54,7 @@ func (op Opcode) IsCondBranch() bool {
 //
 //lofat:zeroalloc
 func (op Opcode) IsControlFlow() bool {
-	return op.IsCondBranch() || op == OpJAL || op == OpJALR
+	return op.IsCondBranch() || op == OpJAL || op == OpJALR || op == OpMRET
 }
 
 // Classify maps a decoded instruction to its control-flow kind.
@@ -70,6 +76,8 @@ func Classify(in Inst) ControlFlowKind {
 			return KindReturn
 		}
 		return KindIndirect
+	case in.Op == OpMRET:
+		return KindIRQRet
 	}
 	return KindNone
 }

@@ -162,6 +162,8 @@ func Decode(word uint32) (Inst, error) {
 			return Inst{Op: OpECALL}, nil
 		case 0x00100073:
 			return Inst{Op: OpEBREAK}, nil
+		case 0x30200073:
+			return Inst{Op: OpMRET}, nil
 		}
 		return Inst{}, fmt.Errorf("isa: decode %#08x: unsupported SYSTEM encoding", word)
 	}

@@ -96,6 +96,8 @@ func Encode(in Inst) (uint32, error) {
 			return 0x00000073, nil
 		case OpEBREAK:
 			return 0x00100073, nil
+		case OpMRET:
+			return 0x30200073, nil
 		case OpFENCE:
 			return 0x0000000F, nil
 		}

@@ -127,6 +127,7 @@ const (
 	OpFENCE
 	OpECALL
 	OpEBREAK
+	OpMRET
 
 	numOpcodes
 )
@@ -221,6 +222,7 @@ var opTable = [numOpcodes]opInfo{
 	OpFENCE:  {"fence", FormatSys, 0x0F, 0, 0},
 	OpECALL:  {"ecall", FormatSys, 0x73, 0, 0},
 	OpEBREAK: {"ebreak", FormatSys, 0x73, 0, 0},
+	OpMRET:   {"mret", FormatSys, 0x73, 0, 0},
 }
 
 // String returns the assembler mnemonic of the opcode.

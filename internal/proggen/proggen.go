@@ -35,6 +35,14 @@ type Config struct {
 	// generates them, so the default corpus exercises the CAM-encoded
 	// indirect-target path.
 	NoIndirect bool
+	// ISR appends an interrupt handler (label "isr", terminated by
+	// mret) and an isr_count data word the handler increments. The
+	// handler uses only t4/t5/t6, which the main program and helpers
+	// never touch, so it can preempt any instruction boundary without
+	// perturbing the interrupted computation. The handler is emitted
+	// after everything else: ISR-disabled output is byte-identical to a
+	// generator without the feature.
+	ISR bool
 }
 
 func (c *Config) fill() {
@@ -82,6 +90,10 @@ func Generate(r *rand.Rand, cfg Config) string {
 	}
 	g.emit("scratch:")
 	g.emit("\t.space 64")
+	if cfg.ISR {
+		g.emit("isr_count:")
+		g.emit("\t.word 0")
+	}
 	g.emit("\t.text")
 	g.emit("main:")
 	g.emit("\tli   s0, %d", r.Intn(100)) // checksum seed
@@ -95,7 +107,38 @@ func Generate(r *rand.Rand, cfg Config) string {
 	for i := 0; i < cfg.Helpers; i++ {
 		g.helper(i)
 	}
+	if cfg.ISR {
+		g.isr()
+	}
 	return g.b.String()
+}
+
+// isr emits the interrupt handler: bump isr_count, optionally do some
+// seed-varied private work, return via mret. Only t4/t5/t6 are
+// touched — registers no generated main-line code ever uses — so the
+// handler is transparent to the interrupted computation no matter
+// where the schedule lands. The draws for the variant happen after
+// every main-program draw, keeping the ISR-free prefix byte-identical.
+func (g *generator) isr() {
+	g.emit("isr:")
+	g.emit("\tla   t4, isr_count")
+	g.emit("\tlw   t5, 0(t4)")
+	g.emit("\taddi t5, t5, 1")
+	g.emit("\tsw   t5, 0(t4)")
+	switch g.r.Intn(3) {
+	case 0:
+		// minimal handler: just the counter
+	case 1:
+		g.emit("\txori t6, t5, %d", g.r.Intn(1024))
+		g.emit("\tandi t6, t6, 255")
+	case 2:
+		head := g.label("il")
+		g.emit("\tli   t6, %d", 2+g.r.Intn(3))
+		g.emit("%s:", head)
+		g.emit("\taddi t6, t6, -1")
+		g.emit("\tbnez t6, %s", head)
+	}
+	g.emit("\tmret")
 }
 
 func (g *generator) emit(format string, args ...interface{}) {

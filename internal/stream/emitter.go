@@ -153,6 +153,7 @@ func MeasureStream(prog *asm.Program, devCfg core.Config, input []uint32, segmen
 	mach.CPU.TraceBatch = em
 	mach.CPU.TraceCFOnly = dev.CFOnlyCompatible()
 	mach.CPU.Input = input
+	mach.CPU.IRQ = devCfg.IRQ
 
 	for !mach.CPU.Halted {
 		if mach.CPU.Retired >= budget {

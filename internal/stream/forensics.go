@@ -130,11 +130,33 @@ func (s *Session) classifyDivergence(d *Divergence) (attest.Classification, stri
 		return attest.ClassNonControlData, "execution ended before the expected path completed"
 	case !s.v.av.Graph().ValidEdge(d.Got.Src, d.Got.Dest):
 		return attest.ClassControlFlow, fmt.Sprintf("edge %#x->%#x is not CFG-consistent: control-flow attack", d.Got.Src, d.Got.Dest)
+	case s.isISRDivergence(d):
+		// An interrupt edge (dispatch to the vector, or an mret resume)
+		// appearing where the golden run has none is CFG-consistent by
+		// construction — dispatch is architecturally valid at every
+		// boundary — but the timing differs from the attested schedule.
+		// That is a class-1 deviation (interrupt-storm / trace-pressure
+		// shape), NOT a loop-counter one, even when the interrupted PC
+		// coincides with a branch site the loop table knows.
+		return attest.ClassNonControlData, fmt.Sprintf("interrupt edge %#x->%#x is not the expected interrupt schedule for this run", d.Got.Src, d.Got.Dest)
 	case s.isLoopDivergence(d):
 		return attest.ClassLoopCounter, "divergent decision at a known loop back-edge: loop counter corruption"
 	default:
 		return attest.ClassNonControlData, fmt.Sprintf("edge %#x->%#x is CFG-consistent but not the expected path for this input", d.Got.Src, d.Got.Dest)
 	}
+}
+
+// isISRDivergence reports whether the offending reported edge is an
+// interrupt transfer: a dispatch edge into the configured vector, or a
+// resume edge out of a return-from-interrupt site. Only meaningful when
+// the verifier's oracle has ISR semantics enabled.
+func (s *Session) isISRDivergence(d *Divergence) bool {
+	g := s.v.av.Graph()
+	vector, ok := g.ISRVector()
+	if !ok {
+		return false
+	}
+	return d.Got.Dest == vector || g.IsMRetSite(d.Got.Src)
 }
 
 // isLoopDivergence recognizes class-2 shapes: the reported and golden

@@ -65,6 +65,7 @@ func (p *Prover) Stream(open OpenRequest, emit func(*SegmentReport) error) (*Clo
 	// execution within one instruction, not one batch.
 	mach.CPU.Trace = em
 	mach.CPU.Input = open.Input
+	mach.CPU.IRQ = devCfg.IRQ
 
 	adv := p.ap.Adversary
 	for !mach.CPU.Halted {

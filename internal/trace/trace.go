@@ -43,6 +43,17 @@ func (e Event) IsBackward() bool {
 //lofat:zeroalloc
 func (e Event) SrcDest() (uint32, uint32) { return e.PC, e.NextPC }
 
+// IsInterrupt reports whether the event is an interrupt-dispatch or
+// return-from-interrupt transfer rather than a retired instruction's
+// edge. IRQ-enter events are pseudo-events published by the core's
+// vector dispatch: no instruction retires, Word and Inst are zero, and
+// (PC, NextPC) is the (interrupted PC, vector) pair.
+//
+//lofat:zeroalloc
+func (e Event) IsInterrupt() bool {
+	return e.Kind == isa.KindIRQEnter || e.Kind == isa.KindIRQRet
+}
+
 // Sink consumes retired-instruction events. Implementations must not
 // retain the event past the call.
 type Sink interface {

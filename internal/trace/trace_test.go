@@ -72,3 +72,23 @@ func TestMultiFanOut(t *testing.T) {
 		t.Errorf("fan-out broken: %v %v", a, b)
 	}
 }
+
+func TestIsInterrupt(t *testing.T) {
+	cases := []struct {
+		kind isa.ControlFlowKind
+		want bool
+	}{
+		{isa.KindNone, false},
+		{isa.KindCondBr, false},
+		{isa.KindJump, false},
+		{isa.KindIndirect, false},
+		{isa.KindReturn, false},
+		{isa.KindIRQEnter, true},
+		{isa.KindIRQRet, true},
+	}
+	for _, c := range cases {
+		if got := (Event{Kind: c.kind}).IsInterrupt(); got != c.want {
+			t.Errorf("IsInterrupt() = %v for %v, want %v", got, c.kind, c.want)
+		}
+	}
+}

@@ -26,6 +26,9 @@ func runSlow(t *testing.T, w workloads.Workload, devCfg core.Config, adv attest.
 	dev := core.NewDevice(devCfg)
 	mach.CPU.Trace = dev
 	mach.CPU.Input = w.Input
+	if mach.CPU.IRQ, err = w.Schedule(prog); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
 	stepAll(t, w.Name, mach, adv)
 	return dev.Finalize(), mach.CPU.ExitCode
 }
@@ -47,6 +50,9 @@ func runFast(t *testing.T, w workloads.Workload, devCfg core.Config, adv attest.
 	mach.CPU.TraceBatch = dev
 	mach.CPU.TraceCFOnly = dev.CFOnlyCompatible()
 	mach.CPU.Input = w.Input
+	if mach.CPU.IRQ, err = w.Schedule(prog); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
 	stepAll(t, w.Name, mach, adv)
 	return dev.Finalize(), mach.CPU.ExitCode
 }

@@ -198,5 +198,5 @@ done:
 // All2 is the extended workload suite: the paper-scoped set plus the
 // additional kernels.
 func All2() []Workload {
-	return append(All(), QuickSort(), Sieve(), BinarySearch(), PumpFSM())
+	return append(All(), QuickSort(), Sieve(), BinarySearch(), PumpFSM(), PumpISR())
 }

@@ -30,6 +30,14 @@ type Workload struct {
 	// WantExit is the expected exit code under Input (functional
 	// ground truth for the simulator tests).
 	WantExit uint32
+	// ISRLabel, when set, names the interrupt handler label; the
+	// workload then expects the fixed IRQPhase/IRQPeriod/IRQCount
+	// schedule (resolved by Schedule) on the device's interrupt line.
+	// WantExit is the exit code UNDER that schedule.
+	ISRLabel  string
+	IRQPhase  uint64
+	IRQPeriod uint64
+	IRQCount  uint64
 }
 
 // Assemble builds the workload's program image.

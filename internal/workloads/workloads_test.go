@@ -21,6 +21,9 @@ func TestWorkloadsFunctional(t *testing.T) {
 				t.Fatal(err)
 			}
 			mach.CPU.Input = w.Input
+			if mach.CPU.IRQ, err = w.Schedule(prog); err != nil {
+				t.Fatal(err)
+			}
 			if err := mach.CPU.Run(10_000_000); err != nil {
 				t.Fatal(err)
 			}
